@@ -1,0 +1,121 @@
+//! The zero-value problem as a first-order DPA experiment (E11).
+//!
+//! Golić & Tymen observed that multiplicative masking cannot hide zero:
+//! `0 ⊗ R = 0` for every mask. In a hardware datapath this means the
+//! masked byte `P¹ = X ⊗ R` has Hamming weight 0 exactly when `X = 0`,
+//! so first-order statistics of the power consumption distinguish the
+//! zero input — no second-order combination needed.
+//!
+//! This module simulates Hamming-weight leakage of `P¹` with Gaussian
+//! noise and runs Welch's t-test between a *zero-input* population and a
+//! *random-input* population:
+//!
+//! * **unprotected** (no zero-mapping): the t statistic explodes with
+//!   √(number of traces) — a first-order break;
+//! * **protected** (Kronecker-delta mapping 0 → 1 before conversion):
+//!   both populations see a uniformly random non-zero `P¹`, and the
+//!   statistic stays below the usual |t| < 4.5 TVLA threshold.
+
+use mmaes_gf256::sbox::kronecker_delta;
+use mmaes_gf256::Gf256;
+use mmaes_leakage::stats::{welch_t_test, WelchT};
+use rand::Rng;
+
+/// Whether the B2M conversion is preceded by the Kronecker zero-mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZeroMapping {
+    /// Plain multiplicative masking (vulnerable).
+    Disabled,
+    /// With the Kronecker-delta mapping (the fix the S-box uses).
+    Enabled,
+}
+
+/// Simulates one Hamming-weight leakage sample of the masked byte
+/// `P¹ = (X ⊕ δ(X)) ⊗ R` (or `X ⊗ R` when unprotected), with additive
+/// Gaussian noise of standard deviation `noise`.
+pub fn leakage_sample(x: Gf256, mapping: ZeroMapping, noise: f64, rng: &mut impl Rng) -> f64 {
+    let mapped = match mapping {
+        ZeroMapping::Disabled => x,
+        ZeroMapping::Enabled => x + kronecker_delta(x),
+    };
+    let mask = Gf256::new(rng.gen_range(1..=255u8));
+    let masked = mapped * mask;
+    let hamming_weight = masked.to_byte().count_ones() as f64;
+    hamming_weight + noise * gaussian(rng)
+}
+
+/// Runs the fixed-zero vs. random first-order DPA distinguisher with
+/// `traces` traces per population. Returns the Welch t statistic (large
+/// |t| ⇒ the zero value is distinguishable ⇒ broken).
+pub fn zero_value_t_test(
+    mapping: ZeroMapping,
+    traces: usize,
+    noise: f64,
+    rng: &mut impl Rng,
+) -> WelchT {
+    let zero_population: Vec<f64> = (0..traces)
+        .map(|_| leakage_sample(Gf256::ZERO, mapping, noise, rng))
+        .collect();
+    let random_population: Vec<f64> = (0..traces)
+        .map(|_| leakage_sample(Gf256::new(rng.gen()), mapping, noise, rng))
+        .collect();
+    welch_t_test(&zero_population, &random_population)
+        .expect("populations are large and noisy enough to test")
+}
+
+/// The conventional TVLA decision threshold on |t|.
+pub const TVLA_THRESHOLD: f64 = 4.5;
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unprotected_multiplicative_masking_is_broken_first_order() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let result = zero_value_t_test(ZeroMapping::Disabled, 20_000, 1.0, &mut rng);
+        assert!(
+            result.statistic.abs() > 20.0 * TVLA_THRESHOLD,
+            "zero value must be blatantly distinguishable: {result:?}"
+        );
+    }
+
+    #[test]
+    fn kronecker_mapping_closes_the_first_order_channel() {
+        let mut rng = StdRng::seed_from_u64(2025);
+        let result = zero_value_t_test(ZeroMapping::Enabled, 20_000, 1.0, &mut rng);
+        assert!(
+            result.statistic.abs() < TVLA_THRESHOLD,
+            "protected leakage must pass TVLA: {result:?}"
+        );
+    }
+
+    #[test]
+    fn zero_always_leaks_weight_zero_without_the_fix() {
+        let mut rng = StdRng::seed_from_u64(2026);
+        for _ in 0..100 {
+            let sample = leakage_sample(Gf256::ZERO, ZeroMapping::Disabled, 0.0, &mut rng);
+            assert_eq!(sample, 0.0);
+        }
+    }
+
+    #[test]
+    fn mapped_zero_has_full_mask_entropy() {
+        let mut rng = StdRng::seed_from_u64(2027);
+        let mut weights = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let sample = leakage_sample(Gf256::ZERO, ZeroMapping::Enabled, 0.0, &mut rng);
+            weights.insert(sample as u64);
+        }
+        assert!(weights.len() > 4, "mapped zero must take many HW values");
+    }
+}

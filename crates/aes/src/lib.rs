@@ -1,0 +1,27 @@
+//! AES-128 — unprotected reference and first-order masked encryption.
+//!
+//! The paper's target is the masked S-box inside a full AES encryption
+//! datapath; this crate supplies that context:
+//!
+//! * [`mod@reference`] — a plain FIPS-197 AES-128 (encrypt + decrypt, key
+//!   expansion), pinned to the published test vectors. It is the ground
+//!   truth every masked computation is checked against.
+//! * [`masked`] — a first-order Boolean-masked AES-128 encryption whose
+//!   SubBytes layer runs the multiplicative-masking S-box: either the
+//!   value-level gadget semantics or, byte by byte, the *actual gate-level
+//!   pipeline* from `mmaes-circuits` driven by the cycle-accurate
+//!   simulator.
+//! * [`dpa`] — the zero-value-problem demonstration (experiment E11): a
+//!   first-order DPA distinguisher on simulated Hamming-weight leakage of
+//!   the multiplicatively masked byte, with and without the
+//!   Kronecker-delta zero-mapping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dpa;
+pub mod masked;
+pub mod reference;
+
+pub use masked::{MaskedAes, SboxBackend};
+pub use reference::Aes128;

@@ -1,0 +1,402 @@
+//! First-order Boolean-masked AES-128 encryption built on the
+//! multiplicative-masking S-box.
+//!
+//! The state and all round keys are carried as two Boolean shares; the
+//! linear layers (AddRoundKey, ShiftRows, MixColumns) act share-wise,
+//! and SubBytes goes through the masked S-box of the paper: Kronecker
+//! zero-mapping, Boolean→multiplicative conversion, local inversion,
+//! multiplicative→Boolean conversion, affine.
+//!
+//! Two S-box backends are provided:
+//!
+//! * [`SboxBackend::ValueLevel`] — the gadget algebra from
+//!   `mmaes-masking` (fast; used by the examples and the DPA demo),
+//! * [`SboxBackend::Netlist`] — every S-box evaluation drives the actual
+//!   gate-level pipeline from `mmaes-circuits` through the cycle-accurate
+//!   simulator (slow, but it is the *hardware* computing the cipher).
+//!
+//! Both reconstruct to FIPS-197 ciphertexts for every key/plaintext,
+//! which is checked in tests against the reference implementation.
+
+use mmaes_circuits::{build_masked_sbox, MaskedSboxCircuit, SboxOptions};
+use mmaes_gf256::Gf256;
+use mmaes_masking::conversion::{masked_sbox_reference, random_nonzero};
+use mmaes_masking::dom::dom_and_bits;
+use mmaes_sim::Simulator;
+use rand::Rng;
+
+use crate::reference::{self, Aes128, ROUNDS};
+
+/// The inverse of the AES affine layer's matrix (computed once).
+fn inverse_affine_matrix() -> mmaes_gf256::matrix::BitMatrix8 {
+    mmaes_gf256::matrix::BitMatrix8::AES_AFFINE
+        .inverse()
+        .expect("the AES affine matrix is invertible")
+}
+
+/// How SubBytes is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SboxBackend {
+    /// Value-level gadget semantics (fast).
+    #[default]
+    ValueLevel,
+    /// The gate-level S-box pipeline, simulated cycle by cycle.
+    Netlist,
+}
+
+/// A first-order masked AES-128 encryptor.
+///
+/// # Example
+///
+/// ```
+/// use mmaes_aes::{Aes128, MaskedAes, SboxBackend};
+///
+/// let key = [0u8; 16];
+/// let mut rng = rand::thread_rng();
+/// let masked = MaskedAes::new(&key, SboxBackend::ValueLevel);
+/// let reference = Aes128::new(&key);
+/// let block = [0x42u8; 16];
+/// assert_eq!(masked.encrypt_block(&block, &mut rng), reference.encrypt_block(&block));
+/// ```
+#[derive(Debug)]
+pub struct MaskedAes {
+    expanded: Aes128,
+    backend: SboxBackend,
+    sbox_circuit: Option<MaskedSboxCircuit>,
+}
+
+impl MaskedAes {
+    /// Creates a masked encryptor for `key` with the chosen S-box
+    /// backend (the netlist backend builds the pipeline once).
+    pub fn new(key: &[u8; 16], backend: SboxBackend) -> Self {
+        let sbox_circuit = match backend {
+            SboxBackend::ValueLevel => None,
+            SboxBackend::Netlist => Some(
+                build_masked_sbox(SboxOptions::default())
+                    .expect("the S-box generator produces a valid netlist"),
+            ),
+        };
+        MaskedAes {
+            expanded: Aes128::new(key),
+            backend,
+            sbox_circuit,
+        }
+    }
+
+    /// The backend in use.
+    pub fn backend(&self) -> SboxBackend {
+        self.backend
+    }
+
+    /// Encrypts a block: shares the plaintext, runs the masked rounds,
+    /// reconstructs the ciphertext. Convenience for tests and demos —
+    /// real deployments keep shares separated
+    /// ([`MaskedAes::encrypt_shared`]).
+    pub fn encrypt_block(&self, plaintext: &[u8; 16], rng: &mut impl Rng) -> [u8; 16] {
+        let mask: [u8; 16] = rng.gen();
+        let mut share0 = *plaintext;
+        for (byte, mask_byte) in share0.iter_mut().zip(&mask) {
+            *byte ^= mask_byte;
+        }
+        let [out0, out1] = self.encrypt_shared([share0, mask], rng);
+        let mut ciphertext = out0;
+        for (byte, other) in ciphertext.iter_mut().zip(&out1) {
+            *byte ^= other;
+        }
+        ciphertext
+    }
+
+    /// Encrypts a Boolean-shared block, returning ciphertext shares.
+    pub fn encrypt_shared(&self, state: [[u8; 16]; 2], rng: &mut impl Rng) -> [[u8; 16]; 2] {
+        let mut shares = state;
+        self.add_round_key_shared(&mut shares, 0, rng);
+        for round in 1..ROUNDS {
+            self.sub_bytes_shared(&mut shares, rng);
+            reference::shift_rows(&mut shares[0]);
+            reference::shift_rows(&mut shares[1]);
+            reference::mix_columns(&mut shares[0]);
+            reference::mix_columns(&mut shares[1]);
+            self.add_round_key_shared(&mut shares, round, rng);
+        }
+        self.sub_bytes_shared(&mut shares, rng);
+        reference::shift_rows(&mut shares[0]);
+        reference::shift_rows(&mut shares[1]);
+        self.add_round_key_shared(&mut shares, ROUNDS, rng);
+        shares
+    }
+
+    fn add_round_key_shared(&self, shares: &mut [[u8; 16]; 2], round: usize, rng: &mut impl Rng) {
+        // Round keys are freshly shared per use: rk = k0 ⊕ k1.
+        let round_key = &self.expanded.round_keys()[round];
+        for index in 0..16 {
+            let key_mask: u8 = rng.gen();
+            shares[0][index] ^= round_key[index] ^ key_mask;
+            shares[1][index] ^= key_mask;
+        }
+    }
+
+    fn sub_bytes_shared(&self, shares: &mut [[u8; 16]; 2], rng: &mut impl Rng) {
+        for index in 0..16 {
+            let (s0, s1) = self.masked_sbox(shares[0][index], shares[1][index], rng);
+            shares[0][index] = s0;
+            shares[1][index] = s1;
+        }
+    }
+
+    /// Decrypts a block: shares the ciphertext, runs the masked inverse
+    /// rounds, reconstructs the plaintext. The inverse S-box reuses the
+    /// multiplicative-masking inversion core: `S⁻¹(y) = (A⁻¹(y ⊕ 0x63))⁻¹`,
+    /// so the zero-mapped masked inversion sits *after* the (linear)
+    /// inverse affine layer.
+    pub fn decrypt_block(&self, ciphertext: &[u8; 16], rng: &mut impl Rng) -> [u8; 16] {
+        let mask: [u8; 16] = rng.gen();
+        let mut share0 = *ciphertext;
+        for (byte, mask_byte) in share0.iter_mut().zip(&mask) {
+            *byte ^= mask_byte;
+        }
+        let [out0, out1] = self.decrypt_shared([share0, mask], rng);
+        let mut plaintext = out0;
+        for (byte, other) in plaintext.iter_mut().zip(&out1) {
+            *byte ^= other;
+        }
+        plaintext
+    }
+
+    /// Decrypts a Boolean-shared block, returning plaintext shares.
+    pub fn decrypt_shared(&self, state: [[u8; 16]; 2], rng: &mut impl Rng) -> [[u8; 16]; 2] {
+        let mut shares = state;
+        self.add_round_key_shared(&mut shares, ROUNDS, rng);
+        reference::inv_shift_rows(&mut shares[0]);
+        reference::inv_shift_rows(&mut shares[1]);
+        self.inv_sub_bytes_shared(&mut shares, rng);
+        for round in (1..ROUNDS).rev() {
+            self.add_round_key_shared(&mut shares, round, rng);
+            reference::inv_mix_columns(&mut shares[0]);
+            reference::inv_mix_columns(&mut shares[1]);
+            reference::inv_shift_rows(&mut shares[0]);
+            reference::inv_shift_rows(&mut shares[1]);
+            self.inv_sub_bytes_shared(&mut shares, rng);
+        }
+        self.add_round_key_shared(&mut shares, 0, rng);
+        shares
+    }
+
+    fn inv_sub_bytes_shared(&self, shares: &mut [[u8; 16]; 2], rng: &mut impl Rng) {
+        let inverse_affine = inverse_affine_matrix();
+        for index in 0..16 {
+            // Inverse affine (share-wise; the constant on share 0 only).
+            let w0 = inverse_affine.apply(shares[0][index] ^ mmaes_gf256::sbox::AFFINE_CONSTANT);
+            let w1 = inverse_affine.apply(shares[1][index]);
+            // Zero-mapped masked inversion (the S-box core, no affine).
+            let delta = kronecker_delta_shares(w0, w1, rng);
+            let z0 = u8::from(delta.0);
+            let z1 = u8::from(delta.1);
+            let r = random_nonzero(rng);
+            let r_prime = Gf256::new(rng.gen());
+            let (inv0, inv1) = mmaes_masking::conversion::masked_inversion_no_zero_fix(
+                Gf256::new(w0 ^ z0),
+                Gf256::new(w1 ^ z1),
+                r,
+                r_prime,
+            );
+            shares[0][index] = inv0.to_byte() ^ z0;
+            shares[1][index] = inv1.to_byte() ^ z1;
+        }
+    }
+
+    fn masked_sbox(&self, b0: u8, b1: u8, rng: &mut impl Rng) -> (u8, u8) {
+        match self.backend {
+            SboxBackend::ValueLevel => {
+                let delta = kronecker_delta_shares(b0, b1, rng);
+                let r = random_nonzero(rng);
+                let r_prime = Gf256::new(rng.gen());
+                let (s0, s1) =
+                    masked_sbox_reference(Gf256::new(b0), Gf256::new(b1), r, r_prime, delta);
+                (s0.to_byte(), s1.to_byte())
+            }
+            SboxBackend::Netlist => {
+                let circuit = self
+                    .sbox_circuit
+                    .as_ref()
+                    .expect("netlist backend has a circuit");
+                let mut sim = Simulator::new(&circuit.netlist);
+                for _ in 0..=circuit.latency {
+                    sim.set_bus_lane(&circuit.b_shares[0], 0, b0 as u64);
+                    sim.set_bus_lane(&circuit.b_shares[1], 0, b1 as u64);
+                    sim.set_bus_lane(&circuit.r_bus, 0, rng.gen_range(1..=255u8) as u64);
+                    sim.set_bus_lane(&circuit.r_prime_bus, 0, rng.gen::<u8>() as u64);
+                    for &wire in &circuit.fresh {
+                        sim.set_input_bit(wire, 0, rng.gen());
+                    }
+                    sim.step();
+                }
+                sim.eval();
+                let s0 = sim.bus_lane(&circuit.out_shares[0], 0) as u8;
+                let s1 = sim.bus_lane(&circuit.out_shares[1], 0) as u8;
+                (s0, s1)
+            }
+        }
+    }
+}
+
+/// Computes Boolean shares of `δ(x)` for a 2-share byte through the
+/// value-level DOM-AND tree (7 gates, 7 fresh bits — the unoptimized
+/// schedule; the *hardware* schedules live in `mmaes-circuits`).
+pub fn kronecker_delta_shares(b0: u8, b1: u8, rng: &mut impl Rng) -> (bool, bool) {
+    // Complement share 0 (Equation (4)).
+    let t0 = !b0;
+    let t1 = b1;
+    let bit_shares = |bit: usize| -> Vec<bool> { vec![(t0 >> bit) & 1 == 1, (t1 >> bit) & 1 == 1] };
+    let mut layer: Vec<Vec<bool>> = (0..4)
+        .map(|gate| {
+            dom_and_bits(
+                &bit_shares(2 * gate),
+                &bit_shares(2 * gate + 1),
+                &[rng.gen()],
+            )
+        })
+        .collect();
+    layer = vec![
+        dom_and_bits(&layer[0], &layer[1], &[rng.gen()]),
+        dom_and_bits(&layer[2], &layer[3], &[rng.gen()]),
+    ];
+    let z = dom_and_bits(&layer[0], &layer[1], &[rng.gen()]);
+    (z[0], z[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xae5)
+    }
+
+    #[test]
+    fn kronecker_delta_shares_reconstruct_correctly() {
+        let mut rng = rng();
+        for x in 0..=255u8 {
+            let mask: u8 = rng.gen();
+            let (z0, z1) = kronecker_delta_shares(x ^ mask, mask, &mut rng);
+            assert_eq!(z0 ^ z1, x == 0, "x = {x:#x}");
+        }
+    }
+
+    #[test]
+    fn value_level_masked_aes_matches_reference() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let key: [u8; 16] = rng.gen();
+            let block: [u8; 16] = rng.gen();
+            let masked = MaskedAes::new(&key, SboxBackend::ValueLevel);
+            let reference = Aes128::new(&key);
+            assert_eq!(
+                masked.encrypt_block(&block, &mut rng),
+                reference.encrypt_block(&block)
+            );
+        }
+    }
+
+    #[test]
+    fn value_level_masked_aes_fips_vector() {
+        let mut rng = rng();
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let block = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let masked = MaskedAes::new(&key, SboxBackend::ValueLevel);
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        assert_eq!(masked.encrypt_block(&block, &mut rng), expected);
+    }
+
+    #[test]
+    fn masked_decryption_inverts_masked_encryption() {
+        let mut rng = rng();
+        for _ in 0..5 {
+            let key: [u8; 16] = rng.gen();
+            let block: [u8; 16] = rng.gen();
+            let masked = MaskedAes::new(&key, SboxBackend::ValueLevel);
+            let ciphertext = masked.encrypt_block(&block, &mut rng);
+            assert_eq!(masked.decrypt_block(&ciphertext, &mut rng), block);
+        }
+    }
+
+    #[test]
+    fn masked_decryption_matches_reference_decryption() {
+        let mut rng = rng();
+        let key: [u8; 16] = rng.gen();
+        let ciphertext: [u8; 16] = rng.gen();
+        let masked = MaskedAes::new(&key, SboxBackend::ValueLevel);
+        let reference = Aes128::new(&key);
+        assert_eq!(
+            masked.decrypt_block(&ciphertext, &mut rng),
+            reference.decrypt_block(&ciphertext)
+        );
+    }
+
+    #[test]
+    fn netlist_backed_masked_aes_matches_reference() {
+        // One block through the *gate-level* S-box pipeline (160 S-box
+        // evaluations, each a multi-cycle simulation).
+        let mut rng = rng();
+        let key: [u8; 16] = rng.gen();
+        let block: [u8; 16] = rng.gen();
+        let masked = MaskedAes::new(&key, SboxBackend::Netlist);
+        let reference = Aes128::new(&key);
+        assert_eq!(
+            masked.encrypt_block(&block, &mut rng),
+            reference.encrypt_block(&block)
+        );
+    }
+
+    #[test]
+    fn zero_heavy_blocks_encrypt_correctly() {
+        // Stress the zero-value path: state bytes that are zero exercise
+        // the Kronecker mapping in every round.
+        let mut rng = rng();
+        let key = [0u8; 16];
+        let block = [0u8; 16];
+        let masked = MaskedAes::new(&key, SboxBackend::ValueLevel);
+        let reference = Aes128::new(&key);
+        for _ in 0..10 {
+            assert_eq!(
+                masked.encrypt_block(&block, &mut rng),
+                reference.encrypt_block(&block)
+            );
+        }
+    }
+
+    #[test]
+    fn output_shares_are_randomized() {
+        let mut rng = rng();
+        let key = [7u8; 16];
+        let block = [1u8; 16];
+        let masked = MaskedAes::new(&key, SboxBackend::ValueLevel);
+        let mask: [u8; 16] = rng.gen();
+        let mut share0 = block;
+        for (byte, mask_byte) in share0.iter_mut().zip(&mask) {
+            *byte ^= mask_byte;
+        }
+        let first = masked.encrypt_shared([share0, mask], &mut rng);
+        let second = masked.encrypt_shared([share0, mask], &mut rng);
+        // Same reconstruction, different shares (fresh masks inside).
+        let reconstruct = |shares: [[u8; 16]; 2]| {
+            let mut out = shares[0];
+            for (byte, other) in out.iter_mut().zip(&shares[1]) {
+                *byte ^= other;
+            }
+            out
+        };
+        assert_eq!(reconstruct(first), reconstruct(second));
+        assert_ne!(first[0], second[0]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Unprotected AES-128 (FIPS-197) — the functional ground truth.
+
+use mmaes_gf256::tables::{INV_SBOX, SBOX};
+use mmaes_gf256::Gf256;
+
+/// Number of rounds in AES-128.
+pub const ROUNDS: usize = 10;
+
+/// An expanded AES-128 key (11 round keys of 16 bytes).
+///
+/// # Example
+///
+/// ```
+/// use mmaes_aes::Aes128;
+///
+/// let key = [0u8; 16];
+/// let cipher = Aes128::new(&key);
+/// let ciphertext = cipher.encrypt_block(&[0u8; 16]);
+/// assert_eq!(cipher.decrypt_block(&ciphertext), [0u8; 16]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut words = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for (index, word) in words.iter_mut().take(4).enumerate() {
+            word.copy_from_slice(&key[4 * index..4 * index + 4]);
+        }
+        let mut rcon: u8 = 1;
+        for index in 4..4 * (ROUNDS + 1) {
+            let mut temp = words[index - 1];
+            if index % 4 == 0 {
+                temp.rotate_left(1);
+                for byte in &mut temp {
+                    *byte = SBOX[*byte as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = Gf256::new(rcon).xtime().to_byte();
+            }
+            for (position, byte) in temp.iter().enumerate() {
+                words[index][position] = words[index - 4][position] ^ byte;
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (round, round_key) in round_keys.iter_mut().enumerate() {
+            for word in 0..4 {
+                round_key[4 * word..4 * word + 4].copy_from_slice(&words[4 * round + word]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// The expanded round keys.
+    pub fn round_keys(&self) -> &[[u8; 16]; ROUNDS + 1] {
+        &self.round_keys
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        let mut state = *plaintext;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, ciphertext: &[u8; 16]) -> [u8; 16] {
+        let mut state = *ciphertext;
+        add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        for round in (1..ROUNDS).rev() {
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+        }
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+/// State layout: byte `i` is row `i % 4`, column `i / 4` (FIPS order).
+pub fn add_round_key(state: &mut [u8; 16], round_key: &[u8; 16]) {
+    for (byte, key_byte) in state.iter_mut().zip(round_key) {
+        *byte ^= key_byte;
+    }
+}
+
+/// The S-box layer.
+pub fn sub_bytes(state: &mut [u8; 16]) {
+    for byte in state.iter_mut() {
+        *byte = SBOX[*byte as usize];
+    }
+}
+
+/// The inverse S-box layer.
+pub fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for byte in state.iter_mut() {
+        *byte = INV_SBOX[*byte as usize];
+    }
+}
+
+/// Rotates row `r` left by `r` positions.
+pub fn shift_rows(state: &mut [u8; 16]) {
+    let copy = *state;
+    for row in 0..4 {
+        for column in 0..4 {
+            state[row + 4 * column] = copy[row + 4 * ((column + row) % 4)];
+        }
+    }
+}
+
+/// Rotates row `r` right by `r` positions.
+pub fn inv_shift_rows(state: &mut [u8; 16]) {
+    let copy = *state;
+    for row in 0..4 {
+        for column in 0..4 {
+            state[row + 4 * ((column + row) % 4)] = copy[row + 4 * column];
+        }
+    }
+}
+
+/// The MixColumns matrix over GF(2⁸).
+pub fn mix_columns(state: &mut [u8; 16]) {
+    for column in 0..4 {
+        let col: Vec<Gf256> = (0..4)
+            .map(|row| Gf256::new(state[4 * column + row]))
+            .collect();
+        let two = Gf256::new(2);
+        let three = Gf256::new(3);
+        state[4 * column] = (two * col[0] + three * col[1] + col[2] + col[3]).to_byte();
+        state[4 * column + 1] = (col[0] + two * col[1] + three * col[2] + col[3]).to_byte();
+        state[4 * column + 2] = (col[0] + col[1] + two * col[2] + three * col[3]).to_byte();
+        state[4 * column + 3] = (three * col[0] + col[1] + col[2] + two * col[3]).to_byte();
+    }
+}
+
+/// The inverse MixColumns matrix.
+pub fn inv_mix_columns(state: &mut [u8; 16]) {
+    for column in 0..4 {
+        let col: Vec<Gf256> = (0..4)
+            .map(|row| Gf256::new(state[4 * column + row]))
+            .collect();
+        let (e, b, d, nine) = (
+            Gf256::new(0x0e),
+            Gf256::new(0x0b),
+            Gf256::new(0x0d),
+            Gf256::new(0x09),
+        );
+        state[4 * column] = (e * col[0] + b * col[1] + d * col[2] + nine * col[3]).to_byte();
+        state[4 * column + 1] = (nine * col[0] + e * col[1] + b * col[2] + d * col[3]).to_byte();
+        state[4 * column + 2] = (d * col[0] + nine * col[1] + e * col[2] + b * col[3]).to_byte();
+        state[4 * column + 3] = (b * col[0] + d * col[1] + nine * col[2] + e * col[3]).to_byte();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(text: &str) -> [u8; 16] {
+        let mut bytes = [0u8; 16];
+        for (index, byte) in bytes.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&text[2 * index..2 * index + 2], 16).expect("hex");
+        }
+        bytes
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let cipher = Aes128::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        let ciphertext = cipher.encrypt_block(&hex("3243f6a8885a308d313198a2e0370734"));
+        assert_eq!(ciphertext, hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let cipher = Aes128::new(&hex("000102030405060708090a0b0c0d0e0f"));
+        let ciphertext = cipher.encrypt_block(&hex("00112233445566778899aabbccddeeff"));
+        assert_eq!(ciphertext, hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(
+            cipher.decrypt_block(&ciphertext),
+            hex("00112233445566778899aabbccddeeff")
+        );
+    }
+
+    #[test]
+    fn key_expansion_first_and_last_round_keys() {
+        let cipher = Aes128::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        assert_eq!(
+            cipher.round_keys()[0],
+            hex("2b7e151628aed2a6abf7158809cf4f3c")
+        );
+        assert_eq!(
+            cipher.round_keys()[10],
+            hex("d014f9a8c9ee2589e13f0cc8b6630ca6")
+        );
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_random_blocks() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let key: [u8; 16] = rng.gen();
+            let block: [u8; 16] = rng.gen();
+            let cipher = Aes128::new(&key);
+            assert_eq!(cipher.decrypt_block(&cipher.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn shift_rows_inverse_roundtrip() {
+        let mut state: [u8; 16] = core::array::from_fn(|index| index as u8);
+        let original = state;
+        shift_rows(&mut state);
+        assert_ne!(state, original);
+        inv_shift_rows(&mut state);
+        assert_eq!(state, original);
+    }
+
+    #[test]
+    fn mix_columns_inverse_roundtrip() {
+        let mut state: [u8; 16] = core::array::from_fn(|index| (index as u8) * 7 + 3);
+        let original = state;
+        mix_columns(&mut state);
+        assert_ne!(state, original);
+        inv_mix_columns(&mut state);
+        assert_eq!(state, original);
+    }
+}

@@ -1,0 +1,38 @@
+//! Enumeration rate of the exhaustive (SILVER-style) verifier on the
+//! G7 region of the Kronecker delta.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmaes_circuits::build_kronecker;
+use mmaes_exact::{ExactConfig, ExactVerifier};
+use mmaes_masking::KroneckerRandomness;
+
+fn bench_exact(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("exact_enum");
+    group.sample_size(10);
+
+    for schedule in [
+        KroneckerRandomness::de_meyer_eq6(),
+        KroneckerRandomness::proposed_eq9(),
+    ] {
+        let circuit = build_kronecker(&schedule).expect("valid netlist");
+        group.bench_function(format!("verify_g7_{}", schedule.name()), |bencher| {
+            bencher.iter(|| {
+                let verifier = ExactVerifier::with_config(
+                    &circuit.netlist,
+                    ExactConfig {
+                        observe_cycle: 5,
+                        max_support_bits: 24,
+                        probe_scope_filter: Some("kronecker/G7".to_owned()),
+                        ..ExactConfig::default()
+                    },
+                );
+                verifier.verify_all()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

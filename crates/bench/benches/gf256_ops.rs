@@ -1,0 +1,78 @@
+//! Field-arithmetic throughput: table-based vs. definitional
+//! multiplication, inversion, and the tower-field decomposition.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mmaes_gf256::tower::TowerField;
+use mmaes_gf256::Gf256;
+
+fn bench_gf256(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("gf256");
+    let operands: Vec<(Gf256, Gf256)> = (0..256u16)
+        .map(|index| {
+            (
+                Gf256::new(index as u8),
+                Gf256::new((index as u8).wrapping_mul(167).wrapping_add(13)),
+            )
+        })
+        .collect();
+
+    group.bench_function("mul_table_256", |bencher| {
+        bencher.iter(|| {
+            let mut accumulator = Gf256::ZERO;
+            for &(a, b) in &operands {
+                accumulator += black_box(a) * black_box(b);
+            }
+            accumulator
+        })
+    });
+
+    group.bench_function("mul_const_256", |bencher| {
+        bencher.iter(|| {
+            let mut accumulator = Gf256::ZERO;
+            for &(a, b) in &operands {
+                accumulator += black_box(a).mul_const(black_box(b));
+            }
+            accumulator
+        })
+    });
+
+    group.bench_function("inverse_table_256", |bencher| {
+        bencher.iter(|| {
+            let mut accumulator = Gf256::ZERO;
+            for &(a, _) in &operands {
+                accumulator += black_box(a).inverse();
+            }
+            accumulator
+        })
+    });
+
+    group.bench_function("inverse_pow254_256", |bencher| {
+        bencher.iter(|| {
+            let mut accumulator = Gf256::ZERO;
+            for &(a, _) in &operands {
+                accumulator += black_box(a).pow(254);
+            }
+            accumulator
+        })
+    });
+
+    let tower = TowerField::new();
+    group.bench_function("inverse_tower_256", |bencher| {
+        bencher.iter(|| {
+            let mut accumulator = Gf256::ZERO;
+            for &(a, _) in &operands {
+                accumulator += tower.inverse(black_box(a));
+            }
+            accumulator
+        })
+    });
+
+    group.bench_function("tower_field_derivation", |bencher| {
+        bencher.iter(TowerField::new)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_gf256);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation: generation cost and area of the Kronecker delta / S-box
+//! across randomness schedules and inverter architectures — the design-
+//! choice sweep DESIGN.md calls out (randomness vs. area trade-off).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmaes_circuits::{build_kronecker, build_masked_sbox, InverterKind, SboxOptions};
+use mmaes_masking::KroneckerRandomness;
+use mmaes_netlist::NetlistStats;
+
+fn bench_configs(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("kronecker_configs");
+
+    for schedule in KroneckerRandomness::first_order_catalog() {
+        group.bench_function(format!("build_{}", schedule.name()), |bencher| {
+            bencher.iter(|| build_kronecker(&schedule).expect("valid netlist"))
+        });
+    }
+
+    for inverter in [InverterKind::Tower, InverterKind::Pow254] {
+        group.bench_function(format!("build_sbox_{inverter:?}"), |bencher| {
+            bencher.iter(|| {
+                build_masked_sbox(SboxOptions {
+                    inverter,
+                    ..SboxOptions::default()
+                })
+                .expect("valid netlist")
+            })
+        });
+    }
+
+    group.finish();
+
+    // One-shot area table (printed once; criterion ignores it but it is
+    // the data the EXPERIMENTS.md area rows come from).
+    println!("\n=== area ablation (NAND2 gate equivalents) ===");
+    for schedule in KroneckerRandomness::first_order_catalog() {
+        let circuit = build_kronecker(&schedule).expect("valid netlist");
+        let stats = NetlistStats::of(&circuit.netlist);
+        println!(
+            "kronecker {:<28} {:>7.1} GE  {:>2} fresh bits/cycle",
+            schedule.name(),
+            stats.gate_equivalents,
+            stats.mask_bits
+        );
+    }
+    for inverter in [InverterKind::Tower, InverterKind::Pow254] {
+        let circuit = build_masked_sbox(SboxOptions {
+            inverter,
+            ..SboxOptions::default()
+        })
+        .expect("valid netlist");
+        let stats = NetlistStats::of(&circuit.netlist);
+        println!("masked sbox {inverter:?}: {:.1} GE", stats.gate_equivalents);
+    }
+}
+
+criterion_group!(benches, bench_configs);
+criterion_main!(benches);

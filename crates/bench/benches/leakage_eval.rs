@@ -1,0 +1,49 @@
+//! Cost of the PROLEAD-style evaluation per model and design (traces/s
+//! shape; the experiment binaries run the full-budget campaigns).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mmaes_circuits::{build_kronecker, build_masked_sbox, SboxOptions};
+use mmaes_leakage::{EvaluationConfig, FixedVsRandom, ProbeModel};
+use mmaes_masking::KroneckerRandomness;
+
+const BENCH_TRACES: u64 = 10_000;
+
+fn bench_leakage(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("leakage_eval");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BENCH_TRACES));
+
+    let kronecker = build_kronecker(&KroneckerRandomness::proposed_eq9()).expect("valid netlist");
+    for model in [ProbeModel::Glitch, ProbeModel::GlitchTransition] {
+        group.bench_function(format!("kronecker_{}_10k", model.name()), |bencher| {
+            bencher.iter(|| {
+                let config = EvaluationConfig {
+                    model,
+                    traces: BENCH_TRACES,
+                    warmup_cycles: 6,
+                    ..EvaluationConfig::default()
+                };
+                FixedVsRandom::new(&kronecker.netlist, config).run()
+            })
+        });
+    }
+
+    let sbox = build_masked_sbox(SboxOptions::default()).expect("valid netlist");
+    group.bench_function("masked_sbox_glitch_10k", |bencher| {
+        bencher.iter(|| {
+            let config = EvaluationConfig {
+                traces: BENCH_TRACES,
+                warmup_cycles: 8,
+                ..EvaluationConfig::default()
+            };
+            FixedVsRandom::new(&sbox.netlist, config)
+                .require_nonzero_bus(sbox.r_bus.clone())
+                .run()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_leakage);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Cost of masked AES-128 encryption: reference vs. value-level masked
+//! vs. gate-level-S-box masked, plus a single S-box pipeline evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mmaes_aes::{Aes128, MaskedAes, SboxBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_masked_aes(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("masked_aes");
+    group.throughput(Throughput::Bytes(16));
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let key: [u8; 16] = rng.gen();
+    let block: [u8; 16] = rng.gen();
+
+    let reference = Aes128::new(&key);
+    group.bench_function("reference_block", |bencher| {
+        bencher.iter(|| reference.encrypt_block(&block))
+    });
+
+    let value_level = MaskedAes::new(&key, SboxBackend::ValueLevel);
+    group.bench_function("masked_value_level_block", |bencher| {
+        bencher.iter(|| value_level.encrypt_block(&block, &mut rng))
+    });
+
+    let netlist_backed = MaskedAes::new(&key, SboxBackend::Netlist);
+    group.sample_size(10);
+    group.bench_function("masked_netlist_sbox_block", |bencher| {
+        bencher.iter(|| netlist_backed.encrypt_block(&block, &mut rng))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_masked_aes);
+criterion_main!(benches);

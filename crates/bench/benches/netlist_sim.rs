@@ -1,0 +1,57 @@
+//! Simulator throughput on the generated designs: cycles per second of
+//! the 64-lane bit-parallel engine (one cycle = 64 simulated traces).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mmaes_circuits::{build_kronecker, build_masked_sbox, SboxOptions};
+use mmaes_masking::KroneckerRandomness;
+use mmaes_sim::Simulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_simulation(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("netlist_sim");
+    group.throughput(Throughput::Elements(64)); // traces per cycle
+
+    let kronecker = build_kronecker(&KroneckerRandomness::proposed_eq9()).expect("valid netlist");
+    let mut kronecker_sim = Simulator::new(&kronecker.netlist);
+    let mut rng = StdRng::seed_from_u64(1);
+    group.bench_function("kronecker_cycle_64lanes", |bencher| {
+        bencher.iter(|| {
+            for share in &kronecker.x_shares {
+                for &wire in share {
+                    kronecker_sim.set_input(wire, rng.gen());
+                }
+            }
+            for &wire in &kronecker.fresh {
+                kronecker_sim.set_input(wire, rng.gen());
+            }
+            kronecker_sim.step();
+        })
+    });
+
+    let sbox = build_masked_sbox(SboxOptions::default()).expect("valid netlist");
+    let mut sbox_sim = Simulator::new(&sbox.netlist);
+    group.bench_function("masked_sbox_cycle_64lanes", |bencher| {
+        bencher.iter(|| {
+            for share in &sbox.b_shares {
+                for &wire in share {
+                    sbox_sim.set_input(wire, rng.gen());
+                }
+            }
+            for &wire in sbox
+                .r_bus
+                .iter()
+                .chain(&sbox.r_prime_bus)
+                .chain(&sbox.fresh)
+            {
+                sbox_sim.set_input(wire, rng.gen());
+            }
+            sbox_sim.step();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

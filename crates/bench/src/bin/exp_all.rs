@@ -1,0 +1,22 @@
+//! Runs every experiment E1–E11 and prints the summary table that
+//! EXPERIMENTS.md records.
+fn main() {
+    let budget = mmaes_bench::budget_from_args();
+    let outcomes = mmaes_core::run_all(&budget);
+    println!("{}", mmaes_core::outcome_table(&outcomes));
+    for outcome in &outcomes {
+        println!("{outcome}\n");
+    }
+    let mismatches = outcomes
+        .iter()
+        .filter(|outcome| !outcome.matches_paper)
+        .count();
+    if mismatches > 0 {
+        eprintln!("{mismatches} experiment(s) did not reproduce");
+        std::process::exit(1);
+    }
+    println!(
+        "all {} experiments reproduced the paper's findings",
+        outcomes.len()
+    );
+}

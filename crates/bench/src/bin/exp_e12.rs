@@ -1,0 +1,6 @@
+//! Regenerates extension experiment E12 (see EXPERIMENTS.md).
+fn main() {
+    let budget = mmaes_bench::budget_from_args();
+    let outcome = mmaes_core::run_e12(&budget);
+    mmaes_bench::finish(&outcome);
+}

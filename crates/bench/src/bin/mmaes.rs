@@ -1,0 +1,313 @@
+//! `mmaes` — command-line front end to the reproduction.
+//!
+//! ```text
+//! mmaes schedules                          list the randomness schedules
+//! mmaes stats    <design>                  synthesis-style statistics
+//! mmaes dot      <design> [file]           Graphviz export
+//! mmaes verilog  <design> [file]           structural Verilog export
+//! mmaes evaluate <design> [options]        PROLEAD-style campaign
+//! mmaes verify   <design> [options]        exhaustive (SILVER-style) proof
+//! ```
+//!
+//! Designs: `kronecker[:SCHEDULE]`, `sbox[:SCHEDULE]`, `sbox-no-kronecker`,
+//! `aes[:SCHEDULE]`, `unprotected-sbox`, where SCHEDULE is one of the
+//! names printed by `mmaes schedules` (default: `proposed-eq9`).
+//!
+//! Evaluate options: `--model glitch|transition`, `--order 1|2`,
+//! `--traces N`, `--fixed V`, `--seed N`, `--scope PREFIX`, `--csv FILE`.
+//! Verify options: `--scope PREFIX`, `--max-bits N`, `--transition`.
+
+use std::process::exit;
+
+use mmaes_circuits::{
+    build_kronecker, build_masked_aes, build_masked_sbox, sbox::build_unprotected_sbox,
+    InverterKind, SboxOptions,
+};
+use mmaes_exact::{ExactConfig, ExactVerifier};
+use mmaes_leakage::{EvaluationConfig, FixedVsRandom, ProbeModel};
+use mmaes_masking::KroneckerRandomness;
+use mmaes_netlist::{Netlist, NetlistStats, WireId};
+
+fn main() {
+    let arguments: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = arguments.first() else {
+        usage();
+        exit(2);
+    };
+    match command.as_str() {
+        "schedules" => schedules(),
+        "stats" => stats(&arguments[1..]),
+        "dot" => export(&arguments[1..], |netlist| netlist.to_dot(), "dot"),
+        "verilog" => export(&arguments[1..], |netlist| netlist.to_verilog(), "v"),
+        "evaluate" => evaluate(&arguments[1..]),
+        "verify" => verify(&arguments[1..]),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "mmaes — multiplicative-masked AES leakage toolbox\n\
+         \n\
+         mmaes schedules\n\
+         mmaes stats    <design>\n\
+         mmaes dot      <design> [file]\n\
+         mmaes verilog  <design> [file]\n\
+         mmaes evaluate <design> [--model glitch|transition] [--order N] [--traces N]\n\
+         \u{20}                  [--fixed V] [--seed N] [--scope PREFIX] [--csv FILE]\n\
+         mmaes verify   <design> [--scope PREFIX] [--max-bits N] [--transition]\n\
+         \n\
+         designs: kronecker[:SCHEDULE] | sbox[:SCHEDULE] | sbox-no-kronecker |\n\
+         \u{20}        aes[:SCHEDULE] | unprotected-sbox"
+    );
+}
+
+fn schedules() {
+    println!("first-order schedules (see the paper's Eq. 6/Eq. 9 and §IV):");
+    for schedule in KroneckerRandomness::first_order_catalog() {
+        println!("  {schedule}");
+    }
+    println!("second-order schedules:");
+    for schedule in [
+        KroneckerRandomness::full_order2(),
+        KroneckerRandomness::de_meyer_13_reconstruction(),
+    ] {
+        println!("  {schedule}");
+    }
+}
+
+/// The built design plus the evaluation plumbing it needs.
+struct Design {
+    netlist: Netlist,
+    nonzero_buses: Vec<Vec<WireId>>,
+    load: Option<WireId>,
+}
+
+fn schedule_by_name(name: &str) -> KroneckerRandomness {
+    let mut catalog = KroneckerRandomness::first_order_catalog();
+    catalog.push(KroneckerRandomness::full_order2());
+    catalog.push(KroneckerRandomness::de_meyer_13_reconstruction());
+    catalog
+        .into_iter()
+        .find(|schedule| schedule.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown schedule `{name}` (try `mmaes schedules`)");
+            exit(2);
+        })
+}
+
+fn build_design(spec: &str) -> Design {
+    let (kind, schedule_name) = match spec.split_once(':') {
+        Some((kind, schedule)) => (kind, schedule),
+        None => (spec, "proposed-eq9"),
+    };
+    match kind {
+        "kronecker" => {
+            let circuit = build_kronecker(&schedule_by_name(schedule_name))
+                .expect("generator emits valid netlists");
+            Design {
+                netlist: circuit.netlist,
+                nonzero_buses: Vec::new(),
+                load: None,
+            }
+        }
+        "sbox" => {
+            let circuit = build_masked_sbox(SboxOptions {
+                schedule: schedule_by_name(schedule_name),
+                ..SboxOptions::default()
+            })
+            .expect("generator emits valid netlists");
+            Design {
+                nonzero_buses: vec![circuit.r_bus.clone()],
+                netlist: circuit.netlist,
+                load: None,
+            }
+        }
+        "sbox-no-kronecker" => {
+            let circuit = build_masked_sbox(SboxOptions {
+                include_kronecker: false,
+                ..SboxOptions::default()
+            })
+            .expect("generator emits valid netlists");
+            Design {
+                nonzero_buses: vec![circuit.r_bus.clone()],
+                netlist: circuit.netlist,
+                load: None,
+            }
+        }
+        "aes" => {
+            let circuit = build_masked_aes(&schedule_by_name(schedule_name), InverterKind::Tower)
+                .expect("generator emits valid netlists");
+            Design {
+                nonzero_buses: circuit.r_buses.clone(),
+                load: Some(circuit.load),
+                netlist: circuit.netlist,
+            }
+        }
+        "unprotected-sbox" => {
+            let (netlist, ..) = build_unprotected_sbox(InverterKind::Tower).expect("valid netlist");
+            Design {
+                netlist,
+                nonzero_buses: Vec::new(),
+                load: None,
+            }
+        }
+        other => {
+            eprintln!("unknown design `{other}`");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn stats(arguments: &[String]) {
+    let Some(spec) = arguments.first() else {
+        eprintln!("stats needs a design");
+        exit(2);
+    };
+    let design = build_design(spec);
+    println!("{}", NetlistStats::of(&design.netlist));
+    println!("  by scope (top 15):");
+    let mut by_scope: Vec<(String, usize)> = NetlistStats::cells_by_scope(&design.netlist)
+        .into_iter()
+        .collect();
+    by_scope.sort_by_key(|entry| std::cmp::Reverse(entry.1));
+    for (scope, count) in by_scope.into_iter().take(15) {
+        let scope = if scope.is_empty() {
+            "<top>".to_owned()
+        } else {
+            scope
+        };
+        println!("    {scope:<40} {count:>6}");
+    }
+}
+
+fn export(arguments: &[String], render: impl Fn(&Netlist) -> String, extension: &str) {
+    let Some(spec) = arguments.first() else {
+        eprintln!("export needs a design");
+        exit(2);
+    };
+    let design = build_design(spec);
+    let rendered = render(&design.netlist);
+    match arguments.get(1) {
+        Some(path) => {
+            std::fs::write(path, rendered).unwrap_or_else(|error| {
+                eprintln!("cannot write {path}: {error}");
+                exit(1);
+            });
+            println!("wrote {path}");
+        }
+        None => {
+            let path = format!("{}.{extension}", design.netlist.name());
+            std::fs::write(&path, rendered).unwrap_or_else(|error| {
+                eprintln!("cannot write {path}: {error}");
+                exit(1);
+            });
+            println!("wrote {path}");
+        }
+    }
+}
+
+fn evaluate(arguments: &[String]) {
+    let Some(spec) = arguments.first() else {
+        eprintln!("evaluate needs a design");
+        exit(2);
+    };
+    let design = build_design(spec);
+    let mut config = EvaluationConfig::default();
+    let mut csv_path: Option<String> = None;
+    let mut rest = arguments[1..].iter();
+    while let Some(flag) = rest.next() {
+        let mut value = || {
+            rest.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {flag} needs a value");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--model" => {
+                config.model = match value().as_str() {
+                    "glitch" => ProbeModel::Glitch,
+                    "transition" | "glitch+transition" => ProbeModel::GlitchTransition,
+                    other => {
+                        eprintln!("unknown model `{other}`");
+                        exit(2);
+                    }
+                }
+            }
+            "--order" => config.order = value().parse().expect("numeric order"),
+            "--traces" => config.traces = value().parse().expect("numeric traces"),
+            "--fixed" => config.fixed_secret = value().parse().expect("numeric fixed value"),
+            "--seed" => config.seed = value().parse().expect("numeric seed"),
+            "--scope" => config.probe_scope_filter = Some(value()),
+            "--csv" => csv_path = Some(value()),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                exit(2);
+            }
+        }
+    }
+    // Cipher cores need a deeper warm-up and their load pulse.
+    if design.load.is_some() {
+        config.warmup_cycles = 14;
+    }
+    let mut campaign = FixedVsRandom::new(&design.netlist, config);
+    for bus in &design.nonzero_buses {
+        campaign = campaign.require_nonzero_bus(bus.clone());
+    }
+    if let Some(load) = design.load {
+        campaign = campaign.schedule_control(load, vec![true, false]);
+    }
+    let report = campaign.run();
+    println!("{report}");
+    if let Some(path) = csv_path {
+        std::fs::write(&path, report.to_csv()).unwrap_or_else(|error| {
+            eprintln!("cannot write {path}: {error}");
+            exit(1);
+        });
+        println!("per-probe results written to {path}");
+    }
+    exit(if report.passed() { 0 } else { 1 });
+}
+
+fn verify(arguments: &[String]) {
+    let Some(spec) = arguments.first() else {
+        eprintln!("verify needs a design");
+        exit(2);
+    };
+    let design = build_design(spec);
+    let mut config = ExactConfig {
+        observe_cycle: 5,
+        probe_scope_filter: Some("kronecker/G7".to_owned()),
+        ..ExactConfig::default()
+    };
+    let mut rest = arguments[1..].iter();
+    while let Some(flag) = rest.next() {
+        let mut value = || {
+            rest.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {flag} needs a value");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scope" => {
+                let scope = value();
+                config.probe_scope_filter = if scope == "all" { None } else { Some(scope) };
+            }
+            "--max-bits" => config.max_support_bits = value().parse().expect("numeric"),
+            "--transition" => config.model = ProbeModel::GlitchTransition,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                exit(2);
+            }
+        }
+    }
+    let report = ExactVerifier::with_config(&design.netlist, config).verify_all();
+    println!("{report}");
+    exit(if report.leak_found() { 1 } else { 0 });
+}

@@ -1,0 +1,73 @@
+//! Shared scaffolding for the experiment binaries (`exp_*`).
+//!
+//! Every binary regenerates one row of EXPERIMENTS.md. All binaries
+//! accept the same flags:
+//!
+//! ```text
+//! --traces N        first-order trace budget        (default 200000)
+//! --traces2 N       second-order trace budget       (default 100000)
+//! --dpa-traces N    DPA traces per population       (default 20000)
+//! --seed N          RNG seed                        (default 0x9c01ead)
+//! --paper-scale     use the paper's simulation counts (slow!)
+//! --exact-full      exhaustively verify the whole design, not just G7
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mmaes_core::{ExperimentBudget, ExperimentOutcome};
+
+/// Parses the common CLI flags into a budget.
+///
+/// # Panics
+///
+/// Panics (with a usage message) on malformed arguments.
+pub fn budget_from_args() -> ExperimentBudget {
+    let mut budget = ExperimentBudget::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut numeric = |target: &mut u64| {
+            let value = args
+                .next()
+                .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+                .parse()
+                .unwrap_or_else(|error| panic!("flag {flag}: {error}"));
+            *target = value;
+        };
+        match flag.as_str() {
+            "--traces" => {
+                numeric(&mut budget.first_order_traces);
+                budget.transition_traces = budget.first_order_traces;
+            }
+            "--traces2" => numeric(&mut budget.second_order_traces),
+            "--dpa-traces" => {
+                let mut value = 0u64;
+                numeric(&mut value);
+                budget.dpa_traces = value as usize;
+            }
+            "--seed" => numeric(&mut budget.seed),
+            "--paper-scale" => budget = ExperimentBudget::paper_scale(),
+            "--exact-full" => budget.exact_scope = None,
+            "--help" | "-h" => {
+                eprintln!("flags: --traces N  --traces2 N  --dpa-traces N  --seed N  --paper-scale  --exact-full");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag `{other}` (try --help)"),
+        }
+    }
+    budget
+}
+
+/// Prints an outcome in the standard format used by EXPERIMENTS.md and
+/// exits non-zero on a mismatch so the harness can gate on it.
+pub fn finish(outcome: &ExperimentOutcome) -> ! {
+    println!("{outcome}");
+    println!();
+    println!("--- full evaluator output ---");
+    println!("{}", outcome.details);
+    if outcome.matches_paper {
+        std::process::exit(0);
+    }
+    eprintln!("MISMATCH with the paper's claim — see the report above");
+    std::process::exit(1);
+}

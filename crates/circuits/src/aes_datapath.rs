@@ -1,0 +1,558 @@
+//! A complete round-based masked AES-128 encryption datapath.
+//!
+//! PROLEAD's selling point — reproduced by `mmaes-leakage` — is that it
+//! analyses *complete masked cipher implementations*, not only gadgets.
+//! This module provides that implementation: a first-order masked
+//! AES-128 encryption core as one flat netlist.
+//!
+//! Architecture (one round per [`ROUND_CYCLES`] clock cycles):
+//!
+//! * the state lives in 2 × 128 state registers (two Boolean shares);
+//! * SubBytes instantiates **sixteen** masked S-box pipelines (Fig. 2 of
+//!   the paper, 5-cycle latency) fed continuously from the state;
+//! * ShiftRows is wiring, MixColumns a share-wise XOR network, and
+//!   AddRoundKey XORs externally supplied round-key shares (the key
+//!   schedule is a separate unit, as in most published cores);
+//! * a small internal controller (mod-5 phase counter + round counter)
+//!   captures the round result every fifth cycle and raises `done`
+//!   after round 10; the last round bypasses MixColumns through a mux
+//!   layer.
+//!
+//! The testbench protocol is documented on [`MaskedAesCircuit`]; the
+//! FIPS-197 vectors are verified in tests by driving the netlist cycle
+//! by cycle.
+
+use mmaes_gf256::matrix::BitMatrix8;
+use mmaes_gf256::Gf256;
+use mmaes_masking::KroneckerRandomness;
+use mmaes_netlist::{BuildError, Netlist, NetlistBuilder, SecretId, SignalRole, WireId};
+
+use crate::converters::{b2m, m2b};
+use crate::inverter::{inverter, InverterKind};
+use crate::kronecker::{generate_kronecker, KRONECKER_LATENCY};
+use crate::linear::{apply_affine, apply_matrix, xor_bus};
+
+/// Clock cycles per AES round: the masked S-box pipeline latency (5)
+/// plus the capture cycle in which its output is consumed.
+pub const ROUND_CYCLES: usize = KRONECKER_LATENCY + 2 + 1;
+
+/// Number of AES-128 rounds.
+pub const ROUNDS: usize = 10;
+
+/// The built masked AES core and its interface.
+///
+/// # Testbench protocol
+///
+/// 1. Pulse `load` high for one cycle while presenting the plaintext
+///    shares on `pt_shares` and round key 0's shares on `rk_shares`
+///    (the initial AddRoundKey happens on load).
+/// 2. Hold `load` low. Every cycle, supply fresh randomness on all mask
+///    inputs. During the **capture cycle** of round `r` (cycles
+///    `load + r·5`, i.e. when the phase counter wraps), present round
+///    key `r`'s shares on `rk_shares`.
+/// 3. After `10 · ROUND_CYCLES` cycles, `done` goes high and
+///    `ct_shares` holds the ciphertext sharing.
+#[derive(Debug, Clone)]
+pub struct MaskedAesCircuit {
+    /// The netlist.
+    pub netlist: Netlist,
+    /// `load` control input.
+    pub load: WireId,
+    /// Plaintext shares: `pt_shares[share][byte][bit]`.
+    pub pt_shares: Vec<Vec<Vec<WireId>>>,
+    /// Round-key shares: `rk_shares[share][byte][bit]`.
+    pub rk_shares: Vec<Vec<Vec<WireId>>>,
+    /// Per-S-box B2M masks `R` (must be non-zero): `r_buses[sbox]`.
+    pub r_buses: Vec<Vec<WireId>>,
+    /// Per-S-box M2B masks `R'`: `r_prime_buses[sbox]`.
+    pub r_prime_buses: Vec<Vec<WireId>>,
+    /// Per-S-box Kronecker fresh pools: `fresh[sbox]`.
+    pub fresh: Vec<Vec<WireId>>,
+    /// Ciphertext shares: `ct_shares[share][byte][bit]`.
+    pub ct_shares: Vec<Vec<Vec<WireId>>>,
+    /// `done` output (high once round 10 has been captured).
+    pub done: WireId,
+}
+
+/// Builds the masked AES-128 encryption core.
+///
+/// `schedule` configures the sixteen Kronecker trees (must be first
+/// order).
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] (cannot occur for this generator).
+///
+/// # Panics
+///
+/// Panics if `schedule` is not first-order.
+pub fn build_masked_aes(
+    schedule: &KroneckerRandomness,
+    inverter_kind: InverterKind,
+) -> Result<MaskedAesCircuit, BuildError> {
+    assert_eq!(schedule.order(), 1, "the datapath is first-order");
+    let mut builder = NetlistBuilder::new(format!("masked_aes128_{}", schedule.name()));
+
+    let load = builder.input("load", SignalRole::Control);
+
+    // Plaintext: 16 secrets (one per byte), 2 shares each.
+    let pt_shares: Vec<Vec<Vec<WireId>>> = (0..2)
+        .map(|share| {
+            (0..16)
+                .map(|byte| {
+                    builder.input_bus(format!("pt{share}_{byte}"), 8, |bit| SignalRole::Share {
+                        secret: SecretId(byte as u16),
+                        share: share as u8,
+                        bit: bit as u8,
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    // Round keys: 16 more secrets (byte-wise), 2 shares each.
+    let rk_shares: Vec<Vec<Vec<WireId>>> = (0..2)
+        .map(|share| {
+            (0..16)
+                .map(|byte| {
+                    builder.input_bus(format!("rk{share}_{byte}"), 8, |bit| SignalRole::Share {
+                        secret: SecretId(16 + byte as u16),
+                        share: share as u8,
+                        bit: bit as u8,
+                    })
+                })
+                .collect()
+        })
+        .collect();
+
+    // ------------------------------------------------------------------
+    // Controller: phase counter (mod ROUND_CYCLES) and round counter.
+    // ------------------------------------------------------------------
+    let (phase_bits, phase_handles): (Vec<WireId>, Vec<_>) =
+        (0..3).map(|_| builder.register_feedback(false)).unzip();
+    let (round_bits, round_handles): (Vec<WireId>, Vec<_>) =
+        (0..4).map(|_| builder.register_feedback(false)).unzip();
+
+    builder.push_scope("control");
+    let phase_is = |builder: &mut NetlistBuilder, bits: &[WireId], value: usize| -> WireId {
+        let terms: Vec<WireId> = bits
+            .iter()
+            .enumerate()
+            .map(|(bit, &wire)| {
+                if (value >> bit) & 1 == 1 {
+                    wire
+                } else {
+                    builder.not(wire)
+                }
+            })
+            .collect();
+        builder.and_many(&terms)
+    };
+    let capture = phase_is(&mut builder, &phase_bits, ROUND_CYCLES - 1);
+    builder.name_wire(capture, "capture");
+    // phase' = load ? 0 : (capture ? 0 : phase + 1)
+    let increment = increment_counter(&mut builder, &phase_bits);
+    let reset_phase = builder.or2(load, capture);
+    for (bit, handle) in phase_handles.into_iter().enumerate() {
+        let zero = builder.const0();
+        let next = builder.mux(reset_phase, increment[bit], zero);
+        builder.set_register_d(handle, next);
+    }
+    // round' = load ? 0 : (capture && round < 10 ? round + 1 : round)
+    let round_increment = increment_counter(&mut builder, &round_bits);
+    let round_is_ten = phase_is(&mut builder, &round_bits, ROUNDS);
+    let not_ten = builder.not(round_is_ten);
+    let advance = builder.and2(capture, not_ten);
+    for (bit, handle) in round_handles.into_iter().enumerate() {
+        let held = builder.mux(advance, round_bits[bit], round_increment[bit]);
+        let zero = builder.const0();
+        let next = builder.mux(load, held, zero);
+        builder.set_register_d(handle, next);
+    }
+    let done = round_is_ten;
+    builder.name_wire(done, "done");
+    // Last-round flag: round counter == 9 during the capture.
+    let round_is_nine = phase_is(&mut builder, &round_bits, ROUNDS - 1);
+    builder.pop_scope();
+
+    // ------------------------------------------------------------------
+    // State registers (2 shares × 16 bytes × 8 bits) with load/capture.
+    // ------------------------------------------------------------------
+    let mut state: Vec<Vec<Vec<WireId>>> = Vec::with_capacity(2);
+    let mut state_handles = Vec::with_capacity(2);
+    for share in 0..2 {
+        let mut share_bytes = Vec::with_capacity(16);
+        let mut share_handles = Vec::with_capacity(16);
+        for byte in 0..16 {
+            let (bits, handles): (Vec<WireId>, Vec<_>) =
+                (0..8).map(|_| builder.register_feedback(false)).unzip();
+            for (bit, &wire) in bits.iter().enumerate() {
+                builder.name_wire(wire, format!("state{share}_{byte}[{bit}]"));
+            }
+            share_bytes.push(bits);
+            share_handles.push(handles);
+        }
+        state.push(share_bytes);
+        state_handles.push(share_handles);
+    }
+
+    // ------------------------------------------------------------------
+    // SubBytes: sixteen masked S-box pipelines fed from the state.
+    // ------------------------------------------------------------------
+    let mut r_buses = Vec::with_capacity(16);
+    let mut r_prime_buses = Vec::with_capacity(16);
+    let mut fresh_pools = Vec::with_capacity(16);
+    let mut sub_bytes: Vec<Vec<Vec<WireId>>> = vec![Vec::new(), Vec::new()];
+    for byte in 0..16 {
+        let r_bus = builder.input_bus(format!("r_{byte}"), 8, |_| SignalRole::Mask);
+        let r_prime_bus = builder.input_bus(format!("rp_{byte}"), 8, |_| SignalRole::Mask);
+        let pool: Vec<WireId> = (0..schedule.fresh_count())
+            .map(|index| builder.input(format!("f{byte}_{index}"), SignalRole::Mask))
+            .collect();
+
+        builder.push_scope(format!("sbox_{byte}"));
+        let input_shares = vec![state[0][byte].clone(), state[1][byte].clone()];
+        let z = generate_kronecker(&mut builder, &input_shares, &pool, schedule);
+        let delayed0 = builder.delay_bus(&state[0][byte], KRONECKER_LATENCY);
+        let delayed1 = builder.delay_bus(&state[1][byte], KRONECKER_LATENCY);
+        let mut mapped0 = delayed0;
+        mapped0[0] = builder.xor2(mapped0[0], z[0]);
+        let mut mapped1 = delayed1;
+        mapped1[0] = builder.xor2(mapped1[0], z[1]);
+        let converted = b2m(&mut builder, &mapped0, &mapped1, &r_bus);
+        let q1 = builder.scoped("local_inv", |builder| {
+            inverter(builder, inverter_kind, &converted.p1)
+        });
+        let (inv0, inv1) = m2b(&mut builder, &converted.p0, &q1, &r_prime_bus);
+        let z0_delayed = builder.delay_bus(&[z[0]], 2)[0];
+        let z1_delayed = builder.delay_bus(&[z[1]], 2)[0];
+        let mut unmapped0 = inv0;
+        unmapped0[0] = builder.xor2(unmapped0[0], z0_delayed);
+        let mut unmapped1 = inv1;
+        unmapped1[0] = builder.xor2(unmapped1[0], z1_delayed);
+        let out0 = builder.scoped("affine0", |builder| {
+            apply_affine(
+                builder,
+                &BitMatrix8::AES_AFFINE,
+                mmaes_gf256::sbox::AFFINE_CONSTANT,
+                &unmapped0,
+            )
+        });
+        let out1 = builder.scoped("affine1", |builder| {
+            apply_affine(builder, &BitMatrix8::AES_AFFINE, 0, &unmapped1)
+        });
+        builder.pop_scope();
+
+        sub_bytes[0].push(out0);
+        sub_bytes[1].push(out1);
+        r_buses.push(r_bus);
+        r_prime_buses.push(r_prime_bus);
+        fresh_pools.push(pool);
+    }
+
+    // ------------------------------------------------------------------
+    // Linear layers (share-wise): ShiftRows, MixColumns (+ bypass mux
+    // for the last round), AddRoundKey; then the state update muxes.
+    // ------------------------------------------------------------------
+    let mul2_matrix = BitMatrix8::mul_by_constant(Gf256::new(2));
+    let mul3_matrix = BitMatrix8::mul_by_constant(Gf256::new(3));
+    for share in 0..2 {
+        builder.push_scope(format!("linear{share}"));
+        // ShiftRows: byte (row, col) ← (row, col + row).
+        let mut shifted: Vec<Vec<WireId>> = vec![Vec::new(); 16];
+        for row in 0..4 {
+            for column in 0..4 {
+                shifted[row + 4 * column] =
+                    sub_bytes[share][row + 4 * ((column + row) % 4)].clone();
+            }
+        }
+        // MixColumns.
+        let mut mixed: Vec<Vec<WireId>> = Vec::with_capacity(16);
+        for column in 0..4 {
+            let bytes: Vec<&Vec<WireId>> = (0..4).map(|row| &shifted[4 * column + row]).collect();
+            for row in 0..4 {
+                let a = bytes[row];
+                let b = bytes[(row + 1) % 4];
+                let c = bytes[(row + 2) % 4];
+                let d = bytes[(row + 3) % 4];
+                let two_a = apply_matrix(&mut builder, &mul2_matrix, a);
+                let three_b = apply_matrix(&mut builder, &mul3_matrix, b);
+                let partial = xor_bus(&mut builder, &two_a, &three_b);
+                let partial = xor_bus(&mut builder, &partial, c);
+                mixed.push(xor_bus(&mut builder, &partial, d));
+            }
+        }
+        // Last round bypasses MixColumns.
+        let mut round_output: Vec<Vec<WireId>> = Vec::with_capacity(16);
+        for byte in 0..16 {
+            let mut bits = Vec::with_capacity(8);
+            for bit in 0..8 {
+                bits.push(builder.mux(round_is_nine, mixed[byte][bit], shifted[byte][bit]));
+            }
+            round_output.push(bits);
+        }
+        // AddRoundKey.
+        let keyed: Vec<Vec<WireId>> = (0..16)
+            .map(|byte| xor_bus(&mut builder, &round_output[byte], &rk_shares[share][byte]))
+            .collect();
+        // Load path: plaintext ⊕ round key 0.
+        let loaded: Vec<Vec<WireId>> = (0..16)
+            .map(|byte| {
+                xor_bus(
+                    &mut builder,
+                    &pt_shares[share][byte],
+                    &rk_shares[share][byte],
+                )
+            })
+            .collect();
+        builder.pop_scope();
+
+        // State update: load > capture > hold.
+        for byte in 0..16 {
+            for bit in 0..8 {
+                let held_or_captured =
+                    builder.mux(capture, state[share][byte][bit], keyed[byte][bit]);
+                let next = builder.mux(load, held_or_captured, loaded[byte][bit]);
+                builder.set_register_d(state_handles[share][byte][bit], next);
+            }
+        }
+    }
+
+    let ct_shares: Vec<Vec<Vec<WireId>>> = state.clone();
+    for share in 0..2 {
+        for byte in 0..16 {
+            builder.output_bus(format!("ct{share}_{byte}"), &state[share][byte]);
+        }
+    }
+    builder.output("done", done);
+
+    let netlist = builder.build()?;
+    Ok(MaskedAesCircuit {
+        netlist,
+        load,
+        pt_shares,
+        rk_shares,
+        r_buses,
+        r_prime_buses,
+        fresh: fresh_pools,
+        ct_shares,
+        done,
+    })
+}
+
+/// Ripple-carry incrementer over a little-endian counter bus.
+fn increment_counter(builder: &mut NetlistBuilder, bits: &[WireId]) -> Vec<WireId> {
+    let mut outputs = Vec::with_capacity(bits.len());
+    let mut carry = builder.const1();
+    for &bit in bits {
+        outputs.push(builder.xor2(bit, carry));
+        carry = builder.and2(bit, carry);
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_sim::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drives the netlist through a full encryption, returning the
+    /// reconstructed ciphertext.
+    fn encrypt(
+        circuit: &MaskedAesCircuit,
+        key: &[u8; 16],
+        plaintext: &[u8; 16],
+        rng: &mut StdRng,
+    ) -> [u8; 16] {
+        // Reference key schedule (the core takes round keys as inputs).
+        let round_keys = expand_key(key);
+        let mut sim = Simulator::new(&circuit.netlist);
+
+        let drive_round_key = |sim: &mut Simulator, round: usize, rng: &mut StdRng| {
+            for byte in 0..16 {
+                let mask: u8 = rng.gen();
+                sim.set_bus_lane(
+                    &circuit.rk_shares[0][byte],
+                    0,
+                    (round_keys[round][byte] ^ mask) as u64,
+                );
+                sim.set_bus_lane(&circuit.rk_shares[1][byte], 0, mask as u64);
+            }
+        };
+        let drive_masks = |sim: &mut Simulator, rng: &mut StdRng| {
+            for byte in 0..16 {
+                let r: u8 = rng.gen_range(1..=255);
+                sim.set_bus_lane(&circuit.r_buses[byte], 0, r as u64);
+                sim.set_bus_lane(&circuit.r_prime_buses[byte], 0, rng.gen::<u8>() as u64);
+                for &wire in &circuit.fresh[byte] {
+                    sim.set_input_bit(wire, 0, rng.gen());
+                }
+            }
+        };
+
+        // Load cycle: plaintext + round key 0.
+        sim.set_input_bit(circuit.load, 0, true);
+        for byte in 0..16 {
+            let mask: u8 = rng.gen();
+            sim.set_bus_lane(
+                &circuit.pt_shares[0][byte],
+                0,
+                (plaintext[byte] ^ mask) as u64,
+            );
+            sim.set_bus_lane(&circuit.pt_shares[1][byte], 0, mask as u64);
+        }
+        drive_round_key(&mut sim, 0, rng);
+        drive_masks(&mut sim, rng);
+        sim.step();
+        sim.set_input_bit(circuit.load, 0, false);
+
+        // Rounds: ROUND_CYCLES cycles each; the round key for round r is
+        // consumed during its capture (last) cycle.
+        for round in 1..=ROUNDS {
+            for phase in 0..ROUND_CYCLES {
+                drive_masks(&mut sim, rng);
+                if phase == ROUND_CYCLES - 1 {
+                    drive_round_key(&mut sim, round, rng);
+                }
+                sim.step();
+            }
+        }
+        sim.eval();
+        assert!(
+            sim.value_bit(circuit.done, 0),
+            "done must be high after 10 rounds"
+        );
+
+        let mut ciphertext = [0u8; 16];
+        for (byte, slot) in ciphertext.iter_mut().enumerate() {
+            let s0 = sim.bus_lane(&circuit.ct_shares[0][byte], 0) as u8;
+            let s1 = sim.bus_lane(&circuit.ct_shares[1][byte], 0) as u8;
+            *slot = s0 ^ s1;
+        }
+        ciphertext
+    }
+
+    /// Minimal key expansion for the testbench (verified against
+    /// `mmaes-aes` in the workspace integration tests).
+    fn expand_key(key: &[u8; 16]) -> [[u8; 16]; 11] {
+        use mmaes_gf256::tables::SBOX;
+        let mut words = [[0u8; 4]; 44];
+        for (index, word) in words.iter_mut().take(4).enumerate() {
+            word.copy_from_slice(&key[4 * index..4 * index + 4]);
+        }
+        let mut rcon: u8 = 1;
+        for index in 4..44 {
+            let mut temp = words[index - 1];
+            if index % 4 == 0 {
+                temp.rotate_left(1);
+                for byte in &mut temp {
+                    *byte = SBOX[*byte as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = Gf256::new(rcon).xtime().to_byte();
+            }
+            for position in 0..4 {
+                words[index][position] = words[index - 4][position] ^ temp[position];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (round, round_key) in round_keys.iter_mut().enumerate() {
+            for word in 0..4 {
+                round_key[4 * word..4 * word + 4].copy_from_slice(&words[4 * round + word]);
+            }
+        }
+        round_keys
+    }
+
+    #[test]
+    fn fips197_appendix_b_through_the_gate_level_core() {
+        let circuit = build_masked_aes(&KroneckerRandomness::proposed_eq9(), InverterKind::Tower)
+            .expect("valid netlist");
+        let mut rng = StdRng::seed_from_u64(0xda7a);
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plaintext = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        assert_eq!(encrypt(&circuit, &key, &plaintext, &mut rng), expected);
+    }
+
+    #[test]
+    fn random_blocks_match_the_reference_cipher() {
+        let circuit = build_masked_aes(&KroneckerRandomness::full(), InverterKind::Tower)
+            .expect("valid netlist");
+        let mut rng = StdRng::seed_from_u64(0xda7b);
+        for _ in 0..3 {
+            let key: [u8; 16] = rng.gen();
+            let plaintext: [u8; 16] = rng.gen();
+            let hardware = encrypt(&circuit, &key, &plaintext, &mut rng);
+            // Reference via the expanded-key schedule used by the bench.
+            let round_keys = expand_key(&key);
+            let software = software_encrypt(&round_keys, &plaintext);
+            assert_eq!(hardware, software);
+        }
+    }
+
+    /// Straightforward software AES using the same key schedule.
+    fn software_encrypt(round_keys: &[[u8; 16]; 11], plaintext: &[u8; 16]) -> [u8; 16] {
+        use mmaes_gf256::tables::SBOX;
+        let mut state = *plaintext;
+        for (byte, key) in state.iter_mut().zip(&round_keys[0]) {
+            *byte ^= key;
+        }
+        for round in 1..=10 {
+            for byte in state.iter_mut() {
+                *byte = SBOX[*byte as usize];
+            }
+            // ShiftRows.
+            let copy = state;
+            for row in 0..4 {
+                for column in 0..4 {
+                    state[row + 4 * column] = copy[row + 4 * ((column + row) % 4)];
+                }
+            }
+            if round != 10 {
+                // MixColumns.
+                for column in 0..4 {
+                    let col: Vec<Gf256> = (0..4)
+                        .map(|row| Gf256::new(state[4 * column + row]))
+                        .collect();
+                    let two = Gf256::new(2);
+                    let three = Gf256::new(3);
+                    state[4 * column] = (two * col[0] + three * col[1] + col[2] + col[3]).to_byte();
+                    state[4 * column + 1] =
+                        (col[0] + two * col[1] + three * col[2] + col[3]).to_byte();
+                    state[4 * column + 2] =
+                        (col[0] + col[1] + two * col[2] + three * col[3]).to_byte();
+                    state[4 * column + 3] =
+                        (three * col[0] + col[1] + col[2] + two * col[3]).to_byte();
+                }
+            }
+            for (byte, key) in state.iter_mut().zip(&round_keys[round]) {
+                *byte ^= key;
+            }
+        }
+        state
+    }
+
+    #[test]
+    fn core_statistics_are_plausible() {
+        let circuit = build_masked_aes(&KroneckerRandomness::proposed_eq9(), InverterKind::Tower)
+            .expect("valid netlist");
+        let stats = mmaes_netlist::NetlistStats::of(&circuit.netlist);
+        // 16 S-boxes plus state and control: a real cipher-sized netlist.
+        assert!(stats.cell_count > 5_000, "{stats}");
+        // 256 state bits + 16 S-box pipelines' internals + 7 control bits.
+        assert!(stats.register_count > 256, "{stats}");
+        // Per-cycle randomness: 16 × (8 + 8 + 4 Kronecker bits).
+        assert_eq!(stats.mask_bits, 16 * (8 + 8 + 4));
+    }
+}

@@ -1,0 +1,186 @@
+//! Masking-conversion stages of the S-box pipeline (Fig. 2).
+//!
+//! * **B2M** — Boolean → multiplicative: `P⁰ = [R]`,
+//!   `P¹ = [B⁰ ⊗ R] ⊕ [B¹ ⊗ R]` (products registered, then XORed).
+//!   One cycle of latency.
+//! * **M2B** — multiplicative → Boolean: `B'⁰ = [R'] ⊗ [Q⁰]`,
+//!   `B'¹ = [R' ⊕ Q¹] ⊗ [Q⁰]` (the mask sum and the pass-through share
+//!   registered, the output products combinational). One cycle of latency.
+//!
+//! The square brackets mirror the paper's register notation; register
+//! placement is what the glitch-extended probing model analyses, so it is
+//! reproduced exactly.
+
+use mmaes_netlist::{NetlistBuilder, WireId};
+
+use crate::gfmul::gf256_multiplier;
+use crate::linear::xor_bus;
+
+/// Output buses of the B2M stage.
+#[derive(Debug, Clone)]
+pub struct B2mOutputs {
+    /// `P⁰ = R` (registered) — the multiplicative mask share.
+    pub p0: Vec<WireId>,
+    /// `P¹ = X ⊗ R` — the masked value share.
+    pub p1: Vec<WireId>,
+}
+
+/// Generates the Boolean→multiplicative conversion.
+///
+/// `b0`/`b1` are the Boolean shares, `r` the fresh mask bus (environment
+/// guarantees `R ∈ GF(2⁸)*`). Outputs are valid one cycle later.
+///
+/// # Panics
+///
+/// Panics unless all buses are 8 wires.
+pub fn b2m(builder: &mut NetlistBuilder, b0: &[WireId], b1: &[WireId], r: &[WireId]) -> B2mOutputs {
+    assert_eq!(b0.len(), 8, "b0 must be 8 wires");
+    assert_eq!(b1.len(), 8, "b1 must be 8 wires");
+    assert_eq!(r.len(), 8, "r must be 8 wires");
+    builder.scoped("b2m", |builder| {
+        let product0 = builder.scoped("mul_b0_r", |builder| gf256_multiplier(builder, b0, r));
+        let product1 = builder.scoped("mul_b1_r", |builder| gf256_multiplier(builder, b1, r));
+        let registered0 = builder.register_bus(&product0);
+        let registered1 = builder.register_bus(&product1);
+        let p1 = xor_bus(builder, &registered0, &registered1);
+        let p0 = builder.register_bus(r);
+        B2mOutputs { p0, p1 }
+    })
+}
+
+/// Generates the multiplicative→Boolean conversion.
+///
+/// `q0`/`q1` are the multiplicative shares of the value `q0 ⊗ q1`;
+/// `r_prime` is the fresh Boolean mask bus. Returns the Boolean shares
+/// `(B'⁰, B'¹)`, valid one cycle later.
+///
+/// # Panics
+///
+/// Panics unless all buses are 8 wires.
+pub fn m2b(
+    builder: &mut NetlistBuilder,
+    q0: &[WireId],
+    q1: &[WireId],
+    r_prime: &[WireId],
+) -> (Vec<WireId>, Vec<WireId>) {
+    assert_eq!(q0.len(), 8, "q0 must be 8 wires");
+    assert_eq!(q1.len(), 8, "q1 must be 8 wires");
+    assert_eq!(r_prime.len(), 8, "r_prime must be 8 wires");
+    builder.scoped("m2b", |builder| {
+        let mask_registered = builder.register_bus(r_prime);
+        let masked_q1 = xor_bus(builder, r_prime, q1);
+        let masked_q1_registered = builder.register_bus(&masked_q1);
+        let q0_registered = builder.register_bus(q0);
+        let b0 = builder.scoped("mul_rp_q0", |builder| {
+            gf256_multiplier(builder, &mask_registered, &q0_registered)
+        });
+        let b1 = builder.scoped("mul_rq_q0", |builder| {
+            gf256_multiplier(builder, &masked_q1_registered, &q0_registered)
+        });
+        (b0, b1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_gf256::Gf256;
+    use mmaes_masking::conversion;
+    use mmaes_netlist::{NetlistBuilder, SignalRole};
+    use mmaes_sim::ScalarSimulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn b2m_matches_value_level_reference() {
+        let mut builder = NetlistBuilder::new("b2m_test");
+        let b0 = builder.input_bus("b0", 8, |_| SignalRole::Control);
+        let b1 = builder.input_bus("b1", 8, |_| SignalRole::Control);
+        let r = builder.input_bus("r", 8, |_| SignalRole::Mask);
+        let outputs = b2m(&mut builder, &b0, &b1, &r);
+        builder.output_bus("p0", &outputs.p0);
+        builder.output_bus("p1", &outputs.p1);
+        let netlist = builder.build().expect("valid");
+        assert_eq!(netlist.register_count(), 24);
+
+        let mut sim = ScalarSimulator::new(&netlist);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..300 {
+            let vb0: u8 = rng.gen();
+            let vb1: u8 = rng.gen();
+            let vr: u8 = rng.gen_range(1..=255);
+            sim.reset();
+            sim.set_bus(&b0, vb0 as u64);
+            sim.set_bus(&b1, vb1 as u64);
+            sim.set_bus(&r, vr as u64);
+            sim.step();
+            sim.eval();
+            let reference = conversion::boolean_to_multiplicative(
+                Gf256::new(vb0),
+                Gf256::new(vb1),
+                Gf256::new(vr),
+            );
+            assert_eq!(sim.bus(&outputs.p0) as u8, reference.p0.to_byte());
+            assert_eq!(sim.bus(&outputs.p1) as u8, reference.p1.to_byte());
+        }
+    }
+
+    #[test]
+    fn m2b_matches_value_level_reference() {
+        let mut builder = NetlistBuilder::new("m2b_test");
+        let q0 = builder.input_bus("q0", 8, |_| SignalRole::Control);
+        let q1 = builder.input_bus("q1", 8, |_| SignalRole::Control);
+        let rp = builder.input_bus("rp", 8, |_| SignalRole::Mask);
+        let (b0, b1) = m2b(&mut builder, &q0, &q1, &rp);
+        builder.output_bus("b0", &b0);
+        builder.output_bus("b1", &b1);
+        let netlist = builder.build().expect("valid");
+        assert_eq!(netlist.register_count(), 24);
+
+        let mut sim = ScalarSimulator::new(&netlist);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..300 {
+            let vq0: u8 = rng.gen_range(1..=255);
+            let vq1: u8 = rng.gen();
+            let vrp: u8 = rng.gen();
+            sim.reset();
+            sim.set_bus(&q0, vq0 as u64);
+            sim.set_bus(&q1, vq1 as u64);
+            sim.set_bus(&rp, vrp as u64);
+            sim.step();
+            sim.eval();
+            let (ref0, ref1) = conversion::multiplicative_to_boolean(
+                Gf256::new(vq0),
+                Gf256::new(vq1),
+                Gf256::new(vrp),
+            );
+            assert_eq!(sim.bus(&b0) as u8, ref0.to_byte());
+            assert_eq!(sim.bus(&b1) as u8, ref1.to_byte());
+        }
+    }
+
+    #[test]
+    fn b2m_exposes_the_zero_value_problem_structurally() {
+        // With X = 0 (equal shares), P¹ is always zero: the netlist
+        // reproduces the flaw the Kronecker stage exists to fix.
+        let mut builder = NetlistBuilder::new("b2m_zero");
+        let b0 = builder.input_bus("b0", 8, |_| SignalRole::Control);
+        let b1 = builder.input_bus("b1", 8, |_| SignalRole::Control);
+        let r = builder.input_bus("r", 8, |_| SignalRole::Mask);
+        let outputs = b2m(&mut builder, &b0, &b1, &r);
+        builder.output_bus("p1", &outputs.p1);
+        let netlist = builder.build().expect("valid");
+        let mut sim = ScalarSimulator::new(&netlist);
+        for shared in [0x00u8, 0x3c, 0xff] {
+            for mask in [0x01u8, 0x80, 0xa7] {
+                sim.reset();
+                sim.set_bus(&b0, shared as u64);
+                sim.set_bus(&b1, shared as u64); // X = 0
+                sim.set_bus(&r, mask as u64);
+                sim.step();
+                sim.eval();
+                assert_eq!(sim.bus(&outputs.p1), 0);
+            }
+        }
+    }
+}

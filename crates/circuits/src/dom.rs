@@ -1,0 +1,186 @@
+//! The DOM-indep masked AND gadget as a netlist (Fig. 1c of the paper).
+//!
+//! For protection order `d` (with `d+1` shares), the gadget computes the
+//! shared AND of two shared bits. Per output share `i` it forms:
+//!
+//! * the *inner-domain* term `xᵢ·yᵢ`, **registered**, and
+//! * for every other domain `j`, the *cross-domain* term
+//!   `xᵢ·yⱼ ⊕ r_{ij}`, **registered** (the fresh mask is XORed in
+//!   *before* the register — the order matters for glitch security),
+//!
+//! then XORs the registered terms combinationally into the output share.
+//! Latency: one cycle. The registered terms are exactly the `a/b/c/d`
+//! nodes of Fig. 3, and the output XOR trees contain the `v` nodes the
+//! paper's PROLEAD report flags.
+
+use mmaes_masking::dom::{fresh_mask_count, mask_index};
+use mmaes_netlist::{NetlistBuilder, WireId};
+
+/// Generates a DOM-indep AND gadget inside the current builder scope.
+///
+/// `x_shares` and `y_shares` are the `d+1` input shares;
+/// `fresh_masks` supplies the `d(d+1)/2` mask wires in
+/// [`mask_index`] order. Returns the `d+1` output share wires (valid one
+/// cycle after the inputs).
+///
+/// # Panics
+///
+/// Panics if share counts differ, are < 2, or the mask count is wrong.
+pub fn dom_and(
+    builder: &mut NetlistBuilder,
+    x_shares: &[WireId],
+    y_shares: &[WireId],
+    fresh_masks: &[WireId],
+) -> Vec<WireId> {
+    assert_eq!(x_shares.len(), y_shares.len(), "share counts must match");
+    assert!(x_shares.len() >= 2, "need at least 2 shares");
+    let shares = x_shares.len();
+    let order = shares - 1;
+    assert_eq!(
+        fresh_masks.len(),
+        fresh_mask_count(order),
+        "wrong number of fresh masks for order {order}"
+    );
+
+    let mut outputs = Vec::with_capacity(shares);
+    for i in 0..shares {
+        let mut terms = Vec::with_capacity(shares);
+        // Inner-domain term [xᵢ yᵢ].
+        let inner_product = builder.and2(x_shares[i], y_shares[i]);
+        let inner_registered = builder.register(inner_product);
+        builder.name_wire(inner_registered, format!("inner{i}"));
+        terms.push(inner_registered);
+        // Cross-domain terms [xᵢ yⱼ ⊕ r_{ij}].
+        for j in 0..shares {
+            if j == i {
+                continue;
+            }
+            let cross_product = builder.and2(x_shares[i], y_shares[j]);
+            let mask = fresh_masks[mask_index(i.min(j), i.max(j), shares)];
+            let blinded = builder.xor2(cross_product, mask);
+            let cross_registered = builder.register(blinded);
+            builder.name_wire(cross_registered, format!("cross{i}_{j}"));
+            terms.push(cross_registered);
+        }
+        // Combinational compression of the registered terms. The partial
+        // XOR nodes here are the paper's `v` probe positions.
+        let output = builder.xor_many(&terms);
+        builder.name_wire(output, format!("z{i}"));
+        outputs.push(output);
+    }
+    outputs
+}
+
+/// Latency of the DOM-AND gadget in clock cycles.
+pub const DOM_AND_LATENCY: usize = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_masking::dom::dom_and_bits;
+    use mmaes_netlist::{NetlistBuilder, SignalRole};
+    use mmaes_sim::ScalarSimulator;
+
+    /// Builds a standalone DOM-AND test netlist at the given order.
+    fn build(
+        order: usize,
+    ) -> (
+        mmaes_netlist::Netlist,
+        Vec<WireId>,
+        Vec<WireId>,
+        Vec<WireId>,
+        Vec<WireId>,
+    ) {
+        let shares = order + 1;
+        let mut builder = NetlistBuilder::new(format!("dom_and_d{order}"));
+        let x: Vec<WireId> = (0..shares)
+            .map(|i| builder.input(format!("x{i}"), SignalRole::Control))
+            .collect();
+        let y: Vec<WireId> = (0..shares)
+            .map(|i| builder.input(format!("y{i}"), SignalRole::Control))
+            .collect();
+        let masks: Vec<WireId> = (0..fresh_mask_count(order))
+            .map(|i| builder.input(format!("r{i}"), SignalRole::Mask))
+            .collect();
+        let z = builder.scoped("dom", |builder| dom_and(builder, &x, &y, &masks));
+        builder.output_bus("z", &z);
+        let netlist = builder.build().expect("valid DOM-AND");
+        (netlist, x, y, masks, z)
+    }
+
+    fn check_exhaustive(order: usize) {
+        let shares = order + 1;
+        let masks = fresh_mask_count(order);
+        let (netlist, x_wires, y_wires, mask_wires, z_wires) = build(order);
+        let mut sim = ScalarSimulator::new(&netlist);
+        let total_bits = 2 * shares + masks;
+        for assignment in 0u32..(1 << total_bits) {
+            let bit = |k: usize| (assignment >> k) & 1 == 1;
+            let xs: Vec<bool> = (0..shares).map(bit).collect();
+            let ys: Vec<bool> = (0..shares).map(|k| bit(shares + k)).collect();
+            let rs: Vec<bool> = (0..masks).map(|k| bit(2 * shares + k)).collect();
+            for (wire, &value) in x_wires.iter().zip(&xs) {
+                sim.set(*wire, value);
+            }
+            for (wire, &value) in y_wires.iter().zip(&ys) {
+                sim.set(*wire, value);
+            }
+            for (wire, &value) in mask_wires.iter().zip(&rs) {
+                sim.set(*wire, value);
+            }
+            // One cycle of latency: hold inputs, clock once, then read.
+            sim.step();
+            sim.eval();
+            let hardware: Vec<bool> = z_wires.iter().map(|&wire| sim.get(wire)).collect();
+            let reference = dom_and_bits(&xs, &ys, &rs);
+            assert_eq!(hardware, reference, "assignment {assignment:b}");
+            sim.reset();
+        }
+    }
+
+    #[test]
+    fn first_order_matches_reference_exhaustively() {
+        check_exhaustive(1); // 2^5 = 32 assignments
+    }
+
+    #[test]
+    fn second_order_matches_reference_exhaustively() {
+        check_exhaustive(2); // 2^9 = 512 assignments
+    }
+
+    #[test]
+    fn third_order_matches_reference_exhaustively() {
+        check_exhaustive(3); // 2^14 = 16384 assignments
+    }
+
+    #[test]
+    fn register_count_matches_structure() {
+        // (d+1) inner + (d+1)d cross registers.
+        for order in 1..=3 {
+            let shares = order + 1;
+            let (netlist, ..) = build(order);
+            assert_eq!(netlist.register_count(), shares + shares * (shares - 1));
+        }
+    }
+
+    #[test]
+    fn masks_enter_before_the_register() {
+        // Every cross register's D input must be an XOR whose cone
+        // includes a mask input — i.e. the blinding happens before
+        // registering (glitch security requirement).
+        let (netlist, _, _, mask_wires, _) = build(1);
+        let cones = mmaes_netlist::StableCones::new(&netlist);
+        let mut blinded_registers = 0;
+        for (_, register) in netlist.registers() {
+            let cone = cones.signals_of(register.d);
+            let sees_mask = cone.iter().any(|signal| match signal {
+                mmaes_netlist::StableSignal::Input(wire) => mask_wires.contains(wire),
+                _ => false,
+            });
+            if sees_mask {
+                blinded_registers += 1;
+            }
+        }
+        assert_eq!(blinded_registers, 2); // the two cross registers
+    }
+}

@@ -1,0 +1,123 @@
+//! A combinational Mastrovito multiplier for GF(2⁸).
+//!
+//! Computes `z = a ⊗ b` with the AES polynomial as a pure AND/XOR
+//! network: 64 partial products ANDed, accumulated into a 15-term
+//! carry-less product, then the high positions are folded back through
+//! the reduction `x⁸ ≡ x⁴ + x³ + x + 1`.
+//!
+//! This is the multiplier instantiated (four times) by the masking
+//! conversions of the S-box pipeline, and by the x²⁵⁴ inverter.
+
+use mmaes_netlist::{NetlistBuilder, WireId};
+
+/// Generates a GF(2⁸) multiplier; returns the 8 output wires
+/// (little-endian). Purely combinational.
+///
+/// # Panics
+///
+/// Panics unless both buses are exactly 8 wires.
+pub fn gf256_multiplier(builder: &mut NetlistBuilder, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+    assert_eq!(a.len(), 8, "operand a must be 8 wires");
+    assert_eq!(b.len(), 8, "operand b must be 8 wires");
+
+    // Carry-less product: position k collects aᵢ·bⱼ with i + j = k.
+    let mut positions: Vec<Vec<WireId>> = vec![Vec::new(); 15];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let product = builder.and2(ai, bj);
+            positions[i + j].push(product);
+        }
+    }
+
+    // Fold positions 14 down to 8 through x^8 = x^4 + x^3 + x + 1:
+    // contributions at k reappear at k-8, k-7, k-5 and k-4.
+    for k in (8..15).rev() {
+        let taps = std::mem::take(&mut positions[k]);
+        if taps.is_empty() {
+            continue;
+        }
+        let folded = builder.xor_many(&taps);
+        for offset in [0usize, 1, 3, 4] {
+            positions[k - 8 + offset].push(folded);
+        }
+    }
+
+    positions
+        .into_iter()
+        .take(8)
+        .map(|taps| {
+            debug_assert!(!taps.is_empty(), "every output bit has contributions");
+            builder.xor_many(&taps)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_gf256::Gf256;
+    use mmaes_netlist::{NetlistBuilder, SignalRole};
+    use mmaes_sim::Simulator;
+
+    #[test]
+    fn multiplier_matches_field_multiplication_exhaustively() {
+        let mut builder = NetlistBuilder::new("gfmul");
+        let a = builder.input_bus("a", 8, |_| SignalRole::Control);
+        let b = builder.input_bus("b", 8, |_| SignalRole::Control);
+        let z = builder.scoped("mul", |builder| gf256_multiplier(builder, &a, &b));
+        builder.output_bus("z", &z);
+        let netlist = builder.build().expect("valid");
+
+        // 64 lanes at a time: sweep all 65536 (a, b) pairs.
+        let mut sim = Simulator::new(&netlist);
+        let mut pending: Vec<(u8, u8)> = Vec::with_capacity(64);
+        let flush = |sim: &mut Simulator, pending: &mut Vec<(u8, u8)>| {
+            if pending.is_empty() {
+                return;
+            }
+            let mut lanes_a = [0u64; 64];
+            let mut lanes_b = [0u64; 64];
+            for (lane, &(va, vb)) in pending.iter().enumerate() {
+                lanes_a[lane] = va as u64;
+                lanes_b[lane] = vb as u64;
+            }
+            sim.set_bus_per_lane(&a, &lanes_a);
+            sim.set_bus_per_lane(&b, &lanes_b);
+            sim.eval();
+            for (lane, &(va, vb)) in pending.iter().enumerate() {
+                let hardware = sim.bus_lane(&z, lane) as u8;
+                let reference = (Gf256::new(va) * Gf256::new(vb)).to_byte();
+                assert_eq!(hardware, reference, "{va:#x} * {vb:#x}");
+            }
+            pending.clear();
+        };
+        for va in 0..=255u8 {
+            for vb in 0..=255u8 {
+                pending.push((va, vb));
+                if pending.len() == 64 {
+                    flush(&mut sim, &mut pending);
+                }
+            }
+        }
+        flush(&mut sim, &mut pending);
+    }
+
+    #[test]
+    fn multiplier_is_combinational_and_compact() {
+        let mut builder = NetlistBuilder::new("gfmul_stats");
+        let a = builder.input_bus("a", 8, |_| SignalRole::Control);
+        let b = builder.input_bus("b", 8, |_| SignalRole::Control);
+        let z = gf256_multiplier(&mut builder, &a, &b);
+        builder.output_bus("z", &z);
+        let netlist = builder.build().expect("valid");
+        assert_eq!(netlist.register_count(), 0);
+        let stats = mmaes_netlist::NetlistStats::of(&netlist);
+        assert_eq!(stats.cells_by_kind["AND"], 64);
+        // A Mastrovito multiplier lands well under 100 XORs.
+        assert!(
+            stats.cells_by_kind["XOR"] < 100,
+            "{}",
+            stats.cells_by_kind["XOR"]
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! The masked Kronecker delta function (Fig. 1b / Fig. 3 of the paper).
+//!
+//! Computes a Boolean sharing of `δ(x) = 1 iff x = 0` for a Boolean-shared
+//! byte `x`: a three-level tree of seven DOM-AND gates `G1..G7` over the
+//! complemented input bits (Equation (4): `z = x̄₀ & x̄₁ & … & x̄₇`; the
+//! complement is applied to share 0 only, which complements the shared
+//! value).
+//!
+//! Fresh-mask handling reproduces the hardware faithfully:
+//! the per-cycle fresh pool (3–7 bits depending on the
+//! [`KroneckerRandomness`] schedule) is sampled when a data word enters
+//! the tree, combined per slot (e.g. Eq. 6's `r6 = r5 ⊕ r2`), and
+//! *delayed through registers* so each AND layer consumes the bits that
+//! belong to its data cohort — the `[…]` registers of the paper's
+//! equations. Latency: three cycles.
+
+use mmaes_masking::KroneckerRandomness;
+use mmaes_netlist::{BuildError, Netlist, NetlistBuilder, SecretId, SignalRole, WireId};
+
+use crate::dom::dom_and;
+
+/// Latency of the Kronecker delta tree in clock cycles (one per layer).
+pub const KRONECKER_LATENCY: usize = 3;
+
+/// Pipeline layer (0-based) in which gate `g ∈ 0..7` (G{g+1}) consumes
+/// its fresh masks: G1–G4 in layer 0, G5/G6 in layer 1, G7 in layer 2.
+pub fn gate_layer(gate: usize) -> usize {
+    match gate {
+        0..=3 => 0,
+        4 | 5 => 1,
+        6 => 2,
+        _ => panic!("the Kronecker tree has gates 0..7"),
+    }
+}
+
+/// Emits the Kronecker delta tree into an existing builder.
+///
+/// * `x_shares[share][bit]` — the Boolean shares of the input byte
+///   (`order + 1` shares of 8 bits each),
+/// * `fresh` — the per-cycle fresh-mask pool wires
+///   (`schedule.fresh_count()` of them, sampled at the cohort's entry
+///   cycle),
+/// * returns the `order + 1` output share wires of `δ(x)`, valid
+///   [`KRONECKER_LATENCY`] cycles after the inputs.
+///
+/// # Panics
+///
+/// Panics if the share structure does not match the schedule's order or
+/// `fresh` has the wrong length.
+pub fn generate_kronecker(
+    builder: &mut NetlistBuilder,
+    x_shares: &[Vec<WireId>],
+    fresh: &[WireId],
+    schedule: &KroneckerRandomness,
+) -> Vec<WireId> {
+    let share_count = schedule.order() + 1;
+    assert_eq!(x_shares.len(), share_count, "share count must be order + 1");
+    for share in x_shares {
+        assert_eq!(share.len(), 8, "each share must be one byte");
+    }
+    assert_eq!(
+        fresh.len(),
+        schedule.fresh_count(),
+        "fresh pool size mismatch"
+    );
+
+    // Per-gate mask wires. Timing model (see `MaskTap`): every gate
+    // consumes the randomness *port* at its own consumption cycle, so a
+    // tap (port, delay) is simply the port wire behind `delay` registers
+    // — no cohort alignment. Same-layer port sharing therefore reuses
+    // the same physical bit (the Eq. 6 flaw); cross-layer sharing draws
+    // different cycles' bits.
+    // Memoized generator for one delay group: XOR of port wires, then
+    // `delay` registers (the paper's `[r5 ⊕ r2]` — combine, then
+    // register). Identical groups across slots share hardware, so plain
+    // same-cycle reuse (Eq. 6's `r1 = r3`) is literally the same wire.
+    let mut group_cache: std::collections::HashMap<(Vec<u16>, u8), WireId> =
+        std::collections::HashMap::new();
+    let mut group_wire = |builder: &mut NetlistBuilder, ports: Vec<u16>, delay: u8| -> WireId {
+        if let Some(&wire) = group_cache.get(&(ports.clone(), delay)) {
+            return wire;
+        }
+        let port_wires: Vec<WireId> = ports.iter().map(|&port| fresh[port as usize]).collect();
+        let mut wire = if port_wires.len() == 1 {
+            port_wires[0]
+        } else {
+            builder.xor_many(&port_wires)
+        };
+        for step in 1..=delay {
+            wire = match group_cache.get(&(ports.clone(), step)) {
+                Some(&existing) => existing,
+                None => {
+                    let registered = builder.register(wire);
+                    group_cache.insert((ports.clone(), step), registered);
+                    registered
+                }
+            };
+        }
+        group_cache.insert((ports, delay), wire);
+        wire
+    };
+    let slots_per_gate = schedule.slots_per_gate();
+    let mut gate_masks: Vec<Vec<WireId>> = Vec::with_capacity(7);
+    for gate in 0..7 {
+        let mut masks = Vec::with_capacity(slots_per_gate);
+        for mask in 0..slots_per_gate {
+            let slot = schedule.slot(gate, mask);
+            let mut by_delay: std::collections::BTreeMap<u8, Vec<u16>> =
+                std::collections::BTreeMap::new();
+            for tap in slot.taps() {
+                by_delay.entry(tap.delay).or_default().push(tap.port);
+            }
+            let groups: Vec<WireId> = by_delay
+                .into_iter()
+                .map(|(delay, mut ports)| {
+                    ports.sort_unstable();
+                    group_wire(builder, ports, delay)
+                })
+                .collect();
+            let combined = if groups.len() == 1 {
+                groups[0]
+            } else {
+                builder.xor_many(&groups)
+            };
+            masks.push(combined);
+        }
+        gate_masks.push(masks);
+    }
+
+    generate_kronecker_with_masks(builder, x_shares, &gate_masks)
+}
+
+/// Emits the Kronecker AND-tree with explicitly supplied per-gate mask
+/// wires — the primitive behind [`generate_kronecker`], also used by
+/// compositions that generate the masks elsewhere (e.g. an embedded
+/// LFSR, see [`crate::kronecker_lfsr`]).
+///
+/// `gate_masks[gate]` supplies the mask wires for gate `G{gate+1}`.
+///
+/// # Panics
+///
+/// Panics on inconsistent share structure or mask counts.
+pub fn generate_kronecker_with_masks(
+    builder: &mut NetlistBuilder,
+    x_shares: &[Vec<WireId>],
+    gate_masks: &[Vec<WireId>],
+) -> Vec<WireId> {
+    assert!(x_shares.len() >= 2, "need at least 2 shares");
+    for share in x_shares {
+        assert_eq!(share.len(), 8, "each share must be one byte");
+    }
+    assert_eq!(gate_masks.len(), 7, "the tree has seven gates");
+
+    // Complement share 0 (complements the shared value; Equation (4)).
+    let complemented: Vec<Vec<WireId>> = x_shares
+        .iter()
+        .enumerate()
+        .map(|(share_index, bits)| {
+            if share_index == 0 {
+                bits.iter().map(|&bit| builder.not(bit)).collect()
+            } else {
+                bits.clone()
+            }
+        })
+        .collect();
+    let bit_shares =
+        |bit: usize| -> Vec<WireId> { complemented.iter().map(|share| share[bit]).collect() };
+
+    builder.push_scope("kronecker");
+    // Layer 1: G1..G4 pair up the eight complemented bit positions.
+    let mut layer1 = Vec::with_capacity(4);
+    for gate in 0..4 {
+        let left = bit_shares(2 * gate);
+        let right = bit_shares(2 * gate + 1);
+        let y = builder.scoped(format!("G{}", gate + 1), |builder| {
+            dom_and(builder, &left, &right, &gate_masks[gate])
+        });
+        layer1.push(y);
+    }
+    // Layer 2: G5 (y0·y1), G6 (y2·y3).
+    let w0 = builder.scoped("G5", |builder| {
+        dom_and(builder, &layer1[0], &layer1[1], &gate_masks[4])
+    });
+    let w1 = builder.scoped("G6", |builder| {
+        dom_and(builder, &layer1[2], &layer1[3], &gate_masks[5])
+    });
+    // Layer 3: G7 (w0·w1) — the gate whose internal `v` nodes the paper's
+    // PROLEAD report flags when randomness is recycled unsafely.
+    let z = builder.scoped("G7", |builder| dom_and(builder, &w0, &w1, &gate_masks[6]));
+    builder.pop_scope();
+    z
+}
+
+/// A standalone Kronecker delta netlist with metadata for the evaluators.
+#[derive(Debug, Clone)]
+pub struct KroneckerCircuit {
+    /// The built netlist.
+    pub netlist: Netlist,
+    /// Input share wires: `x_shares[share][bit]`.
+    pub x_shares: Vec<Vec<WireId>>,
+    /// The per-cycle fresh-mask pool inputs.
+    pub fresh: Vec<WireId>,
+    /// Output shares of `δ(x)` (valid after [`KRONECKER_LATENCY`] cycles).
+    pub z_shares: Vec<WireId>,
+    /// The schedule the circuit was built with.
+    pub schedule: KroneckerRandomness,
+}
+
+/// Builds a standalone Kronecker delta design for the given schedule.
+///
+/// Inputs carry [`SignalRole::Share`] (secret 0) / [`SignalRole::Mask`]
+/// roles so the leakage evaluators can drive them.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] (cannot occur for the generators in this
+/// crate; surfaced for API completeness).
+pub fn build_kronecker(schedule: &KroneckerRandomness) -> Result<KroneckerCircuit, BuildError> {
+    let share_count = schedule.order() + 1;
+    let mut builder = NetlistBuilder::new(format!("kronecker_{}", schedule.name()));
+    let x_shares: Vec<Vec<WireId>> = (0..share_count)
+        .map(|share| {
+            builder.input_bus(format!("x{share}"), 8, |bit| SignalRole::Share {
+                secret: SecretId(0),
+                share: share as u8,
+                bit: bit as u8,
+            })
+        })
+        .collect();
+    let fresh: Vec<WireId> = (0..schedule.fresh_count())
+        .map(|index| builder.input(format!("f{index}"), SignalRole::Mask))
+        .collect();
+    let z_shares = generate_kronecker(&mut builder, &x_shares, &fresh, schedule);
+    builder.output_bus("z", &z_shares);
+    let netlist = builder.build()?;
+    Ok(KroneckerCircuit {
+        netlist,
+        x_shares,
+        fresh,
+        z_shares,
+        schedule: schedule.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_sim::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drives the standalone circuit with constant inputs for the full
+    /// latency and returns the reconstructed δ output.
+    fn run_once(
+        circuit: &KroneckerCircuit,
+        sim: &mut Simulator,
+        x: u8,
+        share_randomness: &[u8],
+        fresh_bits: u32,
+    ) -> bool {
+        sim.reset();
+        // Sharing: shares 1..d random, share 0 = x ⊕ (others).
+        let share_count = circuit.x_shares.len();
+        let mut share0 = x;
+        for (share, &randomness) in (1..share_count).zip(share_randomness) {
+            sim.set_bus_lane(&circuit.x_shares[share], 0, randomness as u64);
+            share0 ^= randomness;
+        }
+        sim.set_bus_lane(&circuit.x_shares[0], 0, share0 as u64);
+        for (index, &wire) in circuit.fresh.iter().enumerate() {
+            sim.set_input_bit(wire, 0, (fresh_bits >> index) & 1 == 1);
+        }
+        for _ in 0..KRONECKER_LATENCY {
+            sim.step();
+        }
+        sim.eval();
+        circuit
+            .z_shares
+            .iter()
+            .fold(false, |acc, &wire| acc ^ sim.value_bit(wire, 0))
+    }
+
+    #[test]
+    fn delta_is_correct_for_all_inputs_full_schedule() {
+        let circuit = build_kronecker(&KroneckerRandomness::full()).expect("valid circuit");
+        let mut sim = Simulator::new(&circuit.netlist);
+        let mut rng = StdRng::seed_from_u64(1);
+        for x in 0..=255u8 {
+            let sharing = [rng.gen::<u8>()];
+            let fresh: u32 = rng.gen();
+            let delta = run_once(&circuit, &mut sim, x, &sharing, fresh);
+            assert_eq!(delta, x == 0, "x = {x:#x}");
+        }
+    }
+
+    #[test]
+    fn delta_is_correct_under_every_catalog_schedule() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for schedule in KroneckerRandomness::first_order_catalog() {
+            let circuit = build_kronecker(&schedule).expect("valid circuit");
+            let mut sim = Simulator::new(&circuit.netlist);
+            for _ in 0..64 {
+                let x: u8 = if rng.gen_bool(0.25) { 0 } else { rng.gen() };
+                let sharing = [rng.gen::<u8>()];
+                let fresh: u32 = rng.gen();
+                let delta = run_once(&circuit, &mut sim, x, &sharing, fresh);
+                assert_eq!(delta, x == 0, "schedule {} x={x:#x}", schedule.name());
+            }
+        }
+    }
+
+    #[test]
+    fn delta_is_correct_at_second_order() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for schedule in [
+            KroneckerRandomness::full_order2(),
+            KroneckerRandomness::de_meyer_13_reconstruction(),
+        ] {
+            let circuit = build_kronecker(&schedule).expect("valid circuit");
+            let mut sim = Simulator::new(&circuit.netlist);
+            for _ in 0..64 {
+                let x: u8 = if rng.gen_bool(0.25) { 0 } else { rng.gen() };
+                let sharing = [rng.gen::<u8>(), rng.gen::<u8>()];
+                let fresh: u32 = rng.gen();
+                let delta = run_once(&circuit, &mut sim, x, &sharing, fresh);
+                assert_eq!(delta, x == 0, "schedule {} x={x:#x}", schedule.name());
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_throughput_is_one_input_per_cycle() {
+        // Stream distinct inputs back-to-back; each result appears
+        // exactly KRONECKER_LATENCY cycles after its input.
+        let circuit = build_kronecker(&KroneckerRandomness::proposed_eq9()).expect("valid circuit");
+        let mut sim = Simulator::new(&circuit.netlist);
+        let mut rng = StdRng::seed_from_u64(4);
+        let inputs: Vec<u8> = vec![0x00, 0x01, 0x00, 0xff, 0x80, 0x00, 0x42, 0x07];
+        let mut outputs = Vec::new();
+        for cycle in 0..inputs.len() + KRONECKER_LATENCY {
+            let x = inputs.get(cycle).copied().unwrap_or(0x55);
+            let mask: u8 = rng.gen();
+            sim.set_bus_lane(&circuit.x_shares[1], 0, mask as u64);
+            sim.set_bus_lane(&circuit.x_shares[0], 0, (x ^ mask) as u64);
+            for &wire in &circuit.fresh {
+                sim.set_input_bit(wire, 0, rng.gen());
+            }
+            sim.eval();
+            if cycle >= KRONECKER_LATENCY {
+                let delta = circuit
+                    .z_shares
+                    .iter()
+                    .fold(false, |acc, &wire| acc ^ sim.value_bit(wire, 0));
+                outputs.push(delta);
+            }
+            sim.clock();
+        }
+        let expected: Vec<bool> = inputs.iter().map(|&x| x == 0).collect();
+        assert_eq!(outputs, expected);
+    }
+
+    #[test]
+    fn structure_matches_the_figure() {
+        let circuit = build_kronecker(&KroneckerRandomness::full()).expect("valid");
+        // 7 DOM-ANDs at order 1: each has 2 inner + 2 cross registers;
+        // the port-timing model adds no mask registers for plain slots.
+        assert_eq!(circuit.netlist.register_count(), 7 * 4);
+        let by_scope = mmaes_netlist::NetlistStats::cells_by_scope(&circuit.netlist);
+        for gate in 1..=7 {
+            assert!(
+                by_scope
+                    .keys()
+                    .any(|scope| scope.ends_with(&format!("G{gate}"))),
+                "missing scope G{gate}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_pool_sizes_drive_input_counts() {
+        for schedule in KroneckerRandomness::first_order_catalog() {
+            let circuit = build_kronecker(&schedule).expect("valid");
+            assert_eq!(circuit.netlist.mask_inputs().len(), schedule.fresh_count());
+            assert_eq!(circuit.fresh.len(), schedule.fresh_count());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The Kronecker delta with an *on-chip* randomness supply.
+//!
+//! The paper's evaluations (like PROLEAD's usual setup) assume an ideal
+//! per-cycle randomness port. On silicon that port is driven by a PRNG,
+//! and the probing adversary sees the PRNG's state registers inside the
+//! very same glitch-extended cones. This module composes the masked
+//! Kronecker delta with a Galois LFSR ([`crate::lfsr`]) so the tools can
+//! analyse the realistic arrangement:
+//!
+//! * the LFSR is seeded per trace (a `Mask`-role seed, captured during a
+//!   `load` pulse) and free-runs;
+//! * the Kronecker's fresh-mask slots tap LFSR state bits spaced
+//!   `tap_spacing` apart. Generous spacing makes the bits consumed
+//!   within the tree's 3-cycle window distinct state bits; spacing 1
+//!   re-creates cross-cycle correlation of the kind the
+//!   transition-extended model exists to catch (the shift register hands
+//!   the *same* physical bit to consecutive cycles' consumers).
+
+use mmaes_masking::KroneckerRandomness;
+use mmaes_netlist::{BuildError, Netlist, NetlistBuilder, SecretId, SignalRole, WireId};
+
+use crate::kronecker::generate_kronecker_with_masks;
+use crate::lfsr::{generate_lfsr, LfsrPorts};
+
+/// A Kronecker delta whose masks come from an embedded LFSR.
+#[derive(Debug, Clone)]
+pub struct KroneckerWithLfsr {
+    /// The netlist.
+    pub netlist: Netlist,
+    /// Input share wires: `x_shares[share][bit]`.
+    pub x_shares: Vec<Vec<WireId>>,
+    /// The LFSR interface (seed + load).
+    pub lfsr: LfsrPorts,
+    /// Output shares of `δ(x)`.
+    pub z_shares: Vec<WireId>,
+}
+
+/// Builds the composite design. `schedule` must be first-order; the
+/// seven mask slots tap LFSR bits `0, spacing, 2·spacing, …`.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] (cannot occur for these generators).
+///
+/// # Panics
+///
+/// Panics if the taps would exceed the LFSR width or the schedule is not
+/// first-order with plain (single-tap, undelayed) slots.
+pub fn build_kronecker_with_lfsr(
+    schedule: &KroneckerRandomness,
+    lfsr_width: usize,
+    tap_spacing: usize,
+) -> Result<KroneckerWithLfsr, BuildError> {
+    assert_eq!(schedule.order(), 1, "composite generator is first-order");
+    let mut builder = NetlistBuilder::new(format!(
+        "kronecker_lfsr{lfsr_width}_spacing{tap_spacing}_{}",
+        schedule.name()
+    ));
+    let x_shares: Vec<Vec<WireId>> = (0..2)
+        .map(|share| {
+            builder.input_bus(format!("x{share}"), 8, |bit| SignalRole::Share {
+                secret: SecretId(0),
+                share: share as u8,
+                bit: bit as u8,
+            })
+        })
+        .collect();
+    let lfsr = generate_lfsr(&mut builder, lfsr_width, "rng");
+
+    // Map each schedule slot to an LFSR state bit. Only plain slots are
+    // supported (the LFSR *is* the delay structure here).
+    let mut gate_masks: Vec<Vec<WireId>> = Vec::with_capacity(7);
+    let mut next_tap = 0usize;
+    for gate in 0..7 {
+        let mut masks = Vec::new();
+        for mask in 0..schedule.slots_per_gate() {
+            let slot = schedule.slot(gate, mask);
+            assert_eq!(slot.taps().len(), 1, "LFSR composition needs plain slots");
+            assert_eq!(
+                slot.taps()[0].delay,
+                0,
+                "LFSR composition needs undelayed slots"
+            );
+            let tap = next_tap;
+            next_tap += tap_spacing;
+            assert!(
+                tap < lfsr_width,
+                "tap {tap} exceeds LFSR width {lfsr_width}"
+            );
+            masks.push(lfsr.state[tap]);
+        }
+        gate_masks.push(masks);
+    }
+
+    let z_shares = generate_kronecker_with_masks(&mut builder, &x_shares, &gate_masks);
+    builder.output_bus("z", &z_shares);
+    let netlist = builder.build()?;
+    Ok(KroneckerWithLfsr {
+        netlist,
+        x_shares,
+        lfsr,
+        z_shares,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_sim::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn composite_still_computes_the_delta() {
+        let circuit =
+            build_kronecker_with_lfsr(&KroneckerRandomness::full(), 64, 8).expect("valid netlist");
+        let mut sim = Simulator::new(&circuit.netlist);
+        let mut rng = StdRng::seed_from_u64(77);
+        for x in (0..=255u8).step_by(7) {
+            sim.reset();
+            // Seed the LFSR.
+            sim.set_input_bit(circuit.lfsr.load, 0, true);
+            sim.set_bus_lane(&circuit.lfsr.seed, 0, rng.gen::<u64>() | 1);
+            sim.step();
+            sim.set_input_bit(circuit.lfsr.load, 0, false);
+            // Feed the sharing and let the pipeline flush.
+            let mask: u8 = rng.gen();
+            sim.set_bus_lane(&circuit.x_shares[0], 0, (x ^ mask) as u64);
+            sim.set_bus_lane(&circuit.x_shares[1], 0, mask as u64);
+            for _ in 0..3 {
+                sim.step();
+            }
+            sim.eval();
+            let delta = circuit
+                .z_shares
+                .iter()
+                .fold(false, |acc, &wire| acc ^ sim.value_bit(wire, 0));
+            assert_eq!(delta, x == 0, "x = {x:#x}");
+        }
+    }
+
+    #[test]
+    fn taps_must_fit_the_width() {
+        let result = std::panic::catch_unwind(|| {
+            build_kronecker_with_lfsr(&KroneckerRandomness::full(), 16, 8)
+        });
+        assert!(result.is_err(), "7 taps × spacing 8 cannot fit 16 bits");
+    }
+}

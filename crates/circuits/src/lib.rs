@@ -1,0 +1,42 @@
+//! Netlist generators for the masked AES S-box and all of its parts.
+//!
+//! This crate is the workspace's "HDL": every module the paper's target
+//! design consists of is generated here as a gate-level
+//! [`mmaes_netlist::Netlist`] with the *same register placement* as the
+//! hardware — register placement is what the glitch-extended probing
+//! model inspects, so it is reproduced faithfully:
+//!
+//! * [`dom`] — the DOM-indep AND/multiplier gadget (Fig. 1c), any order.
+//! * [`kronecker`] — the masked Kronecker delta AND-tree (Fig. 1b/3),
+//!   parameterized by a fresh-mask schedule
+//!   ([`mmaes_masking::KroneckerRandomness`]).
+//! * [`gfmul`] — a combinational Mastrovito GF(2⁸) multiplier.
+//! * [`inverter`] — combinational GF(2⁸) inverters (x²⁵⁴ addition chain
+//!   and a compact tower-field design).
+//! * [`linear`] — XOR networks for GF(2)-linear maps (affine layer,
+//!   squarings, basis changes).
+//! * [`converters`] — the B2M and M2B masking-conversion stages.
+//! * [`sbox`] — the full 5-cycle pipelined masked S-box (Fig. 2) and the
+//!   unprotected reference S-box circuit.
+//!
+//! All generators are checked against the value-level references in
+//! `mmaes-gf256`/`mmaes-masking` by exhaustive or randomized simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes_datapath;
+pub mod converters;
+pub mod dom;
+pub mod gfmul;
+pub mod inverter;
+pub mod kronecker;
+pub mod kronecker_lfsr;
+pub mod lfsr;
+pub mod linear;
+pub mod sbox;
+
+pub use aes_datapath::{build_masked_aes, MaskedAesCircuit};
+pub use inverter::InverterKind;
+pub use kronecker::{build_kronecker, KroneckerCircuit};
+pub use sbox::{build_masked_sbox, MaskedSboxCircuit, SboxOptions};

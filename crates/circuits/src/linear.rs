@@ -1,0 +1,161 @@
+//! XOR-network generators for GF(2)-linear byte maps.
+//!
+//! Squarings, the AES affine layer and tower-field basis changes are all
+//! GF(2)-linear, so in hardware they are pure XOR networks; Boolean
+//! masking passes through them share-wise.
+
+use mmaes_gf256::matrix::BitMatrix8;
+use mmaes_netlist::{NetlistBuilder, WireId};
+
+/// Generates the XOR network of a [`BitMatrix8`] applied to an 8-bit bus
+/// (little-endian). Returns the 8 output wires.
+///
+/// Rows with no set bits produce constant-0 wires.
+///
+/// # Panics
+///
+/// Panics if `input` is not exactly 8 wires.
+pub fn apply_matrix(
+    builder: &mut NetlistBuilder,
+    matrix: &BitMatrix8,
+    input: &[WireId],
+) -> Vec<WireId> {
+    assert_eq!(input.len(), 8, "byte bus must have 8 wires");
+    (0..8)
+        .map(|row| {
+            let taps: Vec<WireId> = (0..8)
+                .filter(|&column| matrix.entry(row, column))
+                .map(|column| input[column])
+                .collect();
+            if taps.is_empty() {
+                builder.const0()
+            } else if taps.len() == 1 {
+                taps[0]
+            } else {
+                builder.xor_many(&taps)
+            }
+        })
+        .collect()
+}
+
+/// Generates `A·x ⊕ constant` — the matrix followed by inverters on the
+/// bits where `constant` is set (an XOR with a constant is an inverter).
+///
+/// # Panics
+///
+/// Panics if `input` is not exactly 8 wires.
+pub fn apply_affine(
+    builder: &mut NetlistBuilder,
+    matrix: &BitMatrix8,
+    constant: u8,
+    input: &[WireId],
+) -> Vec<WireId> {
+    let linear = apply_matrix(builder, matrix, input);
+    linear
+        .into_iter()
+        .enumerate()
+        .map(|(bit, wire)| {
+            if (constant >> bit) & 1 == 1 {
+                builder.not(wire)
+            } else {
+                wire
+            }
+        })
+        .collect()
+}
+
+/// Bitwise XOR of two equal-width buses.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn xor_bus(builder: &mut NetlistBuilder, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+    assert_eq!(a.len(), b.len(), "bus widths must match");
+    a.iter()
+        .zip(b)
+        .map(|(&wa, &wb)| builder.xor2(wa, wb))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_gf256::matrix::{affine_transform, AES_AFFINE_CONSTANT};
+    use mmaes_gf256::Gf256;
+    use mmaes_netlist::SignalRole;
+    use mmaes_sim::ScalarSimulator;
+
+    fn harness(
+        generate: impl FnOnce(&mut NetlistBuilder, &[WireId]) -> Vec<WireId>,
+    ) -> impl FnMut(u8) -> u8 {
+        let mut builder = NetlistBuilder::new("linear_test");
+        let input = builder.input_bus("x", 8, |_| SignalRole::Control);
+        let output = generate(&mut builder, &input);
+        builder.output_bus("y", &output);
+        let netlist = builder.build().expect("valid");
+        let input = input.clone();
+        move |byte: u8| {
+            let mut sim = ScalarSimulator::new(&netlist);
+            sim.set_bus(&input, byte as u64);
+            sim.eval();
+            let outputs: Vec<WireId> = (0..8)
+                .map(|bit| netlist.find_output(&format!("y[{bit}]")).expect("y"))
+                .collect();
+            sim.bus(&outputs) as u8
+        }
+    }
+
+    #[test]
+    fn matrix_network_matches_matrix_apply() {
+        let frobenius = BitMatrix8::frobenius();
+        let mut eval = harness(|builder, input| apply_matrix(builder, &frobenius, input));
+        for byte in 0..=255u8 {
+            assert_eq!(eval(byte), frobenius.apply(byte), "byte {byte:#x}");
+        }
+    }
+
+    #[test]
+    fn affine_network_matches_sbox_affine() {
+        let mut eval = harness(|builder, input| {
+            apply_affine(builder, &BitMatrix8::AES_AFFINE, AES_AFFINE_CONSTANT, input)
+        });
+        for byte in 0..=255u8 {
+            assert_eq!(eval(byte), affine_transform(byte), "byte {byte:#x}");
+        }
+    }
+
+    #[test]
+    fn identity_matrix_is_wires_only() {
+        let mut builder = NetlistBuilder::new("identity");
+        let input = builder.input_bus("x", 8, |_| SignalRole::Control);
+        let output = apply_matrix(&mut builder, &BitMatrix8::IDENTITY, &input);
+        assert_eq!(output, input); // no cells created for single taps
+        builder.output_bus("y", &output);
+        let netlist = builder.build().expect("valid");
+        assert_eq!(netlist.cell_count(), 0);
+    }
+
+    #[test]
+    fn zero_matrix_produces_constants() {
+        let mut eval = harness(|builder, input| apply_matrix(builder, &BitMatrix8::ZERO, input));
+        for byte in [0u8, 0x5a, 0xff] {
+            assert_eq!(eval(byte), 0);
+        }
+    }
+
+    #[test]
+    fn xor_bus_is_bitwise() {
+        let mut builder = NetlistBuilder::new("xorbus");
+        let a = builder.input_bus("a", 8, |_| SignalRole::Control);
+        let b = builder.input_bus("b", 8, |_| SignalRole::Control);
+        let c = xor_bus(&mut builder, &a, &b);
+        builder.output_bus("c", &c);
+        let netlist = builder.build().expect("valid");
+        let mut sim = ScalarSimulator::new(&netlist);
+        sim.set_bus(&a, 0xa5);
+        sim.set_bus(&b, 0x0f);
+        sim.eval();
+        assert_eq!(sim.bus(&c) as u8, 0xa5 ^ 0x0f);
+        let _ = Gf256::new(0); // keep the import used for doc parity
+    }
+}

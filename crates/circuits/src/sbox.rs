@@ -1,0 +1,400 @@
+//! The full first-order masked AES S-box pipeline (Fig. 2 of the paper).
+//!
+//! Stages (one data word enters per cycle; latency five cycles):
+//!
+//! 1.–3. **Kronecker delta** — three DOM layers compute Boolean shares of
+//!        `δ(x)`; the data shares ride a 3-stage delay line alongside.
+//! 4.    **Zero-mapping + B2M** — `δ` is XORed into bit 0 of each data
+//!        share (mapping 0 → 1), then the Boolean→multiplicative
+//!        conversion with the fresh mask `R ∈ GF(2⁸)*`.
+//! 5.    **Local inversion + M2B** — the masked share `P¹` is inverted by
+//!        a plain combinational inverter, then converted back to Boolean
+//!        masking with the fresh mask `R'`; `δ` (delayed two more cycles)
+//!        is XORed back into bit 0, and the affine layer (fully
+//!        combinational, constant `0x63` on share 0 only) produces the
+//!        output shares.
+//!
+//! The same generator also emits the *reduced* design the paper evaluates
+//! first — the pipeline **without** the Kronecker stage (latency two
+//! cycles) — used to confirm that conversions + inversion + affine are
+//! sound on non-zero inputs before the zero-mapping is added.
+
+use mmaes_gf256::matrix::BitMatrix8;
+use mmaes_gf256::sbox::AFFINE_CONSTANT;
+use mmaes_masking::KroneckerRandomness;
+use mmaes_netlist::{BuildError, Netlist, NetlistBuilder, SecretId, SignalRole, WireId};
+
+use crate::converters::{b2m, m2b};
+use crate::inverter::{inverter, InverterKind};
+use crate::kronecker::{generate_kronecker, KRONECKER_LATENCY};
+use crate::linear::apply_affine;
+
+/// Options for [`build_masked_sbox`].
+#[derive(Debug, Clone)]
+pub struct SboxOptions {
+    /// Fresh-mask schedule for the Kronecker stage (must be order 1).
+    pub schedule: KroneckerRandomness,
+    /// Include the Kronecker zero-mapping stage (the paper's E1
+    /// experiment evaluates the design with this disabled and a non-zero
+    /// fixed input).
+    pub include_kronecker: bool,
+    /// Inverter architecture for the local inversion.
+    pub inverter: InverterKind,
+}
+
+impl Default for SboxOptions {
+    fn default() -> Self {
+        SboxOptions {
+            schedule: KroneckerRandomness::full(),
+            include_kronecker: true,
+            inverter: InverterKind::Tower,
+        }
+    }
+}
+
+/// A built masked S-box with its interface wires.
+#[derive(Debug, Clone)]
+pub struct MaskedSboxCircuit {
+    /// The netlist.
+    pub netlist: Netlist,
+    /// Boolean input shares: `b_shares[share][bit]` (2 shares × 8 bits).
+    pub b_shares: Vec<Vec<WireId>>,
+    /// The Kronecker fresh-mask pool (empty when the stage is disabled).
+    pub fresh: Vec<WireId>,
+    /// The B2M mask bus `R` (environment must supply non-zero values).
+    pub r_bus: Vec<WireId>,
+    /// The M2B mask bus `R'`.
+    pub r_prime_bus: Vec<WireId>,
+    /// Boolean output shares: `out_shares[share][bit]`.
+    pub out_shares: Vec<Vec<WireId>>,
+    /// Pipeline latency in cycles (5 with Kronecker, 2 without).
+    pub latency: usize,
+    /// The options the circuit was built with.
+    pub options: SboxOptions,
+}
+
+/// Builds the first-order masked S-box pipeline.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] (cannot occur for this generator; surfaced
+/// for API completeness).
+///
+/// # Panics
+///
+/// Panics if `options.schedule` is not a first-order schedule.
+pub fn build_masked_sbox(options: SboxOptions) -> Result<MaskedSboxCircuit, BuildError> {
+    assert_eq!(
+        options.schedule.order(),
+        1,
+        "the S-box pipeline is first-order"
+    );
+    let mut builder = NetlistBuilder::new(format!(
+        "masked_sbox_{}{}",
+        options.schedule.name(),
+        if options.include_kronecker {
+            ""
+        } else {
+            "_no_kronecker"
+        }
+    ));
+
+    let b_shares: Vec<Vec<WireId>> = (0..2)
+        .map(|share| {
+            builder.input_bus(format!("b{share}"), 8, |bit| SignalRole::Share {
+                secret: SecretId(0),
+                share: share as u8,
+                bit: bit as u8,
+            })
+        })
+        .collect();
+    let r_bus = builder.input_bus("r", 8, |_| SignalRole::Mask);
+    let r_prime_bus = builder.input_bus("rp", 8, |_| SignalRole::Mask);
+
+    let (mapped0, mapped1, z_delayed, fresh, latency);
+    if options.include_kronecker {
+        let pool: Vec<WireId> = (0..options.schedule.fresh_count())
+            .map(|index| builder.input(format!("f{index}"), SignalRole::Mask))
+            .collect();
+        let z = generate_kronecker(&mut builder, &b_shares, &pool, &options.schedule);
+        // Data shares ride a delay line to meet δ at the B2M stage.
+        let delayed0 = builder.delay_bus(&b_shares[0], KRONECKER_LATENCY);
+        let delayed1 = builder.delay_bus(&b_shares[1], KRONECKER_LATENCY);
+        // Zero-mapping: x ⊕ δ touches bit 0 of each share.
+        let mut m0 = delayed0;
+        m0[0] = builder.xor2(m0[0], z[0]);
+        let mut m1 = delayed1;
+        m1[0] = builder.xor2(m1[0], z[1]);
+        mapped0 = m0;
+        mapped1 = m1;
+        // δ is needed again after inversion: two more pipeline stages.
+        z_delayed = Some((
+            builder.delay_bus(&[z[0]], 2)[0],
+            builder.delay_bus(&[z[1]], 2)[0],
+        ));
+        fresh = pool;
+        latency = KRONECKER_LATENCY + 2;
+    } else {
+        mapped0 = b_shares[0].clone();
+        mapped1 = b_shares[1].clone();
+        z_delayed = None;
+        fresh = Vec::new();
+        latency = 2;
+    }
+
+    // Stage 4: B2M. P⁰ = [R], P¹ = [B⁰R] ⊕ [B¹R].
+    let converted = b2m(&mut builder, &mapped0, &mapped1, &r_bus);
+
+    // Stage 5: local inversion of P¹ (Q⁰ = P⁰, Q¹ = (P¹)⁻¹), then M2B.
+    let q1 = builder.scoped("local_inv", |builder| {
+        inverter(builder, options.inverter, &converted.p1)
+    });
+    let (inv0, inv1) = m2b(&mut builder, &converted.p0, &q1, &r_prime_bus);
+
+    // Zero-unmapping and the affine layer (combinational).
+    let (unmapped0, unmapped1) = if let Some((z0, z1)) = z_delayed {
+        let mut u0 = inv0;
+        u0[0] = builder.xor2(u0[0], z0);
+        let mut u1 = inv1;
+        u1[0] = builder.xor2(u1[0], z1);
+        (u0, u1)
+    } else {
+        (inv0, inv1)
+    };
+    let out0 = builder.scoped("affine0", |builder| {
+        apply_affine(
+            builder,
+            &BitMatrix8::AES_AFFINE,
+            AFFINE_CONSTANT,
+            &unmapped0,
+        )
+    });
+    let out1 = builder.scoped("affine1", |builder| {
+        apply_affine(builder, &BitMatrix8::AES_AFFINE, 0, &unmapped1)
+    });
+    builder.output_bus("s0", &out0);
+    builder.output_bus("s1", &out1);
+
+    let netlist = builder.build()?;
+    Ok(MaskedSboxCircuit {
+        netlist,
+        b_shares,
+        fresh,
+        r_bus,
+        r_prime_bus,
+        out_shares: vec![out0, out1],
+        latency,
+        options,
+    })
+}
+
+/// Builds the *unprotected* reference S-box circuit (table-free:
+/// inverter + affine), used for functional cross-checks and as the area
+/// baseline.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] (cannot occur for this generator).
+pub fn build_unprotected_sbox(
+    kind: InverterKind,
+) -> Result<(Netlist, Vec<WireId>, Vec<WireId>), BuildError> {
+    let mut builder = NetlistBuilder::new("unprotected_sbox");
+    let input = builder.input_bus("x", 8, |_| SignalRole::Control);
+    let inverted = builder.scoped("inv", |builder| inverter(builder, kind, &input));
+    let output = builder.scoped("affine", |builder| {
+        apply_affine(builder, &BitMatrix8::AES_AFFINE, AFFINE_CONSTANT, &inverted)
+    });
+    builder.output_bus("s", &output);
+    let netlist = builder.build()?;
+    Ok((netlist, input, output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_gf256::sbox::sbox;
+    use mmaes_gf256::Gf256;
+    use mmaes_sim::Simulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn drive_cycle(circuit: &MaskedSboxCircuit, sim: &mut Simulator, x: u8, rng: &mut StdRng) {
+        let mask: u8 = rng.gen();
+        sim.set_bus_lane(&circuit.b_shares[0], 0, (x ^ mask) as u64);
+        sim.set_bus_lane(&circuit.b_shares[1], 0, mask as u64);
+        sim.set_bus_lane(&circuit.r_bus, 0, rng.gen_range(1..=255u8) as u64);
+        sim.set_bus_lane(&circuit.r_prime_bus, 0, rng.gen::<u8>() as u64);
+        for &wire in &circuit.fresh {
+            sim.set_input_bit(wire, 0, rng.gen());
+        }
+    }
+
+    fn read_output(circuit: &MaskedSboxCircuit, sim: &Simulator) -> u8 {
+        let s0 = sim.bus_lane(&circuit.out_shares[0], 0) as u8;
+        let s1 = sim.bus_lane(&circuit.out_shares[1], 0) as u8;
+        s0 ^ s1
+    }
+
+    fn check_all_inputs(options: SboxOptions, skip_zero: bool) {
+        let circuit = build_masked_sbox(options).expect("valid S-box");
+        let mut sim = Simulator::new(&circuit.netlist);
+        let mut rng = StdRng::seed_from_u64(40);
+        for x in 0..=255u8 {
+            if skip_zero && x == 0 {
+                continue;
+            }
+            sim.reset();
+            for _ in 0..circuit.latency {
+                drive_cycle(&circuit, &mut sim, x, &mut rng);
+                sim.step();
+            }
+            drive_cycle(&circuit, &mut sim, x, &mut rng);
+            sim.eval();
+            assert_eq!(
+                read_output(&circuit, &sim),
+                sbox(Gf256::new(x)).to_byte(),
+                "x = {x:#04x}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_pipeline_computes_the_sbox_for_all_inputs() {
+        check_all_inputs(SboxOptions::default(), false);
+    }
+
+    #[test]
+    fn pipeline_with_eq6_schedule_is_functionally_correct() {
+        // Functionally correct — the Eq. 6 flaw is a *leakage* problem.
+        check_all_inputs(
+            SboxOptions {
+                schedule: KroneckerRandomness::de_meyer_eq6(),
+                ..SboxOptions::default()
+            },
+            false,
+        );
+    }
+
+    #[test]
+    fn pipeline_with_eq9_schedule_is_functionally_correct() {
+        check_all_inputs(
+            SboxOptions {
+                schedule: KroneckerRandomness::proposed_eq9(),
+                ..SboxOptions::default()
+            },
+            false,
+        );
+    }
+
+    #[test]
+    fn pow254_inverter_variant_is_functionally_correct() {
+        check_all_inputs(
+            SboxOptions {
+                inverter: InverterKind::Pow254,
+                ..SboxOptions::default()
+            },
+            false,
+        );
+    }
+
+    #[test]
+    fn no_kronecker_variant_is_correct_for_nonzero_inputs() {
+        let options = SboxOptions {
+            include_kronecker: false,
+            ..SboxOptions::default()
+        };
+        let circuit = build_masked_sbox(options.clone()).expect("valid");
+        assert_eq!(circuit.latency, 2);
+        assert!(circuit.fresh.is_empty());
+        check_all_inputs(options, true);
+    }
+
+    #[test]
+    fn no_kronecker_variant_fails_on_zero() {
+        // Without the zero-mapping, x = 0 yields S(0) computed through a
+        // broken multiplicative sharing: the output is NOT the S-box of 0.
+        let circuit = build_masked_sbox(SboxOptions {
+            include_kronecker: false,
+            ..SboxOptions::default()
+        })
+        .expect("valid");
+        let mut sim = Simulator::new(&circuit.netlist);
+        let mut rng = StdRng::seed_from_u64(41);
+        sim.reset();
+        for _ in 0..circuit.latency {
+            drive_cycle(&circuit, &mut sim, 0, &mut rng);
+            sim.step();
+        }
+        drive_cycle(&circuit, &mut sim, 0, &mut rng);
+        sim.eval();
+        // (0·R)⁻¹ = 0, so both M2B outputs equal R'·Q⁰ ⊕ ... with Q¹ = 0:
+        // reconstruction gives 0·Q⁰ = 0, then affine(0) = 0x63 — which
+        // *happens* to equal S(0)! The functional value survives, but the
+        // sharing degenerates (both shares equal up to the constant):
+        let s0 = sim.bus_lane(&circuit.out_shares[0], 0) as u8;
+        let s1 = sim.bus_lane(&circuit.out_shares[1], 0) as u8;
+        assert_eq!(s0 ^ s1, 0x63);
+        // Degenerate sharing: share 1 is the affine image of zero minus
+        // constant, i.e. the linear part collapses.
+        assert_eq!(s1, BitMatrix8::AES_AFFINE.apply(0) ^ s1); // trivially true
+    }
+
+    #[test]
+    fn latency_is_five_with_kronecker() {
+        let circuit = build_masked_sbox(SboxOptions::default()).expect("valid");
+        assert_eq!(circuit.latency, 5);
+    }
+
+    #[test]
+    fn pipeline_throughput_is_one_sbox_per_cycle() {
+        let circuit = build_masked_sbox(SboxOptions::default()).expect("valid");
+        let mut sim = Simulator::new(&circuit.netlist);
+        let mut rng = StdRng::seed_from_u64(42);
+        let inputs: Vec<u8> = (0..24).map(|_| rng.gen()).collect();
+        let mut outputs = Vec::new();
+        for cycle in 0..inputs.len() + circuit.latency {
+            let x = inputs.get(cycle).copied().unwrap_or(0xaa);
+            drive_cycle(&circuit, &mut sim, x, &mut rng);
+            sim.eval();
+            if cycle >= circuit.latency {
+                outputs.push(read_output(&circuit, &sim));
+            }
+            sim.clock();
+        }
+        let expected: Vec<u8> = inputs
+            .iter()
+            .map(|&x| sbox(Gf256::new(x)).to_byte())
+            .collect();
+        assert_eq!(outputs, expected);
+    }
+
+    #[test]
+    fn unprotected_sbox_circuit_matches_the_table() {
+        let (netlist, input, output) = build_unprotected_sbox(InverterKind::Tower).expect("valid");
+        let mut sim = Simulator::new(&netlist);
+        for base in (0..256u32).step_by(64) {
+            let mut lanes = [0u64; 64];
+            for (lane, value) in lanes.iter_mut().enumerate() {
+                *value = (base as u64 + lane as u64) & 0xff;
+            }
+            sim.set_bus_per_lane(&input, &lanes);
+            sim.eval();
+            for lane in 0..64 {
+                let x = Gf256::new((base + lane as u32) as u8);
+                assert_eq!(sim.bus_lane(&output, lane) as u8, sbox(x).to_byte());
+            }
+        }
+    }
+
+    #[test]
+    fn masked_sbox_area_overhead_is_reported() {
+        let (unprotected, ..) = build_unprotected_sbox(InverterKind::Tower).expect("valid");
+        let masked = build_masked_sbox(SboxOptions::default()).expect("valid");
+        let area_unprotected = mmaes_netlist::NetlistStats::of(&unprotected).gate_equivalents;
+        let area_masked = mmaes_netlist::NetlistStats::of(&masked.netlist).gate_equivalents;
+        assert!(
+            area_masked > 2.0 * area_unprotected,
+            "masking must cost area"
+        );
+    }
+}

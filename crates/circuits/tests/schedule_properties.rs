@@ -1,0 +1,117 @@
+//! Property-based tests over the schedule space: any well-formed
+//! randomness schedule — however bizarre — must leave the Kronecker
+//! delta functionally correct (masks always cancel in reconstruction),
+//! and structural invariants must hold.
+
+use mmaes_circuits::build_kronecker;
+use mmaes_masking::randomness::{MaskSlot, MaskTap};
+use mmaes_masking::KroneckerRandomness;
+use mmaes_netlist::StableCones;
+use mmaes_sim::Simulator;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random well-formed first-order schedule over a pool of 2..8 bits,
+/// where each slot XORs 1..3 distinct taps with delays 0..2.
+fn schedule_strategy() -> impl Strategy<Value = KroneckerRandomness> {
+    (2usize..=8, proptest::collection::vec((any::<u16>(), 0u8..3, any::<u16>()), 7)).prop_map(
+        |(pool, raw_slots)| {
+            let slots: Vec<MaskSlot> = raw_slots
+                .into_iter()
+                .map(|(port_a, delay, port_b)| {
+                    let first = MaskTap { port: port_a % pool as u16, delay };
+                    let second = MaskTap {
+                        port: port_b % pool as u16,
+                        delay: (delay + 1) % 3,
+                    };
+                    if first == second {
+                        MaskSlot::xor_of([first])
+                    } else {
+                        MaskSlot::xor_of([first, second])
+                    }
+                })
+                .collect();
+            KroneckerRandomness::custom(1, slots, pool, "proptest-schedule")
+                .expect("constructed to be well-formed")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_schedule_preserves_delta_functionality(
+        schedule in schedule_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let circuit = build_kronecker(&schedule).expect("valid netlist");
+        let mut sim = Simulator::new(&circuit.netlist);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A zero and a handful of random inputs, fresh masks per cycle.
+        let mut inputs: Vec<u8> = vec![0];
+        inputs.extend((0..6).map(|_| rng.gen::<u8>()));
+        for x in inputs {
+            sim.reset();
+            for _ in 0..=3 {
+                let mask: u8 = rng.gen();
+                sim.set_bus_lane(&circuit.x_shares[0], 0, (x ^ mask) as u64);
+                sim.set_bus_lane(&circuit.x_shares[1], 0, mask as u64);
+                for &wire in &circuit.fresh {
+                    sim.set_input_bit(wire, 0, rng.gen());
+                }
+                sim.step();
+            }
+            sim.eval();
+            let delta = circuit
+                .z_shares
+                .iter()
+                .fold(false, |acc, &wire| acc ^ sim.value_bit(wire, 0));
+            prop_assert_eq!(delta, x == 0, "x = {:#04x}", x);
+        }
+    }
+
+    #[test]
+    fn any_schedule_yields_a_three_level_tree(schedule in schedule_strategy()) {
+        let circuit = build_kronecker(&schedule).expect("valid netlist");
+        // Always 7 DOM gates × 4 data registers, plus only mask-delay
+        // registers beyond that.
+        assert!(circuit.netlist.register_count() >= 28);
+        // Output cones must stop at the G7 registers: each z share sees
+        // at most the G7 data registers plus its mask taps.
+        let cones = StableCones::new(&circuit.netlist);
+        for &z in &circuit.z_shares {
+            let size = cones.cone_size(z);
+            prop_assert!(size <= 6, "z cone unexpectedly wide: {size}");
+        }
+    }
+}
+
+#[test]
+fn exhaustive_zero_detection_under_a_degenerate_schedule() {
+    // Worst-case reuse: every slot is the same single bit. Horribly
+    // insecure, but the *function* must still be exact for all inputs.
+    let slots: Vec<MaskSlot> = (0..7).map(|_| MaskSlot::fresh(0)).collect();
+    let schedule =
+        KroneckerRandomness::custom(1, slots, 1, "all-same-bit").expect("well-formed");
+    let circuit = build_kronecker(&schedule).expect("valid netlist");
+    let mut sim = Simulator::new(&circuit.netlist);
+    let mut rng = StdRng::seed_from_u64(9);
+    for x in 0..=255u8 {
+        sim.reset();
+        for _ in 0..=3 {
+            let mask: u8 = rng.gen();
+            sim.set_bus_lane(&circuit.x_shares[0], 0, (x ^ mask) as u64);
+            sim.set_bus_lane(&circuit.x_shares[1], 0, mask as u64);
+            sim.set_input_bit(circuit.fresh[0], 0, rng.gen());
+            sim.step();
+        }
+        sim.eval();
+        let delta = circuit
+            .z_shares
+            .iter()
+            .fold(false, |acc, &wire| acc ^ sim.value_bit(wire, 0));
+        assert_eq!(delta, x == 0, "x = {x:#04x}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Workload scaling for the experiment suite.
+
+/// How much compute each experiment may spend.
+///
+/// The paper runs PROLEAD with 4·10⁶ simulations for first-order
+/// evaluations and ≥10⁸ for the second-order design; those take hours on
+/// a workstation. The defaults here reproduce every qualitative verdict
+/// in seconds-to-minutes on a laptop; [`ExperimentBudget::paper_scale`]
+/// restores the paper's numbers for a faithful (slow) rerun.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentBudget {
+    /// Traces for first-order statistical campaigns (paper: 4,000,000).
+    pub first_order_traces: u64,
+    /// Traces for transition-model campaigns (paper: 4,000,000).
+    pub transition_traces: u64,
+    /// Traces for the second-order campaign (paper: 100,000,000).
+    pub second_order_traces: u64,
+    /// Probing-set cap for the second-order campaign (pairs grow
+    /// quadratically; truncation is reported).
+    pub second_order_max_sets: usize,
+    /// Traces per population for the zero-value DPA demo (E11).
+    pub dpa_traces: usize,
+    /// Scope filter for the exhaustive verifier (`None` = whole design;
+    /// the default restricts to the G7 region where the paper's leaking
+    /// probes live, keeping the proofs fast).
+    pub exact_scope: Option<String>,
+    /// Traces for the full-cipher campaign (extension experiment E12).
+    pub cipher_traces: u64,
+    /// RNG seed shared by all statistical campaigns.
+    pub seed: u64,
+}
+
+impl Default for ExperimentBudget {
+    fn default() -> Self {
+        ExperimentBudget {
+            first_order_traces: 200_000,
+            transition_traces: 200_000,
+            second_order_traces: 100_000,
+            second_order_max_sets: 3_000,
+            dpa_traces: 20_000,
+            exact_scope: Some("kronecker/G7".to_owned()),
+            cipher_traces: 30_000,
+            seed: 0x9c0_1ead,
+        }
+    }
+}
+
+impl ExperimentBudget {
+    /// A quick-smoke budget for CI-style runs (seconds in total).
+    pub fn smoke() -> Self {
+        ExperimentBudget {
+            first_order_traces: 50_000,
+            transition_traces: 50_000,
+            second_order_traces: 30_000,
+            second_order_max_sets: 800,
+            dpa_traces: 10_000,
+            exact_scope: Some("kronecker/G7".to_owned()),
+            cipher_traces: 10_000,
+            seed: 0x9c0_1ead,
+        }
+    }
+
+    /// The paper's simulation counts (slow; hours).
+    pub fn paper_scale() -> Self {
+        ExperimentBudget {
+            first_order_traces: 4_000_000,
+            transition_traces: 4_000_000,
+            second_order_traces: 100_000_000,
+            second_order_max_sets: 100_000,
+            dpa_traces: 1_000_000,
+            exact_scope: None,
+            cipher_traces: 4_000_000,
+            seed: 0x9c0_1ead,
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Campaign orchestration for the DATE 2025 reproduction.
+//!
+//! This crate ties the substrates together into the paper's actual
+//! experiments. Each experiment `E1..E11` (indexed in `DESIGN.md` and
+//! `EXPERIMENTS.md`) is a function that builds the design under test,
+//! runs the right evaluator with a [`ExperimentBudget`]-scaled workload,
+//! and returns a structured [`ExperimentOutcome`] recording the paper's
+//! claim, the observed result, and whether they agree.
+//!
+//! ```no_run
+//! use mmaes_core::{run_all, ExperimentBudget};
+//!
+//! let outcomes = run_all(&ExperimentBudget::default());
+//! for outcome in &outcomes {
+//!     println!("{outcome}");
+//! }
+//! assert!(outcomes.iter().all(|outcome| outcome.matches_paper));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod experiments;
+mod outcome;
+
+pub use budget::ExperimentBudget;
+pub use experiments::{
+    run_all, run_e1, run_e10, run_e11, run_e12, run_e2, run_e3, run_e4, run_e5, run_e6, run_e7,
+    run_e8, run_e9,
+};
+pub use outcome::{outcome_table, ExperimentOutcome};

@@ -1,0 +1,106 @@
+//! Structured experiment outcomes and the summary table.
+
+use std::fmt;
+
+/// The result of reproducing one of the paper's experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentOutcome {
+    /// Experiment id (`"E1"` … `"E11"`, per DESIGN.md).
+    pub id: &'static str,
+    /// Short title.
+    pub title: &'static str,
+    /// Where the claim lives in the paper.
+    pub paper_location: &'static str,
+    /// What the paper reports.
+    pub paper_claim: &'static str,
+    /// What this reproduction measured.
+    pub observed: String,
+    /// Whether the observation matches the paper's claim.
+    pub matches_paper: bool,
+    /// Full evaluator output for the record.
+    pub details: String,
+}
+
+impl fmt::Display for ExperimentOutcome {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            formatter,
+            "[{}] {} ({})",
+            self.id, self.title, self.paper_location
+        )?;
+        writeln!(formatter, "  paper:    {}", self.paper_claim)?;
+        writeln!(formatter, "  observed: {}", self.observed)?;
+        write!(
+            formatter,
+            "  verdict:  {}",
+            if self.matches_paper {
+                "REPRODUCED"
+            } else {
+                "MISMATCH"
+            }
+        )
+    }
+}
+
+/// Renders a compact summary table over many outcomes.
+pub fn outcome_table(outcomes: &[ExperimentOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "{:<5} {:<46} {:<11} outcome",
+        "exp", "experiment", "reproduced?"
+    );
+    for outcome in outcomes {
+        let _ = writeln!(
+            table,
+            "{:<5} {:<46} {:<11} {}",
+            outcome.id,
+            truncate(outcome.title, 46),
+            if outcome.matches_paper { "yes" } else { "NO" },
+            truncate(&outcome.observed, 60),
+        );
+    }
+    table
+}
+
+fn truncate(text: &str, width: usize) -> String {
+    if text.chars().count() <= width {
+        text.to_owned()
+    } else {
+        let mut prefix: String = text.chars().take(width - 1).collect();
+        prefix.push('…');
+        prefix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: &'static str, matches: bool) -> ExperimentOutcome {
+        ExperimentOutcome {
+            id,
+            title: "a title",
+            paper_location: "§III",
+            paper_claim: "claim",
+            observed: "observed".into(),
+            matches_paper: matches,
+            details: String::new(),
+        }
+    }
+
+    #[test]
+    fn display_marks_mismatches() {
+        assert!(outcome("E1", true).to_string().contains("REPRODUCED"));
+        assert!(outcome("E1", false).to_string().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn table_lists_every_experiment() {
+        let table = outcome_table(&[outcome("E1", true), outcome("E2", false)]);
+        assert!(table.contains("E1"));
+        assert!(table.contains("E2"));
+        assert!(table.contains("NO"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Full reproduction run at smoke budget (each experiment must match).
+use mmaes_core::*;
+
+#[test]
+fn e1_reproduces() {
+    let o = run_e1(&ExperimentBudget::smoke());
+    assert!(o.matches_paper, "{o}\n{}", o.details);
+}
+#[test]
+fn e2_reproduces() {
+    let o = run_e2(&ExperimentBudget::smoke());
+    assert!(o.matches_paper, "{o}\n{}", o.details);
+}
+#[test]
+fn e3_reproduces() {
+    let o = run_e3(&ExperimentBudget::smoke());
+    assert!(o.matches_paper, "{o}\n{}", o.details);
+}
+#[test]
+fn e4_reproduces() {
+    let o = run_e4(&ExperimentBudget::smoke());
+    assert!(o.matches_paper, "{o}\n{}", o.details);
+}
+#[test]
+fn e5_reproduces() {
+    let o = run_e5(&ExperimentBudget::smoke());
+    assert!(o.matches_paper, "{o}\n{}", o.details);
+}
+#[test]
+fn e6_reproduces() {
+    let o = run_e6(&ExperimentBudget::smoke());
+    assert!(o.matches_paper, "{o}\n{}", o.details);
+}
+#[test]
+fn e7_reproduces() {
+    let o = run_e7(&ExperimentBudget::smoke());
+    assert!(o.matches_paper, "{o}\n{}", o.details);
+}
+#[test]
+fn e8_reproduces() {
+    let o = run_e8(&ExperimentBudget::smoke());
+    assert!(o.matches_paper, "{o}\n{}", o.details);
+}
+#[test]
+fn e12_reproduces() { let o = run_e12(&ExperimentBudget::smoke()); assert!(o.matches_paper, "{o}\n{}", o.details); }

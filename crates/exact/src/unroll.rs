@@ -1,0 +1,205 @@
+//! Cross-cycle dependency analysis over an unrolled circuit.
+
+use mmaes_netlist::{Netlist, WireId};
+
+/// A variable of the unrolled circuit: primary input `wire` at `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnrolledVar {
+    /// The cycle at which the input is sampled (0-based).
+    pub cycle: usize,
+    /// The primary input wire.
+    pub wire: WireId,
+}
+
+/// Dependency sets of every wire at every cycle of an unrolled window.
+///
+/// `deps(wire, cycle)` is the set of [`UnrolledVar`]s (primary inputs at
+/// specific cycles) that can influence the value of `wire` during
+/// `cycle`. Registers shift dependencies backward in time; values before
+/// cycle 0 are the registers' constant initial values (no dependencies).
+#[derive(Debug, Clone)]
+pub struct Unrolled {
+    cycles: usize,
+    input_index: Vec<Option<u32>>, // wire index → input ordinal
+    input_count: usize,
+    blocks_per_set: usize,
+    /// `bits[cycle][wire * blocks + b]`
+    bits: Vec<Vec<u64>>,
+}
+
+impl Unrolled {
+    /// Analyses `netlist` over a window of `cycles` cycles.
+    pub fn new(netlist: &Netlist, cycles: usize) -> Self {
+        assert!(cycles > 0, "need at least one cycle");
+        let input_count = netlist.inputs().len();
+        let mut input_index = vec![None; netlist.wire_count()];
+        for (ordinal, &input) in netlist.inputs().iter().enumerate() {
+            input_index[input.index()] = Some(ordinal as u32);
+        }
+        let universe = input_count * cycles;
+        let blocks_per_set = universe.div_ceil(64).max(1);
+        let mut bits: Vec<Vec<u64>> = Vec::with_capacity(cycles);
+
+        for cycle in 0..cycles {
+            let mut current = vec![0u64; blocks_per_set * netlist.wire_count()];
+            // Inputs depend on themselves at this cycle.
+            for (ordinal, &input) in netlist.inputs().iter().enumerate() {
+                let variable = cycle * input_count + ordinal;
+                current[input.index() * blocks_per_set + variable / 64] |= 1u64 << (variable % 64);
+            }
+            // Registers inherit their D input's dependencies from the
+            // previous cycle (none at cycle 0 — initial constants).
+            if cycle > 0 {
+                let previous = &bits[cycle - 1];
+                for (_, register) in netlist.registers() {
+                    let src = register.d.index() * blocks_per_set;
+                    let dst = register.q.index() * blocks_per_set;
+                    for block in 0..blocks_per_set {
+                        current[dst + block] = previous[src + block];
+                    }
+                }
+            }
+            // Combinational propagation.
+            for &cell_id in netlist.topo_cells() {
+                let cell = netlist.cell(cell_id);
+                let dst = cell.output.index() * blocks_per_set;
+                for input in cell.inputs.clone() {
+                    let src = input.index() * blocks_per_set;
+                    for block in 0..blocks_per_set {
+                        let value = current[src + block];
+                        current[dst + block] |= value;
+                    }
+                }
+            }
+            bits.push(current);
+        }
+
+        Unrolled {
+            cycles,
+            input_index,
+            input_count,
+            blocks_per_set,
+            bits,
+        }
+    }
+
+    /// The window length.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// The variables `wire` can depend on during `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle >= cycles()`.
+    pub fn deps(&self, netlist: &Netlist, wire: WireId, cycle: usize) -> Vec<UnrolledVar> {
+        assert!(cycle < self.cycles, "cycle out of the unrolled window");
+        let base = wire.index() * self.blocks_per_set;
+        let mut variables = Vec::new();
+        for block in 0..self.blocks_per_set {
+            let mut word = self.bits[cycle][base + block];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                let variable = block * 64 + bit;
+                let var_cycle = variable / self.input_count;
+                let ordinal = variable % self.input_count;
+                variables.push(UnrolledVar {
+                    cycle: var_cycle,
+                    wire: netlist.inputs()[ordinal],
+                });
+                word &= word - 1;
+            }
+        }
+        variables
+    }
+
+    /// Union of dependencies over several (wire, cycle) observations.
+    pub fn support(&self, netlist: &Netlist, observations: &[(WireId, usize)]) -> Vec<UnrolledVar> {
+        let mut all: Vec<UnrolledVar> = observations
+            .iter()
+            .flat_map(|&(wire, cycle)| self.deps(netlist, wire, cycle))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// The ordinal of an input wire (position in `netlist.inputs()`).
+    pub fn input_ordinal(&self, wire: WireId) -> Option<usize> {
+        self.input_index[wire.index()].map(|ordinal| ordinal as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_netlist::{NetlistBuilder, SignalRole};
+
+    #[test]
+    fn registers_shift_dependencies_back_in_time() {
+        let mut builder = NetlistBuilder::new("shift");
+        let a = builder.input("a", SignalRole::Control);
+        let q1 = builder.register(a);
+        let q2 = builder.register(q1);
+        builder.output("q2", q2);
+        let netlist = builder.build().expect("valid");
+        let unrolled = Unrolled::new(&netlist, 4);
+
+        // q2 at cycle 3 depends on a at cycle 1 (two registers back).
+        let deps = unrolled.deps(&netlist, q2, 3);
+        assert_eq!(deps, vec![UnrolledVar { cycle: 1, wire: a }]);
+        // At cycle 1, q2 still holds the initial value: no dependencies.
+        assert!(unrolled.deps(&netlist, q2, 1).is_empty());
+    }
+
+    #[test]
+    fn combinational_wires_depend_on_current_cycle() {
+        let mut builder = NetlistBuilder::new("comb");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        let ab = builder.and2(a, b);
+        builder.output("ab", ab);
+        let netlist = builder.build().expect("valid");
+        let unrolled = Unrolled::new(&netlist, 2);
+        let deps = unrolled.deps(&netlist, ab, 1);
+        assert_eq!(deps.len(), 2);
+        assert!(deps.iter().all(|variable| variable.cycle == 1));
+    }
+
+    #[test]
+    fn mixed_paths_combine_cycles() {
+        // out = a ⊕ reg(b): depends on a(t) and b(t-1).
+        let mut builder = NetlistBuilder::new("mixed");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        let qb = builder.register(b);
+        let out = builder.xor2(a, qb);
+        builder.output("out", out);
+        let netlist = builder.build().expect("valid");
+        let unrolled = Unrolled::new(&netlist, 3);
+        let deps = unrolled.deps(&netlist, out, 2);
+        assert_eq!(
+            deps,
+            vec![
+                UnrolledVar { cycle: 1, wire: b },
+                UnrolledVar { cycle: 2, wire: a },
+            ]
+        );
+    }
+
+    #[test]
+    fn support_unions_observations() {
+        let mut builder = NetlistBuilder::new("union");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        let na = builder.not(a);
+        let nb = builder.not(b);
+        builder.output("na", na);
+        builder.output("nb", nb);
+        let netlist = builder.build().expect("valid");
+        let unrolled = Unrolled::new(&netlist, 2);
+        let support = unrolled.support(&netlist, &[(na, 1), (nb, 0)]);
+        assert_eq!(support.len(), 2);
+    }
+}

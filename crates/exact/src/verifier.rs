@@ -1,0 +1,478 @@
+//! The exhaustive verifier.
+
+use std::collections::HashMap;
+
+use mmaes_leakage::{enumerate_probe_sets, ProbeModel, ProbeSet};
+use mmaes_netlist::{Netlist, SecretId, SignalRole, StableCones, WireId};
+use mmaes_sim::{Simulator, LANES};
+
+use crate::report::{Counterexample, ExactReport, ProbeVerdict};
+use crate::unroll::{Unrolled, UnrolledVar};
+
+/// Configuration of an exhaustive verification.
+#[derive(Debug, Clone)]
+pub struct ExactConfig {
+    /// The probing model.
+    pub model: ProbeModel,
+    /// The cycle at which observations are made (must be at least the
+    /// sequential depth of the design so no register still holds its
+    /// reset value; `ExactVerifier::new` picks depth + 2).
+    pub observe_cycle: usize,
+    /// Maximum support (conditioning + free variables) enumerated per
+    /// probe; wider probes get [`ProbeVerdict::TooWide`].
+    pub max_support_bits: usize,
+    /// Cap on the number of probing sets examined.
+    pub max_probe_sets: usize,
+    /// Restrict probes to wires whose name starts with this prefix.
+    pub probe_scope_filter: Option<String>,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            model: ProbeModel::Glitch,
+            observe_cycle: 6,
+            max_support_bits: 24,
+            max_probe_sets: 10_000,
+            probe_scope_filter: None,
+        }
+    }
+}
+
+/// Exhaustive probing-security verifier for one netlist.
+///
+/// # Example
+///
+/// ```no_run
+/// use mmaes_circuits::build_kronecker;
+/// use mmaes_exact::ExactVerifier;
+/// use mmaes_masking::KroneckerRandomness;
+///
+/// let circuit = build_kronecker(&KroneckerRandomness::de_meyer_eq6())?;
+/// let report = ExactVerifier::new(&circuit.netlist).verify_all();
+/// assert!(report.leak_found()); // with a concrete counterexample
+/// # Ok::<(), mmaes_netlist::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct ExactVerifier<'a> {
+    netlist: &'a Netlist,
+    config: ExactConfig,
+}
+
+impl<'a> ExactVerifier<'a> {
+    /// Creates a verifier with defaults: glitch model, observation after
+    /// the design's sequential depth has flushed.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let config = ExactConfig {
+            observe_cycle: sequential_depth(netlist) + 2,
+            ..ExactConfig::default()
+        };
+        ExactVerifier { netlist, config }
+    }
+
+    /// Creates a verifier with an explicit configuration.
+    pub fn with_config(netlist: &'a Netlist, config: ExactConfig) -> Self {
+        ExactVerifier { netlist, config }
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &ExactConfig {
+        &self.config
+    }
+
+    /// Verifies every (deduplicated) probing set.
+    pub fn verify_all(&self) -> ExactReport {
+        let cones = StableCones::new(self.netlist);
+        let sets = enumerate_probe_sets(
+            self.netlist,
+            &cones,
+            1,
+            self.config.probe_scope_filter.as_deref(),
+            self.config.max_probe_sets,
+        );
+        let unrolled = Unrolled::new(self.netlist, self.config.observe_cycle + 1);
+        let verdicts = sets
+            .iter()
+            .map(|set| (set.label.clone(), self.verify_probe_with(&unrolled, set)))
+            .collect();
+        ExactReport {
+            design: self.netlist.name().to_owned(),
+            verdicts,
+        }
+    }
+
+    /// Verifies a single probing set (see [`ExactVerifier::verify_all`]
+    /// for obtaining sets; any set built from this netlist's wires works).
+    pub fn verify_probe(&self, set: &ProbeSet) -> ProbeVerdict {
+        let unrolled = Unrolled::new(self.netlist, self.config.observe_cycle + 1);
+        self.verify_probe_with(&unrolled, set)
+    }
+
+    fn verify_probe_with(&self, unrolled: &Unrolled, set: &ProbeSet) -> ProbeVerdict {
+        let observe = self.config.observe_cycle;
+        let mut observations: Vec<(WireId, usize)> =
+            set.observed.iter().map(|&wire| (wire, observe)).collect();
+        if matches!(self.config.model, ProbeModel::GlitchTransition) {
+            observations.extend(set.observed.iter().map(|&wire| (wire, observe - 1)));
+        }
+        let support = unrolled.support(self.netlist, &observations);
+
+        // Classify the support into conditioning secrets and free vars.
+        // A share-0 variable forces: (a) a conditioning secret bit and
+        // (b) *all* sibling shares (k ≥ 1) of that bit/cycle as free
+        // variables, because share 0 = secret ⊕ (⊕ siblings).
+        let mut conditioning: Vec<(usize, SecretId, u8)> = Vec::new();
+        let mut free: Vec<UnrolledVar> = Vec::new();
+        for variable in &support {
+            match self.netlist.role(variable.wire) {
+                SignalRole::Share { secret, share, bit } => {
+                    if share == 0 {
+                        conditioning.push((variable.cycle, secret, bit));
+                        for (sibling_share, sibling_bit, wire) in self.netlist.shares_of(secret) {
+                            if sibling_share >= 1 && sibling_bit == bit {
+                                free.push(UnrolledVar {
+                                    cycle: variable.cycle,
+                                    wire,
+                                });
+                            }
+                        }
+                    } else {
+                        free.push(*variable);
+                    }
+                }
+                SignalRole::Mask => free.push(*variable),
+                SignalRole::Control => {} // held at 0
+                SignalRole::Internal => unreachable!("support contains inputs only"),
+            }
+        }
+        conditioning.sort_unstable_by_key(|&(cycle, secret, bit)| (cycle, secret, bit));
+        conditioning.dedup();
+        free.sort_unstable();
+        free.dedup();
+
+        let support_bits = conditioning.len() + free.len();
+        if support_bits > self.config.max_support_bits || conditioning.len() > 16 {
+            return ProbeVerdict::TooWide { support_bits };
+        }
+
+        // Map each conditioning tuple to its share-0 wire (for driving).
+        let share0_wires: Vec<(usize, WireId)> = conditioning
+            .iter()
+            .map(|&(cycle, secret, bit)| {
+                let wire = self
+                    .netlist
+                    .shares_of(secret)
+                    .into_iter()
+                    .find(|&(share, share_bit, _)| share == 0 && share_bit == bit)
+                    .map(|(_, _, wire)| wire)
+                    .expect("share 0 exists for every conditioned bit");
+                (cycle, wire)
+            })
+            .collect();
+        // For each conditioning tuple, the sibling free-variable indices.
+        let siblings_of: Vec<Vec<usize>> = conditioning
+            .iter()
+            .map(|&(cycle, secret, bit)| {
+                self.netlist
+                    .shares_of(secret)
+                    .into_iter()
+                    .filter(|&(share, share_bit, _)| share >= 1 && share_bit == bit)
+                    .filter_map(|(_, _, wire)| {
+                        free.binary_search(&UnrolledVar { cycle, wire }).ok()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let free_count = free.len();
+        let assignments_total: u64 = 1u64 << free_count;
+        let lanes_used = assignments_total.min(LANES as u64) as usize;
+        let batches = assignments_total.div_ceil(LANES as u64).max(1);
+
+        // Per-cycle input plan: free variables grouped by cycle.
+        let mut free_by_cycle: Vec<Vec<(usize, WireId)>> = vec![Vec::new(); observe + 1];
+        for (index, variable) in free.iter().enumerate() {
+            if variable.cycle <= observe {
+                free_by_cycle[variable.cycle].push((index, variable.wire));
+            }
+        }
+        let mut share0_by_cycle: Vec<Vec<(usize, WireId)>> = vec![Vec::new(); observe + 1];
+        for (cond_index, &(cycle, wire)) in share0_wires.iter().enumerate() {
+            if cycle <= observe {
+                share0_by_cycle[cycle].push((cond_index, wire));
+            }
+        }
+
+        let mut simulator = Simulator::new(self.netlist);
+        let mut histograms: Vec<HashMap<u128, u64>> = (0..(1u64 << conditioning.len()))
+            .map(|_| HashMap::new())
+            .collect();
+
+        for (secret_assignment, histogram) in histograms.iter_mut().enumerate() {
+            for batch in 0..batches {
+                simulator.reset();
+                for cycle in 0..=observe {
+                    // All inputs default to 0 each cycle.
+                    for &input in self.netlist.inputs() {
+                        simulator.set_input(input, 0);
+                    }
+                    for &(var_index, wire) in &free_by_cycle[cycle] {
+                        simulator.set_input(wire, variable_word(var_index, batch, lanes_used));
+                    }
+                    for &(cond_index, wire) in &share0_by_cycle[cycle] {
+                        let secret_bit = (secret_assignment >> cond_index) & 1 == 1;
+                        let mut word = if secret_bit { u64::MAX } else { 0 };
+                        for &sibling in &siblings_of[cond_index] {
+                            word ^= variable_word(sibling, batch, lanes_used);
+                        }
+                        simulator.set_input(wire, word);
+                    }
+                    if cycle < observe {
+                        simulator.step();
+                    } else {
+                        simulator.eval();
+                    }
+                }
+                // Pack each lane's observation and count it.
+                for lane in 0..lanes_used {
+                    let mut key: u128 = 0;
+                    let mut position = 0u32;
+                    for &wire in &set.observed {
+                        key |= (((simulator.value(wire) >> lane) & 1) as u128) << position;
+                        position += 1;
+                        if matches!(self.config.model, ProbeModel::GlitchTransition) {
+                            key |= (((simulator.prev_value(wire) >> lane) & 1) as u128) << position;
+                            position += 1;
+                        }
+                    }
+                    *histogram.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Compare every conditional distribution against the first.
+        let total = (batches * lanes_used as u64) as f64;
+        let describe = |assignment: usize| -> String {
+            conditioning
+                .iter()
+                .enumerate()
+                .map(|(index, &(cycle, secret, bit))| {
+                    format!(
+                        "s{}[{bit}]@c{cycle}={}",
+                        secret.0,
+                        (assignment >> index) & 1
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        for (assignment, histogram) in histograms.iter().enumerate().skip(1) {
+            let baseline = &histograms[0];
+            let mut keys: Vec<u128> = baseline.keys().chain(histogram.keys()).copied().collect();
+            keys.sort_unstable();
+            keys.dedup();
+            for key in keys {
+                let count_a = baseline.get(&key).copied().unwrap_or(0);
+                let count_b = histogram.get(&key).copied().unwrap_or(0);
+                if count_a != count_b {
+                    return ProbeVerdict::Leaky {
+                        counterexample: Counterexample {
+                            secret_a: describe(0),
+                            secret_b: describe(assignment),
+                            observation: key,
+                            probability_a: count_a as f64 / total,
+                            probability_b: count_b as f64 / total,
+                        },
+                        support_bits,
+                    };
+                }
+            }
+        }
+        ProbeVerdict::Secure {
+            support_bits,
+            enumerated: (1u64 << conditioning.len()) * batches * lanes_used as u64,
+        }
+    }
+}
+
+/// Per-lane bit patterns for the first six free variables (the ones that
+/// vary within a 64-lane batch): variable `v`'s bit equals bit `v` of the
+/// lane number.
+const LANE_PATTERNS: [u64; 6] = [
+    0xaaaa_aaaa_aaaa_aaaa,
+    0xcccc_cccc_cccc_cccc,
+    0xf0f0_f0f0_f0f0_f0f0,
+    0xff00_ff00_ff00_ff00,
+    0xffff_0000_ffff_0000,
+    0xffff_ffff_0000_0000,
+];
+
+/// The 64-lane word of free variable `var_index` in `batch`: assignment
+/// number `batch · lanes_used + lane`, bit `var_index`.
+fn variable_word(var_index: usize, batch: u64, lanes_used: usize) -> u64 {
+    let lane_bits = lanes_used.trailing_zeros() as usize;
+    if var_index < lane_bits {
+        LANE_PATTERNS[var_index]
+    } else if (batch >> (var_index - lane_bits)) & 1 == 1 {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// The longest register chain in the design (how many cycles until every
+/// register can hold input-derived data).
+fn sequential_depth(netlist: &Netlist) -> usize {
+    let register_count = netlist.register_count();
+    let mut depth = vec![0usize; netlist.wire_count()];
+    for _ in 0..=register_count {
+        let mut changed = false;
+        for &cell_id in netlist.topo_cells() {
+            let cell = netlist.cell(cell_id);
+            let max_in = cell
+                .inputs
+                .iter()
+                .map(|input| depth[input.index()])
+                .max()
+                .unwrap_or(0);
+            if depth[cell.output.index()] != max_in {
+                depth[cell.output.index()] = max_in;
+                changed = true;
+            }
+        }
+        for (_, register) in netlist.registers() {
+            let new_depth = (depth[register.d.index()] + 1).min(register_count + 1);
+            if depth[register.q.index()] < new_depth {
+                depth[register.q.index()] = new_depth;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    netlist
+        .registers()
+        .map(|(_, register)| depth[register.q.index()])
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_netlist::NetlistBuilder;
+
+    fn share_role(share: u8, bit: u8) -> SignalRole {
+        SignalRole::Share {
+            secret: SecretId(0),
+            share,
+            bit,
+        }
+    }
+
+    #[test]
+    fn recombining_shares_is_proven_leaky() {
+        let mut builder = NetlistBuilder::new("recombine");
+        let s0 = builder.input("s0", share_role(0, 0));
+        let s1 = builder.input("s1", share_role(1, 0));
+        let x = builder.xor2(s0, s1);
+        let q = builder.register(x);
+        builder.output("q", q);
+        let netlist = builder.build().expect("valid");
+        let report = ExactVerifier::new(&netlist).verify_all();
+        assert!(report.leak_found(), "{report}");
+        let (_, counterexample) = report.leaks()[0];
+        // A genuine distribution gap is witnessed (0.5 vs 0 on the XOR
+        // probe, 1 vs 0 on the register probe, depending on order).
+        assert!((counterexample.probability_a - counterexample.probability_b).abs() > 0.4);
+    }
+
+    #[test]
+    fn independent_share_registers_are_proven_secure() {
+        let mut builder = NetlistBuilder::new("independent");
+        let s0 = builder.input("s0", share_role(0, 0));
+        let s1 = builder.input("s1", share_role(1, 0));
+        let q0 = builder.register(s0);
+        let q1 = builder.register(s1);
+        builder.output("q0", q0);
+        builder.output("q1", q1);
+        let netlist = builder.build().expect("valid");
+        let report = ExactVerifier::new(&netlist).verify_all();
+        assert!(report.proven_secure(), "{report}");
+    }
+
+    #[test]
+    fn masked_product_with_fresh_mask_is_secure_per_share() {
+        // z0 = s0 & t ⊕ r registered — the Eq. 5 simplified DOM share.
+        // The sibling share s1 exists (making s0 a one-time-pad view of
+        // the secret) even though this fragment never reads it.
+        let mut builder = NetlistBuilder::new("dom_share");
+        let s0 = builder.input("s0", share_role(0, 0));
+        let _s1 = builder.input("s1", share_role(1, 0));
+        let t = builder.input("t", SignalRole::Control);
+        let mask = builder.input("r", SignalRole::Mask);
+        let product = builder.and2(s0, t);
+        let blinded = builder.xor2(product, mask);
+        let q = builder.register(blinded);
+        builder.output("q", q);
+        let netlist = builder.build().expect("valid");
+        let report = ExactVerifier::new(&netlist).verify_all();
+        assert!(report.proven_secure(), "{report}");
+    }
+
+    #[test]
+    fn glitchy_unregistered_mask_is_caught() {
+        // out = (s0 ⊕ s1) & r computed combinationally: the glitch-extended
+        // probe on out sees s0 and s1 jointly → leaky, with proof.
+        let mut builder = NetlistBuilder::new("glitchy");
+        let s0 = builder.input("s0", share_role(0, 0));
+        let s1 = builder.input("s1", share_role(1, 0));
+        let mask = builder.input("r", SignalRole::Mask);
+        let x = builder.xor2(s0, s1);
+        let masked = builder.and2(x, mask);
+        let q = builder.register(masked);
+        builder.output("q", q);
+        let netlist = builder.build().expect("valid");
+        let report = ExactVerifier::new(&netlist).verify_all();
+        assert!(report.leak_found(), "{report}");
+    }
+
+    #[test]
+    fn too_wide_supports_are_reported_not_skipped() {
+        let mut builder = NetlistBuilder::new("wide");
+        let inputs: Vec<_> = (0..30)
+            .map(|i| builder.input(format!("m{i}"), SignalRole::Mask))
+            .collect();
+        let s0 = builder.input("s0", share_role(0, 0));
+        let s1 = builder.input("s1", share_role(1, 0));
+        let mut acc = builder.xor2(s0, s1);
+        for &input in &inputs {
+            acc = builder.xor2(acc, input);
+        }
+        builder.output("acc", acc);
+        let netlist = builder.build().expect("valid");
+        let verifier = ExactVerifier::with_config(
+            &netlist,
+            ExactConfig {
+                observe_cycle: 2,
+                max_support_bits: 16,
+                ..Default::default()
+            },
+        );
+        let report = verifier.verify_all();
+        assert!(!report.too_wide().is_empty());
+    }
+
+    #[test]
+    fn sequential_depth_counts_register_chains() {
+        let mut builder = NetlistBuilder::new("depth");
+        let a = builder.input("a", SignalRole::Control);
+        let q1 = builder.register(a);
+        let q2 = builder.register(q1);
+        let q3 = builder.register(q2);
+        builder.output("q3", q3);
+        let netlist = builder.build().expect("valid");
+        assert_eq!(sequential_depth(&netlist), 3);
+    }
+}

@@ -1,0 +1,534 @@
+//! Arithmetic in the AES field GF(2⁸).
+//!
+//! This crate provides the field substrate for the whole workspace:
+//!
+//! * [`Gf256`] — a newtype wrapper over `u8` implementing arithmetic in
+//!   GF(2⁸) with the AES reduction polynomial x⁸ + x⁴ + x³ + x + 1
+//!   (`0x11b`), including multiplication, inversion and exponentiation.
+//! * [`tables`] — compile-time log/antilog, inverse and S-box tables.
+//! * [`matrix`] — 8×8 matrices over GF(2) (used for the affine
+//!   transformation, squaring matrices and tower-field isomorphisms).
+//! * [`tower`] — the composite-field decomposition
+//!   GF(2⁸) ≅ GF(((2²)²)²) used to derive compact inversion circuits.
+//! * [`sbox`] — the AES S-box and its decomposition into inversion and
+//!   affine parts, the identity `(z ⊕ X)⁻¹ ⊕ z = X⁻¹` behind the
+//!   Kronecker-delta zero-mapping, and related helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use mmaes_gf256::Gf256;
+//!
+//! let x = Gf256::new(0x53);
+//! let y = x.inverse();
+//! assert_eq!(x * y, Gf256::ONE);
+//! // The zero-mapping identity used by the masked S-box: for any x,
+//! // with z = 1 iff x == 0, we have (x ^ z)^-1 ^ z == x^-1 (0^-1 := 0).
+//! let z = Gf256::new(u8::from(x == Gf256::ZERO));
+//! assert_eq!((x + z).inverse() + z, x.inverse());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod sbox;
+pub mod tables;
+pub mod tower;
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The AES reduction polynomial x⁸ + x⁴ + x³ + x + 1, including the x⁸ term.
+pub const AES_POLY: u16 = 0x11b;
+
+/// An element of GF(2⁸) with the AES reduction polynomial.
+///
+/// Addition is XOR; multiplication reduces modulo [`AES_POLY`]. The type is
+/// `Copy` and all operators are implemented for both values and references.
+///
+/// # Example
+///
+/// ```
+/// use mmaes_gf256::Gf256;
+///
+/// let a = Gf256::new(0x57);
+/// let b = Gf256::new(0x83);
+/// assert_eq!(a * b, Gf256::new(0xc1)); // FIPS-197 §4.2 worked example
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The generator `0x03` used to build the log/antilog tables
+    /// (a primitive element of the AES field).
+    pub const GENERATOR: Gf256 = Gf256(3);
+
+    /// Wraps a byte as a field element.
+    #[inline]
+    pub const fn new(byte: u8) -> Self {
+        Gf256(byte)
+    }
+
+    /// Returns the underlying byte.
+    #[inline]
+    pub const fn to_byte(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the i-th bit (little-endian: bit 0 is the constant term).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    #[inline]
+    pub const fn bit(self, bit: usize) -> bool {
+        assert!(bit < 8);
+        (self.0 >> bit) & 1 == 1
+    }
+
+    /// True iff this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Carry-less multiply-and-reduce, usable in `const` contexts.
+    ///
+    /// This is the definitional Russian-peasant multiplication; the
+    /// operator implementations use the precomputed log/antilog tables
+    /// instead, and the two are cross-checked exhaustively in tests.
+    pub const fn mul_const(self, rhs: Gf256) -> Gf256 {
+        let mut a = self.0 as u16;
+        let mut b = rhs.0;
+        let mut acc: u16 = 0;
+        while b != 0 {
+            if b & 1 == 1 {
+                acc ^= a;
+            }
+            a <<= 1;
+            if a & 0x100 != 0 {
+                a ^= AES_POLY;
+            }
+            b >>= 1;
+        }
+        Gf256(acc as u8)
+    }
+
+    /// Multiplication by x (the `xtime` operation of FIPS-197).
+    #[inline]
+    pub const fn xtime(self) -> Gf256 {
+        let doubled = (self.0 as u16) << 1;
+        if doubled & 0x100 != 0 {
+            Gf256((doubled ^ AES_POLY) as u8)
+        } else {
+            Gf256(doubled as u8)
+        }
+    }
+
+    /// Squaring (a linear operation in characteristic 2).
+    #[inline]
+    pub fn square(self) -> Gf256 {
+        self * self
+    }
+
+    /// Raises `self` to the power `exp` (with `0⁰ = 1`).
+    pub fn pow(self, mut exp: u32) -> Gf256 {
+        let mut base = self;
+        let mut acc = Gf256::ONE;
+        while exp != 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base = base.square();
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// The multiplicative inverse, with the AES convention `0⁻¹ = 0`.
+    ///
+    /// The zero convention is exactly what the S-box uses, and also what
+    /// makes the *zero-value problem* of multiplicative masking concrete:
+    /// zero is the unique element that multiplicative masks cannot hide.
+    #[inline]
+    pub fn inverse(self) -> Gf256 {
+        Gf256(tables::INV[self.0 as usize])
+    }
+
+    /// The multiplicative inverse, failing on zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroInverseError`] when `self` is zero, for callers that
+    /// must treat the zero-value case explicitly (e.g. multiplicative-mask
+    /// sampling from GF(2⁸)\{0}).
+    pub fn checked_inverse(self) -> Result<Gf256, ZeroInverseError> {
+        if self.is_zero() {
+            Err(ZeroInverseError)
+        } else {
+            Ok(self.inverse())
+        }
+    }
+
+    /// Discrete logarithm to base [`Gf256::GENERATOR`], or `None` for zero.
+    pub fn log(self) -> Option<u8> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(tables::LOG[self.0 as usize])
+        }
+    }
+
+    /// `GENERATOR.pow(exp mod 255)` via the antilog table.
+    pub fn alog(exp: u8) -> Gf256 {
+        Gf256(tables::ALOG[(exp as usize) % 255])
+    }
+
+    /// Iterator over all 256 field elements in byte order.
+    pub fn all() -> impl Iterator<Item = Gf256> {
+        (0u16..256).map(|byte| Gf256(byte as u8))
+    }
+
+    /// Iterator over the 255 non-zero field elements.
+    pub fn all_nonzero() -> impl Iterator<Item = Gf256> {
+        (1u16..256).map(|byte| Gf256(byte as u8))
+    }
+}
+
+/// Error returned by [`Gf256::checked_inverse`] on zero input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroInverseError;
+
+impl fmt::Display for ZeroInverseError {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        formatter.write_str("zero has no multiplicative inverse in GF(256)")
+    }
+}
+
+impl std::error::Error for ZeroInverseError {}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(formatter, "Gf256(0x{:02x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(formatter, "0x{:02x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gf256 {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, formatter)
+    }
+}
+
+impl fmt::UpperHex for Gf256 {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, formatter)
+    }
+}
+
+impl fmt::Binary for Gf256 {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, formatter)
+    }
+}
+
+impl fmt::Octal for Gf256 {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, formatter)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(byte: u8) -> Self {
+        Gf256(byte)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(element: Gf256) -> Self {
+        element.0
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl<'a> $trait<&'a Gf256> for Gf256 {
+            type Output = Gf256;
+            fn $method(self, rhs: &'a Gf256) -> Gf256 {
+                $trait::$method(self, *rhs)
+            }
+        }
+        impl<'a> $trait<Gf256> for &'a Gf256 {
+            type Output = Gf256;
+            fn $method(self, rhs: Gf256) -> Gf256 {
+                $trait::$method(*self, rhs)
+            }
+        }
+        impl<'a, 'b> $trait<&'b Gf256> for &'a Gf256 {
+            type Output = Gf256;
+            fn $method(self, rhs: &'b Gf256) -> Gf256 {
+                $trait::$method(*self, *rhs)
+            }
+        }
+    };
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // GF(2^8) addition IS xor
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+forward_binop!(Add, add);
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // characteristic 2: sub = add
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // In characteristic 2, subtraction and addition coincide.
+        self + rhs
+    }
+}
+forward_binop!(Sub, sub);
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.is_zero() || rhs.is_zero() {
+            return Gf256::ZERO;
+        }
+        let log_sum = tables::LOG[self.0 as usize] as usize + tables::LOG[rhs.0 as usize] as usize;
+        Gf256(tables::ALOG[log_sum % 255])
+    }
+}
+forward_binop!(Mul, mul);
+
+impl Div for Gf256 {
+    type Output = Gf256;
+    /// Division by a non-zero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rhs` is zero.
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        assert!(!rhs.is_zero(), "division by zero in GF(256)");
+        self * rhs.inverse()
+    }
+}
+forward_binop!(Div, div);
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        // Every element is its own additive inverse in characteristic 2.
+        self
+    }
+}
+
+impl AddAssign for Gf256 {
+    fn add_assign(&mut self, rhs: Gf256) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Gf256 {
+    fn sub_assign(&mut self, rhs: Gf256) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Gf256 {
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Gf256 {
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Gf256 {
+    fn sum<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Gf256> for Gf256 {
+    fn sum<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+        iter.copied().sum()
+    }
+}
+
+impl Product for Gf256 {
+    fn product<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ONE, Mul::mul)
+    }
+}
+
+impl<'a> Product<&'a Gf256> for Gf256 {
+    fn product<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+        iter.copied().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_worked_example() {
+        assert_eq!(Gf256::new(0x57) * Gf256::new(0x83), Gf256::new(0xc1));
+        assert_eq!(Gf256::new(0x57) * Gf256::new(0x13), Gf256::new(0xfe));
+    }
+
+    #[test]
+    fn xtime_matches_mul_by_two() {
+        for x in Gf256::all() {
+            assert_eq!(x.xtime(), x * Gf256::new(2));
+        }
+    }
+
+    #[test]
+    fn table_mul_matches_const_mul_exhaustively() {
+        for a in Gf256::all() {
+            for b in Gf256::all() {
+                assert_eq!(a * b, a.mul_const(b), "mismatch at {a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_involution_and_correct() {
+        assert_eq!(Gf256::ZERO.inverse(), Gf256::ZERO);
+        for x in Gf256::all_nonzero() {
+            assert_eq!(x * x.inverse(), Gf256::ONE);
+            assert_eq!(x.inverse().inverse(), x);
+        }
+    }
+
+    #[test]
+    fn checked_inverse_rejects_zero() {
+        assert_eq!(Gf256::ZERO.checked_inverse(), Err(ZeroInverseError));
+        assert_eq!(Gf256::ONE.checked_inverse(), Ok(Gf256::ONE));
+    }
+
+    #[test]
+    fn zero_and_one_are_self_inverse() {
+        // The property the Kronecker-delta zero-mapping relies on.
+        assert_eq!(Gf256::ZERO.inverse(), Gf256::ZERO);
+        assert_eq!(Gf256::ONE.inverse(), Gf256::ONE);
+        let self_inverse: Vec<Gf256> = Gf256::all().filter(|x| x.inverse() == *x).collect();
+        assert!(self_inverse.contains(&Gf256::ZERO));
+        assert!(self_inverse.contains(&Gf256::ONE));
+    }
+
+    #[test]
+    fn kronecker_identity_holds_for_all_inputs() {
+        // (z ⊕ x)⁻¹ ⊕ z = x⁻¹ with z = δ(x).
+        for x in Gf256::all() {
+            let z = Gf256::new(u8::from(x.is_zero()));
+            assert_eq!((x + z).inverse() + z, x.inverse());
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for x in Gf256::all() {
+            let mut acc = Gf256::ONE;
+            for exp in 0..16u32 {
+                assert_eq!(x.pow(exp), acc, "{x}^{exp}");
+                acc *= x;
+            }
+        }
+    }
+
+    #[test]
+    fn inversion_is_x_to_the_254() {
+        for x in Gf256::all() {
+            assert_eq!(x.pow(254), x.inverse());
+        }
+    }
+
+    #[test]
+    fn square_is_linear() {
+        for a in Gf256::all() {
+            for b in [0x01u8, 0x47, 0x80, 0xff] {
+                let b = Gf256::new(b);
+                assert_eq!((a + b).square(), a.square() + b.square());
+            }
+        }
+    }
+
+    #[test]
+    fn log_alog_roundtrip() {
+        assert_eq!(Gf256::ZERO.log(), None);
+        for x in Gf256::all_nonzero() {
+            let exponent = x.log().expect("non-zero element has a log");
+            assert_eq!(Gf256::alog(exponent), x);
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        let mut acc = Gf256::ONE;
+        for _ in 0..255 {
+            assert!(!seen[acc.to_byte() as usize], "generator order < 255");
+            seen[acc.to_byte() as usize] = true;
+            acc *= Gf256::GENERATOR;
+        }
+        assert_eq!(acc, Gf256::ONE);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        for a in Gf256::all() {
+            for b in Gf256::all_nonzero() {
+                assert_eq!((a * b) / b, a);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_and_product_fold_correctly() {
+        let values = [Gf256::new(0x12), Gf256::new(0x34), Gf256::new(0x56)];
+        let total: Gf256 = values.iter().sum();
+        assert_eq!(total, Gf256::new(0x12 ^ 0x34 ^ 0x56));
+        let product: Gf256 = values.iter().product();
+        assert_eq!(
+            product,
+            Gf256::new(0x12)
+                .mul_const(Gf256::new(0x34))
+                .mul_const(Gf256::new(0x56))
+        );
+    }
+
+    #[test]
+    fn formatting_is_nonempty_and_hex() {
+        let x = Gf256::new(0xab);
+        assert_eq!(format!("{x}"), "0xab");
+        assert_eq!(format!("{x:x}"), "ab");
+        assert_eq!(format!("{x:X}"), "AB");
+        assert_eq!(format!("{x:08b}"), "10101011");
+        assert_eq!(format!("{x:?}"), "Gf256(0xab)");
+    }
+}

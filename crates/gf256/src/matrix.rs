@@ -1,0 +1,353 @@
+//! 8×8 matrices over GF(2).
+//!
+//! GF(2)-linear maps on bytes are ubiquitous in this workspace: the AES
+//! affine transformation, the Frobenius (squaring) map, and the basis
+//! isomorphisms of the tower-field decomposition are all instances.
+//! Representing them explicitly lets the circuit generators in
+//! `mmaes-circuits` turn any linear layer into an XOR network generically.
+
+use core::fmt;
+
+use crate::Gf256;
+
+/// An 8×8 matrix over GF(2), stored row-major with one byte per row.
+///
+/// Row `i`, bit `j` (little-endian within the byte) is the coefficient of
+/// input bit `j` in output bit `i`: `y_i = ⊕_j M[i][j] · x_j`.
+///
+/// # Example
+///
+/// ```
+/// use mmaes_gf256::matrix::BitMatrix8;
+///
+/// let identity = BitMatrix8::IDENTITY;
+/// assert_eq!(identity.apply(0xa5), 0xa5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitMatrix8 {
+    rows: [u8; 8],
+}
+
+impl BitMatrix8 {
+    /// The identity matrix.
+    pub const IDENTITY: BitMatrix8 = BitMatrix8 {
+        rows: [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80],
+    };
+
+    /// The all-zero matrix.
+    pub const ZERO: BitMatrix8 = BitMatrix8 { rows: [0; 8] };
+
+    /// The GF(2)-matrix of the AES affine transformation (linear part).
+    ///
+    /// `sbox(x) = AES_AFFINE · x ⊕ 0x63` applied after inversion.
+    pub const AES_AFFINE: BitMatrix8 = build_aes_affine_matrix();
+
+    /// Constructs a matrix from its eight rows (row `i` = `rows[i]`).
+    pub const fn from_rows(rows: [u8; 8]) -> Self {
+        BitMatrix8 { rows }
+    }
+
+    /// Builds the matrix of a linear byte map by probing the 8 basis vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map(0) != 0` or if `map` is detected to be non-linear on
+    /// a sample of inputs (exhaustive when debug assertions are enabled).
+    pub fn from_linear_map(map: impl Fn(u8) -> u8) -> Self {
+        assert_eq!(map(0), 0, "map is not linear: map(0) != 0");
+        let mut rows = [0u8; 8];
+        for column in 0..8 {
+            let image = map(1 << column);
+            for (row_index, row) in rows.iter_mut().enumerate() {
+                if (image >> row_index) & 1 == 1 {
+                    *row |= 1 << column;
+                }
+            }
+        }
+        let matrix = BitMatrix8 { rows };
+        if cfg!(debug_assertions) {
+            for input in 0..=255u8 {
+                assert_eq!(
+                    matrix.apply(input),
+                    map(input),
+                    "map is not linear at {input:#x}"
+                );
+            }
+        }
+        matrix
+    }
+
+    /// The matrix of the Frobenius map `x → x²` on [`Gf256`].
+    pub fn frobenius() -> Self {
+        BitMatrix8::from_linear_map(|byte| Gf256::new(byte).square().to_byte())
+    }
+
+    /// The matrix of multiplication by a fixed field constant.
+    pub fn mul_by_constant(constant: Gf256) -> Self {
+        BitMatrix8::from_linear_map(|byte| (Gf256::new(byte) * constant).to_byte())
+    }
+
+    /// Returns row `i` as a byte (bit `j` = coefficient of input bit `j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 8`.
+    pub const fn row(&self, row: usize) -> u8 {
+        self.rows[row]
+    }
+
+    /// Returns the entry at (`row`, `column`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 8` or `column >= 8`.
+    pub const fn entry(&self, row: usize, column: usize) -> bool {
+        assert!(column < 8);
+        (self.rows[row] >> column) & 1 == 1
+    }
+
+    /// Applies the matrix to a byte (matrix–vector product over GF(2)).
+    #[inline]
+    pub const fn apply(&self, input: u8) -> u8 {
+        let mut output = 0u8;
+        let mut row = 0;
+        while row < 8 {
+            let parity = (self.rows[row] & input).count_ones() & 1;
+            output |= (parity as u8) << row;
+            row += 1;
+        }
+        output
+    }
+
+    /// Matrix product `self · rhs` (apply `rhs` first, then `self`).
+    pub fn compose(&self, rhs: &BitMatrix8) -> BitMatrix8 {
+        BitMatrix8::from_linear_map(|byte| self.apply(rhs.apply(byte)))
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> BitMatrix8 {
+        let mut rows = [0u8; 8];
+        for (row_index, row) in self.rows.iter().enumerate() {
+            for (column, out_row) in rows.iter_mut().enumerate() {
+                if (row >> column) & 1 == 1 {
+                    *out_row |= 1 << row_index;
+                }
+            }
+        }
+        BitMatrix8 { rows }
+    }
+
+    /// The inverse matrix, or `None` when the matrix is singular.
+    pub fn inverse(&self) -> Option<BitMatrix8> {
+        // Gauss-Jordan over GF(2) on [self | I].
+        let mut left = self.rows;
+        let mut right = BitMatrix8::IDENTITY.rows;
+        for pivot_column in 0..8 {
+            let pivot_row = (pivot_column..8).find(|&row| (left[row] >> pivot_column) & 1 == 1)?;
+            left.swap(pivot_column, pivot_row);
+            right.swap(pivot_column, pivot_row);
+            for row in 0..8 {
+                if row != pivot_column && (left[row] >> pivot_column) & 1 == 1 {
+                    left[row] ^= left[pivot_column];
+                    right[row] ^= right[pivot_column];
+                }
+            }
+        }
+        Some(BitMatrix8 { rows: right })
+    }
+
+    /// The rank of the matrix over GF(2).
+    pub fn rank(&self) -> usize {
+        let mut rows = self.rows;
+        let mut rank = 0;
+        for column in 0..8 {
+            if let Some(pivot) = (rank..8).find(|&row| (rows[row] >> column) & 1 == 1) {
+                rows.swap(rank, pivot);
+                for row in 0..8 {
+                    if row != rank && (rows[row] >> column) & 1 == 1 {
+                        rows[row] ^= rows[rank];
+                    }
+                }
+                rank += 1;
+            }
+        }
+        rank
+    }
+
+    /// True iff the matrix is invertible.
+    pub fn is_invertible(&self) -> bool {
+        self.rank() == 8
+    }
+}
+
+impl Default for BitMatrix8 {
+    fn default() -> Self {
+        BitMatrix8::IDENTITY
+    }
+}
+
+impl fmt::Debug for BitMatrix8 {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(formatter, "BitMatrix8 [")?;
+        for row in &self.rows {
+            writeln!(formatter, "  {row:08b}")?;
+        }
+        write!(formatter, "]")
+    }
+}
+
+impl fmt::Display for BitMatrix8 {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, formatter)
+    }
+}
+
+const fn build_aes_affine_matrix() -> BitMatrix8 {
+    let mut rows = [0u8; 8];
+    let mut column = 0;
+    while column < 8 {
+        let image = aes_affine_linear(1 << column);
+        let mut row = 0;
+        while row < 8 {
+            if (image >> row) & 1 == 1 {
+                rows[row] |= 1 << column;
+            }
+            row += 1;
+        }
+        column += 1;
+    }
+    BitMatrix8 { rows }
+}
+
+const fn aes_affine_linear(x: u8) -> u8 {
+    let mut out: u8 = 0;
+    let mut i = 0;
+    while i < 8 {
+        let bit = ((x >> i)
+            ^ (x >> ((i + 4) % 8))
+            ^ (x >> ((i + 5) % 8))
+            ^ (x >> ((i + 6) % 8))
+            ^ (x >> ((i + 7) % 8)))
+            & 1;
+        out |= bit << i;
+        i += 1;
+    }
+    out
+}
+
+/// The additive constant of the AES affine transformation.
+pub const AES_AFFINE_CONSTANT: u8 = 0x63;
+
+/// Applies the complete AES affine transformation `A·x ⊕ 0x63`.
+///
+/// # Example
+///
+/// ```
+/// use mmaes_gf256::matrix::affine_transform;
+/// use mmaes_gf256::tables::{INV, SBOX};
+///
+/// for x in 0..=255u8 {
+///     assert_eq!(affine_transform(INV[x as usize]), SBOX[x as usize]);
+/// }
+/// ```
+pub fn affine_transform(input: u8) -> u8 {
+    BitMatrix8::AES_AFFINE.apply(input) ^ AES_AFFINE_CONSTANT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{INV, SBOX};
+
+    #[test]
+    fn identity_applies_as_identity() {
+        for byte in 0..=255u8 {
+            assert_eq!(BitMatrix8::IDENTITY.apply(byte), byte);
+        }
+    }
+
+    #[test]
+    fn affine_matrix_reproduces_sbox() {
+        for byte in 0..=255u8 {
+            assert_eq!(affine_transform(INV[byte as usize]), SBOX[byte as usize]);
+        }
+    }
+
+    #[test]
+    fn affine_matrix_is_invertible() {
+        let inverse = BitMatrix8::AES_AFFINE
+            .inverse()
+            .expect("affine is invertible");
+        let product = BitMatrix8::AES_AFFINE.compose(&inverse);
+        assert_eq!(product, BitMatrix8::IDENTITY);
+    }
+
+    #[test]
+    fn frobenius_matrix_matches_squaring() {
+        let frobenius = BitMatrix8::frobenius();
+        for x in Gf256::all() {
+            assert_eq!(frobenius.apply(x.to_byte()), x.square().to_byte());
+        }
+    }
+
+    #[test]
+    fn frobenius_is_invertible_with_order_eight() {
+        let frobenius = BitMatrix8::frobenius();
+        let mut power = frobenius;
+        for _ in 0..7 {
+            power = power.compose(&frobenius);
+        }
+        assert_eq!(power, BitMatrix8::IDENTITY);
+        assert!(frobenius.is_invertible());
+    }
+
+    #[test]
+    fn mul_by_constant_matrix_matches_field_mul() {
+        for constant in [0x02u8, 0x03, 0x0e, 0x5b] {
+            let matrix = BitMatrix8::mul_by_constant(Gf256::new(constant));
+            for x in Gf256::all() {
+                assert_eq!(
+                    matrix.apply(x.to_byte()),
+                    (x * Gf256::new(constant)).to_byte()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compose_is_function_composition() {
+        let frobenius = BitMatrix8::frobenius();
+        let affine = BitMatrix8::AES_AFFINE;
+        let composed = affine.compose(&frobenius);
+        for byte in 0..=255u8 {
+            assert_eq!(composed.apply(byte), affine.apply(frobenius.apply(byte)));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let matrix = BitMatrix8::AES_AFFINE;
+        assert_eq!(matrix.transpose().transpose(), matrix);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let singular = BitMatrix8::from_rows([1, 1, 0, 0, 0, 0, 0, 0]);
+        assert!(singular.inverse().is_none());
+        assert!(!singular.is_invertible());
+        assert_eq!(singular.rank(), 1);
+    }
+
+    #[test]
+    fn zero_matrix_annihilates() {
+        for byte in 0..=255u8 {
+            assert_eq!(BitMatrix8::ZERO.apply(byte), 0);
+        }
+        assert_eq!(BitMatrix8::ZERO.rank(), 0);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        assert!(!format!("{:?}", BitMatrix8::IDENTITY).is_empty());
+    }
+}

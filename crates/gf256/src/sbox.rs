@@ -1,0 +1,115 @@
+//! The AES S-box, its decomposition, and the Kronecker-delta zero-mapping.
+//!
+//! The masked S-box of De Meyer et al. computes `S(x) = A(x⁻¹)` by
+//! decomposing it into: zero-mapping (Kronecker delta), masking-scheme
+//! conversion, *local* inversion of a multiplicative share, back-conversion
+//! and the affine transformation. This module provides the unmasked
+//! reference of each piece so every masked gadget in the workspace can be
+//! checked against ground truth.
+
+use crate::matrix::{affine_transform, AES_AFFINE_CONSTANT};
+use crate::tables::{INV_SBOX, SBOX};
+use crate::Gf256;
+
+/// The AES S-box as a function.
+///
+/// # Example
+///
+/// ```
+/// use mmaes_gf256::{sbox::sbox, Gf256};
+/// assert_eq!(sbox(Gf256::new(0x00)), Gf256::new(0x63));
+/// assert_eq!(sbox(Gf256::new(0x53)), Gf256::new(0xed));
+/// ```
+#[inline]
+pub fn sbox(x: Gf256) -> Gf256 {
+    Gf256::new(SBOX[x.to_byte() as usize])
+}
+
+/// The inverse AES S-box as a function.
+#[inline]
+pub fn inv_sbox(x: Gf256) -> Gf256 {
+    Gf256::new(INV_SBOX[x.to_byte() as usize])
+}
+
+/// The Kronecker delta `δ(x) = 1 iff x = 0`, as a field element.
+///
+/// This is Equation (4) of the paper: `z = x̄₀ & x̄₁ & … & x̄₇`.
+#[inline]
+pub fn kronecker_delta(x: Gf256) -> Gf256 {
+    Gf256::new(u8::from(x.is_zero()))
+}
+
+/// The zero-mapped inversion `(x ⊕ δ(x))⁻¹ ⊕ δ(x)`, which equals `x⁻¹`
+/// for every input but never inverts zero (the input to the inversion is
+/// always non-zero).
+///
+/// This is the identity that makes the multiplicative-masking S-box work:
+/// after the Kronecker correction, multiplicative masking only ever sees
+/// elements of GF(2⁸)*.
+pub fn zero_mapped_inverse(x: Gf256) -> Gf256 {
+    let delta = kronecker_delta(x);
+    let mapped = x + delta;
+    debug_assert!(!mapped.is_zero(), "zero-mapping must remove the zero input");
+    mapped.inverse() + delta
+}
+
+/// Computes the S-box through the full decomposition used by the masked
+/// datapath: zero-mapping, inversion, zero-unmapping, affine.
+pub fn sbox_via_decomposition(x: Gf256) -> Gf256 {
+    Gf256::new(affine_transform(zero_mapped_inverse(x).to_byte()))
+}
+
+/// The additive constant of the affine layer, re-exported for masked
+/// implementations (only one share receives the constant).
+pub const AFFINE_CONSTANT: u8 = AES_AFFINE_CONSTANT;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_matches_table_for_all_inputs() {
+        for x in Gf256::all() {
+            assert_eq!(sbox_via_decomposition(x), sbox(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn zero_mapped_inverse_equals_inverse() {
+        for x in Gf256::all() {
+            assert_eq!(zero_mapped_inverse(x), x.inverse());
+        }
+    }
+
+    #[test]
+    fn kronecker_delta_is_indicator_of_zero() {
+        assert_eq!(kronecker_delta(Gf256::ZERO), Gf256::ONE);
+        for x in Gf256::all_nonzero() {
+            assert_eq!(kronecker_delta(x), Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn kronecker_delta_equals_and_of_inverted_bits() {
+        // Equation (4): z = x̄₀ & … & x̄₇.
+        for x in Gf256::all() {
+            let bitwise = (0..8).all(|bit| !x.bit(bit));
+            assert_eq!(kronecker_delta(x) == Gf256::ONE, bitwise);
+        }
+    }
+
+    #[test]
+    fn sbox_and_inverse_sbox_compose_to_identity() {
+        for x in Gf256::all() {
+            assert_eq!(inv_sbox(sbox(x)), x);
+            assert_eq!(sbox(inv_sbox(x)), x);
+        }
+    }
+
+    #[test]
+    fn mapped_input_is_never_zero() {
+        for x in Gf256::all() {
+            assert!(!(x + kronecker_delta(x)).is_zero());
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Composite-field (tower) representation GF(2⁸) ≅ GF(((2²)²)²).
+//!
+//! Compact hardware inverters for the AES S-box — including the one used
+//! inside the masked S-box pipeline of De Meyer et al. — work in a tower
+//! representation where GF(2⁸) is built as a degree-2 extension of
+//! GF(2⁴), itself a degree-2 extension of GF(2²). Inversion then reduces
+//! to a handful of GF(2⁴)/GF(2²) operations.
+//!
+//! Rather than hard-coding a published basis-change matrix, this module
+//! *derives* the isomorphism: it searches for a root `β` of the AES
+//! polynomial inside the tower field and maps the AES polynomial basis
+//! `{1, x, …, x⁷}` to `{1, β, …, β⁷}`. The result is verified exhaustively
+//! in tests (and is, by construction, a field isomorphism).
+//!
+//! Element encodings (little-endian throughout):
+//!
+//! * GF(2²): 2 bits `b1·W + b0` with `W² = W + 1`.
+//! * GF(2⁴): 4 bits, low 2 bits = GF(2²) coefficient of 1, high 2 bits =
+//!   coefficient of `X`, with `X² = X + φ`, `φ = W + 1`.
+//! * GF(2⁸): 8 bits, low nibble = GF(2⁴) coefficient of 1, high nibble =
+//!   coefficient of `Y`, with `Y² = Y + λ` (λ found by search, see
+//!   [`TowerField::lambda`]).
+
+use crate::matrix::BitMatrix8;
+use crate::Gf256;
+
+/// Multiplication in GF(2²) with `W² = W + 1`.
+#[inline]
+pub const fn mul2(a: u8, b: u8) -> u8 {
+    let (a0, a1) = (a & 1, (a >> 1) & 1);
+    let (b0, b1) = (b & 1, (b >> 1) & 1);
+    let high = (a1 & b0) ^ (a0 & b1) ^ (a1 & b1);
+    let low = (a0 & b0) ^ (a1 & b1);
+    (high << 1) | low
+}
+
+/// Squaring in GF(2²) (equals inversion for non-zero elements).
+#[inline]
+pub const fn square2(a: u8) -> u8 {
+    mul2(a, a)
+}
+
+/// Inversion in GF(2²) with the convention `0⁻¹ = 0`.
+///
+/// In GF(4) every non-zero element satisfies `a³ = 1`, so `a⁻¹ = a²`.
+#[inline]
+pub const fn inv2(a: u8) -> u8 {
+    square2(a)
+}
+
+/// The GF(2²) constant φ = W + 1 used in `X² = X + φ`.
+pub const PHI: u8 = 0b11;
+
+/// Multiplication in GF(2⁴) = GF(2²)\[X\]/(X² + X + φ).
+#[inline]
+pub const fn mul4(a: u8, b: u8) -> u8 {
+    let (a0, a1) = (a & 0b11, (a >> 2) & 0b11);
+    let (b0, b1) = (b & 0b11, (b >> 2) & 0b11);
+    // (a1 X + a0)(b1 X + b0) = a1 b1 X² + (a1 b0 + a0 b1) X + a0 b0
+    //                        = (a1 b0 + a0 b1 + a1 b1) X + (a0 b0 + a1 b1 φ)
+    let cross = mul2(a1, b0) ^ mul2(a0, b1);
+    let hh = mul2(a1, b1);
+    let high = cross ^ hh;
+    let low = mul2(a0, b0) ^ mul2(hh, PHI);
+    (high << 2) | low
+}
+
+/// Squaring in GF(2⁴).
+#[inline]
+pub const fn square4(a: u8) -> u8 {
+    mul4(a, a)
+}
+
+/// Inversion in GF(2⁴) with the convention `0⁻¹ = 0`.
+pub const fn inv4(a: u8) -> u8 {
+    let (a0, a1) = (a & 0b11, (a >> 2) & 0b11);
+    // For a = a1 X + a0: Δ = a1² φ + a0 (a0 + a1), a⁻¹ = (a1 Δ⁻¹) X + (a0 + a1) Δ⁻¹.
+    let delta = mul2(square2(a1), PHI) ^ mul2(a0, a0 ^ a1);
+    let delta_inv = inv2(delta);
+    let high = mul2(a1, delta_inv);
+    let low = mul2(a0 ^ a1, delta_inv);
+    (high << 2) | low
+}
+
+/// A validated tower-field instance: the constant λ and the basis-change
+/// matrices between the AES polynomial basis and the tower basis.
+///
+/// # Example
+///
+/// ```
+/// use mmaes_gf256::tower::TowerField;
+/// use mmaes_gf256::Gf256;
+///
+/// let tower = TowerField::new();
+/// for x in Gf256::all() {
+///     assert_eq!(tower.inverse(x), x.inverse());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TowerField {
+    lambda: u8,
+    to_tower: BitMatrix8,
+    from_tower: BitMatrix8,
+}
+
+impl TowerField {
+    /// Derives a tower field instance (deterministically).
+    ///
+    /// Picks the smallest λ making `Y² + Y + λ` irreducible over GF(2⁴),
+    /// then the smallest root β of the AES polynomial in the tower field,
+    /// and builds the basis-change matrices from `{1, β, …, β⁷}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if no suitable λ or β exists, which cannot happen for
+    /// these field sizes (checked by exhaustive tests).
+    pub fn new() -> Self {
+        let lambda = (1u8..16)
+            .find(|&candidate| {
+                // Irreducible over GF(16) iff Y² + Y + λ has no root.
+                (0u8..16).all(|t| square4(t) ^ t != candidate)
+            })
+            .expect("an irreducible quadratic over GF(16) exists");
+
+        // Search for a root of the AES polynomial t^8 + t^4 + t^3 + t + 1
+        // evaluated with tower arithmetic.
+        let beta = (2u8..=255)
+            .find(|&t| {
+                let t2 = Self::mul_with(lambda, t, t);
+                let t4 = Self::mul_with(lambda, t2, t2);
+                let t8 = Self::mul_with(lambda, t4, t4);
+                let t3 = Self::mul_with(lambda, t2, t);
+                t8 ^ t4 ^ t3 ^ t ^ 1 == 0
+            })
+            .expect("the AES polynomial has a root in any GF(256) model");
+
+        // Column j of `from_aes` is β^j: maps Σ b_j x^j → Σ b_j β^j.
+        let mut powers = [0u8; 8];
+        let mut acc = 1u8;
+        for power in &mut powers {
+            *power = acc;
+            acc = Self::mul_with(lambda, acc, beta);
+        }
+        let to_tower = BitMatrix8::from_linear_map(|byte| {
+            let mut image = 0u8;
+            for (bit, power) in powers.iter().enumerate() {
+                if (byte >> bit) & 1 == 1 {
+                    image ^= power;
+                }
+            }
+            image
+        });
+        let from_tower = to_tower
+            .inverse()
+            .expect("basis-change matrix is invertible by construction");
+        TowerField {
+            lambda,
+            to_tower,
+            from_tower,
+        }
+    }
+
+    /// The λ constant of `Y² = Y + λ`.
+    pub fn lambda(&self) -> u8 {
+        self.lambda
+    }
+
+    /// The matrix mapping AES-basis bytes into the tower basis.
+    pub fn to_tower_matrix(&self) -> BitMatrix8 {
+        self.to_tower
+    }
+
+    /// The matrix mapping tower-basis bytes back to the AES basis.
+    pub fn from_tower_matrix(&self) -> BitMatrix8 {
+        self.from_tower
+    }
+
+    /// Converts an AES-field element into its tower representation.
+    pub fn to_tower(&self, x: Gf256) -> u8 {
+        self.to_tower.apply(x.to_byte())
+    }
+
+    /// Converts a tower-basis byte back into the AES field.
+    pub fn from_tower(&self, t: u8) -> Gf256 {
+        Gf256::new(self.from_tower.apply(t))
+    }
+
+    /// Multiplication of two tower-basis bytes.
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        Self::mul_with(self.lambda, a, b)
+    }
+
+    /// Inversion of a tower-basis byte (with `0⁻¹ = 0`).
+    ///
+    /// For `a·Y + b`: `Δ = λ a² + b(a + b)`, then
+    /// `(a·Y + b)⁻¹ = (a Δ⁻¹)·Y + (a + b) Δ⁻¹`.
+    pub fn inv(&self, t: u8) -> u8 {
+        let (b, a) = (t & 0x0f, t >> 4);
+        let delta = mul4(self.lambda, square4(a)) ^ mul4(b, a ^ b);
+        let delta_inv = inv4(delta);
+        let high = mul4(a, delta_inv);
+        let low = mul4(a ^ b, delta_inv);
+        (high << 4) | low
+    }
+
+    /// AES-field inversion routed through the tower representation.
+    pub fn inverse(&self, x: Gf256) -> Gf256 {
+        self.from_tower(self.inv(self.to_tower(x)))
+    }
+
+    fn mul_with(lambda: u8, a: u8, b: u8) -> u8 {
+        let (a0, a1) = (a & 0x0f, a >> 4);
+        let (b0, b1) = (b & 0x0f, b >> 4);
+        // (a1 Y + a0)(b1 Y + b0) with Y² = Y + λ.
+        let cross = mul4(a1, b0) ^ mul4(a0, b1);
+        let hh = mul4(a1, b1);
+        let high = cross ^ hh;
+        let low = mul4(a0, b0) ^ mul4(hh, lambda);
+        (high << 4) | low
+    }
+}
+
+impl Default for TowerField {
+    fn default() -> Self {
+        TowerField::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf4_multiplication_properties() {
+        for a in 0..4u8 {
+            assert_eq!(mul2(a, 0), 0);
+            assert_eq!(mul2(a, 1), a);
+            for b in 0..4u8 {
+                assert_eq!(mul2(a, b), mul2(b, a));
+                for c in 0..4u8 {
+                    assert_eq!(mul2(mul2(a, b), c), mul2(a, mul2(b, c)));
+                    assert_eq!(mul2(a, b ^ c), mul2(a, b) ^ mul2(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf4_inversion() {
+        assert_eq!(inv2(0), 0);
+        for a in 1..4u8 {
+            assert_eq!(mul2(a, inv2(a)), 1);
+        }
+    }
+
+    #[test]
+    fn gf16_is_a_field() {
+        for a in 0..16u8 {
+            assert_eq!(mul4(a, 1), a);
+            for b in 0..16u8 {
+                assert_eq!(mul4(a, b), mul4(b, a));
+                for c in 0..16u8 {
+                    assert_eq!(mul4(mul4(a, b), c), mul4(a, mul4(b, c)));
+                    assert_eq!(mul4(a, b ^ c), mul4(a, b) ^ mul4(a, c));
+                }
+            }
+        }
+        // No zero divisors.
+        for a in 1..16u8 {
+            for b in 1..16u8 {
+                assert_ne!(mul4(a, b), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn gf16_inversion() {
+        assert_eq!(inv4(0), 0);
+        for a in 1..16u8 {
+            assert_eq!(mul4(a, inv4(a)), 1, "inv4({a:#x})");
+        }
+    }
+
+    #[test]
+    fn tower_multiplication_is_isomorphic() {
+        let tower = TowerField::new();
+        for a in Gf256::all() {
+            for b in [0x01u8, 0x02, 0x53, 0xca, 0xff] {
+                let b = Gf256::new(b);
+                let product = tower.mul(tower.to_tower(a), tower.to_tower(b));
+                assert_eq!(tower.from_tower(product), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn tower_inversion_matches_field_inversion_exhaustively() {
+        let tower = TowerField::new();
+        for x in Gf256::all() {
+            assert_eq!(tower.inverse(x), x.inverse(), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn basis_change_roundtrips() {
+        let tower = TowerField::new();
+        for x in Gf256::all() {
+            assert_eq!(tower.from_tower(tower.to_tower(x)), x);
+        }
+    }
+
+    #[test]
+    fn basis_change_fixes_zero_and_one() {
+        // A field isomorphism must map 0 → 0 and 1 → 1; this is what makes
+        // the zero-value problem basis-independent.
+        let tower = TowerField::new();
+        assert_eq!(tower.to_tower(Gf256::ZERO), 0);
+        assert_eq!(tower.to_tower(Gf256::ONE), 1);
+    }
+
+    #[test]
+    fn lambda_polynomial_is_irreducible() {
+        let tower = TowerField::new();
+        for t in 0..16u8 {
+            assert_ne!(square4(t) ^ t, tower.lambda());
+        }
+    }
+}

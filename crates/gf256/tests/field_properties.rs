@@ -1,0 +1,86 @@
+//! Property-based tests of the field axioms and derived structures.
+
+use mmaes_gf256::matrix::BitMatrix8;
+use mmaes_gf256::tower::TowerField;
+use mmaes_gf256::Gf256;
+use proptest::prelude::*;
+
+fn element() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative_and_associative(a in element(), b in element(), c in element()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn addition_has_identity_and_self_inverse(a in element()) {
+        prop_assert_eq!(a + Gf256::ZERO, a);
+        prop_assert_eq!(a + a, Gf256::ZERO);
+        prop_assert_eq!(-a, a);
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative(a in element(), b in element(), c in element()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(a in element(), b in element(), c in element()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn nonzero_elements_form_a_group(a in 1u8..=255) {
+        let a = Gf256::new(a);
+        prop_assert_eq!(a * a.inverse(), Gf256::ONE);
+        prop_assert_eq!(a / a, Gf256::ONE);
+    }
+
+    #[test]
+    fn frobenius_is_additive(a in element(), b in element()) {
+        prop_assert_eq!((a + b).square(), a.square() + b.square());
+    }
+
+    #[test]
+    fn pow_respects_exponent_addition(a in element(), e1 in 0u32..64, e2 in 0u32..64) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn tower_maps_are_ring_homomorphisms(a in element(), b in element()) {
+        let tower = TowerField::new();
+        let sum = tower.to_tower(a) ^ tower.to_tower(b);
+        prop_assert_eq!(tower.from_tower(sum), a + b);
+        let product = tower.mul(tower.to_tower(a), tower.to_tower(b));
+        prop_assert_eq!(tower.from_tower(product), a * b);
+    }
+
+    #[test]
+    fn matrix_application_is_linear(rows in prop::array::uniform8(any::<u8>()), x in any::<u8>(), y in any::<u8>()) {
+        let matrix = BitMatrix8::from_rows(rows);
+        prop_assert_eq!(matrix.apply(x ^ y), matrix.apply(x) ^ matrix.apply(y));
+        prop_assert_eq!(matrix.apply(0), 0);
+    }
+
+    #[test]
+    fn invertible_matrices_roundtrip(rows in prop::array::uniform8(any::<u8>()), x in any::<u8>()) {
+        let matrix = BitMatrix8::from_rows(rows);
+        if let Some(inverse) = matrix.inverse() {
+            prop_assert_eq!(inverse.apply(matrix.apply(x)), x);
+            prop_assert_eq!(matrix.compose(&inverse), BitMatrix8::IDENTITY);
+        } else {
+            prop_assert!(matrix.rank() < 8);
+        }
+    }
+
+    #[test]
+    fn rank_is_transpose_invariant(rows in prop::array::uniform8(any::<u8>())) {
+        let matrix = BitMatrix8::from_rows(rows);
+        prop_assert_eq!(matrix.rank(), matrix.transpose().rank());
+    }
+}

@@ -1,0 +1,602 @@
+//! The fixed-vs-random sampling campaign (the heart of the evaluator).
+//!
+//! Two populations are simulated, interleaved lane-by-lane in the
+//! 64-wide simulator: in the *fixed* population every cycle's unshared
+//! secret equals a chosen constant (the paper uses 0 — the zero-value
+//! case — for the full S-box, and a non-zero constant for the reduced
+//! design); in the *random* population it is uniform. Both populations
+//! draw fresh sharing and fresh masks every cycle. After a pipeline
+//! warm-up, every probing set's extended observation is sampled once per
+//! lane and accumulated into a contingency table; a G-test per probing
+//! set decides, at `-log10(p) > 5`, whether the observation distinguishes
+//! the populations — i.e. whether the probe leaks.
+
+use std::collections::HashMap;
+
+use mmaes_netlist::{Netlist, SecretId, StableCones, WireId};
+use mmaes_sim::{Simulator, LANES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::probe::{enumerate_probe_sets, ProbeModel, ProbeSet};
+use crate::report::{LeakageReport, ProbeResult};
+use crate::stats::g_test;
+
+/// How the second population's secrets are drawn.
+///
+/// PROLEAD offers both fixed-vs-random and fixed-vs-fixed testing; the
+/// latter compares two specific secret values (e.g. the all-zero
+/// S-box input against a non-zero one), which concentrates statistical
+/// power on one hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CampaignMode {
+    /// Population 1 draws fresh secrets per [`SecretDomain`].
+    #[default]
+    FixedVsRandom,
+    /// Population 1 uses this second fixed secret value.
+    FixedVsFixed {
+        /// The second population's secret value.
+        other: u64,
+    },
+}
+
+/// The distribution of the *random* population's secrets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SecretDomain {
+    /// Uniform over all values (PROLEAD's default).
+    #[default]
+    Uniform,
+    /// Uniform over non-zero values — used when evaluating the S-box
+    /// *without* the Kronecker stage (experiment E1): plain
+    /// multiplicative masking is only defined on GF(2⁸)*, so the
+    /// testbench keeps zero out, exactly as the paper's evaluation of
+    /// the reduced design does.
+    NonZero,
+}
+
+/// Configuration of a fixed-vs-random evaluation.
+#[derive(Debug, Clone)]
+pub struct EvaluationConfig {
+    /// The probing model (glitch, or glitch + transition).
+    pub model: ProbeModel,
+    /// Probing order to test (1 or 2).
+    pub order: usize,
+    /// Total observations per probing set (PROLEAD's "simulations"; the
+    /// paper uses 4·10⁶ for first-order and 10⁸ for second-order — scale
+    /// down for laptop runtimes, the Eq. 6 flaw shows at 10⁵).
+    pub traces: u64,
+    /// The fixed population's unshared secret value (applied to every
+    /// declared secret; the paper fixes the S-box input).
+    pub fixed_secret: u64,
+    /// The random population's secret distribution.
+    pub secret_domain: SecretDomain,
+    /// Fixed-vs-random (default) or fixed-vs-fixed.
+    pub mode: CampaignMode,
+    /// Cycles simulated before observations start (must exceed the
+    /// pipeline depth).
+    pub warmup_cycles: usize,
+    /// Decision threshold on `-log10(p)` (PROLEAD convention: 5.0).
+    pub threshold: f64,
+    /// RNG seed (campaigns are reproducible).
+    pub seed: u64,
+    /// Cap on enumerated probing sets (relevant at order 2).
+    pub max_probe_sets: usize,
+    /// Restrict probe positions to wires whose name starts with this
+    /// prefix (e.g. `"kronecker"`), mirroring module-wise evaluation.
+    pub probe_scope_filter: Option<String>,
+    /// Cap on distinct keys kept per contingency table; overflow is
+    /// pooled into one bucket (bounds memory on very wide cones).
+    pub max_table_keys: usize,
+}
+
+impl Default for EvaluationConfig {
+    fn default() -> Self {
+        EvaluationConfig {
+            model: ProbeModel::Glitch,
+            order: 1,
+            traces: 100_000,
+            fixed_secret: 0,
+            secret_domain: SecretDomain::Uniform,
+            mode: CampaignMode::FixedVsRandom,
+            warmup_cycles: 8,
+            threshold: 5.0,
+            seed: 0x9c0_1ead,
+            max_probe_sets: 100_000,
+            probe_scope_filter: None,
+            max_table_keys: 1 << 20,
+        }
+    }
+}
+
+/// A contingency table over observation keys for one probing set.
+struct Table {
+    counts: HashMap<u128, [u64; 2]>,
+    overflow: [u64; 2],
+    samples: u64,
+}
+
+impl Table {
+    fn new() -> Self {
+        Table {
+            counts: HashMap::new(),
+            overflow: [0, 0],
+            samples: 0,
+        }
+    }
+
+    fn record(&mut self, key: u128, group: usize, cap: usize) {
+        self.samples += 1;
+        if let Some(cell) = self.counts.get_mut(&key) {
+            cell[group] += 1;
+        } else if self.counts.len() < cap {
+            self.counts.insert(key, {
+                let mut cell = [0u64; 2];
+                cell[group] = 1;
+                cell
+            });
+        } else {
+            self.overflow[group] += 1;
+        }
+    }
+
+    fn columns(&self) -> Vec<(u64, u64)> {
+        let mut columns: Vec<(u64, u64)> = self
+            .counts
+            .values()
+            .map(|cell| (cell[0], cell[1]))
+            .collect();
+        if self.overflow[0] + self.overflow[1] > 0 {
+            columns.push((self.overflow[0], self.overflow[1]));
+        }
+        columns
+    }
+}
+
+/// A fixed-vs-random leakage evaluation bound to one netlist.
+///
+/// # Example
+///
+/// ```no_run
+/// use mmaes_circuits::build_kronecker;
+/// use mmaes_leakage::{EvaluationConfig, FixedVsRandom};
+/// use mmaes_masking::KroneckerRandomness;
+///
+/// let circuit = build_kronecker(&KroneckerRandomness::de_meyer_eq6())?;
+/// let report = FixedVsRandom::new(&circuit.netlist, EvaluationConfig::default()).run();
+/// assert!(!report.passed()); // Eq. 6 leaks — the paper's finding
+/// # Ok::<(), mmaes_netlist::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct FixedVsRandom<'a> {
+    netlist: &'a Netlist,
+    config: EvaluationConfig,
+    nonzero_byte_buses: Vec<Vec<WireId>>,
+    control_schedules: Vec<(WireId, Vec<bool>)>,
+}
+
+impl<'a> FixedVsRandom<'a> {
+    /// Creates an evaluation over `netlist`. Inputs are driven according
+    /// to their [`mmaes_netlist::SignalRole`]s: shares re-randomized
+    /// every cycle around the (fixed or random) secret, masks uniform
+    /// every cycle, controls held at 0.
+    pub fn new(netlist: &'a Netlist, config: EvaluationConfig) -> Self {
+        FixedVsRandom {
+            netlist,
+            config,
+            nonzero_byte_buses: Vec::new(),
+            control_schedules: Vec::new(),
+        }
+    }
+
+    /// Schedules a control input per cycle within each trace: cycle `c`
+    /// gets `pattern[min(c, len-1)]` (the last value is held). Controls
+    /// without a schedule stay at 0. Used e.g. to pulse a cipher core's
+    /// `load` on cycle 0.
+    pub fn schedule_control(mut self, wire: WireId, pattern: Vec<bool>) -> Self {
+        assert!(
+            !pattern.is_empty(),
+            "control schedules need at least one value"
+        );
+        self.control_schedules.push((wire, pattern));
+        self
+    }
+
+    /// Declares a mask byte-bus that must be sampled from GF(2⁸)\\{0}
+    /// (the S-box's B2M mask `R`). Wires on such buses are excluded from
+    /// the generic uniform-mask driving.
+    pub fn require_nonzero_bus(mut self, bus: Vec<WireId>) -> Self {
+        assert_eq!(bus.len(), 8, "non-zero buses are byte buses");
+        self.nonzero_byte_buses.push(bus);
+        self
+    }
+
+    /// Runs the campaign and produces a report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist declares no secret shares (nothing to fix),
+    /// or on unsupported probing orders.
+    pub fn run(&self) -> LeakageReport {
+        let config = &self.config;
+        let cones = StableCones::new(self.netlist);
+        let probe_sets = enumerate_probe_sets(
+            self.netlist,
+            &cones,
+            config.order,
+            config.probe_scope_filter.as_deref(),
+            config.max_probe_sets,
+        );
+        let truncated = probe_sets.len() >= config.max_probe_sets;
+
+        // Secret share structure: per secret, shares[share][bit] wires.
+        let secrets: Vec<(SecretId, Vec<Vec<WireId>>)> = self
+            .netlist
+            .secrets()
+            .into_iter()
+            .map(|secret| {
+                let triples = self.netlist.shares_of(secret);
+                let share_count =
+                    triples.iter().map(|&(share, ..)| share).max().unwrap() as usize + 1;
+                let bit_count = triples.iter().map(|&(_, bit, _)| bit).max().unwrap() as usize + 1;
+                let mut shares: Vec<Vec<Option<WireId>>> = vec![vec![None; bit_count]; share_count];
+                for (share, bit, wire) in triples {
+                    shares[share as usize][bit as usize] = Some(wire);
+                }
+                let shares: Vec<Vec<WireId>> = shares
+                    .into_iter()
+                    .map(|bus| {
+                        bus.into_iter()
+                            .map(|wire| wire.expect("share matrix must be dense"))
+                            .collect()
+                    })
+                    .collect();
+                (secret, shares)
+            })
+            .collect();
+        assert!(!secrets.is_empty(), "netlist declares no secret shares");
+
+        // Mask inputs not covered by a non-zero bus.
+        let nonzero_wires: std::collections::HashSet<WireId> =
+            self.nonzero_byte_buses.iter().flatten().copied().collect();
+        let free_masks: Vec<WireId> = self
+            .netlist
+            .mask_inputs()
+            .into_iter()
+            .filter(|wire| !nonzero_wires.contains(wire))
+            .collect();
+        let controls = self.netlist.control_inputs();
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut sim = Simulator::new(self.netlist);
+        let mut tables: Vec<Table> = probe_sets.iter().map(|_| Table::new()).collect();
+
+        let batches = config.traces.div_ceil(LANES as u64);
+        for _ in 0..batches {
+            // Lane → population: bit set = random population.
+            let lane_groups: u64 = rng.gen();
+            sim.reset();
+            for cycle in 0..=config.warmup_cycles {
+                self.drive_cycle(
+                    &mut sim,
+                    &secrets,
+                    &free_masks,
+                    &controls,
+                    cycle,
+                    lane_groups,
+                    &mut rng,
+                );
+                if cycle < config.warmup_cycles {
+                    sim.step();
+                } else {
+                    sim.eval();
+                }
+            }
+            // Observation: one sample per lane per probing set.
+            for (set, table) in probe_sets.iter().zip(&mut tables) {
+                let keys = observation_keys(&sim, set, config.model);
+                for (lane, &key) in keys.iter().enumerate() {
+                    let group = ((lane_groups >> lane) & 1) as usize;
+                    table.record(key, group, config.max_table_keys);
+                }
+            }
+        }
+
+        let mut results: Vec<ProbeResult> = probe_sets
+            .iter()
+            .zip(&tables)
+            .map(|(set, table)| {
+                let columns = table.columns();
+                let distinct_keys = table.counts.len();
+                match g_test(&columns) {
+                    Some(test) => ProbeResult {
+                        label: set.label.clone(),
+                        probe_count: set.wires.len(),
+                        cone_size: set.observed.len(),
+                        samples: table.samples,
+                        distinct_keys,
+                        g_statistic: test.statistic,
+                        df: test.df,
+                        minus_log10_p: test.minus_log10_p,
+                        testable: true,
+                        leaking: test.minus_log10_p > config.threshold,
+                    },
+                    None => ProbeResult {
+                        label: set.label.clone(),
+                        probe_count: set.wires.len(),
+                        cone_size: set.observed.len(),
+                        samples: table.samples,
+                        distinct_keys,
+                        g_statistic: 0.0,
+                        df: 0,
+                        minus_log10_p: 0.0,
+                        testable: false,
+                        leaking: false,
+                    },
+                }
+            })
+            .collect();
+        results.sort_by(|a, b| {
+            b.minus_log10_p
+                .partial_cmp(&a.minus_log10_p)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        LeakageReport {
+            design: self.netlist.name().to_owned(),
+            model: config.model,
+            order: config.order,
+            traces: batches * LANES as u64,
+            threshold: config.threshold,
+            probe_sets_truncated: truncated,
+            results,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn drive_cycle(
+        &self,
+        sim: &mut Simulator,
+        secrets: &[(SecretId, Vec<Vec<WireId>>)],
+        free_masks: &[WireId],
+        controls: &[WireId],
+        cycle: usize,
+        lane_groups: u64,
+        rng: &mut StdRng,
+    ) {
+        let fixed = self.config.fixed_secret;
+        for (_, shares) in secrets {
+            let bit_count = shares[0].len();
+            let value_mask = if bit_count >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bit_count) - 1
+            };
+            let mut per_lane_value = [0u64; LANES];
+            for (lane, value) in per_lane_value.iter_mut().enumerate() {
+                *value = if (lane_groups >> lane) & 1 == 1 {
+                    match self.config.mode {
+                        CampaignMode::FixedVsFixed { other } => other & value_mask,
+                        CampaignMode::FixedVsRandom => match self.config.secret_domain {
+                            SecretDomain::Uniform => rng.gen::<u64>() & value_mask,
+                            SecretDomain::NonZero => loop {
+                                let candidate = rng.gen::<u64>() & value_mask;
+                                if candidate != 0 {
+                                    break candidate;
+                                }
+                            },
+                        },
+                    }
+                } else {
+                    fixed & value_mask
+                };
+            }
+            // Shares 1..d random; share 0 completes the XOR.
+            let mut remaining = per_lane_value;
+            for share_bus in shares.iter().skip(1) {
+                let mut random_share = [0u64; LANES];
+                for (lane, value) in random_share.iter_mut().enumerate() {
+                    *value = rng.gen::<u64>() & value_mask;
+                    remaining[lane] ^= *value;
+                }
+                sim.set_bus_per_lane(share_bus, &random_share);
+            }
+            sim.set_bus_per_lane(&shares[0], &remaining);
+        }
+        for &mask in free_masks {
+            sim.set_input(mask, rng.gen());
+        }
+        for bus in &self.nonzero_byte_buses {
+            let mut per_lane = [0u64; LANES];
+            for value in &mut per_lane {
+                *value = rng.gen_range(1..=255u64);
+            }
+            sim.set_bus_per_lane(bus, &per_lane);
+        }
+        for &control in controls {
+            sim.set_input(control, 0);
+        }
+        for (wire, pattern) in &self.control_schedules {
+            let value = pattern[cycle.min(pattern.len() - 1)];
+            sim.set_input(*wire, if value { u64::MAX } else { 0 });
+        }
+    }
+}
+
+/// Packs each lane's extended observation of `set` into a key.
+///
+/// Up to 128 observed bits are packed exactly; beyond that, bits are
+/// folded with a deterministic 128-bit mix (collisions can only merge
+/// contingency columns — they can weaken detection, never fabricate it).
+fn observation_keys(sim: &Simulator, set: &ProbeSet, model: ProbeModel) -> [u128; LANES] {
+    let bits = set.observation_bits(model);
+    let mut keys = [0u128; LANES];
+    let mut position = 0usize;
+    let push_word = |keys: &mut [u128; LANES], word: u64, position: usize| {
+        if position < 128 {
+            for (lane, key) in keys.iter_mut().enumerate() {
+                *key |= (((word >> lane) & 1) as u128) << position;
+            }
+        } else {
+            const PRIME: u128 = 0x0000_0100_0000_01b3_0000_0100_0000_01b3;
+            for (lane, key) in keys.iter_mut().enumerate() {
+                *key = key.wrapping_mul(PRIME) ^ (((word >> lane) & 1) as u128 + 2);
+            }
+        }
+    };
+    for &wire in &set.observed {
+        push_word(&mut keys, sim.value(wire), position);
+        position += 1;
+        if matches!(model, ProbeModel::GlitchTransition) {
+            push_word(&mut keys, sim.prev_value(wire), position);
+            position += 1;
+        }
+    }
+    debug_assert_eq!(position, bits);
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_netlist::{NetlistBuilder, SignalRole};
+
+    fn share_role(share: u8) -> SignalRole {
+        SignalRole::Share {
+            secret: SecretId(0),
+            share,
+            bit: 0,
+        }
+    }
+
+    /// An unmasked design: the secret bit goes straight to a register.
+    /// Fixed-vs-random must flag it instantly.
+    fn blatantly_leaky() -> Netlist {
+        let mut builder = NetlistBuilder::new("leaky");
+        let share0 = builder.input("s0", share_role(0));
+        let share1 = builder.input("s1", share_role(1));
+        let secret = builder.xor2(share0, share1); // recombines the secret!
+        let q = builder.register(secret);
+        let out = builder.buf(q);
+        builder.output("out", out);
+        builder.build().expect("valid")
+    }
+
+    /// A properly masked pass-through: each share is registered
+    /// independently; no wire depends on both shares.
+    fn properly_masked() -> Netlist {
+        let mut builder = NetlistBuilder::new("masked");
+        let share0 = builder.input("s0", share_role(0));
+        let share1 = builder.input("s1", share_role(1));
+        let q0 = builder.register(share0);
+        let q1 = builder.register(share1);
+        builder.output("q0", q0);
+        builder.output("q1", q1);
+        builder.build().expect("valid")
+    }
+
+    fn config(traces: u64) -> EvaluationConfig {
+        EvaluationConfig {
+            traces,
+            warmup_cycles: 3,
+            ..EvaluationConfig::default()
+        }
+    }
+
+    #[test]
+    fn unmasked_recombination_is_flagged() {
+        let netlist = blatantly_leaky();
+        let report = FixedVsRandom::new(&netlist, config(20_000)).run();
+        assert!(!report.passed(), "{report}");
+        assert!(report.worst().expect("results").minus_log10_p > 50.0);
+    }
+
+    #[test]
+    fn independent_shares_pass() {
+        let netlist = properly_masked();
+        let report = FixedVsRandom::new(&netlist, config(20_000)).run();
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn first_order_masked_and_gate_without_refresh_leaks_through_glitches() {
+        // A "masked" AND computed combinationally in one step:
+        // out = (s0 & t0) ⊕ ... — probe on out sees all four share inputs
+        // under glitch extension → distribution depends on the secrets.
+        let mut builder = NetlistBuilder::new("glitchy_and");
+        let s0 = builder.input("s0", share_role(0));
+        let s1 = builder.input("s1", share_role(1));
+        let mask = builder.input("m", SignalRole::Mask);
+        // Unmasked product of the recombined secret with a mask — the
+        // cone of `out` contains both shares.
+        let x = builder.xor2(s0, s1);
+        let out = builder.and2(x, mask);
+        let q = builder.register(out);
+        builder.output("q", q);
+        let netlist = builder.build().expect("valid");
+        let report = FixedVsRandom::new(&netlist, config(20_000)).run();
+        assert!(!report.passed(), "{report}");
+    }
+
+    #[test]
+    fn transition_model_catches_cross_cycle_recombination() {
+        // share0 of the *same* secret is emitted in consecutive cycles
+        // while share1 changes: under transitions a probe on the register
+        // output sees (share0(t-1), share0(t)); with a fixed secret and
+        // fresh sharing each cycle these are two fresh one-time-pad draws
+        // → secure. But a design that registers the unshared secret every
+        // other cycle leaks under both; here we check the transition
+        // evaluator at least *runs* and produces doubled observation bits.
+        let netlist = properly_masked();
+        let glitch = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                traces: 10_000,
+                warmup_cycles: 3,
+                ..Default::default()
+            },
+        )
+        .run();
+        let transition = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                model: ProbeModel::GlitchTransition,
+                traces: 10_000,
+                warmup_cycles: 3,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(glitch.passed());
+        assert!(transition.passed(), "{transition}");
+    }
+
+    #[test]
+    fn fixed_secret_value_is_respected() {
+        // Fixing a non-zero secret in a design that leaks δ(x)=(x==0)
+        // only when x can be zero: out = NOR of all shares recombined...
+        // Simpler: recombined secret registered — fixed=1 vs random still
+        // differs, so it must leak for any fixed value.
+        let netlist = blatantly_leaky();
+        let report = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                fixed_secret: 1,
+                traces: 20_000,
+                warmup_cycles: 3,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn report_metadata_is_populated() {
+        let netlist = properly_masked();
+        let report = FixedVsRandom::new(&netlist, config(1_000)).run();
+        assert_eq!(report.design, "masked");
+        assert!(report.traces >= 1_000);
+        assert!(report.probe_set_count() > 0);
+        assert!(!report.to_string().is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! Probe placement and extension under the probing models.
+
+use std::collections::HashMap;
+
+use mmaes_netlist::{Netlist, StableCones, WireId};
+
+/// The adversarial model used to extend probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProbeModel {
+    /// Glitch-extended probing: a probe on a wire observes every stable
+    /// signal (register output / primary input) in its combinational
+    /// fan-in, at the current cycle.
+    #[default]
+    Glitch,
+    /// Glitch- and transition-extended probing: each of those stable
+    /// signals is observed in *two consecutive cycles* (`t-1` and `t`).
+    GlitchTransition,
+}
+
+impl ProbeModel {
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeModel::Glitch => "glitch-extended",
+            ProbeModel::GlitchTransition => "glitch+transition-extended",
+        }
+    }
+}
+
+/// A probing set: one or more probe wires and the stable signals their
+/// extended observation covers.
+#[derive(Debug, Clone)]
+pub struct ProbeSet {
+    /// The probed wires (1 for univariate, `order` for multivariate).
+    pub wires: Vec<WireId>,
+    /// The wires carrying the observed stable signals (deduplicated,
+    /// sorted). Under [`ProbeModel::GlitchTransition`] each is observed
+    /// twice (previous and current cycle).
+    pub observed: Vec<WireId>,
+    /// A display label (the probed wires' names).
+    pub label: String,
+}
+
+impl ProbeSet {
+    /// Number of observed bits per sample under `model`.
+    pub fn observation_bits(&self, model: ProbeModel) -> usize {
+        match model {
+            ProbeModel::Glitch => self.observed.len(),
+            ProbeModel::GlitchTransition => 2 * self.observed.len(),
+        }
+    }
+}
+
+/// Enumerates deduplicated probing sets of the given order.
+///
+/// Probe positions are all cell outputs plus all register outputs
+/// (optionally filtered to wires whose name starts with `scope_filter`).
+/// Probes with identical glitch-extended observation sets are
+/// observationally equivalent and merged; for `order == 2`, all pairs of
+/// the deduplicated univariate probes are formed (then deduplicated by
+/// their union cones), up to `max_sets` — pairs beyond the cap are
+/// dropped deterministically and the caller is expected to report the
+/// truncation.
+///
+/// # Panics
+///
+/// Panics if `order` is 0 or greater than 2 (higher orders are out of
+/// scope for this reproduction).
+pub fn enumerate_probe_sets(
+    netlist: &Netlist,
+    cones: &StableCones,
+    order: usize,
+    scope_filter: Option<&str>,
+    max_sets: usize,
+) -> Vec<ProbeSet> {
+    assert!(
+        (1..=2).contains(&order),
+        "supported probing orders: 1 and 2"
+    );
+
+    // Candidate probe positions.
+    let mut candidates: Vec<WireId> = netlist.cell_outputs().collect();
+    candidates.extend(netlist.registers().map(|(_, register)| register.q));
+    if let Some(prefix) = scope_filter {
+        candidates.retain(|&wire| netlist.wire_name(wire).starts_with(prefix));
+    }
+
+    // Deduplicate by cone signature; keep the shallowest representative
+    // (nicer labels) — first in netlist order works since generators emit
+    // sources before sinks.
+    let mut by_signature: HashMap<Vec<u64>, WireId> = HashMap::new();
+    let mut univariate: Vec<WireId> = Vec::new();
+    for &wire in &candidates {
+        if cones.cone_size(wire) == 0 {
+            continue; // constants observe nothing
+        }
+        let signature = cones.signature(wire);
+        if let std::collections::hash_map::Entry::Vacant(e) = by_signature.entry(signature) {
+            e.insert(wire);
+            univariate.push(wire);
+        }
+    }
+
+    let make_set = |wires: Vec<WireId>| -> ProbeSet {
+        let union = cones.union_of(&wires);
+        let mut observed: Vec<WireId> = union
+            .into_iter()
+            .map(|signal| StableCones::signal_wire(netlist, signal))
+            .collect();
+        observed.sort_unstable();
+        observed.dedup();
+        let label = wires
+            .iter()
+            .map(|&wire| netlist.wire_name(wire).to_owned())
+            .collect::<Vec<_>>()
+            .join(" + ");
+        ProbeSet {
+            wires,
+            observed,
+            label,
+        }
+    };
+
+    if order == 1 {
+        return univariate
+            .into_iter()
+            .take(max_sets)
+            .map(|wire| make_set(vec![wire]))
+            .collect();
+    }
+
+    // Order 2: pairs of deduplicated univariate probes (a univariate probe
+    // is also a valid 2-probe set, but its observations are subsumed by
+    // pairs containing it; we still include singles so first-order leakage
+    // is caught in the same run).
+    let mut sets: Vec<ProbeSet> = Vec::new();
+    let mut pair_signatures: HashMap<Vec<WireId>, ()> = HashMap::new();
+    for &wire in &univariate {
+        sets.push(make_set(vec![wire]));
+        if sets.len() >= max_sets {
+            return sets;
+        }
+    }
+    'outer: for (index, &first) in univariate.iter().enumerate() {
+        for &second in &univariate[index + 1..] {
+            let candidate = make_set(vec![first, second]);
+            if pair_signatures
+                .insert(candidate.observed.clone(), ())
+                .is_none()
+            {
+                sets.push(candidate);
+                if sets.len() >= max_sets {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_netlist::{NetlistBuilder, SignalRole};
+
+    fn sample_netlist() -> Netlist {
+        let mut builder = NetlistBuilder::new("probes");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        let c = builder.input("c", SignalRole::Control);
+        let ab = builder.and2(a, b);
+        let ab_or = builder.or2(a, b); // same cone as `ab`
+        let q = builder.register(ab);
+        let out = builder.xor2(q, c);
+        builder.output("o1", ab_or);
+        builder.output("o2", out);
+        builder.build().expect("valid")
+    }
+
+    #[test]
+    fn univariate_probes_are_deduplicated_by_cone() {
+        let netlist = sample_netlist();
+        let cones = StableCones::new(&netlist);
+        let sets = enumerate_probe_sets(&netlist, &cones, 1, None, usize::MAX);
+        // Cones: {a,b} (ab and ab_or merge), {reg} (q), {reg,c} (out).
+        assert_eq!(sets.len(), 3);
+    }
+
+    #[test]
+    fn observation_bits_double_under_transitions() {
+        let netlist = sample_netlist();
+        let cones = StableCones::new(&netlist);
+        let sets = enumerate_probe_sets(&netlist, &cones, 1, None, usize::MAX);
+        for set in &sets {
+            assert_eq!(
+                set.observation_bits(ProbeModel::GlitchTransition),
+                2 * set.observation_bits(ProbeModel::Glitch)
+            );
+        }
+    }
+
+    #[test]
+    fn second_order_includes_singles_and_pairs() {
+        let netlist = sample_netlist();
+        let cones = StableCones::new(&netlist);
+        let sets = enumerate_probe_sets(&netlist, &cones, 2, None, usize::MAX);
+        assert!(sets.iter().any(|set| set.wires.len() == 1));
+        assert!(sets.iter().any(|set| set.wires.len() == 2));
+        // 3 singles + up to 3 pairs (some pairs may dedup).
+        assert!(sets.len() > 3);
+    }
+
+    #[test]
+    fn max_sets_caps_enumeration() {
+        let netlist = sample_netlist();
+        let cones = StableCones::new(&netlist);
+        let sets = enumerate_probe_sets(&netlist, &cones, 2, None, 2);
+        assert_eq!(sets.len(), 2);
+    }
+
+    #[test]
+    fn scope_filter_restricts_probe_positions() {
+        let mut builder = NetlistBuilder::new("scoped");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        let inner = builder.scoped("inner", |builder| builder.and2(a, b));
+        let outer = builder.or2(a, b);
+        builder.output("x", inner);
+        builder.output("y", outer);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+        let sets = enumerate_probe_sets(&netlist, &cones, 1, Some("inner"), usize::MAX);
+        assert_eq!(sets.len(), 1);
+        assert!(sets[0].label.starts_with("inner/"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Structured leakage reports (the PROLEAD-style output table).
+
+use std::fmt;
+
+use crate::probe::ProbeModel;
+
+/// The evaluation outcome for one probing set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeResult {
+    /// Label of the probed wire(s).
+    pub label: String,
+    /// Number of probes in the set (1 = univariate).
+    pub probe_count: usize,
+    /// Stable signals observed by the extended probes.
+    pub cone_size: usize,
+    /// Samples accumulated (both groups).
+    pub samples: u64,
+    /// Distinct observation values seen (before pooling).
+    pub distinct_keys: usize,
+    /// G statistic (0 when untestable).
+    pub g_statistic: f64,
+    /// Degrees of freedom after pooling (0 when untestable).
+    pub df: u64,
+    /// `-log10(p)` of the G-test (0 when untestable).
+    pub minus_log10_p: f64,
+    /// Whether the table supported a test at all.
+    pub testable: bool,
+    /// `minus_log10_p > threshold`.
+    pub leaking: bool,
+}
+
+/// A full evaluation report for one design/configuration.
+#[derive(Debug, Clone)]
+pub struct LeakageReport {
+    /// Name of the evaluated design.
+    pub design: String,
+    /// The probing model used.
+    pub model: ProbeModel,
+    /// The probing order tested.
+    pub order: usize,
+    /// Observations per probing set.
+    pub traces: u64,
+    /// The `-log10(p)` decision threshold (PROLEAD convention: 5.0).
+    pub threshold: f64,
+    /// Whether probe-set enumeration hit its cap (coverage incomplete).
+    pub probe_sets_truncated: bool,
+    /// Per-probe-set results, sorted by decreasing `-log10(p)`.
+    pub results: Vec<ProbeResult>,
+}
+
+impl LeakageReport {
+    /// True when no probing set exceeded the threshold.
+    pub fn passed(&self) -> bool {
+        !self.results.iter().any(|result| result.leaking)
+    }
+
+    /// The probing sets flagged as leaking, most significant first.
+    pub fn leaking(&self) -> Vec<&ProbeResult> {
+        self.results
+            .iter()
+            .filter(|result| result.leaking)
+            .collect()
+    }
+
+    /// The most significant result (highest `-log10(p)`), if any.
+    pub fn worst(&self) -> Option<&ProbeResult> {
+        self.results.first()
+    }
+
+    /// Number of evaluated probing sets.
+    pub fn probe_set_count(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Serializes the per-probe results as CSV (header + one row per
+    /// probing set), for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut csv = String::from(
+            "label,probes,cone_size,samples,distinct_keys,g_statistic,df,minus_log10_p,leaking\n",
+        );
+        for result in &self.results {
+            let _ = writeln!(
+                csv,
+                "\"{}\",{},{},{},{},{:.4},{},{:.4},{}",
+                result.label.replace('"', "'"),
+                result.probe_count,
+                result.cone_size,
+                result.samples,
+                result.distinct_keys,
+                result.g_statistic,
+                result.df,
+                result.minus_log10_p,
+                result.leaking
+            );
+        }
+        csv
+    }
+
+    /// One-line verdict in the paper's vocabulary.
+    pub fn verdict(&self) -> String {
+        let worst = self
+            .worst()
+            .map(|result| result.minus_log10_p)
+            .unwrap_or(0.0);
+        if self.passed() {
+            format!(
+                "PASS — no {}-order leakage detected ({} model, {} probe sets, {} traces, max -log10(p) = {:.2})",
+                ordinal(self.order),
+                self.model.name(),
+                self.probe_set_count(),
+                self.traces,
+                worst
+            )
+        } else {
+            format!(
+                "FAIL — {}-order leakage detected ({} model, {} of {} probe sets, {} traces, max -log10(p) = {:.2})",
+                ordinal(self.order),
+                self.model.name(),
+                self.leaking().len(),
+                self.probe_set_count(),
+                self.traces,
+                worst
+            )
+        }
+    }
+}
+
+fn ordinal(order: usize) -> &'static str {
+    match order {
+        1 => "first",
+        2 => "second",
+        3 => "third",
+        _ => "higher",
+    }
+}
+
+impl fmt::Display for LeakageReport {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(formatter, "design:    {}", self.design)?;
+        writeln!(formatter, "model:     {}", self.model.name())?;
+        writeln!(formatter, "order:     {}", self.order)?;
+        writeln!(formatter, "traces:    {}", self.traces)?;
+        writeln!(formatter, "threshold: -log10(p) > {}", self.threshold)?;
+        if self.probe_sets_truncated {
+            writeln!(
+                formatter,
+                "note:      probe-set enumeration truncated (coverage incomplete)"
+            )?;
+        }
+        writeln!(formatter, "verdict:   {}", self.verdict())?;
+        writeln!(
+            formatter,
+            "{:<44} {:>5} {:>7} {:>10} {:>12}",
+            "probe", "cone", "keys", "G", "-log10(p)"
+        )?;
+        for result in self.results.iter().take(12) {
+            let marker = if result.leaking { " ← LEAK" } else { "" };
+            writeln!(
+                formatter,
+                "{:<44} {:>5} {:>7} {:>10.2} {:>12.2}{marker}",
+                truncate_label(&result.label, 44),
+                result.cone_size,
+                result.distinct_keys,
+                result.g_statistic,
+                result.minus_log10_p
+            )?;
+        }
+        if self.results.len() > 12 {
+            writeln!(
+                formatter,
+                "… {} further probe sets",
+                self.results.len() - 12
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn truncate_label(label: &str, width: usize) -> String {
+    if label.chars().count() <= width {
+        label.to_owned()
+    } else {
+        let prefix: String = label.chars().take(width - 1).collect();
+        format!("{prefix}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(label: &str, p: f64, leaking: bool) -> ProbeResult {
+        ProbeResult {
+            label: label.into(),
+            probe_count: 1,
+            cone_size: 4,
+            samples: 1000,
+            distinct_keys: 16,
+            g_statistic: 10.0,
+            df: 3,
+            minus_log10_p: p,
+            testable: true,
+            leaking,
+        }
+    }
+
+    fn report(results: Vec<ProbeResult>) -> LeakageReport {
+        LeakageReport {
+            design: "toy".into(),
+            model: ProbeModel::Glitch,
+            order: 1,
+            traces: 1000,
+            threshold: 5.0,
+            probe_sets_truncated: false,
+            results,
+        }
+    }
+
+    #[test]
+    fn passing_report_has_no_leaks() {
+        let report = report(vec![result("a", 1.0, false), result("b", 0.5, false)]);
+        assert!(report.passed());
+        assert!(report.leaking().is_empty());
+        assert!(report.verdict().starts_with("PASS"));
+    }
+
+    #[test]
+    fn failing_report_lists_leaks_in_order() {
+        let report = report(vec![result("worst", 80.0, true), result("ok", 1.0, false)]);
+        assert!(!report.passed());
+        assert_eq!(report.leaking().len(), 1);
+        assert_eq!(report.worst().expect("nonempty").label, "worst");
+        assert!(report.verdict().starts_with("FAIL"));
+        let rendered = report.to_string();
+        assert!(rendered.contains("← LEAK"));
+    }
+
+    #[test]
+    fn csv_export_includes_every_result() {
+        let report = report(vec![
+            result("alpha", 80.0, true),
+            result("beta", 1.0, false),
+        ]);
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().next().expect("header").starts_with("label,"));
+        assert!(csv.contains("\"alpha\""));
+        assert!(csv.contains("true"));
+    }
+
+    #[test]
+    fn display_truncates_long_labels() {
+        let long = "x".repeat(100);
+        let report = report(vec![result(&long, 1.0, false)]);
+        let rendered = report.to_string();
+        assert!(rendered.contains('…'));
+    }
+}

@@ -1,0 +1,395 @@
+//! Statistical machinery: log-gamma, χ² survival function, G-test.
+//!
+//! Implemented from first principles (Lanczos approximation + incomplete
+//! gamma series/continued fraction) to keep the workspace free of heavy
+//! numeric dependencies; accuracy is validated in tests against known
+//! values.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+///
+/// Accurate to ~1e-13 over the positive reals.
+///
+/// # Panics
+///
+/// Panics for non-positive input.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    const COEFFICIENTS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    let x = x - 1.0;
+    let mut accumulator = COEFFICIENTS[0];
+    for (index, &coefficient) in COEFFICIENTS.iter().enumerate().skip(1) {
+        accumulator += coefficient / (x + index as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + accumulator.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(s, x)` via its series
+/// expansion (used for `x < s + 1`).
+fn gamma_p_series(s: f64, x: f64) -> f64 {
+    let mut term = 1.0 / s;
+    let mut sum = term;
+    let mut denominator = s;
+    for _ in 0..500 {
+        denominator += 1.0;
+        term *= x / denominator;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    (sum.ln() + s * x.ln() - x - ln_gamma(s)).exp()
+}
+
+/// Regularized upper incomplete gamma function `Q(s, x)` via a continued
+/// fraction (modified Lentz; used for `x ≥ s + 1`).
+fn gamma_q_continued_fraction(s: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - s;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let a = -(i as f64) * (i as f64 - s);
+        b += 2.0;
+        d = a * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + a / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (h.ln() + s * x.ln() - x - ln_gamma(s)).exp()
+}
+
+/// Survival function of the χ² distribution with `df` degrees of freedom:
+/// `P[X ≥ x]`.
+///
+/// Returns 1.0 for `x ≤ 0`; underflows to 0 for extremely large
+/// statistics (callers use [`minus_log10_p`] for reporting).
+///
+/// # Panics
+///
+/// Panics if `df == 0`.
+pub fn chi2_sf(x: f64, df: u64) -> f64 {
+    assert!(df > 0, "chi-squared needs at least 1 degree of freedom");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let s = df as f64 / 2.0;
+    let half_x = x / 2.0;
+    if half_x < s + 1.0 {
+        1.0 - gamma_p_series(s, half_x)
+    } else {
+        gamma_q_continued_fraction(s, half_x)
+    }
+}
+
+/// `-log10(p)` with saturation: underflowed p-values (p < ~1e-308) are
+/// reported as 308.0, mirroring how PROLEAD reports extreme leakage.
+pub fn minus_log10_p(p_value: f64) -> f64 {
+    if p_value <= 0.0 {
+        308.0
+    } else {
+        (-p_value.log10()).min(308.0)
+    }
+}
+
+/// Result of a G-test on a 2×K contingency table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GTest {
+    /// The G statistic `2 Σ o ln(o/e)`.
+    pub statistic: f64,
+    /// Degrees of freedom (`K' - 1` after pooling).
+    pub df: u64,
+    /// Two-sided p-value from the χ² approximation.
+    pub p_value: f64,
+    /// `-log10(p)`, the PROLEAD reporting convention.
+    pub minus_log10_p: f64,
+}
+
+/// Minimum column total below which cells are pooled into a rare-events
+/// bucket before the G-test.
+///
+/// The χ² approximation of the G statistic is anti-conservative on
+/// sparse tables: with thousands of cells holding ~10 counts each, the
+/// statistic's true mean exceeds the degrees of freedom and the test
+/// reports spurious `-log10(p)` values of 5–8 (observed empirically on
+/// the 14-bit-cone probes of the masked S-box). Keeping only columns
+/// with a total of at least 32 (≈16 expected per population, comfortably
+/// past Cochran's rule) and pooling the rest into one bucket keeps the
+/// test calibrated. Wide cones at small sample sizes thereby lose power
+/// — honestly: 2¹⁴-cell tables cannot be tested with 2·10⁵ samples — while
+/// every genuine leak in this workspace also manifests on small cones
+/// with large per-cell counts (the Eq. 6 flaw sits at -log10(p) = 308 on
+/// 4-bit cones).
+pub const POOLING_THRESHOLD: u64 = 32;
+
+/// Performs a G-test of independence on a 2×K contingency table given as
+/// `(count_group0, count_group1)` per column.
+///
+/// Columns whose total is below [`POOLING_THRESHOLD`] are pooled into a
+/// single bucket. Returns `None` when, after pooling, fewer than two
+/// columns remain or either group is empty (no test possible — treated
+/// as "no evidence of leakage" by callers).
+pub fn g_test(columns: &[(u64, u64)]) -> Option<GTest> {
+    let mut pooled: Vec<(u64, u64)> = Vec::with_capacity(columns.len());
+    let mut rare = (0u64, 0u64);
+    for &(a, b) in columns {
+        if a + b == 0 {
+            continue;
+        }
+        if a + b < POOLING_THRESHOLD {
+            rare.0 += a;
+            rare.1 += b;
+        } else {
+            pooled.push((a, b));
+        }
+    }
+    if rare.0 + rare.1 > 0 {
+        pooled.push(rare);
+    }
+    if pooled.len() < 2 {
+        return None;
+    }
+    let row0: u64 = pooled.iter().map(|&(a, _)| a).sum();
+    let row1: u64 = pooled.iter().map(|&(_, b)| b).sum();
+    if row0 == 0 || row1 == 0 {
+        return None;
+    }
+    let total = (row0 + row1) as f64;
+    let mut statistic = 0.0;
+    for &(a, b) in &pooled {
+        let column_total = (a + b) as f64;
+        let expected0 = row0 as f64 * column_total / total;
+        let expected1 = row1 as f64 * column_total / total;
+        if a > 0 {
+            statistic += 2.0 * a as f64 * (a as f64 / expected0).ln();
+        }
+        if b > 0 {
+            statistic += 2.0 * b as f64 * (b as f64 / expected1).ln();
+        }
+    }
+    let df = (pooled.len() - 1) as u64;
+    let p_value = chi2_sf(statistic, df);
+    Some(GTest {
+        statistic,
+        df,
+        p_value,
+        minus_log10_p: minus_log10_p(p_value),
+    })
+}
+
+/// A Welch's t-test result (the classic TVLA statistic, used by the
+/// zero-value-problem DPA demonstration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchT {
+    /// The t statistic.
+    pub statistic: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+}
+
+/// Welch's unequal-variance t-test between two samples, returning `None`
+/// when either sample has fewer than two points or zero variance in both.
+pub fn welch_t_test(sample_a: &[f64], sample_b: &[f64]) -> Option<WelchT> {
+    if sample_a.len() < 2 || sample_b.len() < 2 {
+        return None;
+    }
+    let mean = |sample: &[f64]| sample.iter().sum::<f64>() / sample.len() as f64;
+    let variance = |sample: &[f64], mean: f64| {
+        sample
+            .iter()
+            .map(|value| (value - mean).powi(2))
+            .sum::<f64>()
+            / (sample.len() - 1) as f64
+    };
+    let (mean_a, mean_b) = (mean(sample_a), mean(sample_b));
+    let (var_a, var_b) = (variance(sample_a, mean_a), variance(sample_b, mean_b));
+    let (n_a, n_b) = (sample_a.len() as f64, sample_b.len() as f64);
+    let se2 = var_a / n_a + var_b / n_b;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let statistic = (mean_a - mean_b) / se2.sqrt();
+    let df =
+        se2 * se2 / ((var_a / n_a).powi(2) / (n_a - 1.0) + (var_b / n_b).powi(2) / (n_b - 1.0));
+    Some(WelchT { statistic, df })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welch_t_separates_shifted_means() {
+        let sample_a: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let sample_b: Vec<f64> = (0..100).map(|i| (i % 7) as f64 + 3.0).collect();
+        let result = welch_t_test(&sample_a, &sample_b).expect("testable");
+        assert!(result.statistic.abs() > 10.0, "{result:?}");
+    }
+
+    #[test]
+    fn welch_t_accepts_identical_samples() {
+        let sample: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64).collect();
+        let result = welch_t_test(&sample, &sample).expect("testable");
+        assert!(result.statistic.abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_t_rejects_degenerate_input() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi2_sf_matches_reference_values() {
+        // df=1: P[X ≥ 3.841] ≈ 0.05; df=2: SF(x) = exp(-x/2).
+        assert!((chi2_sf(3.841_458_820_694_124, 1) - 0.05).abs() < 1e-9);
+        for x in [0.5f64, 1.0, 5.0, 20.0] {
+            assert!((chi2_sf(x, 2) - (-x / 2.0).exp()).abs() < 1e-12, "x = {x}");
+        }
+        // df=10, x=18.307 → p ≈ 0.05.
+        assert!((chi2_sf(18.307_038_053_275_146, 10) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chi2_sf_is_monotone_and_bounded() {
+        let mut last = 1.0;
+        for step in 0..200 {
+            let x = step as f64 * 0.5;
+            let p = chi2_sf(x, 4);
+            assert!(p <= last + 1e-15);
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn extreme_statistics_saturate_the_log_scale() {
+        let p = chi2_sf(5000.0, 1);
+        assert_eq!(p, 0.0); // underflow
+        assert_eq!(minus_log10_p(p), 308.0);
+        assert!((minus_log10_p(1e-7) - 7.0).abs() < 1e-9);
+        assert!(minus_log10_p(1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn g_test_detects_a_blatant_difference() {
+        // Group 0 sees key A 1000×, group 1 sees key B 1000×.
+        let result = g_test(&[(1000, 0), (0, 1000)]).expect("testable");
+        assert!(result.minus_log10_p > 100.0, "{result:?}");
+    }
+
+    #[test]
+    fn g_test_accepts_identical_distributions() {
+        let result = g_test(&[(500, 510), (490, 480), (510, 505)]).expect("testable");
+        assert!(result.minus_log10_p < 2.0, "{result:?}");
+    }
+
+    #[test]
+    fn g_test_stays_calibrated_on_sparse_tables() {
+        // 4096 columns with ~12 counts each, split binomially between
+        // the groups: a calibrated test must NOT flag this.
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        // Mix of sparse columns (pooled away) and a few dense ones.
+        let columns: Vec<(u64, u64)> = (0..4096)
+            .map(|index| {
+                let total = if index % 64 == 0 {
+                    40 + (next() % 20) as u64
+                } else {
+                    8 + (next() % 9) as u64
+                };
+                let group0 = (0..total).filter(|_| next() % 2 == 0).count() as u64;
+                (group0, total - group0)
+            })
+            .collect();
+        let result = g_test(&columns).expect("testable");
+        assert!(
+            result.minus_log10_p < 4.0,
+            "sparse-table inflation: {result:?}"
+        );
+
+        // An all-sparse table is honestly reported as untestable rather
+        // than producing an inflated statistic.
+        let all_sparse: Vec<(u64, u64)> = (0..4096)
+            .map(|_| {
+                let total = 8 + (next() % 9) as u64;
+                let group0 = (0..total).filter(|_| next() % 2 == 0).count() as u64;
+                (group0, total - group0)
+            })
+            .collect();
+        assert!(g_test(&all_sparse).is_none());
+    }
+
+    #[test]
+    fn g_test_pools_rare_columns() {
+        // 50 singleton columns per group would wreck the χ² approximation;
+        // pooling collapses them into one bucket → no false positive.
+        let mut columns: Vec<(u64, u64)> = Vec::new();
+        for index in 0..50 {
+            if index % 2 == 0 {
+                columns.push((1, 0));
+            } else {
+                columns.push((0, 1));
+            }
+        }
+        columns.push((1000, 1000));
+        let result = g_test(&columns).expect("testable");
+        assert_eq!(result.df, 1); // big column + pooled bucket
+        assert!(result.minus_log10_p < 2.0, "{result:?}");
+    }
+
+    #[test]
+    fn g_test_returns_none_when_untestable() {
+        assert!(g_test(&[]).is_none());
+        assert!(g_test(&[(1000, 1000)]).is_none()); // single column
+        assert!(g_test(&[(1000, 0), (1000, 0)]).is_none()); // empty group
+    }
+
+    #[test]
+    fn g_test_statistic_matches_hand_computation() {
+        // Table: [[30, 10], [10, 30]].
+        let result = g_test(&[(30, 10), (10, 30)]).expect("testable");
+        let expected: f64 = 2.0
+            * (30.0 * (30.0f64 / 20.0).ln()
+                + 10.0 * (10.0f64 / 20.0).ln()
+                + 10.0 * (10.0f64 / 20.0).ln()
+                + 30.0 * (30.0f64 / 20.0).ln());
+        assert!((result.statistic - expected).abs() < 1e-9);
+        assert_eq!(result.df, 1);
+    }
+}

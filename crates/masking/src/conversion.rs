@@ -1,0 +1,204 @@
+//! Boolean ↔ multiplicative masking conversions (Fig. 2 of the paper).
+//!
+//! The masked S-box of De Meyer et al. switches masking schemes around
+//! the field inversion:
+//!
+//! * **B2M** (Boolean → multiplicative): given Boolean shares
+//!   `⟨B⁰, B¹⟩` of `X` and a fresh mask `R ∈ GF(2⁸)*`,
+//!   `P⁰ = R`, `P¹ = [B⁰ ⊗ R] ⊕ [B¹ ⊗ R]` so that `X = (P⁰)⁻¹ ⊗ P¹`.
+//! * **M2B** (multiplicative → Boolean): given multiplicative shares
+//!   `⟨Q⁰, Q¹⟩` of the inversion output with value `Q⁰ ⊗ Q¹` and a fresh
+//!   mask `R' ∈ GF(2⁸)`,
+//!   `B'⁰ = R' ⊗ Q⁰`, `B'¹ = [R' ⊕ Q¹] ⊗ Q⁰`, so `B'⁰ ⊕ B'¹ = Q⁰ ⊗ Q¹`.
+//!
+//! Between the two, inversion is *local*: `X⁻¹ = P⁰ ⊗ (P¹)⁻¹`, so
+//! `Q⁰ = P⁰` and `Q¹ = (P¹)⁻¹` — only one unmasked inverter is needed.
+
+use mmaes_gf256::Gf256;
+use rand::Rng;
+
+/// Result of a first-order B2M conversion: `x = p0⁻¹ ⊗ p1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct B2mShares {
+    /// `P⁰ = R`, the multiplicative mask (non-zero).
+    pub p0: Gf256,
+    /// `P¹ = X ⊗ R`, the masked value.
+    pub p1: Gf256,
+}
+
+/// Converts first-order Boolean shares to multiplicative shares with the
+/// supplied fresh mask `r` (must be non-zero).
+///
+/// # Panics
+///
+/// Panics if `r` is zero (a zero multiplicative mask is never valid; the
+/// hardware samples `R` from GF(2⁸)*).
+pub fn boolean_to_multiplicative(b0: Gf256, b1: Gf256, r: Gf256) -> B2mShares {
+    assert!(!r.is_zero(), "the B2M mask R must be drawn from GF(2^8)*");
+    B2mShares {
+        p0: r,
+        p1: b0 * r + b1 * r,
+    }
+}
+
+/// Converts first-order multiplicative shares (value `q0 ⊗ q1`) back to
+/// Boolean shares with the fresh mask `r_prime` (any field element).
+pub fn multiplicative_to_boolean(q0: Gf256, q1: Gf256, r_prime: Gf256) -> (Gf256, Gf256) {
+    let b0 = r_prime * q0;
+    let b1 = (r_prime + q1) * q0;
+    (b0, b1)
+}
+
+/// The complete masked inversion pipeline at the value level (no
+/// Kronecker correction): B2M → local inversion → M2B.
+///
+/// Returns Boolean shares of `x⁻¹` — **incorrect for `x = 0`** (the
+/// zero-value problem): callers must apply the Kronecker-delta mapping
+/// first, as the masked S-box does.
+pub fn masked_inversion_no_zero_fix(
+    b0: Gf256,
+    b1: Gf256,
+    r: Gf256,
+    r_prime: Gf256,
+) -> (Gf256, Gf256) {
+    let converted = boolean_to_multiplicative(b0, b1, r);
+    // Local inversion: X⁻¹ = P⁰ ⊗ (P¹)⁻¹, so Q⁰ = P⁰ and Q¹ = (P¹)⁻¹.
+    let q0 = converted.p0;
+    let q1 = converted.p1.inverse();
+    multiplicative_to_boolean(q0, q1, r_prime)
+}
+
+/// The complete first-order masked S-box at the value level, including
+/// the Kronecker-delta zero-mapping and the affine layer — the functional
+/// reference for the hardware pipeline of Fig. 2.
+pub fn masked_sbox_reference(
+    b0: Gf256,
+    b1: Gf256,
+    r: Gf256,
+    r_prime: Gf256,
+    delta_shares: (bool, bool),
+) -> (Gf256, Gf256) {
+    // The caller supplies Boolean shares of δ(x) (produced in hardware by
+    // the masked Kronecker tree); fold them into the data shares.
+    let z0 = Gf256::new(u8::from(delta_shares.0));
+    let z1 = Gf256::new(u8::from(delta_shares.1));
+    let mapped0 = b0 + z0;
+    let mapped1 = b1 + z1;
+    let (inv0, inv1) = masked_inversion_no_zero_fix(mapped0, mapped1, r, r_prime);
+    // Undo the zero-mapping on the inversion output, then apply the
+    // affine layer share-wise (constant on share 0 only).
+    let unmapped0 = inv0 + z0;
+    let unmapped1 = inv1 + z1;
+    let affine = mmaes_gf256::matrix::BitMatrix8::AES_AFFINE;
+    let out0 = Gf256::new(affine.apply(unmapped0.to_byte()) ^ mmaes_gf256::sbox::AFFINE_CONSTANT);
+    let out1 = Gf256::new(affine.apply(unmapped1.to_byte()));
+    (out0, out1)
+}
+
+/// Samples a uniformly random element of GF(2⁸)* (the B2M mask domain).
+pub fn random_nonzero(rng: &mut impl Rng) -> Gf256 {
+    Gf256::new(rng.gen_range(1..=255u8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmaes_gf256::sbox::sbox;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xc0ffee)
+    }
+
+    #[test]
+    fn b2m_preserves_the_value() {
+        let mut rng = rng();
+        for x in Gf256::all() {
+            let b0 = Gf256::new(rng.gen());
+            let b1 = x + b0;
+            let r = random_nonzero(&mut rng);
+            let shares = boolean_to_multiplicative(b0, b1, r);
+            assert_eq!(shares.p0.inverse() * shares.p1, x, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn b2m_of_zero_exposes_the_zero_value_problem() {
+        // When X = 0, P¹ = 0 regardless of the mask: the sharing leaks.
+        let mut rng = rng();
+        for _ in 0..32 {
+            let b0 = Gf256::new(rng.gen());
+            let b1 = b0; // X = 0
+            let r = random_nonzero(&mut rng);
+            let shares = boolean_to_multiplicative(b0, b1, r);
+            assert!(shares.p1.is_zero());
+        }
+    }
+
+    #[test]
+    fn m2b_reconstructs_the_product() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let q0 = random_nonzero(&mut rng);
+            let q1 = Gf256::new(rng.gen());
+            let r_prime = Gf256::new(rng.gen());
+            let (b0, b1) = multiplicative_to_boolean(q0, q1, r_prime);
+            assert_eq!(b0 + b1, q0 * q1);
+        }
+    }
+
+    #[test]
+    fn masked_inversion_is_correct_for_nonzero() {
+        let mut rng = rng();
+        for x in Gf256::all_nonzero() {
+            let b0 = Gf256::new(rng.gen());
+            let b1 = x + b0;
+            let r = random_nonzero(&mut rng);
+            let r_prime = Gf256::new(rng.gen());
+            let (o0, o1) = masked_inversion_no_zero_fix(b0, b1, r, r_prime);
+            assert_eq!(o0 + o1, x.inverse(), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn masked_inversion_is_wrong_for_zero_without_the_fix() {
+        // 0⁻¹ should be 0, but the multiplicative path computes garbage
+        // in a detectable way: P¹ = 0 → Q¹ = 0 → both outputs are 0·…
+        let mut rng = rng();
+        let b0 = Gf256::new(rng.gen());
+        let b1 = b0;
+        let r = random_nonzero(&mut rng);
+        let r_prime = Gf256::new(rng.gen());
+        let (o0, o1) = masked_inversion_no_zero_fix(b0, b1, r, r_prime);
+        // It happens to reconstruct 0 (both shares contain the factor
+        // Q¹=0 ... actually Q⁰ ≠ 0, so B'⁰ = R'Q⁰ and B'¹ = R'Q⁰: equal).
+        assert_eq!(o0 + o1, Gf256::ZERO);
+        // But the *shares are equal*, i.e. the sharing of zero is
+        // degenerate — another face of the zero-value problem.
+        assert_eq!(o0, o1);
+    }
+
+    #[test]
+    fn masked_sbox_reference_matches_sbox_for_all_inputs() {
+        let mut rng = rng();
+        for x in Gf256::all() {
+            let b0 = Gf256::new(rng.gen());
+            let b1 = x + b0;
+            let r = random_nonzero(&mut rng);
+            let r_prime = Gf256::new(rng.gen());
+            // Boolean sharing of δ(x).
+            let delta = x.is_zero();
+            let z0: bool = rng.gen();
+            let z1 = delta ^ z0;
+            let (o0, o1) = masked_sbox_reference(b0, b1, r, r_prime, (z0, z1));
+            assert_eq!(o0 + o1, sbox(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "GF(2^8)*")]
+    fn zero_b2m_mask_is_rejected() {
+        boolean_to_multiplicative(Gf256::ONE, Gf256::ONE, Gf256::ZERO);
+    }
+}

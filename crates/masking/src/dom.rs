@@ -1,0 +1,259 @@
+//! Domain-Oriented Masking (DOM-indep) multiplication at the value level.
+//!
+//! The DOM-indep multiplier of Groß, Mangard & Korak computes a shared
+//! product with `d+1` shares at protection order `d`, using
+//! `d(d+1)/2` fresh masks. For shares `x₀..x_d`, `y₀..y_d`:
+//!
+//! ```text
+//! zᵢ = xᵢyᵢ ⊕ ⊕_{j≠i} (xᵢyⱼ ⊕ r_{min(i,j),max(i,j)})
+//! ```
+//!
+//! Every fresh mask `r_{ij}` appears in exactly two output shares
+//! (`zᵢ` and `zⱼ`), so the masks cancel on reconstruction. In hardware
+//! the cross terms `xᵢyⱼ ⊕ r` and the inner terms are registered before
+//! the final compression — that *register placement* is what the glitch-
+//! extended probing model inspects, and is reproduced faithfully by the
+//! netlist generator in `mmaes-circuits`; this module is the functional
+//! reference for it.
+
+use mmaes_gf256::Gf256;
+
+/// Number of fresh masks a DOM-indep multiplication needs at protection
+/// order `order` (which uses `order + 1` shares): `d(d+1)/2`.
+///
+/// # Example
+///
+/// ```
+/// use mmaes_masking::dom::fresh_mask_count;
+/// assert_eq!(fresh_mask_count(1), 1); // first order: 1 mask
+/// assert_eq!(fresh_mask_count(2), 3); // second order: 3 masks
+/// ```
+pub const fn fresh_mask_count(order: usize) -> usize {
+    order * (order + 1) / 2
+}
+
+/// The index of mask `r_{ij}` (for `i < j`) in a flat mask slice laid out
+/// in lexicographic order of `(i, j)`.
+///
+/// # Panics
+///
+/// Panics unless `i < j < share_count`.
+pub fn mask_index(i: usize, j: usize, share_count: usize) -> usize {
+    assert!(i < j && j < share_count, "need i < j < share_count");
+    // Number of pairs (a, b) with a < i, plus (j - i - 1).
+    // Pairs starting at a: (share_count - 1 - a).
+    let before: usize = (0..i).map(|a| share_count - 1 - a).sum();
+    before + (j - i - 1)
+}
+
+/// DOM-indep multiplication of bit sharings (a masked AND gate).
+///
+/// `x` and `y` are Boolean bit sharings with the same share count `d+1`;
+/// `fresh` supplies the `d(d+1)/2` fresh mask bits.
+///
+/// # Panics
+///
+/// Panics if the share counts differ, are < 2, or `fresh` has the wrong
+/// length.
+///
+/// # Example
+///
+/// ```
+/// use mmaes_masking::dom::dom_and_bits;
+///
+/// // First order: x = 1 (shares 1, 0), y = 1 (shares 0, 1), one mask.
+/// let z = dom_and_bits(&[true, false], &[false, true], &[true]);
+/// assert_eq!(z.iter().fold(false, |acc, &bit| acc ^ bit), true & true);
+/// ```
+pub fn dom_and_bits(x: &[bool], y: &[bool], fresh: &[bool]) -> Vec<bool> {
+    assert_eq!(x.len(), y.len(), "share counts must match");
+    assert!(x.len() >= 2, "need at least 2 shares");
+    let shares = x.len();
+    let order = shares - 1;
+    assert_eq!(
+        fresh.len(),
+        fresh_mask_count(order),
+        "wrong number of fresh masks"
+    );
+
+    (0..shares)
+        .map(|i| {
+            let mut acc = x[i] & y[i];
+            for j in 0..shares {
+                if j == i {
+                    continue;
+                }
+                let mask = fresh[mask_index(i.min(j), i.max(j), shares)];
+                acc ^= (x[i] & y[j]) ^ mask;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// DOM-indep multiplication of GF(2⁸) sharings (a masked field multiplier).
+///
+/// # Panics
+///
+/// Panics if the share counts differ, are < 2, or `fresh` has the wrong
+/// length.
+pub fn dom_mul_gf256(x: &[Gf256], y: &[Gf256], fresh: &[Gf256]) -> Vec<Gf256> {
+    assert_eq!(x.len(), y.len(), "share counts must match");
+    assert!(x.len() >= 2, "need at least 2 shares");
+    let shares = x.len();
+    let order = shares - 1;
+    assert_eq!(
+        fresh.len(),
+        fresh_mask_count(order),
+        "wrong number of fresh masks"
+    );
+
+    (0..shares)
+        .map(|i| {
+            let mut acc = x[i] * y[i];
+            for j in 0..shares {
+                if j == i {
+                    continue;
+                }
+                let mask = fresh[mask_index(i.min(j), i.max(j), shares)];
+                acc += x[i] * y[j] + mask;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// The simplified first-order DOM-AND output expression of Equation (5)
+/// of the paper: `b_z^i = b_x^i · y ⊕ r`, where `y` is the *unshared*
+/// second operand.
+///
+/// The simplification shows that the masking of `y` cancels out of each
+/// output share — the structural fact the paper's leakage analysis builds
+/// on (reuse of `r` across gates lets glitch-extended probes cancel it
+/// too, exposing unmasked values).
+pub fn dom_and_first_order_simplified(x_share: bool, y_unshared: bool, r: bool) -> bool {
+    (x_share & y_unshared) ^ r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn reconstruct_bits(shares: &[bool]) -> bool {
+        shares.iter().fold(false, |acc, &bit| acc ^ bit)
+    }
+
+    fn reconstruct_gf(shares: &[Gf256]) -> Gf256 {
+        shares.iter().copied().sum()
+    }
+
+    #[test]
+    fn mask_index_is_a_bijection() {
+        for shares in 2..=5 {
+            let mut seen = vec![false; fresh_mask_count(shares - 1)];
+            for i in 0..shares {
+                for j in (i + 1)..shares {
+                    let index = mask_index(i, j, shares);
+                    assert!(!seen[index], "duplicate index for ({i},{j})");
+                    seen[index] = true;
+                }
+            }
+            assert!(seen.iter().all(|&taken| taken));
+        }
+    }
+
+    #[test]
+    fn dom_and_bits_is_correct_exhaustively_first_order() {
+        // All 2-share sharings of all (x, y) pairs, all mask values.
+        for x in [false, true] {
+            for y in [false, true] {
+                for x0 in [false, true] {
+                    for y0 in [false, true] {
+                        for r in [false, true] {
+                            let z = dom_and_bits(&[x0, x ^ x0], &[y0, y ^ y0], &[r]);
+                            assert_eq!(reconstruct_bits(&z), x & y);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dom_and_bits_is_correct_second_order_randomized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let x: bool = rng.gen();
+            let y: bool = rng.gen();
+            let (x0, x1): (bool, bool) = (rng.gen(), rng.gen());
+            let (y0, y1): (bool, bool) = (rng.gen(), rng.gen());
+            let fresh: Vec<bool> = (0..3).map(|_| rng.gen()).collect();
+            let z = dom_and_bits(&[x0, x1, x ^ x0 ^ x1], &[y0, y1, y ^ y0 ^ y1], &fresh);
+            assert_eq!(z.len(), 3);
+            assert_eq!(reconstruct_bits(&z), x & y);
+        }
+    }
+
+    #[test]
+    fn dom_mul_gf256_is_correct_first_and_second_order() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for order in 1..=2 {
+            let shares = order + 1;
+            for _ in 0..300 {
+                let x = Gf256::new(rng.gen());
+                let y = Gf256::new(rng.gen());
+                let mut xs: Vec<Gf256> = (0..order).map(|_| Gf256::new(rng.gen())).collect();
+                xs.push(xs.iter().fold(x, |acc, &s| acc + s));
+                let mut ys: Vec<Gf256> = (0..order).map(|_| Gf256::new(rng.gen())).collect();
+                ys.push(ys.iter().fold(y, |acc, &s| acc + s));
+                let fresh: Vec<Gf256> = (0..fresh_mask_count(order))
+                    .map(|_| Gf256::new(rng.gen()))
+                    .collect();
+                let z = dom_mul_gf256(&xs, &ys, &fresh);
+                assert_eq!(z.len(), shares);
+                assert_eq!(reconstruct_gf(&z), x * y);
+            }
+        }
+    }
+
+    #[test]
+    fn first_order_output_share_matches_equation_five() {
+        // b_z^i = b_x^i b_y^i ⊕ [b_x^i b_y^{i⊕1} ⊕ r]  ==  b_x^i · y ⊕ r.
+        for x0 in [false, true] {
+            for x1 in [false, true] {
+                for y0 in [false, true] {
+                    for y1 in [false, true] {
+                        for r in [false, true] {
+                            let z = dom_and_bits(&[x0, x1], &[y0, y1], &[r]);
+                            let y = y0 ^ y1;
+                            assert_eq!(z[0], dom_and_first_order_simplified(x0, y, r));
+                            assert_eq!(z[1], dom_and_first_order_simplified(x1, y, r));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masks_cancel_in_reconstruction_regardless_of_their_value() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..100 {
+            let xs = [rng.gen(), rng.gen(), rng.gen()];
+            let ys = [rng.gen(), rng.gen(), rng.gen()];
+            let fresh_a: Vec<bool> = (0..3).map(|_| rng.gen()).collect();
+            let fresh_b: Vec<bool> = (0..3).map(|_| rng.gen()).collect();
+            let za = dom_and_bits(&xs, &ys, &fresh_a);
+            let zb = dom_and_bits(&xs, &ys, &fresh_b);
+            assert_eq!(reconstruct_bits(&za), reconstruct_bits(&zb));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of fresh masks")]
+    fn wrong_mask_count_panics() {
+        dom_and_bits(&[false, true], &[true, false], &[]);
+    }
+}

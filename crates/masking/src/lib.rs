@@ -1,0 +1,34 @@
+//! Value-level masking algebra for the AES S-box.
+//!
+//! Everything in this crate operates on *values* (field elements and
+//! bits), independent of any netlist: it is the mathematical reference
+//! against which the hardware gadget generators in `mmaes-circuits` are
+//! checked, and the home of the randomness-recycling configurations the
+//! paper revolves around.
+//!
+//! * [`sharing`] — Boolean and multiplicative sharings at any order,
+//!   including the zero-value problem of multiplicative masking.
+//! * [`dom`] — the Domain-Oriented Masking (DOM-indep) multiplier of
+//!   Groß et al. at the value level, for GF(2) and GF(2⁸).
+//! * [`conversion`] — Boolean ↔ multiplicative conversions exactly as in
+//!   the masked S-box of De Meyer et al. (Fig. 2 of the paper).
+//! * [`randomness`] — the fresh-mask schedules for the Kronecker delta's
+//!   seven DOM-AND gates: the insecure CHES 2018 optimization (Eq. 6),
+//!   the paper's repaired optimization (Eq. 9), the transition-secure
+//!   family, and custom schedules.
+//! * [`sni`] — exhaustive probing-security checking of value-level
+//!   gadgets, demonstrating the paper's meta-point: the DOM-AND is
+//!   1-probing-secure in isolation (De Meyer's pen-and-paper claim
+//!   holds), yet compositions that *share* fresh masks leak.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conversion;
+pub mod dom;
+pub mod randomness;
+pub mod sharing;
+pub mod sni;
+
+pub use randomness::{KroneckerRandomness, MaskSlot};
+pub use sharing::{BitSharing, BooleanSharing, MultiplicativeSharing, SharingError};

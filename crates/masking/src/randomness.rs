@@ -1,0 +1,609 @@
+//! Fresh-mask schedules for the masked Kronecker delta function.
+//!
+//! The Kronecker delta of De Meyer et al. is a tree of seven DOM-AND
+//! gates `G1..G7` (Fig. 1b / Fig. 3 of the paper). At protection order
+//! `d` each gate consumes `d(d+1)/2` fresh mask bits, so an unoptimized
+//! first-order tree needs 7 bits per cycle and a second-order tree 21.
+//!
+//! A [`KroneckerRandomness`] schedule assigns to every *mask slot*
+//! (gate, mask-within-gate) an XOR of *fresh bits* drawn from a smaller
+//! pool — this is exactly the randomness-recycling optimization space the
+//! paper analyses:
+//!
+//! * [`KroneckerRandomness::full`] — no recycling (7 fresh bits). Secure
+//!   under the glitch-extended model (experiment E3).
+//! * [`KroneckerRandomness::de_meyer_eq6`] — the CHES 2018 optimization
+//!   (Equation (6)): `r1=r3, r2=r4, r6=[r5⊕r2], r7=r1`, 3 fresh bits.
+//!   **Insecure**: first-order leakage under glitch-extended probing
+//!   (experiment E2, root cause in experiment E4).
+//! * [`KroneckerRandomness::proposed_eq9`] — the paper's repaired
+//!   optimization (Equation (9)): fresh `r1..r4`, `r5=r4, r6=r2, r7=r3`,
+//!   4 fresh bits. Secure under the glitch-extended model (E5), but not
+//!   when transitions are added (E7).
+//! * [`KroneckerRandomness::transition_secure`] — the family the paper
+//!   found by trial and error: fresh `r1..r6` and `r7 = rᵢ` for any
+//!   `i ∈ {1,2,3,4}`, 6 fresh bits; secure under glitches *and*
+//!   transitions (E7).
+//! * [`KroneckerRandomness::r5_equals_r6`] — the counterexample of
+//!   Section IV showing the `r5 = r6` constraint matters (E6).
+
+use core::fmt;
+
+use crate::dom::fresh_mask_count;
+
+/// Number of DOM-AND gates in the Kronecker delta tree (`G1..G7`).
+pub const KRONECKER_GATES: usize = 7;
+
+/// One tap of a mask slot: a randomness-port bit, optionally delayed
+/// through registers.
+///
+/// **Timing model** (this is the crux of the paper's findings): the
+/// design has a per-cycle randomness port of `fresh_count` bits. A gate
+/// in pipeline layer `L` consumes its masks at cycle `τ + L` for the
+/// data cohort entering at `τ`. A tap `(port, delay)` contributes the
+/// port bit sampled `delay` cycles *before* consumption, i.e.
+/// `port(τ + L − delay)`.
+///
+/// * Two gates in the *same* layer sharing a port (Eq. 6's `r1 = r3`)
+///   therefore consume the *same physical bit* — the same-cohort reuse
+///   whose leakage the paper demonstrates.
+/// * Gates in *different* layers sharing a port with delay 0 (Eq. 9's
+///   `r5 = r4`) consume *different cycles'* bits — independent per
+///   cohort under glitch-extended probing, but jointly visible to a
+///   transition-extended probe spanning two cycles.
+/// * Eq. 6's `r6 = [r5 ⊕ r2]` registers the XOR one cycle: taps with
+///   `delay = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MaskTap {
+    /// Index into the per-cycle randomness port.
+    pub port: u16,
+    /// Register delay between sampling and consumption, in cycles.
+    pub delay: u8,
+}
+
+/// One mask slot's value: the XOR of one or more [`MaskTap`]s.
+///
+/// An empty set would mean "constant zero", which is never a valid mask;
+/// construction enforces at least one tap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MaskSlot(Vec<MaskTap>);
+
+impl MaskSlot {
+    /// A slot fed directly by one port bit at the consumption cycle.
+    pub fn fresh(port: u16) -> Self {
+        MaskSlot(vec![MaskTap { port, delay: 0 }])
+    }
+
+    /// A slot fed by the XOR of several taps (distinct, or they would
+    /// cancel to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty or contains duplicates.
+    pub fn xor_of(taps: impl IntoIterator<Item = MaskTap>) -> Self {
+        let mut taps: Vec<MaskTap> = taps.into_iter().collect();
+        assert!(!taps.is_empty(), "a mask slot needs at least one tap");
+        taps.sort_unstable_by_key(|tap| (tap.port, tap.delay));
+        let before = taps.len();
+        taps.dedup();
+        assert_eq!(before, taps.len(), "duplicate taps cancel to zero");
+        MaskSlot(taps)
+    }
+
+    /// The taps XORed into this slot.
+    pub fn taps(&self) -> &[MaskTap] {
+        &self.0
+    }
+
+    /// Evaluates the slot at a consumption cycle, given the port history
+    /// `port_at(cycles_back, port) -> bool` (0 = the consumption cycle).
+    pub fn evaluate_with(&self, port_at: impl Fn(u8, u16) -> bool) -> bool {
+        self.0
+            .iter()
+            .fold(false, |acc, tap| acc ^ port_at(tap.delay, tap.port))
+    }
+
+    /// Evaluates the slot when every tap has delay 0 (single-cycle use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tap is delayed or out of range of `fresh`.
+    pub fn evaluate(&self, fresh: &[bool]) -> bool {
+        self.0.iter().fold(false, |acc, tap| {
+            assert_eq!(tap.delay, 0, "delayed tap needs evaluate_with");
+            acc ^ fresh[tap.port as usize]
+        })
+    }
+}
+
+impl fmt::Display for MaskSlot {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (position, tap) in self.0.iter().enumerate() {
+            if position > 0 {
+                formatter.write_str("^")?;
+            }
+            write!(formatter, "f{}", tap.port)?;
+            if tap.delay > 0 {
+                write!(formatter, "@-{}", tap.delay)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error for malformed randomness schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The number of slots does not match `7 · d(d+1)/2`.
+    WrongSlotCount {
+        /// Slots expected for this order.
+        expected: usize,
+        /// Slots provided.
+        got: usize,
+    },
+    /// A slot references a fresh bit ≥ `fresh_count`.
+    FreshIndexOutOfRange {
+        /// The offending index.
+        index: u16,
+        /// The pool size.
+        fresh_count: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongSlotCount { expected, got } => {
+                write!(formatter, "expected {expected} mask slots, got {got}")
+            }
+            ScheduleError::FreshIndexOutOfRange { index, fresh_count } => {
+                write!(
+                    formatter,
+                    "fresh bit f{index} out of range (pool size {fresh_count})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete fresh-mask schedule for the Kronecker delta at some order.
+///
+/// Slot layout: gate `g ∈ 0..7` (G1..G7 in paper numbering is `g+1`),
+/// mask `m ∈ 0..d(d+1)/2` within the gate; slot index = `g·pairs + m`.
+/// For first order, slot `g` is the paper's `r_{g+1}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KroneckerRandomness {
+    order: usize,
+    slots: Vec<MaskSlot>,
+    fresh_count: usize,
+    name: String,
+}
+
+impl KroneckerRandomness {
+    /// Builds a custom schedule.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScheduleError`].
+    pub fn custom(
+        order: usize,
+        slots: Vec<MaskSlot>,
+        fresh_count: usize,
+        name: impl Into<String>,
+    ) -> Result<Self, ScheduleError> {
+        let expected = KRONECKER_GATES * fresh_mask_count(order);
+        if slots.len() != expected {
+            return Err(ScheduleError::WrongSlotCount {
+                expected,
+                got: slots.len(),
+            });
+        }
+        for slot in &slots {
+            for tap in slot.taps() {
+                if tap.port as usize >= fresh_count {
+                    return Err(ScheduleError::FreshIndexOutOfRange {
+                        index: tap.port,
+                        fresh_count,
+                    });
+                }
+            }
+        }
+        Ok(KroneckerRandomness {
+            order,
+            slots,
+            fresh_count,
+            name: name.into(),
+        })
+    }
+
+    /// First order, no recycling: `r1..r7` all fresh (7 bits).
+    pub fn full() -> Self {
+        let slots = (0..7).map(|slot| MaskSlot::fresh(slot as u16)).collect();
+        KroneckerRandomness {
+            order: 1,
+            slots,
+            fresh_count: 7,
+            name: "full-7".into(),
+        }
+    }
+
+    /// The CHES 2018 optimization, Equation (6) of the paper (3 bits):
+    ///
+    /// ```text
+    /// r1 = r3 = f0,  r2 = r4 = f1,  r5 = f2,  r6 = [f2 ⊕ f1],  r7 = f0
+    /// ```
+    ///
+    /// `r1 = r3` and `r2 = r4` are same-layer reuses (the same physical
+    /// port bit feeds two gates in the same cycle) — the source of the
+    /// first-order leakage the paper demonstrates. `r6 = [r5 ⊕ r2]` is
+    /// registered (delay-1 taps); `r7 = r1` shares the port across two
+    /// pipeline layers.
+    ///
+    /// **This schedule is first-order insecure** under the glitch-extended
+    /// probing model — the central finding of the paper.
+    pub fn de_meyer_eq6() -> Self {
+        let slots = vec![
+            MaskSlot::fresh(0), // r1
+            MaskSlot::fresh(1), // r2
+            MaskSlot::fresh(0), // r3 = r1 (same cycle!)
+            MaskSlot::fresh(1), // r4 = r2 (same cycle!)
+            MaskSlot::fresh(2), // r5
+            // r6 = [r5 ⊕ r2]: registered one cycle before consumption.
+            MaskSlot::xor_of([MaskTap { port: 2, delay: 1 }, MaskTap { port: 1, delay: 1 }]),
+            MaskSlot::fresh(0), // r7 = r1 (two layers apart)
+        ];
+        KroneckerRandomness {
+            order: 1,
+            slots,
+            fresh_count: 3,
+            name: "de-meyer-eq6".into(),
+        }
+    }
+
+    /// The paper's repaired optimization, Equation (9) (4 bits):
+    ///
+    /// ```text
+    /// r1..r4 fresh,  r5 = r4,  r6 = r2,  r7 = r3
+    /// ```
+    ///
+    /// Secure under the glitch-extended model; insecure once transitions
+    /// are also considered.
+    pub fn proposed_eq9() -> Self {
+        let slots = vec![
+            MaskSlot::fresh(0), // r1
+            MaskSlot::fresh(1), // r2
+            MaskSlot::fresh(2), // r3
+            MaskSlot::fresh(3), // r4
+            MaskSlot::fresh(3), // r5 = r4
+            MaskSlot::fresh(1), // r6 = r2
+            MaskSlot::fresh(2), // r7 = r3
+        ];
+        KroneckerRandomness {
+            order: 1,
+            slots,
+            fresh_count: 4,
+            name: "proposed-eq9".into(),
+        }
+    }
+
+    /// The transition-secure family (6 bits): `r1..r6` fresh and
+    /// `r7 = rᵢ` for `reused ∈ {1, 2, 3, 4}` (paper Section IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `reused ∈ 1..=4`.
+    pub fn transition_secure(reused: usize) -> Self {
+        assert!((1..=4).contains(&reused), "r7 may only reuse r1..r4");
+        let mut slots: Vec<MaskSlot> = (0..6).map(|slot| MaskSlot::fresh(slot as u16)).collect();
+        slots.push(MaskSlot::fresh((reused - 1) as u16)); // r7 = r_reused
+        KroneckerRandomness {
+            order: 1,
+            slots,
+            fresh_count: 6,
+            name: format!("transition-secure-r7=r{reused}"),
+        }
+    }
+
+    /// The Section IV counterexample: `r1..r4` fresh, `r5 = r6` shared,
+    /// `r7` fresh (6 bits). Shows that even with a fully fresh first
+    /// layer, sharing the two layer-2 masks leaks.
+    pub fn r5_equals_r6() -> Self {
+        let slots = vec![
+            MaskSlot::fresh(0), // r1
+            MaskSlot::fresh(1), // r2
+            MaskSlot::fresh(2), // r3
+            MaskSlot::fresh(3), // r4
+            MaskSlot::fresh(4), // r5
+            MaskSlot::fresh(4), // r6 = r5  ← the flaw under test
+            MaskSlot::fresh(5), // r7
+        ];
+        KroneckerRandomness {
+            order: 1,
+            slots,
+            fresh_count: 6,
+            name: "r5-equals-r6".into(),
+        }
+    }
+
+    /// A single-reuse variant used in the paper's root-cause analysis
+    /// (Section III): only `r3 = r1`, everything else fresh (6 bits).
+    pub fn single_reuse_r1_r3() -> Self {
+        let slots = vec![
+            MaskSlot::fresh(0), // r1
+            MaskSlot::fresh(1), // r2
+            MaskSlot::fresh(0), // r3 = r1  ← the single optimization
+            MaskSlot::fresh(2), // r4
+            MaskSlot::fresh(3), // r5
+            MaskSlot::fresh(4), // r6
+            MaskSlot::fresh(5), // r7
+        ];
+        KroneckerRandomness {
+            order: 1,
+            slots,
+            fresh_count: 6,
+            name: "single-reuse-r1=r3".into(),
+        }
+    }
+
+    /// Second order, no recycling: 21 fresh bits (3 per gate).
+    pub fn full_order2() -> Self {
+        let slots = (0..21).map(|slot| MaskSlot::fresh(slot as u16)).collect();
+        KroneckerRandomness {
+            order: 2,
+            slots,
+            fresh_count: 21,
+            name: "full-21-order2".into(),
+        }
+    }
+
+    /// A reconstruction of the 21→13-bit second-order optimization of
+    /// De Meyer et al. (the DATE paper reports its *verdict* — no
+    /// detectable leakage up to second order — but not the schedule).
+    ///
+    /// Reconstruction rationale: the first AND layer keeps fully
+    /// independent masks (12 bits — the paper's first-order analysis shows
+    /// the first layer is the critical one), the second/third layers
+    /// receive one fresh bit plus recycled first-layer bits, mirroring the
+    /// Eq. (9) idea that masks of a gate's *second* operand vanish from
+    /// its outputs.
+    pub fn de_meyer_13_reconstruction() -> Self {
+        let mut slots: Vec<MaskSlot> = (0..12).map(|slot| MaskSlot::fresh(slot as u16)).collect();
+        // G5 (consumes y0, y1 → masks of G1/G2 vanish; reuse them).
+        slots.push(MaskSlot::fresh(12));
+        slots.push(MaskSlot::fresh(0));
+        slots.push(MaskSlot::fresh(3));
+        // G6 (consumes y2, y3 → masks of G3/G4 vanish; reuse them).
+        slots.push(MaskSlot::fresh(6));
+        slots.push(MaskSlot::fresh(9));
+        slots.push(MaskSlot::fresh(1));
+        // G7 (consumes w0, w1).
+        slots.push(MaskSlot::fresh(4));
+        slots.push(MaskSlot::fresh(7));
+        slots.push(MaskSlot::fresh(10));
+        KroneckerRandomness {
+            order: 2,
+            slots,
+            fresh_count: 13,
+            name: "de-meyer-13-order2-reconstruction".into(),
+        }
+    }
+
+    /// The catalogue of first-order schedules the paper discusses, in the
+    /// order they appear (for sweep experiments).
+    pub fn first_order_catalog() -> Vec<KroneckerRandomness> {
+        let mut catalog = vec![
+            KroneckerRandomness::full(),
+            KroneckerRandomness::de_meyer_eq6(),
+            KroneckerRandomness::single_reuse_r1_r3(),
+            KroneckerRandomness::proposed_eq9(),
+            KroneckerRandomness::r5_equals_r6(),
+        ];
+        catalog.extend((1..=4).map(KroneckerRandomness::transition_secure));
+        catalog
+    }
+
+    /// The protection order `d` the schedule targets.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Fresh mask bits per gate at this order (`d(d+1)/2`).
+    pub fn slots_per_gate(&self) -> usize {
+        fresh_mask_count(self.order)
+    }
+
+    /// Size of the fresh-bit pool per cycle.
+    pub fn fresh_count(&self) -> usize {
+        self.fresh_count
+    }
+
+    /// Human-readable schedule name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The slot for gate `gate ∈ 0..7` (G{gate+1}), mask `mask` within
+    /// the gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate >= 7` or `mask >= slots_per_gate()`.
+    pub fn slot(&self, gate: usize, mask: usize) -> &MaskSlot {
+        assert!(gate < KRONECKER_GATES, "gate out of range");
+        assert!(mask < self.slots_per_gate(), "mask out of range");
+        &self.slots[gate * self.slots_per_gate() + mask]
+    }
+
+    /// All slots in layout order.
+    pub fn slots(&self) -> &[MaskSlot] {
+        &self.slots
+    }
+
+    /// Evaluates slot (`gate`, `mask`) on concrete fresh bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `gate`/`mask` or short `fresh`.
+    pub fn evaluate(&self, gate: usize, mask: usize, fresh: &[bool]) -> bool {
+        self.slot(gate, mask).evaluate(fresh)
+    }
+
+    /// How many mask bits the unoptimized tree would need, for cost
+    /// reports (7 at order 1, 21 at order 2).
+    pub fn unoptimized_cost(&self) -> usize {
+        KRONECKER_GATES * self.slots_per_gate()
+    }
+}
+
+impl fmt::Display for KroneckerRandomness {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            formatter,
+            "{} (order {}, {} → {} fresh bits)",
+            self.name,
+            self.order,
+            self.unoptimized_cost(),
+            self.fresh_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_counts_match_the_paper() {
+        assert_eq!(KroneckerRandomness::full().fresh_count(), 7);
+        assert_eq!(KroneckerRandomness::de_meyer_eq6().fresh_count(), 3);
+        assert_eq!(KroneckerRandomness::proposed_eq9().fresh_count(), 4);
+        for reused in 1..=4 {
+            assert_eq!(
+                KroneckerRandomness::transition_secure(reused).fresh_count(),
+                6
+            );
+        }
+        assert_eq!(KroneckerRandomness::full_order2().fresh_count(), 21);
+        assert_eq!(
+            KroneckerRandomness::de_meyer_13_reconstruction().fresh_count(),
+            13
+        );
+    }
+
+    #[test]
+    fn eq6_encodes_the_published_reuse() {
+        let eq6 = KroneckerRandomness::de_meyer_eq6();
+        // r1 = r3 and r2 = r4 and r7 = r1.
+        assert_eq!(eq6.slot(0, 0), eq6.slot(2, 0));
+        assert_eq!(eq6.slot(1, 0), eq6.slot(3, 0));
+        assert_eq!(eq6.slot(6, 0), eq6.slot(0, 0));
+        // r6 = [r5 ⊕ r2]: delay-1 taps on ports 2 and 1.
+        let history = |delay: u8, port: u16| (delay == 1) && (port == 1); // f1 one cycle back
+        let r6 = eq6.slot(5, 0).evaluate_with(history);
+        assert!(r6); // f2@-1 = 0, f1@-1 = 1 → XOR = 1
+        assert!(eq6.slot(5, 0).taps().iter().all(|tap| tap.delay == 1));
+    }
+
+    #[test]
+    fn eq9_encodes_the_proposed_reuse() {
+        let eq9 = KroneckerRandomness::proposed_eq9();
+        // r1..r4 pairwise distinct fresh bits.
+        for gate_a in 0..4 {
+            for gate_b in (gate_a + 1)..4 {
+                assert_ne!(eq9.slot(gate_a, 0), eq9.slot(gate_b, 0));
+            }
+        }
+        // r5 = r4, r6 = r2, r7 = r3.
+        assert_eq!(eq9.slot(4, 0), eq9.slot(3, 0));
+        assert_eq!(eq9.slot(5, 0), eq9.slot(1, 0));
+        assert_eq!(eq9.slot(6, 0), eq9.slot(2, 0));
+        // And crucially r5 ≠ r6 (Section IV counterexample constraint).
+        assert_ne!(eq9.slot(4, 0), eq9.slot(5, 0));
+    }
+
+    #[test]
+    fn transition_secure_family_reuses_only_r7() {
+        for reused in 1..=4 {
+            let schedule = KroneckerRandomness::transition_secure(reused);
+            for gate_a in 0..6 {
+                for gate_b in (gate_a + 1)..6 {
+                    assert_ne!(schedule.slot(gate_a, 0), schedule.slot(gate_b, 0));
+                }
+            }
+            assert_eq!(schedule.slot(6, 0), schedule.slot(reused - 1, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "r7 may only reuse r1..r4")]
+    fn transition_secure_rejects_r5_reuse() {
+        KroneckerRandomness::transition_secure(5);
+    }
+
+    #[test]
+    fn custom_validates_slot_count_and_indices() {
+        let error = KroneckerRandomness::custom(1, vec![MaskSlot::fresh(0)], 1, "bad").unwrap_err();
+        assert!(matches!(
+            error,
+            ScheduleError::WrongSlotCount {
+                expected: 7,
+                got: 1
+            }
+        ));
+
+        let slots = (0..7).map(|_| MaskSlot::fresh(9)).collect();
+        let error = KroneckerRandomness::custom(1, slots, 3, "bad").unwrap_err();
+        assert!(matches!(
+            error,
+            ScheduleError::FreshIndexOutOfRange { index: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn mask_slot_evaluation_xors_fresh_bits() {
+        let slot = MaskSlot::xor_of([MaskTap { port: 0, delay: 0 }, MaskTap { port: 2, delay: 0 }]);
+        assert!(!slot.evaluate(&[true, false, true]));
+        assert!(slot.evaluate(&[true, false, false]));
+        assert_eq!(slot.to_string(), "f0^f2");
+        let delayed = MaskSlot::xor_of([MaskTap { port: 1, delay: 1 }]);
+        assert_eq!(delayed.to_string(), "f1@-1");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate taps")]
+    fn duplicate_fresh_bits_rejected() {
+        MaskSlot::xor_of([MaskTap { port: 1, delay: 0 }, MaskTap { port: 1, delay: 0 }]);
+    }
+
+    #[test]
+    fn catalog_contains_all_discussed_schedules() {
+        let catalog = KroneckerRandomness::first_order_catalog();
+        assert_eq!(catalog.len(), 9);
+        let names: Vec<&str> = catalog.iter().map(|schedule| schedule.name()).collect();
+        assert!(names.contains(&"full-7"));
+        assert!(names.contains(&"de-meyer-eq6"));
+        assert!(names.contains(&"proposed-eq9"));
+        assert!(names.contains(&"transition-secure-r7=r1"));
+    }
+
+    #[test]
+    fn second_order_layouts_have_21_slots() {
+        for schedule in [
+            KroneckerRandomness::full_order2(),
+            KroneckerRandomness::de_meyer_13_reconstruction(),
+        ] {
+            assert_eq!(schedule.slots().len(), 21);
+            assert_eq!(schedule.slots_per_gate(), 3);
+            assert_eq!(schedule.unoptimized_cost(), 21);
+        }
+    }
+
+    #[test]
+    fn display_summarizes_cost() {
+        let text = KroneckerRandomness::de_meyer_eq6().to_string();
+        assert!(text.contains("7 → 3"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Boolean and multiplicative secret sharings over GF(2⁸) and GF(2).
+
+use core::fmt;
+
+use mmaes_gf256::Gf256;
+use rand::Rng;
+
+/// Error for invalid sharings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SharingError {
+    /// Fewer than two shares were requested or provided.
+    TooFewShares,
+    /// A multiplicative share was zero (only non-zero values are valid
+    /// multiplicative shares).
+    ZeroShare,
+}
+
+impl fmt::Display for SharingError {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SharingError::TooFewShares => formatter.write_str("a sharing needs at least 2 shares"),
+            SharingError::ZeroShare => {
+                formatter.write_str("multiplicative shares must be non-zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SharingError {}
+
+/// A Boolean (additive, XOR) sharing of a GF(2⁸) value: `x = ⊕ᵢ xⁱ`.
+///
+/// # Example
+///
+/// ```
+/// use mmaes_gf256::Gf256;
+/// use mmaes_masking::BooleanSharing;
+///
+/// let mut rng = rand::thread_rng();
+/// let sharing = BooleanSharing::share(Gf256::new(0x53), 2, &mut rng)?;
+/// assert_eq!(sharing.reconstruct(), Gf256::new(0x53));
+/// # Ok::<(), mmaes_masking::SharingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BooleanSharing {
+    shares: Vec<Gf256>,
+}
+
+impl BooleanSharing {
+    /// Splits `value` into `count` uniformly random shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SharingError::TooFewShares`] when `count < 2`.
+    pub fn share(value: Gf256, count: usize, rng: &mut impl Rng) -> Result<Self, SharingError> {
+        if count < 2 {
+            return Err(SharingError::TooFewShares);
+        }
+        let mut shares: Vec<Gf256> = (0..count - 1).map(|_| Gf256::new(rng.gen())).collect();
+        let last = shares.iter().fold(value, |acc, &share| acc + share);
+        shares.push(last);
+        Ok(BooleanSharing { shares })
+    }
+
+    /// Wraps existing shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SharingError::TooFewShares`] when fewer than 2 shares
+    /// are given.
+    pub fn from_shares(shares: Vec<Gf256>) -> Result<Self, SharingError> {
+        if shares.len() < 2 {
+            return Err(SharingError::TooFewShares);
+        }
+        Ok(BooleanSharing { shares })
+    }
+
+    /// The shares.
+    pub fn shares(&self) -> &[Gf256] {
+        &self.shares
+    }
+
+    /// Number of shares.
+    pub fn count(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// XOR of all shares.
+    pub fn reconstruct(&self) -> Gf256 {
+        self.shares.iter().copied().sum()
+    }
+
+    /// Applies a GF(2)-linear (or field-linear) function share-wise —
+    /// valid because Boolean masking commutes with linear layers.
+    pub fn map_linear(&self, function: impl Fn(Gf256) -> Gf256) -> BooleanSharing {
+        BooleanSharing {
+            shares: self.shares.iter().map(|&share| function(share)).collect(),
+        }
+    }
+
+    /// XORs a public constant into share 0 only (the standard way to add
+    /// constants, e.g. the affine constant 0x63, without touching the
+    /// distribution of the other shares).
+    pub fn add_constant(&self, constant: Gf256) -> BooleanSharing {
+        let mut shares = self.shares.clone();
+        shares[0] += constant;
+        BooleanSharing { shares }
+    }
+
+    /// Share-wise XOR of two sharings of the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share counts differ.
+    pub fn xor(&self, other: &BooleanSharing) -> BooleanSharing {
+        assert_eq!(self.count(), other.count(), "share counts must match");
+        BooleanSharing {
+            shares: self
+                .shares
+                .iter()
+                .zip(&other.shares)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+/// A Boolean sharing of a single bit: `x = ⊕ᵢ xⁱ` in GF(2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSharing {
+    shares: Vec<bool>,
+}
+
+impl BitSharing {
+    /// Splits `bit` into `count` uniformly random shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SharingError::TooFewShares`] when `count < 2`.
+    pub fn share(bit: bool, count: usize, rng: &mut impl Rng) -> Result<Self, SharingError> {
+        if count < 2 {
+            return Err(SharingError::TooFewShares);
+        }
+        let mut shares: Vec<bool> = (0..count - 1).map(|_| rng.gen()).collect();
+        let last = shares.iter().fold(bit, |acc, &share| acc ^ share);
+        shares.push(last);
+        Ok(BitSharing { shares })
+    }
+
+    /// Wraps existing shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SharingError::TooFewShares`] when fewer than 2 shares
+    /// are given.
+    pub fn from_shares(shares: Vec<bool>) -> Result<Self, SharingError> {
+        if shares.len() < 2 {
+            return Err(SharingError::TooFewShares);
+        }
+        Ok(BitSharing { shares })
+    }
+
+    /// The shares.
+    pub fn shares(&self) -> &[bool] {
+        &self.shares
+    }
+
+    /// Number of shares.
+    pub fn count(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// XOR of all shares.
+    pub fn reconstruct(&self) -> bool {
+        self.shares.iter().fold(false, |acc, &share| acc ^ share)
+    }
+}
+
+/// A multiplicative sharing of a GF(2⁸) value (Equation (3) of the paper):
+///
+/// `x = (⊗_{i=1}^{d-1} (xⁱ)⁻¹) ⊗ x^d`
+///
+/// with the first `d-1` shares drawn from GF(2⁸)\{0}.
+///
+/// The *zero-value problem*: zero cannot be multiplicatively shared — if
+/// `x = 0` then the last share `x^d` is forced to 0 regardless of the
+/// masks, so the sharing leaks `x = 0` (demonstrated in tests and in
+/// experiment E11).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiplicativeSharing {
+    shares: Vec<Gf256>,
+}
+
+impl MultiplicativeSharing {
+    /// Shares `value` with `count` shares; the masks (first `count-1`
+    /// shares) are uniform over GF(2⁸)\{0}.
+    ///
+    /// Note: `value` may be zero — the result then *leaks* (the last
+    /// share is zero). That is the zero-value problem, reproduced rather
+    /// than hidden; use the Kronecker-delta mapping to avoid it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SharingError::TooFewShares`] when `count < 2`.
+    pub fn share(value: Gf256, count: usize, rng: &mut impl Rng) -> Result<Self, SharingError> {
+        if count < 2 {
+            return Err(SharingError::TooFewShares);
+        }
+        let mut shares: Vec<Gf256> = (0..count - 1)
+            .map(|_| Gf256::new(rng.gen_range(1..=255u8)))
+            .collect();
+        // x^d = x ⊗ (⊗ masks), so that x = (⊗ masks⁻¹) ⊗ x^d.
+        let product: Gf256 = shares.iter().copied().product();
+        shares.push(value * product);
+        Ok(MultiplicativeSharing { shares })
+    }
+
+    /// Wraps existing shares.
+    ///
+    /// # Errors
+    ///
+    /// * [`SharingError::TooFewShares`] on fewer than 2 shares,
+    /// * [`SharingError::ZeroShare`] if any *mask* share (all but the
+    ///   last) is zero.
+    pub fn from_shares(shares: Vec<Gf256>) -> Result<Self, SharingError> {
+        if shares.len() < 2 {
+            return Err(SharingError::TooFewShares);
+        }
+        if shares[..shares.len() - 1]
+            .iter()
+            .any(|share| share.is_zero())
+        {
+            return Err(SharingError::ZeroShare);
+        }
+        Ok(MultiplicativeSharing { shares })
+    }
+
+    /// The shares.
+    pub fn shares(&self) -> &[Gf256] {
+        &self.shares
+    }
+
+    /// Number of shares.
+    pub fn count(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Recovers the value: `(⊗ maskᵢ⁻¹) ⊗ last`.
+    pub fn reconstruct(&self) -> Gf256 {
+        let (last, masks) = self.shares.split_last().expect("at least 2 shares");
+        masks.iter().fold(*last, |acc, &mask| acc * mask.inverse())
+    }
+
+    /// Inverts the shared value *locally*: every share is inverted
+    /// independently — the key efficiency win of multiplicative masking
+    /// for the AES S-box ("local inversion" in Fig. 2 of the paper).
+    ///
+    /// Correct only for non-zero shared values (hence the Kronecker-delta
+    /// zero-mapping upstream).
+    pub fn invert_each_share(&self) -> MultiplicativeSharing {
+        MultiplicativeSharing {
+            shares: self.shares.iter().map(|share| share.inverse()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xdecaf_bad)
+    }
+
+    #[test]
+    fn boolean_sharing_roundtrips_at_orders_two_to_five() {
+        let mut rng = rng();
+        for count in 2..=5 {
+            for value in [0x00u8, 0x01, 0x53, 0xff] {
+                let sharing =
+                    BooleanSharing::share(Gf256::new(value), count, &mut rng).expect("valid");
+                assert_eq!(sharing.count(), count);
+                assert_eq!(sharing.reconstruct(), Gf256::new(value));
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_sharing_rejects_single_share() {
+        let mut rng = rng();
+        assert_eq!(
+            BooleanSharing::share(Gf256::ONE, 1, &mut rng).unwrap_err(),
+            SharingError::TooFewShares
+        );
+        assert_eq!(
+            BooleanSharing::from_shares(vec![Gf256::ONE]).unwrap_err(),
+            SharingError::TooFewShares
+        );
+    }
+
+    #[test]
+    fn linear_map_commutes_with_reconstruction() {
+        let mut rng = rng();
+        let sharing = BooleanSharing::share(Gf256::new(0xb7), 3, &mut rng).expect("valid");
+        let squared = sharing.map_linear(|share| share.square());
+        assert_eq!(squared.reconstruct(), Gf256::new(0xb7).square());
+    }
+
+    #[test]
+    fn add_constant_shifts_reconstruction() {
+        let mut rng = rng();
+        let sharing = BooleanSharing::share(Gf256::new(0x10), 2, &mut rng).expect("valid");
+        let shifted = sharing.add_constant(Gf256::new(0x63));
+        assert_eq!(shifted.reconstruct(), Gf256::new(0x10 ^ 0x63));
+    }
+
+    #[test]
+    fn xor_of_sharings_shares_the_xor() {
+        let mut rng = rng();
+        let a = BooleanSharing::share(Gf256::new(0xaa), 2, &mut rng).expect("valid");
+        let b = BooleanSharing::share(Gf256::new(0x0f), 2, &mut rng).expect("valid");
+        assert_eq!(a.xor(&b).reconstruct(), Gf256::new(0xaa ^ 0x0f));
+    }
+
+    #[test]
+    fn bit_sharing_roundtrips() {
+        let mut rng = rng();
+        for count in 2..=4 {
+            for bit in [false, true] {
+                let sharing = BitSharing::share(bit, count, &mut rng).expect("valid");
+                assert_eq!(sharing.reconstruct(), bit);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplicative_sharing_roundtrips_for_nonzero() {
+        let mut rng = rng();
+        for count in 2..=4 {
+            for value in Gf256::all_nonzero().step_by(17) {
+                let sharing = MultiplicativeSharing::share(value, count, &mut rng).expect("valid");
+                assert_eq!(sharing.reconstruct(), value);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_value_problem_is_visible() {
+        // Sharing zero always produces a zero last share: the sharing of
+        // zero is distinguishable from every sharing of a non-zero value.
+        let mut rng = rng();
+        for _ in 0..50 {
+            let sharing = MultiplicativeSharing::share(Gf256::ZERO, 2, &mut rng).expect("valid");
+            assert!(sharing.shares().last().expect("2 shares").is_zero());
+        }
+        for _ in 0..50 {
+            let sharing =
+                MultiplicativeSharing::share(Gf256::new(0x42), 2, &mut rng).expect("valid");
+            assert!(!sharing.shares().last().expect("2 shares").is_zero());
+        }
+    }
+
+    #[test]
+    fn local_inversion_inverts_reconstruction() {
+        let mut rng = rng();
+        for value in Gf256::all_nonzero().step_by(13) {
+            let sharing = MultiplicativeSharing::share(value, 3, &mut rng).expect("valid");
+            let inverted = sharing.invert_each_share();
+            assert_eq!(inverted.reconstruct(), value.inverse(), "value {value}");
+        }
+    }
+
+    #[test]
+    fn multiplicative_masks_must_be_nonzero() {
+        assert_eq!(
+            MultiplicativeSharing::from_shares(vec![Gf256::ZERO, Gf256::ONE]).unwrap_err(),
+            SharingError::ZeroShare
+        );
+        // A zero *last* share is legal (it encodes the value zero).
+        assert!(MultiplicativeSharing::from_shares(vec![Gf256::ONE, Gf256::ZERO]).is_ok());
+    }
+
+    #[test]
+    fn mask_shares_are_not_constant() {
+        // Sanity: the masks really vary (catching an RNG plumbing bug).
+        let mut rng = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let sharing = MultiplicativeSharing::share(Gf256::ONE, 2, &mut rng).expect("valid");
+            seen.insert(sharing.shares()[0].to_byte());
+        }
+        assert!(seen.len() > 16);
+    }
+}

@@ -1,0 +1,337 @@
+//! Exhaustive (Strong) Non-Interference checking for small gadgets.
+//!
+//! De Meyer et al. justified their randomness optimization with a
+//! *pen-and-paper* 1-SNI proof; the paper's core message is that such
+//! proofs can be right about a gadget in isolation yet miss what happens
+//! when gadgets **share randomness** in a composition. This module makes
+//! both halves of that message checkable:
+//!
+//! * [`is_probing_secure`] — exhaustive t-probing security of a gadget:
+//!   for every probe tuple, the joint observation distribution is
+//!   independent of the unshared secrets (the same criterion
+//!   `mmaes-exact` uses at the netlist level, here for value-level
+//!   gadget functions).
+//! * [`GadgetUnderTest`] — a harness describing a gadget by its
+//!   internal-value functions over (input shares, fresh masks), with a
+//!   ready-made [`GadgetUnderTest::dom_and`] at any order, and a
+//!   two-gadget composition [`GadgetUnderTest::dom_and_pair`] whose
+//!   mask-sharing parameter reproduces the paper's finding in miniature:
+//!   each DOM-AND is probing-secure alone, and the pair stays secure
+//!   with independent masks — but probing the pair with a *shared* mask
+//!   leaks.
+//!
+//! Everything is exhaustive (inputs ≤ ~20 bits), so verdicts are proofs.
+
+use crate::dom::{fresh_mask_count, mask_index};
+
+/// A probeable internal value: a function of (shares, masks).
+pub type ProbeFn = Box<dyn Fn(&[Vec<bool>], &[bool]) -> bool>;
+
+/// A value-level gadget described by explicit bit-functions.
+///
+/// `secret_bits` unshared secrets are expanded into `share_count` shares
+/// each (shares 0..d-1 free, last = secret ⊕ others); `mask_bits` fresh
+/// masks are free. Every probeable internal value is a function
+/// `fn(&shares, &masks) -> bool` where `shares[secret][share]`.
+pub struct GadgetUnderTest {
+    /// Number of unshared secret bits.
+    pub secret_bits: usize,
+    /// Shares per secret.
+    pub share_count: usize,
+    /// Number of fresh mask bits.
+    pub mask_bits: usize,
+    /// Probeable internal values with labels.
+    pub probes: Vec<(String, ProbeFn)>,
+}
+
+impl std::fmt::Debug for GadgetUnderTest {
+    fn fmt(&self, formatter: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        formatter
+            .debug_struct("GadgetUnderTest")
+            .field("secret_bits", &self.secret_bits)
+            .field("share_count", &self.share_count)
+            .field("mask_bits", &self.mask_bits)
+            .field("probes", &self.probes.len())
+            .finish()
+    }
+}
+
+impl GadgetUnderTest {
+    /// The DOM-indep AND gadget at protection order `order`, with its
+    /// registered internal values as the probe positions: inner-domain
+    /// products, blinded cross products, and output shares.
+    pub fn dom_and(order: usize) -> Self {
+        let share_count = order + 1;
+        let mut probes: Vec<(String, ProbeFn)> = Vec::new();
+        for i in 0..share_count {
+            probes.push((
+                format!("inner{i}"),
+                Box::new(move |shares: &[Vec<bool>], _: &[bool]| shares[0][i] & shares[1][i]),
+            ));
+            for j in 0..share_count {
+                if j == i {
+                    continue;
+                }
+                let index = mask_index(i.min(j), i.max(j), share_count);
+                probes.push((
+                    format!("cross{i}_{j}"),
+                    Box::new(move |shares: &[Vec<bool>], masks: &[bool]| {
+                        (shares[0][i] & shares[1][j]) ^ masks[index]
+                    }),
+                ));
+            }
+            probes.push((
+                format!("z{i}"),
+                Box::new(move |shares: &[Vec<bool>], masks: &[bool]| {
+                    let mut acc = shares[0][i] & shares[1][i];
+                    for j in 0..share_count {
+                        if j == i {
+                            continue;
+                        }
+                        let index = mask_index(i.min(j), i.max(j), share_count);
+                        acc ^= (shares[0][i] & shares[1][j]) ^ masks[index];
+                    }
+                    acc
+                }),
+            ));
+        }
+        GadgetUnderTest {
+            secret_bits: 2,
+            share_count,
+            mask_bits: fresh_mask_count(order),
+            probes,
+        }
+    }
+
+    /// Two first-order DOM-ANDs over four secrets `(a·b, c·d)` — the
+    /// smallest composition exhibiting the paper's phenomenon. With
+    /// `shared_mask`, both gadgets consume the *same* fresh bit (the
+    /// Eq. 6 style reuse); otherwise each gets its own.
+    pub fn dom_and_pair(shared_mask: bool) -> Self {
+        let mask_bits = if shared_mask { 1 } else { 2 };
+        let second_mask = if shared_mask { 0usize } else { 1 };
+        let mut probes: Vec<(String, ProbeFn)> = Vec::new();
+        // Gadget 1 on secrets 0, 1; gadget 2 on secrets 2, 3.
+        for (gadget, (x, y, mask)) in [(0usize, 1usize, 0usize), (2, 3, second_mask)]
+            .into_iter()
+            .enumerate()
+        {
+            probes.push((
+                format!("g{gadget}/inner0"),
+                Box::new(move |s: &[Vec<bool>], _: &[bool]| s[x][0] & s[y][0]),
+            ));
+            probes.push((
+                format!("g{gadget}/cross01"),
+                Box::new(move |s: &[Vec<bool>], m: &[bool]| (s[x][0] & s[y][1]) ^ m[mask]),
+            ));
+            probes.push((
+                format!("g{gadget}/z0"),
+                Box::new(move |s: &[Vec<bool>], m: &[bool]| {
+                    (s[x][0] & s[y][0]) ^ (s[x][0] & s[y][1]) ^ m[mask]
+                }),
+            ));
+        }
+        GadgetUnderTest {
+            secret_bits: 4,
+            share_count: 2,
+            mask_bits,
+            probes,
+        }
+    }
+}
+
+/// Result of an exhaustive probing-security check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SniVerdict {
+    /// Every probe tuple of the requested size is secret-independent.
+    Secure,
+    /// A probe tuple whose joint distribution depends on the secrets.
+    Leaky {
+        /// Labels of the offending probes.
+        probes: Vec<String>,
+    },
+}
+
+impl SniVerdict {
+    /// True for [`SniVerdict::Secure`].
+    pub fn is_secure(&self) -> bool {
+        matches!(self, SniVerdict::Secure)
+    }
+}
+
+/// Exhaustively checks `t`-probing security of a gadget: for every
+/// `t`-tuple of probes, the joint distribution over (free shares, masks)
+/// must be identical for all secret assignments.
+///
+/// # Panics
+///
+/// Panics if the enumeration would exceed 2²⁶ evaluations per tuple
+/// (secret bits + free share bits + mask bits too large).
+pub fn is_probing_secure(gadget: &GadgetUnderTest, t: usize) -> SniVerdict {
+    let free_bits = gadget.secret_bits * (gadget.share_count - 1) + gadget.mask_bits;
+    assert!(
+        gadget.secret_bits + free_bits <= 26,
+        "gadget too large for exhaustive checking"
+    );
+
+    // Pre-evaluate every probe's truth table over (secrets, free vars).
+    let secret_space = 1usize << gadget.secret_bits;
+    let free_space = 1usize << free_bits;
+    let mut tables: Vec<Vec<bool>> =
+        vec![vec![false; secret_space * free_space]; gadget.probes.len()];
+    let mut shares = vec![vec![false; gadget.share_count]; gadget.secret_bits];
+    let mut masks = vec![false; gadget.mask_bits];
+    for secret_assignment in 0..secret_space {
+        for free_assignment in 0..free_space {
+            let mut cursor = 0;
+            for (secret, share_row) in shares.iter_mut().enumerate() {
+                let mut parity = (secret_assignment >> secret) & 1 == 1;
+                for share in share_row.iter_mut().take(gadget.share_count - 1) {
+                    *share = (free_assignment >> cursor) & 1 == 1;
+                    parity ^= *share;
+                    cursor += 1;
+                }
+                share_row[gadget.share_count - 1] = parity;
+            }
+            for mask in masks.iter_mut() {
+                *mask = (free_assignment >> cursor) & 1 == 1;
+                cursor += 1;
+            }
+            for (probe_index, (_, function)) in gadget.probes.iter().enumerate() {
+                tables[probe_index][secret_assignment * free_space + free_assignment] =
+                    function(&shares, &masks);
+            }
+        }
+    }
+
+    // Check every t-tuple: joint histogram per secret must coincide.
+    let mut tuple: Vec<usize> = (0..t).collect();
+    loop {
+        let mut reference: Option<Vec<u32>> = None;
+        let mut leaky = false;
+        for secret_assignment in 0..secret_space {
+            let mut histogram = vec![0u32; 1 << t];
+            for free_assignment in 0..free_space {
+                let mut key = 0usize;
+                for (bit, &probe_index) in tuple.iter().enumerate() {
+                    key |= usize::from(
+                        tables[probe_index][secret_assignment * free_space + free_assignment],
+                    ) << bit;
+                }
+                histogram[key] += 1;
+            }
+            match &reference {
+                None => reference = Some(histogram),
+                Some(expected) if *expected != histogram => {
+                    leaky = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if leaky {
+            return SniVerdict::Leaky {
+                probes: tuple
+                    .iter()
+                    .map(|&index| gadget.probes[index].0.clone())
+                    .collect(),
+            };
+        }
+        // Next combination.
+        let mut position = t;
+        loop {
+            if position == 0 {
+                return SniVerdict::Secure;
+            }
+            position -= 1;
+            tuple[position] += 1;
+            if tuple[position] <= gadget.probes.len() - (t - position) {
+                for later in position + 1..t {
+                    tuple[later] = tuple[later - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_order_dom_and_is_one_probing_secure() {
+        // De Meyer et al.'s pen-and-paper claim, verified exhaustively:
+        // the DOM-AND gadget in isolation resists one probe.
+        let gadget = GadgetUnderTest::dom_and(1);
+        assert_eq!(is_probing_secure(&gadget, 1), SniVerdict::Secure);
+    }
+
+    #[test]
+    fn second_order_dom_and_resists_two_probes() {
+        let gadget = GadgetUnderTest::dom_and(2);
+        assert_eq!(is_probing_secure(&gadget, 1), SniVerdict::Secure);
+        assert_eq!(is_probing_secure(&gadget, 2), SniVerdict::Secure);
+    }
+
+    #[test]
+    fn first_order_dom_and_breaks_under_two_probes() {
+        // Two probes defeat a first-order gadget (e.g. both output
+        // shares reconstruct the product).
+        let gadget = GadgetUnderTest::dom_and(1);
+        let verdict = is_probing_secure(&gadget, 2);
+        assert!(!verdict.is_secure(), "{verdict:?}");
+    }
+
+    #[test]
+    fn composition_with_independent_masks_is_secure() {
+        let pair = GadgetUnderTest::dom_and_pair(false);
+        assert_eq!(is_probing_secure(&pair, 1), SniVerdict::Secure);
+        // Even two probes across *different* gadgets with independent
+        // masks reveal nothing about four independent secrets... at
+        // first order two arbitrary probes may break a gadget, so we
+        // only claim 1-probe security here.
+    }
+
+    #[test]
+    fn composition_with_a_shared_mask_still_passes_single_probes() {
+        // One probe still sees a masked value — the flaw needs the
+        // *glitch-extended* multi-signal view (as in the paper) or two
+        // probes.
+        let pair = GadgetUnderTest::dom_and_pair(true);
+        assert_eq!(is_probing_secure(&pair, 1), SniVerdict::Secure);
+    }
+
+    #[test]
+    fn shared_mask_composition_leaks_where_independent_masks_do_not() {
+        // The miniature of the paper's finding: take the probe pair
+        // {g0/cross01, g1/cross01}. With independent masks the pair is
+        // still masked; with a shared mask the XOR of the two probes
+        // cancels it and exposes x0⁰y1 ⊕ x2⁰y3 — secret-dependent.
+        let shared = GadgetUnderTest::dom_and_pair(true);
+        let verdict = is_probing_secure(&shared, 2);
+        match verdict {
+            SniVerdict::Leaky { probes } => {
+                assert!(
+                    probes.iter().any(|p| p.starts_with("g0/"))
+                        && probes.iter().any(|p| p.starts_with("g1/")),
+                    "the leak must span both gadgets: {probes:?}"
+                );
+            }
+            SniVerdict::Secure => panic!("shared-mask composition must leak at 2 probes"),
+        }
+
+        // Control: with independent masks, cross-gadget pairs are fine.
+        let independent = GadgetUnderTest::dom_and_pair(false);
+        if let SniVerdict::Leaky { probes } = is_probing_secure(&independent, 2) {
+            // Any leak must be *within* one gadget (first-order gadgets
+            // do break under two probes on themselves), never across.
+            let cross_gadget = probes.iter().any(|p| p.starts_with("g0/"))
+                && probes.iter().any(|p| p.starts_with("g1/"));
+            assert!(
+                !cross_gadget,
+                "independent masks must not leak across gadgets: {probes:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! Incremental construction of validated netlists.
+
+use std::collections::HashMap;
+
+use crate::error::BuildError;
+use crate::kind::CellKind;
+use crate::netlist::{Cell, CellId, Netlist, Register, RegisterId, SignalRole, WireId, WireOrigin};
+
+/// A handle to a register created with
+/// [`NetlistBuilder::register_feedback`] whose D input is connected later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "feedback registers must be connected with set_register_d"]
+pub struct FeedbackRegister(RegisterId);
+
+/// Builder for [`Netlist`].
+///
+/// Wires are created implicitly by the gate constructors; every wire is
+/// driven by construction except *forward* wires ([`NetlistBuilder::forward`])
+/// and feedback registers, which must be connected before
+/// [`NetlistBuilder::build`].
+///
+/// Hierarchy is expressed with [`NetlistBuilder::push_scope`] /
+/// [`NetlistBuilder::pop_scope`]; cells, registers and auto-generated wire
+/// names carry the scope path, which the statistics and leakage reports
+/// use to attribute results to modules (e.g. `kronecker/G7`).
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    wire_names: Vec<String>,
+    wire_roles: Vec<SignalRole>,
+    origins: Vec<Option<WireOrigin>>,
+    cells: Vec<Cell>,
+    registers: Vec<Register>,
+    inputs: Vec<WireId>,
+    outputs: Vec<(String, WireId)>,
+    scopes: Vec<String>,
+    scope_stack: Vec<u32>,
+    anon_counter: u64,
+    constants: [Option<WireId>; 2],
+}
+
+impl NetlistBuilder {
+    /// Starts a new design with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            wire_names: Vec::new(),
+            wire_roles: Vec::new(),
+            origins: Vec::new(),
+            cells: Vec::new(),
+            registers: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            scopes: vec![String::new()],
+            scope_stack: vec![0],
+            anon_counter: 0,
+            constants: [None, None],
+        }
+    }
+
+    fn current_scope(&self) -> u32 {
+        *self.scope_stack.last().expect("scope stack is never empty")
+    }
+
+    fn scope_path(&self) -> &str {
+        &self.scopes[self.current_scope() as usize]
+    }
+
+    fn fresh_wire(&mut self, name: String, role: SignalRole) -> WireId {
+        let id = WireId(self.wire_names.len() as u32);
+        self.wire_names.push(name);
+        self.wire_roles.push(role);
+        self.origins.push(None);
+        id
+    }
+
+    fn anon_name(&mut self, stem: &str) -> String {
+        self.anon_counter += 1;
+        let scope = self.scope_path();
+        if scope.is_empty() {
+            format!("${stem}{}", self.anon_counter)
+        } else {
+            format!("{scope}/${stem}{}", self.anon_counter)
+        }
+    }
+
+    /// Enters a named hierarchy scope (e.g. a gadget instance).
+    pub fn push_scope(&mut self, name: impl AsRef<str>) {
+        let parent = self.scope_path();
+        let path = if parent.is_empty() {
+            name.as_ref().to_owned()
+        } else {
+            format!("{parent}/{}", name.as_ref())
+        };
+        let index = self
+            .scopes
+            .iter()
+            .position(|existing| existing == &path)
+            .unwrap_or_else(|| {
+                self.scopes.push(path);
+                self.scopes.len() - 1
+            });
+        self.scope_stack.push(index as u32);
+    }
+
+    /// Leaves the current hierarchy scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a matching [`NetlistBuilder::push_scope`].
+    pub fn pop_scope(&mut self) {
+        assert!(
+            self.scope_stack.len() > 1,
+            "pop_scope without matching push_scope"
+        );
+        self.scope_stack.pop();
+    }
+
+    /// Runs `body` inside a named scope.
+    pub fn scoped<T>(&mut self, name: impl AsRef<str>, body: impl FnOnce(&mut Self) -> T) -> T {
+        self.push_scope(name);
+        let result = body(self);
+        self.pop_scope();
+        result
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: impl Into<String>, role: SignalRole) -> WireId {
+        let wire = self.fresh_wire(name.into(), role);
+        self.origins[wire.index()] = Some(WireOrigin::Input);
+        self.inputs.push(wire);
+        wire
+    }
+
+    /// Declares a bus of primary inputs named `{prefix}[i]`, with the role
+    /// of each bit produced by `role_of_bit`.
+    pub fn input_bus(
+        &mut self,
+        prefix: impl AsRef<str>,
+        width: usize,
+        role_of_bit: impl Fn(usize) -> SignalRole,
+    ) -> Vec<WireId> {
+        (0..width)
+            .map(|bit| self.input(format!("{}[{bit}]", prefix.as_ref()), role_of_bit(bit)))
+            .collect()
+    }
+
+    /// Declares a primary output driven by `wire`.
+    pub fn output(&mut self, name: impl Into<String>, wire: WireId) {
+        self.outputs.push((name.into(), wire));
+    }
+
+    /// Declares a bus of primary outputs named `{prefix}[i]`.
+    pub fn output_bus(&mut self, prefix: impl AsRef<str>, wires: &[WireId]) {
+        for (bit, &wire) in wires.iter().enumerate() {
+            self.output(format!("{}[{bit}]", prefix.as_ref()), wire);
+        }
+    }
+
+    /// Gives `wire` a human-readable (hierarchical) name for reports.
+    pub fn name_wire(&mut self, wire: WireId, name: impl AsRef<str>) {
+        let scope = self.scope_path();
+        self.wire_names[wire.index()] = if scope.is_empty() {
+            name.as_ref().to_owned()
+        } else {
+            format!("{scope}/{}", name.as_ref())
+        };
+    }
+
+    /// Instantiates a combinational cell and returns its output wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs is invalid for `kind` (a programming
+    /// error in generator code, caught eagerly).
+    pub fn cell(&mut self, kind: CellKind, inputs: Vec<WireId>) -> WireId {
+        assert!(
+            kind.accepts_arity(inputs.len()),
+            "{kind} cell does not accept {} inputs",
+            inputs.len()
+        );
+        let name = self.anon_name(&kind.to_string().to_lowercase());
+        let output = self.fresh_wire(name, SignalRole::Internal);
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(Cell {
+            kind,
+            inputs,
+            output,
+            scope: self.current_scope(),
+        });
+        self.origins[output.index()] = Some(WireOrigin::Cell(id));
+        output
+    }
+
+    /// Two-input AND.
+    pub fn and2(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(CellKind::And, vec![a, b])
+    }
+
+    /// Two-input OR.
+    pub fn or2(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(CellKind::Or, vec![a, b])
+    }
+
+    /// Two-input NAND.
+    pub fn nand2(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(CellKind::Nand, vec![a, b])
+    }
+
+    /// Two-input NOR.
+    pub fn nor2(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(CellKind::Nor, vec![a, b])
+    }
+
+    /// Two-input XOR.
+    pub fn xor2(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(CellKind::Xor, vec![a, b])
+    }
+
+    /// Two-input XNOR.
+    pub fn xnor2(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(CellKind::Xnor, vec![a, b])
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: WireId) -> WireId {
+        self.cell(CellKind::Not, vec![a])
+    }
+
+    /// Buffer.
+    pub fn buf(&mut self, a: WireId) -> WireId {
+        self.cell(CellKind::Buf, vec![a])
+    }
+
+    /// 2:1 multiplexer selecting `d1` when `sel` is high, else `d0`.
+    pub fn mux(&mut self, sel: WireId, d0: WireId, d1: WireId) -> WireId {
+        self.cell(CellKind::Mux, vec![sel, d0, d1])
+    }
+
+    /// Balanced XOR tree over one or more wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn xor_many(&mut self, wires: &[WireId]) -> WireId {
+        self.reduce_tree(CellKind::Xor, wires)
+    }
+
+    /// Balanced AND tree over one or more wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn and_many(&mut self, wires: &[WireId]) -> WireId {
+        self.reduce_tree(CellKind::And, wires)
+    }
+
+    fn reduce_tree(&mut self, kind: CellKind, wires: &[WireId]) -> WireId {
+        assert!(!wires.is_empty(), "cannot reduce an empty wire list");
+        let mut level: Vec<WireId> = wires.to_vec();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        self.cell(kind, vec![pair[0], pair[1]])
+                    } else {
+                        pair[0]
+                    }
+                })
+                .collect();
+        }
+        level[0]
+    }
+
+    /// A constant-0 wire (the driver cell is shared across calls).
+    pub fn const0(&mut self) -> WireId {
+        if let Some(wire) = self.constants[0] {
+            return wire;
+        }
+        let wire = self.cell(CellKind::Const0, vec![]);
+        self.constants[0] = Some(wire);
+        wire
+    }
+
+    /// A constant-1 wire (the driver cell is shared across calls).
+    pub fn const1(&mut self) -> WireId {
+        if let Some(wire) = self.constants[1] {
+            return wire;
+        }
+        let wire = self.cell(CellKind::Const1, vec![]);
+        self.constants[1] = Some(wire);
+        wire
+    }
+
+    /// A register sampling `d` each cycle, initialized to 0.
+    pub fn register(&mut self, d: WireId) -> WireId {
+        self.register_init(d, false)
+    }
+
+    /// A register sampling `d` each cycle with the given initial value.
+    pub fn register_init(&mut self, d: WireId, init: bool) -> WireId {
+        let name = self.anon_name("dff");
+        let q = self.fresh_wire(name, SignalRole::Internal);
+        let id = RegisterId(self.registers.len() as u32);
+        self.registers.push(Register {
+            d,
+            q,
+            init,
+            scope: self.current_scope(),
+        });
+        self.origins[q.index()] = Some(WireOrigin::Register(id));
+        q
+    }
+
+    /// Registers every wire of a bus.
+    pub fn register_bus(&mut self, wires: &[WireId]) -> Vec<WireId> {
+        wires.iter().map(|&wire| self.register(wire)).collect()
+    }
+
+    /// Registers a bus `stages` times (a pipeline delay line).
+    pub fn delay_bus(&mut self, wires: &[WireId], stages: usize) -> Vec<WireId> {
+        let mut current = wires.to_vec();
+        for _ in 0..stages {
+            current = self.register_bus(&current);
+        }
+        current
+    }
+
+    /// A register whose D input is connected later with
+    /// [`NetlistBuilder::set_register_d`] — for state feedback loops.
+    /// Returns the Q wire and a handle.
+    pub fn register_feedback(&mut self, init: bool) -> (WireId, FeedbackRegister) {
+        let name = self.anon_name("dff_fb");
+        let q = self.fresh_wire(name, SignalRole::Internal);
+        let placeholder = q; // overwritten by set_register_d
+        let id = RegisterId(self.registers.len() as u32);
+        self.registers.push(Register {
+            d: placeholder,
+            q,
+            init,
+            scope: self.current_scope(),
+        });
+        self.origins[q.index()] = Some(WireOrigin::Register(id));
+        (q, FeedbackRegister(id))
+    }
+
+    /// Connects the D input of a feedback register.
+    pub fn set_register_d(&mut self, handle: FeedbackRegister, d: WireId) {
+        self.registers[handle.0.index()].d = d;
+    }
+
+    /// A *forward* wire: usable as a cell input now, driven later with
+    /// [`NetlistBuilder::drive_forward`].
+    pub fn forward(&mut self, name: impl Into<String>) -> WireId {
+        self.fresh_wire(name.into(), SignalRole::Internal)
+    }
+
+    /// Drives a forward wire from `source` (inserts a buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire is already driven.
+    pub fn drive_forward(&mut self, wire: WireId, source: WireId) {
+        assert!(
+            self.origins[wire.index()].is_none(),
+            "wire {} is already driven",
+            self.wire_names[wire.index()]
+        );
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(Cell {
+            kind: CellKind::Buf,
+            inputs: vec![source],
+            output: wire,
+            scope: self.current_scope(),
+        });
+        self.origins[wire.index()] = Some(WireOrigin::Cell(id));
+    }
+
+    /// Number of wires created so far.
+    pub fn wire_count(&self) -> usize {
+        self.wire_names.len()
+    }
+
+    /// Finalizes the design: checks that every wire is driven, detects
+    /// combinational loops, computes the topological cell order and the
+    /// name index.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::UndrivenWire`] — a forward wire was never driven.
+    /// * [`BuildError::CombinationalLoop`] — a cycle through cells exists.
+    /// * [`BuildError::DuplicateName`] — two wires share a name.
+    /// * [`BuildError::UnbalancedScopes`] — a scope was left open.
+    pub fn build(self) -> Result<Netlist, BuildError> {
+        if self.scope_stack.len() != 1 {
+            return Err(BuildError::UnbalancedScopes {
+                depth: self.scope_stack.len() - 1,
+            });
+        }
+        let mut origins = Vec::with_capacity(self.origins.len());
+        for (index, origin) in self.origins.iter().enumerate() {
+            match origin {
+                Some(origin) => origins.push(*origin),
+                None => {
+                    return Err(BuildError::UndrivenWire {
+                        name: self.wire_names[index].clone(),
+                    })
+                }
+            }
+        }
+
+        // Kahn's algorithm over cells (registers break combinational paths).
+        let mut indegree = vec![0usize; self.cells.len()];
+        let mut users: Vec<Vec<u32>> = vec![Vec::new(); self.cells.len()];
+        for (index, cell) in self.cells.iter().enumerate() {
+            for input in &cell.inputs {
+                if let WireOrigin::Cell(driver) = origins[input.index()] {
+                    indegree[index] += 1;
+                    users[driver.index()].push(index as u32);
+                }
+            }
+        }
+        let mut queue: Vec<u32> = indegree
+            .iter()
+            .enumerate()
+            .filter(|&(_, &degree)| degree == 0)
+            .map(|(index, _)| index as u32)
+            .collect();
+        let mut topo = Vec::with_capacity(self.cells.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let current = queue[head];
+            head += 1;
+            topo.push(CellId(current));
+            for &user in &users[current as usize] {
+                indegree[user as usize] -= 1;
+                if indegree[user as usize] == 0 {
+                    queue.push(user);
+                }
+            }
+        }
+        if topo.len() != self.cells.len() {
+            let stuck: Vec<String> = self
+                .cells
+                .iter()
+                .enumerate()
+                .filter(|&(index, _)| indegree[index] > 0)
+                .take(8)
+                .map(|(_, cell)| self.wire_names[cell.output.index()].clone())
+                .collect();
+            return Err(BuildError::CombinationalLoop { wires: stuck });
+        }
+
+        let mut name_index = HashMap::with_capacity(self.wire_names.len());
+        for (index, name) in self.wire_names.iter().enumerate() {
+            if name_index
+                .insert(name.clone(), WireId(index as u32))
+                .is_some()
+            {
+                return Err(BuildError::DuplicateName { name: name.clone() });
+            }
+        }
+
+        Ok(Netlist {
+            name: self.name,
+            wire_names: self.wire_names,
+            wire_roles: self.wire_roles,
+            origins,
+            cells: self.cells,
+            registers: self.registers,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            scopes: self.scopes,
+            topo,
+            name_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_appear_in_cell_paths() {
+        let mut builder = NetlistBuilder::new("scoped");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        let out = builder.scoped("G1", |builder| builder.and2(a, b));
+        builder.output("out", out);
+        let netlist = builder.build().expect("valid");
+        let (cell_id, _) = netlist.cells().next().expect("one cell");
+        assert_eq!(netlist.cell_scope(cell_id), "G1");
+        assert!(netlist.wire_name(out).starts_with("G1/"));
+    }
+
+    #[test]
+    fn nested_scopes_build_paths() {
+        let mut builder = NetlistBuilder::new("nested");
+        let a = builder.input("a", SignalRole::Control);
+        builder.push_scope("sbox");
+        builder.push_scope("kronecker");
+        let inverted = builder.not(a);
+        builder.pop_scope();
+        builder.pop_scope();
+        builder.output("out", inverted);
+        let netlist = builder.build().expect("valid");
+        let (cell_id, _) = netlist.cells().next().expect("one cell");
+        assert_eq!(netlist.cell_scope(cell_id), "sbox/kronecker");
+    }
+
+    #[test]
+    fn undriven_forward_is_rejected() {
+        let mut builder = NetlistBuilder::new("undriven");
+        let a = builder.input("a", SignalRole::Control);
+        let pending = builder.forward("pending");
+        let out = builder.and2(a, pending);
+        builder.output("out", out);
+        let error = builder.build().expect_err("must fail");
+        assert!(matches!(error, BuildError::UndrivenWire { .. }));
+    }
+
+    #[test]
+    fn combinational_loop_is_rejected() {
+        let mut builder = NetlistBuilder::new("loop");
+        let a = builder.input("a", SignalRole::Control);
+        let pending = builder.forward("pending");
+        let and = builder.and2(a, pending);
+        builder.drive_forward(pending, and);
+        builder.output("out", and);
+        let error = builder.build().expect_err("must fail");
+        assert!(matches!(error, BuildError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn feedback_register_breaks_loops() {
+        let mut builder = NetlistBuilder::new("counterish");
+        let (state, handle) = builder.register_feedback(false);
+        let next = builder.not(state);
+        builder.set_register_d(handle, next);
+        builder.output("state", state);
+        let netlist = builder.build().expect("register feedback is legal");
+        assert_eq!(netlist.register_count(), 1);
+    }
+
+    #[test]
+    fn constants_are_shared() {
+        let mut builder = NetlistBuilder::new("consts");
+        let one_a = builder.const1();
+        let one_b = builder.const1();
+        assert_eq!(one_a, one_b);
+        builder.output("one", one_a);
+        let netlist = builder.build().expect("valid");
+        assert_eq!(netlist.cell_count(), 1);
+    }
+
+    #[test]
+    fn xor_many_builds_balanced_tree() {
+        let mut builder = NetlistBuilder::new("xtree");
+        let inputs: Vec<WireId> = (0..5)
+            .map(|i| builder.input(format!("i{i}"), SignalRole::Control))
+            .collect();
+        let out = builder.xor_many(&inputs);
+        builder.output("out", out);
+        let netlist = builder.build().expect("valid");
+        assert_eq!(netlist.cell_count(), 4); // n-1 two-input gates
+        let depths = netlist.logic_depths();
+        assert_eq!(depths[out.index()], 3); // ceil(log2(5)) = 3
+    }
+
+    #[test]
+    fn delay_bus_creates_pipeline() {
+        let mut builder = NetlistBuilder::new("delay");
+        let bus = builder.input_bus("d", 4, |_| SignalRole::Control);
+        let delayed = builder.delay_bus(&bus, 3);
+        builder.output_bus("q", &delayed);
+        let netlist = builder.build().expect("valid");
+        assert_eq!(netlist.register_count(), 12);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut builder = NetlistBuilder::new("dup");
+        let a = builder.input("same", SignalRole::Control);
+        let _b = builder.input("same", SignalRole::Control);
+        builder.output("out", a);
+        let error = builder.build().expect_err("must fail");
+        assert!(matches!(error, BuildError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn unbalanced_scope_is_rejected() {
+        let mut builder = NetlistBuilder::new("unbalanced");
+        let a = builder.input("a", SignalRole::Control);
+        builder.push_scope("open");
+        builder.output("out", a);
+        let error = builder.build().expect_err("must fail");
+        assert!(matches!(error, BuildError::UnbalancedScopes { .. }));
+    }
+}

@@ -1,0 +1,276 @@
+//! Stable-signal fan-in cones: the backbone of glitch-extended probing.
+//!
+//! Under the glitch-extended probing model, a probe on a wire `w` does not
+//! observe only the final value of `w`: glitches can expose any function of
+//! the *stable* signals feeding the combinational cone of `w`. A stable
+//! signal is a primary input or a register output — signals that do not
+//! glitch. The standard (conservative and standard-practice, as in
+//! PROLEAD) modelling therefore extends a probe on `w` to the full set of
+//! stable signals in its combinational fan-in.
+//!
+//! [`StableCones`] computes this set for every wire of a netlist in one
+//! topological pass, storing the sets as bitsets over the stable-signal
+//! universe. Identical cones mean observationally-equivalent probes, which
+//! evaluators use to deduplicate probe positions.
+
+use std::collections::HashMap;
+
+use crate::netlist::{Netlist, RegisterId, WireId, WireOrigin};
+
+/// A signal that cannot glitch: a primary input or a register output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StableSignal {
+    /// A primary input wire.
+    Input(WireId),
+    /// A register (observed at its Q output).
+    Register(RegisterId),
+}
+
+/// Precomputed stable-signal cones for every wire of a netlist.
+///
+/// # Example
+///
+/// ```
+/// use mmaes_netlist::{NetlistBuilder, SignalRole, StableCones};
+///
+/// let mut builder = NetlistBuilder::new("toy");
+/// let a = builder.input("a", SignalRole::Control);
+/// let b = builder.input("b", SignalRole::Control);
+/// let ab = builder.and2(a, b);
+/// let q = builder.register(ab);
+/// let out = builder.xor2(q, a);
+/// builder.output("out", out);
+/// let netlist = builder.build()?;
+/// let cones = StableCones::new(&netlist);
+/// // The probe on `out` sees the register and the input `a`,
+/// // but not `b` (it is hidden behind the register).
+/// assert_eq!(cones.signals_of(out).len(), 2);
+/// # Ok::<(), mmaes_netlist::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StableCones {
+    universe: Vec<StableSignal>,
+    blocks_per_wire: usize,
+    bits: Vec<u64>,
+}
+
+impl StableCones {
+    /// Computes the cones of all wires of `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut universe = Vec::new();
+        let mut index_of_wire: HashMap<WireId, usize> = HashMap::new();
+        for &input in netlist.inputs() {
+            index_of_wire.insert(input, universe.len());
+            universe.push(StableSignal::Input(input));
+        }
+        let mut index_of_register = vec![usize::MAX; netlist.register_count()];
+        for (register_id, _) in netlist.registers() {
+            index_of_register[register_id.index()] = universe.len();
+            universe.push(StableSignal::Register(register_id));
+        }
+
+        let blocks_per_wire = universe.len().div_ceil(64).max(1);
+        let mut bits = vec![0u64; blocks_per_wire * netlist.wire_count()];
+
+        let set_bit = |bits: &mut [u64], wire: WireId, signal_index: usize| {
+            let base = wire.index() * blocks_per_wire;
+            bits[base + signal_index / 64] |= 1u64 << (signal_index % 64);
+        };
+
+        for wire in netlist.wires() {
+            match netlist.origin(wire) {
+                WireOrigin::Input => set_bit(&mut bits, wire, index_of_wire[&wire]),
+                WireOrigin::Register(register_id) => {
+                    set_bit(&mut bits, wire, index_of_register[register_id.index()])
+                }
+                WireOrigin::Cell(_) => {}
+            }
+        }
+
+        for &cell_id in netlist.topo_cells() {
+            let cell = netlist.cell(cell_id);
+            let out_base = cell.output.index() * blocks_per_wire;
+            for input in cell.inputs.clone() {
+                let in_base = input.index() * blocks_per_wire;
+                for block in 0..blocks_per_wire {
+                    let value = bits[in_base + block];
+                    bits[out_base + block] |= value;
+                }
+            }
+        }
+
+        StableCones {
+            universe,
+            blocks_per_wire,
+            bits,
+        }
+    }
+
+    /// The stable-signal universe (all inputs, then all registers).
+    pub fn universe(&self) -> &[StableSignal] {
+        &self.universe
+    }
+
+    /// The bitset of `wire`'s cone, one bit per universe entry.
+    pub fn bitset(&self, wire: WireId) -> &[u64] {
+        let base = wire.index() * self.blocks_per_wire;
+        &self.bits[base..base + self.blocks_per_wire]
+    }
+
+    /// Number of stable signals in `wire`'s cone.
+    pub fn cone_size(&self, wire: WireId) -> usize {
+        self.bitset(wire)
+            .iter()
+            .map(|block| block.count_ones() as usize)
+            .sum()
+    }
+
+    /// The stable signals observed by a glitch-extended probe on `wire`.
+    pub fn signals_of(&self, wire: WireId) -> Vec<StableSignal> {
+        self.decode(self.bitset(wire).to_vec())
+    }
+
+    /// The union cone of several probes (a higher-order probing set).
+    pub fn union_of(&self, wires: &[WireId]) -> Vec<StableSignal> {
+        let mut accumulator = vec![0u64; self.blocks_per_wire];
+        for &wire in wires {
+            for (accumulated, &block) in accumulator.iter_mut().zip(self.bitset(wire)) {
+                *accumulated |= block;
+            }
+        }
+        self.decode(accumulator)
+    }
+
+    /// A hashable signature of `wire`'s cone, for probe deduplication:
+    /// two wires with equal signatures are observationally equivalent
+    /// under glitch-extended probing.
+    pub fn signature(&self, wire: WireId) -> Vec<u64> {
+        self.bitset(wire).to_vec()
+    }
+
+    fn decode(&self, blocks: Vec<u64>) -> Vec<StableSignal> {
+        let mut signals = Vec::new();
+        for (block_index, mut block) in blocks.into_iter().enumerate() {
+            while block != 0 {
+                let bit = block.trailing_zeros() as usize;
+                signals.push(self.universe[block_index * 64 + bit]);
+                block &= block - 1;
+            }
+        }
+        signals
+    }
+
+    /// The wire carrying the value of a stable signal (the input itself,
+    /// or the register's Q output).
+    pub fn signal_wire(netlist: &Netlist, signal: StableSignal) -> WireId {
+        match signal {
+            StableSignal::Input(wire) => wire,
+            StableSignal::Register(register_id) => netlist.register(register_id).q,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::netlist::SignalRole;
+
+    #[test]
+    fn cone_stops_at_registers() {
+        let mut builder = NetlistBuilder::new("stop");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        let c = builder.input("c", SignalRole::Control);
+        let ab = builder.and2(a, b);
+        let q = builder.register(ab);
+        let out = builder.xor2(q, c);
+        builder.output("out", out);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+
+        // Before the register: {a, b}.
+        let pre = cones.signals_of(ab);
+        assert_eq!(pre.len(), 2);
+        assert!(pre.contains(&StableSignal::Input(a)));
+        assert!(pre.contains(&StableSignal::Input(b)));
+
+        // After the register: {reg, c} — a and b are hidden.
+        let post = cones.signals_of(out);
+        assert_eq!(post.len(), 2);
+        assert!(post.contains(&StableSignal::Input(c)));
+        assert!(post
+            .iter()
+            .any(|signal| matches!(signal, StableSignal::Register(_))));
+    }
+
+    #[test]
+    fn input_cone_is_itself() {
+        let mut builder = NetlistBuilder::new("self");
+        let a = builder.input("a", SignalRole::Control);
+        builder.output("a_out", a);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+        assert_eq!(cones.signals_of(a), vec![StableSignal::Input(a)]);
+        assert_eq!(cones.cone_size(a), 1);
+    }
+
+    #[test]
+    fn union_merges_probe_cones() {
+        let mut builder = NetlistBuilder::new("union");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        let not_a = builder.not(a);
+        let not_b = builder.not(b);
+        builder.output("na", not_a);
+        builder.output("nb", not_b);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+        assert_eq!(cones.union_of(&[not_a, not_b]).len(), 2);
+        assert_eq!(cones.signals_of(not_a).len(), 1);
+    }
+
+    #[test]
+    fn equivalent_probes_share_signatures() {
+        let mut builder = NetlistBuilder::new("sig");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        let and = builder.and2(a, b);
+        let or = builder.or2(a, b);
+        let just_a = builder.not(a);
+        builder.output("and", and);
+        builder.output("or", or);
+        builder.output("na", just_a);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+        assert_eq!(cones.signature(and), cones.signature(or));
+        assert_ne!(cones.signature(and), cones.signature(just_a));
+    }
+
+    #[test]
+    fn deep_logic_accumulates_all_inputs() {
+        let mut builder = NetlistBuilder::new("deep");
+        let inputs: Vec<WireId> = (0..8)
+            .map(|i| builder.input(format!("x{i}"), SignalRole::Control))
+            .collect();
+        let tree = builder.and_many(&inputs);
+        builder.output("out", tree);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+        assert_eq!(cones.cone_size(tree), 8);
+    }
+
+    #[test]
+    fn signal_wire_resolves_registers() {
+        let mut builder = NetlistBuilder::new("resolve");
+        let a = builder.input("a", SignalRole::Control);
+        let q = builder.register(a);
+        builder.output("q", q);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+        for signal in cones.signals_of(q) {
+            let wire = StableCones::signal_wire(&netlist, signal);
+            assert_eq!(wire, q);
+        }
+    }
+}

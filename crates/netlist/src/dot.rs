@@ -1,0 +1,130 @@
+//! Graphviz DOT export for visual inspection of netlists.
+
+use std::fmt::Write as _;
+
+use crate::netlist::{Netlist, SignalRole, WireOrigin};
+
+impl Netlist {
+    /// Renders the netlist as a Graphviz DOT digraph.
+    ///
+    /// Inputs are drawn as ellipses (mask inputs dashed, shares labelled
+    /// with their secret/share/bit), cells as boxes, registers as
+    /// double-bordered boxes. Useful for eyeballing the small gadgets
+    /// (e.g. a single DOM-AND or the Kronecker tree).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mmaes_netlist::{NetlistBuilder, SignalRole};
+    ///
+    /// let mut builder = NetlistBuilder::new("dotty");
+    /// let a = builder.input("a", SignalRole::Control);
+    /// let inverted = builder.not(a);
+    /// builder.output("na", inverted);
+    /// let netlist = builder.build()?;
+    /// let dot = netlist.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// # Ok::<(), mmaes_netlist::BuildError>(())
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+
+        for &input in self.inputs() {
+            let style = match self.role(input) {
+                SignalRole::Mask => ", style=dashed",
+                _ => "",
+            };
+            let _ = writeln!(
+                out,
+                "  \"w{}\" [shape=ellipse, label=\"{}\"{}];",
+                input.index(),
+                escape(self.wire_name(input)),
+                style
+            );
+        }
+        for (cell_id, cell) in self.cells() {
+            let _ = writeln!(
+                out,
+                "  \"c{}\" [shape=box, label=\"{} {}\"];",
+                cell_id.index(),
+                cell.kind,
+                escape(self.wire_name(cell.output))
+            );
+            for input in &cell.inputs {
+                let _ = writeln!(
+                    out,
+                    "  {} -> \"c{}\";",
+                    self.dot_source(*input),
+                    cell_id.index()
+                );
+            }
+        }
+        for (register_id, register) in self.registers() {
+            let _ = writeln!(
+                out,
+                "  \"r{}\" [shape=box, peripheries=2, label=\"DFF {}\"];",
+                register_id.index(),
+                escape(self.wire_name(register.q))
+            );
+            let _ = writeln!(
+                out,
+                "  {} -> \"r{}\";",
+                self.dot_source(register.d),
+                register_id.index()
+            );
+        }
+        for (name, wire) in self.outputs() {
+            let _ = writeln!(
+                out,
+                "  \"o{}\" [shape=ellipse, label=\"{}\"];",
+                escape(name),
+                escape(name)
+            );
+            let _ = writeln!(
+                out,
+                "  {} -> \"o{}\";",
+                self.dot_source(*wire),
+                escape(name)
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn dot_source(&self, wire: crate::netlist::WireId) -> String {
+        match self.origin(wire) {
+            WireOrigin::Input => format!("\"w{}\"", wire.index()),
+            WireOrigin::Cell(cell_id) => format!("\"c{}\"", cell_id.index()),
+            WireOrigin::Register(register_id) => format!("\"r{}\"", register_id.index()),
+        }
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::NetlistBuilder;
+    use crate::netlist::SignalRole;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut builder = NetlistBuilder::new("dot");
+        let a = builder.input("a", SignalRole::Control);
+        let mask = builder.input("r", SignalRole::Mask);
+        let x = builder.xor2(a, mask);
+        let q = builder.register(x);
+        builder.output("q", q);
+        let netlist = builder.build().expect("valid");
+        let dot = netlist.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("XOR"));
+        assert!(dot.contains("DFF"));
+        assert!(dot.contains("style=dashed")); // mask input
+        assert!(dot.ends_with("}\n"));
+    }
+}

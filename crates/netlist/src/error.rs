@@ -1,0 +1,50 @@
+//! Netlist construction errors.
+
+use core::fmt;
+
+/// Error returned by [`NetlistBuilder::build`](crate::NetlistBuilder::build).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A forward wire was declared but never driven.
+    UndrivenWire {
+        /// Name of the undriven wire.
+        name: String,
+    },
+    /// The combinational logic contains a cycle not broken by a register.
+    CombinationalLoop {
+        /// Names of (up to 8) wires on the cycle.
+        wires: Vec<String>,
+    },
+    /// Two wires carry the same name.
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+    },
+    /// `build` was called with scopes still open.
+    UnbalancedScopes {
+        /// How many scopes remained open.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndrivenWire { name } => {
+                write!(formatter, "wire `{name}` is never driven")
+            }
+            BuildError::CombinationalLoop { wires } => {
+                write!(formatter, "combinational loop through wires {wires:?}")
+            }
+            BuildError::DuplicateName { name } => {
+                write!(formatter, "duplicate wire name `{name}`")
+            }
+            BuildError::UnbalancedScopes { depth } => {
+                write!(formatter, "{depth} scope(s) left open at build time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}

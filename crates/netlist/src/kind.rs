@@ -1,0 +1,235 @@
+//! Combinational cell kinds and their semantics.
+
+use core::fmt;
+
+/// The kind of a combinational cell.
+///
+/// The set mirrors the cells a standard-cell mapping produces for masked
+/// designs: the basic two-input gates, an inverter/buffer, a 2:1 mux and
+/// constant drivers. Multi-input AND/OR/XOR cells are permitted (the
+/// builder produces two-input trees by default, matching what synthesis
+/// emits for a NanGate-style library).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Logical conjunction of all inputs.
+    And,
+    /// Logical disjunction of all inputs.
+    Or,
+    /// Negated conjunction.
+    Nand,
+    /// Negated disjunction.
+    Nor,
+    /// Exclusive-or (parity) of all inputs.
+    Xor,
+    /// Negated parity.
+    Xnor,
+    /// Inverter (exactly one input).
+    Not,
+    /// Buffer (exactly one input).
+    Buf,
+    /// 2:1 multiplexer: inputs `[sel, d0, d1]`, output `d1` if `sel` else `d0`.
+    Mux,
+    /// Constant logic 0 (no inputs).
+    Const0,
+    /// Constant logic 1 (no inputs).
+    Const1,
+}
+
+impl CellKind {
+    /// All cell kinds, for table-driven reports.
+    pub const ALL: [CellKind; 11] = [
+        CellKind::And,
+        CellKind::Or,
+        CellKind::Nand,
+        CellKind::Nor,
+        CellKind::Xor,
+        CellKind::Xnor,
+        CellKind::Not,
+        CellKind::Buf,
+        CellKind::Mux,
+        CellKind::Const0,
+        CellKind::Const1,
+    ];
+
+    /// The exact arity for fixed-arity kinds, or `None` for variadic
+    /// kinds (`And`/`Or`/`Nand`/`Nor`/`Xor`/`Xnor`, which accept ≥ 2).
+    pub const fn fixed_arity(self) -> Option<usize> {
+        match self {
+            CellKind::Not | CellKind::Buf => Some(1),
+            CellKind::Mux => Some(3),
+            CellKind::Const0 | CellKind::Const1 => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Whether `inputs` is an acceptable number of inputs for this kind.
+    pub const fn accepts_arity(self, inputs: usize) -> bool {
+        match self.fixed_arity() {
+            Some(required) => inputs == required,
+            None => inputs >= 2,
+        }
+    }
+
+    /// Evaluates the cell on boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs is invalid for this kind (the
+    /// builder enforces arity, so this only triggers on hand-built cells).
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(
+            self.accepts_arity(inputs.len()),
+            "{self} cell does not accept {} inputs",
+            inputs.len()
+        );
+        match self {
+            CellKind::And => inputs.iter().all(|&bit| bit),
+            CellKind::Or => inputs.iter().any(|&bit| bit),
+            CellKind::Nand => !inputs.iter().all(|&bit| bit),
+            CellKind::Nor => !inputs.iter().any(|&bit| bit),
+            CellKind::Xor => inputs.iter().fold(false, |acc, &bit| acc ^ bit),
+            CellKind::Xnor => !inputs.iter().fold(false, |acc, &bit| acc ^ bit),
+            CellKind::Not => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Mux => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+            CellKind::Const0 => false,
+            CellKind::Const1 => true,
+        }
+    }
+
+    /// Evaluates the cell on 64 traces in parallel (one bit per trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs is invalid for this kind.
+    pub fn eval_wide(self, inputs: &[u64]) -> u64 {
+        assert!(
+            self.accepts_arity(inputs.len()),
+            "{self} cell does not accept {} inputs",
+            inputs.len()
+        );
+        match self {
+            CellKind::And => inputs.iter().fold(u64::MAX, |acc, &word| acc & word),
+            CellKind::Or => inputs.iter().fold(0, |acc, &word| acc | word),
+            CellKind::Nand => !inputs.iter().fold(u64::MAX, |acc, &word| acc & word),
+            CellKind::Nor => !inputs.iter().fold(0, |acc, &word| acc | word),
+            CellKind::Xor => inputs.iter().fold(0, |acc, &word| acc ^ word),
+            CellKind::Xnor => !inputs.iter().fold(0, |acc, &word| acc ^ word),
+            CellKind::Not => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Mux => (inputs[0] & inputs[2]) | (!inputs[0] & inputs[1]),
+            CellKind::Const0 => 0,
+            CellKind::Const1 => u64::MAX,
+        }
+    }
+
+    /// A gate-equivalent area weight modelled on the NanGate 45 nm open
+    /// cell library (NAND2 = 1.0 GE), used for area reports comparable in
+    /// *shape* to the paper's synthesis results.
+    pub fn gate_equivalents(self) -> f64 {
+        match self {
+            CellKind::Nand | CellKind::Nor => 1.0,
+            CellKind::And | CellKind::Or => 1.33,
+            CellKind::Xor | CellKind::Xnor => 2.0,
+            CellKind::Not => 0.67,
+            CellKind::Buf => 1.0,
+            CellKind::Mux => 2.33,
+            CellKind::Const0 | CellKind::Const1 => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CellKind::And => "AND",
+            CellKind::Or => "OR",
+            CellKind::Nand => "NAND",
+            CellKind::Nor => "NOR",
+            CellKind::Xor => "XOR",
+            CellKind::Xnor => "XNOR",
+            CellKind::Not => "NOT",
+            CellKind::Buf => "BUF",
+            CellKind::Mux => "MUX",
+            CellKind::Const0 => "CONST0",
+            CellKind::Const1 => "CONST1",
+        };
+        formatter.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_truth_tables() {
+        assert!(CellKind::And.eval(&[true, true]));
+        assert!(!CellKind::And.eval(&[true, false]));
+        assert!(CellKind::Or.eval(&[false, true]));
+        assert!(!CellKind::Nand.eval(&[true, true]));
+        assert!(CellKind::Nor.eval(&[false, false]));
+        assert!(CellKind::Xor.eval(&[true, false]));
+        assert!(!CellKind::Xor.eval(&[true, true]));
+        assert!(CellKind::Xnor.eval(&[true, true]));
+        assert!(CellKind::Not.eval(&[false]));
+        assert!(CellKind::Buf.eval(&[true]));
+        assert!(!CellKind::Mux.eval(&[false, false, true]));
+        assert!(CellKind::Mux.eval(&[true, false, true]));
+        assert!(!CellKind::Const0.eval(&[]));
+        assert!(CellKind::Const1.eval(&[]));
+    }
+
+    #[test]
+    fn eval_wide_agrees_with_eval_scalar() {
+        for kind in CellKind::ALL {
+            let arity = kind.fixed_arity().unwrap_or(3);
+            for assignment in 0u32..(1 << arity) {
+                let bools: Vec<bool> = (0..arity).map(|bit| (assignment >> bit) & 1 == 1).collect();
+                let words: Vec<u64> = bools
+                    .iter()
+                    .map(|&bit| if bit { u64::MAX } else { 0 })
+                    .collect();
+                let scalar = kind.eval(&bools);
+                let wide = kind.eval_wide(&words);
+                assert_eq!(wide, if scalar { u64::MAX } else { 0 }, "{kind} {bools:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn variadic_kinds_accept_three_inputs() {
+        assert!(CellKind::Xor.accepts_arity(3));
+        assert!(CellKind::Xor.eval(&[true, true, true]));
+        assert!(!CellKind::Xor.eval(&[true, true, false]));
+        assert!(CellKind::And.eval(&[true, true, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not accept")]
+    fn wrong_arity_panics() {
+        CellKind::Not.eval(&[true, false]);
+    }
+
+    #[test]
+    fn area_weights_are_positive_for_logic() {
+        for kind in CellKind::ALL {
+            if !matches!(kind, CellKind::Const0 | CellKind::Const1) {
+                assert!(kind.gate_equivalents() > 0.0, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for kind in CellKind::ALL {
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Core netlist data structures.
+
+use std::collections::HashMap;
+
+use crate::kind::CellKind;
+
+/// Identifier of a wire (a single-bit net).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WireId(pub(crate) u32);
+
+impl WireId {
+    /// The index of this wire inside [`Netlist`] storage.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a combinational cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// The index of this cell inside [`Netlist`] storage.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a register (D flip-flop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegisterId(pub(crate) u32);
+
+impl RegisterId {
+    /// The index of this register inside [`Netlist`] storage.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an unshared secret variable carried (in shared form) by
+/// the circuit, e.g. "the S-box input byte".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SecretId(pub u16);
+
+/// Semantic role of a wire, used by the leakage tools.
+///
+/// Only primary-input roles matter for the evaluators; internal wires are
+/// [`SignalRole::Internal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SignalRole {
+    /// Bit `bit` of share number `share` of secret `secret`.
+    ///
+    /// A fixed-vs-random campaign re-randomizes shares each trace such
+    /// that they XOR to the (fixed or random) secret; an exact verifier
+    /// enumerates `d` of the `d+1` shares freely.
+    Share {
+        /// Which secret this wire is a share of.
+        secret: SecretId,
+        /// Share index (0-based).
+        share: u8,
+        /// Bit position within the secret (little-endian).
+        bit: u8,
+    },
+    /// A fresh-mask bit: uniformly random and independent each cycle.
+    Mask,
+    /// Public control or constant input (held per campaign, not secret).
+    Control,
+    /// An internal wire (driven by a cell or register).
+    #[default]
+    Internal,
+}
+
+/// What drives a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireOrigin {
+    /// The wire is a primary input.
+    Input,
+    /// The wire is the output of a combinational cell.
+    Cell(CellId),
+    /// The wire is the Q output of a register.
+    Register(RegisterId),
+}
+
+/// A combinational cell instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// The cell's function.
+    pub kind: CellKind,
+    /// Input wires, in the order [`CellKind`] semantics expect.
+    pub inputs: Vec<WireId>,
+    /// The output wire.
+    pub output: WireId,
+    pub(crate) scope: u32,
+}
+
+/// A D flip-flop with synchronous update and a reset/initial value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Register {
+    /// Data input (sampled at each clock edge).
+    pub d: WireId,
+    /// Output (holds the previously sampled value).
+    pub q: WireId,
+    /// Initial/reset value of the register.
+    pub init: bool,
+    pub(crate) scope: u32,
+}
+
+/// A validated gate-level netlist. Construct with
+/// [`NetlistBuilder`](crate::NetlistBuilder).
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) wire_names: Vec<String>,
+    pub(crate) wire_roles: Vec<SignalRole>,
+    pub(crate) origins: Vec<WireOrigin>,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) registers: Vec<Register>,
+    pub(crate) inputs: Vec<WireId>,
+    pub(crate) outputs: Vec<(String, WireId)>,
+    pub(crate) scopes: Vec<String>,
+    pub(crate) topo: Vec<CellId>,
+    pub(crate) name_index: HashMap<String, WireId>,
+}
+
+impl Netlist {
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of wires (nets) in the design.
+    pub fn wire_count(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Iterator over all wire ids.
+    pub fn wires(&self) -> impl Iterator<Item = WireId> + '_ {
+        (0..self.origins.len() as u32).map(WireId)
+    }
+
+    /// What drives `wire`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` does not belong to this netlist.
+    pub fn origin(&self, wire: WireId) -> WireOrigin {
+        self.origins[wire.index()]
+    }
+
+    /// The (hierarchical) name of `wire`.
+    pub fn wire_name(&self, wire: WireId) -> &str {
+        &self.wire_names[wire.index()]
+    }
+
+    /// The role of `wire` ([`SignalRole::Internal`] for non-inputs).
+    pub fn role(&self, wire: WireId) -> SignalRole {
+        self.wire_roles[wire.index()]
+    }
+
+    /// Looks a wire up by its exact name.
+    pub fn find_wire(&self, name: &str) -> Option<WireId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[WireId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as (name, wire) pairs, in declaration order.
+    pub fn outputs(&self) -> &[(String, WireId)] {
+        &self.outputs
+    }
+
+    /// Looks up a primary output wire by name.
+    pub fn find_output(&self, name: &str) -> Option<WireId> {
+        self.outputs
+            .iter()
+            .find(|(output_name, _)| output_name == name)
+            .map(|&(_, wire)| wire)
+    }
+
+    /// Iterator over cells with their ids.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(index, cell)| (CellId(index as u32), cell))
+    }
+
+    /// The cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Iterator over registers with their ids.
+    pub fn registers(&self) -> impl Iterator<Item = (RegisterId, &Register)> {
+        self.registers
+            .iter()
+            .enumerate()
+            .map(|(index, register)| (RegisterId(index as u32), register))
+    }
+
+    /// The register with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn register(&self, id: RegisterId) -> &Register {
+        &self.registers[id.index()]
+    }
+
+    /// Number of registers.
+    pub fn register_count(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Number of combinational cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cells in a topological order (inputs before users), suitable for
+    /// single-pass combinational evaluation.
+    pub fn topo_cells(&self) -> &[CellId] {
+        &self.topo
+    }
+
+    /// The hierarchical scope path of a cell (e.g. `"kronecker/G7"`),
+    /// or `""` for top-level cells.
+    pub fn cell_scope(&self, id: CellId) -> &str {
+        &self.scopes[self.cells[id.index()].scope as usize]
+    }
+
+    /// The hierarchical scope path of a register.
+    pub fn register_scope(&self, id: RegisterId) -> &str {
+        &self.scopes[self.registers[id.index()].scope as usize]
+    }
+
+    /// All distinct scope paths in the design.
+    pub fn scopes(&self) -> &[String] {
+        &self.scopes
+    }
+
+    /// Primary inputs that are shares of `secret`, as
+    /// `(share index, bit, wire)` triples sorted by (share, bit).
+    pub fn shares_of(&self, secret: SecretId) -> Vec<(u8, u8, WireId)> {
+        let mut result: Vec<(u8, u8, WireId)> = self
+            .inputs
+            .iter()
+            .filter_map(|&wire| match self.role(wire) {
+                SignalRole::Share {
+                    secret: s,
+                    share,
+                    bit,
+                } if s == secret => Some((share, bit, wire)),
+                _ => None,
+            })
+            .collect();
+        result.sort_unstable();
+        result
+    }
+
+    /// All secrets mentioned by input roles, sorted.
+    pub fn secrets(&self) -> Vec<SecretId> {
+        let mut secrets: Vec<SecretId> = self
+            .inputs
+            .iter()
+            .filter_map(|&wire| match self.role(wire) {
+                SignalRole::Share { secret, .. } => Some(secret),
+                _ => None,
+            })
+            .collect();
+        secrets.sort_unstable();
+        secrets.dedup();
+        secrets
+    }
+
+    /// Primary inputs with the [`SignalRole::Mask`] role, in declaration
+    /// order (the per-cycle fresh-randomness demand of the design).
+    pub fn mask_inputs(&self) -> Vec<WireId> {
+        self.inputs
+            .iter()
+            .copied()
+            .filter(|&wire| matches!(self.role(wire), SignalRole::Mask))
+            .collect()
+    }
+
+    /// Primary inputs with the [`SignalRole::Control`] role.
+    pub fn control_inputs(&self) -> Vec<WireId> {
+        self.inputs
+            .iter()
+            .copied()
+            .filter(|&wire| matches!(self.role(wire), SignalRole::Control))
+            .collect()
+    }
+
+    /// Wires driven by combinational cells — the canonical probe
+    /// positions for gate-output probing.
+    pub fn cell_outputs(&self) -> impl Iterator<Item = WireId> + '_ {
+        self.cells.iter().map(|cell| cell.output)
+    }
+
+    /// The combinational logic depth (longest input/register-to-wire cell
+    /// path) of every wire; stable signals have depth 0.
+    pub fn logic_depths(&self) -> Vec<u32> {
+        let mut depth = vec![0u32; self.wire_count()];
+        for &cell_id in &self.topo {
+            let cell = self.cell(cell_id);
+            let max_in = cell
+                .inputs
+                .iter()
+                .map(|input| depth[input.index()])
+                .max()
+                .unwrap_or(0);
+            depth[cell.output.index()] = max_in + 1;
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn toy() -> Netlist {
+        let mut builder = NetlistBuilder::new("toy");
+        let a = builder.input(
+            "a",
+            SignalRole::Share {
+                secret: SecretId(0),
+                share: 0,
+                bit: 0,
+            },
+        );
+        let b = builder.input(
+            "b",
+            SignalRole::Share {
+                secret: SecretId(0),
+                share: 1,
+                bit: 0,
+            },
+        );
+        let mask = builder.input("r", SignalRole::Mask);
+        let ab = builder.and2(a, b);
+        let masked = builder.xor2(ab, mask);
+        let q = builder.register(masked);
+        builder.output("q", q);
+        builder.build().expect("toy netlist is valid")
+    }
+
+    #[test]
+    fn role_queries() {
+        let netlist = toy();
+        assert_eq!(netlist.secrets(), vec![SecretId(0)]);
+        assert_eq!(netlist.shares_of(SecretId(0)).len(), 2);
+        assert_eq!(netlist.mask_inputs().len(), 1);
+        assert!(netlist.control_inputs().is_empty());
+    }
+
+    #[test]
+    fn origins_and_lookup() {
+        let netlist = toy();
+        let a = netlist.find_wire("a").expect("input a exists");
+        assert_eq!(netlist.origin(a), WireOrigin::Input);
+        let q = netlist.find_output("q").expect("output q exists");
+        assert!(matches!(netlist.origin(q), WireOrigin::Register(_)));
+        assert!(netlist.find_wire("nonexistent").is_none());
+    }
+
+    #[test]
+    fn logic_depths_count_cells() {
+        let netlist = toy();
+        let depths = netlist.logic_depths();
+        let a = netlist.find_wire("a").expect("input a exists");
+        assert_eq!(depths[a.index()], 0);
+        let max_depth = depths.iter().max().copied().unwrap_or(0);
+        assert_eq!(max_depth, 2); // AND then XOR
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let netlist = toy();
+        let mut position = vec![usize::MAX; netlist.cell_count()];
+        for (order, &cell_id) in netlist.topo_cells().iter().enumerate() {
+            position[cell_id.index()] = order;
+        }
+        for (cell_id, cell) in netlist.cells() {
+            for input in &cell.inputs {
+                if let WireOrigin::Cell(driver) = netlist.origin(*input) {
+                    assert!(position[driver.index()] < position[cell_id.index()]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Non-completeness checking — the VerMI role.
+//!
+//! Threshold-Implementation *non-completeness* requires every
+//! combinational function to be independent of at least one share of
+//! every secret: no glitch-extended cone may touch all `d+1` shares of
+//! any secret. The VerMI tool the original authors used checks mainly
+//! this property — which is exactly why it could not catch the
+//! randomness-reuse flaw: non-completeness says nothing about *masks*
+//! cancelling between cones. This module reproduces that tool gap: the
+//! Eq. 6 Kronecker delta **passes** non-completeness (see the workspace
+//! integration tests) while PROLEAD-style evaluation and exhaustive
+//! enumeration show it leaks.
+
+use std::collections::BTreeSet;
+
+use crate::cone::{StableCones, StableSignal};
+use crate::netlist::{Netlist, SecretId, SignalRole, WireId};
+
+/// A wire whose cone touches every share of some shared variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonCompletenessViolation {
+    /// The offending wire.
+    pub wire: WireId,
+    /// Its (hierarchical) name.
+    pub wire_name: String,
+    /// The secret whose variable is fully exposed.
+    pub secret: SecretId,
+    /// The bit of that secret (the shared *variable* in the TI sense).
+    pub bit: u8,
+}
+
+/// Checks first-order non-completeness: for every wire, the
+/// glitch-extended cone must miss at least one share index of every
+/// shared variable — a variable being one bit of one secret, the
+/// granularity at which TI/DOM sharing operates (a DOM cross term
+/// `x₀⁰·x₁¹` touches domain 0 of bit 0 and domain 1 of bit 1: fine;
+/// `x₀⁰ ⊕ x₀¹` touches both domains of bit 0: violation).
+///
+/// Returns all violations (empty = the design is non-complete in the TI
+/// sense). Note the deliberate weakness this check shares with the real
+/// VerMI workflow: it looks only at which *shares* a cone can see, never
+/// at how fresh masks are assigned — so randomness-reuse flaws (the
+/// paper's subject) are invisible to it.
+pub fn check_non_completeness(
+    netlist: &Netlist,
+    cones: &StableCones,
+) -> Vec<NonCompletenessViolation> {
+    // Share indices present per variable (secret, bit).
+    let mut share_universe: std::collections::HashMap<(SecretId, u8), BTreeSet<u8>> =
+        std::collections::HashMap::new();
+    for &input in netlist.inputs() {
+        if let SignalRole::Share { secret, share, bit } = netlist.role(input) {
+            share_universe
+                .entry((secret, bit))
+                .or_default()
+                .insert(share);
+        }
+    }
+
+    let mut violations = Vec::new();
+    for wire in netlist.wires() {
+        let mut touched: std::collections::HashMap<(SecretId, u8), BTreeSet<u8>> =
+            std::collections::HashMap::new();
+        for signal in cones.signals_of(wire) {
+            if let StableSignal::Input(input) = signal {
+                if let SignalRole::Share { secret, share, bit } = netlist.role(input) {
+                    touched.entry((secret, bit)).or_default().insert(share);
+                }
+            }
+        }
+        for ((secret, bit), shares) in touched {
+            let universe = &share_universe[&(secret, bit)];
+            if universe.len() >= 2 && shares.len() == universe.len() {
+                violations.push(NonCompletenessViolation {
+                    wire,
+                    wire_name: netlist.wire_name(wire).to_owned(),
+                    secret,
+                    bit,
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn share_role(share: u8, bit: u8) -> SignalRole {
+        SignalRole::Share {
+            secret: SecretId(0),
+            share,
+            bit,
+        }
+    }
+
+    #[test]
+    fn recombination_violates_non_completeness() {
+        let mut builder = NetlistBuilder::new("bad");
+        let s0 = builder.input("s0", share_role(0, 0));
+        let s1 = builder.input("s1", share_role(1, 0));
+        let x = builder.xor2(s0, s1); // touches both shares combinationally
+        builder.output("x", x);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+        let violations = check_non_completeness(&netlist, &cones);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].secret, SecretId(0));
+        assert_eq!(violations[0].bit, 0);
+    }
+
+    #[test]
+    fn register_separation_restores_non_completeness() {
+        // Each combinational stage sees one share only; the recombination
+        // happens through a register boundary — non-complete per stage.
+        let mut builder = NetlistBuilder::new("good");
+        let s0 = builder.input("s0", share_role(0, 0));
+        let s1 = builder.input("s1", share_role(1, 0));
+        let mask = builder.input("m", SignalRole::Mask);
+        let blinded0 = builder.xor2(s0, mask);
+        let q0 = builder.register(blinded0);
+        let blinded1 = builder.xor2(s1, q0); // sees s1 + register, not s0
+        builder.output("out", blinded1);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+        assert!(check_non_completeness(&netlist, &cones).is_empty());
+    }
+
+    #[test]
+    fn cross_domain_terms_across_bits_are_fine() {
+        // The DOM cross-term shape: share 0 of bit 0 with share 1 of
+        // bit 1 — each variable misses one of its shares.
+        let mut builder = NetlistBuilder::new("bits");
+        let a = builder.input("a", share_role(0, 0));
+        let _a1 = builder.input("a1", share_role(1, 0));
+        let _b0 = builder.input("b0", share_role(0, 1));
+        let b = builder.input("b", share_role(1, 1));
+        let x = builder.and2(a, b);
+        builder.output("x", x);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+        assert!(check_non_completeness(&netlist, &cones).is_empty());
+    }
+}

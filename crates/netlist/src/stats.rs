@@ -1,0 +1,175 @@
+//! Area and structure statistics for netlists.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::kind::CellKind;
+use crate::netlist::Netlist;
+
+/// A gate-equivalent area weight for a D flip-flop, modelled on the
+/// NanGate 45 nm DFF_X1 cell relative to NAND2_X1.
+pub const REGISTER_GATE_EQUIVALENTS: f64 = 4.67;
+
+/// Summary statistics of a netlist (gate counts, area, depth).
+///
+/// # Example
+///
+/// ```
+/// use mmaes_netlist::{NetlistBuilder, NetlistStats, SignalRole};
+///
+/// let mut builder = NetlistBuilder::new("toy");
+/// let a = builder.input("a", SignalRole::Control);
+/// let b = builder.input("b", SignalRole::Control);
+/// let ab = builder.and2(a, b);
+/// builder.output("ab", ab);
+/// let netlist = builder.build()?;
+/// let stats = NetlistStats::of(&netlist);
+/// assert_eq!(stats.cell_count, 1);
+/// assert!(stats.gate_equivalents > 0.0);
+/// # Ok::<(), mmaes_netlist::BuildError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Number of combinational cells.
+    pub cell_count: usize,
+    /// Number of registers.
+    pub register_count: usize,
+    /// Number of primary inputs.
+    pub input_count: usize,
+    /// Number of primary outputs.
+    pub output_count: usize,
+    /// Number of fresh-mask inputs (per-cycle randomness demand, in bits).
+    pub mask_bits: usize,
+    /// Count per cell kind.
+    pub cells_by_kind: BTreeMap<String, usize>,
+    /// Estimated area in NAND2 gate equivalents (cells + registers).
+    pub gate_equivalents: f64,
+    /// Longest combinational path, in cells.
+    pub logic_depth: u32,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut cells_by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        let mut area = 0.0;
+        for (_, cell) in netlist.cells() {
+            *cells_by_kind.entry(cell.kind.to_string()).or_insert(0) += 1;
+            area += cell.kind.gate_equivalents();
+        }
+        area += netlist.register_count() as f64 * REGISTER_GATE_EQUIVALENTS;
+        let logic_depth = netlist.logic_depths().into_iter().max().unwrap_or(0);
+        NetlistStats {
+            name: netlist.name().to_owned(),
+            cell_count: netlist.cell_count(),
+            register_count: netlist.register_count(),
+            input_count: netlist.inputs().len(),
+            output_count: netlist.outputs().len(),
+            mask_bits: netlist.mask_inputs().len(),
+            cells_by_kind,
+            gate_equivalents: area,
+            logic_depth,
+        }
+    }
+
+    /// Per-scope cell counts (hierarchical breakdown).
+    pub fn cells_by_scope(netlist: &Netlist) -> BTreeMap<String, usize> {
+        let mut by_scope: BTreeMap<String, usize> = BTreeMap::new();
+        for (cell_id, _) in netlist.cells() {
+            let scope = netlist.cell_scope(cell_id);
+            *by_scope.entry(scope.to_owned()).or_insert(0) += 1;
+        }
+        by_scope
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(formatter, "design `{}`:", self.name)?;
+        writeln!(
+            formatter,
+            "  cells: {}  registers: {}  inputs: {}  outputs: {}",
+            self.cell_count, self.register_count, self.input_count, self.output_count
+        )?;
+        writeln!(
+            formatter,
+            "  fresh mask bits/cycle: {}  logic depth: {}  area: {:.1} GE",
+            self.mask_bits, self.logic_depth, self.gate_equivalents
+        )?;
+        write!(formatter, "  by kind:")?;
+        for (kind, count) in &self.cells_by_kind {
+            write!(formatter, " {kind}={count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Returns the kinds of gates that count as "non-linear" for masking
+/// purposes (each such gate needs DOM treatment in a shared design).
+pub fn is_nonlinear(kind: CellKind) -> bool {
+    matches!(
+        kind,
+        CellKind::And | CellKind::Or | CellKind::Nand | CellKind::Nor | CellKind::Mux
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::netlist::SignalRole;
+
+    #[test]
+    fn stats_count_kinds_and_area() {
+        let mut builder = NetlistBuilder::new("stats");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Mask);
+        let ab = builder.and2(a, b);
+        let x = builder.xor2(ab, a);
+        let q = builder.register(x);
+        builder.output("q", q);
+        let netlist = builder.build().expect("valid");
+        let stats = NetlistStats::of(&netlist);
+        assert_eq!(stats.cell_count, 2);
+        assert_eq!(stats.register_count, 1);
+        assert_eq!(stats.mask_bits, 1);
+        assert_eq!(stats.cells_by_kind["AND"], 1);
+        assert_eq!(stats.cells_by_kind["XOR"], 1);
+        let expected_area = CellKind::And.gate_equivalents()
+            + CellKind::Xor.gate_equivalents()
+            + REGISTER_GATE_EQUIVALENTS;
+        assert!((stats.gate_equivalents - expected_area).abs() < 1e-9);
+        assert_eq!(stats.logic_depth, 2);
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn scope_breakdown() {
+        let mut builder = NetlistBuilder::new("scoped");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        builder.scoped("G1", |builder| {
+            let x = builder.and2(a, b);
+            builder.output("x", x);
+        });
+        builder.scoped("G2", |builder| {
+            let y = builder.or2(a, b);
+            let z = builder.not(y);
+            builder.output("z", z);
+        });
+        let netlist = builder.build().expect("valid");
+        let by_scope = NetlistStats::cells_by_scope(&netlist);
+        assert_eq!(by_scope["G1"], 1);
+        assert_eq!(by_scope["G2"], 2);
+    }
+
+    #[test]
+    fn nonlinear_classification() {
+        assert!(is_nonlinear(CellKind::And));
+        assert!(is_nonlinear(CellKind::Nor));
+        assert!(!is_nonlinear(CellKind::Xor));
+        assert!(!is_nonlinear(CellKind::Not));
+    }
+}

@@ -1,0 +1,68 @@
+//! Leak hunt: from a statistical alarm to an exact counterexample.
+//!
+//! Walks the paper's Section III root-cause analysis with tools instead
+//! of pen and paper: the statistical evaluator flags the `v` nodes of
+//! gate G7; the exhaustive verifier then *proves* the leak for the
+//! single reuse `r1 = r3` and produces a concrete distribution-gap
+//! witness — the `{a1, b1, a2, b2}` observation whose probability
+//! depends on the unshared input.
+//!
+//! Run with: `cargo run --release --example kronecker_leak_hunt`
+
+use mult_masked_aes::circuits::build_kronecker;
+use mult_masked_aes::exact::{ExactConfig, ExactVerifier};
+use mult_masked_aes::leakage::{EvaluationConfig, FixedVsRandom};
+use mult_masked_aes::masking::KroneckerRandomness;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schedule = KroneckerRandomness::single_reuse_r1_r3();
+    println!("schedule under test: {schedule}\n");
+    let circuit = build_kronecker(&schedule)?;
+
+    // Step 1 — the statistical alarm (PROLEAD role).
+    println!("--- step 1: fixed-vs-random campaign (glitch-extended probes) ---\n");
+    let report = FixedVsRandom::new(
+        &circuit.netlist,
+        EvaluationConfig {
+            traces: 300_000,
+            warmup_cycles: 6,
+            ..EvaluationConfig::default()
+        },
+    )
+    .run();
+    println!("{report}");
+    for result in report.leaking().iter().take(4) {
+        println!(
+            "  suspicious: {} (cone of {} stable signals, -log10 p = {:.1})",
+            result.label, result.cone_size, result.minus_log10_p
+        );
+    }
+
+    // Step 2 — the proof (SILVER role). Restrict to the G7 region the
+    // alarm pointed at and enumerate every sharing and mask assignment.
+    println!("\n--- step 2: exhaustive verification of the flagged region ---\n");
+    let verifier = ExactVerifier::with_config(
+        &circuit.netlist,
+        ExactConfig {
+            observe_cycle: 5,
+            max_support_bits: 24,
+            probe_scope_filter: Some("kronecker/G7".to_owned()),
+            ..ExactConfig::default()
+        },
+    );
+    let proof = verifier.verify_all();
+    println!("{proof}");
+    assert!(
+        proof.leak_found(),
+        "the statistical alarm must be confirmed exactly"
+    );
+
+    let (label, witness) = proof.leaks()[0];
+    println!("confirmed: probe `{label}` is not simulatable —\n  {witness}");
+    println!(
+        "\nThis is Equation (8) of the paper made concrete: with r1 = r3 the\n\
+         fresh mask cancels between the G5/G6 inner-domain registers and the\n\
+         joint view depends on the unmasked input bits."
+    );
+    Ok(())
+}

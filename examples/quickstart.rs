@@ -1,0 +1,48 @@
+//! Quickstart: reproduce the paper's headline finding in one page.
+//!
+//! Builds the masked Kronecker delta with the CHES 2018 randomness
+//! optimization (Equation 6), evaluates it PROLEAD-style under the
+//! glitch-extended probing model with the S-box input fixed to zero, and
+//! watches it fail; then does the same with the paper's repaired
+//! Equation 9 schedule and watches it pass.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mult_masked_aes::circuits::build_kronecker;
+use mult_masked_aes::leakage::{EvaluationConfig, FixedVsRandom};
+use mult_masked_aes::masking::KroneckerRandomness;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = EvaluationConfig {
+        traces: 200_000,
+        fixed_secret: 0, // the zero-value case
+        warmup_cycles: 6,
+        ..EvaluationConfig::default()
+    };
+
+    println!("=== CHES 2018 optimization (Eq. 6): r1=r3, r2=r4, r6=[r5^r2], r7=r1 ===\n");
+    let eq6 = build_kronecker(&KroneckerRandomness::de_meyer_eq6())?;
+    let report = FixedVsRandom::new(&eq6.netlist, config.clone()).run();
+    println!("{report}");
+    assert!(
+        !report.passed(),
+        "Eq. 6 must leak — the paper's central finding"
+    );
+    println!(
+        "\n→ {} probing sets exceed -log10(p) = {}; the worst sits at {}\n",
+        report.leaking().len(),
+        config.threshold,
+        report.worst().map(|r| r.label.as_str()).unwrap_or("?")
+    );
+
+    println!("=== The paper's repaired optimization (Eq. 9): r5=r4, r6=r2, r7=r3 ===\n");
+    let eq9 = build_kronecker(&KroneckerRandomness::proposed_eq9())?;
+    let report = FixedVsRandom::new(&eq9.netlist, config).run();
+    println!("{report}");
+    assert!(
+        report.passed(),
+        "Eq. 9 must pass under the glitch-extended model"
+    );
+    println!("\n→ first-order secure under glitches, at 4 instead of 7 fresh bits per cycle");
+    Ok(())
+}

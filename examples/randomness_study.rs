@@ -1,0 +1,65 @@
+//! The randomness-recycling design space, surveyed.
+//!
+//! Sweeps every schedule the paper discusses across both probing models
+//! and prints the security × cost matrix of Section IV — who passes
+//! where, and at how many fresh bits per cycle.
+//!
+//! Run with: `cargo run --release --example randomness_study [traces]`
+
+use mult_masked_aes::circuits::build_kronecker;
+use mult_masked_aes::leakage::{EvaluationConfig, FixedVsRandom, ProbeModel};
+use mult_masked_aes::masking::KroneckerRandomness;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let traces: u64 = std::env::args()
+        .nth(1)
+        .map(|argument| argument.parse())
+        .transpose()?
+        .unwrap_or(150_000);
+
+    println!("fixed-vs-random, fixed input 0, {traces} traces per campaign\n");
+    println!(
+        "{:<28} {:>5} {:<22} {:<22}",
+        "schedule", "bits", "glitch-extended", "+ transitions"
+    );
+
+    for schedule in KroneckerRandomness::first_order_catalog() {
+        let circuit = build_kronecker(&schedule)?;
+        let mut cells = Vec::new();
+        for model in [ProbeModel::Glitch, ProbeModel::GlitchTransition] {
+            let report = FixedVsRandom::new(
+                &circuit.netlist,
+                EvaluationConfig {
+                    model,
+                    traces,
+                    warmup_cycles: 6,
+                    ..EvaluationConfig::default()
+                },
+            )
+            .run();
+            let worst = report
+                .worst()
+                .map(|result| result.minus_log10_p)
+                .unwrap_or(0.0);
+            cells.push(if report.passed() {
+                format!("PASS (max {worst:.1})")
+            } else {
+                format!("FAIL (max {worst:.1})")
+            });
+        }
+        println!(
+            "{:<28} {:>5} {:<22} {:<22}",
+            schedule.name(),
+            schedule.fresh_count(),
+            cells[0],
+            cells[1]
+        );
+    }
+
+    println!(
+        "\nReading: Eq. 6 (3 bits) fails even the glitch model; Eq. 9 (4 bits)\n\
+         repairs the glitch model but not transitions; only r7 = r_i (6 bits)\n\
+         — or no recycling at all — survives both, matching Section IV."
+    );
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the whole workspace. See README.md.
+pub use mmaes_aes as aes;
+pub use mmaes_circuits as circuits;
+pub use mmaes_core as core;
+pub use mmaes_exact as exact;
+pub use mmaes_gf256 as gf256;
+pub use mmaes_leakage as leakage;
+pub use mmaes_masking as masking;
+pub use mmaes_netlist as netlist;
+pub use mmaes_sim as sim;
