@@ -1,22 +1,7 @@
-//! Runs every experiment E1–E11 and prints the summary table that
-//! EXPERIMENTS.md records.
+//! Runs every experiment E1–E12 and prints the summary table that
+//! EXPERIMENTS.md records, plus one aggregate JSON summary line.
 fn main() {
-    let budget = mmaes_bench::budget_from_args();
-    let outcomes = mmaes_core::run_all(&budget);
-    println!("{}", mmaes_core::outcome_table(&outcomes));
-    for outcome in &outcomes {
-        println!("{outcome}\n");
-    }
-    let mismatches = outcomes
-        .iter()
-        .filter(|outcome| !outcome.matches_paper)
-        .count();
-    if mismatches > 0 {
-        eprintln!("{mismatches} experiment(s) did not reproduce");
-        std::process::exit(1);
-    }
-    println!(
-        "all {} experiments reproduced the paper's findings",
-        outcomes.len()
-    );
+    let run = mmaes_bench::RunOptions::from_args();
+    let outcomes = mmaes_core::run_all(&run.budget, &run.observer);
+    run.finish_suite(&outcomes);
 }

@@ -8,7 +8,8 @@ use mmaes_leakage::{EvaluationConfig, FixedVsRandom, ProbeModel};
 use mmaes_masking::KroneckerRandomness;
 
 fn main() {
-    let budget = mmaes_bench::budget_from_args();
+    let run = mmaes_bench::RunOptions::from_args();
+    let budget = &run.budget;
     println!(
         "{:<10} {:<26} {:<26}",
         "spacing", "glitch-extended", "glitch+transition"
@@ -24,9 +25,11 @@ fn main() {
                 fixed_secret: 0,
                 warmup_cycles: 8,
                 seed: budget.seed,
+                checkpoints: budget.checkpoints,
                 ..EvaluationConfig::default()
             };
             let report = FixedVsRandom::new(&circuit.netlist, config)
+                .with_observer(run.observer.clone())
                 .schedule_control(circuit.lfsr.load, vec![true, false])
                 .run();
             let worst = report.worst().map(|r| r.minus_log10_p).unwrap_or(0.0);

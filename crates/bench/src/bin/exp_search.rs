@@ -35,7 +35,8 @@ fn schedule_with_tail(r5: u16, r6: u16, r7: u16) -> KroneckerRandomness {
 }
 
 fn main() {
-    let budget = mmaes_bench::budget_from_args();
+    let run = mmaes_bench::RunOptions::from_args();
+    let budget = &run.budget;
 
     println!(
         "=== sweep 1: 4-bit pool, fresh first layer, r5/r6/r7 ∈ {{f0..f3}} (64 candidates) ===\n"
@@ -55,6 +56,7 @@ fn main() {
                         ..ExactConfig::default()
                     },
                 )
+                .with_observer(run.observer.clone())
                 .verify_all();
                 if proof.proven_secure() {
                     glitch_secure.push((r5, r6, r7));
@@ -85,9 +87,11 @@ fn main() {
                 fixed_secret: 0,
                 warmup_cycles: 6,
                 seed: budget.seed,
+                checkpoints: budget.checkpoints,
                 ..EvaluationConfig::default()
             },
         )
+        .with_observer(run.observer.clone())
         .run();
         if report.passed() {
             transition_survivors += 1;
@@ -117,9 +121,11 @@ fn main() {
                 fixed_secret: 0,
                 warmup_cycles: 6,
                 seed: budget.seed,
+                checkpoints: budget.checkpoints,
                 ..EvaluationConfig::default()
             },
         )
+        .with_observer(run.observer.clone())
         .run();
         let expected = r7 < 4; // the paper's family: r7 = r1..r4
         println!(

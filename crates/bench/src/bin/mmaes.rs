@@ -14,8 +14,16 @@
 //! names printed by `mmaes schedules` (default: `proposed-eq9`).
 //!
 //! Evaluate options: `--model glitch|transition`, `--order 1|2`,
-//! `--traces N`, `--fixed V`, `--seed N`, `--scope PREFIX`, `--csv FILE`.
-//! Verify options: `--scope PREFIX`, `--max-bits N`, `--transition`.
+//! `--traces N`, `--fixed V`, `--seed N`, `--scope PREFIX`, `--csv FILE`,
+//! `--checkpoints N`, `--early-stop`, `--metrics FILE`, `--progress`,
+//! `--quiet`.
+//! Verify options: `--scope PREFIX`, `--max-bits N`, `--transition`,
+//! `--metrics FILE`, `--progress`, `--quiet`.
+//!
+//! `evaluate` and `verify` always end with one machine-readable JSON
+//! summary line on stdout; `--metrics` additionally records the full
+//! event stream (campaign checkpoints with per-probe-set `-log10(p)`
+//! trajectories, threshold crossings, the final verdict) as JSON lines.
 
 use std::process::exit;
 
@@ -27,6 +35,7 @@ use mmaes_exact::{ExactConfig, ExactVerifier};
 use mmaes_leakage::{EvaluationConfig, FixedVsRandom, ProbeModel};
 use mmaes_masking::KroneckerRandomness;
 use mmaes_netlist::{Netlist, NetlistStats, WireId};
+use mmaes_telemetry::{Event, RunSummary, Stopwatch};
 
 fn main() {
     let arguments: Vec<String> = std::env::args().skip(1).collect();
@@ -60,7 +69,10 @@ fn usage() {
          mmaes verilog  <design> [file]\n\
          mmaes evaluate <design> [--model glitch|transition] [--order N] [--traces N]\n\
          \u{20}                  [--fixed V] [--seed N] [--scope PREFIX] [--csv FILE]\n\
+         \u{20}                  [--checkpoints N] [--early-stop]\n\
+         \u{20}                  [--metrics FILE] [--progress] [--quiet]\n\
          mmaes verify   <design> [--scope PREFIX] [--max-bits N] [--transition]\n\
+         \u{20}                  [--metrics FILE] [--progress] [--quiet]\n\
          \n\
          designs: kronecker[:SCHEDULE] | sbox[:SCHEDULE] | sbox-no-kronecker |\n\
          \u{20}        aes[:SCHEDULE] | unprotected-sbox"
@@ -86,15 +98,27 @@ struct Design {
     netlist: Netlist,
     nonzero_buses: Vec<Vec<WireId>>,
     load: Option<WireId>,
+    schedule: String,
+}
+
+/// Schedule names compare with separators stripped, so the common
+/// misspellings still resolve (`demeyer-eq6` ≡ `de-meyer-eq6`,
+/// `full_7` ≡ `full-7`).
+fn normalize_schedule_name(name: &str) -> String {
+    name.chars()
+        .filter(|character| *character != '-' && *character != '_')
+        .collect::<String>()
+        .to_lowercase()
 }
 
 fn schedule_by_name(name: &str) -> KroneckerRandomness {
     let mut catalog = KroneckerRandomness::first_order_catalog();
     catalog.push(KroneckerRandomness::full_order2());
     catalog.push(KroneckerRandomness::de_meyer_13_reconstruction());
+    let wanted = normalize_schedule_name(name);
     catalog
         .into_iter()
-        .find(|schedule| schedule.name() == name)
+        .find(|schedule| normalize_schedule_name(schedule.name()) == wanted)
         .unwrap_or_else(|| {
             eprintln!("unknown schedule `{name}` (try `mmaes schedules`)");
             exit(2);
@@ -108,17 +132,20 @@ fn build_design(spec: &str) -> Design {
     };
     match kind {
         "kronecker" => {
-            let circuit = build_kronecker(&schedule_by_name(schedule_name))
-                .expect("generator emits valid netlists");
+            let schedule = schedule_by_name(schedule_name);
+            let circuit = build_kronecker(&schedule).expect("generator emits valid netlists");
             Design {
                 netlist: circuit.netlist,
                 nonzero_buses: Vec::new(),
                 load: None,
+                schedule: schedule.name().to_owned(),
             }
         }
         "sbox" => {
+            let schedule = schedule_by_name(schedule_name);
+            let name = schedule.name().to_owned();
             let circuit = build_masked_sbox(SboxOptions {
-                schedule: schedule_by_name(schedule_name),
+                schedule,
                 ..SboxOptions::default()
             })
             .expect("generator emits valid netlists");
@@ -126,27 +153,32 @@ fn build_design(spec: &str) -> Design {
                 nonzero_buses: vec![circuit.r_bus.clone()],
                 netlist: circuit.netlist,
                 load: None,
+                schedule: name,
             }
         }
         "sbox-no-kronecker" => {
-            let circuit = build_masked_sbox(SboxOptions {
+            let options = SboxOptions {
                 include_kronecker: false,
                 ..SboxOptions::default()
-            })
-            .expect("generator emits valid netlists");
+            };
+            let name = options.schedule.name().to_owned();
+            let circuit = build_masked_sbox(options).expect("generator emits valid netlists");
             Design {
                 nonzero_buses: vec![circuit.r_bus.clone()],
                 netlist: circuit.netlist,
                 load: None,
+                schedule: name,
             }
         }
         "aes" => {
-            let circuit = build_masked_aes(&schedule_by_name(schedule_name), InverterKind::Tower)
+            let schedule = schedule_by_name(schedule_name);
+            let circuit = build_masked_aes(&schedule, InverterKind::Tower)
                 .expect("generator emits valid netlists");
             Design {
                 nonzero_buses: circuit.r_buses.clone(),
                 load: Some(circuit.load),
                 netlist: circuit.netlist,
+                schedule: schedule.name().to_owned(),
             }
         }
         "unprotected-sbox" => {
@@ -155,6 +187,7 @@ fn build_design(spec: &str) -> Design {
                 netlist,
                 nonzero_buses: Vec::new(),
                 load: None,
+                schedule: String::new(),
             }
         }
         other => {
@@ -219,8 +252,17 @@ fn evaluate(arguments: &[String]) {
         exit(2);
     };
     let design = build_design(spec);
-    let mut config = EvaluationConfig::default();
+    // The CLI defaults to 8 interim checkpoints so `--metrics` and
+    // `--csv` capture trajectories out of the box; `--checkpoints 0`
+    // restores the bare fast path.
+    let mut config = EvaluationConfig {
+        checkpoints: 8,
+        ..EvaluationConfig::default()
+    };
     let mut csv_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut progress = false;
+    let mut quiet = false;
     let mut rest = arguments[1..].iter();
     while let Some(flag) = rest.next() {
         let mut value = || {
@@ -246,6 +288,11 @@ fn evaluate(arguments: &[String]) {
             "--seed" => config.seed = value().parse().expect("numeric seed"),
             "--scope" => config.probe_scope_filter = Some(value()),
             "--csv" => csv_path = Some(value()),
+            "--checkpoints" => config.checkpoints = value().parse().expect("numeric checkpoints"),
+            "--early-stop" => config.early_stop = true,
+            "--metrics" => metrics_path = Some(value()),
+            "--progress" => progress = true,
+            "--quiet" => quiet = true,
             other => {
                 eprintln!("unknown flag `{other}`");
                 exit(2);
@@ -256,7 +303,11 @@ fn evaluate(arguments: &[String]) {
     if design.load.is_some() {
         config.warmup_cycles = 14;
     }
-    let mut campaign = FixedVsRandom::new(&design.netlist, config);
+    let model = model_name(config.model);
+    let order = config.order;
+    let observer = mmaes_bench::observer_from(metrics_path.as_deref(), progress && !quiet);
+    let stopwatch = Stopwatch::start();
+    let mut campaign = FixedVsRandom::new(&design.netlist, config).with_observer(observer.clone());
     for bus in &design.nonzero_buses {
         campaign = campaign.require_nonzero_bus(bus.clone());
     }
@@ -264,15 +315,45 @@ fn evaluate(arguments: &[String]) {
         campaign = campaign.schedule_control(load, vec![true, false]);
     }
     let report = campaign.run();
-    println!("{report}");
+    if !quiet {
+        println!("{report}");
+    }
     if let Some(path) = csv_path {
         std::fs::write(&path, report.to_csv()).unwrap_or_else(|error| {
             eprintln!("cannot write {path}: {error}");
             exit(1);
         });
-        println!("per-probe results written to {path}");
+        if !quiet {
+            println!("per-probe results written to {path}");
+        }
     }
+    let summary = RunSummary {
+        tool: "mmaes evaluate".to_owned(),
+        id: spec.clone(),
+        design: design.netlist.name().to_owned(),
+        schedule: design.schedule.clone(),
+        model: model.to_owned(),
+        order,
+        traces: report.traces,
+        max_minus_log10_p: report
+            .worst()
+            .map(|result| result.minus_log10_p)
+            .unwrap_or(0.0),
+        passed: report.passed(),
+        wall_ms: stopwatch.elapsed_ms(),
+        extra: Vec::new(),
+    };
+    observer.emit(&Event::RunSummary(summary.clone()));
+    observer.flush();
+    println!("{}", summary.to_json_line());
     exit(if report.passed() { 0 } else { 1 });
+}
+
+fn model_name(model: ProbeModel) -> &'static str {
+    match model {
+        ProbeModel::Glitch => "glitch",
+        ProbeModel::GlitchTransition => "glitch+transition",
+    }
 }
 
 fn verify(arguments: &[String]) {
@@ -286,6 +367,9 @@ fn verify(arguments: &[String]) {
         probe_scope_filter: Some("kronecker/G7".to_owned()),
         ..ExactConfig::default()
     };
+    let mut metrics_path: Option<String> = None;
+    let mut progress = false;
+    let mut quiet = false;
     let mut rest = arguments[1..].iter();
     while let Some(flag) = rest.next() {
         let mut value = || {
@@ -301,13 +385,41 @@ fn verify(arguments: &[String]) {
             }
             "--max-bits" => config.max_support_bits = value().parse().expect("numeric"),
             "--transition" => config.model = ProbeModel::GlitchTransition,
+            "--metrics" => metrics_path = Some(value()),
+            "--progress" => progress = true,
+            "--quiet" => quiet = true,
             other => {
                 eprintln!("unknown flag `{other}`");
                 exit(2);
             }
         }
     }
-    let report = ExactVerifier::with_config(&design.netlist, config).verify_all();
-    println!("{report}");
+    let model = model_name(config.model);
+    let observer = mmaes_bench::observer_from(metrics_path.as_deref(), progress && !quiet);
+    let stopwatch = Stopwatch::start();
+    let report = ExactVerifier::with_config(&design.netlist, config)
+        .with_observer(observer.clone())
+        .verify_all();
+    if !quiet {
+        println!("{report}");
+    }
+    let summary = RunSummary {
+        tool: "mmaes verify".to_owned(),
+        id: spec.clone(),
+        design: design.netlist.name().to_owned(),
+        schedule: design.schedule.clone(),
+        model: model.to_owned(),
+        passed: !report.leak_found(),
+        wall_ms: stopwatch.elapsed_ms(),
+        extra: vec![
+            ("secure".to_owned(), report.secure_count().to_string()),
+            ("leaky".to_owned(), report.leaks().len().to_string()),
+            ("too_wide".to_owned(), report.too_wide().len().to_string()),
+        ],
+        ..RunSummary::default()
+    };
+    observer.emit(&Event::RunSummary(summary.clone()));
+    observer.flush();
+    println!("{}", summary.to_json_line());
     exit(if report.leak_found() { 1 } else { 0 });
 }

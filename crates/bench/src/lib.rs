@@ -8,66 +8,214 @@
 //! --traces2 N       second-order trace budget       (default 100000)
 //! --dpa-traces N    DPA traces per population       (default 20000)
 //! --seed N          RNG seed                        (default 0x9c01ead)
+//! --checkpoints N   interim campaign checkpoints    (default 8)
 //! --paper-scale     use the paper's simulation counts (slow!)
 //! --exact-full      exhaustively verify the whole design, not just G7
+//! --metrics FILE    append JSON-lines telemetry events to FILE
+//! --progress        live human-readable progress on stderr
+//! --quiet           suppress the prose report (the JSON summary stays)
 //! ```
+//!
+//! Regardless of flags, every binary ends by printing exactly one
+//! machine-readable JSON summary line on stdout (`"type":"summary"`)
+//! recording the experiment id, schedule, traces, max `-log10(p)`,
+//! pass/fail verdict, and wall time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use mmaes_core::{ExperimentBudget, ExperimentOutcome};
+use mmaes_telemetry::{Event, HumanProgressSink, JsonlSink, Observer, RunSummary, Sink, Stopwatch};
 
-/// Parses the common CLI flags into a budget.
+/// Parsed command line shared by the `exp_*` binaries: the workload
+/// budget, the telemetry observer built from `--metrics`/`--progress`,
+/// and a wall-clock stopwatch started at parse time.
+#[derive(Debug)]
+pub struct RunOptions {
+    /// Workload scaling for the experiment.
+    pub budget: ExperimentBudget,
+    /// Telemetry observer (null unless `--metrics`/`--progress` given).
+    pub observer: Observer,
+    quiet: bool,
+    stopwatch: Stopwatch,
+}
+
+impl RunOptions {
+    /// Parses `std::env::args()` into options.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut budget = ExperimentBudget::default();
+        let mut metrics_path: Option<String> = None;
+        let mut progress = false;
+        let mut quiet = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut numeric = |target: &mut u64| {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+                    .parse()
+                    .unwrap_or_else(|error| panic!("flag {flag}: {error}"));
+                *target = value;
+            };
+            match flag.as_str() {
+                "--traces" => {
+                    numeric(&mut budget.first_order_traces);
+                    budget.transition_traces = budget.first_order_traces;
+                }
+                "--traces2" => numeric(&mut budget.second_order_traces),
+                "--dpa-traces" => {
+                    let mut value = 0u64;
+                    numeric(&mut value);
+                    budget.dpa_traces = value as usize;
+                }
+                "--seed" => numeric(&mut budget.seed),
+                "--checkpoints" => numeric(&mut budget.checkpoints),
+                "--paper-scale" => budget = ExperimentBudget::paper_scale(),
+                "--exact-full" => budget.exact_scope = None,
+                "--metrics" => {
+                    metrics_path = Some(
+                        args.next()
+                            .unwrap_or_else(|| panic!("flag --metrics needs a file path")),
+                    );
+                }
+                "--progress" => progress = true,
+                "--quiet" => quiet = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --traces N  --traces2 N  --dpa-traces N  --seed N  \
+                         --checkpoints N  --paper-scale  --exact-full  \
+                         --metrics FILE  --progress  --quiet"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag `{other}` (try --help)"),
+            }
+        }
+        let observer = observer_from(metrics_path.as_deref(), progress && !quiet);
+        RunOptions {
+            budget,
+            observer,
+            quiet,
+            stopwatch: Stopwatch::start(),
+        }
+    }
+
+    /// Finishes a single-experiment binary: emits the summary to the
+    /// observer, prints the prose report (unless `--quiet`) followed by
+    /// the one-line JSON summary, and exits non-zero on a mismatch so
+    /// the harness can gate on it.
+    pub fn finish(self, outcome: &ExperimentOutcome) -> ! {
+        let summary = self.summarize(outcome);
+        self.observer.emit(&Event::RunSummary(summary.clone()));
+        self.observer.flush();
+        if !self.quiet {
+            println!("{outcome}");
+            println!();
+            println!("--- full evaluator output ---");
+            println!("{}", outcome.details);
+        }
+        println!("{}", summary.to_json_line());
+        if outcome.matches_paper {
+            std::process::exit(0);
+        }
+        eprintln!("MISMATCH with the paper's claim — see the report above");
+        std::process::exit(1);
+    }
+
+    /// Finishes a whole-suite binary (`exp_all`): prints the summary
+    /// table, per-experiment reports (unless `--quiet`), then one JSON
+    /// summary line aggregating every outcome.
+    pub fn finish_suite(self, outcomes: &[ExperimentOutcome]) -> ! {
+        let wall_ms = self.stopwatch.elapsed_ms();
+        let mismatches = outcomes
+            .iter()
+            .filter(|outcome| !outcome.matches_paper)
+            .count();
+        let summary = RunSummary {
+            tool: "exp_all".to_owned(),
+            id: "ALL".to_owned(),
+            schedule: "suite".to_owned(),
+            traces: outcomes.iter().map(|outcome| outcome.traces).sum(),
+            max_minus_log10_p: outcomes
+                .iter()
+                .map(|outcome| outcome.max_minus_log10_p)
+                .fold(0.0, f64::max),
+            passed: mismatches == 0,
+            wall_ms,
+            extra: vec![
+                ("experiments".to_owned(), outcomes.len().to_string()),
+                ("mismatches".to_owned(), mismatches.to_string()),
+            ],
+            ..RunSummary::default()
+        };
+        self.observer.emit(&Event::RunSummary(summary.clone()));
+        self.observer.flush();
+        if !self.quiet {
+            println!("{}", mmaes_core::outcome_table(outcomes));
+            for outcome in outcomes {
+                println!("{outcome}\n");
+            }
+        }
+        println!("{}", summary.to_json_line());
+        if mismatches > 0 {
+            eprintln!("{mismatches} experiment(s) did not reproduce");
+            std::process::exit(1);
+        }
+        if !self.quiet {
+            println!(
+                "all {} experiments reproduced the paper's findings",
+                outcomes.len()
+            );
+        }
+        std::process::exit(0);
+    }
+
+    fn summarize(&self, outcome: &ExperimentOutcome) -> RunSummary {
+        RunSummary {
+            tool: "exp".to_owned(),
+            id: outcome.id.to_owned(),
+            schedule: outcome.schedule.clone(),
+            traces: outcome.traces,
+            max_minus_log10_p: outcome.max_minus_log10_p,
+            passed: outcome.matches_paper,
+            wall_ms: self.stopwatch.elapsed_ms(),
+            extra: vec![("title".to_owned(), outcome.title.to_owned())],
+            ..RunSummary::default()
+        }
+    }
+}
+
+/// Builds an observer from the shared telemetry flags: a JSON-lines
+/// sink when `metrics_path` is given, a throttled human progress sink
+/// when `progress` is set, the zero-cost null observer otherwise.
+pub fn observer_from(metrics_path: Option<&str>, progress: bool) -> Observer {
+    let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+    if let Some(path) = metrics_path {
+        match JsonlSink::create(path) {
+            Ok(sink) => sinks.push(Box::new(sink)),
+            Err(error) => {
+                eprintln!("cannot open metrics file {path}: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if progress {
+        sinks.push(Box::new(HumanProgressSink::new()));
+    }
+    Observer::from_sinks(sinks)
+}
+
+/// Parses the common CLI flags into a budget (legacy helper; the
+/// experiment binaries use [`RunOptions::from_args`], which also
+/// understands the telemetry flags).
 ///
 /// # Panics
 ///
 /// Panics (with a usage message) on malformed arguments.
 pub fn budget_from_args() -> ExperimentBudget {
-    let mut budget = ExperimentBudget::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        let mut numeric = |target: &mut u64| {
-            let value = args
-                .next()
-                .unwrap_or_else(|| panic!("flag {flag} needs a value"))
-                .parse()
-                .unwrap_or_else(|error| panic!("flag {flag}: {error}"));
-            *target = value;
-        };
-        match flag.as_str() {
-            "--traces" => {
-                numeric(&mut budget.first_order_traces);
-                budget.transition_traces = budget.first_order_traces;
-            }
-            "--traces2" => numeric(&mut budget.second_order_traces),
-            "--dpa-traces" => {
-                let mut value = 0u64;
-                numeric(&mut value);
-                budget.dpa_traces = value as usize;
-            }
-            "--seed" => numeric(&mut budget.seed),
-            "--paper-scale" => budget = ExperimentBudget::paper_scale(),
-            "--exact-full" => budget.exact_scope = None,
-            "--help" | "-h" => {
-                eprintln!("flags: --traces N  --traces2 N  --dpa-traces N  --seed N  --paper-scale  --exact-full");
-                std::process::exit(0);
-            }
-            other => panic!("unknown flag `{other}` (try --help)"),
-        }
-    }
-    budget
-}
-
-/// Prints an outcome in the standard format used by EXPERIMENTS.md and
-/// exits non-zero on a mismatch so the harness can gate on it.
-pub fn finish(outcome: &ExperimentOutcome) -> ! {
-    println!("{outcome}");
-    println!();
-    println!("--- full evaluator output ---");
-    println!("{}", outcome.details);
-    if outcome.matches_paper {
-        std::process::exit(0);
-    }
-    eprintln!("MISMATCH with the paper's claim — see the report above");
-    std::process::exit(1);
+    RunOptions::from_args().budget
 }

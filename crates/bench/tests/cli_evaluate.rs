@@ -1,0 +1,106 @@
+//! End-to-end checks of the `mmaes` CLI: the CSV export carries the
+//! checkpoint trajectories, `--metrics` records the event stream, and
+//! stdout ends with the machine-readable summary line.
+
+use std::process::Command;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mmaes-cli-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn evaluate_writes_trajectory_csv_metrics_jsonl_and_summary_line() {
+    let csv_path = temp_path("report.csv");
+    let jsonl_path = temp_path("run.jsonl");
+    let output = Command::new(env!("CARGO_BIN_EXE_mmaes"))
+        .args([
+            "evaluate",
+            "kronecker:demeyer-eq6", // normalized to de-meyer-eq6
+            "--traces",
+            "20000",
+            "--quiet",
+            "--csv",
+            csv_path.to_str().unwrap(),
+            "--metrics",
+            jsonl_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("mmaes runs");
+    // Eq. 6 leaks, so the exit status signals failure by design.
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+
+    // stdout: `--quiet` leaves exactly the one-line JSON summary.
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    let summary = stdout.trim();
+    assert_eq!(summary.lines().count(), 1, "{stdout}");
+    assert!(summary.starts_with("{\"type\":\"summary\""), "{summary}");
+    assert!(
+        summary.contains("\"schedule\":\"de-meyer-eq6\""),
+        "{summary}"
+    );
+    assert!(summary.contains("\"passed\":false"), "{summary}");
+    assert!(summary.contains("\"wall_ms\":"), "{summary}");
+
+    // CSV: long format with interim checkpoint rows per probing set plus
+    // one final row, all with the same column count.
+    let csv = std::fs::read_to_string(&csv_path).expect("csv written");
+    let _ = std::fs::remove_file(&csv_path);
+    let mut lines = csv.lines();
+    let header = lines.next().expect("header");
+    assert!(header.contains("kind"), "{header}");
+    assert!(header.contains("minus_log10_p"), "{header}");
+    let columns = header.split(',').count();
+    let mut checkpoint_rows = 0usize;
+    let mut final_rows = 0usize;
+    for line in lines {
+        assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+        if line.contains(",checkpoint,") {
+            checkpoint_rows += 1;
+        } else if line.contains(",final,") {
+            final_rows += 1;
+        }
+    }
+    assert!(checkpoint_rows >= 2, "no trajectory rows:\n{csv}");
+    assert!(final_rows >= 1, "no final rows:\n{csv}");
+
+    // JSONL: campaign lifecycle with at least two interim checkpoints,
+    // flagged probes, and the trailing summary event.
+    let jsonl = std::fs::read_to_string(&jsonl_path).expect("metrics written");
+    let _ = std::fs::remove_file(&jsonl_path);
+    let count = |tag: &str| {
+        jsonl
+            .lines()
+            .filter(|line| line.contains(&format!("\"type\":\"{tag}\"")))
+            .count()
+    };
+    assert_eq!(count("campaign_started"), 1, "{jsonl}");
+    assert!(count("checkpoint") >= 2, "{jsonl}");
+    assert!(count("probe_flagged") >= 1, "{jsonl}");
+    assert_eq!(count("campaign_finished"), 1, "{jsonl}");
+    assert_eq!(count("summary"), 1, "{jsonl}");
+    assert!(
+        jsonl
+            .lines()
+            .all(|line| line.starts_with('{') && line.ends_with('}')),
+        "non-JSON line in metrics file"
+    );
+}
+
+#[test]
+fn evaluate_passes_a_secure_schedule_and_reports_success() {
+    let output = Command::new(env!("CARGO_BIN_EXE_mmaes"))
+        .args([
+            "evaluate",
+            "kronecker:full-7",
+            "--traces",
+            "10000",
+            "--quiet",
+            "--checkpoints",
+            "0",
+        ])
+        .output()
+        .expect("mmaes runs");
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.trim().contains("\"passed\":true"), "{stdout}");
+}

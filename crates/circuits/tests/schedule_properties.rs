@@ -15,12 +15,18 @@ use rand::{Rng, SeedableRng};
 /// A random well-formed first-order schedule over a pool of 2..8 bits,
 /// where each slot XORs 1..3 distinct taps with delays 0..2.
 fn schedule_strategy() -> impl Strategy<Value = KroneckerRandomness> {
-    (2usize..=8, proptest::collection::vec((any::<u16>(), 0u8..3, any::<u16>()), 7)).prop_map(
-        |(pool, raw_slots)| {
+    (
+        2usize..=8,
+        proptest::collection::vec((any::<u16>(), 0u8..3, any::<u16>()), 7),
+    )
+        .prop_map(|(pool, raw_slots)| {
             let slots: Vec<MaskSlot> = raw_slots
                 .into_iter()
                 .map(|(port_a, delay, port_b)| {
-                    let first = MaskTap { port: port_a % pool as u16, delay };
+                    let first = MaskTap {
+                        port: port_a % pool as u16,
+                        delay,
+                    };
                     let second = MaskTap {
                         port: port_b % pool as u16,
                         delay: (delay + 1) % 3,
@@ -34,8 +40,7 @@ fn schedule_strategy() -> impl Strategy<Value = KroneckerRandomness> {
                 .collect();
             KroneckerRandomness::custom(1, slots, pool, "proptest-schedule")
                 .expect("constructed to be well-formed")
-        },
-    )
+        })
 }
 
 proptest! {
@@ -93,8 +98,7 @@ fn exhaustive_zero_detection_under_a_degenerate_schedule() {
     // Worst-case reuse: every slot is the same single bit. Horribly
     // insecure, but the *function* must still be exact for all inputs.
     let slots: Vec<MaskSlot> = (0..7).map(|_| MaskSlot::fresh(0)).collect();
-    let schedule =
-        KroneckerRandomness::custom(1, slots, 1, "all-same-bit").expect("well-formed");
+    let schedule = KroneckerRandomness::custom(1, slots, 1, "all-same-bit").expect("well-formed");
     let circuit = build_kronecker(&schedule).expect("valid netlist");
     let mut sim = Simulator::new(&circuit.netlist);
     let mut rng = StdRng::seed_from_u64(9);

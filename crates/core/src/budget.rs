@@ -28,6 +28,11 @@ pub struct ExperimentBudget {
     pub cipher_traces: u64,
     /// RNG seed shared by all statistical campaigns.
     pub seed: u64,
+    /// Interim checkpoints per statistical campaign (0 = none; see
+    /// [`mmaes_leakage::EvaluationConfig::checkpoints`] via the leakage
+    /// crate). Checkpoints feed `-log10(p)` trajectories to telemetry
+    /// observers and the CSV export.
+    pub checkpoints: u64,
 }
 
 impl Default for ExperimentBudget {
@@ -41,6 +46,7 @@ impl Default for ExperimentBudget {
             exact_scope: Some("kronecker/G7".to_owned()),
             cipher_traces: 30_000,
             seed: 0x9c0_1ead,
+            checkpoints: 8,
         }
     }
 }
@@ -57,6 +63,7 @@ impl ExperimentBudget {
             exact_scope: Some("kronecker/G7".to_owned()),
             cipher_traces: 10_000,
             seed: 0x9c0_1ead,
+            checkpoints: 4,
         }
     }
 
@@ -71,6 +78,7 @@ impl ExperimentBudget {
             exact_scope: None,
             cipher_traces: 4_000_000,
             seed: 0x9c0_1ead,
+            checkpoints: 20,
         }
     }
 }

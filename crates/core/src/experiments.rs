@@ -12,11 +12,20 @@ use mmaes_leakage::{EvaluationConfig, FixedVsRandom, LeakageReport, ProbeModel, 
 use mmaes_masking::KroneckerRandomness;
 use mmaes_netlist::NetlistStats;
 use mmaes_sim::Simulator;
+use mmaes_telemetry::Observer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::budget::ExperimentBudget;
 use crate::outcome::ExperimentOutcome;
+
+/// The worst (highest) `-log10(p)` across several campaign reports.
+fn max_minus_log10_p(reports: &[&LeakageReport]) -> f64 {
+    reports
+        .iter()
+        .filter_map(|report| report.worst().map(|result| result.minus_log10_p))
+        .fold(0.0, f64::max)
+}
 
 fn kronecker_eval(
     schedule: &KroneckerRandomness,
@@ -24,7 +33,8 @@ fn kronecker_eval(
     traces: u64,
     order: usize,
     max_sets: usize,
-    seed: u64,
+    budget: &ExperimentBudget,
+    observer: &Observer,
 ) -> LeakageReport {
     let circuit = build_kronecker(schedule).expect("generator emits valid netlists");
     let config = EvaluationConfig {
@@ -34,10 +44,13 @@ fn kronecker_eval(
         fixed_secret: 0,
         warmup_cycles: 6,
         max_probe_sets: max_sets,
-        seed,
+        seed: budget.seed,
+        checkpoints: budget.checkpoints,
         ..EvaluationConfig::default()
     };
-    FixedVsRandom::new(&circuit.netlist, config).run()
+    FixedVsRandom::new(&circuit.netlist, config)
+        .with_observer(observer.clone())
+        .run()
 }
 
 fn sbox_eval(
@@ -45,7 +58,8 @@ fn sbox_eval(
     fixed_secret: u64,
     secret_domain: SecretDomain,
     traces: u64,
-    seed: u64,
+    budget: &ExperimentBudget,
+    observer: &Observer,
 ) -> LeakageReport {
     let circuit = build_masked_sbox(options).expect("generator emits valid netlists");
     let config = EvaluationConfig {
@@ -54,18 +68,20 @@ fn sbox_eval(
         fixed_secret,
         secret_domain,
         warmup_cycles: 8,
-        seed,
+        seed: budget.seed,
+        checkpoints: budget.checkpoints,
         ..EvaluationConfig::default()
     };
     FixedVsRandom::new(&circuit.netlist, config)
         .require_nonzero_bus(circuit.r_bus.clone())
+        .with_observer(observer.clone())
         .run()
 }
 
 /// E1 (§III ¶2): the S-box **without** the Kronecker stage, non-zero
 /// fixed input, random inputs drawn from GF(2⁸)* — passes, confirming
 /// conversions + inversion + affine are sound away from zero.
-pub fn run_e1(budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e1(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
     let report = sbox_eval(
         SboxOptions {
             include_kronecker: false,
@@ -74,7 +90,8 @@ pub fn run_e1(budget: &ExperimentBudget) -> ExperimentOutcome {
         0x53,
         SecretDomain::NonZero,
         budget.first_order_traces,
-        budget.seed,
+        budget,
+        observer,
     );
     let matches = report.passed();
     ExperimentOutcome {
@@ -84,6 +101,9 @@ pub fn run_e1(budget: &ExperimentBudget) -> ExperimentOutcome {
         paper_claim: "passes PROLEAD under the glitch-extended model",
         observed: report.verdict(),
         matches_paper: matches,
+        schedule: "none (Kronecker stage omitted)".to_owned(),
+        traces: report.traces,
+        max_minus_log10_p: max_minus_log10_p(&[&report]),
         details: report.to_string(),
     }
 }
@@ -91,7 +111,7 @@ pub fn run_e1(budget: &ExperimentBudget) -> ExperimentOutcome {
 /// E2 (§III ¶2–3, Fig. 3): the full S-box with the Eq. 6 optimization
 /// and fixed input 0 — **fails**; the leaking probes sit in the
 /// Kronecker tree (the G7 `v` nodes fed by the G5/G6 registers).
-pub fn run_e2(budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e2(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
     let report = sbox_eval(
         SboxOptions {
             schedule: KroneckerRandomness::de_meyer_eq6(),
@@ -100,7 +120,8 @@ pub fn run_e2(budget: &ExperimentBudget) -> ExperimentOutcome {
         0,
         SecretDomain::Uniform,
         budget.first_order_traces,
-        budget.seed,
+        budget,
+        observer,
     );
     let leak_in_kronecker = report
         .leaking()
@@ -118,13 +139,16 @@ pub fn run_e2(budget: &ExperimentBudget) -> ExperimentOutcome {
             leak_in_kronecker
         ),
         matches_paper: matches,
+        schedule: KroneckerRandomness::de_meyer_eq6().name().to_owned(),
+        traces: report.traces,
+        max_minus_log10_p: max_minus_log10_p(&[&report]),
         details: report.to_string(),
     }
 }
 
 /// E3 (§III ¶4): with 7 independent fresh mask bits the full design
 /// passes all evaluations.
-pub fn run_e3(budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e3(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
     let sbox_report = sbox_eval(
         SboxOptions {
             schedule: KroneckerRandomness::full(),
@@ -133,7 +157,8 @@ pub fn run_e3(budget: &ExperimentBudget) -> ExperimentOutcome {
         0,
         SecretDomain::Uniform,
         budget.first_order_traces,
-        budget.seed,
+        budget,
+        observer,
     );
     let kronecker_report = kronecker_eval(
         &KroneckerRandomness::full(),
@@ -141,7 +166,8 @@ pub fn run_e3(budget: &ExperimentBudget) -> ExperimentOutcome {
         budget.first_order_traces,
         1,
         usize::MAX,
-        budget.seed,
+        budget,
+        observer,
     );
     let matches = sbox_report.passed() && kronecker_report.passed();
     ExperimentOutcome {
@@ -155,6 +181,9 @@ pub fn run_e3(budget: &ExperimentBudget) -> ExperimentOutcome {
             kronecker_report.verdict()
         ),
         matches_paper: matches,
+        schedule: KroneckerRandomness::full().name().to_owned(),
+        traces: sbox_report.traces + kronecker_report.traces,
+        max_minus_log10_p: max_minus_log10_p(&[&sbox_report, &kronecker_report]),
         details: format!("{sbox_report}\n{kronecker_report}"),
     }
 }
@@ -162,6 +191,7 @@ pub fn run_e3(budget: &ExperimentBudget) -> ExperimentOutcome {
 fn exact_verify(
     schedule: &KroneckerRandomness,
     scope: Option<&str>,
+    observer: &Observer,
 ) -> (KroneckerCircuit, mmaes_exact::ExactReport) {
     let circuit = build_kronecker(schedule).expect("valid netlist");
     let verifier = ExactVerifier::with_config(
@@ -172,7 +202,8 @@ fn exact_verify(
             probe_scope_filter: scope.map(str::to_owned),
             ..ExactConfig::default()
         },
-    );
+    )
+    .with_observer(observer.clone());
     let report = verifier.verify_all();
     (circuit, report)
 }
@@ -182,10 +213,11 @@ fn exact_verify(
 /// depend on unmasked values. Proven by exhaustive enumeration, with a
 /// distribution-gap counterexample (this is the SILVER role predicted in
 /// the paper's conclusion).
-pub fn run_e4(budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e4(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
     let scope = budget.exact_scope.as_deref();
-    let (_, single_reuse) = exact_verify(&KroneckerRandomness::single_reuse_r1_r3(), scope);
-    let (_, eq6) = exact_verify(&KroneckerRandomness::de_meyer_eq6(), scope);
+    let (_, single_reuse) =
+        exact_verify(&KroneckerRandomness::single_reuse_r1_r3(), scope, observer);
+    let (_, eq6) = exact_verify(&KroneckerRandomness::de_meyer_eq6(), scope, observer);
     let matches = single_reuse.leak_found() && eq6.leak_found();
     let witness = single_reuse
         .leaks()
@@ -203,6 +235,13 @@ pub fn run_e4(budget: &ExperimentBudget) -> ExperimentOutcome {
             eq6.leak_found()
         ),
         matches_paper: matches,
+        schedule: format!(
+            "{} + {}",
+            KroneckerRandomness::single_reuse_r1_r3().name(),
+            KroneckerRandomness::de_meyer_eq6().name()
+        ),
+        traces: 0,
+        max_minus_log10_p: 0.0,
         details: format!("{single_reuse}\n{eq6}"),
     }
 }
@@ -210,18 +249,20 @@ pub fn run_e4(budget: &ExperimentBudget) -> ExperimentOutcome {
 /// E5 (§IV, Eq. 9): the paper's repaired optimization (4 bits) passes
 /// the glitch-extended evaluation — statistically and by exhaustive
 /// proof.
-pub fn run_e5(budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e5(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
     let statistical = kronecker_eval(
         &KroneckerRandomness::proposed_eq9(),
         ProbeModel::Glitch,
         budget.first_order_traces,
         1,
         usize::MAX,
-        budget.seed,
+        budget,
+        observer,
     );
     let (_, proof) = exact_verify(
         &KroneckerRandomness::proposed_eq9(),
         budget.exact_scope.as_deref(),
+        observer,
     );
     let matches = statistical.passed() && proof.proven_secure();
     ExperimentOutcome {
@@ -235,24 +276,29 @@ pub fn run_e5(budget: &ExperimentBudget) -> ExperimentOutcome {
             proof.proven_secure()
         ),
         matches_paper: matches,
+        schedule: KroneckerRandomness::proposed_eq9().name().to_owned(),
+        traces: statistical.traces,
+        max_minus_log10_p: max_minus_log10_p(&[&statistical]),
         details: format!("{statistical}\n{proof}"),
     }
 }
 
 /// E6 (§IV): the `r5 = r6` counterexample — sharing the two layer-2
 /// masks leaks even with a fully fresh first layer.
-pub fn run_e6(budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e6(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
     let statistical = kronecker_eval(
         &KroneckerRandomness::r5_equals_r6(),
         ProbeModel::Glitch,
         budget.first_order_traces,
         1,
         usize::MAX,
-        budget.seed,
+        budget,
+        observer,
     );
     let (_, proof) = exact_verify(
         &KroneckerRandomness::r5_equals_r6(),
         budget.exact_scope.as_deref(),
+        observer,
     );
     let matches = !statistical.passed() && proof.leak_found();
     ExperimentOutcome {
@@ -266,6 +312,9 @@ pub fn run_e6(budget: &ExperimentBudget) -> ExperimentOutcome {
             proof.leak_found()
         ),
         matches_paper: matches,
+        schedule: KroneckerRandomness::r5_equals_r6().name().to_owned(),
+        traces: statistical.traces,
+        max_minus_log10_p: max_minus_log10_p(&[&statistical]),
         details: format!("{statistical}\n{proof}"),
     }
 }
@@ -273,7 +322,7 @@ pub fn run_e6(budget: &ExperimentBudget) -> ExperimentOutcome {
 /// E7 (§IV, transition paragraph): the schedule × model matrix. Under
 /// glitch+transition, Eq. 6 and Eq. 9 fail; the four `r7 = rᵢ` solutions
 /// (7→6 bits) pass, as does the unoptimized schedule.
-pub fn run_e7(budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e7(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
     struct Expectation {
         schedule: KroneckerRandomness,
         glitch_pass: bool,
@@ -319,6 +368,8 @@ pub fn run_e7(budget: &ExperimentBudget) -> ExperimentOutcome {
     let mut matches = true;
     let mut rows = Vec::new();
     let mut details = String::new();
+    let mut total_traces = 0u64;
+    let mut worst = 0.0f64;
     for expectation in &expectations {
         let glitch = kronecker_eval(
             &expectation.schedule,
@@ -326,7 +377,8 @@ pub fn run_e7(budget: &ExperimentBudget) -> ExperimentOutcome {
             budget.first_order_traces,
             1,
             usize::MAX,
-            budget.seed,
+            budget,
+            observer,
         );
         let transition = kronecker_eval(
             &expectation.schedule,
@@ -334,11 +386,14 @@ pub fn run_e7(budget: &ExperimentBudget) -> ExperimentOutcome {
             budget.transition_traces,
             1,
             usize::MAX,
-            budget.seed,
+            budget,
+            observer,
         );
         let row_matches = glitch.passed() == expectation.glitch_pass
             && transition.passed() == expectation.transition_pass;
         matches &= row_matches;
+        total_traces += glitch.traces + transition.traces;
+        worst = worst.max(max_minus_log10_p(&[&glitch, &transition]));
         rows.push(format!(
             "{:<28} glitch: {:<4} (exp {:<4}) | +transition: {:<4} (exp {})",
             expectation.schedule.name(),
@@ -364,6 +419,9 @@ pub fn run_e7(budget: &ExperimentBudget) -> ExperimentOutcome {
         paper_claim: "only r1..r6 fresh with r7 = r_i (i ∈ 1..4) survives glitches + transitions",
         observed: rows.join("\n            "),
         matches_paper: matches,
+        schedule: "matrix (7 schedules × 2 models)".to_owned(),
+        traces: total_traces,
+        max_minus_log10_p: worst,
         details,
     }
 }
@@ -371,9 +429,11 @@ pub fn run_e7(budget: &ExperimentBudget) -> ExperimentOutcome {
 /// E8 (§IV last ¶): the second-order Kronecker with the 21→13-bit
 /// optimization (reconstructed schedule) shows no detectable leakage up
 /// to second order under glitches and transitions.
-pub fn run_e8(budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e8(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
     let mut reports = Vec::new();
     let mut matches = true;
+    let mut total_traces = 0u64;
+    let mut worst = 0.0f64;
     for schedule in [
         KroneckerRandomness::full_order2(),
         KroneckerRandomness::de_meyer_13_reconstruction(),
@@ -385,9 +445,12 @@ pub fn run_e8(budget: &ExperimentBudget) -> ExperimentOutcome {
                 budget.second_order_traces,
                 2,
                 budget.second_order_max_sets,
-                budget.seed,
+                budget,
+                observer,
             );
             matches &= report.passed();
+            total_traces += report.traces;
+            worst = worst.max(max_minus_log10_p(&[&report]));
             reports.push(format!(
                 "{} / {}: {}",
                 schedule.name(),
@@ -403,12 +466,19 @@ pub fn run_e8(budget: &ExperimentBudget) -> ExperimentOutcome {
         paper_claim: "no vulnerability up to second order (paper: ≥100M simulations)",
         observed: reports.join("\n            "),
         matches_paper: matches,
+        schedule: format!(
+            "{} + {}",
+            KroneckerRandomness::full_order2().name(),
+            KroneckerRandomness::de_meyer_13_reconstruction().name()
+        ),
+        traces: total_traces,
+        max_minus_log10_p: worst,
         details: reports.join("\n"),
     }
 }
 
 /// E9 (§II-B Eq. 6, §IV): the randomness-cost accounting.
-pub fn run_e9(_budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e9(_budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOutcome {
     let rows: Vec<(KroneckerRandomness, usize)> = vec![
         (KroneckerRandomness::full(), 7),
         (KroneckerRandomness::de_meyer_eq6(), 3),
@@ -439,6 +509,9 @@ pub fn run_e9(_budget: &ExperimentBudget) -> ExperimentOutcome {
         paper_claim: "7→3 (Eq. 6), 7→4 (Eq. 9), 7→6 (transition-secure), 21→13 (2nd order)",
         observed,
         matches_paper: matches,
+        schedule: "all schedules (cost accounting)".to_owned(),
+        traces: 0,
+        max_minus_log10_p: 0.0,
         details: String::new(),
     }
 }
@@ -447,7 +520,7 @@ pub fn run_e9(_budget: &ExperimentBudget) -> ExperimentOutcome {
 /// 2 conversions), one S-box per cycle throughput, functional
 /// equivalence with the FIPS-197 S-box on all 256 inputs, and the area
 /// overhead over the unprotected S-box.
-pub fn run_e10(budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e10(budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOutcome {
     let circuit = build_masked_sbox(SboxOptions::default()).expect("valid netlist");
     let mut rng = StdRng::seed_from_u64(budget.seed);
     let mut sim = Simulator::new(&circuit.netlist);
@@ -490,13 +563,16 @@ pub fn run_e10(budget: &ExperimentBudget) -> ExperimentOutcome {
             masked_stats.gate_equivalents / unprotected_stats.gate_equivalents
         ),
         matches_paper: matches,
+        schedule: SboxOptions::default().schedule.name().to_owned(),
+        traces: 0,
+        max_minus_log10_p: 0.0,
         details: format!("{masked_stats}\n{unprotected_stats}"),
     }
 }
 
 /// E11 (§I/§II-B): the zero-value problem as a first-order DPA — broken
 /// without the Kronecker mapping, closed with it.
-pub fn run_e11(budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e11(budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOutcome {
     let mut rng = StdRng::seed_from_u64(budget.seed);
     let unprotected = zero_value_t_test(ZeroMapping::Disabled, budget.dpa_traces, 1.0, &mut rng);
     let protected = zero_value_t_test(ZeroMapping::Enabled, budget.dpa_traces, 1.0, &mut rng);
@@ -513,6 +589,9 @@ pub fn run_e11(budget: &ExperimentBudget) -> ExperimentOutcome {
             protected.statistic.abs()
         ),
         matches_paper: matches,
+        schedule: "zero-value mapping on/off".to_owned(),
+        traces: 2 * budget.dpa_traces as u64,
+        max_minus_log10_p: 0.0,
         details: String::new(),
     }
 }
@@ -523,9 +602,11 @@ pub fn run_e11(budget: &ExperimentBudget) -> ExperimentOutcome {
 /// masked cipher implementations" capability PROLEAD advertises. With
 /// the Eq. 6 schedule in every S-box the cipher leaks (fixed plaintext
 /// 0 puts zero bytes through round 1); with Eq. 9 it passes.
-pub fn run_e12(budget: &ExperimentBudget) -> ExperimentOutcome {
+pub fn run_e12(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
     let mut rows = Vec::new();
     let mut matches = true;
+    let mut total_traces = 0u64;
+    let mut worst = 0.0f64;
     for (schedule, expect_pass) in [
         (KroneckerRandomness::de_meyer_eq6(), false),
         (KroneckerRandomness::proposed_eq9(), true),
@@ -538,15 +619,19 @@ pub fn run_e12(budget: &ExperimentBudget) -> ExperimentOutcome {
             // Observe mid-round-2, after real data circulates.
             warmup_cycles: 1 + 2 * ROUND_CYCLES,
             seed: budget.seed,
+            checkpoints: budget.checkpoints,
             ..EvaluationConfig::default()
         };
         let mut campaign = FixedVsRandom::new(&circuit.netlist, config)
-            .schedule_control(circuit.load, vec![true, false]);
+            .schedule_control(circuit.load, vec![true, false])
+            .with_observer(observer.clone());
         for bus in &circuit.r_buses {
             campaign = campaign.require_nonzero_bus(bus.clone());
         }
         let report = campaign.run();
         matches &= report.passed() == expect_pass;
+        total_traces += report.traces;
+        worst = worst.max(max_minus_log10_p(&[&report]));
         rows.push(format!(
             "{}: {} (expected {})",
             schedule.name(),
@@ -561,25 +646,32 @@ pub fn run_e12(budget: &ExperimentBudget) -> ExperimentOutcome {
         paper_claim: "full-cipher analysis flags Eq. 6 and clears Eq. 9, like the S-box",
         observed: rows.join("\n            "),
         matches_paper: matches,
+        schedule: format!(
+            "{} + {}",
+            KroneckerRandomness::de_meyer_eq6().name(),
+            KroneckerRandomness::proposed_eq9().name()
+        ),
+        traces: total_traces,
+        max_minus_log10_p: worst,
         details: rows.join("\n"),
     }
 }
 
 /// Runs every experiment in order.
-pub fn run_all(budget: &ExperimentBudget) -> Vec<ExperimentOutcome> {
+pub fn run_all(budget: &ExperimentBudget, observer: &Observer) -> Vec<ExperimentOutcome> {
     vec![
-        run_e1(budget),
-        run_e2(budget),
-        run_e3(budget),
-        run_e4(budget),
-        run_e5(budget),
-        run_e6(budget),
-        run_e7(budget),
-        run_e8(budget),
-        run_e9(budget),
-        run_e10(budget),
-        run_e11(budget),
-        run_e12(budget),
+        run_e1(budget, observer),
+        run_e2(budget, observer),
+        run_e3(budget, observer),
+        run_e4(budget, observer),
+        run_e5(budget, observer),
+        run_e6(budget, observer),
+        run_e7(budget, observer),
+        run_e8(budget, observer),
+        run_e9(budget, observer),
+        run_e10(budget, observer),
+        run_e11(budget, observer),
+        run_e12(budget, observer),
     ]
 }
 
@@ -593,15 +685,16 @@ mod tests {
 
     #[test]
     fn e9_and_e10_are_cheap_and_reproduce() {
-        let e9 = run_e9(&smoke());
+        let observer = Observer::null();
+        let e9 = run_e9(&smoke(), &observer);
         assert!(e9.matches_paper, "{e9}");
-        let e10 = run_e10(&smoke());
+        let e10 = run_e10(&smoke(), &observer);
         assert!(e10.matches_paper, "{e10}");
     }
 
     #[test]
     fn e11_reproduces() {
-        let e11 = run_e11(&smoke());
+        let e11 = run_e11(&smoke(), &Observer::null());
         assert!(e11.matches_paper, "{e11}");
     }
 }

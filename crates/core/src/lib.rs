@@ -8,9 +8,9 @@
 //! claim, the observed result, and whether they agree.
 //!
 //! ```no_run
-//! use mmaes_core::{run_all, ExperimentBudget};
+//! use mmaes_core::{run_all, ExperimentBudget, Observer};
 //!
-//! let outcomes = run_all(&ExperimentBudget::default());
+//! let outcomes = run_all(&ExperimentBudget::default(), &Observer::null());
 //! for outcome in &outcomes {
 //!     println!("{outcome}");
 //! }
@@ -30,3 +30,7 @@ pub use experiments::{
     run_e8, run_e9,
 };
 pub use outcome::{outcome_table, ExperimentOutcome};
+
+// Re-exported so binaries and tests can drive campaign telemetry without
+// depending on the telemetry crate directly.
+pub use mmaes_telemetry::Observer;

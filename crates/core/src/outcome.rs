@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// The result of reproducing one of the paper's experiments.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentOutcome {
     /// Experiment id (`"E1"` … `"E11"`, per DESIGN.md).
     pub id: &'static str,
@@ -19,6 +19,15 @@ pub struct ExperimentOutcome {
     pub matches_paper: bool,
     /// Full evaluator output for the record.
     pub details: String,
+    /// Randomness schedule(s) the experiment exercised (empty when not
+    /// applicable, e.g. structural checks).
+    pub schedule: String,
+    /// Total traces simulated across the experiment's campaigns (0 for
+    /// non-sampling experiments).
+    pub traces: u64,
+    /// Maximum `-log10(p)` observed across the experiment's campaigns
+    /// (0 for non-sampling experiments).
+    pub max_minus_log10_p: f64,
 }
 
 impl fmt::Display for ExperimentOutcome {
@@ -87,6 +96,9 @@ mod tests {
             observed: "observed".into(),
             matches_paper: matches,
             details: String::new(),
+            schedule: "de-meyer-eq6".into(),
+            traces: 1000,
+            max_minus_log10_p: 1.0,
         }
     }
 

@@ -3,43 +3,54 @@ use mmaes_core::*;
 
 #[test]
 fn e1_reproduces() {
-    let o = run_e1(&ExperimentBudget::smoke());
+    let o = run_e1(&ExperimentBudget::smoke(), &Observer::null());
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e2_reproduces() {
-    let o = run_e2(&ExperimentBudget::smoke());
+    let o = run_e2(&ExperimentBudget::smoke(), &Observer::null());
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e3_reproduces() {
-    let o = run_e3(&ExperimentBudget::smoke());
+    let o = run_e3(&ExperimentBudget::smoke(), &Observer::null());
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e4_reproduces() {
-    let o = run_e4(&ExperimentBudget::smoke());
+    let o = run_e4(&ExperimentBudget::smoke(), &Observer::null());
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e5_reproduces() {
-    let o = run_e5(&ExperimentBudget::smoke());
+    let o = run_e5(&ExperimentBudget::smoke(), &Observer::null());
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e6_reproduces() {
-    let o = run_e6(&ExperimentBudget::smoke());
+    let o = run_e6(&ExperimentBudget::smoke(), &Observer::null());
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e7_reproduces() {
-    let o = run_e7(&ExperimentBudget::smoke());
+    let o = run_e7(&ExperimentBudget::smoke(), &Observer::null());
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e8_reproduces() {
-    let o = run_e8(&ExperimentBudget::smoke());
+    let o = run_e8(&ExperimentBudget::smoke(), &Observer::null());
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
-fn e12_reproduces() { let o = run_e12(&ExperimentBudget::smoke()); assert!(o.matches_paper, "{o}\n{}", o.details); }
+fn e12_reproduces() {
+    // The full cipher exposes ~12.8k probe sets, so the 10k-trace smoke
+    // budget sits within multiple-testing distance of the -log10(p) = 5
+    // threshold (a single null set can graze it). 30k traces restores
+    // the margin without approaching paper scale.
+    let budget = ExperimentBudget {
+        cipher_traces: 30_000,
+        ..ExperimentBudget::smoke()
+    };
+    let o = run_e12(&budget, &Observer::null());
+    assert!(o.matches_paper, "{o}\n{}", o.details);
+}

@@ -103,6 +103,14 @@ impl ExactReport {
             .collect()
     }
 
+    /// Number of probes proven secure.
+    pub fn secure_count(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|(_, verdict)| verdict.is_secure())
+            .count()
+    }
+
     /// Probes skipped because their support was too wide.
     pub fn too_wide(&self) -> Vec<&str> {
         self.verdicts

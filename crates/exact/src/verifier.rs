@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use mmaes_leakage::{enumerate_probe_sets, ProbeModel, ProbeSet};
 use mmaes_netlist::{Netlist, SecretId, SignalRole, StableCones, WireId};
 use mmaes_sim::{Simulator, LANES};
+use mmaes_telemetry::{Event, Observer, Stopwatch};
 
 use crate::report::{Counterexample, ExactReport, ProbeVerdict};
 use crate::unroll::{Unrolled, UnrolledVar};
@@ -57,6 +58,7 @@ impl Default for ExactConfig {
 pub struct ExactVerifier<'a> {
     netlist: &'a Netlist,
     config: ExactConfig,
+    observer: Observer,
 }
 
 impl<'a> ExactVerifier<'a> {
@@ -67,12 +69,27 @@ impl<'a> ExactVerifier<'a> {
             observe_cycle: sequential_depth(netlist) + 2,
             ..ExactConfig::default()
         };
-        ExactVerifier { netlist, config }
+        ExactVerifier {
+            netlist,
+            config,
+            observer: Observer::null(),
+        }
     }
 
     /// Creates a verifier with an explicit configuration.
     pub fn with_config(netlist: &'a Netlist, config: ExactConfig) -> Self {
-        ExactVerifier { netlist, config }
+        ExactVerifier {
+            netlist,
+            config,
+            observer: Observer::null(),
+        }
+    }
+
+    /// Attaches a telemetry observer: enumeration lifecycle, per-set
+    /// progress, and counterexample hit times.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// The effective configuration.
@@ -82,6 +99,7 @@ impl<'a> ExactVerifier<'a> {
 
     /// Verifies every (deduplicated) probing set.
     pub fn verify_all(&self) -> ExactReport {
+        let watch = Stopwatch::start();
         let cones = StableCones::new(self.netlist);
         let sets = enumerate_probe_sets(
             self.netlist,
@@ -90,15 +108,45 @@ impl<'a> ExactVerifier<'a> {
             self.config.probe_scope_filter.as_deref(),
             self.config.max_probe_sets,
         );
+        if self.observer.enabled() {
+            self.observer.emit(&Event::EnumerationStarted {
+                design: self.netlist.name().to_owned(),
+                probe_sets: sets.len(),
+            });
+        }
         let unrolled = Unrolled::new(self.netlist, self.config.observe_cycle + 1);
-        let verdicts = sets
-            .iter()
-            .map(|set| (set.label.clone(), self.verify_probe_with(&unrolled, set)))
-            .collect();
-        ExactReport {
+        let mut verdicts: Vec<(String, ProbeVerdict)> = Vec::with_capacity(sets.len());
+        for (done, set) in sets.iter().enumerate() {
+            let verdict = self.verify_probe_with(&unrolled, set);
+            if self.observer.enabled() {
+                if matches!(verdict, ProbeVerdict::Leaky { .. }) {
+                    self.observer.emit(&Event::CounterexampleFound {
+                        label: set.label.clone(),
+                        elapsed_ms: watch.elapsed_ms(),
+                    });
+                }
+                self.observer.emit(&Event::EnumerationProgress {
+                    done: done + 1,
+                    total: sets.len(),
+                    elapsed_ms: watch.elapsed_ms(),
+                });
+            }
+            verdicts.push((set.label.clone(), verdict));
+        }
+        let report = ExactReport {
             design: self.netlist.name().to_owned(),
             verdicts,
+        };
+        if self.observer.enabled() {
+            self.observer.emit(&Event::EnumerationFinished {
+                design: report.design.clone(),
+                secure: report.secure_count(),
+                leaky: report.leaks().len(),
+                too_wide: report.too_wide().len(),
+                wall_ms: watch.elapsed_ms(),
+            });
         }
+        report
     }
 
     /// Verifies a single probing set (see [`ExactVerifier::verify_all`]
@@ -436,6 +484,45 @@ mod tests {
         let netlist = builder.build().expect("valid");
         let report = ExactVerifier::new(&netlist).verify_all();
         assert!(report.leak_found(), "{report}");
+    }
+
+    #[test]
+    fn observer_sees_enumeration_lifecycle_and_counterexample() {
+        use mmaes_telemetry::MemorySink;
+        let mut builder = NetlistBuilder::new("recombine");
+        let s0 = builder.input("s0", share_role(0, 0));
+        let s1 = builder.input("s1", share_role(1, 0));
+        let x = builder.xor2(s0, s1);
+        let q = builder.register(x);
+        builder.output("q", q);
+        let netlist = builder.build().expect("valid");
+
+        let sink = MemorySink::new();
+        let collected = sink.events();
+        let report = ExactVerifier::new(&netlist)
+            .with_observer(Observer::single(sink))
+            .verify_all();
+        assert!(report.leak_found());
+
+        let events = collected.lock().unwrap();
+        assert!(matches!(
+            events.first(),
+            Some(Event::EnumerationStarted { .. })
+        ));
+        assert!(events
+            .iter()
+            .any(|event| matches!(event, Event::CounterexampleFound { .. })));
+        let progress = events
+            .iter()
+            .filter(|event| matches!(event, Event::EnumerationProgress { .. }))
+            .count();
+        assert_eq!(progress, report.verdicts.len());
+        match events.last() {
+            Some(Event::EnumerationFinished { leaky, .. }) => {
+                assert_eq!(*leaky, report.leaks().len());
+            }
+            other => panic!("expected EnumerationFinished, got {other:?}"),
+        }
     }
 
     #[test]

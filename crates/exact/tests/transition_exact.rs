@@ -14,7 +14,11 @@ use mmaes_leakage::ProbeModel;
 use mmaes_netlist::{NetlistBuilder, SecretId, SignalRole};
 
 fn share_role(secret: u16, share: u8) -> SignalRole {
-    SignalRole::Share { secret: SecretId(secret), share, bit: 0 }
+    SignalRole::Share {
+        secret: SecretId(secret),
+        share,
+        bit: 0,
+    }
 }
 
 #[test]

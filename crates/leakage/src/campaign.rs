@@ -15,6 +15,7 @@ use std::collections::HashMap;
 
 use mmaes_netlist::{Netlist, SecretId, StableCones, WireId};
 use mmaes_sim::{Simulator, LANES};
+use mmaes_telemetry::{Checkpoint, Event, Observer, ProbePoint, Stopwatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -87,7 +88,27 @@ pub struct EvaluationConfig {
     /// Cap on distinct keys kept per contingency table; overflow is
     /// pooled into one bucket (bounds memory on very wide cones).
     pub max_table_keys: usize,
+    /// Number of interim checkpoints across the campaign (PROLEAD's
+    /// intermediate reports). At each checkpoint every probing set's
+    /// running G-test is computed, recorded in
+    /// [`crate::ProbeResult::trajectory`], and emitted to the observer.
+    /// 0 (the default) skips interim statistics entirely, leaving the
+    /// sampling loop on its uninstrumented fast path.
+    pub checkpoints: u64,
+    /// Stop at a checkpoint once the verdict is decisive: the running
+    /// max `-log10(p)` reached [`DECISIVE_MARGIN`] × `threshold`
+    /// (p < 10⁻¹⁰ at the default threshold — far beyond any null
+    /// fluctuation). Requires `checkpoints > 0` to have any effect.
+    pub early_stop: bool,
 }
+
+/// Early stop triggers at `DECISIVE_MARGIN × threshold` running
+/// `-log10(p)` (see [`EvaluationConfig::early_stop`]).
+pub const DECISIVE_MARGIN: f64 = 2.0;
+
+/// Probing sets carried per checkpoint event: the top sets by running
+/// `-log10(p)` plus every set over the threshold.
+const CHECKPOINT_TOP_PROBES: usize = 8;
 
 impl Default for EvaluationConfig {
     fn default() -> Self {
@@ -104,6 +125,8 @@ impl Default for EvaluationConfig {
             max_probe_sets: 100_000,
             probe_scope_filter: None,
             max_table_keys: 1 << 20,
+            checkpoints: 0,
+            early_stop: false,
         }
     }
 }
@@ -172,6 +195,7 @@ pub struct FixedVsRandom<'a> {
     config: EvaluationConfig,
     nonzero_byte_buses: Vec<Vec<WireId>>,
     control_schedules: Vec<(WireId, Vec<bool>)>,
+    observer: Observer,
 }
 
 impl<'a> FixedVsRandom<'a> {
@@ -185,7 +209,16 @@ impl<'a> FixedVsRandom<'a> {
             config,
             nonzero_byte_buses: Vec::new(),
             control_schedules: Vec::new(),
+            observer: Observer::null(),
         }
+    }
+
+    /// Attaches a telemetry observer. The campaign emits lifecycle
+    /// events plus one [`Event::CampaignCheckpoint`] (and one
+    /// [`Event::SimProgress`]) per configured checkpoint.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Schedules a control input per cycle within each trace: cycle `c`
@@ -218,6 +251,7 @@ impl<'a> FixedVsRandom<'a> {
     /// or on unsupported probing orders.
     pub fn run(&self) -> LeakageReport {
         let config = &self.config;
+        let watch = Stopwatch::start();
         let cones = StableCones::new(self.netlist);
         let probe_sets = enumerate_probe_sets(
             self.netlist,
@@ -271,7 +305,25 @@ impl<'a> FixedVsRandom<'a> {
         let mut tables: Vec<Table> = probe_sets.iter().map(|_| Table::new()).collect();
 
         let batches = config.traces.div_ceil(LANES as u64);
-        for _ in 0..batches {
+        if self.observer.enabled() {
+            self.observer.emit(&Event::CampaignStarted {
+                design: self.netlist.name().to_owned(),
+                model: config.model.name().to_owned(),
+                order: config.order,
+                probe_sets: probe_sets.len(),
+                traces_target: batches * LANES as u64,
+            });
+        }
+        // Interim statistics every `checkpoint_every` batches; 0 = never,
+        // keeping the sampling loop on the uninstrumented fast path.
+        let checkpoint_every = batches
+            .checked_div(config.checkpoints)
+            .map_or(0, |every| every.max(1));
+        let mut trajectories: Vec<Vec<(u64, f64)>> = vec![Vec::new(); probe_sets.len()];
+        let mut flagged = vec![false; probe_sets.len()];
+        let mut early_stopped = false;
+        let mut batches_done = 0u64;
+        for batch in 0..batches {
             // Lane → population: bit set = random population.
             let lane_groups: u64 = rng.gen();
             sim.reset();
@@ -299,14 +351,84 @@ impl<'a> FixedVsRandom<'a> {
                     table.record(key, group, config.max_table_keys);
                 }
             }
+            batches_done = batch + 1;
+
+            // Interim checkpoint: running G-test per probing set, events,
+            // and the early-stop decision. Skipped on the last batch (the
+            // final statistics cover it).
+            if checkpoint_every > 0
+                && batches_done.is_multiple_of(checkpoint_every)
+                && batches_done < batches
+            {
+                let traces_so_far = batches_done * LANES as u64;
+                let mut running: Vec<(usize, f64)> = Vec::with_capacity(probe_sets.len());
+                for (index, table) in tables.iter().enumerate() {
+                    let minus_log10_p = g_test(&table.columns())
+                        .map(|test| test.minus_log10_p)
+                        .unwrap_or(0.0);
+                    trajectories[index].push((traces_so_far, minus_log10_p));
+                    running.push((index, minus_log10_p));
+                    if minus_log10_p > config.threshold && !flagged[index] {
+                        flagged[index] = true;
+                        if self.observer.enabled() {
+                            self.observer.emit(&Event::ProbeFlagged {
+                                label: probe_sets[index].label.clone(),
+                                minus_log10_p,
+                                traces: traces_so_far,
+                            });
+                        }
+                    }
+                }
+                running.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                let (worst_index, max_minus_log10_p) = running.first().copied().unwrap_or((0, 0.0));
+                if self.observer.enabled() {
+                    let probes: Vec<ProbePoint> = running
+                        .iter()
+                        .enumerate()
+                        .take_while(|&(rank, &(_, value))| {
+                            rank < CHECKPOINT_TOP_PROBES || value > config.threshold
+                        })
+                        .map(|(_, &(index, value))| ProbePoint {
+                            label: probe_sets[index].label.clone(),
+                            minus_log10_p: value,
+                            leaking: value > config.threshold,
+                        })
+                        .collect();
+                    self.observer.emit(&Event::CampaignCheckpoint(Checkpoint {
+                        traces: traces_so_far,
+                        traces_target: batches * LANES as u64,
+                        elapsed_ms: watch.elapsed_ms(),
+                        traces_per_sec: watch.rate(traces_so_far),
+                        max_minus_log10_p,
+                        worst_label: probe_sets
+                            .get(worst_index)
+                            .map(|set| set.label.clone())
+                            .unwrap_or_default(),
+                        probes,
+                    }));
+                    let stats = sim.stats();
+                    self.observer.emit(&Event::SimProgress {
+                        cycles: stats.cycles,
+                        cell_evals: stats.cell_evals,
+                        lane_utilization: config.traces.min(traces_so_far) as f64
+                            / traces_so_far as f64,
+                    });
+                }
+                if config.early_stop && max_minus_log10_p >= DECISIVE_MARGIN * config.threshold {
+                    early_stopped = true;
+                    break;
+                }
+            }
         }
 
         let mut results: Vec<ProbeResult> = probe_sets
             .iter()
             .zip(&tables)
-            .map(|(set, table)| {
+            .enumerate()
+            .map(|(index, (set, table))| {
                 let columns = table.columns();
                 let distinct_keys = table.counts.len();
+                let trajectory = std::mem::take(&mut trajectories[index]);
                 match g_test(&columns) {
                     Some(test) => ProbeResult {
                         label: set.label.clone(),
@@ -319,6 +441,7 @@ impl<'a> FixedVsRandom<'a> {
                         minus_log10_p: test.minus_log10_p,
                         testable: true,
                         leaking: test.minus_log10_p > config.threshold,
+                        trajectory,
                     },
                     None => ProbeResult {
                         label: set.label.clone(),
@@ -331,6 +454,7 @@ impl<'a> FixedVsRandom<'a> {
                         minus_log10_p: 0.0,
                         testable: false,
                         leaking: false,
+                        trajectory,
                     },
                 }
             })
@@ -341,15 +465,31 @@ impl<'a> FixedVsRandom<'a> {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
 
-        LeakageReport {
+        let report = LeakageReport {
             design: self.netlist.name().to_owned(),
             model: config.model,
             order: config.order,
-            traces: batches * LANES as u64,
+            traces: batches_done * LANES as u64,
             threshold: config.threshold,
             probe_sets_truncated: truncated,
+            early_stopped,
             results,
+        };
+        if self.observer.enabled() {
+            self.observer.emit(&Event::CampaignFinished {
+                design: report.design.clone(),
+                traces: report.traces,
+                wall_ms: watch.elapsed_ms(),
+                passed: report.passed(),
+                max_minus_log10_p: report
+                    .worst()
+                    .map(|result| result.minus_log10_p)
+                    .unwrap_or(0.0),
+                leaking: report.leaking().len(),
+                early_stopped,
+            });
         }
+        report
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -588,6 +728,138 @@ mod tests {
         )
         .run();
         assert!(!report.passed());
+    }
+
+    #[test]
+    fn checkpoints_record_trajectories_and_emit_events() {
+        use mmaes_telemetry::MemorySink;
+        let netlist = blatantly_leaky();
+        let sink = MemorySink::new();
+        let collected = sink.events();
+        let report = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                traces: 20_000,
+                warmup_cycles: 3,
+                checkpoints: 4,
+                ..EvaluationConfig::default()
+            },
+        )
+        .with_observer(Observer::single(sink))
+        .run();
+
+        let worst = report.worst().expect("results");
+        assert!(worst.trajectory.len() >= 2, "{:?}", worst.trajectory);
+        for pair in worst.trajectory.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "trace counts must increase");
+        }
+        assert!(worst.trajectory.last().expect("points").0 <= report.traces);
+
+        let events = collected.lock().unwrap();
+        assert!(matches!(
+            events.first(),
+            Some(Event::CampaignStarted { .. })
+        ));
+        assert!(events
+            .iter()
+            .any(|event| matches!(event, Event::CampaignCheckpoint(_))));
+        assert!(events
+            .iter()
+            .any(|event| matches!(event, Event::ProbeFlagged { .. })));
+        assert!(events
+            .iter()
+            .any(|event| matches!(event, Event::SimProgress { .. })));
+        assert!(matches!(
+            events.last(),
+            Some(Event::CampaignFinished { passed: false, .. })
+        ));
+    }
+
+    #[test]
+    fn early_stop_cuts_the_trace_budget_on_decisive_leak() {
+        let netlist = blatantly_leaky();
+        let report = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                traces: 64_000,
+                warmup_cycles: 3,
+                checkpoints: 16,
+                early_stop: true,
+                ..EvaluationConfig::default()
+            },
+        )
+        .run();
+        assert!(!report.passed());
+        assert!(report.early_stopped);
+        assert!(
+            report.traces < 64_000,
+            "stopped at {} traces",
+            report.traces
+        );
+    }
+
+    #[test]
+    fn default_config_keeps_the_fast_path_trajectory_free() {
+        let netlist = properly_masked();
+        let report = FixedVsRandom::new(&netlist, config(1_000)).run();
+        assert!(report
+            .results
+            .iter()
+            .all(|result| result.trajectory.is_empty()));
+        assert!(!report.early_stopped);
+    }
+
+    #[test]
+    fn trajectory_of_a_strong_leak_is_monotone_for_a_deterministic_seed() {
+        // The G statistic of a genuine leak accumulates with the sample
+        // count, so the running -log10(p) of the worst probe must grow
+        // checkpoint over checkpoint (the seed fixes the sampling, so
+        // this is exact, not probabilistic).
+        let netlist = blatantly_leaky();
+        let report = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                traces: 32_000,
+                warmup_cycles: 3,
+                checkpoints: 8,
+                ..EvaluationConfig::default()
+            },
+        )
+        .run();
+        let worst = report.worst().expect("results");
+        assert!(worst.trajectory.len() >= 4, "{:?}", worst.trajectory);
+        for pair in worst.trajectory.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "trace counts must increase");
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "-log10(p) regressed: {:?}",
+                worst.trajectory
+            );
+        }
+        assert!(worst.trajectory.last().expect("points").1 <= worst.minus_log10_p);
+    }
+
+    #[test]
+    fn tiny_table_cap_pools_overflow_without_losing_the_leak() {
+        // max_table_keys bounds per-probe memory; once the cap is hit,
+        // further keys land in the overflow bucket. The bucket is one
+        // more contingency column, so a blatant leak survives even an
+        // absurdly small cap.
+        let netlist = blatantly_leaky();
+        let report = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                traces: 20_000,
+                warmup_cycles: 3,
+                max_table_keys: 1,
+                ..EvaluationConfig::default()
+            },
+        )
+        .run();
+        assert!(!report.passed(), "{report}");
+        for result in &report.results {
+            assert!(result.distinct_keys <= 1, "cap violated: {result:?}");
+        }
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct ProbeResult {
     pub testable: bool,
     /// `minus_log10_p > threshold`.
     pub leaking: bool,
+    /// The running `-log10(p)` trajectory as `(traces, value)` pairs,
+    /// one per checkpoint. Empty unless the campaign was configured
+    /// with checkpoints ([`crate::EvaluationConfig::checkpoints`]).
+    pub trajectory: Vec<(u64, f64)>,
 }
 
 /// A full evaluation report for one design/configuration.
@@ -44,6 +48,9 @@ pub struct LeakageReport {
     pub threshold: f64,
     /// Whether probe-set enumeration hit its cap (coverage incomplete).
     pub probe_sets_truncated: bool,
+    /// Whether the campaign stopped before its trace budget because the
+    /// verdict was already decisive.
+    pub early_stopped: bool,
     /// Per-probe-set results, sorted by decreasing `-log10(p)`.
     pub results: Vec<ProbeResult>,
 }
@@ -72,26 +79,45 @@ impl LeakageReport {
         self.results.len()
     }
 
-    /// Serializes the per-probe results as CSV (header + one row per
-    /// probing set), for downstream plotting.
+    /// Serializes the per-probe results as CSV, for downstream plotting.
+    ///
+    /// Each probing set contributes one `checkpoint` row per recorded
+    /// trajectory point — `traces` and `minus_log10_p` are the running
+    /// values at that point — followed by one `final` row carrying the
+    /// full end-of-campaign statistics. Campaigns run without
+    /// checkpoints emit only the `final` rows.
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
         let mut csv = String::from(
-            "label,probes,cone_size,samples,distinct_keys,g_statistic,df,minus_log10_p,leaking\n",
+            "label,kind,traces,minus_log10_p,leaking,probes,cone_size,samples,distinct_keys,g_statistic,df\n",
         );
         for result in &self.results {
+            let label = result.label.replace('"', "'");
+            for &(traces, minus_log10_p) in &result.trajectory {
+                let _ = writeln!(
+                    csv,
+                    "\"{}\",checkpoint,{},{:.4},{},{},{},,,,",
+                    label,
+                    traces,
+                    minus_log10_p,
+                    minus_log10_p > self.threshold,
+                    result.probe_count,
+                    result.cone_size,
+                );
+            }
             let _ = writeln!(
                 csv,
-                "\"{}\",{},{},{},{},{:.4},{},{:.4},{}",
-                result.label.replace('"', "'"),
+                "\"{}\",final,{},{:.4},{},{},{},{},{},{:.4},{}",
+                label,
+                result.samples,
+                result.minus_log10_p,
+                result.leaking,
                 result.probe_count,
                 result.cone_size,
                 result.samples,
                 result.distinct_keys,
                 result.g_statistic,
                 result.df,
-                result.minus_log10_p,
-                result.leaking
             );
         }
         csv
@@ -148,6 +174,12 @@ impl fmt::Display for LeakageReport {
                 "note:      probe-set enumeration truncated (coverage incomplete)"
             )?;
         }
+        if self.early_stopped {
+            writeln!(
+                formatter,
+                "note:      stopped early — verdict decisive before the trace budget"
+            )?;
+        }
         writeln!(formatter, "verdict:   {}", self.verdict())?;
         writeln!(
             formatter,
@@ -202,6 +234,7 @@ mod tests {
             minus_log10_p: p,
             testable: true,
             leaking,
+            trajectory: Vec::new(),
         }
     }
 
@@ -213,6 +246,7 @@ mod tests {
             traces: 1000,
             threshold: 5.0,
             probe_sets_truncated: false,
+            early_stopped: false,
             results,
         }
     }
@@ -245,8 +279,26 @@ mod tests {
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.lines().next().expect("header").starts_with("label,"));
-        assert!(csv.contains("\"alpha\""));
+        assert!(csv.contains("\"alpha\",final,"));
         assert!(csv.contains("true"));
+    }
+
+    #[test]
+    fn csv_export_emits_one_row_per_trajectory_point() {
+        let mut leaky = result("alpha", 80.0, true);
+        leaky.trajectory = vec![(1000, 2.0), (2000, 40.0), (3000, 80.0)];
+        let report = report(vec![leaky, result("beta", 1.0, false)]);
+        let csv = report.to_csv();
+        // header + 3 checkpoints + alpha final + beta final
+        assert_eq!(csv.lines().count(), 6);
+        assert!(csv.contains("\"alpha\",checkpoint,1000,2.0000,false"));
+        assert!(csv.contains("\"alpha\",checkpoint,2000,40.0000,true"));
+        assert!(csv.contains("\"alpha\",final,"));
+        // every row has the same number of columns as the header
+        let columns = csv.lines().next().expect("header").split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), columns, "{line}");
+        }
     }
 
     #[test]

@@ -374,6 +374,17 @@ mod tests {
     }
 
     #[test]
+    fn overflow_bucket_column_carries_evidence_like_any_other() {
+        // The campaign's max_table_keys overflow bucket arrives here as
+        // one aggregate column. Balanced overflow must not flag; overflow
+        // concentrated in one group must.
+        let balanced = g_test(&[(1000, 1000), (500, 505)]).expect("testable");
+        assert!(balanced.minus_log10_p < 2.0, "{balanced:?}");
+        let skewed = g_test(&[(1000, 1000), (900, 100)]).expect("testable");
+        assert!(skewed.minus_log10_p > 50.0, "{skewed:?}");
+    }
+
+    #[test]
     fn g_test_returns_none_when_untestable() {
         assert!(g_test(&[]).is_none());
         assert!(g_test(&[(1000, 1000)]).is_none()); // single column

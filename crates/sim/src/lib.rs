@@ -52,6 +52,19 @@ use mmaes_netlist::{Netlist, WireId, WireOrigin};
 /// Number of independent traces simulated in parallel (one per bit).
 pub const LANES: usize = 64;
 
+/// Monotonic work counters for one [`Simulator`].
+///
+/// Counters accumulate over the simulator's whole lifetime — they are
+/// *not* cleared by [`Simulator::reset`], so a campaign that resets the
+/// pipeline between trace batches still sees its total work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Clock cycles latched ([`Simulator::clock`] calls).
+    pub cycles: u64,
+    /// Combinational cell evaluations (cells × [`Simulator::eval`] calls).
+    pub cell_evals: u64,
+}
+
 /// A bit-parallel, cycle-accurate netlist simulator.
 ///
 /// See the [crate-level documentation](crate) for the cycle protocol.
@@ -62,6 +75,7 @@ pub struct Simulator<'a> {
     prev_values: Vec<u64>,
     register_state: Vec<u64>,
     cycle: u64,
+    stats: SimStats,
 }
 
 impl<'a> Simulator<'a> {
@@ -74,6 +88,7 @@ impl<'a> Simulator<'a> {
             prev_values: vec![0; netlist.wire_count()],
             register_state: vec![0; netlist.register_count()],
             cycle: 0,
+            stats: SimStats::default(),
         };
         simulator.reset();
         simulator
@@ -87,6 +102,11 @@ impl<'a> Simulator<'a> {
     /// The number of completed clock cycles since the last reset.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Lifetime work counters (survive [`Simulator::reset`]).
+    pub fn stats(&self) -> SimStats {
+        self.stats
     }
 
     /// Resets registers to their initial values and clears all wires.
@@ -180,6 +200,7 @@ impl<'a> Simulator<'a> {
             input_buffer.extend(cell.inputs.iter().map(|input| self.values[input.index()]));
             self.values[cell.output.index()] = cell.kind.eval_wide(&input_buffer);
         }
+        self.stats.cell_evals += self.netlist.topo_cells().len() as u64;
     }
 
     /// Latches all registers from their D inputs and advances the cycle.
@@ -192,6 +213,7 @@ impl<'a> Simulator<'a> {
         }
         self.prev_values.copy_from_slice(&self.values);
         self.cycle += 1;
+        self.stats.cycles += 1;
     }
 
     /// [`Simulator::eval`] followed by [`Simulator::clock`].
@@ -477,6 +499,20 @@ mod tests {
         sim.eval();
         let read_back = sim.bus_all_lanes(&bus);
         assert_eq!(read_back, per_lane);
+    }
+
+    #[test]
+    fn stats_count_cycles_and_cell_evals_across_resets() {
+        let (netlist, inputs, _) = full_adder();
+        let cells = netlist.topo_cells().len() as u64;
+        let mut sim = Simulator::new(&netlist);
+        sim.set_input(inputs[0], u64::MAX);
+        sim.step(); // eval + clock
+        sim.eval();
+        sim.reset();
+        let stats = sim.stats();
+        assert_eq!(stats.cycles, 1);
+        assert_eq!(stats.cell_evals, 2 * cells);
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! The typed event schema (documented in DESIGN.md § Observability).
+
+use crate::json::{array, JsonObject};
+
+/// One probing set's running statistic at a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbePoint {
+    /// The probing-set label (wire names).
+    pub label: String,
+    /// Running `-log10(p)` of the G-test at this point.
+    pub minus_log10_p: f64,
+    /// Whether the running value exceeds the decision threshold.
+    pub leaking: bool,
+}
+
+impl ProbePoint {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("label", &self.label)
+            .float("minus_log10_p", self.minus_log10_p)
+            .boolean("leaking", self.leaking)
+            .finish()
+    }
+}
+
+/// A periodic mid-campaign snapshot (PROLEAD's intermediate reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Traces accumulated so far.
+    pub traces: u64,
+    /// The campaign's trace target.
+    pub traces_target: u64,
+    /// Wall time since the campaign started, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Current overall throughput, traces per second.
+    pub traces_per_sec: f64,
+    /// Running maximum `-log10(p)` over all probing sets.
+    pub max_minus_log10_p: f64,
+    /// Label of the probing set attaining the maximum.
+    pub worst_label: String,
+    /// Per-probe-set running values (the trajectory payload; campaigns
+    /// include the top sets plus every set over the threshold).
+    pub probes: Vec<ProbePoint>,
+}
+
+/// The machine-readable one-line verdict every CLI run ends with.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunSummary {
+    /// The producing tool (`"mmaes evaluate"`, `"exp_e2"`, …).
+    pub tool: String,
+    /// Run identifier (experiment id or design spec).
+    pub id: String,
+    /// Design evaluated.
+    pub design: String,
+    /// Randomness schedule(s) involved.
+    pub schedule: String,
+    /// Probing model, when applicable.
+    pub model: String,
+    /// Probing order, when applicable (0 = not applicable).
+    pub order: usize,
+    /// Traces simulated (0 when not a sampling run).
+    pub traces: u64,
+    /// Maximum observed `-log10(p)` (0 when not a sampling run).
+    pub max_minus_log10_p: f64,
+    /// The run's verdict (leakage evaluation: "no leak found";
+    /// experiments: "matches the paper").
+    pub passed: bool,
+    /// Wall time of the run, in milliseconds.
+    pub wall_ms: u64,
+    /// Free-form extras appended to the JSON object.
+    pub extra: Vec<(String, String)>,
+}
+
+impl RunSummary {
+    /// Renders the summary as a single JSON line.
+    pub fn to_json_line(&self) -> String {
+        let mut object = JsonObject::new()
+            .string("type", "summary")
+            .string("tool", &self.tool)
+            .string("id", &self.id)
+            .string("design", &self.design)
+            .string("schedule", &self.schedule)
+            .string("model", &self.model)
+            .unsigned("order", self.order as u64)
+            .unsigned("traces", self.traces)
+            .float("max_minus_log10_p", self.max_minus_log10_p)
+            .boolean("passed", self.passed)
+            .unsigned("wall_ms", self.wall_ms);
+        for (key, value) in &self.extra {
+            object = object.string(key, value);
+        }
+        object.finish()
+    }
+}
+
+/// Everything the instrumented stack reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A fixed-vs-random campaign began.
+    CampaignStarted {
+        /// Design under evaluation.
+        design: String,
+        /// Probing model name.
+        model: String,
+        /// Probing order.
+        order: usize,
+        /// Number of probing sets under test.
+        probe_sets: usize,
+        /// Trace budget.
+        traces_target: u64,
+    },
+    /// A periodic mid-campaign snapshot.
+    CampaignCheckpoint(Checkpoint),
+    /// A probing set first crossed the decision threshold.
+    ProbeFlagged {
+        /// The probing-set label.
+        label: String,
+        /// Its `-log10(p)` at the crossing checkpoint.
+        minus_log10_p: f64,
+        /// Traces accumulated when it crossed.
+        traces: u64,
+    },
+    /// A campaign completed (or early-stopped on a decisive verdict).
+    CampaignFinished {
+        /// Design under evaluation.
+        design: String,
+        /// Traces actually simulated.
+        traces: u64,
+        /// Wall time, milliseconds.
+        wall_ms: u64,
+        /// Whether no probing set exceeded the threshold.
+        passed: bool,
+        /// Final maximum `-log10(p)`.
+        max_minus_log10_p: f64,
+        /// Number of leaking probing sets.
+        leaking: usize,
+        /// Whether the campaign stopped before its trace budget.
+        early_stopped: bool,
+    },
+    /// Simulator counters (reported at checkpoint cadence).
+    SimProgress {
+        /// Clock cycles simulated since construction (monotonic).
+        cycles: u64,
+        /// Combinational cell evaluations (monotonic).
+        cell_evals: u64,
+        /// Fraction of the 64 lanes carrying useful traces.
+        lane_utilization: f64,
+    },
+    /// An exhaustive verification began.
+    EnumerationStarted {
+        /// Design under verification.
+        design: String,
+        /// Probing sets to verify.
+        probe_sets: usize,
+    },
+    /// Exhaustive verification progress.
+    EnumerationProgress {
+        /// Probing sets verified so far.
+        done: usize,
+        /// Total probing sets.
+        total: usize,
+        /// Wall time so far, milliseconds.
+        elapsed_ms: u64,
+    },
+    /// The enumerator found a distribution-gap counterexample.
+    CounterexampleFound {
+        /// The leaking probing set.
+        label: String,
+        /// Wall time from enumeration start to the hit, milliseconds.
+        elapsed_ms: u64,
+    },
+    /// An exhaustive verification completed.
+    EnumerationFinished {
+        /// Design under verification.
+        design: String,
+        /// Probing sets proven secure.
+        secure: usize,
+        /// Probing sets proven leaky.
+        leaky: usize,
+        /// Probing sets skipped as too wide to enumerate.
+        too_wide: usize,
+        /// Wall time, milliseconds.
+        wall_ms: u64,
+    },
+    /// The run's final machine-readable verdict.
+    RunSummary(RunSummary),
+}
+
+impl Event {
+    /// The event's `type` tag as it appears in JSONL records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CampaignStarted { .. } => "campaign_started",
+            Event::CampaignCheckpoint(_) => "checkpoint",
+            Event::ProbeFlagged { .. } => "probe_flagged",
+            Event::CampaignFinished { .. } => "campaign_finished",
+            Event::SimProgress { .. } => "sim_progress",
+            Event::EnumerationStarted { .. } => "enumeration_started",
+            Event::EnumerationProgress { .. } => "enumeration_progress",
+            Event::CounterexampleFound { .. } => "counterexample_found",
+            Event::EnumerationFinished { .. } => "enumeration_finished",
+            Event::RunSummary(_) => "summary",
+        }
+    }
+
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Event::CampaignStarted {
+                design,
+                model,
+                order,
+                probe_sets,
+                traces_target,
+            } => JsonObject::new()
+                .string("type", self.kind())
+                .string("design", design)
+                .string("model", model)
+                .unsigned("order", *order as u64)
+                .unsigned("probe_sets", *probe_sets as u64)
+                .unsigned("traces_target", *traces_target)
+                .finish(),
+            Event::CampaignCheckpoint(checkpoint) => JsonObject::new()
+                .string("type", self.kind())
+                .unsigned("traces", checkpoint.traces)
+                .unsigned("traces_target", checkpoint.traces_target)
+                .unsigned("elapsed_ms", checkpoint.elapsed_ms)
+                .float("traces_per_sec", checkpoint.traces_per_sec)
+                .float("max_minus_log10_p", checkpoint.max_minus_log10_p)
+                .string("worst_label", &checkpoint.worst_label)
+                .raw(
+                    "probes",
+                    &array(checkpoint.probes.iter().map(ProbePoint::to_json)),
+                )
+                .finish(),
+            Event::ProbeFlagged {
+                label,
+                minus_log10_p,
+                traces,
+            } => JsonObject::new()
+                .string("type", self.kind())
+                .string("label", label)
+                .float("minus_log10_p", *minus_log10_p)
+                .unsigned("traces", *traces)
+                .finish(),
+            Event::CampaignFinished {
+                design,
+                traces,
+                wall_ms,
+                passed,
+                max_minus_log10_p,
+                leaking,
+                early_stopped,
+            } => JsonObject::new()
+                .string("type", self.kind())
+                .string("design", design)
+                .unsigned("traces", *traces)
+                .unsigned("wall_ms", *wall_ms)
+                .boolean("passed", *passed)
+                .float("max_minus_log10_p", *max_minus_log10_p)
+                .unsigned("leaking", *leaking as u64)
+                .boolean("early_stopped", *early_stopped)
+                .finish(),
+            Event::SimProgress {
+                cycles,
+                cell_evals,
+                lane_utilization,
+            } => JsonObject::new()
+                .string("type", self.kind())
+                .unsigned("cycles", *cycles)
+                .unsigned("cell_evals", *cell_evals)
+                .float("lane_utilization", *lane_utilization)
+                .finish(),
+            Event::EnumerationStarted { design, probe_sets } => JsonObject::new()
+                .string("type", self.kind())
+                .string("design", design)
+                .unsigned("probe_sets", *probe_sets as u64)
+                .finish(),
+            Event::EnumerationProgress {
+                done,
+                total,
+                elapsed_ms,
+            } => JsonObject::new()
+                .string("type", self.kind())
+                .unsigned("done", *done as u64)
+                .unsigned("total", *total as u64)
+                .unsigned("elapsed_ms", *elapsed_ms)
+                .finish(),
+            Event::CounterexampleFound { label, elapsed_ms } => JsonObject::new()
+                .string("type", self.kind())
+                .string("label", label)
+                .unsigned("elapsed_ms", *elapsed_ms)
+                .finish(),
+            Event::EnumerationFinished {
+                design,
+                secure,
+                leaky,
+                too_wide,
+                wall_ms,
+            } => JsonObject::new()
+                .string("type", self.kind())
+                .string("design", design)
+                .unsigned("secure", *secure as u64)
+                .unsigned("leaky", *leaky as u64)
+                .unsigned("too_wide", *too_wide as u64)
+                .unsigned("wall_ms", *wall_ms)
+                .finish(),
+            Event::RunSummary(summary) => summary.to_json_line(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_renders_with_its_type_tag() {
+        let events = [
+            Event::CampaignStarted {
+                design: "kronecker".into(),
+                model: "glitch".into(),
+                order: 1,
+                probe_sets: 35,
+                traces_target: 200_000,
+            },
+            Event::CampaignCheckpoint(Checkpoint {
+                traces: 64_000,
+                traces_target: 200_000,
+                elapsed_ms: 1200,
+                traces_per_sec: 53_333.0,
+                max_minus_log10_p: 7.3,
+                worst_label: "kronecker/G7/v1".into(),
+                probes: vec![ProbePoint {
+                    label: "kronecker/G7/v1".into(),
+                    minus_log10_p: 7.3,
+                    leaking: true,
+                }],
+            }),
+            Event::ProbeFlagged {
+                label: "kronecker/G7/v1".into(),
+                minus_log10_p: 5.2,
+                traces: 32_000,
+            },
+            Event::CampaignFinished {
+                design: "kronecker".into(),
+                traces: 200_000,
+                wall_ms: 4000,
+                passed: false,
+                max_minus_log10_p: 308.0,
+                leaking: 4,
+                early_stopped: false,
+            },
+            Event::SimProgress {
+                cycles: 21_875,
+                cell_evals: 10_000_000,
+                lane_utilization: 1.0,
+            },
+            Event::EnumerationStarted {
+                design: "kronecker".into(),
+                probe_sets: 35,
+            },
+            Event::EnumerationProgress {
+                done: 10,
+                total: 35,
+                elapsed_ms: 90,
+            },
+            Event::CounterexampleFound {
+                label: "kronecker/G7/v1".into(),
+                elapsed_ms: 55,
+            },
+            Event::EnumerationFinished {
+                design: "kronecker".into(),
+                secure: 31,
+                leaky: 4,
+                too_wide: 0,
+                wall_ms: 300,
+            },
+            Event::RunSummary(RunSummary {
+                tool: "mmaes evaluate".into(),
+                id: "kronecker:de-meyer-eq6".into(),
+                design: "kronecker".into(),
+                schedule: "de-meyer-eq6".into(),
+                model: "glitch".into(),
+                order: 1,
+                traces: 200_000,
+                max_minus_log10_p: 308.0,
+                passed: false,
+                wall_ms: 4000,
+                extra: vec![("leaking".into(), "4".into())],
+            }),
+        ];
+        for event in &events {
+            let line = event.to_json_line();
+            assert!(
+                line.contains(&format!("\"type\":\"{}\"", event.kind())),
+                "{line}"
+            );
+            assert!(!line.contains('\n'));
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn summary_extras_are_appended() {
+        let summary = RunSummary {
+            tool: "exp_e2".into(),
+            extra: vec![("note".into(), "smoke".into())],
+            ..RunSummary::default()
+        };
+        let line = summary.to_json_line();
+        assert!(line.contains("\"note\":\"smoke\""));
+        assert!(line.contains("\"tool\":\"exp_e2\""));
+    }
+}

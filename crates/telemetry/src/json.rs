@@ -1,0 +1,159 @@
+//! A minimal JSON writer (no serde — the workspace builds offline).
+//!
+//! Only what the event schema needs: flat objects, nested arrays of
+//! objects, strings, numbers, booleans. Field order is insertion order,
+//! so run records diff cleanly.
+
+use std::fmt::Write as _;
+
+/// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
+pub fn escape(text: &str) -> String {
+    let mut escaped = String::with_capacity(text.len() + 2);
+    for character in text.chars() {
+        match character {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            control if (control as u32) < 0x20 => {
+                let _ = write!(escaped, "\\u{:04x}", control as u32);
+            }
+            other => escaped.push(other),
+        }
+    }
+    escaped
+}
+
+/// Renders an `f64` as JSON: finite values verbatim, non-finite as null
+/// (JSON has no Infinity/NaN).
+pub fn number(value: f64) -> String {
+    if value.is_finite() {
+        // Round-trippable but compact: 4 decimals is plenty for
+        // -log10(p) and rate reporting; integers render clean.
+        if value == value.trunc() && value.abs() < 1e15 {
+            format!("{}", value as i64)
+        } else {
+            format!("{value:.4}")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// An incremental JSON object writer.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buffer: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buffer: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.buffer.len() > 1 {
+            self.buffer.push(',');
+        }
+        let _ = write!(self.buffer, "\"{}\":", escape(key));
+    }
+
+    /// Adds a string field.
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        let _ = write!(self.buffer, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn unsigned(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buffer, "{value}");
+        self
+    }
+
+    /// Adds a float field (non-finite values become null).
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buffer.push_str(&number(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn boolean(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buffer.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON.
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buffer.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buffer.push('}');
+        self.buffer
+    }
+}
+
+/// Renders an array from already-rendered JSON elements.
+pub fn array(elements: impl IntoIterator<Item = String>) -> String {
+    let mut buffer = String::from("[");
+    for (index, element) in elements.into_iter().enumerate() {
+        if index > 0 {
+            buffer.push(',');
+        }
+        buffer.push_str(&element);
+    }
+    buffer.push(']');
+    buffer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn objects_render_in_insertion_order() {
+        let json = JsonObject::new()
+            .string("type", "checkpoint")
+            .unsigned("traces", 1000)
+            .float("mlp", 7.25)
+            .boolean("leaking", true)
+            .raw("probes", &array(["{}".to_owned()]))
+            .finish();
+        assert_eq!(
+            json,
+            r#"{"type":"checkpoint","traces":1000,"mlp":7.2500,"leaking":true,"probes":[{}]}"#
+        );
+    }
+
+    #[test]
+    fn numbers_stay_json_safe() {
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(308.0), "308");
+        assert_eq!(number(5.4321), "5.4321");
+    }
+
+    #[test]
+    fn empty_object_and_array_render() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(array(Vec::new()), "[]");
+    }
+}

@@ -1,0 +1,38 @@
+//! Campaign telemetry for the evaluator stack.
+//!
+//! PROLEAD reports intermediate `-log10(p)` checkpoints so the analyst
+//! can watch leakage emerge long before the full simulation budget is
+//! spent — on the paper's own experiments the Eq. 6 flaw is visible
+//! climbing past the decision threshold within the first few percent of
+//! the campaign. This crate gives the whole workspace that capability:
+//!
+//! * a typed [`Event`] stream — campaign lifecycle, per-probe-set
+//!   `-log10(p)` trajectory checkpoints, simulator counters, exhaustive
+//!   enumeration progress, and machine-readable run summaries;
+//! * an [`Observer`] handle threaded through the hot paths, cheap enough
+//!   to leave in place: the disabled (null) observer is a single `Option`
+//!   check and instrumented code is expected to gate any expensive
+//!   snapshot computation on [`Observer::enabled`];
+//! * three bundled [`Sink`]s — [`HumanProgressSink`] (stderr: traces/s,
+//!   ETA, running max `-log10(p)`), [`JsonlSink`] (a replayable run
+//!   record, one JSON object per line), and [`MemorySink`] (tests);
+//! * [`Counter`] / [`Stopwatch`] primitives for monotonic counting and
+//!   wall-clock spans.
+//!
+//! The crate is dependency-light by design: events serialize through a
+//! hand-rolled JSON writer ([`json`]), so every downstream crate can
+//! afford the dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod event;
+pub mod json;
+mod observer;
+mod sink;
+
+pub use counters::{Counter, Stopwatch};
+pub use event::{Checkpoint, Event, ProbePoint, RunSummary};
+pub use observer::Observer;
+pub use sink::{HumanProgressSink, JsonlSink, MemorySink, NullSink, Sink};

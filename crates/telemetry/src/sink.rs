@@ -1,0 +1,266 @@
+//! Event sinks: where the instrumented stack's events go.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::event::Event;
+
+/// Receives telemetry events.
+///
+/// Sinks must tolerate any event ordering — instrumented code may emit
+/// progress without a preceding "started" event (e.g. a bare simulator
+/// loop), and multiple campaigns may run back to back on one sink.
+pub trait Sink: Send {
+    /// Handles one event.
+    fn on_event(&mut self, event: &Event);
+
+    /// Flushes any buffered output (end of run).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything. The zero-cost default — an [`crate::Observer`]
+/// with no sinks never even constructs events.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+/// Writes one JSON object per line — a replayable run record
+/// (`--metrics FILE.jsonl`).
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the record file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn on_event(&mut self, event: &Event) {
+        let _ = writeln!(self.writer, "{}", event.to_json_line());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Live progress on stderr: traces/s, ETA, running max `-log10(p)`.
+///
+/// Checkpoint lines are throttled (default 200 ms) so a fast campaign
+/// doesn't flood the terminal; lifecycle events always print.
+#[derive(Debug)]
+pub struct HumanProgressSink {
+    last_line: Option<Instant>,
+    min_interval: Duration,
+}
+
+impl HumanProgressSink {
+    /// A sink with the default 200 ms throttle.
+    pub fn new() -> Self {
+        HumanProgressSink {
+            last_line: None,
+            min_interval: Duration::from_millis(200),
+        }
+    }
+
+    /// Overrides the checkpoint throttle interval.
+    pub fn with_min_interval(mut self, interval: Duration) -> Self {
+        self.min_interval = interval;
+        self
+    }
+
+    fn throttled(&mut self) -> bool {
+        let now = Instant::now();
+        if let Some(last) = self.last_line {
+            if now.duration_since(last) < self.min_interval {
+                return true;
+            }
+        }
+        self.last_line = Some(now);
+        false
+    }
+}
+
+impl Default for HumanProgressSink {
+    fn default() -> Self {
+        HumanProgressSink::new()
+    }
+}
+
+impl Sink for HumanProgressSink {
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::CampaignStarted {
+                design,
+                model,
+                order,
+                probe_sets,
+                traces_target,
+            } => eprintln!(
+                "[campaign] {design}: {probe_sets} probing sets, \
+                 order-{order} {model} model, {traces_target} traces"
+            ),
+            Event::CampaignCheckpoint(checkpoint) => {
+                if self.throttled() {
+                    return;
+                }
+                let remaining = checkpoint.traces_target.saturating_sub(checkpoint.traces);
+                let eta = if checkpoint.traces_per_sec > 0.0 {
+                    format!("{:.0}s", remaining as f64 / checkpoint.traces_per_sec)
+                } else {
+                    "?".to_owned()
+                };
+                eprintln!(
+                    "[{:>3.0}%] {} traces  {:>8.0} traces/s  eta {}  \
+                     max -log10(p) {:.2} ({})",
+                    100.0 * checkpoint.traces as f64 / checkpoint.traces_target.max(1) as f64,
+                    checkpoint.traces,
+                    checkpoint.traces_per_sec,
+                    eta,
+                    checkpoint.max_minus_log10_p,
+                    checkpoint.worst_label,
+                );
+            }
+            Event::ProbeFlagged {
+                label,
+                minus_log10_p,
+                traces,
+            } => eprintln!(
+                "[flag] {label} crossed the threshold at {traces} traces \
+                 (-log10(p) = {minus_log10_p:.2})"
+            ),
+            Event::CampaignFinished {
+                design,
+                traces,
+                wall_ms,
+                passed,
+                max_minus_log10_p,
+                leaking,
+                early_stopped,
+            } => {
+                let verdict = if *passed {
+                    "no leakage detected"
+                } else {
+                    "LEAKAGE"
+                };
+                let stop = if *early_stopped { ", early stop" } else { "" };
+                eprintln!(
+                    "[done] {design}: {verdict} — {leaking} leaking sets, \
+                     max -log10(p) {max_minus_log10_p:.2}, {traces} traces \
+                     in {:.1}s{stop}",
+                    *wall_ms as f64 / 1000.0,
+                );
+            }
+            Event::SimProgress { .. } => {}
+            Event::EnumerationStarted { design, probe_sets } => {
+                eprintln!("[exact] {design}: enumerating {probe_sets} probing sets");
+            }
+            Event::EnumerationProgress {
+                done,
+                total,
+                elapsed_ms,
+            } => {
+                if self.throttled() {
+                    return;
+                }
+                eprintln!(
+                    "[exact] {done}/{total} sets verified ({:.1}s)",
+                    *elapsed_ms as f64 / 1000.0
+                );
+            }
+            Event::CounterexampleFound { label, elapsed_ms } => eprintln!(
+                "[exact] counterexample for {label} after {:.2}s",
+                *elapsed_ms as f64 / 1000.0
+            ),
+            Event::EnumerationFinished {
+                design,
+                secure,
+                leaky,
+                too_wide,
+                wall_ms,
+            } => eprintln!(
+                "[exact] {design}: {secure} secure, {leaky} leaky, \
+                 {too_wide} too wide in {:.1}s",
+                *wall_ms as f64 / 1000.0
+            ),
+            Event::RunSummary(_) => {}
+        }
+    }
+}
+
+/// Collects events in memory — the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A handle to the collected events; stays valid after the sink is
+    /// moved into an observer.
+    pub fn events(&self) -> Arc<Mutex<Vec<Event>>> {
+        Arc::clone(&self.events)
+    }
+}
+
+impl Sink for MemorySink {
+    fn on_event(&mut self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_handle_survives_the_move() {
+        let sink = MemorySink::new();
+        let handle = sink.events();
+        let mut boxed: Box<dyn Sink> = Box::new(sink);
+        boxed.on_event(&Event::CounterexampleFound {
+            label: "v1".into(),
+            elapsed_ms: 3,
+        });
+        assert_eq!(handle.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let path = std::env::temp_dir().join("mmaes-telemetry-jsonl-test.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.on_event(&Event::EnumerationStarted {
+                design: "demo".into(),
+                probe_sets: 2,
+            });
+            sink.on_event(&Event::CounterexampleFound {
+                label: "v1".into(),
+                elapsed_ms: 1,
+            });
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"enumeration_started\""));
+        assert!(lines[1].contains("\"type\":\"counterexample_found\""));
+    }
+}

@@ -8,3 +8,4 @@ pub use mmaes_leakage as leakage;
 pub use mmaes_masking as masking;
 pub use mmaes_netlist as netlist;
 pub use mmaes_sim as sim;
+pub use mmaes_telemetry as telemetry;

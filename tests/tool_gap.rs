@@ -42,10 +42,9 @@ fn non_completeness_cannot_see_the_randomness_flaw() {
     assert!(proof.leak_found(), "{proof}");
 }
 
-#[test]
-fn six_bit_r7_family_matches_the_paper_exactly() {
-    // The paper's "four solutions found by trial and error", validated
-    // by sweeping all six r7 choices under glitch+transition.
+/// Sweeps all six r7 choices under glitch+transition at the given trace
+/// budget and checks the paper's boundary: exactly r7 ∈ {r1..r4} pass.
+fn check_six_bit_r7_family(traces: u64) {
     use mult_masked_aes::leakage::{EvaluationConfig, FixedVsRandom};
     use mult_masked_aes::masking::randomness::MaskSlot;
 
@@ -61,7 +60,7 @@ fn six_bit_r7_family_matches_the_paper_exactly() {
             &circuit.netlist,
             EvaluationConfig {
                 model: ProbeModel::GlitchTransition,
-                traces: 100_000,
+                traces,
                 fixed_secret: 0,
                 warmup_cycles: 6,
                 ..EvaluationConfig::default()
@@ -76,4 +75,17 @@ fn six_bit_r7_family_matches_the_paper_exactly() {
             if expected_pass { "PASS" } else { "FAIL" }
         );
     }
+}
+
+#[test]
+fn six_bit_r7_family_matches_the_paper_exactly() {
+    // The paper's "four solutions found by trial and error" — the
+    // cross-cycle reuse leak is strong, so a reduced budget suffices.
+    check_six_bit_r7_family(50_000);
+}
+
+#[test]
+#[ignore = "paper-scale"]
+fn six_bit_r7_family_at_the_full_seed_budget() {
+    check_six_bit_r7_family(100_000);
 }

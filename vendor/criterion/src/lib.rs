@@ -1,0 +1,237 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `throughput` / `bench_function`, `Bencher::iter`, and
+//! `black_box`.
+//!
+//! The harness is a plain wall-clock timer: a warm-up pass estimates the
+//! per-iteration cost, then each benchmark runs for a fixed time budget
+//! and reports the median-of-samples time per iteration (plus derived
+//! throughput). No plotting, no statistics beyond the median — enough to
+//! compare before/after on the same machine, which is how the repo's
+//! benches are used.
+//!
+//! `--bench` and benchmark-name filter arguments passed by `cargo bench`
+//! are accepted; a name filter restricts which benchmarks run.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Per-element scaling used to derive throughput from iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing driver handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up & cost estimate.
+        let warmup = Instant::now();
+        black_box(routine());
+        let estimate = warmup.elapsed().max(Duration::from_nanos(1));
+        // Fit the sample loop into ~300 ms, between 5 and 1000 samples.
+        let budget = Duration::from_millis(300);
+        let samples = (budget.as_nanos() / estimate.as_nanos()).clamp(5, 1000) as usize;
+        self.samples.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted.get(sorted.len() / 2).copied().unwrap_or_default()
+    }
+}
+
+/// A named identifier for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId(id.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId(id)
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` plus any user filter; the last
+        // non-flag argument (if any) filters benchmark names.
+        let filter = std::env::args().skip(1).rfind(|arg| !arg.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        run_one(&id.0, None, self.filter.as_deref(), f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput scale.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes its sample loop by
+    /// wall-clock budget instead.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Scales reported times into a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_one(&id, self.throughput, self.criterion.filter.as_deref(), f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    filter: Option<&str>,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !id.contains(filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let median = bencher.median();
+    let rate = throughput.map(|throughput| match throughput {
+        Throughput::Bytes(bytes) => format!(
+            " ({:.1} MiB/s)",
+            bytes as f64 / median.as_secs_f64() / (1 << 20) as f64
+        ),
+        Throughput::Elements(elements) => {
+            format!(" ({:.0} elem/s)", elements as f64 / median.as_secs_f64())
+        }
+    });
+    println!(
+        "{id:<50} {:>12.3} ms/iter{}",
+        median.as_secs_f64() * 1e3,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_medians() {
+        let mut bencher = Bencher::default();
+        bencher.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(!bencher.samples.is_empty());
+        assert!(bencher.median() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut criterion = Criterion { filter: None };
+        let mut group = criterion.benchmark_group("stub");
+        let mut ran = false;
+        group
+            .throughput(Throughput::Elements(10))
+            .bench_function("probe", |bencher| {
+                ran = true;
+                bencher.iter(|| black_box(1u32) + 1)
+            });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let mut criterion = Criterion {
+            filter: Some("other".into()),
+        };
+        let mut ran = false;
+        criterion.bench_function("this_one", |bencher| {
+            ran = true;
+            bencher.iter(|| ());
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors a small sampling-based property-test engine with the same
+//! surface syntax: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, `any::<T>()`, integer-range strategies, tuple strategies,
+//! `prop::collection::vec`, and `prop::array::uniform8`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case panics with the sampled inputs
+//!   reported via the assertion message;
+//! * cases are sampled from a deterministic per-test seed (derived from
+//!   the test's name), so failures reproduce across runs.
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Strategy};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator driving strategy sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from a test's name: deterministic, stable
+    /// across runs, distinct between tests.
+    pub fn deterministic(name: &str) -> Self {
+        let mut state = 0x243f_6a88_85a3_08d3u64; // π, as an arbitrary constant
+        for byte in name.bytes() {
+            state = (state ^ byte as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// Acceptable size arguments for [`vec`]: a fixed length or a range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start() <= self.end(), "empty size range");
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    /// A strategy yielding `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Array strategies (`prop::array::uniform8`).
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// A strategy yielding fixed-size arrays from one element strategy.
+    #[derive(Debug, Clone)]
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            core::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    macro_rules! uniform_fn {
+        ($($name:ident => $n:literal),*) => {$(
+            /// Arrays of independently drawn elements.
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )*};
+    }
+    uniform_fn!(uniform2 => 2, uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform32 => 32);
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Nested module mirror, as real proptest's prelude provides.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, reporting the expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` drawing its
+/// arguments from the given strategies for `config.cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&$strategy, &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 1u8..=255, b in 0u32..64, c in 2usize..=8) {
+            prop_assert!(a >= 1);
+            prop_assert!(b < 64);
+            prop_assert!((2..=8).contains(&c));
+        }
+
+        #[test]
+        fn tuples_and_collections_compose(
+            (len, items) in (2usize..=8, prop::collection::vec((any::<u16>(), 0u8..3, any::<u16>()), 7)),
+        ) {
+            prop_assert!((2..=8).contains(&len));
+            prop_assert_eq!(items.len(), 7);
+            for (_, tag, _) in items {
+                prop_assert!(tag < 3);
+            }
+        }
+
+        #[test]
+        fn arrays_and_map_compose(rows in prop::array::uniform8(any::<u8>()).prop_map(|r| r.to_vec())) {
+            prop_assert_eq!(rows.len(), 8);
+        }
+
+        #[test]
+        fn sized_vec_ranges_work(items in prop::collection::vec(any::<bool>(), 1..40)) {
+            prop_assert!(!items.is_empty() && items.len() < 40);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_test() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::deterministic("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn any_covers_the_domain_eventually() {
+        let strategy = any::<u8>();
+        let mut rng = crate::TestRng::deterministic("coverage");
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[strategy.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&hit| hit));
+    }
+}
