@@ -7,6 +7,7 @@
 //! mmaes verilog  <design> [file]           structural Verilog export
 //! mmaes evaluate <design> [options]        PROLEAD-style campaign
 //! mmaes verify   <design> [options]        exhaustive (SILVER-style) proof
+//! mmaes bench    [options]                 performance-regression workload
 //! ```
 //!
 //! Designs: `kronecker[:SCHEDULE]`, `sbox[:SCHEDULE]`, `sbox-no-kronecker`,
@@ -16,14 +17,20 @@
 //! Evaluate options: `--model glitch|transition`, `--order 1|2`,
 //! `--traces N`, `--fixed V`, `--seed N`, `--scope PREFIX`, `--csv FILE`,
 //! `--checkpoints N`, `--early-stop`, `--metrics FILE`, `--progress`,
-//! `--quiet`.
+//! `--perf`, `--quiet`.
 //! Verify options: `--scope PREFIX`, `--max-bits N`, `--transition`,
-//! `--metrics FILE`, `--progress`, `--quiet`.
+//! `--metrics FILE`, `--progress`, `--perf`, `--quiet`.
+//! Bench options: `--quick`, `--label NAME`, `--baseline FILE`,
+//! `--threshold PCT`, `--out FILE`, `--quiet`.
 //!
 //! `evaluate` and `verify` always end with one machine-readable JSON
-//! summary line on stdout; `--metrics` additionally records the full
-//! event stream (campaign checkpoints with per-probe-set `-log10(p)`
-//! trajectories, threshold crossings, the final verdict) as JSON lines.
+//! summary line on stdout (schema v2: includes `elapsed_ms`,
+//! `traces_per_sec`, `cell_evals`); `--metrics` additionally records the
+//! full event stream (campaign checkpoints with per-probe-set
+//! `-log10(p)` trajectories, threshold crossings, `--perf` phase
+//! snapshots, the final verdict) as JSON lines. `bench` writes a
+//! schema-versioned `BENCH_<label>.json` and exits non-zero when
+//! `--baseline` reveals a throughput regression.
 
 use std::process::exit;
 
@@ -50,6 +57,7 @@ fn main() {
         "verilog" => export(&arguments[1..], |netlist| netlist.to_verilog(), "v"),
         "evaluate" => evaluate(&arguments[1..]),
         "verify" => verify(&arguments[1..]),
+        "bench" => mmaes_bench::bench::run(&arguments[1..]),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command `{other}`");
@@ -70,9 +78,11 @@ fn usage() {
          mmaes evaluate <design> [--model glitch|transition] [--order N] [--traces N]\n\
          \u{20}                  [--fixed V] [--seed N] [--scope PREFIX] [--csv FILE]\n\
          \u{20}                  [--checkpoints N] [--early-stop]\n\
-         \u{20}                  [--metrics FILE] [--progress] [--quiet]\n\
+         \u{20}                  [--metrics FILE] [--progress] [--perf] [--quiet]\n\
          mmaes verify   <design> [--scope PREFIX] [--max-bits N] [--transition]\n\
-         \u{20}                  [--metrics FILE] [--progress] [--quiet]\n\
+         \u{20}                  [--metrics FILE] [--progress] [--perf] [--quiet]\n\
+         mmaes bench    [--quick] [--label NAME] [--baseline FILE]\n\
+         \u{20}                  [--threshold PCT] [--out FILE] [--quiet]\n\
          \n\
          designs: kronecker[:SCHEDULE] | sbox[:SCHEDULE] | sbox-no-kronecker |\n\
          \u{20}        aes[:SCHEDULE] | unprotected-sbox"
@@ -262,6 +272,7 @@ fn evaluate(arguments: &[String]) {
     let mut csv_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut progress = false;
+    let mut perf = false;
     let mut quiet = false;
     let mut rest = arguments[1..].iter();
     while let Some(flag) = rest.next() {
@@ -292,6 +303,7 @@ fn evaluate(arguments: &[String]) {
             "--early-stop" => config.early_stop = true,
             "--metrics" => metrics_path = Some(value()),
             "--progress" => progress = true,
+            "--perf" => perf = true,
             "--quiet" => quiet = true,
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -305,7 +317,7 @@ fn evaluate(arguments: &[String]) {
     }
     let model = model_name(config.model);
     let order = config.order;
-    let observer = mmaes_bench::observer_from(metrics_path.as_deref(), progress && !quiet);
+    let observer = mmaes_bench::observer_from(metrics_path.as_deref(), progress && !quiet, perf);
     let stopwatch = Stopwatch::start();
     let mut campaign = FixedVsRandom::new(&design.netlist, config).with_observer(observer.clone());
     for bus in &design.nonzero_buses {
@@ -341,11 +353,15 @@ fn evaluate(arguments: &[String]) {
             .unwrap_or(0.0),
         passed: report.passed(),
         wall_ms: stopwatch.elapsed_ms(),
+        traces_per_sec: stopwatch.rate(report.traces),
+        cell_evals: report.cell_evals,
         extra: Vec::new(),
     };
     observer.emit(&Event::RunSummary(summary.clone()));
-    observer.flush();
-    println!("{}", summary.to_json_line());
+    if perf {
+        eprint!("{}", observer.perf().render_table());
+    }
+    mmaes_bench::print_summary_last(&observer, &summary.to_json_line());
     exit(if report.passed() { 0 } else { 1 });
 }
 
@@ -369,6 +385,7 @@ fn verify(arguments: &[String]) {
     };
     let mut metrics_path: Option<String> = None;
     let mut progress = false;
+    let mut perf = false;
     let mut quiet = false;
     let mut rest = arguments[1..].iter();
     while let Some(flag) = rest.next() {
@@ -387,6 +404,7 @@ fn verify(arguments: &[String]) {
             "--transition" => config.model = ProbeModel::GlitchTransition,
             "--metrics" => metrics_path = Some(value()),
             "--progress" => progress = true,
+            "--perf" => perf = true,
             "--quiet" => quiet = true,
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -395,7 +413,7 @@ fn verify(arguments: &[String]) {
         }
     }
     let model = model_name(config.model);
-    let observer = mmaes_bench::observer_from(metrics_path.as_deref(), progress && !quiet);
+    let observer = mmaes_bench::observer_from(metrics_path.as_deref(), progress && !quiet, perf);
     let stopwatch = Stopwatch::start();
     let report = ExactVerifier::with_config(&design.netlist, config)
         .with_observer(observer.clone())
@@ -411,6 +429,7 @@ fn verify(arguments: &[String]) {
         model: model.to_owned(),
         passed: !report.leak_found(),
         wall_ms: stopwatch.elapsed_ms(),
+        cell_evals: report.cell_evals,
         extra: vec![
             ("secure".to_owned(), report.secure_count().to_string()),
             ("leaky".to_owned(), report.leaks().len().to_string()),
@@ -419,7 +438,9 @@ fn verify(arguments: &[String]) {
         ..RunSummary::default()
     };
     observer.emit(&Event::RunSummary(summary.clone()));
-    observer.flush();
-    println!("{}", summary.to_json_line());
+    if perf {
+        eprint!("{}", observer.perf().render_table());
+    }
+    mmaes_bench::print_summary_last(&observer, &summary.to_json_line());
     exit(if report.leak_found() { 1 } else { 0 });
 }

@@ -13,19 +13,27 @@
 //! --exact-full      exhaustively verify the whole design, not just G7
 //! --metrics FILE    append JSON-lines telemetry events to FILE
 //! --progress        live human-readable progress on stderr
+//! --perf            record per-phase timings; breakdown on stderr
 //! --quiet           suppress the prose report (the JSON summary stays)
 //! ```
 //!
 //! Regardless of flags, every binary ends by printing exactly one
 //! machine-readable JSON summary line on stdout (`"type":"summary"`)
 //! recording the experiment id, schedule, traces, max `-log10(p)`,
-//! pass/fail verdict, and wall time.
+//! pass/fail verdict, and wall time — and that summary is always the
+//! *last* stdout line (see [`print_summary_last`]).
+//!
+//! The [`bench`] module implements the `mmaes bench` regression harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
+
 use mmaes_core::{ExperimentBudget, ExperimentOutcome};
-use mmaes_telemetry::{Event, HumanProgressSink, JsonlSink, Observer, RunSummary, Sink, Stopwatch};
+use mmaes_telemetry::{
+    Event, HumanProgressSink, JsonlSink, Observer, PerfRecorder, RunSummary, Sink, Stopwatch,
+};
 
 /// Parsed command line shared by the `exp_*` binaries: the workload
 /// budget, the telemetry observer built from `--metrics`/`--progress`,
@@ -50,6 +58,7 @@ impl RunOptions {
         let mut budget = ExperimentBudget::default();
         let mut metrics_path: Option<String> = None;
         let mut progress = false;
+        let mut perf = false;
         let mut quiet = false;
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -83,19 +92,20 @@ impl RunOptions {
                     );
                 }
                 "--progress" => progress = true,
+                "--perf" => perf = true,
                 "--quiet" => quiet = true,
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --traces N  --traces2 N  --dpa-traces N  --seed N  \
                          --checkpoints N  --paper-scale  --exact-full  \
-                         --metrics FILE  --progress  --quiet"
+                         --metrics FILE  --progress  --perf  --quiet"
                     );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag `{other}` (try --help)"),
             }
         }
-        let observer = observer_from(metrics_path.as_deref(), progress && !quiet);
+        let observer = observer_from(metrics_path.as_deref(), progress && !quiet, perf);
         RunOptions {
             budget,
             observer,
@@ -111,14 +121,14 @@ impl RunOptions {
     pub fn finish(self, outcome: &ExperimentOutcome) -> ! {
         let summary = self.summarize(outcome);
         self.observer.emit(&Event::RunSummary(summary.clone()));
-        self.observer.flush();
         if !self.quiet {
             println!("{outcome}");
             println!();
             println!("--- full evaluator output ---");
             println!("{}", outcome.details);
         }
-        println!("{}", summary.to_json_line());
+        self.report_perf();
+        print_summary_last(&self.observer, &summary.to_json_line());
         if outcome.matches_paper {
             std::process::exit(0);
         }
@@ -135,11 +145,13 @@ impl RunOptions {
             .iter()
             .filter(|outcome| !outcome.matches_paper)
             .count();
+        let total_traces: u64 = outcomes.iter().map(|outcome| outcome.traces).sum();
         let summary = RunSummary {
             tool: "exp_all".to_owned(),
             id: "ALL".to_owned(),
             schedule: "suite".to_owned(),
-            traces: outcomes.iter().map(|outcome| outcome.traces).sum(),
+            traces: total_traces,
+            traces_per_sec: self.stopwatch.rate(total_traces),
             max_minus_log10_p: outcomes
                 .iter()
                 .map(|outcome| outcome.max_minus_log10_p)
@@ -153,25 +165,33 @@ impl RunOptions {
             ..RunSummary::default()
         };
         self.observer.emit(&Event::RunSummary(summary.clone()));
-        self.observer.flush();
         if !self.quiet {
             println!("{}", mmaes_core::outcome_table(outcomes));
             for outcome in outcomes {
                 println!("{outcome}\n");
             }
+            if mismatches == 0 {
+                println!(
+                    "all {} experiments reproduced the paper's findings",
+                    outcomes.len()
+                );
+            }
         }
-        println!("{}", summary.to_json_line());
+        self.report_perf();
+        print_summary_last(&self.observer, &summary.to_json_line());
         if mismatches > 0 {
             eprintln!("{mismatches} experiment(s) did not reproduce");
             std::process::exit(1);
         }
-        if !self.quiet {
-            println!(
-                "all {} experiments reproduced the paper's findings",
-                outcomes.len()
-            );
-        }
         std::process::exit(0);
+    }
+
+    /// Prints the per-phase breakdown to stderr when `--perf` was given.
+    fn report_perf(&self) {
+        let perf = self.observer.perf();
+        if perf.is_enabled() {
+            eprint!("{}", perf.render_table());
+        }
     }
 
     fn summarize(&self, outcome: &ExperimentOutcome) -> RunSummary {
@@ -183,6 +203,7 @@ impl RunOptions {
             max_minus_log10_p: outcome.max_minus_log10_p,
             passed: outcome.matches_paper,
             wall_ms: self.stopwatch.elapsed_ms(),
+            traces_per_sec: self.stopwatch.rate(outcome.traces),
             extra: vec![("title".to_owned(), outcome.title.to_owned())],
             ..RunSummary::default()
         }
@@ -191,8 +212,10 @@ impl RunOptions {
 
 /// Builds an observer from the shared telemetry flags: a JSON-lines
 /// sink when `metrics_path` is given, a throttled human progress sink
-/// when `progress` is set, the zero-cost null observer otherwise.
-pub fn observer_from(metrics_path: Option<&str>, progress: bool) -> Observer {
+/// when `progress` is set, the zero-cost null observer otherwise. With
+/// `perf` an enabled [`PerfRecorder`] is attached, so instrumented code
+/// records per-phase timings even when no sink is listening.
+pub fn observer_from(metrics_path: Option<&str>, progress: bool, perf: bool) -> Observer {
     let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
     if let Some(path) = metrics_path {
         match JsonlSink::create(path) {
@@ -206,7 +229,27 @@ pub fn observer_from(metrics_path: Option<&str>, progress: bool) -> Observer {
     if progress {
         sinks.push(Box::new(HumanProgressSink::new()));
     }
-    Observer::from_sinks(sinks)
+    let mut observer = Observer::from_sinks(sinks);
+    if perf {
+        observer = observer.with_perf(PerfRecorder::enabled());
+    }
+    observer
+}
+
+/// Prints the machine-readable summary as the *final* stdout line.
+///
+/// Sinks are flushed first (a `--metrics` file pointed at a pipe must
+/// not race the verdict), buffered stdout is flushed, and the summary is
+/// written through a locked handle — so progress or prose output can
+/// never interleave with, or follow, the summary line.
+pub fn print_summary_last(observer: &Observer, summary_line: &str) {
+    use std::io::Write as _;
+    observer.flush();
+    let stdout = std::io::stdout();
+    let mut handle = stdout.lock();
+    let _ = handle.flush();
+    let _ = writeln!(handle, "{summary_line}");
+    let _ = handle.flush();
 }
 
 /// Parses the common CLI flags into a budget (legacy helper; the

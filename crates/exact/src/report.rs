@@ -75,6 +75,10 @@ impl ProbeVerdict {
 pub struct ExactReport {
     /// Design name.
     pub design: String,
+    /// Total simulator cell evaluations spent enumerating assignments
+    /// (the throughput denominator for cell-evals/sec; probes skipped
+    /// as too wide contribute nothing).
+    pub cell_evals: u64,
     /// Per-probe verdicts with the probe labels.
     pub verdicts: Vec<(String, ProbeVerdict)>,
 }

@@ -114,10 +114,17 @@ impl<'a> ExactVerifier<'a> {
                 probe_sets: sets.len(),
             });
         }
+        let perf = self.observer.perf();
+        let unroll_span = perf.span("unroll");
         let unrolled = Unrolled::new(self.netlist, self.config.observe_cycle + 1);
+        drop(unroll_span);
         let mut verdicts: Vec<(String, ProbeVerdict)> = Vec::with_capacity(sets.len());
+        let mut cell_evals = 0u64;
         for (done, set) in sets.iter().enumerate() {
-            let verdict = self.verify_probe_with(&unrolled, set);
+            let verdict = {
+                let _span = perf.span("enumerate");
+                self.verify_probe_with(&unrolled, set, &mut cell_evals)
+            };
             if self.observer.enabled() {
                 if matches!(verdict, ProbeVerdict::Leaky { .. }) {
                     self.observer.emit(&Event::CounterexampleFound {
@@ -133,8 +140,21 @@ impl<'a> ExactVerifier<'a> {
             }
             verdicts.push((set.label.clone(), verdict));
         }
+        if perf.is_enabled() {
+            perf.add("probe_sets", verdicts.len() as u64);
+            perf.add("cell_evals", cell_evals);
+            if self.observer.enabled() {
+                if let Some(snapshot) = perf.snapshot() {
+                    self.observer.emit(&Event::PerfSnapshot {
+                        scope: "exact".to_owned(),
+                        snapshot,
+                    });
+                }
+            }
+        }
         let report = ExactReport {
             design: self.netlist.name().to_owned(),
+            cell_evals,
             verdicts,
         };
         if self.observer.enabled() {
@@ -153,10 +173,17 @@ impl<'a> ExactVerifier<'a> {
     /// for obtaining sets; any set built from this netlist's wires works).
     pub fn verify_probe(&self, set: &ProbeSet) -> ProbeVerdict {
         let unrolled = Unrolled::new(self.netlist, self.config.observe_cycle + 1);
-        self.verify_probe_with(&unrolled, set)
+        self.verify_probe_with(&unrolled, set, &mut 0)
     }
 
-    fn verify_probe_with(&self, unrolled: &Unrolled, set: &ProbeSet) -> ProbeVerdict {
+    /// Verifies one set; simulator work is added to `cell_evals` (the
+    /// [`ProbeVerdict::TooWide`] path performs none).
+    fn verify_probe_with(
+        &self,
+        unrolled: &Unrolled,
+        set: &ProbeSet,
+        cell_evals: &mut u64,
+    ) -> ProbeVerdict {
         let observe = self.config.observe_cycle;
         let mut observations: Vec<(WireId, usize)> =
             set.observed.iter().map(|&wire| (wire, observe)).collect();
@@ -297,6 +324,8 @@ impl<'a> ExactVerifier<'a> {
                 }
             }
         }
+
+        *cell_evals += simulator.counters().cell_evals;
 
         // Compare every conditional distribution against the first.
         let total = (batches * lanes_used as u64) as f64;

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use mmaes_netlist::{Netlist, SecretId, StableCones, WireId};
-use mmaes_sim::{Simulator, LANES};
+use mmaes_sim::{SimStats, Simulator, LANES};
 use mmaes_telemetry::{Checkpoint, Event, Observer, ProbePoint, Stopwatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -252,6 +252,7 @@ impl<'a> FixedVsRandom<'a> {
     pub fn run(&self) -> LeakageReport {
         let config = &self.config;
         let watch = Stopwatch::start();
+        let perf = self.observer.perf();
         let cones = StableCones::new(self.netlist);
         let probe_sets = enumerate_probe_sets(
             self.netlist,
@@ -323,32 +324,42 @@ impl<'a> FixedVsRandom<'a> {
         let mut flagged = vec![false; probe_sets.len()];
         let mut early_stopped = false;
         let mut batches_done = 0u64;
+        // Snapshot protocol (see `SimStats`): counters survive `reset`,
+        // so interval rates come from deltas between checkpoints.
+        let mut last_stats: SimStats = sim.counters();
+        let mut last_elapsed_ms = 0u64;
         for batch in 0..batches {
             // Lane → population: bit set = random population.
             let lane_groups: u64 = rng.gen();
             sim.reset();
-            for cycle in 0..=config.warmup_cycles {
-                self.drive_cycle(
-                    &mut sim,
-                    &secrets,
-                    &free_masks,
-                    &controls,
-                    cycle,
-                    lane_groups,
-                    &mut rng,
-                );
-                if cycle < config.warmup_cycles {
-                    sim.step();
-                } else {
-                    sim.eval();
+            {
+                let _span = perf.span("simulate");
+                for cycle in 0..=config.warmup_cycles {
+                    self.drive_cycle(
+                        &mut sim,
+                        &secrets,
+                        &free_masks,
+                        &controls,
+                        cycle,
+                        lane_groups,
+                        &mut rng,
+                    );
+                    if cycle < config.warmup_cycles {
+                        sim.step();
+                    } else {
+                        sim.eval();
+                    }
                 }
             }
             // Observation: one sample per lane per probing set.
-            for (set, table) in probe_sets.iter().zip(&mut tables) {
-                let keys = observation_keys(&sim, set, config.model);
-                for (lane, &key) in keys.iter().enumerate() {
-                    let group = ((lane_groups >> lane) & 1) as usize;
-                    table.record(key, group, config.max_table_keys);
+            {
+                let _span = perf.span("tabulate");
+                for (set, table) in probe_sets.iter().zip(&mut tables) {
+                    let keys = observation_keys(&sim, set, config.model);
+                    for (lane, &key) in keys.iter().enumerate() {
+                        let group = ((lane_groups >> lane) & 1) as usize;
+                        table.record(key, group, config.max_table_keys);
+                    }
                 }
             }
             batches_done = batch + 1;
@@ -360,6 +371,7 @@ impl<'a> FixedVsRandom<'a> {
                 && batches_done.is_multiple_of(checkpoint_every)
                 && batches_done < batches
             {
+                let _span = perf.span("g_test");
                 let traces_so_far = batches_done * LANES as u64;
                 let mut running: Vec<(usize, f64)> = Vec::with_capacity(probe_sets.len());
                 for (index, table) in tables.iter().enumerate() {
@@ -406,10 +418,18 @@ impl<'a> FixedVsRandom<'a> {
                             .unwrap_or_default(),
                         probes,
                     }));
-                    let stats = sim.stats();
+                    let stats = sim.counters();
+                    let elapsed_ms = watch.elapsed_ms();
+                    let interval = stats
+                        .delta_since(last_stats)
+                        .rates(elapsed_ms.saturating_sub(last_elapsed_ms) as f64 / 1000.0);
+                    last_stats = stats;
+                    last_elapsed_ms = elapsed_ms;
                     self.observer.emit(&Event::SimProgress {
                         cycles: stats.cycles,
                         cell_evals: stats.cell_evals,
+                        cycles_per_sec: interval.cycles_per_sec,
+                        cell_evals_per_sec: interval.cell_evals_per_sec,
                         lane_utilization: config.traces.min(traces_so_far) as f64
                             / traces_so_far as f64,
                     });
@@ -421,6 +441,7 @@ impl<'a> FixedVsRandom<'a> {
             }
         }
 
+        let final_sweep = perf.span("g_test");
         let mut results: Vec<ProbeResult> = probe_sets
             .iter()
             .zip(&tables)
@@ -464,15 +485,31 @@ impl<'a> FixedVsRandom<'a> {
                 .partial_cmp(&a.minus_log10_p)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
+        drop(final_sweep);
 
+        let traces = batches_done * LANES as u64;
+        let cell_evals = sim.counters().cell_evals;
+        if perf.is_enabled() {
+            perf.add("traces", traces);
+            perf.add("cell_evals", cell_evals);
+            if self.observer.enabled() {
+                if let Some(snapshot) = perf.snapshot() {
+                    self.observer.emit(&Event::PerfSnapshot {
+                        scope: "campaign".to_owned(),
+                        snapshot,
+                    });
+                }
+            }
+        }
         let report = LeakageReport {
             design: self.netlist.name().to_owned(),
             model: config.model,
             order: config.order,
-            traces: batches_done * LANES as u64,
+            traces,
             threshold: config.threshold,
             probe_sets_truncated: truncated,
             early_stopped,
+            cell_evals,
             results,
         };
         if self.observer.enabled() {

@@ -51,6 +51,10 @@ pub struct LeakageReport {
     /// Whether the campaign stopped before its trace budget because the
     /// verdict was already decisive.
     pub early_stopped: bool,
+    /// Total simulator cell evaluations spent on the campaign (from
+    /// [`mmaes_sim::SimStats`]; the throughput denominator for
+    /// cell-evals/sec).
+    pub cell_evals: u64,
     /// Per-probe-set results, sorted by decreasing `-log10(p)`.
     pub results: Vec<ProbeResult>,
 }
@@ -247,6 +251,7 @@ mod tests {
             threshold: 5.0,
             probe_sets_truncated: false,
             early_stopped: false,
+            cell_evals: 0,
             results,
         }
     }

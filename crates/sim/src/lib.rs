@@ -56,13 +56,74 @@ pub const LANES: usize = 64;
 ///
 /// Counters accumulate over the simulator's whole lifetime — they are
 /// *not* cleared by [`Simulator::reset`], so a campaign that resets the
-/// pipeline between trace batches still sees its total work.
+/// pipeline between trace batches still sees its total work. Because
+/// reset never rewinds them, a snapshot taken at any point stays a
+/// valid baseline: campaigns wanting per-batch (or per-checkpoint)
+/// figures should snapshot [`Simulator::counters`] before the batch and
+/// subtract afterwards with [`SimStats::delta_since`], then convert the
+/// delta into throughput with [`SimStats::rates`].
+///
+/// ```
+/// # use mmaes_netlist::{NetlistBuilder, SignalRole};
+/// # use mmaes_sim::Simulator;
+/// # let mut builder = NetlistBuilder::new("t");
+/// # let d = builder.input("d", SignalRole::Control);
+/// # let q = builder.register(d);
+/// # builder.output("q", q);
+/// # let netlist = builder.build()?;
+/// # let mut sim = Simulator::new(&netlist);
+/// let before = sim.counters();
+/// sim.step();
+/// sim.reset(); // does not disturb the baseline
+/// sim.step();
+/// let delta = sim.counters().delta_since(before);
+/// assert_eq!(delta.cycles, 2);
+/// let rates = delta.rates(0.5); // cycles/cell-evals per second
+/// assert_eq!(rates.cycles_per_sec, 4.0);
+/// # Ok::<(), mmaes_netlist::BuildError>(())
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Clock cycles latched ([`Simulator::clock`] calls).
     pub cycles: u64,
     /// Combinational cell evaluations (cells × [`Simulator::eval`] calls).
     pub cell_evals: u64,
+}
+
+impl SimStats {
+    /// The work done since an `earlier` snapshot of the same simulator
+    /// (saturating, so a stale or foreign snapshot yields 0 rather than
+    /// wrapping).
+    pub fn delta_since(self, earlier: SimStats) -> SimStats {
+        SimStats {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            cell_evals: self.cell_evals.saturating_sub(earlier.cell_evals),
+        }
+    }
+
+    /// Converts a (delta) counter reading into throughput over
+    /// `elapsed_secs` of wall time. Non-positive or non-finite elapsed
+    /// time yields zero rates, so callers can feed a raw stopwatch
+    /// reading without guarding the startup instant.
+    pub fn rates(self, elapsed_secs: f64) -> SimRates {
+        if elapsed_secs > 0.0 && elapsed_secs.is_finite() {
+            SimRates {
+                cycles_per_sec: self.cycles as f64 / elapsed_secs,
+                cell_evals_per_sec: self.cell_evals as f64 / elapsed_secs,
+            }
+        } else {
+            SimRates::default()
+        }
+    }
+}
+
+/// Simulator throughput over an interval (see [`SimStats::rates`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimRates {
+    /// Clock cycles per second.
+    pub cycles_per_sec: f64,
+    /// Combinational cell evaluations per second.
+    pub cell_evals_per_sec: f64,
 }
 
 /// A bit-parallel, cycle-accurate netlist simulator.
@@ -104,7 +165,14 @@ impl<'a> Simulator<'a> {
         self.cycle
     }
 
-    /// Lifetime work counters (survive [`Simulator::reset`]).
+    /// Lifetime work counters (survive [`Simulator::reset`]; see the
+    /// [`SimStats`] docs for the snapshot/delta protocol).
+    pub fn counters(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Lifetime work counters — alias of [`Simulator::counters`], kept
+    /// for existing call sites.
     pub fn stats(&self) -> SimStats {
         self.stats
     }
@@ -513,6 +581,36 @@ mod tests {
         let stats = sim.stats();
         assert_eq!(stats.cycles, 1);
         assert_eq!(stats.cell_evals, 2 * cells);
+    }
+
+    #[test]
+    fn counter_deltas_are_reset_safe_and_rates_are_guarded() {
+        let (netlist, inputs, _) = full_adder();
+        let cells = netlist.topo_cells().len() as u64;
+        let mut sim = Simulator::new(&netlist);
+        sim.set_input(inputs[0], u64::MAX);
+        sim.step();
+        let baseline = sim.counters();
+        sim.reset(); // must not invalidate the baseline
+        sim.step();
+        sim.eval();
+        let delta = sim.counters().delta_since(baseline);
+        assert_eq!(delta.cycles, 1);
+        assert_eq!(delta.cell_evals, 2 * cells);
+        // A foreign/stale snapshot saturates instead of wrapping.
+        let stale = SimStats {
+            cycles: u64::MAX,
+            cell_evals: u64::MAX,
+        };
+        let clamped = sim.counters().delta_since(stale);
+        assert_eq!(clamped, SimStats::default());
+        // Rates: zero/negative/non-finite elapsed time stays finite.
+        assert_eq!(delta.rates(0.0), SimRates::default());
+        assert_eq!(delta.rates(-1.0), SimRates::default());
+        assert_eq!(delta.rates(f64::NAN), SimRates::default());
+        let rates = delta.rates(2.0);
+        assert_eq!(rates.cycles_per_sec, 0.5);
+        assert_eq!(rates.cell_evals_per_sec, cells as f64);
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! The typed event schema (documented in DESIGN.md § Observability).
 
 use crate::json::{array, JsonObject};
+use crate::perf::PerfSnapshot;
+
+/// Version of the JSONL event schema and of the `summary` line. Bumped
+/// on any field addition; consumers should treat unknown fields as
+/// additive (v1: PR 1 lifecycle events; v2: perf_snapshot events, rate
+/// fields on `sim_progress`, and `elapsed_ms`/`traces_per_sec`/
+/// `cell_evals` on `summary`).
+pub const EVENT_SCHEMA_VERSION: u64 = 2;
 
 /// One probing set's running statistic at a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +75,12 @@ pub struct RunSummary {
     pub passed: bool,
     /// Wall time of the run, in milliseconds.
     pub wall_ms: u64,
+    /// Overall throughput, traces per second of wall time (0 when not a
+    /// sampling run).
+    pub traces_per_sec: f64,
+    /// Combinational cell evaluations performed by the run's
+    /// simulator(s) (0 when unknown).
+    pub cell_evals: u64,
     /// Free-form extras appended to the JSON object.
     pub extra: Vec<(String, String)>,
 }
@@ -85,7 +99,13 @@ impl RunSummary {
             .unsigned("traces", self.traces)
             .float("max_minus_log10_p", self.max_minus_log10_p)
             .boolean("passed", self.passed)
-            .unsigned("wall_ms", self.wall_ms);
+            .unsigned("wall_ms", self.wall_ms)
+            // `elapsed_ms` aliases `wall_ms` (schema v2): downstream
+            // perf tooling reads one canonical duration key across
+            // summaries, checkpoints, and bench records.
+            .unsigned("elapsed_ms", self.wall_ms)
+            .float("traces_per_sec", self.traces_per_sec)
+            .unsigned("cell_evals", self.cell_evals);
         for (key, value) in &self.extra {
             object = object.string(key, value);
         }
@@ -137,7 +157,10 @@ pub enum Event {
         /// Whether the campaign stopped before its trace budget.
         early_stopped: bool,
     },
-    /// Simulator counters (reported at checkpoint cadence).
+    /// Simulator counters (reported at checkpoint cadence). The rates
+    /// are computed over the interval since the previous report
+    /// (schema v2), so they track *current* throughput, not the
+    /// lifetime average.
     SimProgress {
         /// Clock cycles simulated since construction (monotonic).
         cycles: u64,
@@ -145,6 +168,10 @@ pub enum Event {
         cell_evals: u64,
         /// Fraction of the 64 lanes carrying useful traces.
         lane_utilization: f64,
+        /// Clock cycles per second over the last interval.
+        cycles_per_sec: f64,
+        /// Cell evaluations per second over the last interval.
+        cell_evals_per_sec: f64,
     },
     /// An exhaustive verification began.
     EnumerationStarted {
@@ -182,6 +209,16 @@ pub enum Event {
         /// Wall time, milliseconds.
         wall_ms: u64,
     },
+    /// A per-phase timing/counter snapshot from an enabled
+    /// [`crate::PerfRecorder`] (emitted at the end of an instrumented
+    /// run, and by `mmaes bench` per workload).
+    PerfSnapshot {
+        /// What was instrumented (`"campaign"`, `"exact"`, a bench
+        /// workload id, …).
+        scope: String,
+        /// The frozen per-phase stats and counters.
+        snapshot: PerfSnapshot,
+    },
     /// The run's final machine-readable verdict.
     RunSummary(RunSummary),
 }
@@ -199,6 +236,7 @@ impl Event {
             Event::EnumerationProgress { .. } => "enumeration_progress",
             Event::CounterexampleFound { .. } => "counterexample_found",
             Event::EnumerationFinished { .. } => "enumeration_finished",
+            Event::PerfSnapshot { .. } => "perf_snapshot",
             Event::RunSummary(_) => "summary",
         }
     }
@@ -265,11 +303,15 @@ impl Event {
                 cycles,
                 cell_evals,
                 lane_utilization,
+                cycles_per_sec,
+                cell_evals_per_sec,
             } => JsonObject::new()
                 .string("type", self.kind())
                 .unsigned("cycles", *cycles)
                 .unsigned("cell_evals", *cell_evals)
                 .float("lane_utilization", *lane_utilization)
+                .float("cycles_per_sec", *cycles_per_sec)
+                .float("cell_evals_per_sec", *cell_evals_per_sec)
                 .finish(),
             Event::EnumerationStarted { design, probe_sets } => JsonObject::new()
                 .string("type", self.kind())
@@ -304,6 +346,13 @@ impl Event {
                 .unsigned("leaky", *leaky as u64)
                 .unsigned("too_wide", *too_wide as u64)
                 .unsigned("wall_ms", *wall_ms)
+                .finish(),
+            Event::PerfSnapshot { scope, snapshot } => snapshot
+                .fill_json(
+                    JsonObject::new()
+                        .string("type", self.kind())
+                        .string("scope", scope),
+                )
                 .finish(),
             Event::RunSummary(summary) => summary.to_json_line(),
         }
@@ -355,6 +404,8 @@ mod tests {
                 cycles: 21_875,
                 cell_evals: 10_000_000,
                 lane_utilization: 1.0,
+                cycles_per_sec: 18_000.0,
+                cell_evals_per_sec: 8_300_000.0,
             },
             Event::EnumerationStarted {
                 design: "kronecker".into(),
@@ -376,6 +427,10 @@ mod tests {
                 too_wide: 0,
                 wall_ms: 300,
             },
+            Event::PerfSnapshot {
+                scope: "campaign".into(),
+                snapshot: PerfSnapshot::default(),
+            },
             Event::RunSummary(RunSummary {
                 tool: "mmaes evaluate".into(),
                 id: "kronecker:de-meyer-eq6".into(),
@@ -387,6 +442,8 @@ mod tests {
                 max_minus_log10_p: 308.0,
                 passed: false,
                 wall_ms: 4000,
+                traces_per_sec: 50_000.0,
+                cell_evals: 10_000_000,
                 extra: vec![("leaking".into(), "4".into())],
             }),
         ];
@@ -411,5 +468,21 @@ mod tests {
         let line = summary.to_json_line();
         assert!(line.contains("\"note\":\"smoke\""));
         assert!(line.contains("\"tool\":\"exp_e2\""));
+    }
+
+    #[test]
+    fn summary_carries_the_v2_perf_fields() {
+        let summary = RunSummary {
+            tool: "mmaes evaluate".into(),
+            wall_ms: 1500,
+            traces_per_sec: 42_000.5,
+            cell_evals: 123,
+            ..RunSummary::default()
+        };
+        let line = summary.to_json_line();
+        assert!(line.contains("\"wall_ms\":1500"), "{line}");
+        assert!(line.contains("\"elapsed_ms\":1500"), "{line}");
+        assert!(line.contains("\"traces_per_sec\":42000.5"), "{line}");
+        assert!(line.contains("\"cell_evals\":123"), "{line}");
     }
 }

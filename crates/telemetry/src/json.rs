@@ -1,8 +1,11 @@
-//! A minimal JSON writer (no serde — the workspace builds offline).
+//! A minimal JSON writer and reader (no serde — the workspace builds
+//! offline).
 //!
-//! Only what the event schema needs: flat objects, nested arrays of
-//! objects, strings, numbers, booleans. Field order is insertion order,
-//! so run records diff cleanly.
+//! The writer covers what the event schema needs: flat objects, nested
+//! arrays of objects, strings, numbers, booleans. Field order is
+//! insertion order, so run records diff cleanly. The reader ([`parse`])
+//! is a small recursive-descent parser used to load `BENCH_*.json`
+//! baselines and to validate emitted records in tests.
 
 use std::fmt::Write as _;
 
@@ -104,6 +107,272 @@ impl JsonObject {
     }
 }
 
+/// A parsed JSON value (see [`parse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also produced by the writer for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers included).
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; field order preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a whole non-negative
+    /// number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(value) if *value >= 0.0 && *value == value.trunc() => {
+                Some(*value as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(text) => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(elements) => Some(elements),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Errors carry a byte offset and reason.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        position: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.position != parser.bytes.len() {
+        return Err(format!(
+            "trailing data at byte {} of {}",
+            parser.position,
+            parser.bytes.len()
+        ));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    position: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, reason: &str) -> String {
+        format!("{reason} at byte {}", self.position)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.position).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.position += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.position += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.position..].starts_with(word.as_bytes()) {
+            self.position += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.position += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            fields.push((key, self.value()?));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.position += 1,
+                Some(b'}') => {
+                    self.position += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut elements = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.position += 1;
+            return Ok(JsonValue::Array(elements));
+        }
+        loop {
+            self.skip_whitespace();
+            elements.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.position += 1,
+                Some(b']') => {
+                    self.position += 1;
+                    return Ok(JsonValue::Array(elements));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.position += 1;
+                    return Ok(text);
+                }
+                Some(b'\\') => {
+                    self.position += 1;
+                    match self.peek() {
+                        Some(b'"') => text.push('"'),
+                        Some(b'\\') => text.push('\\'),
+                        Some(b'/') => text.push('/'),
+                        Some(b'n') => text.push('\n'),
+                        Some(b'r') => text.push('\r'),
+                        Some(b't') => text.push('\t'),
+                        Some(b'b') => text.push('\u{8}'),
+                        Some(b'f') => text.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.position + 1..self.position + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.error("bad \\u hex"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u hex"))?;
+                            // Surrogates are not produced by our writer;
+                            // map unpaired ones to the replacement char.
+                            text.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.position += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.position += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.position..];
+                    let text_rest = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let character = text_rest.chars().next().expect("peeked non-empty");
+                    text.push(character);
+                    self.position += character.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.position;
+        if self.peek() == Some(b'-') {
+            self.position += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.position += 1;
+        }
+        let literal =
+            std::str::from_utf8(&self.bytes[start..self.position]).expect("digits are ASCII");
+        literal
+            .parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("bad number `{literal}` at byte {start}"))
+    }
+}
+
 /// Renders an array from already-rendered JSON elements.
 pub fn array(elements: impl IntoIterator<Item = String>) -> String {
     let mut buffer = String::from("[");
@@ -155,5 +424,66 @@ mod tests {
     fn empty_object_and_array_render() {
         assert_eq!(JsonObject::new().finish(), "{}");
         assert_eq!(array(Vec::new()), "[]");
+    }
+
+    #[test]
+    fn parser_reads_what_the_writer_writes() {
+        let json = JsonObject::new()
+            .string("type", "bench")
+            .unsigned("schema_version", 1)
+            .float("rate", 1234.5)
+            .boolean("quick", true)
+            .float("nan", f64::NAN)
+            .raw("rows", &array(["{\"x\":-2}".to_owned()]))
+            .finish();
+        let value = parse(&json).expect("valid");
+        assert_eq!(value.get("type").and_then(JsonValue::as_str), Some("bench"));
+        assert_eq!(
+            value.get("schema_version").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        assert_eq!(value.get("rate").and_then(JsonValue::as_f64), Some(1234.5));
+        assert_eq!(value.get("quick").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(value.get("nan"), Some(&JsonValue::Null));
+        let rows = value
+            .get("rows")
+            .and_then(JsonValue::as_array)
+            .expect("rows");
+        assert_eq!(rows[0].get("x").and_then(JsonValue::as_f64), Some(-2.0));
+    }
+
+    #[test]
+    fn parser_handles_escapes_whitespace_and_nesting() {
+        let value = parse(" { \"a\\n\\\"b\" : [ 1 , {\"c\": [true, null]} ] } ").expect("valid");
+        let inner = value
+            .get("a\n\"b")
+            .and_then(JsonValue::as_array)
+            .expect("array");
+        assert_eq!(inner[0].as_f64(), Some(1.0));
+        assert_eq!(
+            inner[1]
+                .get("c")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(parse("\"\\u0041\""), Ok(JsonValue::String("A".into())));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("7.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-7").unwrap().as_u64(), None);
     }
 }

@@ -17,7 +17,12 @@
 //!   ETA, running max `-log10(p)`), [`JsonlSink`] (a replayable run
 //!   record, one JSON object per line), and [`MemorySink`] (tests);
 //! * [`Counter`] / [`Stopwatch`] primitives for monotonic counting and
-//!   wall-clock spans.
+//!   wall-clock spans;
+//! * a performance-observability layer ([`perf`]): scoped [`Span`]
+//!   timers, named counters, and fixed-bucket duration histograms in a
+//!   [`PerfRecorder`] carried by the [`Observer`] — near-zero overhead
+//!   when disabled, `perf_snapshot` events and `BENCH_*.json` records
+//!   when enabled.
 //!
 //! The crate is dependency-light by design: events serialize through a
 //! hand-rolled JSON writer ([`json`]), so every downstream crate can
@@ -30,9 +35,11 @@ mod counters;
 mod event;
 pub mod json;
 mod observer;
+pub mod perf;
 mod sink;
 
 pub use counters::{Counter, Stopwatch};
-pub use event::{Checkpoint, Event, ProbePoint, RunSummary};
+pub use event::{Checkpoint, Event, ProbePoint, RunSummary, EVENT_SCHEMA_VERSION};
 pub use observer::Observer;
+pub use perf::{PerfRecorder, PerfSnapshot, PhaseStats, Span};
 pub use sink::{HumanProgressSink, JsonlSink, MemorySink, NullSink, Sink};

@@ -3,6 +3,7 @@
 use std::sync::{Arc, Mutex};
 
 use crate::event::Event;
+use crate::perf::PerfRecorder;
 use crate::sink::Sink;
 
 /// A cloneable handle the hot paths emit events through.
@@ -11,9 +12,17 @@ use crate::sink::Sink;
 /// per emission site — and because expensive snapshots should be gated
 /// on [`Observer::enabled`], a null observer leaves instrumented code
 /// byte-for-byte on its uninstrumented path.
+///
+/// An observer also carries a [`PerfRecorder`] so per-phase timing
+/// flows through the same handle the hot paths already hold. The
+/// recorder defaults to disabled; attach an enabled one with
+/// [`Observer::with_perf`] (the `--perf` flag). Events and perf are
+/// independent: a null observer with an enabled recorder still times
+/// phases (`mmaes bench` uses exactly that).
 #[derive(Debug, Default, Clone)]
 pub struct Observer {
     sinks: Option<SharedSinks>,
+    perf: PerfRecorder,
 }
 
 /// The fan-out list behind an enabled observer.
@@ -30,7 +39,10 @@ impl std::fmt::Debug for Box<dyn Sink> {
 impl Observer {
     /// The disabled observer: no sinks, no event construction.
     pub fn null() -> Self {
-        Observer { sinks: None }
+        Observer {
+            sinks: None,
+            perf: PerfRecorder::disabled(),
+        }
     }
 
     /// An observer fanning out to the given sinks. An empty list
@@ -41,7 +53,21 @@ impl Observer {
         }
         Observer {
             sinks: Some(Arc::new(Mutex::new(sinks))),
+            perf: PerfRecorder::disabled(),
         }
+    }
+
+    /// Attaches a perf recorder (replacing the disabled default); the
+    /// recorder is shared by every clone of this observer.
+    pub fn with_perf(mut self, perf: PerfRecorder) -> Self {
+        self.perf = perf;
+        self
+    }
+
+    /// The perf recorder carried by this observer. Disabled unless one
+    /// was attached, so `observer.perf().span(..)` is free by default.
+    pub fn perf(&self) -> &PerfRecorder {
+        &self.perf
     }
 
     /// An observer with a single sink.
@@ -118,5 +144,20 @@ mod tests {
     #[test]
     fn empty_sink_list_collapses_to_null() {
         assert!(!Observer::from_sinks(Vec::new()).enabled());
+    }
+
+    #[test]
+    fn perf_recorder_defaults_to_disabled_and_is_shared_by_clones() {
+        let observer = Observer::null();
+        assert!(!observer.perf().is_enabled());
+
+        let recorder = crate::PerfRecorder::enabled();
+        let observer = Observer::null().with_perf(recorder.clone());
+        let clone = observer.clone();
+        {
+            let _span = clone.perf().span("phase");
+        }
+        let snapshot = recorder.snapshot().expect("enabled");
+        assert_eq!(snapshot.phase("phase").expect("recorded").count, 1);
     }
 }

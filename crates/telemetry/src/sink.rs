@@ -195,6 +195,14 @@ impl Sink for HumanProgressSink {
                  {too_wide} too wide in {:.1}s",
                 *wall_ms as f64 / 1000.0
             ),
+            Event::PerfSnapshot { scope, snapshot } => {
+                let phases: Vec<String> = snapshot
+                    .phases
+                    .iter()
+                    .map(|phase| format!("{} {:.0}ms", phase.name, phase.total_ms()))
+                    .collect();
+                eprintln!("[perf] {scope}: {}", phases.join(", "));
+            }
             Event::RunSummary(_) => {}
         }
     }
