@@ -7,6 +7,7 @@
 //! mmaes verilog  <design> [file]           structural Verilog export
 //! mmaes evaluate <design> [options]        PROLEAD-style campaign
 //! mmaes verify   <design> [options]        exhaustive (SILVER-style) proof
+//! mmaes selftest [options]                 fault-injection detector check
 //! mmaes bench    [options]                 performance-regression workload
 //! ```
 //!
@@ -16,30 +17,47 @@
 //!
 //! Evaluate options: `--model glitch|transition`, `--order 1|2`,
 //! `--traces N`, `--fixed V`, `--seed N`, `--scope PREFIX`, `--csv FILE`,
-//! `--checkpoints N`, `--early-stop`, `--metrics FILE`, `--progress`,
-//! `--perf`, `--quiet`.
+//! `--checkpoints N`, `--early-stop`, `--snapshot FILE`, `--resume`,
+//! `--stop-after-batches N`, `--metrics FILE`, `--progress`, `--perf`,
+//! `--quiet`.
 //! Verify options: `--scope PREFIX`, `--max-bits N`, `--transition`,
 //! `--metrics FILE`, `--progress`, `--perf`, `--quiet`.
+//! Selftest options: `--traces N`, `--per-kind N`, `--metrics FILE`,
+//! `--quiet`.
 //! Bench options: `--quick`, `--label NAME`, `--baseline FILE`,
 //! `--threshold PCT`, `--out FILE`, `--quiet`.
 //!
 //! `evaluate` and `verify` always end with one machine-readable JSON
-//! summary line on stdout (schema v2: includes `elapsed_ms`,
-//! `traces_per_sec`, `cell_evals`); `--metrics` additionally records the
-//! full event stream (campaign checkpoints with per-probe-set
-//! `-log10(p)` trajectories, threshold crossings, `--perf` phase
-//! snapshots, the final verdict) as JSON lines. `bench` writes a
+//! summary line on stdout (schema v3: includes `elapsed_ms`,
+//! `traces_per_sec`, `cell_evals`, `interrupted`); `--metrics`
+//! additionally records the full event stream (campaign checkpoints with
+//! per-probe-set `-log10(p)` trajectories, threshold crossings, `--perf`
+//! phase snapshots, the final verdict) as JSON lines. `bench` writes a
 //! schema-versioned `BENCH_<label>.json` and exits non-zero when
 //! `--baseline` reveals a throughput regression.
+//!
+//! Long campaigns are crash-safe: `--snapshot FILE` persists the full
+//! campaign state atomically at every checkpoint, SIGINT/SIGTERM stops
+//! cooperatively after the batch in flight (exit 3), and `--resume`
+//! continues bit-identically. `selftest` injects structural faults
+//! (gate flips, stuck randomness, share swaps) into the leaky Eq. 6
+//! design and asserts the detector flags every mutant while keeping the
+//! repaired Eq. 9 design clean — a detection-power check on the tool
+//! itself.
+//!
+//! Exit codes (all subcommands): 0 clean/reproduced, 1 leakage found or
+//! selftest miss, 2 invalid input (bad flag, unknown design, corrupt
+//! snapshot), 3 interrupted.
 
 use std::process::exit;
 
+use mmaes_bench::exit_code;
 use mmaes_circuits::{
     build_kronecker, build_masked_aes, build_masked_sbox, sbox::build_unprotected_sbox,
     InverterKind, SboxOptions,
 };
 use mmaes_exact::{ExactConfig, ExactVerifier};
-use mmaes_leakage::{EvaluationConfig, FixedVsRandom, ProbeModel};
+use mmaes_leakage::{CampaignError, Durability, EvaluationConfig, FixedVsRandom, ProbeModel};
 use mmaes_masking::KroneckerRandomness;
 use mmaes_netlist::{Netlist, NetlistStats, WireId};
 use mmaes_telemetry::{Event, RunSummary, Stopwatch};
@@ -57,6 +75,7 @@ fn main() {
         "verilog" => export(&arguments[1..], |netlist| netlist.to_verilog(), "v"),
         "evaluate" => evaluate(&arguments[1..]),
         "verify" => verify(&arguments[1..]),
+        "selftest" => selftest(&arguments[1..]),
         "bench" => mmaes_bench::bench::run(&arguments[1..]),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -78,14 +97,20 @@ fn usage() {
          mmaes evaluate <design> [--model glitch|transition] [--order N] [--traces N]\n\
          \u{20}                  [--fixed V] [--seed N] [--scope PREFIX] [--csv FILE]\n\
          \u{20}                  [--checkpoints N] [--early-stop]\n\
+         \u{20}                  [--snapshot FILE] [--resume] [--stop-after-batches N]\n\
          \u{20}                  [--metrics FILE] [--progress] [--perf] [--quiet]\n\
          mmaes verify   <design> [--scope PREFIX] [--max-bits N] [--transition]\n\
          \u{20}                  [--metrics FILE] [--progress] [--perf] [--quiet]\n\
+         mmaes selftest [--traces N] [--per-kind N] [--metrics FILE] [--quiet]\n\
          mmaes bench    [--quick] [--label NAME] [--baseline FILE]\n\
          \u{20}                  [--threshold PCT] [--out FILE] [--quiet]\n\
          \n\
          designs: kronecker[:SCHEDULE] | sbox[:SCHEDULE] | sbox-no-kronecker |\n\
-         \u{20}        aes[:SCHEDULE] | unprotected-sbox"
+         \u{20}        aes[:SCHEDULE] | unprotected-sbox\n\
+         \n\
+         exit codes: 0 clean/reproduced | 1 leakage found or selftest miss |\n\
+         \u{20}           2 invalid input | 3 interrupted (SIGINT/SIGTERM; state saved\n\
+         \u{20}           with --snapshot, continue with --resume)"
     );
 }
 
@@ -279,8 +304,14 @@ fn evaluate(arguments: &[String]) {
         let mut value = || {
             rest.next().cloned().unwrap_or_else(|| {
                 eprintln!("flag {flag} needs a value");
-                exit(2);
+                exit(exit_code::INVALID_INPUT);
             })
+        };
+        let mut numeric = |target: &mut u64| {
+            *target = value().parse().unwrap_or_else(|error| {
+                eprintln!("flag {flag}: {error}");
+                exit(exit_code::INVALID_INPUT);
+            });
         };
         match flag.as_str() {
             "--model" => {
@@ -289,28 +320,46 @@ fn evaluate(arguments: &[String]) {
                     "transition" | "glitch+transition" => ProbeModel::GlitchTransition,
                     other => {
                         eprintln!("unknown model `{other}`");
-                        exit(2);
+                        exit(exit_code::INVALID_INPUT);
                     }
                 }
             }
-            "--order" => config.order = value().parse().expect("numeric order"),
-            "--traces" => config.traces = value().parse().expect("numeric traces"),
-            "--fixed" => config.fixed_secret = value().parse().expect("numeric fixed value"),
-            "--seed" => config.seed = value().parse().expect("numeric seed"),
+            "--order" => {
+                let mut order = 0u64;
+                numeric(&mut order);
+                config.order = order as usize;
+            }
+            "--traces" => numeric(&mut config.traces),
+            "--fixed" => numeric(&mut config.fixed_secret),
+            "--seed" => numeric(&mut config.seed),
             "--scope" => config.probe_scope_filter = Some(value()),
             "--csv" => csv_path = Some(value()),
-            "--checkpoints" => config.checkpoints = value().parse().expect("numeric checkpoints"),
+            "--checkpoints" => numeric(&mut config.checkpoints),
             "--early-stop" => config.early_stop = true,
+            "--snapshot" => {
+                config.durability.snapshot_path = Some(std::path::PathBuf::from(value()));
+            }
+            "--resume" => config.durability.resume = true,
+            "--stop-after-batches" => {
+                let mut cap = 0u64;
+                numeric(&mut cap);
+                config.durability.stop_after_batches = Some(cap);
+            }
             "--metrics" => metrics_path = Some(value()),
             "--progress" => progress = true,
             "--perf" => perf = true,
             "--quiet" => quiet = true,
             other => {
-                eprintln!("unknown flag `{other}`");
-                exit(2);
+                eprintln!("unknown flag `{other}` (try --help)");
+                exit(exit_code::INVALID_INPUT);
             }
         }
     }
+    if config.durability.resume && config.durability.snapshot_path.is_none() {
+        eprintln!("--resume needs --snapshot FILE");
+        exit(exit_code::INVALID_INPUT);
+    }
+    config.durability.interrupt = Some(mmaes_sigint::install());
     // Cipher cores need a deeper warm-up and their load pulse.
     if design.load.is_some() {
         config.warmup_cycles = 14;
@@ -326,7 +375,7 @@ fn evaluate(arguments: &[String]) {
     if let Some(load) = design.load {
         campaign = campaign.schedule_control(load, vec![true, false]);
     }
-    let report = campaign.run();
+    let report = campaign.run_or_exit();
     if !quiet {
         println!("{report}");
     }
@@ -355,6 +404,7 @@ fn evaluate(arguments: &[String]) {
         wall_ms: stopwatch.elapsed_ms(),
         traces_per_sec: stopwatch.rate(report.traces),
         cell_evals: report.cell_evals,
+        interrupted: report.interrupted,
         extra: Vec::new(),
     };
     observer.emit(&Event::RunSummary(summary.clone()));
@@ -362,7 +412,191 @@ fn evaluate(arguments: &[String]) {
         eprint!("{}", observer.perf().render_table());
     }
     mmaes_bench::print_summary_last(&observer, &summary.to_json_line());
-    exit(if report.passed() { 0 } else { 1 });
+    if report.interrupted {
+        eprintln!("interrupted — partial statistics; continue with --snapshot FILE --resume");
+        exit(exit_code::INTERRUPTED);
+    }
+    exit(if report.passed() {
+        exit_code::CLEAN
+    } else {
+        exit_code::FINDING
+    });
+}
+
+/// Runs a campaign, mapping every [`CampaignError`] (corrupt or
+/// mismatched snapshot, invalid netlist, no secret shares) to an
+/// `exit 2` with the error on stderr.
+trait RunOrExit {
+    fn run_or_exit(&self) -> mmaes_leakage::LeakageReport;
+}
+
+impl RunOrExit for FixedVsRandom<'_> {
+    fn run_or_exit(&self) -> mmaes_leakage::LeakageReport {
+        self.try_run().unwrap_or_else(|error: CampaignError| {
+            eprintln!("{error}");
+            exit(exit_code::INVALID_INPUT);
+        })
+    }
+}
+
+/// `mmaes selftest` — a detection-power check on the evaluator itself.
+///
+/// Injects structural faults (gate flips, stuck-at-0 randomness, share
+/// swaps) into the known-leaky Eq. 6 Kronecker design and asserts the
+/// detector flags the unmutated baseline and *every* mutant, while the
+/// repaired Eq. 9 design stays clean. Any miss — a mutant the detector
+/// fails to flag, or a false positive on Eq. 9 — exits non-zero: if the
+/// tool cannot see planted flaws, its PASS verdicts are worthless.
+fn selftest(arguments: &[String]) {
+    let mut traces = 60_000u64;
+    let mut per_kind = 2usize;
+    let mut metrics_path: Option<String> = None;
+    let mut quiet = false;
+    let mut rest = arguments.iter();
+    while let Some(flag) = rest.next() {
+        let mut value = || {
+            rest.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {flag} needs a value");
+                exit(exit_code::INVALID_INPUT);
+            })
+        };
+        match flag.as_str() {
+            "--traces" => {
+                traces = value().parse().unwrap_or_else(|error| {
+                    eprintln!("flag --traces: {error}");
+                    exit(exit_code::INVALID_INPUT);
+                })
+            }
+            "--per-kind" => {
+                per_kind = value().parse().unwrap_or_else(|error| {
+                    eprintln!("flag --per-kind: {error}");
+                    exit(exit_code::INVALID_INPUT);
+                })
+            }
+            "--metrics" => metrics_path = Some(value()),
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                exit(exit_code::INVALID_INPUT);
+            }
+        }
+    }
+    let interrupt = mmaes_sigint::install();
+    let observer = mmaes_bench::observer_from(metrics_path.as_deref(), false, false);
+    let stopwatch = Stopwatch::start();
+
+    struct Case {
+        name: String,
+        netlist: Netlist,
+        expect_leak: bool,
+    }
+    let eq6 = build_kronecker(&KroneckerRandomness::de_meyer_eq6())
+        .expect("generator emits valid netlists")
+        .netlist;
+    let eq9 = build_kronecker(&KroneckerRandomness::proposed_eq9())
+        .expect("generator emits valid netlists")
+        .netlist;
+    let mut cases = vec![
+        Case {
+            name: "eq6 unmutated (the paper's flaw — must be flagged)".to_owned(),
+            netlist: eq6.clone(),
+            expect_leak: true,
+        },
+        Case {
+            name: "eq9 unmutated (the paper's repair — must stay clean)".to_owned(),
+            netlist: eq9,
+            expect_leak: false,
+        },
+    ];
+    for mutant in mmaes_leakage::mutants(&eq6, per_kind) {
+        cases.push(Case {
+            name: format!("eq6 + {}: {}", mutant.kind.name(), mutant.description),
+            netlist: mutant.netlist,
+            expect_leak: true,
+        });
+    }
+
+    let mut misses = 0usize;
+    let mut interrupted = false;
+    let mut total_traces = 0u64;
+    let mut worst = 0.0f64;
+    if !quiet {
+        println!(
+            "{:<64} {:>9} {:>8} {:>12}  ok",
+            "case", "expected", "verdict", "-log10(p)"
+        );
+    }
+    for case in &cases {
+        let config = EvaluationConfig {
+            traces,
+            warmup_cycles: 6,
+            checkpoints: 8,
+            early_stop: true,
+            durability: Durability {
+                interrupt: Some(interrupt.clone()),
+                ..Durability::default()
+            },
+            ..EvaluationConfig::default()
+        };
+        let report = FixedVsRandom::new(&case.netlist, config)
+            .with_observer(observer.clone())
+            .run_or_exit();
+        if report.interrupted {
+            interrupted = true;
+            break;
+        }
+        let leak = !report.passed();
+        let ok = leak == case.expect_leak;
+        misses += usize::from(!ok);
+        total_traces += report.traces;
+        let minus_log10_p = report
+            .worst()
+            .map(|result| result.minus_log10_p)
+            .unwrap_or(0.0);
+        worst = worst.max(minus_log10_p);
+        if !quiet {
+            println!(
+                "{:<64} {:>9} {:>8} {:>12.2}  {}",
+                case.name,
+                if case.expect_leak { "LEAK" } else { "clean" },
+                if leak { "LEAK" } else { "clean" },
+                minus_log10_p,
+                if ok { "ok" } else { "MISS" },
+            );
+        }
+    }
+    let summary = RunSummary {
+        tool: "mmaes selftest".to_owned(),
+        id: "selftest".to_owned(),
+        design: "kronecker eq6/eq9 + mutants".to_owned(),
+        traces: total_traces,
+        max_minus_log10_p: worst,
+        passed: misses == 0 && !interrupted,
+        wall_ms: stopwatch.elapsed_ms(),
+        traces_per_sec: stopwatch.rate(total_traces),
+        interrupted,
+        extra: vec![
+            ("cases".to_owned(), cases.len().to_string()),
+            ("misses".to_owned(), misses.to_string()),
+        ],
+        ..RunSummary::default()
+    };
+    if !quiet && !interrupted && misses == 0 {
+        println!("selftest passed: every planted fault detected, the repaired design stays clean");
+    }
+    observer.emit(&Event::RunSummary(summary.clone()));
+    mmaes_bench::print_summary_last(&observer, &summary.to_json_line());
+    if interrupted {
+        eprintln!("selftest interrupted before all cases ran");
+        exit(exit_code::INTERRUPTED);
+    }
+    if misses > 0 {
+        eprintln!(
+            "selftest FAILED: {misses} case(s) missed — the detector cannot be trusted on this build"
+        );
+        exit(exit_code::FINDING);
+    }
+    exit(exit_code::CLEAN);
 }
 
 fn model_name(model: ProbeModel) -> &'static str {

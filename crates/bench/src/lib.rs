@@ -11,6 +11,8 @@
 //! --checkpoints N   interim campaign checkpoints    (default 8)
 //! --paper-scale     use the paper's simulation counts (slow!)
 //! --exact-full      exhaustively verify the whole design, not just G7
+//! --snapshot DIR    persist per-campaign snapshots under DIR
+//! --resume          continue campaigns from their snapshots in DIR
 //! --metrics FILE    append JSON-lines telemetry events to FILE
 //! --progress        live human-readable progress on stderr
 //! --perf            record per-phase timings; breakdown on stderr
@@ -23,6 +25,13 @@
 //! pass/fail verdict, and wall time — and that summary is always the
 //! *last* stdout line (see [`print_summary_last`]).
 //!
+//! Every binary installs a cooperative SIGINT/SIGTERM handler: the
+//! first signal lets the running campaign finish its batch, write a
+//! final snapshot (when `--snapshot` is set) and emit the summary with
+//! `"interrupted":true`; a second signal kills the process. Exit codes
+//! follow [`exit_code`]: 0 reproduced/clean, 1 mismatch/leakage,
+//! 2 invalid input, 3 interrupted.
+//!
 //! The [`bench`] module implements the `mmaes bench` regression harness.
 
 #![forbid(unsafe_code)]
@@ -31,6 +40,23 @@
 pub mod bench;
 
 use mmaes_core::{ExperimentBudget, ExperimentOutcome};
+
+/// Process exit codes shared by `mmaes` and every `exp_*` binary.
+///
+/// Interruption takes precedence over a finding: a SIGTERM'd campaign
+/// exits 3 even if it has already seen leakage, because its statistics
+/// are not final — resume it to get the real verdict.
+pub mod exit_code {
+    /// Verdict clean / experiment reproduced the paper.
+    pub const CLEAN: i32 = 0;
+    /// Leakage found / experiment did not reproduce.
+    pub const FINDING: i32 = 1;
+    /// Malformed command line, unknown design, corrupt or mismatched
+    /// snapshot, invalid netlist.
+    pub const INVALID_INPUT: i32 = 2;
+    /// Interrupted (SIGINT/SIGTERM) — state saved, resumable.
+    pub const INTERRUPTED: i32 = 3;
+}
 use mmaes_telemetry::{
     Event, HumanProgressSink, JsonlSink, Observer, PerfRecorder, RunSummary, Sink, Stopwatch,
 };
@@ -49,12 +75,14 @@ pub struct RunOptions {
 }
 
 impl RunOptions {
-    /// Parses `std::env::args()` into options.
-    ///
-    /// # Panics
-    ///
-    /// Panics (with a usage message) on malformed arguments.
+    /// Parses `std::env::args()` into options and installs the
+    /// cooperative SIGINT/SIGTERM handler. Malformed arguments print a
+    /// usage message and exit with [`exit_code::INVALID_INPUT`].
     pub fn from_args() -> Self {
+        fn invalid(message: std::fmt::Arguments<'_>) -> ! {
+            eprintln!("{message} (try --help)");
+            std::process::exit(exit_code::INVALID_INPUT);
+        }
         let mut budget = ExperimentBudget::default();
         let mut metrics_path: Option<String> = None;
         let mut progress = false;
@@ -62,13 +90,14 @@ impl RunOptions {
         let mut quiet = false;
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
+            let mut value = || {
+                args.next()
+                    .unwrap_or_else(|| invalid(format_args!("flag {flag} needs a value")))
+            };
             let mut numeric = |target: &mut u64| {
-                let value = args
-                    .next()
-                    .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+                *target = value()
                     .parse()
-                    .unwrap_or_else(|error| panic!("flag {flag}: {error}"));
-                *target = value;
+                    .unwrap_or_else(|error| invalid(format_args!("flag {flag}: {error}")));
             };
             match flag.as_str() {
                 "--traces" => {
@@ -85,12 +114,9 @@ impl RunOptions {
                 "--checkpoints" => numeric(&mut budget.checkpoints),
                 "--paper-scale" => budget = ExperimentBudget::paper_scale(),
                 "--exact-full" => budget.exact_scope = None,
-                "--metrics" => {
-                    metrics_path = Some(
-                        args.next()
-                            .unwrap_or_else(|| panic!("flag --metrics needs a file path")),
-                    );
-                }
+                "--snapshot" => budget.snapshot_dir = Some(value()),
+                "--resume" => budget.resume = true,
+                "--metrics" => metrics_path = Some(value()),
                 "--progress" => progress = true,
                 "--perf" => perf = true,
                 "--quiet" => quiet = true,
@@ -98,13 +124,26 @@ impl RunOptions {
                     eprintln!(
                         "flags: --traces N  --traces2 N  --dpa-traces N  --seed N  \
                          --checkpoints N  --paper-scale  --exact-full  \
-                         --metrics FILE  --progress  --perf  --quiet"
+                         --snapshot DIR  --resume  \
+                         --metrics FILE  --progress  --perf  --quiet\n\
+                         exit codes: 0 reproduced  1 mismatch  2 invalid input  \
+                         3 interrupted (resumable with --snapshot DIR --resume)"
                     );
-                    std::process::exit(0);
+                    std::process::exit(exit_code::CLEAN);
                 }
-                other => panic!("unknown flag `{other}` (try --help)"),
+                other => invalid(format_args!("unknown flag `{other}`")),
             }
         }
+        if budget.resume && budget.snapshot_dir.is_none() {
+            invalid(format_args!("--resume needs --snapshot DIR"));
+        }
+        if let Some(dir) = &budget.snapshot_dir {
+            if let Err(error) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create snapshot directory {dir}: {error}");
+                std::process::exit(exit_code::INVALID_INPUT);
+            }
+        }
+        mmaes_sigint::install();
         let observer = observer_from(metrics_path.as_deref(), progress && !quiet, perf);
         RunOptions {
             budget,
@@ -117,7 +156,9 @@ impl RunOptions {
     /// Finishes a single-experiment binary: emits the summary to the
     /// observer, prints the prose report (unless `--quiet`) followed by
     /// the one-line JSON summary, and exits non-zero on a mismatch so
-    /// the harness can gate on it.
+    /// the harness can gate on it. An interrupted run (SIGINT/SIGTERM
+    /// during a campaign) exits [`exit_code::INTERRUPTED`] instead —
+    /// its statistics are partial, so neither verdict applies.
     pub fn finish(self, outcome: &ExperimentOutcome) -> ! {
         let summary = self.summarize(outcome);
         self.observer.emit(&Event::RunSummary(summary.clone()));
@@ -129,11 +170,15 @@ impl RunOptions {
         }
         self.report_perf();
         print_summary_last(&self.observer, &summary.to_json_line());
+        if summary.interrupted {
+            eprintln!("interrupted — partial statistics; resume with --snapshot DIR --resume");
+            std::process::exit(exit_code::INTERRUPTED);
+        }
         if outcome.matches_paper {
-            std::process::exit(0);
+            std::process::exit(exit_code::CLEAN);
         }
         eprintln!("MISMATCH with the paper's claim — see the report above");
-        std::process::exit(1);
+        std::process::exit(exit_code::FINDING);
     }
 
     /// Finishes a whole-suite binary (`exp_all`): prints the summary
@@ -158,6 +203,7 @@ impl RunOptions {
                 .fold(0.0, f64::max),
             passed: mismatches == 0,
             wall_ms,
+            interrupted: mmaes_sigint::interrupted(),
             extra: vec![
                 ("experiments".to_owned(), outcomes.len().to_string()),
                 ("mismatches".to_owned(), mismatches.to_string()),
@@ -170,7 +216,7 @@ impl RunOptions {
             for outcome in outcomes {
                 println!("{outcome}\n");
             }
-            if mismatches == 0 {
+            if mismatches == 0 && !summary.interrupted {
                 println!(
                     "all {} experiments reproduced the paper's findings",
                     outcomes.len()
@@ -179,11 +225,15 @@ impl RunOptions {
         }
         self.report_perf();
         print_summary_last(&self.observer, &summary.to_json_line());
+        if summary.interrupted {
+            eprintln!("interrupted — partial statistics; resume with --snapshot DIR --resume");
+            std::process::exit(exit_code::INTERRUPTED);
+        }
         if mismatches > 0 {
             eprintln!("{mismatches} experiment(s) did not reproduce");
-            std::process::exit(1);
+            std::process::exit(exit_code::FINDING);
         }
-        std::process::exit(0);
+        std::process::exit(exit_code::CLEAN);
     }
 
     /// Prints the per-phase breakdown to stderr when `--perf` was given.
@@ -204,6 +254,7 @@ impl RunOptions {
             passed: outcome.matches_paper,
             wall_ms: self.stopwatch.elapsed_ms(),
             traces_per_sec: self.stopwatch.rate(outcome.traces),
+            interrupted: mmaes_sigint::interrupted(),
             extra: vec![("title".to_owned(), outcome.title.to_owned())],
             ..RunSummary::default()
         }

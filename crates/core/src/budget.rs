@@ -33,6 +33,16 @@ pub struct ExperimentBudget {
     /// crate). Checkpoints feed `-log10(p)` trajectories to telemetry
     /// observers and the CSV export.
     pub checkpoints: u64,
+    /// Directory for per-campaign snapshot files (crash safety; see
+    /// [`mmaes_leakage::Durability`]). `None` disables snapshotting.
+    /// Each campaign inside an experiment derives its own file name
+    /// from the schedule, model and order, so multi-campaign
+    /// experiments resume per campaign.
+    pub snapshot_dir: Option<String>,
+    /// Resume each campaign from its snapshot if one exists (campaigns
+    /// without a snapshot start fresh, so a partially completed
+    /// experiment suite resumes where it stopped).
+    pub resume: bool,
 }
 
 impl Default for ExperimentBudget {
@@ -47,6 +57,8 @@ impl Default for ExperimentBudget {
             cipher_traces: 30_000,
             seed: 0x9c0_1ead,
             checkpoints: 8,
+            snapshot_dir: None,
+            resume: false,
         }
     }
 }
@@ -64,6 +76,8 @@ impl ExperimentBudget {
             cipher_traces: 10_000,
             seed: 0x9c0_1ead,
             checkpoints: 4,
+            snapshot_dir: None,
+            resume: false,
         }
     }
 
@@ -79,6 +93,8 @@ impl ExperimentBudget {
             cipher_traces: 4_000_000,
             seed: 0x9c0_1ead,
             checkpoints: 20,
+            snapshot_dir: None,
+            resume: false,
         }
     }
 }

@@ -8,7 +8,9 @@ use mmaes_circuits::{
 use mmaes_exact::{ExactConfig, ExactVerifier};
 use mmaes_gf256::sbox::sbox;
 use mmaes_gf256::Gf256;
-use mmaes_leakage::{EvaluationConfig, FixedVsRandom, LeakageReport, ProbeModel, SecretDomain};
+use mmaes_leakage::{
+    Durability, EvaluationConfig, FixedVsRandom, LeakageReport, ProbeModel, SecretDomain,
+};
 use mmaes_masking::KroneckerRandomness;
 use mmaes_netlist::NetlistStats;
 use mmaes_sim::Simulator;
@@ -25,6 +27,27 @@ fn max_minus_log10_p(reports: &[&LeakageReport]) -> f64 {
         .iter()
         .filter_map(|report| report.worst().map(|result| result.minus_log10_p))
         .fold(0.0, f64::max)
+}
+
+/// Crash-safety options for one campaign inside an experiment: every
+/// campaign always honors SIGINT/SIGTERM cooperatively; with
+/// [`ExperimentBudget::snapshot_dir`] set it additionally persists (and,
+/// with `resume`, restores) its state under a per-campaign file derived
+/// from `label`.
+fn campaign_durability(budget: &ExperimentBudget, label: &str) -> Durability {
+    let snapshot_path = budget.snapshot_dir.as_ref().map(|dir| {
+        let file: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        std::path::Path::new(dir).join(format!("{file}.snapshot"))
+    });
+    Durability {
+        snapshot_path,
+        resume: budget.resume,
+        interrupt: Some(mmaes_sigint::shared()),
+        stop_after_batches: None,
+    }
 }
 
 fn kronecker_eval(
@@ -46,6 +69,10 @@ fn kronecker_eval(
         max_probe_sets: max_sets,
         seed: budget.seed,
         checkpoints: budget.checkpoints,
+        durability: campaign_durability(
+            budget,
+            &format!("kronecker-{}-{}-o{order}", schedule.name(), model.name()),
+        ),
         ..EvaluationConfig::default()
     };
     FixedVsRandom::new(&circuit.netlist, config)
@@ -61,6 +88,11 @@ fn sbox_eval(
     budget: &ExperimentBudget,
     observer: &Observer,
 ) -> LeakageReport {
+    let label = format!(
+        "sbox-{}-kron{}-fixed{fixed_secret}",
+        options.schedule.name(),
+        options.include_kronecker
+    );
     let circuit = build_masked_sbox(options).expect("generator emits valid netlists");
     let config = EvaluationConfig {
         model: ProbeModel::Glitch,
@@ -70,6 +102,7 @@ fn sbox_eval(
         warmup_cycles: 8,
         seed: budget.seed,
         checkpoints: budget.checkpoints,
+        durability: campaign_durability(budget, &label),
         ..EvaluationConfig::default()
     };
     FixedVsRandom::new(&circuit.netlist, config)
@@ -620,6 +653,7 @@ pub fn run_e12(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutc
             warmup_cycles: 1 + 2 * ROUND_CYCLES,
             seed: budget.seed,
             checkpoints: budget.checkpoints,
+            durability: campaign_durability(budget, &format!("aes-{}", schedule.name())),
             ..EvaluationConfig::default()
         };
         let mut campaign = FixedVsRandom::new(&circuit.netlist, config)

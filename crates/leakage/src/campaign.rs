@@ -12,8 +12,12 @@
 //! the populations — i.e. whether the probe leaks.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-use mmaes_netlist::{Netlist, SecretId, StableCones, WireId};
+use mmaes_netlist::{Netlist, NetlistError, SecretId, StableCones, WireId};
 use mmaes_sim::{SimStats, Simulator, LANES};
 use mmaes_telemetry::{Checkpoint, Event, Observer, ProbePoint, Stopwatch};
 use rand::rngs::StdRng;
@@ -21,6 +25,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::probe::{enumerate_probe_sets, ProbeModel, ProbeSet};
 use crate::report::{LeakageReport, ProbeResult};
+use crate::snapshot::{self, CampaignSnapshot, SnapshotError, TableSnapshot};
 use crate::stats::g_test;
 
 /// How the second population's secrets are drawn.
@@ -53,6 +58,83 @@ pub enum SecretDomain {
     /// testbench keeps zero out, exactly as the paper's evaluation of
     /// the reduced design does.
     NonZero,
+}
+
+/// Crash-safety and cooperative-shutdown options of a campaign.
+///
+/// All fields default to "off", so existing configurations behave
+/// exactly as before. With a `snapshot_path` set, the campaign
+/// atomically persists its complete state (contingency tables, batch
+/// counter, flags, trajectories) at every checkpoint and when it stops;
+/// with `resume` it restores that state and continues bit-identically —
+/// the per-batch RNG derivation makes the trace stream a pure function
+/// of `(seed, batch index)`, so a resumed campaign is indistinguishable
+/// from an uninterrupted one.
+#[derive(Debug, Clone, Default)]
+pub struct Durability {
+    /// Where to persist campaign state (written atomically; see
+    /// [`crate::snapshot`]). `None` disables snapshotting.
+    pub snapshot_path: Option<PathBuf>,
+    /// Load `snapshot_path` before starting and continue from it. A
+    /// missing file starts from scratch (so `--resume` is safe on the
+    /// first run); a corrupt or mismatched file is a typed error.
+    pub resume: bool,
+    /// Cooperative interrupt flag (e.g. `mmaes_sigint::shared()`): when
+    /// it becomes true the campaign finishes the batch in flight,
+    /// writes a final snapshot and returns with
+    /// [`LeakageReport::interrupted`] set.
+    pub interrupt: Option<Arc<AtomicBool>>,
+    /// Deterministic interruption for tests and CI: stop (as if
+    /// signalled) once this many *total* batches are done. `None`
+    /// disables the cap.
+    pub stop_after_batches: Option<u64>,
+}
+
+/// Error from [`FixedVsRandom::try_run`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// The netlist failed structural validation.
+    Netlist(NetlistError),
+    /// The snapshot file could not be loaded, parsed or written.
+    Snapshot(SnapshotError),
+    /// The netlist declares no secret shares — there is nothing to fix
+    /// versus randomize.
+    NoSecretShares,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Netlist(error) => write!(formatter, "invalid netlist: {error}"),
+            CampaignError::Snapshot(error) => write!(formatter, "{error}"),
+            CampaignError::NoSecretShares => {
+                write!(formatter, "netlist declares no secret shares")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Netlist(error) => Some(error),
+            CampaignError::Snapshot(error) => Some(error),
+            CampaignError::NoSecretShares => None,
+        }
+    }
+}
+
+impl From<NetlistError> for CampaignError {
+    fn from(error: NetlistError) -> Self {
+        CampaignError::Netlist(error)
+    }
+}
+
+impl From<SnapshotError> for CampaignError {
+    fn from(error: SnapshotError) -> Self {
+        CampaignError::Snapshot(error)
+    }
 }
 
 /// Configuration of a fixed-vs-random evaluation.
@@ -100,6 +182,9 @@ pub struct EvaluationConfig {
     /// (p < 10⁻¹⁰ at the default threshold — far beyond any null
     /// fluctuation). Requires `checkpoints > 0` to have any effect.
     pub early_stop: bool,
+    /// Crash-safety options: snapshotting, resume, cooperative
+    /// interruption. Defaults to all-off (no behavior change).
+    pub durability: Durability,
 }
 
 /// Early stop triggers at `DECISIVE_MARGIN × threshold` running
@@ -127,8 +212,64 @@ impl Default for EvaluationConfig {
             max_table_keys: 1 << 20,
             checkpoints: 0,
             early_stop: false,
+            durability: Durability::default(),
         }
     }
+}
+
+/// Derives the RNG for one batch from the campaign seed and the batch
+/// index (a splitmix64-style mix). Making every batch's randomness a
+/// pure function of `(seed, batch)` is what lets an interrupted
+/// campaign resume bit-identically: no draw-count bookkeeping can work,
+/// because secret sampling uses rejection (variable draws per batch).
+fn batch_rng(seed: u64, batch: u64) -> StdRng {
+    let mut mixed = seed ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    mixed = (mixed ^ (mixed >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    mixed = (mixed ^ (mixed >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    StdRng::seed_from_u64(mixed ^ (mixed >> 31))
+}
+
+/// Assembles the serializable campaign state from the live tables.
+#[allow(clippy::too_many_arguments)]
+fn build_snapshot(
+    fingerprint: u64,
+    batches_done: u64,
+    total_batches: u64,
+    cell_evals: u64,
+    tables: &[Table],
+    flagged: &[bool],
+    trajectories: &[Vec<(u64, f64)>],
+) -> CampaignSnapshot {
+    CampaignSnapshot {
+        config_fingerprint: fingerprint,
+        batches_done,
+        total_batches,
+        cell_evals,
+        tables: tables
+            .iter()
+            .enumerate()
+            .map(|(index, table)| {
+                TableSnapshot::from_counts(
+                    &table.counts,
+                    table.overflow,
+                    table.samples,
+                    flagged[index],
+                    &trajectories[index],
+                )
+            })
+            .collect(),
+    }
+}
+
+/// FNV-1a over the canonical description of every sampling-relevant
+/// configuration field — the snapshot compatibility fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// A contingency table over observation keys for one probing set.
@@ -162,11 +303,20 @@ impl Table {
         }
     }
 
+    // Columns in sorted key order: the G statistic is a float sum, so a
+    // deterministic summation order is what makes checkpoint
+    // trajectories byte-identical across runs and across resume legs
+    // (HashMap iteration order is neither).
     fn columns(&self) -> Vec<(u64, u64)> {
-        let mut columns: Vec<(u64, u64)> = self
+        let mut entries: Vec<(u128, [u64; 2])> = self
             .counts
-            .values()
-            .map(|cell| (cell[0], cell[1]))
+            .iter()
+            .map(|(&key, &cell)| (key, cell))
+            .collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        let mut columns: Vec<(u64, u64)> = entries
+            .into_iter()
+            .map(|(_, cell)| (cell[0], cell[1]))
             .collect();
         if self.overflow[0] + self.overflow[1] > 0 {
             columns.push((self.overflow[0], self.overflow[1]));
@@ -248,11 +398,66 @@ impl<'a> FixedVsRandom<'a> {
     /// # Panics
     ///
     /// Panics if the netlist declares no secret shares (nothing to fix),
-    /// or on unsupported probing orders.
+    /// fails validation, or the snapshot options error — the message is
+    /// the [`CampaignError`] display. Use [`FixedVsRandom::try_run`] to
+    /// handle these as values.
     pub fn run(&self) -> LeakageReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// The campaign's snapshot-compatibility fingerprint: every
+    /// sampling-relevant configuration field plus the probing-set list.
+    fn fingerprint(&self, probe_sets: &[ProbeSet]) -> u64 {
+        use std::fmt::Write as _;
+        let config = &self.config;
+        let mut canonical = String::new();
+        let _ = write!(
+            canonical,
+            "{}|{}|{}|{}|{}|{:?}|{:?}|{}|{:016x}|{:016x}|{}|{:?}|{}|{}|{}",
+            self.netlist.name(),
+            config.model.name(),
+            config.order,
+            config.traces,
+            config.fixed_secret,
+            config.secret_domain,
+            config.mode,
+            config.warmup_cycles,
+            config.threshold.to_bits(),
+            config.seed,
+            config.max_probe_sets,
+            config.probe_scope_filter,
+            config.max_table_keys,
+            config.checkpoints,
+            config.early_stop,
+        );
+        for set in probe_sets {
+            canonical.push('|');
+            canonical.push_str(&set.label);
+        }
+        fnv1a(canonical.as_bytes())
+    }
+
+    /// Fallible form of [`FixedVsRandom::run`], with crash-safety: when
+    /// [`Durability::snapshot_path`] is set the complete campaign state
+    /// is persisted atomically at every checkpoint and on exit, and
+    /// [`Durability::resume`] continues a previous run bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// * [`CampaignError::Netlist`] — the netlist fails
+    ///   [`Netlist::validate`] (checked before any simulation).
+    /// * [`CampaignError::NoSecretShares`] — nothing to fix vs randomize.
+    /// * [`CampaignError::Snapshot`] — the snapshot file is corrupt,
+    ///   version-mismatched, taken under a different configuration, or
+    ///   unwritable.
+    pub fn try_run(&self) -> Result<LeakageReport, CampaignError> {
         let config = &self.config;
         let watch = Stopwatch::start();
         let perf = self.observer.perf();
+        self.netlist.validate()?;
         let cones = StableCones::new(self.netlist);
         let probe_sets = enumerate_probe_sets(
             self.netlist,
@@ -288,7 +493,9 @@ impl<'a> FixedVsRandom<'a> {
                 (secret, shares)
             })
             .collect();
-        assert!(!secrets.is_empty(), "netlist declares no secret shares");
+        if secrets.is_empty() {
+            return Err(CampaignError::NoSecretShares);
+        }
 
         // Mask inputs not covered by a non-zero bus.
         let nonzero_wires: std::collections::HashSet<WireId> =
@@ -301,11 +508,47 @@ impl<'a> FixedVsRandom<'a> {
             .collect();
         let controls = self.netlist.control_inputs();
 
-        let mut rng = StdRng::seed_from_u64(config.seed);
         let mut sim = Simulator::new(self.netlist);
         let mut tables: Vec<Table> = probe_sets.iter().map(|_| Table::new()).collect();
 
         let batches = config.traces.div_ceil(LANES as u64);
+        let durability = &config.durability;
+        let fingerprint = self.fingerprint(&probe_sets);
+        let mut trajectories: Vec<Vec<(u64, f64)>> = vec![Vec::new(); probe_sets.len()];
+        let mut flagged = vec![false; probe_sets.len()];
+        let mut start_batch = 0u64;
+        // Cell evaluations folded in by previous (interrupted) legs.
+        let mut prior_cell_evals = 0u64;
+        if durability.resume {
+            if let Some(path) = &durability.snapshot_path {
+                if path.exists() {
+                    let saved = snapshot::load(path)?;
+                    if saved.config_fingerprint != fingerprint {
+                        return Err(SnapshotError::ConfigMismatch {
+                            found: saved.config_fingerprint,
+                            expected: fingerprint,
+                        }
+                        .into());
+                    }
+                    if saved.total_batches != batches || saved.tables.len() != probe_sets.len() {
+                        return Err(SnapshotError::ConfigMismatch {
+                            found: saved.config_fingerprint,
+                            expected: fingerprint,
+                        }
+                        .into());
+                    }
+                    start_batch = saved.batches_done.min(batches);
+                    prior_cell_evals = saved.cell_evals;
+                    for (index, table) in saved.tables.into_iter().enumerate() {
+                        flagged[index] = table.flagged;
+                        trajectories[index] = table.trajectory;
+                        tables[index].samples = table.samples;
+                        tables[index].overflow = table.overflow;
+                        tables[index].counts = table.counts.into_iter().collect();
+                    }
+                }
+            }
+        }
         if self.observer.enabled() {
             self.observer.emit(&Event::CampaignStarted {
                 design: self.netlist.name().to_owned(),
@@ -320,15 +563,17 @@ impl<'a> FixedVsRandom<'a> {
         let checkpoint_every = batches
             .checked_div(config.checkpoints)
             .map_or(0, |every| every.max(1));
-        let mut trajectories: Vec<Vec<(u64, f64)>> = vec![Vec::new(); probe_sets.len()];
-        let mut flagged = vec![false; probe_sets.len()];
         let mut early_stopped = false;
-        let mut batches_done = 0u64;
+        let mut interrupted = false;
+        let mut batches_done = start_batch;
         // Snapshot protocol (see `SimStats`): counters survive `reset`,
         // so interval rates come from deltas between checkpoints.
         let mut last_stats: SimStats = sim.counters();
         let mut last_elapsed_ms = 0u64;
-        for batch in 0..batches {
+        for batch in start_batch..batches {
+            // Each batch derives its own RNG from (seed, batch), so the
+            // trace stream is position-addressable and resume is exact.
+            let mut rng = batch_rng(config.seed, batch);
             // Lane → population: bit set = random population.
             let lane_groups: u64 = rng.gen();
             sim.reset();
@@ -434,11 +679,57 @@ impl<'a> FixedVsRandom<'a> {
                             / traces_so_far as f64,
                     });
                 }
+                if let Some(path) = &durability.snapshot_path {
+                    let _span = perf.span("snapshot");
+                    let state = build_snapshot(
+                        fingerprint,
+                        batches_done,
+                        batches,
+                        prior_cell_evals + sim.counters().cell_evals,
+                        &tables,
+                        &flagged,
+                        &trajectories,
+                    );
+                    snapshot::save(&state, path)?;
+                }
                 if config.early_stop && max_minus_log10_p >= DECISIVE_MARGIN * config.threshold {
                     early_stopped = true;
                     break;
                 }
             }
+
+            // Cooperative interruption: a signal flag (set from a
+            // SIGINT/SIGTERM handler) or a deterministic batch cap.
+            // The batch in flight is complete, so the state is
+            // consistent; the final snapshot below persists it.
+            let signalled = durability
+                .interrupt
+                .as_ref()
+                .is_some_and(|flag| flag.load(Ordering::Relaxed));
+            let capped = durability
+                .stop_after_batches
+                .is_some_and(|cap| batches_done >= cap);
+            if (signalled || capped) && batches_done < batches {
+                interrupted = true;
+                break;
+            }
+        }
+
+        // Final snapshot: covers interruption, early stop and normal
+        // completion (resuming a completed snapshot reproduces the
+        // final report without re-simulating).
+        if let Some(path) = &durability.snapshot_path {
+            let _span = perf.span("snapshot");
+            let state = build_snapshot(
+                fingerprint,
+                batches_done,
+                batches,
+                prior_cell_evals + sim.counters().cell_evals,
+                &tables,
+                &flagged,
+                &trajectories,
+            );
+            snapshot::save(&state, path)?;
         }
 
         let final_sweep = perf.span("g_test");
@@ -488,7 +779,7 @@ impl<'a> FixedVsRandom<'a> {
         drop(final_sweep);
 
         let traces = batches_done * LANES as u64;
-        let cell_evals = sim.counters().cell_evals;
+        let cell_evals = prior_cell_evals + sim.counters().cell_evals;
         if perf.is_enabled() {
             perf.add("traces", traces);
             perf.add("cell_evals", cell_evals);
@@ -509,6 +800,7 @@ impl<'a> FixedVsRandom<'a> {
             threshold: config.threshold,
             probe_sets_truncated: truncated,
             early_stopped,
+            interrupted,
             cell_evals,
             results,
         };
@@ -526,7 +818,7 @@ impl<'a> FixedVsRandom<'a> {
                 early_stopped,
             });
         }
-        report
+        Ok(report)
     }
 
     #[allow(clippy::too_many_arguments)]

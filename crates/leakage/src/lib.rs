@@ -30,10 +30,16 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod mutate;
 pub mod probe;
 pub mod report;
+pub mod snapshot;
 pub mod stats;
 
-pub use campaign::{CampaignMode, EvaluationConfig, FixedVsRandom, SecretDomain};
+pub use campaign::{
+    CampaignError, CampaignMode, Durability, EvaluationConfig, FixedVsRandom, SecretDomain,
+};
+pub use mutate::{mutants, FaultKind, Mutant};
 pub use probe::{enumerate_probe_sets, ProbeModel, ProbeSet};
 pub use report::{LeakageReport, ProbeResult};
+pub use snapshot::{CampaignSnapshot, SnapshotError, TableSnapshot, SNAPSHOT_SCHEMA_VERSION};

@@ -51,6 +51,11 @@ pub struct LeakageReport {
     /// Whether the campaign stopped before its trace budget because the
     /// verdict was already decisive.
     pub early_stopped: bool,
+    /// Whether the campaign was interrupted (signal or batch cap) and
+    /// stopped cooperatively after the batch in flight. The statistics
+    /// cover the traces accumulated so far; with a snapshot configured,
+    /// the run can be resumed bit-identically.
+    pub interrupted: bool,
     /// Total simulator cell evaluations spent on the campaign (from
     /// [`mmaes_sim::SimStats`]; the throughput denominator for
     /// cell-evals/sec).
@@ -184,6 +189,12 @@ impl fmt::Display for LeakageReport {
                 "note:      stopped early — verdict decisive before the trace budget"
             )?;
         }
+        if self.interrupted {
+            writeln!(
+                formatter,
+                "note:      interrupted — statistics cover the traces accumulated so far"
+            )?;
+        }
         writeln!(formatter, "verdict:   {}", self.verdict())?;
         writeln!(
             formatter,
@@ -251,6 +262,7 @@ mod tests {
             threshold: 5.0,
             probe_sets_truncated: false,
             early_stopped: false,
+            interrupted: false,
             cell_evals: 0,
             results,
         }

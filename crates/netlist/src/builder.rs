@@ -109,11 +109,21 @@ impl NetlistBuilder {
     ///
     /// Panics if called without a matching [`NetlistBuilder::push_scope`].
     pub fn pop_scope(&mut self) {
-        assert!(
-            self.scope_stack.len() > 1,
-            "pop_scope without matching push_scope"
-        );
+        self.try_pop_scope()
+            .expect("pop_scope without matching push_scope");
+    }
+
+    /// Fallible form of [`NetlistBuilder::pop_scope`].
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnbalancedScopes`] if no scope is open.
+    pub fn try_pop_scope(&mut self) -> Result<(), BuildError> {
+        if self.scope_stack.len() <= 1 {
+            return Err(BuildError::UnbalancedScopes { depth: 0 });
+        }
         self.scope_stack.pop();
+        Ok(())
     }
 
     /// Runs `body` inside a named scope.
@@ -174,11 +184,26 @@ impl NetlistBuilder {
     /// Panics if the number of inputs is invalid for `kind` (a programming
     /// error in generator code, caught eagerly).
     pub fn cell(&mut self, kind: CellKind, inputs: Vec<WireId>) -> WireId {
-        assert!(
-            kind.accepts_arity(inputs.len()),
-            "{kind} cell does not accept {} inputs",
-            inputs.len()
-        );
+        match self.try_cell(kind, inputs) {
+            Ok(wire) => wire,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Fallible form of [`NetlistBuilder::cell`], for callers assembling
+    /// cells from untrusted descriptions.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::InvalidArity`] if `kind` does not accept
+    /// `inputs.len()` inputs.
+    pub fn try_cell(&mut self, kind: CellKind, inputs: Vec<WireId>) -> Result<WireId, BuildError> {
+        if !kind.accepts_arity(inputs.len()) {
+            return Err(BuildError::InvalidArity {
+                kind: kind.to_string(),
+                inputs: inputs.len(),
+            });
+        }
         let name = self.anon_name(&kind.to_string().to_lowercase());
         let output = self.fresh_wire(name, SignalRole::Internal);
         let id = CellId(self.cells.len() as u32);
@@ -189,7 +214,7 @@ impl NetlistBuilder {
             scope: self.current_scope(),
         });
         self.origins[output.index()] = Some(WireOrigin::Cell(id));
-        output
+        Ok(output)
     }
 
     /// Two-input AND.
@@ -362,11 +387,22 @@ impl NetlistBuilder {
     ///
     /// Panics if the wire is already driven.
     pub fn drive_forward(&mut self, wire: WireId, source: WireId) {
-        assert!(
-            self.origins[wire.index()].is_none(),
-            "wire {} is already driven",
-            self.wire_names[wire.index()]
-        );
+        if let Err(error) = self.try_drive_forward(wire, source) {
+            panic!("{error}");
+        }
+    }
+
+    /// Fallible form of [`NetlistBuilder::drive_forward`].
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::MultiplyDrivenWire`] if the wire is already driven.
+    pub fn try_drive_forward(&mut self, wire: WireId, source: WireId) -> Result<(), BuildError> {
+        if self.origins[wire.index()].is_some() {
+            return Err(BuildError::MultiplyDrivenWire {
+                name: self.wire_names[wire.index()].clone(),
+            });
+        }
         let id = CellId(self.cells.len() as u32);
         self.cells.push(Cell {
             kind: CellKind::Buf,
@@ -375,6 +411,7 @@ impl NetlistBuilder {
             scope: self.current_scope(),
         });
         self.origins[wire.index()] = Some(WireOrigin::Cell(id));
+        Ok(())
     }
 
     /// Number of wires created so far.
@@ -392,6 +429,9 @@ impl NetlistBuilder {
     /// * [`BuildError::CombinationalLoop`] — a cycle through cells exists.
     /// * [`BuildError::DuplicateName`] — two wires share a name.
     /// * [`BuildError::UnbalancedScopes`] — a scope was left open.
+    /// * any other [`BuildError`] from the full
+    ///   [`Netlist::validate`] pass (duplicate output names, duplicate
+    ///   share roles, sparse share matrices, …).
     pub fn build(self) -> Result<Netlist, BuildError> {
         if self.scope_stack.len() != 1 {
             return Err(BuildError::UnbalancedScopes {
@@ -410,47 +450,7 @@ impl NetlistBuilder {
             }
         }
 
-        // Kahn's algorithm over cells (registers break combinational paths).
-        let mut indegree = vec![0usize; self.cells.len()];
-        let mut users: Vec<Vec<u32>> = vec![Vec::new(); self.cells.len()];
-        for (index, cell) in self.cells.iter().enumerate() {
-            for input in &cell.inputs {
-                if let WireOrigin::Cell(driver) = origins[input.index()] {
-                    indegree[index] += 1;
-                    users[driver.index()].push(index as u32);
-                }
-            }
-        }
-        let mut queue: Vec<u32> = indegree
-            .iter()
-            .enumerate()
-            .filter(|&(_, &degree)| degree == 0)
-            .map(|(index, _)| index as u32)
-            .collect();
-        let mut topo = Vec::with_capacity(self.cells.len());
-        let mut head = 0;
-        while head < queue.len() {
-            let current = queue[head];
-            head += 1;
-            topo.push(CellId(current));
-            for &user in &users[current as usize] {
-                indegree[user as usize] -= 1;
-                if indegree[user as usize] == 0 {
-                    queue.push(user);
-                }
-            }
-        }
-        if topo.len() != self.cells.len() {
-            let stuck: Vec<String> = self
-                .cells
-                .iter()
-                .enumerate()
-                .filter(|&(index, _)| indegree[index] > 0)
-                .take(8)
-                .map(|(_, cell)| self.wire_names[cell.output.index()].clone())
-                .collect();
-            return Err(BuildError::CombinationalLoop { wires: stuck });
-        }
+        let topo = crate::validate::compute_topo(&self.cells, &origins, &self.wire_names)?;
 
         let mut name_index = HashMap::with_capacity(self.wire_names.len());
         for (index, name) in self.wire_names.iter().enumerate() {
@@ -462,7 +462,7 @@ impl NetlistBuilder {
             }
         }
 
-        Ok(Netlist {
+        let netlist = Netlist {
             name: self.name,
             wire_names: self.wire_names,
             wire_roles: self.wire_roles,
@@ -474,7 +474,9 @@ impl NetlistBuilder {
             scopes: self.scopes,
             topo,
             name_index,
-        })
+        };
+        netlist.validate()?;
+        Ok(netlist)
     }
 }
 

@@ -1,0 +1,251 @@
+//! Structural edits on validated netlists.
+//!
+//! These are the primitives the fault-injection self-test
+//! (`mmaes-leakage`'s `mutate` module) builds on: each edit clones the
+//! netlist, applies one structural change, recomputes the topological
+//! order and re-runs [`Netlist::validate`], so an edit can never produce
+//! an invalid netlist — an edit that would (e.g. a wire swap creating a
+//! combinational loop) returns the typed error instead.
+
+use crate::error::NetlistError;
+use crate::kind::CellKind;
+use crate::netlist::{Cell, CellId, Netlist, SignalRole, WireId, WireOrigin};
+use crate::validate::compute_topo;
+
+impl Netlist {
+    /// Finishes an edit: recomputes the evaluation order and re-checks
+    /// every invariant.
+    fn revalidated(mut self) -> Result<Netlist, NetlistError> {
+        self.topo = compute_topo(&self.cells, &self.origins, &self.wire_names)?;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// A copy of this netlist with one cell's function replaced (a
+    /// "gate flip" fault). The input list is kept, so `kind` must accept
+    /// the cell's current arity.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DanglingWire`] if `cell` is out of range,
+    /// [`NetlistError::InvalidArity`] if `kind` cannot take the cell's
+    /// inputs.
+    pub fn with_cell_kind(&self, cell: CellId, kind: CellKind) -> Result<Netlist, NetlistError> {
+        if cell.index() >= self.cells.len() {
+            return Err(NetlistError::DanglingWire {
+                context: format!("cell #{}", cell.index()),
+            });
+        }
+        let mut edited = self.clone();
+        edited.cells[cell.index()].kind = kind;
+        edited.revalidated()
+    }
+
+    /// A copy of this netlist with every *use* of wires `a` and `b`
+    /// swapped (cell inputs and register D pins; drivers, names and
+    /// roles stay put). Swapping e.g. a share-0 wire with a share-1 wire
+    /// of the same secret routes one domain's signal into the other — a
+    /// share-swap fault.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DanglingWire`] if either wire is out of range;
+    /// [`NetlistError::CombinationalLoop`] if the rewiring creates one.
+    pub fn with_swapped_wires(&self, a: WireId, b: WireId) -> Result<Netlist, NetlistError> {
+        let wires = self.wire_names.len();
+        if a.index() >= wires || b.index() >= wires {
+            return Err(NetlistError::DanglingWire {
+                context: "wire swap".to_owned(),
+            });
+        }
+        let swap = |wire: &mut WireId| {
+            if *wire == a {
+                *wire = b;
+            } else if *wire == b {
+                *wire = a;
+            }
+        };
+        let mut edited = self.clone();
+        for cell in &mut edited.cells {
+            for input in &mut cell.inputs {
+                swap(input);
+            }
+        }
+        for register in &mut edited.registers {
+            swap(&mut register.d);
+        }
+        edited.revalidated()
+    }
+
+    /// A copy of this netlist with a primary input's fan-out rewired to
+    /// constant 0 (a stuck-at-0 fault, e.g. on a fresh-randomness input).
+    /// The input stays declared — campaigns still drive it — but nothing
+    /// consumes it any more.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::NotAPrimaryInput`] if `wire` is not an input.
+    pub fn with_input_stuck_at_zero(&self, wire: WireId) -> Result<Netlist, NetlistError> {
+        if wire.index() >= self.wire_names.len() {
+            return Err(NetlistError::DanglingWire {
+                context: "stuck-at-0 target".to_owned(),
+            });
+        }
+        if self.origins[wire.index()] != WireOrigin::Input {
+            return Err(NetlistError::NotAPrimaryInput {
+                name: self.wire_names[wire.index()].clone(),
+            });
+        }
+        let mut edited = self.clone();
+        let zero_name = format!("{}$stuck0", self.wire_names[wire.index()]);
+        let zero = WireId(edited.wire_names.len() as u32);
+        edited.wire_names.push(zero_name.clone());
+        edited.wire_roles.push(SignalRole::Internal);
+        let cell_id = CellId(edited.cells.len() as u32);
+        edited.origins.push(WireOrigin::Cell(cell_id));
+        edited.cells.push(Cell {
+            kind: CellKind::Const0,
+            inputs: Vec::new(),
+            output: zero,
+            scope: 0,
+        });
+        edited.name_index.insert(zero_name, zero);
+        for cell in &mut edited.cells {
+            for input in &mut cell.inputs {
+                if *input == wire {
+                    *input = zero;
+                }
+            }
+        }
+        for register in &mut edited.registers {
+            if register.d == wire {
+                register.d = zero;
+            }
+        }
+        edited.revalidated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::netlist::SecretId;
+
+    fn share(index: u8) -> SignalRole {
+        SignalRole::Share {
+            secret: SecretId(0),
+            share: index,
+            bit: 0,
+        }
+    }
+
+    /// s0·m registered, then XORed with s1: each edit target is distinct.
+    fn gadget() -> Netlist {
+        let mut builder = NetlistBuilder::new("gadget");
+        let s0 = builder.input("s0", share(0));
+        let s1 = builder.input("s1", share(1));
+        let mask = builder.input("m", SignalRole::Mask);
+        let product = builder.and2(s0, mask);
+        let q = builder.register(product);
+        let out = builder.xor2(q, s1);
+        builder.output("out", out);
+        builder.build().expect("valid")
+    }
+
+    #[test]
+    fn cell_kind_flip_preserves_structure() {
+        let netlist = gadget();
+        let (and_id, _) = netlist
+            .cells()
+            .find(|(_, cell)| cell.kind == CellKind::And)
+            .expect("AND exists");
+        let flipped = netlist
+            .with_cell_kind(and_id, CellKind::Or)
+            .expect("valid flip");
+        assert_eq!(flipped.cell(and_id).kind, CellKind::Or);
+        assert_eq!(flipped.cell_count(), netlist.cell_count());
+        assert_eq!(flipped.validate(), Ok(()));
+    }
+
+    #[test]
+    fn cell_kind_flip_rejects_bad_arity() {
+        let netlist = gadget();
+        let (and_id, _) = netlist
+            .cells()
+            .find(|(_, cell)| cell.kind == CellKind::And)
+            .expect("AND exists");
+        let error = netlist
+            .with_cell_kind(and_id, CellKind::Not)
+            .expect_err("2→1 inputs");
+        assert!(
+            matches!(error, NetlistError::InvalidArity { .. }),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn wire_swap_moves_uses_not_drivers() {
+        let netlist = gadget();
+        let s0 = netlist.find_wire("s0").expect("s0");
+        let s1 = netlist.find_wire("s1").expect("s1");
+        let swapped = netlist.with_swapped_wires(s0, s1).expect("valid swap");
+        // The AND now consumes s1 instead of s0; the XOR consumes s0.
+        let (_, and) = swapped
+            .cells()
+            .find(|(_, cell)| cell.kind == CellKind::And)
+            .expect("AND exists");
+        assert!(and.inputs.contains(&s1));
+        let (_, xor) = swapped
+            .cells()
+            .find(|(_, cell)| cell.kind == CellKind::Xor)
+            .expect("XOR exists");
+        assert!(xor.inputs.contains(&s0));
+        assert_eq!(swapped.validate(), Ok(()));
+    }
+
+    #[test]
+    fn wire_swap_that_creates_a_loop_is_rejected() {
+        // b = not(a); c = not(b). Swapping a and c makes the first
+        // inverter consume c, whose cone contains b → loop.
+        let mut builder = NetlistBuilder::new("chain");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.not(a);
+        let c = builder.not(b);
+        builder.output("c", c);
+        let netlist = builder.build().expect("valid");
+        let error = netlist.with_swapped_wires(a, c).expect_err("must loop");
+        assert!(
+            matches!(error, NetlistError::CombinationalLoop { .. }),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn stuck_at_zero_disconnects_the_input() {
+        let netlist = gadget();
+        let mask = netlist.find_wire("m").expect("mask input");
+        let stuck = netlist.with_input_stuck_at_zero(mask).expect("valid edit");
+        assert_eq!(stuck.cell_count(), netlist.cell_count() + 1);
+        // No cell or register consumes the mask any more.
+        let consumed = stuck.cells().any(|(_, cell)| cell.inputs.contains(&mask))
+            || stuck.registers().any(|(_, register)| register.d == mask);
+        assert!(!consumed);
+        assert_eq!(stuck.validate(), Ok(()));
+        // The input is still declared, so campaigns can keep driving it.
+        assert!(stuck.inputs().contains(&mask));
+    }
+
+    #[test]
+    fn stuck_at_zero_rejects_internal_wires() {
+        let netlist = gadget();
+        let out = netlist.find_output("out").expect("out");
+        let error = netlist
+            .with_input_stuck_at_zero(out)
+            .expect_err("not an input");
+        assert!(
+            matches!(error, NetlistError::NotAPrimaryInput { .. }),
+            "{error}"
+        );
+    }
+}

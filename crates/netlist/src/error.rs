@@ -1,11 +1,17 @@
-//! Netlist construction errors.
+//! Typed netlist construction and validation errors.
 
 use core::fmt;
 
-/// Error returned by [`NetlistBuilder::build`](crate::NetlistBuilder::build).
+/// Error returned by [`NetlistBuilder::build`](crate::NetlistBuilder::build)
+/// and by [`Netlist::validate`](crate::Netlist::validate).
+///
+/// Builder-time errors (undriven wires, unbalanced scopes) can only
+/// arise before a [`Netlist`](crate::Netlist) exists; the remaining
+/// variants also cover post-construction validation, e.g. after a
+/// fault-injection edit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
-pub enum BuildError {
+pub enum NetlistError {
     /// A forward wire was declared but never driven.
     UndrivenWire {
         /// Name of the undriven wire.
@@ -21,30 +27,119 @@ pub enum BuildError {
         /// The colliding name.
         name: String,
     },
-    /// `build` was called with scopes still open.
+    /// `build` was called with scopes still open, or `pop_scope` with
+    /// none open.
     UnbalancedScopes {
         /// How many scopes remained open.
         depth: usize,
     },
+    /// A wire is driven by more than one cell/register/input.
+    MultiplyDrivenWire {
+        /// Name of the multiply-driven wire.
+        name: String,
+    },
+    /// A cell was given a number of inputs its kind does not accept.
+    InvalidArity {
+        /// The cell kind (display name).
+        kind: String,
+        /// The offending input count.
+        inputs: usize,
+    },
+    /// A cell, register or output references a wire id outside the
+    /// netlist (dangling reference).
+    DanglingWire {
+        /// Where the dangling reference was found.
+        context: String,
+    },
+    /// A wire's recorded origin disagrees with the cell/register tables
+    /// (internal corruption, e.g. after a bad structural edit).
+    InconsistentOrigin {
+        /// Name of the inconsistent wire.
+        name: String,
+    },
+    /// Two primary outputs carry the same name.
+    DuplicateOutputName {
+        /// The colliding output name.
+        name: String,
+    },
+    /// Two primary inputs declare the same (secret, share, bit) role.
+    DuplicateShareRole {
+        /// Name of the second wire claiming the role.
+        name: String,
+    },
+    /// A secret's share matrix has a hole: some (share, bit) position
+    /// below the declared maxima has no input wire. The evaluators
+    /// require dense share matrices to drive sharings.
+    SparseShareMatrix {
+        /// The secret with the hole.
+        secret: u16,
+        /// Missing share index.
+        share: u8,
+        /// Missing bit position.
+        bit: u8,
+    },
+    /// An operation that needs a primary input was given a non-input
+    /// wire (e.g. stuck-at fault injection).
+    NotAPrimaryInput {
+        /// Name of the offending wire.
+        name: String,
+    },
 }
 
-impl fmt::Display for BuildError {
+/// Former name of [`NetlistError`], kept so existing `BuildError`
+/// imports and match patterns continue to compile.
+pub type BuildError = NetlistError;
+
+impl fmt::Display for NetlistError {
     fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::UndrivenWire { name } => {
+            NetlistError::UndrivenWire { name } => {
                 write!(formatter, "wire `{name}` is never driven")
             }
-            BuildError::CombinationalLoop { wires } => {
+            NetlistError::CombinationalLoop { wires } => {
                 write!(formatter, "combinational loop through wires {wires:?}")
             }
-            BuildError::DuplicateName { name } => {
+            NetlistError::DuplicateName { name } => {
                 write!(formatter, "duplicate wire name `{name}`")
             }
-            BuildError::UnbalancedScopes { depth } => {
+            NetlistError::UnbalancedScopes { depth } => {
                 write!(formatter, "{depth} scope(s) left open at build time")
+            }
+            NetlistError::MultiplyDrivenWire { name } => {
+                write!(formatter, "wire `{name}` is driven more than once")
+            }
+            NetlistError::InvalidArity { kind, inputs } => {
+                write!(formatter, "{kind} cell does not accept {inputs} inputs")
+            }
+            NetlistError::DanglingWire { context } => {
+                write!(formatter, "dangling wire reference in {context}")
+            }
+            NetlistError::InconsistentOrigin { name } => {
+                write!(
+                    formatter,
+                    "wire `{name}` has an origin inconsistent with the cell/register tables"
+                )
+            }
+            NetlistError::DuplicateOutputName { name } => {
+                write!(formatter, "duplicate primary output name `{name}`")
+            }
+            NetlistError::DuplicateShareRole { name } => {
+                write!(
+                    formatter,
+                    "input `{name}` duplicates another input's (secret, share, bit) role"
+                )
+            }
+            NetlistError::SparseShareMatrix { secret, share, bit } => {
+                write!(
+                    formatter,
+                    "secret {secret} has no input for share {share} bit {bit} (share matrix must be dense)"
+                )
+            }
+            NetlistError::NotAPrimaryInput { name } => {
+                write!(formatter, "wire `{name}` is not a primary input")
             }
         }
     }
 }
 
-impl std::error::Error for BuildError {}
+impl std::error::Error for NetlistError {}

@@ -45,20 +45,23 @@
 mod builder;
 mod cone;
 mod dot;
+mod edit;
 mod error;
 mod kind;
 #[allow(clippy::module_inception)]
 mod netlist;
 mod noncomplete;
 mod stats;
+mod validate;
 mod verilog;
 
 pub use builder::{FeedbackRegister, NetlistBuilder};
 pub use cone::{StableCones, StableSignal};
-pub use error::BuildError;
+pub use error::{BuildError, NetlistError};
 pub use kind::CellKind;
 pub use netlist::{
     Cell, CellId, Netlist, Register, RegisterId, SecretId, SignalRole, WireId, WireOrigin,
 };
 pub use noncomplete::{check_non_completeness, NonCompletenessViolation};
 pub use stats::{is_nonlinear, NetlistStats, REGISTER_GATE_EQUIVALENTS};
+pub use validate::validate;

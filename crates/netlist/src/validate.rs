@@ -1,0 +1,398 @@
+//! Structural validation of built netlists.
+//!
+//! [`NetlistBuilder::build`](crate::NetlistBuilder::build) runs this
+//! pass, so a freshly built [`Netlist`] is always valid; it is exposed
+//! separately so that CLIs can fail fast before committing to a long
+//! simulation, and so structural edits (fault injection, see
+//! [`Netlist::with_cell_kind`] and friends) can re-establish the
+//! invariants after mutating the graph.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::netlist::{Cell, CellId, Netlist, SignalRole, WireOrigin};
+
+/// Kahn's algorithm over the combinational cells (registers break
+/// paths). Returns the evaluation order, or the wires stuck on a cycle.
+pub(crate) fn compute_topo(
+    cells: &[Cell],
+    origins: &[WireOrigin],
+    wire_names: &[String],
+) -> Result<Vec<CellId>, NetlistError> {
+    let mut indegree = vec![0usize; cells.len()];
+    let mut users: Vec<Vec<u32>> = vec![Vec::new(); cells.len()];
+    for (index, cell) in cells.iter().enumerate() {
+        for input in &cell.inputs {
+            if let WireOrigin::Cell(driver) = origins[input.index()] {
+                indegree[index] += 1;
+                users[driver.index()].push(index as u32);
+            }
+        }
+    }
+    let mut queue: Vec<u32> = indegree
+        .iter()
+        .enumerate()
+        .filter(|&(_, &degree)| degree == 0)
+        .map(|(index, _)| index as u32)
+        .collect();
+    let mut topo = Vec::with_capacity(cells.len());
+    let mut head = 0;
+    while head < queue.len() {
+        let current = queue[head];
+        head += 1;
+        topo.push(CellId(current));
+        for &user in &users[current as usize] {
+            indegree[user as usize] -= 1;
+            if indegree[user as usize] == 0 {
+                queue.push(user);
+            }
+        }
+    }
+    if topo.len() != cells.len() {
+        let stuck: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .filter(|&(index, _)| indegree[index] > 0)
+            .take(8)
+            .map(|(_, cell)| wire_names[cell.output.index()].clone())
+            .collect();
+        return Err(NetlistError::CombinationalLoop { wires: stuck });
+    }
+    Ok(topo)
+}
+
+/// Validates `netlist` — the free-function spelling of
+/// [`Netlist::validate`], for callers that prefer `netlist::validate(&n)`.
+pub fn validate(netlist: &Netlist) -> Result<(), NetlistError> {
+    netlist.validate()
+}
+
+impl Netlist {
+    /// Re-checks every structural invariant of the netlist.
+    ///
+    /// A [`Netlist`] built by [`NetlistBuilder::build`](crate::NetlistBuilder::build)
+    /// always passes (the builder runs this pass); use it defensively
+    /// before a long simulation, or after a structural edit.
+    ///
+    /// Checked, in order:
+    /// * every cell/register/output wire reference is in range,
+    /// * every cell's input count matches its [`CellKind`](crate::CellKind),
+    /// * every wire has exactly one driver, consistent with its recorded
+    ///   [`WireOrigin`],
+    /// * the combinational graph is acyclic and the stored topological
+    ///   order is a valid evaluation order,
+    /// * wire names and primary-output names are unique,
+    /// * share roles are unique and every secret's share matrix is dense
+    ///   (all `(share, bit)` positions below the maxima are present).
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a typed [`NetlistError`].
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let wires = self.wire_names.len();
+        let in_range = |wire: crate::WireId| wire.index() < wires;
+
+        // Reference ranges.
+        for (index, cell) in self.cells.iter().enumerate() {
+            if !in_range(cell.output) || cell.inputs.iter().any(|&input| !in_range(input)) {
+                return Err(NetlistError::DanglingWire {
+                    context: format!("cell #{index} ({})", cell.kind),
+                });
+            }
+            if !cell.kind.accepts_arity(cell.inputs.len()) {
+                return Err(NetlistError::InvalidArity {
+                    kind: cell.kind.to_string(),
+                    inputs: cell.inputs.len(),
+                });
+            }
+        }
+        for (index, register) in self.registers.iter().enumerate() {
+            if !in_range(register.d) || !in_range(register.q) {
+                return Err(NetlistError::DanglingWire {
+                    context: format!("register #{index}"),
+                });
+            }
+        }
+        for (name, wire) in &self.outputs {
+            if !in_range(*wire) {
+                return Err(NetlistError::DanglingWire {
+                    context: format!("output `{name}`"),
+                });
+            }
+        }
+
+        // Single, consistent driver per wire.
+        let mut drivers = vec![0u8; wires];
+        let mut bump =
+            |wire: crate::WireId| drivers[wire.index()] = drivers[wire.index()].saturating_add(1);
+        for &wire in &self.inputs {
+            if !in_range(wire) {
+                return Err(NetlistError::DanglingWire {
+                    context: "input list".to_owned(),
+                });
+            }
+            bump(wire);
+            if self.origins[wire.index()] != WireOrigin::Input {
+                return Err(NetlistError::InconsistentOrigin {
+                    name: self.wire_names[wire.index()].clone(),
+                });
+            }
+        }
+        for (index, cell) in self.cells.iter().enumerate() {
+            bump(cell.output);
+            if self.origins[cell.output.index()] != WireOrigin::Cell(CellId(index as u32)) {
+                return Err(NetlistError::InconsistentOrigin {
+                    name: self.wire_names[cell.output.index()].clone(),
+                });
+            }
+        }
+        for (index, register) in self.registers.iter().enumerate() {
+            bump(register.q);
+            if self.origins[register.q.index()]
+                != WireOrigin::Register(crate::RegisterId(index as u32))
+            {
+                return Err(NetlistError::InconsistentOrigin {
+                    name: self.wire_names[register.q.index()].clone(),
+                });
+            }
+        }
+        for (index, &count) in drivers.iter().enumerate() {
+            match count {
+                1 => {}
+                0 => {
+                    return Err(NetlistError::UndrivenWire {
+                        name: self.wire_names[index].clone(),
+                    })
+                }
+                _ => {
+                    return Err(NetlistError::MultiplyDrivenWire {
+                        name: self.wire_names[index].clone(),
+                    })
+                }
+            }
+        }
+
+        // Acyclicity — recomputed from scratch, independent of the
+        // stored order — and validity of the stored order itself.
+        compute_topo(&self.cells, &self.origins, &self.wire_names)?;
+        if self.topo.len() != self.cells.len() {
+            return Err(NetlistError::InconsistentOrigin {
+                name: "<topological order incomplete>".to_owned(),
+            });
+        }
+        let mut position = vec![usize::MAX; self.cells.len()];
+        for (order, cell_id) in self.topo.iter().enumerate() {
+            if cell_id.index() >= self.cells.len() || position[cell_id.index()] != usize::MAX {
+                return Err(NetlistError::InconsistentOrigin {
+                    name: "<topological order corrupt>".to_owned(),
+                });
+            }
+            position[cell_id.index()] = order;
+        }
+        for (index, cell) in self.cells.iter().enumerate() {
+            for input in &cell.inputs {
+                if let WireOrigin::Cell(driver) = self.origins[input.index()] {
+                    if position[driver.index()] >= position[index] {
+                        return Err(NetlistError::InconsistentOrigin {
+                            name: self.wire_names[cell.output.index()].clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Name uniqueness.
+        let mut seen = HashMap::with_capacity(wires);
+        for (index, name) in self.wire_names.iter().enumerate() {
+            if seen.insert(name.as_str(), index).is_some() {
+                return Err(NetlistError::DuplicateName { name: name.clone() });
+            }
+        }
+        let mut output_names = HashMap::with_capacity(self.outputs.len());
+        for (name, _) in &self.outputs {
+            if output_names.insert(name.as_str(), ()).is_some() {
+                return Err(NetlistError::DuplicateOutputName { name: name.clone() });
+            }
+        }
+
+        // Share-role uniqueness and density per secret.
+        let mut roles: HashMap<(u16, u8, u8), crate::WireId> = HashMap::new();
+        for &wire in &self.inputs {
+            if let SignalRole::Share { secret, share, bit } = self.wire_roles[wire.index()] {
+                if roles.insert((secret.0, share, bit), wire).is_some() {
+                    return Err(NetlistError::DuplicateShareRole {
+                        name: self.wire_names[wire.index()].clone(),
+                    });
+                }
+            }
+        }
+        for secret in self.secrets() {
+            let triples = self.shares_of(secret);
+            let share_count = triples.iter().map(|&(share, ..)| share).max().unwrap_or(0) + 1;
+            let bit_count = triples.iter().map(|&(_, bit, _)| bit).max().unwrap_or(0) + 1;
+            for share in 0..share_count {
+                for bit in 0..bit_count {
+                    if !roles.contains_key(&(secret.0, share, bit)) {
+                        return Err(NetlistError::SparseShareMatrix {
+                            secret: secret.0,
+                            share,
+                            bit,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::netlist::{SecretId, WireId};
+
+    fn share(secret: u16, share: u8, bit: u8) -> SignalRole {
+        SignalRole::Share {
+            secret: SecretId(secret),
+            share,
+            bit,
+        }
+    }
+
+    fn valid_toy() -> Netlist {
+        let mut builder = NetlistBuilder::new("toy");
+        let a = builder.input("a", share(0, 0, 0));
+        let b = builder.input("b", share(0, 1, 0));
+        let ab = builder.and2(a, b);
+        let q = builder.register(ab);
+        builder.output("q", q);
+        builder.build().expect("valid")
+    }
+
+    #[test]
+    fn built_netlists_validate_cleanly() {
+        let netlist = valid_toy();
+        assert_eq!(netlist.validate(), Ok(()));
+        assert_eq!(validate(&netlist), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_a_combinational_loop() {
+        // Corrupt a valid netlist into a loop: point the AND's second
+        // input at its own output (in-crate surgery; public edits
+        // cannot produce this because they re-validate).
+        let mut netlist = valid_toy();
+        let and_output = netlist.cells[0].output;
+        netlist.cells[0].inputs[1] = and_output;
+        let error = netlist.validate().expect_err("loop must be rejected");
+        assert!(
+            matches!(error, NetlistError::CombinationalLoop { .. }),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_an_undriven_wire() {
+        // Append a wire with a forged origin: nothing actually drives it.
+        let mut netlist = valid_toy();
+        netlist.wire_names.push("phantom".to_owned());
+        netlist.wire_roles.push(SignalRole::Internal);
+        netlist.origins.push(crate::WireOrigin::Input);
+        let error = netlist.validate().expect_err("undriven must be rejected");
+        assert!(
+            matches!(error, NetlistError::UndrivenWire { ref name } if name == "phantom"),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_multiply_driven_wires() {
+        // Point a second cell's output at an existing wire.
+        let mut netlist = valid_toy();
+        let victim = netlist.cells[0].output;
+        netlist.registers[0].q = victim;
+        let error = netlist.validate().expect_err("double drive");
+        assert!(
+            matches!(
+                error,
+                NetlistError::MultiplyDrivenWire { .. } | NetlistError::InconsistentOrigin { .. }
+            ),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_dangling_references() {
+        let mut netlist = valid_toy();
+        netlist.cells[0].inputs[0] = WireId(10_000);
+        let error = netlist.validate().expect_err("dangling");
+        assert!(
+            matches!(error, NetlistError::DanglingWire { .. }),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity() {
+        let mut netlist = valid_toy();
+        netlist.cells[0].inputs.truncate(1); // AND needs at least two
+        let error = netlist.validate().expect_err("one-input AND");
+        assert!(
+            matches!(error, NetlistError::InvalidArity { .. }),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_output_names() {
+        let mut builder = NetlistBuilder::new("dup_out");
+        let a = builder.input("a", SignalRole::Control);
+        builder.output("out", a);
+        builder.output("out", a);
+        let error = builder.build().expect_err("duplicate output name");
+        assert!(
+            matches!(error, NetlistError::DuplicateOutputName { ref name } if name == "out"),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_sparse_share_matrices() {
+        let mut builder = NetlistBuilder::new("sparse");
+        // share 0 has bits 0 and 1, share 1 only bit 0 → hole at (1, 1).
+        let a0 = builder.input("a0", share(0, 0, 0));
+        let a1 = builder.input("a1", share(0, 0, 1));
+        let b0 = builder.input("b0", share(0, 1, 0));
+        let x = builder.xor2(a0, b0);
+        let y = builder.buf(a1);
+        builder.output("x", x);
+        builder.output("y", y);
+        let error = builder.build().expect_err("sparse share matrix");
+        assert!(
+            matches!(
+                error,
+                NetlistError::SparseShareMatrix {
+                    secret: 0,
+                    share: 1,
+                    bit: 1
+                }
+            ),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_share_roles() {
+        let mut builder = NetlistBuilder::new("dup_role");
+        let a = builder.input("a", share(0, 0, 0));
+        let b = builder.input("b", share(0, 0, 0));
+        let x = builder.xor2(a, b);
+        builder.output("x", x);
+        let error = builder.build().expect_err("duplicate role");
+        assert!(
+            matches!(error, NetlistError::DuplicateShareRole { .. }),
+            "{error}"
+        );
+    }
+}

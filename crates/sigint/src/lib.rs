@@ -1,0 +1,114 @@
+//! Cooperative SIGINT/SIGTERM handling for long-running campaigns.
+//!
+//! Leakage campaigns can run for hours; dying mid-batch loses every
+//! accumulated contingency table. This crate installs a minimal signal
+//! handler that only sets an [`AtomicBool`]; the campaign loop polls the
+//! flag between batches, finishes the batch in flight, writes a final
+//! snapshot and reports `interrupted` instead of vanishing.
+//!
+//! The handler is registered with the libc `signal(2)` the binary is
+//! already linked against, so no external crate is needed. The handler
+//! body is async-signal-safe: one relaxed atomic store plus restoring
+//! the default disposition, so a *second* Ctrl-C kills the process the
+//! ordinary way if the cooperative shutdown hangs.
+//!
+//! Every other crate in the workspace is `#![forbid(unsafe_code)]`; the
+//! single `unsafe` block the FFI registration needs lives here, behind
+//! `cfg(unix)`. On non-Unix targets [`install`] degrades to a no-op and
+//! the flag can only be set programmatically (tests do exactly that).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide interrupt flag, shared between the signal handler
+/// and every campaign that polls it.
+static SHARED: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+/// The process-wide interrupt flag (created on first use, never set
+/// unless [`install`] ran and a signal arrived — or a test sets it).
+pub fn shared() -> Arc<AtomicBool> {
+    SHARED
+        .get_or_init(|| Arc::new(AtomicBool::new(false)))
+        .clone()
+}
+
+/// True once SIGINT/SIGTERM was received (or the flag was set manually).
+pub fn interrupted() -> bool {
+    shared().load(Ordering::Relaxed)
+}
+
+/// Clears the flag (tests; real runs exit instead of resuming work).
+pub fn reset() {
+    shared().store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::SHARED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(signum: i32) {
+        if let Some(flag) = SHARED.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+        // Restore the default disposition: a second signal terminates
+        // the process immediately instead of re-setting the flag.
+        unsafe {
+            signal(signum, SIG_DFL);
+        }
+    }
+
+    pub(super) fn install_handlers() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent) and returns the
+/// shared flag. Call once near the top of `main` in any binary that
+/// runs campaigns; pass the flag into the campaign's durability options.
+pub fn install() -> Arc<AtomicBool> {
+    let flag = shared(); // initialize before the handler can observe it
+    #[cfg(unix)]
+    unix::install_handlers();
+    flag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn shared_flag_is_process_wide_and_resettable() {
+        let a = shared();
+        let b = shared();
+        a.store(true, Ordering::Relaxed);
+        assert!(b.load(Ordering::Relaxed));
+        assert!(interrupted());
+        reset();
+        assert!(!interrupted());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn install_is_idempotent_and_returns_the_shared_flag() {
+        let first = install();
+        let second = install();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert!(Arc::ptr_eq(&first, &shared()));
+    }
+}

@@ -47,10 +47,62 @@ mod waveform;
 
 pub use waveform::Waveform;
 
-use mmaes_netlist::{Netlist, WireId, WireOrigin};
+use mmaes_netlist::{Netlist, NetlistError, WireId, WireOrigin};
 
 /// Number of independent traces simulated in parallel (one per bit).
 pub const LANES: usize = 64;
+
+/// Typed error for the fallible simulator entry points.
+///
+/// The panicking methods ([`Simulator::set_input`] and friends) delegate
+/// to the `try_` variants and panic with this error's [`Display`]
+/// message, so both spellings report identically.
+///
+/// [`Display`]: core::fmt::Display
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A wire that is not a primary input was driven.
+    NotAnInput {
+        /// Name of the offending wire.
+        name: String,
+    },
+    /// A lane index at or beyond [`LANES`] was used.
+    LaneOutOfRange {
+        /// The offending lane index.
+        lane: usize,
+    },
+    /// The netlist failed structural validation (see
+    /// [`Netlist::validate`](mmaes_netlist::Netlist::validate)).
+    InvalidNetlist(NetlistError),
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, formatter: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::NotAnInput { name } => {
+                write!(formatter, "wire `{name}` is not a primary input")
+            }
+            SimError::LaneOutOfRange { lane } => write!(formatter, "lane {lane} out of range"),
+            SimError::InvalidNetlist(error) => write!(formatter, "invalid netlist: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidNetlist(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(error: NetlistError) -> Self {
+        SimError::InvalidNetlist(error)
+    }
+}
 
 /// Monotonic work counters for one [`Simulator`].
 ///
@@ -155,6 +207,19 @@ impl<'a> Simulator<'a> {
         simulator
     }
 
+    /// Like [`Simulator::new`], but validates the netlist's structural
+    /// invariants first — use before committing to a long campaign on a
+    /// netlist that did not come straight from the builder (e.g. after a
+    /// fault-injection edit).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidNetlist`] wrapping the first violated invariant.
+    pub fn try_new(netlist: &'a Netlist) -> Result<Self, SimError> {
+        netlist.validate()?;
+        Ok(Simulator::new(netlist))
+    }
+
     /// The netlist under simulation.
     pub fn netlist(&self) -> &'a Netlist {
         self.netlist
@@ -191,18 +256,36 @@ impl<'a> Simulator<'a> {
         self.cycle = 0;
     }
 
+    fn require_input(&self, wire: WireId) -> Result<(), SimError> {
+        if matches!(self.netlist.origin(wire), WireOrigin::Input) {
+            Ok(())
+        } else {
+            Err(SimError::NotAnInput {
+                name: self.netlist.wire_name(wire).to_owned(),
+            })
+        }
+    }
+
     /// Sets a primary input for all 64 lanes at once.
     ///
     /// # Panics
     ///
     /// Panics if `wire` is not a primary input.
     pub fn set_input(&mut self, wire: WireId, word: u64) {
-        assert!(
-            matches!(self.netlist.origin(wire), WireOrigin::Input),
-            "wire `{}` is not a primary input",
-            self.netlist.wire_name(wire)
-        );
+        if let Err(error) = self.try_set_input(wire, word) {
+            panic!("{error}");
+        }
+    }
+
+    /// Fallible form of [`Simulator::set_input`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotAnInput`] if `wire` is not a primary input.
+    pub fn try_set_input(&mut self, wire: WireId, word: u64) -> Result<(), SimError> {
+        self.require_input(wire)?;
         self.values[wire.index()] = word;
+        Ok(())
     }
 
     /// Sets one lane of a primary input.
@@ -211,18 +294,34 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `wire` is not a primary input or `lane >= 64`.
     pub fn set_input_bit(&mut self, wire: WireId, lane: usize, bit: bool) {
-        assert!(lane < LANES, "lane {lane} out of range");
-        assert!(
-            matches!(self.netlist.origin(wire), WireOrigin::Input),
-            "wire `{}` is not a primary input",
-            self.netlist.wire_name(wire)
-        );
+        if let Err(error) = self.try_set_input_bit(wire, lane, bit) {
+            panic!("{error}");
+        }
+    }
+
+    /// Fallible form of [`Simulator::set_input_bit`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::LaneOutOfRange`] if `lane >= 64`,
+    /// [`SimError::NotAnInput`] if `wire` is not a primary input.
+    pub fn try_set_input_bit(
+        &mut self,
+        wire: WireId,
+        lane: usize,
+        bit: bool,
+    ) -> Result<(), SimError> {
+        if lane >= LANES {
+            return Err(SimError::LaneOutOfRange { lane });
+        }
+        self.require_input(wire)?;
         let mask = 1u64 << lane;
         if bit {
             self.values[wire.index()] |= mask;
         } else {
             self.values[wire.index()] &= !mask;
         }
+        Ok(())
     }
 
     /// Sets a little-endian bus of inputs from an integer, one lane.
@@ -623,6 +722,31 @@ mod tests {
         let netlist = builder.build().expect("valid");
         let mut sim = Simulator::new(&netlist);
         sim.set_input(n, 1);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        let mut builder = NetlistBuilder::new("typed");
+        let a = builder.input("a", SignalRole::Control);
+        let n = builder.not(a);
+        builder.output("n", n);
+        let netlist = builder.build().expect("valid");
+        let mut sim = Simulator::try_new(&netlist).expect("valid netlist");
+        assert_eq!(sim.try_set_input(a, 1), Ok(()));
+        assert_eq!(
+            sim.try_set_input(n, 1),
+            Err(SimError::NotAnInput {
+                name: netlist.wire_name(n).to_owned()
+            })
+        );
+        assert_eq!(
+            sim.try_set_input_bit(a, LANES, true),
+            Err(SimError::LaneOutOfRange { lane: LANES })
+        );
+        // Panicking and fallible spellings report the same message.
+        assert!(SimError::LaneOutOfRange { lane: 64 }
+            .to_string()
+            .contains("out of range"));
     }
 
     #[test]

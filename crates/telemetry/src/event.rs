@@ -7,8 +7,12 @@ use crate::perf::PerfSnapshot;
 /// on any field addition; consumers should treat unknown fields as
 /// additive (v1: PR 1 lifecycle events; v2: perf_snapshot events, rate
 /// fields on `sim_progress`, and `elapsed_ms`/`traces_per_sec`/
-/// `cell_evals` on `summary`).
-pub const EVENT_SCHEMA_VERSION: u64 = 2;
+/// `cell_evals` on `summary`; v3: `interrupted` on `summary` — a run
+/// that was SIGINT/SIGTERM'd mid-campaign and stopped cooperatively
+/// after writing a snapshot). The campaign *snapshot* file carries its
+/// own independent version
+/// (`mmaes_leakage::snapshot::SNAPSHOT_SCHEMA_VERSION`, currently 1).
+pub const EVENT_SCHEMA_VERSION: u64 = 3;
 
 /// One probing set's running statistic at a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +85,10 @@ pub struct RunSummary {
     /// Combinational cell evaluations performed by the run's
     /// simulator(s) (0 when unknown).
     pub cell_evals: u64,
+    /// Whether the run was interrupted (SIGINT/SIGTERM) and stopped
+    /// cooperatively before finishing; `passed` then reflects the
+    /// evidence gathered so far, not a final verdict (schema v3).
+    pub interrupted: bool,
     /// Free-form extras appended to the JSON object.
     pub extra: Vec<(String, String)>,
 }
@@ -105,7 +113,8 @@ impl RunSummary {
             // summaries, checkpoints, and bench records.
             .unsigned("elapsed_ms", self.wall_ms)
             .float("traces_per_sec", self.traces_per_sec)
-            .unsigned("cell_evals", self.cell_evals);
+            .unsigned("cell_evals", self.cell_evals)
+            .boolean("interrupted", self.interrupted);
         for (key, value) in &self.extra {
             object = object.string(key, value);
         }
@@ -444,6 +453,7 @@ mod tests {
                 wall_ms: 4000,
                 traces_per_sec: 50_000.0,
                 cell_evals: 10_000_000,
+                interrupted: false,
                 extra: vec![("leaking".into(), "4".into())],
             }),
         ];
@@ -484,5 +494,16 @@ mod tests {
         assert!(line.contains("\"elapsed_ms\":1500"), "{line}");
         assert!(line.contains("\"traces_per_sec\":42000.5"), "{line}");
         assert!(line.contains("\"cell_evals\":123"), "{line}");
+    }
+
+    #[test]
+    fn summary_carries_the_v3_interrupted_flag() {
+        let finished = RunSummary::default();
+        assert!(finished.to_json_line().contains("\"interrupted\":false"));
+        let interrupted = RunSummary {
+            interrupted: true,
+            ..RunSummary::default()
+        };
+        assert!(interrupted.to_json_line().contains("\"interrupted\":true"));
     }
 }
