@@ -7,10 +7,14 @@
 //! Eq. 6, the repaired Eq. 9, and a second-order schedule) it runs
 //!
 //! 1. **simulate** — a bare drive/step loop over the Kronecker netlist
-//!    (raw simulator throughput, no statistics);
-//! 2. **campaign** — a capped fixed-vs-random campaign with interim
-//!    checkpoints (the end-to-end evaluation hot path);
-//! 3. **exact** — an exhaustive verification slice scoped to
+//!    with the compiled evaluator (raw simulator throughput);
+//! 2. **simulate-interpreted** — the same loop on the tree-walking
+//!    interpreter, so the record carries the compiled-over-interpreted
+//!    speedup per schedule;
+//! 3. **campaign** — a capped fixed-vs-random campaign with interim
+//!    checkpoints (the end-to-end evaluation hot path), honouring
+//!    `--threads` and `--evaluator`;
+//! 4. **exact** — an exhaustive verification slice scoped to
 //!    `kronecker/G7` (the enumeration hot path).
 //!
 //! Every workload runs under an enabled [`PerfRecorder`], so the record
@@ -29,13 +33,17 @@ use mmaes_circuits::build_kronecker;
 use mmaes_exact::{ExactConfig, ExactVerifier};
 use mmaes_leakage::{EvaluationConfig, FixedVsRandom};
 use mmaes_masking::KroneckerRandomness;
-use mmaes_sim::{Simulator, LANES};
+use mmaes_sim::{EvaluatorMode, Simulator, LANES};
 use mmaes_telemetry::json::{array, parse, JsonObject, JsonValue};
 use mmaes_telemetry::{Observer, PerfRecorder, PerfSnapshot, PhaseStats, Stopwatch};
 
 /// Version of the `BENCH_*.json` record layout. Bumped on any field
 /// change; `--baseline` refuses records from a different version.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// * v2 — per-workload `threads`/`evaluator` fields, the
+///   `simulate-interpreted` workload, the top-level `threads` knob and
+///   the per-schedule `compiled_speedup` map.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Default regression threshold: a workload regresses when its
 /// `traces_per_sec` falls more than this percentage below the baseline.
@@ -60,6 +68,10 @@ pub struct BenchOptions {
     pub out: Option<String>,
     /// Suppress the human-readable table (`--quiet`).
     pub quiet: bool,
+    /// Worker threads for the campaign workloads (`--threads N`).
+    pub threads: usize,
+    /// Netlist evaluator for the campaign workloads (`--evaluator`).
+    pub evaluator: EvaluatorMode,
 }
 
 impl Default for BenchOptions {
@@ -71,6 +83,8 @@ impl Default for BenchOptions {
             threshold_pct: DEFAULT_THRESHOLD_PCT,
             out: None,
             quiet: false,
+            threads: 1,
+            evaluator: EvaluatorMode::Compiled,
         }
     }
 }
@@ -103,10 +117,28 @@ impl BenchOptions {
                 }
                 "--out" => options.out = Some(value()),
                 "--quiet" => options.quiet = true,
+                "--threads" => {
+                    options.threads = value().parse().unwrap_or_else(|error| {
+                        eprintln!("flag --threads: {error}");
+                        exit(2);
+                    });
+                    if options.threads == 0 {
+                        eprintln!("flag --threads must be at least 1");
+                        exit(2);
+                    }
+                }
+                "--evaluator" => {
+                    let name = value();
+                    options.evaluator = EvaluatorMode::parse(&name).unwrap_or_else(|| {
+                        eprintln!("unknown evaluator `{name}` (compiled|interpreted)");
+                        exit(2);
+                    })
+                }
                 other => {
                     eprintln!(
                         "unknown bench flag `{other}` (flags: --quick --label NAME \
-                         --baseline FILE --threshold PCT --out FILE --quiet)"
+                         --baseline FILE --threshold PCT --out FILE --quiet \
+                         --threads N --evaluator compiled|interpreted)"
                     );
                     exit(2);
                 }
@@ -136,8 +168,15 @@ impl BenchOptions {
 pub struct WorkloadRecord {
     /// The randomness schedule benchmarked.
     pub schedule: String,
-    /// Workload id: `simulate`, `campaign`, or `exact`.
+    /// Workload id: `simulate`, `simulate-interpreted`, `campaign`, or
+    /// `exact`.
     pub workload: &'static str,
+    /// Worker threads the workload ran with (1 for the single-simulator
+    /// workloads).
+    pub threads: u64,
+    /// Netlist evaluator the workload ran with
+    /// ([`EvaluatorMode::name`]).
+    pub evaluator: &'static str,
     /// Wall time of the workload, milliseconds.
     pub wall_ms: u64,
     /// Work units completed (lane-traces for `simulate`/`campaign`,
@@ -165,6 +204,8 @@ impl WorkloadRecord {
         JsonObject::new()
             .string("schedule", &self.schedule)
             .string("workload", self.workload)
+            .unsigned("threads", self.threads)
+            .string("evaluator", self.evaluator)
             .unsigned("wall_ms", self.wall_ms)
             .unsigned("traces", self.traces)
             .float("traces_per_sec", self.traces_per_sec)
@@ -238,23 +279,39 @@ pub fn run_matrix(options: &BenchOptions) -> Vec<WorkloadRecord> {
             eprintln!("[bench] {name} (order {order})");
         }
         let circuit = build_kronecker(&schedule).expect("generator emits valid netlists");
-        records.push(bench_simulate(&name, &circuit.netlist, options));
+        records.push(bench_simulate(
+            &name,
+            &circuit.netlist,
+            EvaluatorMode::Compiled,
+            options,
+        ));
+        records.push(bench_simulate(
+            &name,
+            &circuit.netlist,
+            EvaluatorMode::Interpreted,
+            options,
+        ));
         records.push(bench_campaign(&name, &circuit.netlist, order, options));
         records.push(bench_exact(&name, &circuit.netlist, options));
     }
     records
 }
 
-/// Raw simulator throughput: drive pseudo-random inputs and step.
+/// Raw simulator throughput: drive pseudo-random inputs and step, on
+/// the requested evaluator so the record exposes both engines' rates.
 fn bench_simulate(
     schedule: &str,
     netlist: &mmaes_netlist::Netlist,
+    evaluator: EvaluatorMode,
     options: &BenchOptions,
 ) -> WorkloadRecord {
-    let cycles: u64 = if options.quick { 2_000 } else { 20_000 };
+    // Full-size runs need enough cycles that the per-schedule rate (and
+    // the compiled-over-interpreted ratio derived from it) is not
+    // dominated by sub-millisecond timing noise on the small netlists.
+    let cycles: u64 = if options.quick { 2_000 } else { 200_000 };
     let perf = PerfRecorder::enabled();
     let watch = Stopwatch::start();
-    let mut sim = Simulator::new(netlist);
+    let mut sim = Simulator::with_evaluator(netlist, evaluator);
     let inputs: Vec<_> = netlist.inputs().to_vec();
     // A fixed xorshift stream: deterministic, dependency-free driving.
     let mut state = 0x9c01_ead0_f00d_5eedu64;
@@ -280,7 +337,12 @@ fn bench_simulate(
     perf.add("cell_evals", stats.cell_evals);
     WorkloadRecord {
         schedule: schedule.to_owned(),
-        workload: "simulate",
+        workload: match evaluator {
+            EvaluatorMode::Compiled => "simulate",
+            EvaluatorMode::Interpreted => "simulate-interpreted",
+        },
+        threads: 1,
+        evaluator: evaluator.name(),
         wall_ms,
         traces,
         traces_per_sec: watch.rate(traces),
@@ -306,6 +368,8 @@ fn bench_campaign(
         // Order-2 probing-set enumeration is quadratic; cap it so the
         // bench measures throughput, not combinatorics.
         max_probe_sets: if order >= 2 { 300 } else { 100_000 },
+        threads: options.threads,
+        evaluator: options.evaluator,
         ..EvaluationConfig::default()
     };
     let perf = PerfRecorder::enabled();
@@ -323,6 +387,8 @@ fn bench_campaign(
     WorkloadRecord {
         schedule: schedule.to_owned(),
         workload: "campaign",
+        threads: options.threads as u64,
+        evaluator: options.evaluator.name(),
         wall_ms,
         traces: report.traces,
         traces_per_sec: watch.rate(report.traces),
@@ -360,6 +426,8 @@ fn bench_exact(
     WorkloadRecord {
         schedule: schedule.to_owned(),
         workload: "exact",
+        threads: 1,
+        evaluator: EvaluatorMode::Compiled.name(),
         wall_ms,
         traces: sets,
         traces_per_sec: watch.rate(sets),
@@ -370,14 +438,48 @@ fn bench_exact(
     }
 }
 
+/// Per-schedule compiled-over-interpreted `simulate` rate ratio — the
+/// headline number for the compiled evaluator. Schedules missing either
+/// mode are skipped.
+pub fn compiled_speedups(records: &[WorkloadRecord]) -> Vec<(String, f64)> {
+    let rate = |schedule: &str, workload: &str| {
+        records
+            .iter()
+            .find(|record| record.schedule == schedule && record.workload == workload)
+            .map(|record| record.traces_per_sec)
+    };
+    let mut speedups = Vec::new();
+    for record in records {
+        if record.workload != "simulate" {
+            continue;
+        }
+        let (Some(compiled), Some(interpreted)) = (
+            rate(&record.schedule, "simulate"),
+            rate(&record.schedule, "simulate-interpreted"),
+        ) else {
+            continue;
+        };
+        if interpreted > 0.0 {
+            speedups.push((record.schedule.clone(), compiled / interpreted));
+        }
+    }
+    speedups
+}
+
 /// Renders the full `BENCH_*.json` document (one line, no trailing
 /// newline).
 pub fn render_document(options: &BenchOptions, records: &[WorkloadRecord]) -> String {
+    let mut speedups = JsonObject::new();
+    for (schedule, ratio) in compiled_speedups(records) {
+        speedups = speedups.float(&schedule, ratio);
+    }
     JsonObject::new()
         .string("type", "bench")
         .unsigned("schema_version", BENCH_SCHEMA_VERSION)
         .string("label", &options.label)
         .boolean("quick", options.quick)
+        .unsigned("threads", options.threads as u64)
+        .raw("compiled_speedup", &speedups.finish())
         .raw(
             "workloads",
             &array(records.iter().map(WorkloadRecord::to_json)),
@@ -391,19 +493,26 @@ pub fn render_table(records: &[WorkloadRecord]) -> String {
     let mut table = String::new();
     let _ = writeln!(
         table,
-        "{:<36} {:<9} {:>9} {:>14} {:>16} {:>12}",
-        "schedule", "workload", "wall ms", "traces/s", "cell-evals/s", "table KiB"
+        "{:<36} {:<20} {:>7} {:>9} {:>14} {:>16} {:>12}",
+        "schedule", "workload", "threads", "wall ms", "traces/s", "cell-evals/s", "table KiB"
     );
     for record in records {
         let _ = writeln!(
             table,
-            "{:<36} {:<9} {:>9} {:>14.0} {:>16.0} {:>12}",
+            "{:<36} {:<20} {:>7} {:>9} {:>14.0} {:>16.0} {:>12}",
             record.schedule,
             record.workload,
+            record.threads,
             record.wall_ms,
             record.traces_per_sec,
             record.cell_evals_per_sec,
             record.table_bytes_est / 1024,
+        );
+    }
+    for (schedule, ratio) in compiled_speedups(records) {
+        let _ = writeln!(
+            table,
+            "{schedule}: compiled evaluator {ratio:.2}x interpreted"
         );
     }
     table
@@ -485,6 +594,8 @@ mod tests {
         WorkloadRecord {
             schedule: schedule.to_owned(),
             workload,
+            threads: 1,
+            evaluator: "compiled",
             wall_ms: 100,
             traces: 1000,
             traces_per_sec: rate,
@@ -542,6 +653,42 @@ mod tests {
         // A workload the baseline never measured is skipped.
         let unknown = vec![record("full", "simulate", 1.0)];
         assert!(compare(&unknown, &baseline, 25.0).is_empty());
+    }
+
+    #[test]
+    fn speedup_is_the_ratio_of_the_two_simulate_modes() {
+        let records = vec![
+            record("de-meyer-eq6", "simulate", 200_000.0),
+            record("de-meyer-eq6", "simulate-interpreted", 100_000.0),
+            record("proposed-eq9", "simulate", 50_000.0), // no interpreted pair
+        ];
+        let speedups = compiled_speedups(&records);
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].0, "de-meyer-eq6");
+        assert!((speedups[0].1 - 2.0).abs() < 1e-12);
+
+        let options = BenchOptions::default();
+        let value = parse(&render_document(&options, &records)).expect("valid JSON");
+        assert_eq!(value.get("threads").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(
+            value
+                .get("compiled_speedup")
+                .and_then(|map| map.get("de-meyer-eq6"))
+                .and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        let workloads = value
+            .get("workloads")
+            .and_then(JsonValue::as_array)
+            .expect("workloads");
+        assert_eq!(
+            workloads[0].get("evaluator").and_then(JsonValue::as_str),
+            Some("compiled")
+        );
+        assert_eq!(
+            workloads[0].get("threads").and_then(JsonValue::as_u64),
+            Some(1)
+        );
     }
 
     #[test]

@@ -17,19 +17,24 @@
 //!
 //! Evaluate options: `--model glitch|transition`, `--order 1|2`,
 //! `--traces N`, `--fixed V`, `--seed N`, `--scope PREFIX`, `--csv FILE`,
-//! `--checkpoints N`, `--early-stop`, `--snapshot FILE`, `--resume`,
+//! `--checkpoints N`, `--early-stop`, `--threads N`,
+//! `--evaluator compiled|interpreted`, `--snapshot FILE`, `--resume`,
 //! `--stop-after-batches N`, `--metrics FILE`, `--progress`, `--perf`,
-//! `--quiet`.
+//! `--quiet`. Campaign output (report, CSV, snapshots) is byte-identical
+//! for every `--threads` count and both evaluators.
 //! Verify options: `--scope PREFIX`, `--max-bits N`, `--transition`,
 //! `--metrics FILE`, `--progress`, `--perf`, `--quiet`.
 //! Selftest options: `--traces N`, `--per-kind N`, `--metrics FILE`,
 //! `--quiet`.
 //! Bench options: `--quick`, `--label NAME`, `--baseline FILE`,
-//! `--threshold PCT`, `--out FILE`, `--quiet`.
+//! `--threshold PCT`, `--out FILE`, `--quiet`, `--threads N`,
+//! `--evaluator compiled|interpreted` (the latter two apply to the
+//! campaign workloads; the simulate workloads always measure both
+//! evaluators so the record carries the per-schedule speedup).
 //!
 //! `evaluate` and `verify` always end with one machine-readable JSON
-//! summary line on stdout (schema v3: includes `elapsed_ms`,
-//! `traces_per_sec`, `cell_evals`, `interrupted`); `--metrics`
+//! summary line on stdout (schema v4: includes `elapsed_ms`,
+//! `traces_per_sec`, `cell_evals`, `interrupted`, `threads`); `--metrics`
 //! additionally records the full event stream (campaign checkpoints with
 //! per-probe-set `-log10(p)` trajectories, threshold crossings, `--perf`
 //! phase snapshots, the final verdict) as JSON lines. `bench` writes a
@@ -60,6 +65,7 @@ use mmaes_exact::{ExactConfig, ExactVerifier};
 use mmaes_leakage::{CampaignError, Durability, EvaluationConfig, FixedVsRandom, ProbeModel};
 use mmaes_masking::KroneckerRandomness;
 use mmaes_netlist::{Netlist, NetlistStats, WireId};
+use mmaes_sim::EvaluatorMode;
 use mmaes_telemetry::{Event, RunSummary, Stopwatch};
 
 fn main() {
@@ -96,14 +102,16 @@ fn usage() {
          mmaes verilog  <design> [file]\n\
          mmaes evaluate <design> [--model glitch|transition] [--order N] [--traces N]\n\
          \u{20}                  [--fixed V] [--seed N] [--scope PREFIX] [--csv FILE]\n\
-         \u{20}                  [--checkpoints N] [--early-stop]\n\
+         \u{20}                  [--checkpoints N] [--early-stop] [--threads N]\n\
+         \u{20}                  [--evaluator compiled|interpreted]\n\
          \u{20}                  [--snapshot FILE] [--resume] [--stop-after-batches N]\n\
          \u{20}                  [--metrics FILE] [--progress] [--perf] [--quiet]\n\
          mmaes verify   <design> [--scope PREFIX] [--max-bits N] [--transition]\n\
          \u{20}                  [--metrics FILE] [--progress] [--perf] [--quiet]\n\
          mmaes selftest [--traces N] [--per-kind N] [--metrics FILE] [--quiet]\n\
          mmaes bench    [--quick] [--label NAME] [--baseline FILE]\n\
-         \u{20}                  [--threshold PCT] [--out FILE] [--quiet]\n\
+         \u{20}                  [--threshold PCT] [--out FILE] [--quiet] [--threads N]\n\
+         \u{20}                  [--evaluator compiled|interpreted]\n\
          \n\
          designs: kronecker[:SCHEDULE] | sbox[:SCHEDULE] | sbox-no-kronecker |\n\
          \u{20}        aes[:SCHEDULE] | unprotected-sbox\n\
@@ -336,6 +344,18 @@ fn evaluate(arguments: &[String]) {
             "--csv" => csv_path = Some(value()),
             "--checkpoints" => numeric(&mut config.checkpoints),
             "--early-stop" => config.early_stop = true,
+            "--threads" => {
+                let mut threads = 0u64;
+                numeric(&mut threads);
+                config.threads = threads as usize;
+            }
+            "--evaluator" => {
+                let name = value();
+                config.evaluator = EvaluatorMode::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown evaluator `{name}` (compiled|interpreted)");
+                    exit(exit_code::INVALID_INPUT);
+                });
+            }
             "--snapshot" => {
                 config.durability.snapshot_path = Some(std::path::PathBuf::from(value()));
             }
@@ -366,6 +386,7 @@ fn evaluate(arguments: &[String]) {
     }
     let model = model_name(config.model);
     let order = config.order;
+    let threads = config.threads.max(1) as u64;
     let observer = mmaes_bench::observer_from(metrics_path.as_deref(), progress && !quiet, perf);
     let stopwatch = Stopwatch::start();
     let mut campaign = FixedVsRandom::new(&design.netlist, config).with_observer(observer.clone());
@@ -405,6 +426,7 @@ fn evaluate(arguments: &[String]) {
         traces_per_sec: stopwatch.rate(report.traces),
         cell_evals: report.cell_evals,
         interrupted: report.interrupted,
+        threads,
         extra: Vec::new(),
     };
     observer.emit(&Event::RunSummary(summary.clone()));

@@ -9,6 +9,7 @@
 //! --dpa-traces N    DPA traces per population       (default 20000)
 //! --seed N          RNG seed                        (default 0x9c01ead)
 //! --checkpoints N   interim campaign checkpoints    (default 8)
+//! --threads N       campaign worker threads         (default 1)
 //! --paper-scale     use the paper's simulation counts (slow!)
 //! --exact-full      exhaustively verify the whole design, not just G7
 //! --snapshot DIR    persist per-campaign snapshots under DIR
@@ -112,6 +113,11 @@ impl RunOptions {
                 }
                 "--seed" => numeric(&mut budget.seed),
                 "--checkpoints" => numeric(&mut budget.checkpoints),
+                "--threads" => {
+                    let mut value = 0u64;
+                    numeric(&mut value);
+                    budget.threads = value as usize;
+                }
                 "--paper-scale" => budget = ExperimentBudget::paper_scale(),
                 "--exact-full" => budget.exact_scope = None,
                 "--snapshot" => budget.snapshot_dir = Some(value()),
@@ -123,7 +129,7 @@ impl RunOptions {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --traces N  --traces2 N  --dpa-traces N  --seed N  \
-                         --checkpoints N  --paper-scale  --exact-full  \
+                         --checkpoints N  --threads N  --paper-scale  --exact-full  \
                          --snapshot DIR  --resume  \
                          --metrics FILE  --progress  --perf  --quiet\n\
                          exit codes: 0 reproduced  1 mismatch  2 invalid input  \
@@ -204,6 +210,7 @@ impl RunOptions {
             passed: mismatches == 0,
             wall_ms,
             interrupted: mmaes_sigint::interrupted(),
+            threads: self.budget.threads.max(1) as u64,
             extra: vec![
                 ("experiments".to_owned(), outcomes.len().to_string()),
                 ("mismatches".to_owned(), mismatches.to_string()),
@@ -255,6 +262,7 @@ impl RunOptions {
             wall_ms: self.stopwatch.elapsed_ms(),
             traces_per_sec: self.stopwatch.rate(outcome.traces),
             interrupted: mmaes_sigint::interrupted(),
+            threads: self.budget.threads.max(1) as u64,
             extra: vec![("title".to_owned(), outcome.title.to_owned())],
             ..RunSummary::default()
         }

@@ -44,17 +44,32 @@ fn bench_quick_emits_a_schema_valid_record_and_matching_stdout() {
         Some("citest")
     );
 
-    // …over the full 3-schedule × 3-workload matrix, every entry
+    // …over the full 3-schedule × 4-workload matrix, every entry
     // carrying the throughput fields and a per-phase breakdown.
     let workloads = document
         .get("workloads")
         .and_then(JsonValue::as_array)
         .expect("workloads array");
-    assert_eq!(workloads.len(), 9, "{record}");
+    assert_eq!(workloads.len(), 12, "{record}");
     let mut schedules = std::collections::BTreeSet::new();
+    let mut kinds = std::collections::BTreeSet::new();
     for entry in workloads {
         schedules.insert(entry.get("schedule").and_then(JsonValue::as_str).unwrap());
-        for key in ["wall_ms", "traces", "cell_evals", "table_bytes_est"] {
+        kinds.insert(entry.get("workload").and_then(JsonValue::as_str).unwrap());
+        assert!(
+            matches!(
+                entry.get("evaluator").and_then(JsonValue::as_str),
+                Some("compiled" | "interpreted")
+            ),
+            "{record}"
+        );
+        for key in [
+            "wall_ms",
+            "traces",
+            "cell_evals",
+            "table_bytes_est",
+            "threads",
+        ] {
             assert!(
                 entry.get(key).and_then(JsonValue::as_u64).is_some(),
                 "missing {key}: {record}"
@@ -86,6 +101,23 @@ fn bench_quick_emits_a_schema_valid_record_and_matching_stdout() {
         schedules.contains("de-meyer-13-order2-reconstruction"),
         "{schedules:?}"
     );
+    for kind in ["simulate", "simulate-interpreted", "campaign", "exact"] {
+        assert!(kinds.contains(kind), "{kinds:?}");
+    }
+
+    // The v2 envelope carries the threads knob and a per-schedule
+    // compiled-over-interpreted speedup for every schedule.
+    assert_eq!(document.get("threads").and_then(JsonValue::as_u64), Some(1));
+    let speedups = document.get("compiled_speedup").expect("speedup map");
+    for schedule in &schedules {
+        assert!(
+            speedups
+                .get(schedule as &str)
+                .and_then(JsonValue::as_f64)
+                .is_some(),
+            "missing speedup for {schedule}: {record}"
+        );
+    }
 
     // The last stdout line is the same document.
     let stdout = String::from_utf8(output.stdout).expect("utf8");

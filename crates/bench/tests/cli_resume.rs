@@ -109,6 +109,77 @@ fn interrupted_run_resumes_to_the_same_verdict_and_csv() {
 }
 
 #[test]
+fn four_thread_interrupt_resumes_on_one_thread_to_the_reference_csv() {
+    // Thread count is deliberately excluded from the snapshot
+    // fingerprint: a campaign interrupted under `--threads 4` must
+    // resume on a single thread (or any other count) to the same bytes.
+    let snapshot = unique_path("threads-resume", "snapshot");
+    let reference_csv = unique_path("threads-reference", "csv");
+    let resumed_csv = unique_path("threads-resumed", "csv");
+    let design = "kronecker:de-meyer-eq6";
+    let common = ["evaluate", design, "--traces", "12800", "--quiet"];
+
+    // Single-threaded uninterrupted reference.
+    let reference = mmaes(&[&common[..], &["--csv", reference_csv.to_str().unwrap()]].concat());
+    assert_eq!(reference.status.code(), Some(1));
+
+    // Leg 1: four workers, stopped after 80 of 200 batches.
+    let first = mmaes(
+        &[
+            &common[..],
+            &[
+                "--threads",
+                "4",
+                "--snapshot",
+                snapshot.to_str().unwrap(),
+                "--stop-after-batches",
+                "80",
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(
+        first.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    assert!(summary_line(&first).contains("\"threads\":4"));
+    assert!(snapshot.exists());
+
+    // Leg 2: resume on the default single thread.
+    let second = mmaes(
+        &[
+            &common[..],
+            &[
+                "--snapshot",
+                snapshot.to_str().unwrap(),
+                "--resume",
+                "--csv",
+                resumed_csv.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(
+        second.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+
+    let reference_rows = std::fs::read(&reference_csv).expect("reference csv");
+    let resumed_rows = std::fs::read(&resumed_csv).expect("resumed csv");
+    let _ = std::fs::remove_file(&snapshot);
+    let _ = std::fs::remove_file(&reference_csv);
+    let _ = std::fs::remove_file(&resumed_csv);
+    assert_eq!(
+        reference_rows, resumed_rows,
+        "1-thread resume of a 4-thread run diverged from the reference"
+    );
+}
+
+#[test]
 fn corrupt_snapshot_exits_invalid_input() {
     let snapshot = unique_path("corrupt", "snapshot");
     std::fs::write(&snapshot, "mmaes-campaign-snapshot v1\nnot a snapshot\n").expect("write");

@@ -1,0 +1,138 @@
+//! End-to-end determinism checks for the sharded campaign runner and
+//! the evaluator modes: `--threads N` and `--evaluator interpreted`
+//! must change nothing but wall time — the per-probe CSV is compared
+//! byte for byte and the JSON summary field by field (excluding the
+//! timing fields and the `threads` echo, which legitimately differ).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use mmaes_telemetry::json::{parse, JsonValue};
+
+fn mmaes(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mmaes"))
+        .args(args)
+        .output()
+        .expect("spawn mmaes")
+}
+
+fn unique_path(tag: &str, extension: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "mmaes-threads-{}-{tag}-{unique}.{extension}",
+        std::process::id()
+    ))
+}
+
+/// The JSON summary is always the last stdout line.
+fn summary(output: &Output) -> JsonValue {
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    let line = stdout.lines().last().expect("stdout has a summary line");
+    parse(line).expect("summary is valid JSON")
+}
+
+/// Asserts two summaries agree on every statistics field; only timing
+/// and the `threads` echo may differ between the runs.
+fn assert_same_statistics(a: &JsonValue, b: &JsonValue) {
+    for key in ["traces", "cell_evals", "order"] {
+        assert_eq!(
+            a.get(key).and_then(JsonValue::as_u64),
+            b.get(key).and_then(JsonValue::as_u64),
+            "summaries disagree on {key}"
+        );
+    }
+    assert_eq!(
+        a.get("max_minus_log10_p").and_then(JsonValue::as_f64),
+        b.get("max_minus_log10_p").and_then(JsonValue::as_f64),
+        "summaries disagree on max_minus_log10_p"
+    );
+    for key in ["passed", "interrupted"] {
+        assert_eq!(
+            a.get(key).and_then(JsonValue::as_bool),
+            b.get(key).and_then(JsonValue::as_bool),
+            "summaries disagree on {key}"
+        );
+    }
+}
+
+/// Runs one evaluation writing its CSV, returning (exit code, summary,
+/// CSV bytes).
+fn evaluate(design: &str, extra: &[&str]) -> (Option<i32>, JsonValue, Vec<u8>) {
+    let csv = unique_path("csv", "csv");
+    let mut args = vec![
+        "evaluate",
+        design,
+        "--traces",
+        "12800",
+        "--quiet",
+        "--csv",
+        csv.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let output = mmaes(&args);
+    let rows = std::fs::read(&csv).unwrap_or_else(|error| {
+        panic!(
+            "no csv at {}: {error}; stderr: {}",
+            csv.display(),
+            String::from_utf8_lossy(&output.stderr)
+        )
+    });
+    let _ = std::fs::remove_file(&csv);
+    (output.status.code(), summary(&output), rows)
+}
+
+#[test]
+fn four_threads_produce_byte_identical_output_to_one_thread() {
+    let design = "kronecker:de-meyer-eq6";
+    let (code_one, summary_one, csv_one) = evaluate(design, &[]);
+    let (code_four, summary_four, csv_four) = evaluate(design, &["--threads", "4"]);
+
+    assert_eq!(code_one, Some(1), "eq6 must be flagged leaky");
+    assert_eq!(code_one, code_four, "verdicts differ across thread counts");
+    assert_eq!(
+        summary_one.get("threads").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        summary_four.get("threads").and_then(JsonValue::as_u64),
+        Some(4)
+    );
+    assert_same_statistics(&summary_one, &summary_four);
+    assert_eq!(
+        csv_one, csv_four,
+        "per-probe CSV diverged between 1 and 4 threads"
+    );
+}
+
+#[test]
+fn the_interpreted_evaluator_produces_byte_identical_output() {
+    let design = "kronecker:proposed-eq9";
+    let (code_compiled, summary_compiled, csv_compiled) =
+        evaluate(design, &["--evaluator", "compiled"]);
+    let (code_interpreted, summary_interpreted, csv_interpreted) =
+        evaluate(design, &["--evaluator", "interpreted"]);
+
+    assert_eq!(code_compiled, Some(0), "eq9 must stay clean");
+    assert_eq!(code_compiled, code_interpreted);
+    assert_same_statistics(&summary_compiled, &summary_interpreted);
+    assert_eq!(
+        csv_compiled, csv_interpreted,
+        "per-probe CSV diverged between the two evaluators"
+    );
+}
+
+#[test]
+fn bad_evaluator_name_exits_invalid_input() {
+    let output = mmaes(&[
+        "evaluate",
+        "kronecker:proposed-eq9",
+        "--traces",
+        "6400",
+        "--evaluator",
+        "jit",
+    ]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown evaluator"));
+}

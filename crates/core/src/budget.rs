@@ -43,6 +43,11 @@ pub struct ExperimentBudget {
     /// without a snapshot start fresh, so a partially completed
     /// experiment suite resumes where it stopped).
     pub resume: bool,
+    /// Worker threads each statistical campaign shards its batches
+    /// across (0 and 1 both mean in-place single-threaded; see
+    /// [`mmaes_leakage::EvaluationConfig::threads`]). Reports are
+    /// byte-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for ExperimentBudget {
@@ -59,6 +64,7 @@ impl Default for ExperimentBudget {
             checkpoints: 8,
             snapshot_dir: None,
             resume: false,
+            threads: 1,
         }
     }
 }
@@ -78,6 +84,7 @@ impl ExperimentBudget {
             checkpoints: 4,
             snapshot_dir: None,
             resume: false,
+            threads: 1,
         }
     }
 
@@ -95,6 +102,7 @@ impl ExperimentBudget {
             checkpoints: 20,
             snapshot_dir: None,
             resume: false,
+            threads: 1,
         }
     }
 }

@@ -69,6 +69,7 @@ fn kronecker_eval(
         max_probe_sets: max_sets,
         seed: budget.seed,
         checkpoints: budget.checkpoints,
+        threads: budget.threads,
         durability: campaign_durability(
             budget,
             &format!("kronecker-{}-{}-o{order}", schedule.name(), model.name()),
@@ -102,6 +103,7 @@ fn sbox_eval(
         warmup_cycles: 8,
         seed: budget.seed,
         checkpoints: budget.checkpoints,
+        threads: budget.threads,
         durability: campaign_durability(budget, &label),
         ..EvaluationConfig::default()
     };
@@ -653,6 +655,7 @@ pub fn run_e12(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutc
             warmup_cycles: 1 + 2 * ROUND_CYCLES,
             seed: budget.seed,
             checkpoints: budget.checkpoints,
+            threads: budget.threads,
             durability: campaign_durability(budget, &format!("aes-{}", schedule.name())),
             ..EvaluationConfig::default()
         };

@@ -11,15 +11,15 @@
 //! set decides, at `-log10(p) > 5`, whether the observation distinguishes
 //! the populations — i.e. whether the probe leaks.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 
 use mmaes_netlist::{Netlist, NetlistError, SecretId, StableCones, WireId};
-use mmaes_sim::{SimStats, Simulator, LANES};
-use mmaes_telemetry::{Checkpoint, Event, Observer, ProbePoint, Stopwatch};
+use mmaes_sim::{EvaluatorMode, SimStats, Simulator, LANES};
+use mmaes_telemetry::{Checkpoint, Event, Observer, PerfRecorder, ProbePoint, Stopwatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -182,6 +182,19 @@ pub struct EvaluationConfig {
     /// (p < 10⁻¹⁰ at the default threshold — far beyond any null
     /// fluctuation). Requires `checkpoints > 0` to have any effect.
     pub early_stop: bool,
+    /// Worker threads batches are sharded across (0 and 1 both mean
+    /// in-place single-threaded). Because every batch's randomness is a
+    /// pure function of `(seed, batch)` and the coordinator folds
+    /// completed batches in strict batch order, the report, the
+    /// trajectories and the snapshots are **byte-identical** for every
+    /// thread count. Not part of the snapshot fingerprint: a campaign
+    /// interrupted at `--threads 4` resumes fine on 1 thread.
+    pub threads: usize,
+    /// Which simulator engine each worker runs
+    /// ([`EvaluatorMode::Compiled`] by default; the interpreter exists
+    /// for differential testing). Both engines are bit-exact, so this is
+    /// not part of the snapshot fingerprint either.
+    pub evaluator: EvaluatorMode,
     /// Crash-safety options: snapshotting, resume, cooperative
     /// interruption. Defaults to all-off (no behavior change).
     pub durability: Durability,
@@ -212,6 +225,8 @@ impl Default for EvaluationConfig {
             max_table_keys: 1 << 20,
             checkpoints: 0,
             early_stop: false,
+            threads: 1,
+            evaluator: EvaluatorMode::Compiled,
             durability: Durability::default(),
         }
     }
@@ -288,18 +303,24 @@ impl Table {
         }
     }
 
-    fn record(&mut self, key: u128, group: usize, cap: usize) {
-        self.samples += 1;
-        if let Some(cell) = self.counts.get_mut(&key) {
-            cell[group] += 1;
-        } else if self.counts.len() < cap {
-            self.counts.insert(key, {
-                let mut cell = [0u64; 2];
-                cell[group] = 1;
-                cell
-            });
-        } else {
-            self.overflow[group] += 1;
+    /// Folds one batch's pre-aggregated `(key, per-group counts)` runs
+    /// into the table. Runs arrive sorted by key (see
+    /// `BatchEngine::run_batch`), so which keys claim the last slots
+    /// under `cap` is a deterministic function of the batch sequence —
+    /// the property that makes sharded campaigns byte-identical to
+    /// single-threaded ones even when tables overflow.
+    fn absorb(&mut self, runs: &[(u128, [u64; 2])], cap: usize) {
+        for &(key, cell) in runs {
+            self.samples += cell[0] + cell[1];
+            if let Some(existing) = self.counts.get_mut(&key) {
+                existing[0] += cell[0];
+                existing[1] += cell[1];
+            } else if self.counts.len() < cap {
+                self.counts.insert(key, cell);
+            } else {
+                self.overflow[0] += cell[0];
+                self.overflow[1] += cell[1];
+            }
         }
     }
 
@@ -323,6 +344,206 @@ impl Table {
         }
         columns
     }
+}
+
+/// Everything needed to simulate one batch, shared read-only across
+/// worker threads. Splitting this out of [`FixedVsRandom`] is what lets
+/// `std::thread::scope` workers borrow the input-driving tables while
+/// the coordinator keeps `&mut` access to the campaign state.
+struct BatchEngine<'a> {
+    netlist: &'a Netlist,
+    config: &'a EvaluationConfig,
+    probe_sets: &'a [ProbeSet],
+    /// Per secret: `shares[share][bit]` wires (dense).
+    secrets: &'a [(SecretId, Vec<Vec<WireId>>)],
+    free_masks: &'a [WireId],
+    controls: &'a [WireId],
+    nonzero_byte_buses: &'a [Vec<WireId>],
+    control_schedules: &'a [(WireId, Vec<bool>)],
+}
+
+/// One completed batch: per-probing-set `(key, [fixed, random])` runs
+/// sorted by key, plus the simulator work the batch cost.
+struct BatchOutcome {
+    batch: u64,
+    counts: Vec<Vec<(u128, [u64; 2])>>,
+    stats: SimStats,
+}
+
+impl BatchEngine<'_> {
+    /// Simulates one batch on `sim` and aggregates its observations.
+    /// A pure function of `(seed, batch)` — which simulator runs it,
+    /// on which thread, in which order, cannot change the outcome.
+    fn run_batch(&self, sim: &mut Simulator, batch: u64, perf: &PerfRecorder) -> BatchOutcome {
+        let config = self.config;
+        // Each batch derives its own RNG from (seed, batch), so the
+        // trace stream is position-addressable: resume is exact and
+        // sharding across threads cannot perturb it.
+        let mut rng = batch_rng(config.seed, batch);
+        // Lane → population: bit set = random population.
+        let lane_groups: u64 = rng.gen();
+        let before = sim.counters();
+        sim.reset();
+        {
+            let _span = perf.span("simulate");
+            for cycle in 0..=config.warmup_cycles {
+                self.drive_cycle(sim, cycle, lane_groups, &mut rng);
+                if cycle < config.warmup_cycles {
+                    sim.step();
+                } else {
+                    sim.eval();
+                }
+            }
+        }
+        // Observation: one sample per lane per probing set, aggregated
+        // into key-sorted runs. The sort makes the batch's contribution
+        // canonical, so table insertion order (and thus which keys win
+        // the last slots under `max_table_keys`) depends only on the
+        // batch sequence — the overflow-determinism half of the
+        // byte-identity guarantee.
+        let _span = perf.span("tabulate");
+        let counts = self
+            .probe_sets
+            .iter()
+            .map(|set| {
+                let keys = observation_keys(sim, set, config.model);
+                let mut samples = [(0u128, 0usize); LANES];
+                for (lane, slot) in samples.iter_mut().enumerate() {
+                    *slot = (keys[lane], ((lane_groups >> lane) & 1) as usize);
+                }
+                samples.sort_unstable_by_key(|&(key, _)| key);
+                let mut runs: Vec<(u128, [u64; 2])> = Vec::new();
+                for (key, group) in samples {
+                    match runs.last_mut() {
+                        Some((last, cell)) if *last == key => cell[group] += 1,
+                        _ => {
+                            let mut cell = [0u64; 2];
+                            cell[group] = 1;
+                            runs.push((key, cell));
+                        }
+                    }
+                }
+                runs
+            })
+            .collect();
+        BatchOutcome {
+            batch,
+            counts,
+            stats: sim.counters().delta_since(before),
+        }
+    }
+
+    /// Drives every primary input for one cycle: shares re-randomized
+    /// around the per-lane (fixed or random) secret, masks uniform,
+    /// controls per their schedules.
+    fn drive_cycle(&self, sim: &mut Simulator, cycle: usize, lane_groups: u64, rng: &mut StdRng) {
+        let config = self.config;
+        let fixed = config.fixed_secret;
+        for (_, shares) in self.secrets {
+            let bit_count = shares[0].len();
+            let value_mask = if bit_count >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bit_count) - 1
+            };
+            let mut per_lane_value = [0u64; LANES];
+            for (lane, value) in per_lane_value.iter_mut().enumerate() {
+                *value = if (lane_groups >> lane) & 1 == 1 {
+                    match config.mode {
+                        CampaignMode::FixedVsFixed { other } => other & value_mask,
+                        CampaignMode::FixedVsRandom => match config.secret_domain {
+                            SecretDomain::Uniform => rng.gen::<u64>() & value_mask,
+                            SecretDomain::NonZero => loop {
+                                let candidate = rng.gen::<u64>() & value_mask;
+                                if candidate != 0 {
+                                    break candidate;
+                                }
+                            },
+                        },
+                    }
+                } else {
+                    fixed & value_mask
+                };
+            }
+            // Shares 1..d random; share 0 completes the XOR.
+            let mut remaining = per_lane_value;
+            for share_bus in shares.iter().skip(1) {
+                let mut random_share = [0u64; LANES];
+                for (lane, value) in random_share.iter_mut().enumerate() {
+                    *value = rng.gen::<u64>() & value_mask;
+                    remaining[lane] ^= *value;
+                }
+                sim.set_bus_per_lane(share_bus, &random_share);
+            }
+            sim.set_bus_per_lane(&shares[0], &remaining);
+        }
+        for &mask in self.free_masks {
+            sim.set_input(mask, rng.gen());
+        }
+        for bus in self.nonzero_byte_buses {
+            let mut per_lane = [0u64; LANES];
+            for value in &mut per_lane {
+                *value = rng.gen_range(1..=255u64);
+            }
+            sim.set_bus_per_lane(bus, &per_lane);
+        }
+        for &control in self.controls {
+            sim.set_input(control, 0);
+        }
+        for (wire, pattern) in self.control_schedules {
+            let value = pattern[cycle.min(pattern.len() - 1)];
+            sim.set_input(*wire, if value { u64::MAX } else { 0 });
+        }
+    }
+}
+
+/// The coordinator-side campaign state. Only `fold_batch` mutates it,
+/// and only in strict batch order — which is the whole determinism
+/// argument: any producer (the in-place loop or a worker pool) that
+/// hands `fold_batch` the same outcomes in the same order yields the
+/// same bytes. A side effect worth naming: `batches_done` is always a
+/// contiguous frontier, so every snapshot records exactly the batches
+/// `0..batches_done` — resumable on any thread count.
+struct CampaignState {
+    tables: Vec<Table>,
+    trajectories: Vec<Vec<(u64, f64)>>,
+    flagged: Vec<bool>,
+    batches_done: u64,
+    /// Work from *folded* batches only. Batches a stopping worker pool
+    /// simulated but never folded are excluded, keeping `cell_evals`
+    /// independent of the thread count.
+    folded: SimStats,
+    early_stopped: bool,
+    interrupted: bool,
+    last_stats: SimStats,
+    last_elapsed_ms: u64,
+}
+
+impl CampaignState {
+    fn new(probe_set_count: usize) -> Self {
+        CampaignState {
+            tables: (0..probe_set_count).map(|_| Table::new()).collect(),
+            trajectories: vec![Vec::new(); probe_set_count],
+            flagged: vec![false; probe_set_count],
+            batches_done: 0,
+            folded: SimStats::default(),
+            early_stopped: false,
+            interrupted: false,
+            last_stats: SimStats::default(),
+            last_elapsed_ms: 0,
+        }
+    }
+}
+
+/// Read-only context `fold_batch` needs besides the state.
+struct FoldContext<'a> {
+    probe_sets: &'a [ProbeSet],
+    watch: &'a Stopwatch,
+    perf: &'a PerfRecorder,
+    fingerprint: u64,
+    batches: u64,
+    checkpoint_every: u64,
+    prior_cell_evals: u64,
 }
 
 /// A fixed-vs-random leakage evaluation bound to one netlist.
@@ -508,15 +729,10 @@ impl<'a> FixedVsRandom<'a> {
             .collect();
         let controls = self.netlist.control_inputs();
 
-        let mut sim = Simulator::new(self.netlist);
-        let mut tables: Vec<Table> = probe_sets.iter().map(|_| Table::new()).collect();
-
         let batches = config.traces.div_ceil(LANES as u64);
         let durability = &config.durability;
         let fingerprint = self.fingerprint(&probe_sets);
-        let mut trajectories: Vec<Vec<(u64, f64)>> = vec![Vec::new(); probe_sets.len()];
-        let mut flagged = vec![false; probe_sets.len()];
-        let mut start_batch = 0u64;
+        let mut state = CampaignState::new(probe_sets.len());
         // Cell evaluations folded in by previous (interrupted) legs.
         let mut prior_cell_evals = 0u64;
         if durability.resume {
@@ -537,14 +753,14 @@ impl<'a> FixedVsRandom<'a> {
                         }
                         .into());
                     }
-                    start_batch = saved.batches_done.min(batches);
+                    state.batches_done = saved.batches_done.min(batches);
                     prior_cell_evals = saved.cell_evals;
                     for (index, table) in saved.tables.into_iter().enumerate() {
-                        flagged[index] = table.flagged;
-                        trajectories[index] = table.trajectory;
-                        tables[index].samples = table.samples;
-                        tables[index].overflow = table.overflow;
-                        tables[index].counts = table.counts.into_iter().collect();
+                        state.flagged[index] = table.flagged;
+                        state.trajectories[index] = table.trajectory;
+                        state.tables[index].samples = table.samples;
+                        state.tables[index].overflow = table.overflow;
+                        state.tables[index].counts = table.counts.into_iter().collect();
                     }
                 }
             }
@@ -563,155 +779,38 @@ impl<'a> FixedVsRandom<'a> {
         let checkpoint_every = batches
             .checked_div(config.checkpoints)
             .map_or(0, |every| every.max(1));
-        let mut early_stopped = false;
-        let mut interrupted = false;
-        let mut batches_done = start_batch;
-        // Snapshot protocol (see `SimStats`): counters survive `reset`,
-        // so interval rates come from deltas between checkpoints.
-        let mut last_stats: SimStats = sim.counters();
-        let mut last_elapsed_ms = 0u64;
-        for batch in start_batch..batches {
-            // Each batch derives its own RNG from (seed, batch), so the
-            // trace stream is position-addressable and resume is exact.
-            let mut rng = batch_rng(config.seed, batch);
-            // Lane → population: bit set = random population.
-            let lane_groups: u64 = rng.gen();
-            sim.reset();
-            {
-                let _span = perf.span("simulate");
-                for cycle in 0..=config.warmup_cycles {
-                    self.drive_cycle(
-                        &mut sim,
-                        &secrets,
-                        &free_masks,
-                        &controls,
-                        cycle,
-                        lane_groups,
-                        &mut rng,
-                    );
-                    if cycle < config.warmup_cycles {
-                        sim.step();
-                    } else {
-                        sim.eval();
+        let engine = BatchEngine {
+            netlist: self.netlist,
+            config,
+            probe_sets: &probe_sets,
+            secrets: &secrets,
+            free_masks: &free_masks,
+            controls: &controls,
+            nonzero_byte_buses: &self.nonzero_byte_buses,
+            control_schedules: &self.control_schedules,
+        };
+        let context = FoldContext {
+            probe_sets: &probe_sets,
+            watch: &watch,
+            perf,
+            fingerprint,
+            batches,
+            checkpoint_every,
+            prior_cell_evals,
+        };
+        let threads = config.threads.max(1);
+        if state.batches_done < batches {
+            if threads == 1 {
+                // In-place single-threaded: one simulator, fold as we go.
+                let mut sim = Simulator::with_evaluator(self.netlist, config.evaluator);
+                for batch in state.batches_done..batches {
+                    let outcome = engine.run_batch(&mut sim, batch, perf);
+                    if self.fold_batch(&context, &mut state, outcome)? {
+                        break;
                     }
                 }
-            }
-            // Observation: one sample per lane per probing set.
-            {
-                let _span = perf.span("tabulate");
-                for (set, table) in probe_sets.iter().zip(&mut tables) {
-                    let keys = observation_keys(&sim, set, config.model);
-                    for (lane, &key) in keys.iter().enumerate() {
-                        let group = ((lane_groups >> lane) & 1) as usize;
-                        table.record(key, group, config.max_table_keys);
-                    }
-                }
-            }
-            batches_done = batch + 1;
-
-            // Interim checkpoint: running G-test per probing set, events,
-            // and the early-stop decision. Skipped on the last batch (the
-            // final statistics cover it).
-            if checkpoint_every > 0
-                && batches_done.is_multiple_of(checkpoint_every)
-                && batches_done < batches
-            {
-                let _span = perf.span("g_test");
-                let traces_so_far = batches_done * LANES as u64;
-                let mut running: Vec<(usize, f64)> = Vec::with_capacity(probe_sets.len());
-                for (index, table) in tables.iter().enumerate() {
-                    let minus_log10_p = g_test(&table.columns())
-                        .map(|test| test.minus_log10_p)
-                        .unwrap_or(0.0);
-                    trajectories[index].push((traces_so_far, minus_log10_p));
-                    running.push((index, minus_log10_p));
-                    if minus_log10_p > config.threshold && !flagged[index] {
-                        flagged[index] = true;
-                        if self.observer.enabled() {
-                            self.observer.emit(&Event::ProbeFlagged {
-                                label: probe_sets[index].label.clone(),
-                                minus_log10_p,
-                                traces: traces_so_far,
-                            });
-                        }
-                    }
-                }
-                running.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-                let (worst_index, max_minus_log10_p) = running.first().copied().unwrap_or((0, 0.0));
-                if self.observer.enabled() {
-                    let probes: Vec<ProbePoint> = running
-                        .iter()
-                        .enumerate()
-                        .take_while(|&(rank, &(_, value))| {
-                            rank < CHECKPOINT_TOP_PROBES || value > config.threshold
-                        })
-                        .map(|(_, &(index, value))| ProbePoint {
-                            label: probe_sets[index].label.clone(),
-                            minus_log10_p: value,
-                            leaking: value > config.threshold,
-                        })
-                        .collect();
-                    self.observer.emit(&Event::CampaignCheckpoint(Checkpoint {
-                        traces: traces_so_far,
-                        traces_target: batches * LANES as u64,
-                        elapsed_ms: watch.elapsed_ms(),
-                        traces_per_sec: watch.rate(traces_so_far),
-                        max_minus_log10_p,
-                        worst_label: probe_sets
-                            .get(worst_index)
-                            .map(|set| set.label.clone())
-                            .unwrap_or_default(),
-                        probes,
-                    }));
-                    let stats = sim.counters();
-                    let elapsed_ms = watch.elapsed_ms();
-                    let interval = stats
-                        .delta_since(last_stats)
-                        .rates(elapsed_ms.saturating_sub(last_elapsed_ms) as f64 / 1000.0);
-                    last_stats = stats;
-                    last_elapsed_ms = elapsed_ms;
-                    self.observer.emit(&Event::SimProgress {
-                        cycles: stats.cycles,
-                        cell_evals: stats.cell_evals,
-                        cycles_per_sec: interval.cycles_per_sec,
-                        cell_evals_per_sec: interval.cell_evals_per_sec,
-                        lane_utilization: config.traces.min(traces_so_far) as f64
-                            / traces_so_far as f64,
-                    });
-                }
-                if let Some(path) = &durability.snapshot_path {
-                    let _span = perf.span("snapshot");
-                    let state = build_snapshot(
-                        fingerprint,
-                        batches_done,
-                        batches,
-                        prior_cell_evals + sim.counters().cell_evals,
-                        &tables,
-                        &flagged,
-                        &trajectories,
-                    );
-                    snapshot::save(&state, path)?;
-                }
-                if config.early_stop && max_minus_log10_p >= DECISIVE_MARGIN * config.threshold {
-                    early_stopped = true;
-                    break;
-                }
-            }
-
-            // Cooperative interruption: a signal flag (set from a
-            // SIGINT/SIGTERM handler) or a deterministic batch cap.
-            // The batch in flight is complete, so the state is
-            // consistent; the final snapshot below persists it.
-            let signalled = durability
-                .interrupt
-                .as_ref()
-                .is_some_and(|flag| flag.load(Ordering::Relaxed));
-            let capped = durability
-                .stop_after_batches
-                .is_some_and(|cap| batches_done >= cap);
-            if (signalled || capped) && batches_done < batches {
-                interrupted = true;
-                break;
+            } else {
+                self.run_sharded(&engine, &context, &mut state, threads)?;
             }
         }
 
@@ -720,27 +819,27 @@ impl<'a> FixedVsRandom<'a> {
         // final report without re-simulating).
         if let Some(path) = &durability.snapshot_path {
             let _span = perf.span("snapshot");
-            let state = build_snapshot(
+            let saved = build_snapshot(
                 fingerprint,
-                batches_done,
+                state.batches_done,
                 batches,
-                prior_cell_evals + sim.counters().cell_evals,
-                &tables,
-                &flagged,
-                &trajectories,
+                prior_cell_evals + state.folded.cell_evals,
+                &state.tables,
+                &state.flagged,
+                &state.trajectories,
             );
-            snapshot::save(&state, path)?;
+            snapshot::save(&saved, path)?;
         }
 
         let final_sweep = perf.span("g_test");
         let mut results: Vec<ProbeResult> = probe_sets
             .iter()
-            .zip(&tables)
+            .zip(&state.tables)
             .enumerate()
             .map(|(index, (set, table))| {
                 let columns = table.columns();
                 let distinct_keys = table.counts.len();
-                let trajectory = std::mem::take(&mut trajectories[index]);
+                let trajectory = std::mem::take(&mut state.trajectories[index]);
                 match g_test(&columns) {
                     Some(test) => ProbeResult {
                         label: set.label.clone(),
@@ -778,8 +877,8 @@ impl<'a> FixedVsRandom<'a> {
         });
         drop(final_sweep);
 
-        let traces = batches_done * LANES as u64;
-        let cell_evals = prior_cell_evals + sim.counters().cell_evals;
+        let traces = state.batches_done * LANES as u64;
+        let cell_evals = prior_cell_evals + state.folded.cell_evals;
         if perf.is_enabled() {
             perf.add("traces", traces);
             perf.add("cell_evals", cell_evals);
@@ -799,8 +898,8 @@ impl<'a> FixedVsRandom<'a> {
             traces,
             threshold: config.threshold,
             probe_sets_truncated: truncated,
-            early_stopped,
-            interrupted,
+            early_stopped: state.early_stopped,
+            interrupted: state.interrupted,
             cell_evals,
             results,
         };
@@ -815,79 +914,234 @@ impl<'a> FixedVsRandom<'a> {
                     .map(|result| result.minus_log10_p)
                     .unwrap_or(0.0),
                 leaking: report.leaking().len(),
-                early_stopped,
+                early_stopped: state.early_stopped,
             });
         }
         Ok(report)
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn drive_cycle(
+    /// Folds one completed batch into the campaign state: contingency
+    /// tables first, then (on checkpoint boundaries) the running G-test
+    /// sweep, events, snapshot and early-stop decision, then the
+    /// cooperative-interrupt check. Batches MUST be folded in strictly
+    /// increasing batch order — that invariant (not any property of the
+    /// producers) is what makes multi-threaded campaigns byte-identical
+    /// to single-threaded ones. Returns `Ok(true)` when the campaign
+    /// should stop before `context.batches` (early stop or interrupt).
+    fn fold_batch(
         &self,
-        sim: &mut Simulator,
-        secrets: &[(SecretId, Vec<Vec<WireId>>)],
-        free_masks: &[WireId],
-        controls: &[WireId],
-        cycle: usize,
-        lane_groups: u64,
-        rng: &mut StdRng,
-    ) {
-        let fixed = self.config.fixed_secret;
-        for (_, shares) in secrets {
-            let bit_count = shares[0].len();
-            let value_mask = if bit_count >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << bit_count) - 1
-            };
-            let mut per_lane_value = [0u64; LANES];
-            for (lane, value) in per_lane_value.iter_mut().enumerate() {
-                *value = if (lane_groups >> lane) & 1 == 1 {
-                    match self.config.mode {
-                        CampaignMode::FixedVsFixed { other } => other & value_mask,
-                        CampaignMode::FixedVsRandom => match self.config.secret_domain {
-                            SecretDomain::Uniform => rng.gen::<u64>() & value_mask,
-                            SecretDomain::NonZero => loop {
-                                let candidate = rng.gen::<u64>() & value_mask;
-                                if candidate != 0 {
-                                    break candidate;
-                                }
-                            },
-                        },
+        context: &FoldContext<'_>,
+        state: &mut CampaignState,
+        outcome: BatchOutcome,
+    ) -> Result<bool, CampaignError> {
+        let config = &self.config;
+        let perf = context.perf;
+        debug_assert_eq!(outcome.batch, state.batches_done, "fold order violated");
+        {
+            let _span = perf.span("merge");
+            for (runs, table) in outcome.counts.iter().zip(&mut state.tables) {
+                table.absorb(runs, config.max_table_keys);
+            }
+        }
+        state.folded.cycles += outcome.stats.cycles;
+        state.folded.cell_evals += outcome.stats.cell_evals;
+        state.batches_done += 1;
+
+        // Interim checkpoint: running G-test per probing set, events,
+        // and the early-stop decision. Skipped on the last batch (the
+        // final statistics cover it).
+        if context.checkpoint_every > 0
+            && state.batches_done.is_multiple_of(context.checkpoint_every)
+            && state.batches_done < context.batches
+        {
+            let _span = perf.span("g_test");
+            let traces_so_far = state.batches_done * LANES as u64;
+            let mut running: Vec<(usize, f64)> = Vec::with_capacity(context.probe_sets.len());
+            for (index, table) in state.tables.iter().enumerate() {
+                let minus_log10_p = g_test(&table.columns())
+                    .map(|test| test.minus_log10_p)
+                    .unwrap_or(0.0);
+                state.trajectories[index].push((traces_so_far, minus_log10_p));
+                running.push((index, minus_log10_p));
+                if minus_log10_p > config.threshold && !state.flagged[index] {
+                    state.flagged[index] = true;
+                    if self.observer.enabled() {
+                        self.observer.emit(&Event::ProbeFlagged {
+                            label: context.probe_sets[index].label.clone(),
+                            minus_log10_p,
+                            traces: traces_so_far,
+                        });
                     }
-                } else {
-                    fixed & value_mask
-                };
-            }
-            // Shares 1..d random; share 0 completes the XOR.
-            let mut remaining = per_lane_value;
-            for share_bus in shares.iter().skip(1) {
-                let mut random_share = [0u64; LANES];
-                for (lane, value) in random_share.iter_mut().enumerate() {
-                    *value = rng.gen::<u64>() & value_mask;
-                    remaining[lane] ^= *value;
                 }
-                sim.set_bus_per_lane(share_bus, &random_share);
             }
-            sim.set_bus_per_lane(&shares[0], &remaining);
-        }
-        for &mask in free_masks {
-            sim.set_input(mask, rng.gen());
-        }
-        for bus in &self.nonzero_byte_buses {
-            let mut per_lane = [0u64; LANES];
-            for value in &mut per_lane {
-                *value = rng.gen_range(1..=255u64);
+            running.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let (worst_index, max_minus_log10_p) = running.first().copied().unwrap_or((0, 0.0));
+            if self.observer.enabled() {
+                let probes: Vec<ProbePoint> = running
+                    .iter()
+                    .enumerate()
+                    .take_while(|&(rank, &(_, value))| {
+                        rank < CHECKPOINT_TOP_PROBES || value > config.threshold
+                    })
+                    .map(|(_, &(index, value))| ProbePoint {
+                        label: context.probe_sets[index].label.clone(),
+                        minus_log10_p: value,
+                        leaking: value > config.threshold,
+                    })
+                    .collect();
+                self.observer.emit(&Event::CampaignCheckpoint(Checkpoint {
+                    traces: traces_so_far,
+                    traces_target: context.batches * LANES as u64,
+                    elapsed_ms: context.watch.elapsed_ms(),
+                    traces_per_sec: context.watch.rate(traces_so_far),
+                    max_minus_log10_p,
+                    worst_label: context
+                        .probe_sets
+                        .get(worst_index)
+                        .map(|set| set.label.clone())
+                        .unwrap_or_default(),
+                    probes,
+                }));
+                let stats = state.folded;
+                let elapsed_ms = context.watch.elapsed_ms();
+                let interval = stats
+                    .delta_since(state.last_stats)
+                    .rates(elapsed_ms.saturating_sub(state.last_elapsed_ms) as f64 / 1000.0);
+                state.last_stats = stats;
+                state.last_elapsed_ms = elapsed_ms;
+                self.observer.emit(&Event::SimProgress {
+                    cycles: stats.cycles,
+                    cell_evals: stats.cell_evals,
+                    cycles_per_sec: interval.cycles_per_sec,
+                    cell_evals_per_sec: interval.cell_evals_per_sec,
+                    lane_utilization: config.traces.min(traces_so_far) as f64
+                        / traces_so_far as f64,
+                });
             }
-            sim.set_bus_per_lane(bus, &per_lane);
+            if let Some(path) = &config.durability.snapshot_path {
+                let _span = perf.span("snapshot");
+                let saved = build_snapshot(
+                    context.fingerprint,
+                    state.batches_done,
+                    context.batches,
+                    context.prior_cell_evals + state.folded.cell_evals,
+                    &state.tables,
+                    &state.flagged,
+                    &state.trajectories,
+                );
+                snapshot::save(&saved, path)?;
+            }
+            if config.early_stop && max_minus_log10_p >= DECISIVE_MARGIN * config.threshold {
+                state.early_stopped = true;
+                return Ok(true);
+            }
         }
-        for &control in controls {
-            sim.set_input(control, 0);
+
+        // Cooperative interruption: a signal flag (set from a
+        // SIGINT/SIGTERM handler) or a deterministic batch cap. The
+        // folded prefix is contiguous, so the state is consistent; the
+        // final snapshot persists it.
+        let signalled = config
+            .durability
+            .interrupt
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed));
+        let capped = config
+            .durability
+            .stop_after_batches
+            .is_some_and(|cap| state.batches_done >= cap);
+        if (signalled || capped) && state.batches_done < context.batches {
+            state.interrupted = true;
+            return Ok(true);
         }
-        for (wire, pattern) in &self.control_schedules {
-            let value = pattern[cycle.min(pattern.len() - 1)];
-            sim.set_input(*wire, if value { u64::MAX } else { 0 });
-        }
+        Ok(false)
+    }
+
+    /// Shards batches across a worker pool. Workers claim batch indices
+    /// from a shared atomic counter and each own a private [`Simulator`];
+    /// the coordinator (this thread) reorders completed batches through
+    /// a `BTreeMap` buffer and folds them in strict batch order, so the
+    /// result is byte-identical to the in-place single-threaded loop.
+    /// Each worker records perf into its own recorder, merged into the
+    /// campaign recorder at join (per-phase totals then sum CPU time
+    /// across workers, which can exceed wall time).
+    fn run_sharded(
+        &self,
+        engine: &BatchEngine<'_>,
+        context: &FoldContext<'_>,
+        state: &mut CampaignState,
+        threads: usize,
+    ) -> Result<(), CampaignError> {
+        let next_batch = AtomicU64::new(state.batches_done);
+        let stop = AtomicBool::new(false);
+        // Bounded channel: backpressure keeps the reorder buffer (and
+        // per-worker memory) proportional to the thread count even when
+        // one batch folds slowly (e.g. a checkpoint snapshot).
+        let (sender, receiver) = mpsc::sync_channel::<BatchOutcome>(threads * 2);
+        let perf_enabled = context.perf.is_enabled();
+        let mut result = Ok(());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let sender = sender.clone();
+                    let next_batch = &next_batch;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        let worker_perf = if perf_enabled {
+                            PerfRecorder::enabled()
+                        } else {
+                            PerfRecorder::disabled()
+                        };
+                        let mut sim =
+                            Simulator::with_evaluator(engine.netlist, engine.config.evaluator);
+                        while !stop.load(Ordering::Acquire) {
+                            let batch = next_batch.fetch_add(1, Ordering::Relaxed);
+                            if batch >= context.batches {
+                                break;
+                            }
+                            let outcome = engine.run_batch(&mut sim, batch, &worker_perf);
+                            // A closed channel means the coordinator
+                            // stopped (early stop, interrupt or error).
+                            if sender.send(outcome).is_err() {
+                                break;
+                            }
+                        }
+                        worker_perf
+                    })
+                })
+                .collect();
+            drop(sender);
+            // Reorder buffer: outcomes arrive in completion order and
+            // are folded in batch order. A recv error means every
+            // worker exited — with all batches claimed and sent, that
+            // only happens once the frontier has caught up.
+            let mut pending: BTreeMap<u64, BatchOutcome> = BTreeMap::new();
+            'fold: while state.batches_done < context.batches {
+                let Ok(outcome) = receiver.recv() else { break };
+                pending.insert(outcome.batch, outcome);
+                while let Some(outcome) = pending.remove(&state.batches_done) {
+                    match self.fold_batch(context, state, outcome) {
+                        Ok(false) => {}
+                        Ok(true) => break 'fold,
+                        Err(error) => {
+                            result = Err(error);
+                            break 'fold;
+                        }
+                    }
+                }
+            }
+            // Shut down: flag first, then close the channel so workers
+            // blocked in `send` observe the disconnect and exit.
+            stop.store(true, Ordering::Release);
+            drop(receiver);
+            for handle in handles {
+                match handle.join() {
+                    Ok(worker_perf) => context.perf.absorb(&worker_perf),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        result
     }
 }
 
@@ -1189,6 +1443,78 @@ mod tests {
         for result in &report.results {
             assert!(result.distinct_keys <= 1, "cap violated: {result:?}");
         }
+    }
+
+    #[test]
+    fn sharded_campaign_is_byte_identical_to_single_threaded() {
+        let netlist = blatantly_leaky();
+        let base = EvaluationConfig {
+            traces: 20_000,
+            warmup_cycles: 3,
+            checkpoints: 4,
+            ..EvaluationConfig::default()
+        };
+        let single = FixedVsRandom::new(&netlist, base.clone()).run();
+        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 4, ..base }).run();
+        assert_eq!(single.results, sharded.results);
+        assert_eq!(single.traces, sharded.traces);
+        assert_eq!(single.cell_evals, sharded.cell_evals);
+        assert_eq!(single.to_csv(), sharded.to_csv());
+    }
+
+    #[test]
+    fn sharded_overflow_tables_match_single_threaded() {
+        // The nastiest determinism case: with a tiny table cap, *which*
+        // keys claim the last slots depends on insertion order. The
+        // per-batch sorted-runs aggregation plus in-order folding makes
+        // that order a function of the batch sequence alone.
+        let netlist = blatantly_leaky();
+        let base = EvaluationConfig {
+            traces: 20_000,
+            warmup_cycles: 3,
+            max_table_keys: 1,
+            ..EvaluationConfig::default()
+        };
+        let single = FixedVsRandom::new(&netlist, base.clone()).run();
+        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 3, ..base }).run();
+        assert_eq!(single.results, sharded.results);
+    }
+
+    #[test]
+    fn sharded_early_stop_matches_single_threaded() {
+        // Early stop is decided at a fold-side checkpoint, so the
+        // stopping batch — and therefore the reported trace count — is
+        // identical no matter how many workers were still simulating.
+        let netlist = blatantly_leaky();
+        let base = EvaluationConfig {
+            traces: 64_000,
+            warmup_cycles: 3,
+            checkpoints: 16,
+            early_stop: true,
+            ..EvaluationConfig::default()
+        };
+        let single = FixedVsRandom::new(&netlist, base.clone()).run();
+        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 4, ..base }).run();
+        assert!(sharded.early_stopped);
+        assert_eq!(single.traces, sharded.traces);
+        assert_eq!(single.results, sharded.results);
+    }
+
+    #[test]
+    fn interpreted_evaluator_reproduces_the_compiled_report() {
+        let netlist = blatantly_leaky();
+        let base = config(10_000);
+        let compiled = FixedVsRandom::new(&netlist, base.clone()).run();
+        let interpreted = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                evaluator: EvaluatorMode::Interpreted,
+                ..base
+            },
+        )
+        .run();
+        assert_eq!(compiled.results, interpreted.results);
+        assert_eq!(compiled.cell_evals, interpreted.cell_evals);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod stats;
 pub use campaign::{
     CampaignError, CampaignMode, Durability, EvaluationConfig, FixedVsRandom, SecretDomain,
 };
+pub use mmaes_sim::EvaluatorMode;
 pub use mutate::{mutants, FaultKind, Mutant};
 pub use probe::{enumerate_probe_sets, ProbeModel, ProbeSet};
 pub use report::{LeakageReport, ProbeResult};

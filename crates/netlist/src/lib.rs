@@ -51,6 +51,7 @@ mod kind;
 #[allow(clippy::module_inception)]
 mod netlist;
 mod noncomplete;
+mod program;
 mod stats;
 mod validate;
 mod verilog;
@@ -63,5 +64,6 @@ pub use netlist::{
     Cell, CellId, Netlist, Register, RegisterId, SecretId, SignalRole, WireId, WireOrigin,
 };
 pub use noncomplete::{check_non_completeness, NonCompletenessViolation};
+pub use program::CellProgram;
 pub use stats::{is_nonlinear, NetlistStats, REGISTER_GATE_EQUIVALENTS};
 pub use validate::validate;

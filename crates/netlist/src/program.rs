@@ -1,0 +1,292 @@
+//! Instruction-stream compilation of the combinational logic.
+//!
+//! The simulator's interpreted hot loop pays, per cell per cycle, for a
+//! bounds-checked gather of the input wires and a dynamic dispatch on
+//! [`CellKind`]. A [`CellProgram`] pays those costs once, at
+//! construction: the topological cell order is lowered into a flat
+//! vector of fixed-arity instructions with pre-resolved wire indices,
+//! and register-output copies are inlined as a prologue. Executing a
+//! cycle is then a single allocation-free pass over the instruction
+//! vector.
+//!
+//! # Lowering
+//!
+//! * Fixed-arity kinds (`Not`, `Buf`, `Mux`, constants) and two-input
+//!   variadic kinds map to one instruction each.
+//! * A variadic cell with more than two inputs becomes an accumulate
+//!   chain writing its own output slot: `out = op(in0, in1)` followed by
+//!   `out = op(out, in_i)` for the remaining inputs. The topological
+//!   order guarantees no later instruction reads `out` before the chain
+//!   finishes, so the intermediate values are never observable.
+//! * Wide *negated* kinds (`Nand`, `Nor`, `Xnor`) chain the positive
+//!   operation and append one in-place `Not` on the output slot.
+
+use crate::kind::CellKind;
+use crate::netlist::Netlist;
+
+/// A fixed-arity operation over 64-lane words (one bit per trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// `out = a & b`
+    And2,
+    /// `out = a | b`
+    Or2,
+    /// `out = !(a & b)`
+    Nand2,
+    /// `out = !(a | b)`
+    Nor2,
+    /// `out = a ^ b`
+    Xor2,
+    /// `out = !(a ^ b)`
+    Xnor2,
+    /// `out = !a`
+    Not,
+    /// `out = a`
+    Copy,
+    /// `out = (a & c) | (!a & b)` — inputs `[sel, d0, d1]`
+    Mux,
+    /// `out = 0`
+    Const0,
+    /// `out = !0`
+    Const1,
+}
+
+/// One lowered instruction: an opcode plus pre-resolved wire indices.
+/// Unused operands are 0 (never read for the ops that ignore them).
+#[derive(Debug, Clone, Copy)]
+struct Instr {
+    op: Op,
+    out: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+}
+
+/// The combinational logic of a [`Netlist`], compiled to a flat
+/// instruction stream (see the [module docs](self)).
+///
+/// A program borrows nothing: it holds only indices into the wire-value
+/// and register-state vectors the caller supplies to [`CellProgram::run`],
+/// so it can be built once per netlist and shared or cloned freely
+/// (e.g. one per worker thread).
+#[derive(Debug, Clone)]
+pub struct CellProgram {
+    /// `(value slot, register slot)` pairs: the register-output copies
+    /// executed before the instruction stream.
+    register_copies: Vec<(u32, u32)>,
+    instructions: Vec<Instr>,
+    cell_count: usize,
+}
+
+impl CellProgram {
+    /// Compiles `netlist`'s combinational cells (in topological order)
+    /// into an instruction stream.
+    pub fn compile(netlist: &Netlist) -> Self {
+        let register_copies = netlist
+            .registers()
+            .map(|(register_id, register)| (register.q.index() as u32, register_id.index() as u32))
+            .collect();
+        let mut instructions = Vec::with_capacity(netlist.cell_count());
+        for &cell_id in netlist.topo_cells() {
+            let cell = netlist.cell(cell_id);
+            lower_cell(
+                cell.kind,
+                &cell
+                    .inputs
+                    .iter()
+                    .map(|wire| wire.index() as u32)
+                    .collect::<Vec<u32>>(),
+                cell.output.index() as u32,
+                &mut instructions,
+            );
+        }
+        CellProgram {
+            register_copies,
+            instructions,
+            cell_count: netlist.topo_cells().len(),
+        }
+    }
+
+    /// Number of netlist cells the program covers (the work unit the
+    /// simulator's `cell_evals` counter is denominated in).
+    pub fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+
+    /// Number of lowered instructions (≥ [`CellProgram::cell_count`];
+    /// wide cells expand into chains).
+    pub fn instruction_count(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Executes one combinational evaluation: copies the register state
+    /// into the register-output slots of `values`, then runs the
+    /// instruction stream over `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if `values` or `register_state` are
+    /// shorter than the netlist the program was compiled from expects.
+    pub fn run(&self, values: &mut [u64], register_state: &[u64]) {
+        for &(slot, register) in &self.register_copies {
+            values[slot as usize] = register_state[register as usize];
+        }
+        for instr in &self.instructions {
+            let a = values[instr.a as usize];
+            let word = match instr.op {
+                Op::And2 => a & values[instr.b as usize],
+                Op::Or2 => a | values[instr.b as usize],
+                Op::Nand2 => !(a & values[instr.b as usize]),
+                Op::Nor2 => !(a | values[instr.b as usize]),
+                Op::Xor2 => a ^ values[instr.b as usize],
+                Op::Xnor2 => !(a ^ values[instr.b as usize]),
+                Op::Not => !a,
+                Op::Copy => a,
+                Op::Mux => (a & values[instr.c as usize]) | (!a & values[instr.b as usize]),
+                Op::Const0 => 0,
+                Op::Const1 => u64::MAX,
+            };
+            values[instr.out as usize] = word;
+        }
+    }
+}
+
+/// Lowers one cell into `instructions` (see the [module docs](self)).
+fn lower_cell(kind: CellKind, inputs: &[u32], out: u32, instructions: &mut Vec<Instr>) {
+    let instr = |op: Op, a: u32, b: u32, c: u32| Instr { op, out, a, b, c };
+    match kind {
+        CellKind::Not => instructions.push(instr(Op::Not, inputs[0], 0, 0)),
+        CellKind::Buf => instructions.push(instr(Op::Copy, inputs[0], 0, 0)),
+        CellKind::Mux => instructions.push(instr(Op::Mux, inputs[0], inputs[1], inputs[2])),
+        CellKind::Const0 => instructions.push(instr(Op::Const0, 0, 0, 0)),
+        CellKind::Const1 => instructions.push(instr(Op::Const1, 0, 0, 0)),
+        CellKind::And
+        | CellKind::Or
+        | CellKind::Xor
+        | CellKind::Nand
+        | CellKind::Nor
+        | CellKind::Xnor => {
+            let (positive, fused, negated) = match kind {
+                CellKind::And => (Op::And2, Op::And2, false),
+                CellKind::Or => (Op::Or2, Op::Or2, false),
+                CellKind::Xor => (Op::Xor2, Op::Xor2, false),
+                CellKind::Nand => (Op::And2, Op::Nand2, true),
+                CellKind::Nor => (Op::Or2, Op::Nor2, true),
+                CellKind::Xnor => (Op::Xor2, Op::Xnor2, true),
+                _ => unreachable!(),
+            };
+            if inputs.len() == 2 {
+                instructions.push(instr(fused, inputs[0], inputs[1], 0));
+                return;
+            }
+            // Accumulate chain through the output slot; safe because the
+            // topological order means no reader sees the intermediates.
+            instructions.push(instr(positive, inputs[0], inputs[1], 0));
+            for &input in &inputs[2..] {
+                instructions.push(instr(positive, out, input, 0));
+            }
+            if negated {
+                instructions.push(instr(Op::Not, out, 0, 0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::netlist::SignalRole;
+
+    /// Runs one eval both ways and compares every wire.
+    fn assert_program_matches_interpreter(netlist: &Netlist, inputs: &[(crate::WireId, u64)]) {
+        let wires = netlist.wire_count();
+        let registers = vec![0u64; netlist.register_count()];
+        let mut interpreted = vec![0u64; wires];
+        let mut compiled = vec![0u64; wires];
+        for &(wire, word) in inputs {
+            interpreted[wire.index()] = word;
+            compiled[wire.index()] = word;
+        }
+        for &cell_id in netlist.topo_cells() {
+            let cell = netlist.cell(cell_id);
+            let gathered: Vec<u64> = cell
+                .inputs
+                .iter()
+                .map(|input| interpreted[input.index()])
+                .collect();
+            interpreted[cell.output.index()] = cell.kind.eval_wide(&gathered);
+        }
+        CellProgram::compile(netlist).run(&mut compiled, &registers);
+        assert_eq!(compiled, interpreted);
+    }
+
+    #[test]
+    fn two_input_gates_lower_to_single_instructions() {
+        let mut builder = NetlistBuilder::new("pairs");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        let and = builder.and2(a, b);
+        let nand = builder.nand2(a, b);
+        let xor = builder.xor2(a, b);
+        builder.output("and", and);
+        builder.output("nand", nand);
+        builder.output("xor", xor);
+        let netlist = builder.build().expect("valid");
+        let program = CellProgram::compile(&netlist);
+        assert_eq!(program.cell_count(), 3);
+        assert_eq!(program.instruction_count(), 3);
+        assert_program_matches_interpreter(&netlist, &[(a, 0xdead_beef), (b, 0x0f0f_f0f0)]);
+    }
+
+    #[test]
+    fn wide_negated_gates_chain_and_invert() {
+        let mut builder = NetlistBuilder::new("wide");
+        let a = builder.input("a", SignalRole::Control);
+        let b = builder.input("b", SignalRole::Control);
+        let c = builder.input("c", SignalRole::Control);
+        let d = builder.input("d", SignalRole::Control);
+        let nand4 = builder.cell(CellKind::Nand, vec![a, b, c, d]);
+        let xnor3 = builder.cell(CellKind::Xnor, vec![a, b, c]);
+        let or3 = builder.cell(CellKind::Or, vec![b, c, d]);
+        builder.output("nand4", nand4);
+        builder.output("xnor3", xnor3);
+        builder.output("or3", or3);
+        let netlist = builder.build().expect("valid");
+        let program = CellProgram::compile(&netlist);
+        // nand4 → and,and,and,not (4); xnor3 → xor,xor,not (3); or3 → or,or (2)
+        assert_eq!(program.cell_count(), 3);
+        assert_eq!(program.instruction_count(), 9);
+        assert_program_matches_interpreter(
+            &netlist,
+            &[(a, u64::MAX), (b, 0xffff_0000), (c, 0b1010), (d, 0b1100)],
+        );
+    }
+
+    #[test]
+    fn register_copies_are_inlined_as_a_prologue() {
+        let mut builder = NetlistBuilder::new("reg");
+        let d = builder.input("d", SignalRole::Control);
+        let q = builder.register(d);
+        let n = builder.not(q);
+        builder.output("n", n);
+        let netlist = builder.build().expect("valid");
+        let program = CellProgram::compile(&netlist);
+        let mut values = vec![0u64; netlist.wire_count()];
+        program.run(&mut values, &[0x1234]);
+        assert_eq!(values[q.index()], 0x1234);
+        assert_eq!(values[n.index()], !0x1234);
+    }
+
+    #[test]
+    fn mux_and_constants_lower_correctly() {
+        let mut builder = NetlistBuilder::new("mux");
+        let sel = builder.input("sel", SignalRole::Control);
+        let d0 = builder.input("d0", SignalRole::Control);
+        let d1 = builder.input("d1", SignalRole::Control);
+        let out = builder.mux(sel, d0, d1);
+        builder.output("out", out);
+        let netlist = builder.build().expect("valid");
+        assert_program_matches_interpreter(&netlist, &[(sel, 0xff00), (d0, 0xaaaa), (d1, 0x5555)]);
+    }
+}

@@ -47,10 +47,47 @@ mod waveform;
 
 pub use waveform::Waveform;
 
-use mmaes_netlist::{Netlist, NetlistError, WireId, WireOrigin};
+use mmaes_netlist::{CellProgram, Netlist, NetlistError, WireId, WireOrigin};
 
 /// Number of independent traces simulated in parallel (one per bit).
 pub const LANES: usize = 64;
+
+/// Which combinational-evaluation engine a [`Simulator`] uses.
+///
+/// Both engines are bit-exact on every wire; the interpreter exists for
+/// differential testing of the compiled instruction stream (and as a
+/// reference when debugging a lowering change). [`Simulator::new`]
+/// defaults to [`EvaluatorMode::Compiled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvaluatorMode {
+    /// The netlist's topological cell order is compiled once into a flat
+    /// fixed-arity instruction stream ([`CellProgram`]) and each `eval`
+    /// is a single allocation-free pass over it.
+    #[default]
+    Compiled,
+    /// Each `eval` walks the cells, gathers inputs and dispatches on
+    /// [`mmaes_netlist::CellKind`] — the original reference engine.
+    Interpreted,
+}
+
+impl EvaluatorMode {
+    /// Stable lower-case name, as recorded in bench documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvaluatorMode::Compiled => "compiled",
+            EvaluatorMode::Interpreted => "interpreted",
+        }
+    }
+
+    /// Parses the [`EvaluatorMode::name`] spelling.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "compiled" => Some(EvaluatorMode::Compiled),
+            "interpreted" => Some(EvaluatorMode::Interpreted),
+            _ => None,
+        }
+    }
+}
 
 /// Typed error for the fallible simulator entry points.
 ///
@@ -189,12 +226,28 @@ pub struct Simulator<'a> {
     register_state: Vec<u64>,
     cycle: u64,
     stats: SimStats,
+    program: Option<CellProgram>,
 }
 
 impl<'a> Simulator<'a> {
     /// Creates a simulator with registers at their initial values and all
-    /// inputs at 0.
+    /// inputs at 0, using the default [`EvaluatorMode::Compiled`] engine.
     pub fn new(netlist: &'a Netlist) -> Self {
+        Simulator::with_evaluator(netlist, EvaluatorMode::Compiled)
+    }
+
+    /// Creates a simulator on the interpreted reference engine — for
+    /// differential tests against the compiled instruction stream.
+    pub fn interpreted(netlist: &'a Netlist) -> Self {
+        Simulator::with_evaluator(netlist, EvaluatorMode::Interpreted)
+    }
+
+    /// Creates a simulator with an explicit evaluation engine.
+    pub fn with_evaluator(netlist: &'a Netlist, mode: EvaluatorMode) -> Self {
+        let program = match mode {
+            EvaluatorMode::Compiled => Some(CellProgram::compile(netlist)),
+            EvaluatorMode::Interpreted => None,
+        };
         let mut simulator = Simulator {
             netlist,
             values: vec![0; netlist.wire_count()],
@@ -202,9 +255,19 @@ impl<'a> Simulator<'a> {
             register_state: vec![0; netlist.register_count()],
             cycle: 0,
             stats: SimStats::default(),
+            program,
         };
         simulator.reset();
         simulator
+    }
+
+    /// Which evaluation engine this simulator runs on.
+    pub fn evaluator_mode(&self) -> EvaluatorMode {
+        if self.program.is_some() {
+            EvaluatorMode::Compiled
+        } else {
+            EvaluatorMode::Interpreted
+        }
     }
 
     /// Like [`Simulator::new`], but validates the netlist's structural
@@ -356,18 +419,47 @@ impl<'a> Simulator<'a> {
 
     /// Propagates inputs and register state through the combinational
     /// cells. Idempotent until inputs or register state change.
+    ///
+    /// On the default [`EvaluatorMode::Compiled`] engine this is one
+    /// pass over a pre-lowered instruction stream; the interpreted
+    /// engine walks the cells and dispatches per kind. Both engines are
+    /// bit-exact on every wire and account the same `cell_evals`.
     pub fn eval(&mut self) {
+        if let Some(program) = &self.program {
+            program.run(&mut self.values, &self.register_state);
+        } else {
+            self.eval_interpreted();
+        }
+        self.stats.cell_evals += self.netlist.topo_cells().len() as u64;
+    }
+
+    /// The interpreted engine: inputs are gathered into a fixed stack
+    /// buffer (netlist cells are almost always ≤ 4 inputs; wider cells
+    /// take a cold heap path), then dispatched through
+    /// [`mmaes_netlist::CellKind::eval_wide`].
+    fn eval_interpreted(&mut self) {
         for (register_id, register) in self.netlist.registers() {
             self.values[register.q.index()] = self.register_state[register_id.index()];
         }
-        let mut input_buffer: Vec<u64> = Vec::with_capacity(4);
+        let mut input_buffer = [0u64; 4];
         for &cell_id in self.netlist.topo_cells() {
             let cell = self.netlist.cell(cell_id);
-            input_buffer.clear();
-            input_buffer.extend(cell.inputs.iter().map(|input| self.values[input.index()]));
-            self.values[cell.output.index()] = cell.kind.eval_wide(&input_buffer);
+            let arity = cell.inputs.len();
+            let word = if arity <= input_buffer.len() {
+                for (slot, input) in input_buffer.iter_mut().zip(&cell.inputs) {
+                    *slot = self.values[input.index()];
+                }
+                cell.kind.eval_wide(&input_buffer[..arity])
+            } else {
+                let gathered: Vec<u64> = cell
+                    .inputs
+                    .iter()
+                    .map(|input| self.values[input.index()])
+                    .collect();
+                cell.kind.eval_wide(&gathered)
+            };
+            self.values[cell.output.index()] = word;
         }
-        self.stats.cell_evals += self.netlist.topo_cells().len() as u64;
     }
 
     /// Latches all registers from their D inputs and advances the cycle.
@@ -666,6 +758,40 @@ mod tests {
         sim.eval();
         let read_back = sim.bus_all_lanes(&bus);
         assert_eq!(read_back, per_lane);
+    }
+
+    #[test]
+    fn compiled_and_interpreted_engines_agree_cycle_by_cycle() {
+        let (netlist, inputs, _) = full_adder();
+        let mut compiled = Simulator::new(&netlist);
+        let mut interpreted = Simulator::interpreted(&netlist);
+        assert_eq!(compiled.evaluator_mode(), EvaluatorMode::Compiled);
+        assert_eq!(interpreted.evaluator_mode(), EvaluatorMode::Interpreted);
+        let mut state = 0x9c01_ead0_f00d_5eedu64;
+        for _ in 0..16 {
+            for &wire in &inputs {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                compiled.set_input(wire, state);
+                interpreted.set_input(wire, state);
+            }
+            compiled.step();
+            interpreted.step();
+            for wire in netlist.wires() {
+                assert_eq!(compiled.value(wire), interpreted.value(wire));
+                assert_eq!(compiled.prev_value(wire), interpreted.prev_value(wire));
+            }
+        }
+        assert_eq!(compiled.counters(), interpreted.counters());
+    }
+
+    #[test]
+    fn evaluator_mode_names_roundtrip() {
+        for mode in [EvaluatorMode::Compiled, EvaluatorMode::Interpreted] {
+            assert_eq!(EvaluatorMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(EvaluatorMode::parse("jit"), None);
     }
 
     #[test]

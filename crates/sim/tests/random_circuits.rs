@@ -101,8 +101,120 @@ fn reference_simulate(
     snapshots
 }
 
+/// A recipe exercising the cell shapes the binary-gate recipe never
+/// emits: wide (3–4 input) gates of every negatable kind, muxes,
+/// buffers and constants — the coverage the compiled evaluator's
+/// instruction lowering needs a differential check on.
+#[derive(Debug, Clone)]
+struct WideRecipe {
+    input_count: usize,
+    operations: Vec<(u8, usize, usize, usize, usize)>,
+    register_every: usize,
+}
+
+fn wide_recipe() -> impl Strategy<Value = WideRecipe> {
+    (
+        2usize..6,
+        prop::collection::vec(
+            (
+                0u8..11,
+                any::<usize>(),
+                any::<usize>(),
+                any::<usize>(),
+                any::<usize>(),
+            ),
+            1..40,
+        ),
+        1usize..6,
+    )
+        .prop_map(|(input_count, operations, register_every)| WideRecipe {
+            input_count,
+            operations,
+            register_every,
+        })
+}
+
+fn build_wide(recipe: &WideRecipe) -> (Netlist, Vec<WireId>) {
+    let mut builder = NetlistBuilder::new("random-wide");
+    let inputs: Vec<WireId> = (0..recipe.input_count)
+        .map(|index| builder.input(format!("in{index}"), SignalRole::Control))
+        .collect();
+    let mut pool = inputs.clone();
+    for (position, &(kind, a, b, c, d)) in recipe.operations.iter().enumerate() {
+        let pick = |selector: usize| pool[selector % pool.len()];
+        let (a, b, c, d) = (pick(a), pick(b), pick(c), pick(d));
+        let out = match kind {
+            0 => builder.cell(CellKind::And, vec![a, b, c]),
+            1 => builder.cell(CellKind::Or, vec![a, b, c, d]),
+            2 => builder.cell(CellKind::Xor, vec![a, b, c]),
+            3 => builder.cell(CellKind::Nand, vec![a, b, c, d]),
+            4 => builder.cell(CellKind::Nor, vec![a, b, c]),
+            5 => builder.cell(CellKind::Xnor, vec![a, b, c, d]),
+            6 => builder.mux(a, b, c),
+            7 => builder.buf(a),
+            8 => builder.not(a),
+            9 => builder.const0(),
+            _ => builder.const1(),
+        };
+        let out = if position % recipe.register_every == recipe.register_every - 1 {
+            builder.register(out)
+        } else {
+            out
+        };
+        pool.push(out);
+    }
+    for (index, &wire) in pool.iter().rev().take(4).enumerate() {
+        builder.output(format!("out{index}"), wire);
+    }
+    let netlist = builder.build().expect("wide recipes are always valid DAGs");
+    (netlist, inputs)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled instruction stream and the tree-walking interpreter
+    /// must agree on every wire and register of every cycle, across the
+    /// full cell-kind alphabet (wide gates, mux, buf, not, constants).
+    #[test]
+    fn compiled_evaluator_matches_the_interpreter(recipe in wide_recipe(), seed in any::<u64>()) {
+        let (netlist, inputs) = build_wide(&recipe);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+        let mut compiled = Simulator::new(&netlist);
+        let mut interpreted = Simulator::interpreted(&netlist);
+        for cycle in 0..8 {
+            for &input in &inputs {
+                let word: u64 = rng.gen();
+                compiled.set_input(input, word);
+                interpreted.set_input(input, word);
+            }
+            if cycle % 3 == 2 {
+                compiled.eval();
+                interpreted.eval();
+            } else {
+                compiled.step();
+                interpreted.step();
+            }
+            for wire in netlist.wires() {
+                prop_assert_eq!(
+                    compiled.value(wire),
+                    interpreted.value(wire),
+                    "cycle {} wire {}",
+                    cycle,
+                    netlist.wire_name(wire)
+                );
+                prop_assert_eq!(
+                    compiled.prev_value(wire),
+                    interpreted.prev_value(wire),
+                    "cycle {} wire {} (prev)",
+                    cycle,
+                    netlist.wire_name(wire)
+                );
+            }
+        }
+    }
 
     #[test]
     fn bit_parallel_simulation_matches_reference(recipe in recipe(), seed in any::<u64>()) {

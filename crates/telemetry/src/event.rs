@@ -9,10 +9,12 @@ use crate::perf::PerfSnapshot;
 /// fields on `sim_progress`, and `elapsed_ms`/`traces_per_sec`/
 /// `cell_evals` on `summary`; v3: `interrupted` on `summary` — a run
 /// that was SIGINT/SIGTERM'd mid-campaign and stopped cooperatively
-/// after writing a snapshot). The campaign *snapshot* file carries its
+/// after writing a snapshot; v4: `threads` on `summary` — how many
+/// worker threads the run's campaigns sharded batches across, 1 for
+/// in-place single-threaded). The campaign *snapshot* file carries its
 /// own independent version
 /// (`mmaes_leakage::snapshot::SNAPSHOT_SCHEMA_VERSION`, currently 1).
-pub const EVENT_SCHEMA_VERSION: u64 = 3;
+pub const EVENT_SCHEMA_VERSION: u64 = 4;
 
 /// One probing set's running statistic at a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +91,9 @@ pub struct RunSummary {
     /// cooperatively before finishing; `passed` then reflects the
     /// evidence gathered so far, not a final verdict (schema v3).
     pub interrupted: bool,
+    /// Worker threads the run's campaigns sharded batches across
+    /// (schema v4); 1 for single-threaded, 0 when not applicable.
+    pub threads: u64,
     /// Free-form extras appended to the JSON object.
     pub extra: Vec<(String, String)>,
 }
@@ -114,7 +119,8 @@ impl RunSummary {
             .unsigned("elapsed_ms", self.wall_ms)
             .float("traces_per_sec", self.traces_per_sec)
             .unsigned("cell_evals", self.cell_evals)
-            .boolean("interrupted", self.interrupted);
+            .boolean("interrupted", self.interrupted)
+            .unsigned("threads", self.threads);
         for (key, value) in &self.extra {
             object = object.string(key, value);
         }
@@ -454,6 +460,7 @@ mod tests {
                 traces_per_sec: 50_000.0,
                 cell_evals: 10_000_000,
                 interrupted: false,
+                threads: 4,
                 extra: vec![("leaking".into(), "4".into())],
             }),
         ];
@@ -505,5 +512,17 @@ mod tests {
             ..RunSummary::default()
         };
         assert!(interrupted.to_json_line().contains("\"interrupted\":true"));
+    }
+
+    #[test]
+    fn summary_carries_the_v4_threads_field() {
+        let summary = RunSummary {
+            threads: 4,
+            ..RunSummary::default()
+        };
+        assert!(summary.to_json_line().contains("\"threads\":4"));
+        assert!(RunSummary::default()
+            .to_json_line()
+            .contains("\"threads\":0"));
     }
 }
