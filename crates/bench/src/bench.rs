@@ -35,7 +35,9 @@ use mmaes_leakage::{EvaluationConfig, FixedVsRandom};
 use mmaes_masking::KroneckerRandomness;
 use mmaes_sim::{EvaluatorMode, Simulator, LANES};
 use mmaes_telemetry::json::{array, parse, JsonObject, JsonValue};
-use mmaes_telemetry::{Observer, PerfRecorder, PerfSnapshot, PhaseStats, Stopwatch};
+use mmaes_telemetry::{
+    ChromeTraceBuilder, Observer, PerfRecorder, PerfSnapshot, PhaseStats, Stopwatch,
+};
 
 /// Version of the `BENCH_*.json` record layout. Bumped on any field
 /// change; `--baseline` refuses records from a different version.
@@ -66,6 +68,9 @@ pub struct BenchOptions {
     pub threshold_pct: f64,
     /// Output path override (`--out FILE`; default `BENCH_<label>.json`).
     pub out: Option<String>,
+    /// Chrome-trace JSON export of every workload's per-phase timings
+    /// (`--trace FILE`; open in `chrome://tracing` or Perfetto).
+    pub trace: Option<String>,
     /// Suppress the human-readable table (`--quiet`).
     pub quiet: bool,
     /// Worker threads for the campaign workloads (`--threads N`).
@@ -82,6 +87,7 @@ impl Default for BenchOptions {
             baseline: None,
             threshold_pct: DEFAULT_THRESHOLD_PCT,
             out: None,
+            trace: None,
             quiet: false,
             threads: 1,
             evaluator: EvaluatorMode::Compiled,
@@ -116,6 +122,7 @@ impl BenchOptions {
                     })
                 }
                 "--out" => options.out = Some(value()),
+                "--trace" => options.trace = Some(value()),
                 "--quiet" => options.quiet = true,
                 "--threads" => {
                     options.threads = value().parse().unwrap_or_else(|error| {
@@ -137,8 +144,8 @@ impl BenchOptions {
                 other => {
                     eprintln!(
                         "unknown bench flag `{other}` (flags: --quick --label NAME \
-                         --baseline FILE --threshold PCT --out FILE --quiet \
-                         --threads N --evaluator compiled|interpreted)"
+                         --baseline FILE --threshold PCT --out FILE --trace FILE \
+                         --quiet --threads N --evaluator compiled|interpreted)"
                     );
                     exit(2);
                 }
@@ -246,9 +253,19 @@ pub fn run(arguments: &[String]) -> ! {
         exit(1);
     }
 
+    if let Some(trace_path) = &options.trace {
+        if let Err(error) = std::fs::write(trace_path, render_chrome_trace(&records)) {
+            eprintln!("cannot write {trace_path}: {error}");
+            exit(1);
+        }
+    }
+
     if !options.quiet {
         println!("{}", render_table(&records));
         println!("record written to {out_path}");
+        if let Some(trace_path) = &options.trace {
+            println!("chrome trace written to {trace_path} (open in chrome://tracing or Perfetto)");
+        }
     }
 
     let mut regressions = Vec::new();
@@ -436,6 +453,20 @@ fn bench_exact(
         table_bytes_est: 0,
         snapshot: perf.snapshot().expect("enabled"),
     }
+}
+
+/// Renders every workload's perf snapshot into one Chrome-trace JSON
+/// document, one trace scope per `{schedule}/{workload}` cell, so the
+/// whole matrix lands on a single `chrome://tracing` timeline.
+pub fn render_chrome_trace(records: &[WorkloadRecord]) -> String {
+    let mut builder = ChromeTraceBuilder::new();
+    for record in records {
+        builder.add_scope(
+            &format!("{}/{}", record.schedule, record.workload),
+            &record.snapshot,
+        );
+    }
+    builder.finish()
 }
 
 /// Per-schedule compiled-over-interpreted `simulate` rate ratio — the
@@ -688,6 +719,41 @@ mod tests {
         assert_eq!(
             workloads[0].get("threads").and_then(JsonValue::as_u64),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_export_parses_and_scopes_every_workload() {
+        let perf = PerfRecorder::enabled();
+        perf.record_duration("simulate", std::time::Duration::from_micros(100));
+        let snapshot = perf.snapshot().expect("enabled");
+        let mut first = record("de-meyer-eq6", "simulate", 100_000.0);
+        first.snapshot = snapshot.clone();
+        let mut second = record("proposed-eq9", "campaign", 50_000.0);
+        second.snapshot = snapshot;
+        let trace = render_chrome_trace(&[first, second]);
+        let value = parse(&trace).expect("valid chrome-trace JSON");
+        let events = value
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents");
+        assert!(!events.is_empty());
+        let processes: Vec<&str> = events
+            .iter()
+            .filter_map(|event| {
+                event
+                    .get("args")
+                    .and_then(|args| args.get("name"))
+                    .and_then(JsonValue::as_str)
+            })
+            .collect();
+        assert!(
+            processes.contains(&"de-meyer-eq6/simulate"),
+            "{processes:?}"
+        );
+        assert!(
+            processes.contains(&"proposed-eq9/campaign"),
+            "{processes:?}"
         );
     }
 

@@ -6,6 +6,7 @@
 //! mmaes dot      <design> [file]           Graphviz export
 //! mmaes verilog  <design> [file]           structural Verilog export
 //! mmaes evaluate <design> [options]        PROLEAD-style campaign
+//! mmaes explain  <design> [options]        campaign + root-cause forensics
 //! mmaes verify   <design> [options]        exhaustive (SILVER-style) proof
 //! mmaes selftest [options]                 fault-injection detector check
 //! mmaes bench    [options]                 performance-regression workload
@@ -20,8 +21,23 @@
 //! `--checkpoints N`, `--early-stop`, `--threads N`,
 //! `--evaluator compiled|interpreted`, `--snapshot FILE`, `--resume`,
 //! `--stop-after-batches N`, `--metrics FILE`, `--progress`, `--perf`,
-//! `--quiet`. Campaign output (report, CSV, snapshots) is byte-identical
-//! for every `--threads` count and both evaluators.
+//! `--trace FILE` (Chrome-trace JSON of the per-phase timings, viewable
+//! in `chrome://tracing` or Perfetto), `--quiet`. Campaign output
+//! (report, CSV, snapshots) is byte-identical for every `--threads`
+//! count and both evaluators.
+//!
+//! Explain options: the evaluate campaign options plus `--no-exact`
+//! (skip the enumerator cross-check), `--max-bits N` (its support
+//! bound), `--bundles FILE` (machine-readable evidence bundles, one
+//! JSON object per line), `--report FILE` (self-contained HTML report).
+//! `explain` runs the same fixed-vs-random campaign, then assembles a
+//! deterministic evidence bundle for every flagged probing set: the
+//! glitch-extended observation set with extension rules, the
+//! contingency table decomposed into per-cell G contributions, the
+//! randomness-schedule reuse analysis (Eq. 6's recycled `r1 = r3`),
+//! the exact enumerator's unmasked-secret-bit dependence, and a
+//! DOT/Verilog rendering of the implicated subcircuit. Bundles are
+//! byte-identical across `--threads` counts and evaluator engines.
 //! Verify options: `--scope PREFIX`, `--max-bits N`, `--transition`,
 //! `--metrics FILE`, `--progress`, `--perf`, `--quiet`.
 //! Selftest options: `--traces N`, `--per-kind N`, `--metrics FILE`,
@@ -61,12 +77,15 @@ use mmaes_circuits::{
     build_kronecker, build_masked_aes, build_masked_sbox, sbox::build_unprotected_sbox,
     InverterKind, SboxOptions,
 };
-use mmaes_exact::{ExactConfig, ExactVerifier};
-use mmaes_leakage::{CampaignError, Durability, EvaluationConfig, FixedVsRandom, ProbeModel};
+use mmaes_exact::{ExactConfig, ExactVerifier, ProbeVerdict};
+use mmaes_leakage::{
+    forensics, CampaignError, Durability, EvaluationConfig, EvidenceBundle, ExactDependence,
+    FixedVsRandom, ProbeModel, ProbeSet,
+};
 use mmaes_masking::KroneckerRandomness;
 use mmaes_netlist::{Netlist, NetlistStats, WireId};
 use mmaes_sim::EvaluatorMode;
-use mmaes_telemetry::{Event, RunSummary, Stopwatch};
+use mmaes_telemetry::{chrome_trace, Event, Observer, RunSummary, Stopwatch};
 
 fn main() {
     let arguments: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +99,7 @@ fn main() {
         "dot" => export(&arguments[1..], |netlist| netlist.to_dot(), "dot"),
         "verilog" => export(&arguments[1..], |netlist| netlist.to_verilog(), "v"),
         "evaluate" => evaluate(&arguments[1..]),
+        "explain" => explain(&arguments[1..]),
         "verify" => verify(&arguments[1..]),
         "selftest" => selftest(&arguments[1..]),
         "bench" => mmaes_bench::bench::run(&arguments[1..]),
@@ -105,7 +125,10 @@ fn usage() {
          \u{20}                  [--checkpoints N] [--early-stop] [--threads N]\n\
          \u{20}                  [--evaluator compiled|interpreted]\n\
          \u{20}                  [--snapshot FILE] [--resume] [--stop-after-batches N]\n\
-         \u{20}                  [--metrics FILE] [--progress] [--perf] [--quiet]\n\
+         \u{20}                  [--metrics FILE] [--progress] [--perf] [--trace FILE]\n\
+         \u{20}                  [--quiet]\n\
+         mmaes explain  <design> [evaluate campaign options] [--no-exact]\n\
+         \u{20}                  [--max-bits N] [--bundles FILE] [--report FILE]\n\
          mmaes verify   <design> [--scope PREFIX] [--max-bits N] [--transition]\n\
          \u{20}                  [--metrics FILE] [--progress] [--perf] [--quiet]\n\
          mmaes selftest [--traces N] [--per-kind N] [--metrics FILE] [--quiet]\n\
@@ -304,6 +327,7 @@ fn evaluate(arguments: &[String]) {
     };
     let mut csv_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut progress = false;
     let mut perf = false;
     let mut quiet = false;
@@ -366,6 +390,7 @@ fn evaluate(arguments: &[String]) {
                 config.durability.stop_after_batches = Some(cap);
             }
             "--metrics" => metrics_path = Some(value()),
+            "--trace" => trace_path = Some(value()),
             "--progress" => progress = true,
             "--perf" => perf = true,
             "--quiet" => quiet = true,
@@ -387,7 +412,13 @@ fn evaluate(arguments: &[String]) {
     let model = model_name(config.model);
     let order = config.order;
     let threads = config.threads.max(1) as u64;
-    let observer = mmaes_bench::observer_from(metrics_path.as_deref(), progress && !quiet, perf);
+    // A Chrome-trace export needs the per-phase timings recorded even
+    // when `--perf`'s stderr table was not asked for.
+    let observer = mmaes_bench::observer_from(
+        metrics_path.as_deref(),
+        progress && !quiet,
+        perf || trace_path.is_some(),
+    );
     let stopwatch = Stopwatch::start();
     let mut campaign = FixedVsRandom::new(&design.netlist, config).with_observer(observer.clone());
     for bus in &design.nonzero_buses {
@@ -433,6 +464,7 @@ fn evaluate(arguments: &[String]) {
     if perf {
         eprint!("{}", observer.perf().render_table());
     }
+    write_chrome_trace(&observer, trace_path.as_deref(), "evaluate", quiet);
     mmaes_bench::print_summary_last(&observer, &summary.to_json_line());
     if report.interrupted {
         eprintln!("interrupted — partial statistics; continue with --snapshot FILE --resume");
@@ -443,6 +475,342 @@ fn evaluate(arguments: &[String]) {
     } else {
         exit_code::FINDING
     });
+}
+
+/// Writes the observer's frozen perf snapshot as Chrome-trace JSON
+/// (`--trace FILE`); a no-op when the flag was not given.
+fn write_chrome_trace(observer: &Observer, path: Option<&str>, scope: &str, quiet: bool) {
+    let Some(path) = path else { return };
+    let Some(snapshot) = observer.perf().snapshot() else {
+        return;
+    };
+    let trace = chrome_trace(scope, &snapshot);
+    std::fs::write(path, trace).unwrap_or_else(|error| {
+        eprintln!("cannot write {path}: {error}");
+        exit(1);
+    });
+    if !quiet {
+        println!("chrome trace written to {path} (open in chrome://tracing or Perfetto)");
+    }
+}
+
+/// `mmaes explain` — the campaign plus root-cause forensics.
+///
+/// Runs the same fixed-vs-random campaign as `evaluate` (retaining the
+/// per-probe contingency tables), then assembles a deterministic
+/// [`EvidenceBundle`] for every flagged probing set and cross-checks it
+/// against the exact enumerator. On the paper's Eq. 6 design this names
+/// the recycled `r1 = r3` randomness and the unmasked `x1, x5`
+/// dependence; on the repaired Eq. 9 design it finds nothing to explain.
+fn explain(arguments: &[String]) {
+    let Some(spec) = arguments.first() else {
+        eprintln!("explain needs a design");
+        exit(2);
+    };
+    let design = build_design(spec);
+    let mut config = EvaluationConfig {
+        checkpoints: 8,
+        ..EvaluationConfig::default()
+    };
+    let mut bundles_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut no_exact = false;
+    let mut max_bits = ExactConfig::default().max_support_bits;
+    let mut progress = false;
+    let mut perf = false;
+    let mut quiet = false;
+    let mut rest = arguments[1..].iter();
+    while let Some(flag) = rest.next() {
+        let mut value = || {
+            rest.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {flag} needs a value");
+                exit(exit_code::INVALID_INPUT);
+            })
+        };
+        let mut numeric = |target: &mut u64| {
+            *target = value().parse().unwrap_or_else(|error| {
+                eprintln!("flag {flag}: {error}");
+                exit(exit_code::INVALID_INPUT);
+            });
+        };
+        match flag.as_str() {
+            "--model" => {
+                config.model = match value().as_str() {
+                    "glitch" => ProbeModel::Glitch,
+                    "transition" | "glitch+transition" => ProbeModel::GlitchTransition,
+                    other => {
+                        eprintln!("unknown model `{other}`");
+                        exit(exit_code::INVALID_INPUT);
+                    }
+                }
+            }
+            "--order" => {
+                let mut order = 0u64;
+                numeric(&mut order);
+                config.order = order as usize;
+            }
+            "--traces" => numeric(&mut config.traces),
+            "--fixed" => numeric(&mut config.fixed_secret),
+            "--seed" => numeric(&mut config.seed),
+            "--scope" => config.probe_scope_filter = Some(value()),
+            "--checkpoints" => numeric(&mut config.checkpoints),
+            "--threads" => {
+                let mut threads = 0u64;
+                numeric(&mut threads);
+                config.threads = threads as usize;
+            }
+            "--evaluator" => {
+                let name = value();
+                config.evaluator = EvaluatorMode::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown evaluator `{name}` (compiled|interpreted)");
+                    exit(exit_code::INVALID_INPUT);
+                });
+            }
+            "--no-exact" => no_exact = true,
+            "--max-bits" => {
+                let mut bits = 0u64;
+                numeric(&mut bits);
+                max_bits = bits as usize;
+            }
+            "--bundles" => bundles_path = Some(value()),
+            "--report" => report_path = Some(value()),
+            "--trace" => trace_path = Some(value()),
+            "--metrics" => metrics_path = Some(value()),
+            "--progress" => progress = true,
+            "--perf" => perf = true,
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                exit(exit_code::INVALID_INPUT);
+            }
+        }
+    }
+    config.durability.interrupt = Some(mmaes_sigint::install());
+    if design.load.is_some() {
+        config.warmup_cycles = 14;
+    }
+    let campaign_model = config.model;
+    let order = config.order;
+    let threads = config.threads.max(1) as u64;
+    let observer = mmaes_bench::observer_from(
+        metrics_path.as_deref(),
+        progress && !quiet,
+        perf || trace_path.is_some(),
+    );
+    let stopwatch = Stopwatch::start();
+    let mut campaign = FixedVsRandom::new(&design.netlist, config).with_observer(observer.clone());
+    for bus in &design.nonzero_buses {
+        campaign = campaign.require_nonzero_bus(bus.clone());
+    }
+    if let Some(load) = design.load {
+        campaign = campaign.schedule_control(load, vec![true, false]);
+    }
+    let (report, tables) = campaign.try_run_with_tables().unwrap_or_else(|error| {
+        eprintln!("{error}");
+        exit(exit_code::INVALID_INPUT);
+    });
+    if !quiet {
+        println!("{report}");
+    }
+
+    // Forensics: one evidence bundle per flagged probing set. An
+    // interrupted campaign has partial statistics — no bundles then.
+    let schedule = (!design.schedule.is_empty()).then(|| schedule_by_name(&design.schedule));
+    let verifier = (!no_exact && !report.interrupted).then(|| {
+        let observe_cycle = ExactVerifier::new(&design.netlist).config().observe_cycle;
+        ExactVerifier::with_config(
+            &design.netlist,
+            ExactConfig {
+                model: campaign_model,
+                observe_cycle,
+                max_support_bits: max_bits,
+                ..ExactConfig::default()
+            },
+        )
+    });
+    let mut bundles: Vec<EvidenceBundle> = Vec::new();
+    if !report.interrupted {
+        for result in report.leaking() {
+            let Some(table) = tables.iter().find(|table| table.label == result.label) else {
+                continue;
+            };
+            let mut bundle = forensics::assemble(
+                &design.netlist,
+                schedule.as_ref(),
+                campaign_model,
+                result,
+                table,
+            );
+            if let Some(verifier) = &verifier {
+                bundle.set_exact(exact_dependence(&design.netlist, verifier, &table.set));
+            }
+            bundles.push(bundle);
+        }
+    }
+    for bundle in &bundles {
+        observer.emit(&Event::Finding {
+            label: bundle.label.clone(),
+            minus_log10_p: bundle.minus_log10_p,
+            hint: bundle.hint.clone(),
+            bundle: bundle.to_json(),
+        });
+        // The progress sink prints findings itself; without one the
+        // one-line root-cause hint still belongs on stderr.
+        if !quiet && !progress {
+            eprintln!(
+                "[finding] {} (-log10(p) = {:.2}): {}",
+                bundle.label, bundle.minus_log10_p, bundle.hint
+            );
+        }
+    }
+    if let Some(path) = &bundles_path {
+        let document: String = bundles
+            .iter()
+            .map(|bundle| format!("{}\n", bundle.to_json()))
+            .collect();
+        std::fs::write(path, document).unwrap_or_else(|error| {
+            eprintln!("cannot write {path}: {error}");
+            exit(1);
+        });
+        if !quiet {
+            println!("{} evidence bundle(s) written to {path}", bundles.len());
+        }
+    }
+    if let Some(path) = &report_path {
+        let document = mmaes_bench::html::render_report(&report, &bundles, spec, &design.schedule);
+        std::fs::write(path, document).unwrap_or_else(|error| {
+            eprintln!("cannot write {path}: {error}");
+            exit(1);
+        });
+        if !quiet {
+            println!("HTML report written to {path}");
+        }
+    }
+    let summary = RunSummary {
+        tool: "mmaes explain".to_owned(),
+        id: spec.clone(),
+        design: design.netlist.name().to_owned(),
+        schedule: design.schedule.clone(),
+        model: model_name(campaign_model).to_owned(),
+        order,
+        traces: report.traces,
+        max_minus_log10_p: report
+            .worst()
+            .map(|result| result.minus_log10_p)
+            .unwrap_or(0.0),
+        passed: report.passed(),
+        wall_ms: stopwatch.elapsed_ms(),
+        traces_per_sec: stopwatch.rate(report.traces),
+        cell_evals: report.cell_evals,
+        interrupted: report.interrupted,
+        threads,
+        extra: vec![("findings".to_owned(), bundles.len().to_string())],
+    };
+    observer.emit(&Event::RunSummary(summary.clone()));
+    if perf {
+        eprint!("{}", observer.perf().render_table());
+    }
+    write_chrome_trace(&observer, trace_path.as_deref(), "explain", quiet);
+    mmaes_bench::print_summary_last(&observer, &summary.to_json_line());
+    if report.interrupted {
+        eprintln!("interrupted — partial statistics; no forensics were run");
+        exit(exit_code::INTERRUPTED);
+    }
+    exit(if report.passed() {
+        exit_code::CLEAN
+    } else {
+        exit_code::FINDING
+    });
+}
+
+/// Runs the exact enumerator on one flagged probing set and folds the
+/// verdict into the bundle's [`ExactDependence`] form.
+fn exact_dependence(
+    netlist: &Netlist,
+    verifier: &ExactVerifier<'_>,
+    set: &ProbeSet,
+) -> ExactDependence {
+    match verifier.verify_probe(set) {
+        ProbeVerdict::Secure { support_bits, .. } => ExactDependence {
+            verdict: "secure".to_owned(),
+            secret_bits: Vec::new(),
+            conditioning_a: String::new(),
+            conditioning_b: String::new(),
+            support_bits,
+        },
+        ProbeVerdict::TooWide { support_bits } => ExactDependence {
+            verdict: "too-wide".to_owned(),
+            secret_bits: Vec::new(),
+            conditioning_a: String::new(),
+            conditioning_b: String::new(),
+            support_bits,
+        },
+        ProbeVerdict::Leaky {
+            counterexample,
+            support_bits,
+        } => ExactDependence {
+            verdict: "leaky".to_owned(),
+            secret_bits: secret_bit_names(
+                netlist,
+                &counterexample.secret_a,
+                &counterexample.secret_b,
+            ),
+            conditioning_a: counterexample.secret_a,
+            conditioning_b: counterexample.secret_b,
+            support_bits,
+        },
+    }
+}
+
+/// Names the secret bits a counterexample's two conditioning
+/// assignments (`s0[1]@c3=0,s0[5]@c3=0` vs `s0[1]@c3=1,s0[5]@c3=1`)
+/// *differ* in — the bits the joint observation actually depends on —
+/// sorted and deduplicated across cycles. A single-secret design
+/// renders them in the paper's unshared-input notation (`x1`, `x5`);
+/// multi-secret designs keep the `s{n}[{bit}]` form.
+fn secret_bit_names(netlist: &Netlist, conditioning_a: &str, conditioning_b: &str) -> Vec<String> {
+    use std::collections::{BTreeSet, HashMap};
+    // `s{secret}[{bit}]@c{cycle}` → assigned value.
+    fn assignments(conditioning: &str) -> HashMap<&str, &str> {
+        conditioning
+            .split(',')
+            .filter_map(|assignment| assignment.split_once('='))
+            .collect()
+    }
+    fn secret_and_bit(head: &str) -> Option<(u64, u64)> {
+        let (secret, bit) = head
+            .split('@')
+            .next()?
+            .strip_prefix('s')?
+            .strip_suffix(']')?
+            .split_once('[')?;
+        Some((secret.parse().ok()?, bit.parse().ok()?))
+    }
+    let first = assignments(conditioning_a);
+    let second = assignments(conditioning_b);
+    let mut bits: BTreeSet<(u64, u64)> = BTreeSet::new();
+    for (head, value) in &first {
+        if second.get(head) != Some(value) {
+            bits.extend(secret_and_bit(head));
+        }
+    }
+    for head in second.keys() {
+        if !first.contains_key(head) {
+            bits.extend(secret_and_bit(head));
+        }
+    }
+    let single_secret = netlist.secrets().len() == 1;
+    bits.into_iter()
+        .map(|(secret, bit)| {
+            if single_secret {
+                format!("x{bit}")
+            } else {
+                format!("s{secret}[{bit}]")
+            }
+        })
+        .collect()
 }
 
 /// Runs a campaign, mapping every [`CampaignError`] (corrupt or

@@ -33,12 +33,14 @@
 //! follow [`exit_code`]: 0 reproduced/clean, 1 mismatch/leakage,
 //! 2 invalid input, 3 interrupted.
 //!
-//! The [`bench`] module implements the `mmaes bench` regression harness.
+//! The [`bench`] module implements the `mmaes bench` regression harness;
+//! the [`html`] module renders the `mmaes explain --report` document.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod html;
 
 use mmaes_core::{ExperimentBudget, ExperimentOutcome};
 

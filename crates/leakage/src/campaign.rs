@@ -287,6 +287,47 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// The final contingency table of one probing set, keyed by observation
+/// value, as returned by [`FixedVsRandom::try_run_with_tables`].
+///
+/// Unlike the `(fixed, random)` column pairs fed to the G-test, this
+/// keeps the observation keys, so forensic consumers can attribute each
+/// column back to a concrete stable-signal valuation. Columns are
+/// sorted by key; the overflow bucket (observations past
+/// [`EvaluationConfig::max_table_keys`]) is carried separately.
+#[derive(Debug, Clone)]
+pub struct ProbeTable {
+    /// The probing set's label ([`ProbeSet::label`]).
+    pub label: String,
+    /// The probing set itself (wires + glitch-extended observation).
+    pub set: ProbeSet,
+    /// `(observation key, [fixed count, random count])`, sorted by key.
+    pub columns: Vec<(u128, [u64; 2])>,
+    /// `[fixed, random]` counts absorbed after the table hit its key
+    /// cap.
+    pub overflow: [u64; 2],
+    /// Total samples tabulated (both populations).
+    pub samples: u64,
+}
+
+impl ProbeTable {
+    /// The `(fixed, random)` columns exactly as the campaign's final
+    /// G-test sweep consumed them: key-sorted counts, then the overflow
+    /// bucket if any — `g_test(&table.g_columns())` reproduces the
+    /// reported statistic.
+    pub fn g_columns(&self) -> Vec<(u64, u64)> {
+        let mut columns: Vec<(u64, u64)> = self
+            .columns
+            .iter()
+            .map(|&(_, cell)| (cell[0], cell[1]))
+            .collect();
+        if self.overflow[0] + self.overflow[1] > 0 {
+            columns.push((self.overflow[0], self.overflow[1]));
+        }
+        columns
+    }
+}
+
 /// A contingency table over observation keys for one probing set.
 struct Table {
     counts: HashMap<u128, [u64; 2]>,
@@ -675,6 +716,34 @@ impl<'a> FixedVsRandom<'a> {
     ///   version-mismatched, taken under a different configuration, or
     ///   unwritable.
     pub fn try_run(&self) -> Result<LeakageReport, CampaignError> {
+        self.try_run_impl(false).map(|(report, _)| report)
+    }
+
+    /// Like [`FixedVsRandom::try_run`], but additionally returns the
+    /// final keyed contingency table of every probing set, in
+    /// enumeration order.
+    ///
+    /// The forensics layer needs the tables themselves — not just the
+    /// aggregate G-test each one produced — to decompose a finding into
+    /// per-cell contributions ([`crate::stats::g_breakdown`]) and to
+    /// render the fixed-vs-random distributions in evidence bundles.
+    /// Table columns come out sorted by observation key, exactly the
+    /// order the final G-test sweep consumed, so bundles derived from
+    /// them inherit the campaign's byte-identity across thread counts
+    /// and evaluators.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`FixedVsRandom::try_run`].
+    pub fn try_run_with_tables(&self) -> Result<(LeakageReport, Vec<ProbeTable>), CampaignError> {
+        self.try_run_impl(true)
+            .map(|(report, tables)| (report, tables.expect("tables were requested")))
+    }
+
+    fn try_run_impl(
+        &self,
+        keep_tables: bool,
+    ) -> Result<(LeakageReport, Option<Vec<ProbeTable>>), CampaignError> {
         let config = &self.config;
         let watch = Stopwatch::start();
         let perf = self.observer.perf();
@@ -917,7 +986,28 @@ impl<'a> FixedVsRandom<'a> {
                 early_stopped: state.early_stopped,
             });
         }
-        Ok(report)
+        let tables = keep_tables.then(|| {
+            probe_sets
+                .iter()
+                .zip(&state.tables)
+                .map(|(set, table)| {
+                    let mut columns: Vec<(u128, [u64; 2])> = table
+                        .counts
+                        .iter()
+                        .map(|(&key, &cell)| (key, cell))
+                        .collect();
+                    columns.sort_unstable_by_key(|&(key, _)| key);
+                    ProbeTable {
+                        label: set.label.clone(),
+                        set: set.clone(),
+                        columns,
+                        overflow: table.overflow,
+                        samples: table.samples,
+                    }
+                })
+                .collect()
+        });
+        Ok((report, tables))
     }
 
     /// Folds one completed batch into the campaign state: contingency
@@ -1238,6 +1328,66 @@ mod tests {
         let netlist = properly_masked();
         let report = FixedVsRandom::new(&netlist, config(20_000)).run();
         assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn retained_tables_reproduce_the_reported_statistics() {
+        let netlist = blatantly_leaky();
+        let (report, tables) = FixedVsRandom::new(&netlist, config(20_000))
+            .try_run_with_tables()
+            .expect("valid campaign");
+        assert_eq!(report.results.len(), tables.len());
+        for table in &tables {
+            let result = report
+                .results
+                .iter()
+                .find(|result| result.label == table.label)
+                .expect("every table matches a result");
+            assert_eq!(result.samples, table.samples);
+            assert_eq!(result.distinct_keys, table.columns.len());
+            let tabulated: u64 = table
+                .columns
+                .iter()
+                .map(|&(_, cell)| cell[0] + cell[1])
+                .sum::<u64>()
+                + table.overflow[0]
+                + table.overflow[1];
+            assert_eq!(tabulated, table.samples);
+            match crate::stats::g_test(&table.g_columns()) {
+                Some(test) => {
+                    assert_eq!(test.statistic, result.g_statistic, "{}", table.label);
+                    assert_eq!(test.df, result.df);
+                    assert_eq!(test.minus_log10_p, result.minus_log10_p);
+                }
+                None => assert!(!result.testable),
+            }
+        }
+    }
+
+    #[test]
+    fn retained_tables_are_identical_across_thread_counts() {
+        let netlist = blatantly_leaky();
+        let run = |threads: usize| {
+            let (_, tables) = FixedVsRandom::new(
+                &netlist,
+                EvaluationConfig {
+                    threads,
+                    ..config(20_000)
+                },
+            )
+            .try_run_with_tables()
+            .expect("valid campaign");
+            tables
+        };
+        let single = run(1);
+        let sharded = run(2);
+        assert_eq!(single.len(), sharded.len());
+        for (a, b) in single.iter().zip(&sharded) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.columns, b.columns);
+            assert_eq!(a.overflow, b.overflow);
+            assert_eq!(a.samples, b.samples);
+        }
     }
 
     #[test]

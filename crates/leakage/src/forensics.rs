@@ -1,0 +1,553 @@
+//! Evidence-bundle assembly: *why* a probing set was flagged.
+//!
+//! A ranked `-log10(p)` list says **that** a design leaks; the paper's
+//! actual contribution is the explanation — a glitch-extended probe on
+//! a G7 `v` node observes `a1 = [y0⁰ y1⁰]` and `a2 = [y2⁰ y3⁰]`, whose
+//! joint distribution depends on the unmasked `x1, x5` because Eq. 6
+//! recycles `r1 = r3`. This module reconstructs that chain of evidence
+//! for every flagged probing set:
+//!
+//! 1. the **extended probe set** — every stable signal the probe
+//!    observes, with the extension rule that put it there;
+//! 2. the **contingency table**, decomposed into per-cell G
+//!    contributions ([`crate::stats::g_breakdown`]) so the observation
+//!    values driving the statistic are ranked, not aggregated away;
+//! 3. a **schedule analysis** — which mask slots of the Kronecker
+//!    randomness schedule alias the same physical port bit (Eq. 6's
+//!    `r1 = r3`) or share a port across pipeline layers (Eq. 9's
+//!    `r7 = r3`), filtered to pairs actually *witnessed* by the probe's
+//!    observation cone;
+//! 4. a **subcircuit rendering** — the probe's time-expanded backward
+//!    cone ([`mmaes_netlist::Netlist::extract_cone`]) as DOT and
+//!    Verilog;
+//! 5. an optional **exact cross-check** slot the CLI fills from the
+//!    `mmaes-exact` enumerator (that crate depends on this one, so the
+//!    dependence summary is injected, not computed here).
+//!
+//! Assembly is deterministic: identical campaign tables produce
+//! byte-identical [`EvidenceBundle::to_json`] documents, so bundles
+//! inherit the campaign's byte-identity across thread counts and
+//! evaluator engines.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use mmaes_masking::KroneckerRandomness;
+use mmaes_netlist::{Netlist, SignalRole, WireId, WireOrigin};
+use mmaes_telemetry::json::{array, escape, JsonObject};
+
+use crate::campaign::ProbeTable;
+use crate::probe::ProbeModel;
+use crate::report::ProbeResult;
+use crate::stats::{g_breakdown, ColumnFate};
+
+/// Ranked contingency-table cells kept per bundle; the long tail of
+/// near-zero contributions is summarized by `total_cells`.
+pub const MAX_RANKED_CELLS: usize = 16;
+
+/// Register-unrolling depth cap for the subcircuit rendering (the
+/// Kronecker pipeline is 3 deep; deeper designs are cut, not exploded).
+pub const MAX_CONE_DEPTH: usize = 4;
+
+/// One stable signal of the extended probe set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtendedWire {
+    /// Wire name in the evaluated design.
+    pub name: String,
+    /// The extension rule that put the wire in the observation set.
+    pub rule: String,
+    /// The wire's [`SignalRole`], rendered.
+    pub role: String,
+}
+
+/// One ranked contingency-table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableCell {
+    /// The observation key ([`ProbeTable::columns`]).
+    pub key: u128,
+    /// Samples in the fixed population.
+    pub fixed: u64,
+    /// Samples in the random population.
+    pub random: u64,
+    /// The cell's additive share of the G statistic.
+    pub contribution: f64,
+}
+
+/// Two mask slots of the randomness schedule aliasing a port bit,
+/// witnessed by the probe's observation cone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomnessReuse {
+    /// The earlier slot, paper naming (`r1`, or `r5[2]` at order 2).
+    pub first: String,
+    /// The later slot.
+    pub second: String,
+    /// The shared randomness-port bit (`f0`).
+    pub shared_bit: String,
+    /// Whether both slots consume the *same physical bit* (same port,
+    /// same cycle under the pipeline timing model) — the same-cohort
+    /// reuse behind the Eq. 6 leak — as opposed to sharing a port
+    /// across cycles (a transition hazard only).
+    pub same_physical_bit: bool,
+    /// Observed stable signals whose deep fan-in contains the shared
+    /// port (sorted; at least two, or the pair would not be listed).
+    pub witnesses: Vec<String>,
+}
+
+/// Per-secret-bit dependence established by the exact enumerator,
+/// injected by the CLI layer (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactDependence {
+    /// The enumerator's verdict (`leaky`, `secure`, `too-wide`).
+    pub verdict: String,
+    /// Unmasked secret bits the joint observation depends on, sorted
+    /// (`x1`, `x5` for the Eq. 6 finding; empty unless `leaky`).
+    pub secret_bits: Vec<String>,
+    /// Conditioning assignment of the distinguishable pair's first leg.
+    pub conditioning_a: String,
+    /// Conditioning assignment of the second leg.
+    pub conditioning_b: String,
+    /// Support variables the enumeration covered.
+    pub support_bits: usize,
+}
+
+/// The complete evidence bundle for one flagged probing set.
+#[derive(Debug, Clone)]
+pub struct EvidenceBundle {
+    /// The probing set's label.
+    pub label: String,
+    /// The evaluated design's name.
+    pub design: String,
+    /// The probing model the campaign ran under.
+    pub model: ProbeModel,
+    /// The finding's `-log10(p)`.
+    pub minus_log10_p: f64,
+    /// The G statistic.
+    pub g_statistic: f64,
+    /// Degrees of freedom after pooling.
+    pub df: u64,
+    /// Samples tabulated (both populations).
+    pub samples: u64,
+    /// The probed wires' names.
+    pub probes: Vec<String>,
+    /// The extended observation set with extension rules.
+    pub extended: Vec<ExtendedWire>,
+    /// Table cells ranked by `|contribution|` (top [`MAX_RANKED_CELLS`]).
+    pub cells: Vec<TableCell>,
+    /// Distinct observation keys before ranking/pooling.
+    pub total_cells: usize,
+    /// `[fixed, random]` counts pooled into the rare-events bucket.
+    pub pooled: [u64; 2],
+    /// The rare-events bucket's G contribution.
+    pub pooled_contribution: f64,
+    /// `[fixed, random]` counts in the table's key-cap overflow bucket.
+    pub overflow: [u64; 2],
+    /// Name of the analysed randomness schedule, when one was supplied
+    /// and its port bits were found in the design.
+    pub schedule: Option<String>,
+    /// Witnessed randomness-reuse pairs (empty without a schedule).
+    pub reuse: Vec<RandomnessReuse>,
+    /// Exact-enumerator cross-check ([`EvidenceBundle::set_exact`]).
+    pub exact: Option<ExactDependence>,
+    /// DOT rendering of the probe's time-expanded backward cone.
+    pub dot: String,
+    /// Verilog rendering of the same cone.
+    pub verilog: String,
+    /// A one-line root-cause hint for progress sinks.
+    pub hint: String,
+}
+
+/// Assembles the evidence bundle for one flagged probing set.
+///
+/// `schedule` is the Kronecker randomness schedule the design was built
+/// from, when known; without one (or when the schedule's `f{port}` pool
+/// wires cannot be located in the netlist) the schedule analysis is
+/// skipped and `reuse` stays empty.
+///
+/// # Panics
+///
+/// Panics if `table` does not belong to `netlist` (wire ids out of
+/// range).
+pub fn assemble(
+    netlist: &Netlist,
+    schedule: Option<&KroneckerRandomness>,
+    model: ProbeModel,
+    result: &ProbeResult,
+    table: &ProbeTable,
+) -> EvidenceBundle {
+    let set = &table.set;
+    let probes: Vec<String> = set
+        .wires
+        .iter()
+        .map(|&wire| netlist.wire_name(wire).to_owned())
+        .collect();
+
+    // 1. Extended probe set with extension rules.
+    let stages = netlist.register_stages();
+    let transition_note = match model {
+        ProbeModel::Glitch => "",
+        ProbeModel::GlitchTransition => "; observed in two consecutive cycles",
+    };
+    let extended: Vec<ExtendedWire> = set
+        .observed
+        .iter()
+        .map(|&wire| {
+            let rule = if set.wires.contains(&wire) {
+                format!("probed directly (stable signal){transition_note}")
+            } else {
+                match netlist.origin(wire) {
+                    WireOrigin::Input => {
+                        format!("primary input in the glitch-extended cone{transition_note}")
+                    }
+                    WireOrigin::Register(register_id) => format!(
+                        "register output (stage {}) in the glitch-extended \
+                         cone{transition_note}",
+                        stages[register_id.index()]
+                    ),
+                    WireOrigin::Cell(_) => {
+                        // Stable signals are inputs or register outputs by
+                        // construction; keep the fallback descriptive.
+                        format!("observed wire{transition_note}")
+                    }
+                }
+            };
+            ExtendedWire {
+                name: netlist.wire_name(wire).to_owned(),
+                rule,
+                role: role_text(netlist.role(wire)),
+            }
+        })
+        .collect();
+
+    // 2. Per-cell G contributions.
+    let breakdown = g_breakdown(&table.g_columns());
+    let mut cells: Vec<TableCell> = Vec::new();
+    let mut pooled = [0u64; 2];
+    let mut pooled_contribution = 0.0;
+    if let Some(breakdown) = &breakdown {
+        pooled = [breakdown.pooled_counts.0, breakdown.pooled_counts.1];
+        pooled_contribution = breakdown.pooled_contribution;
+        for (index, &(key, cell)) in table.columns.iter().enumerate() {
+            if let ColumnFate::Tested { contribution } = breakdown.fates[index] {
+                cells.push(TableCell {
+                    key,
+                    fixed: cell[0],
+                    random: cell[1],
+                    contribution,
+                });
+            }
+        }
+        // Rank by evidence; key breaks ties so the order is total.
+        cells.sort_by(|a, b| {
+            b.contribution
+                .abs()
+                .partial_cmp(&a.contribution.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.key.cmp(&b.key))
+        });
+        cells.truncate(MAX_RANKED_CELLS);
+    }
+
+    // 3. Schedule analysis.
+    let mut schedule_name = None;
+    let mut reuse = Vec::new();
+    if let Some(schedule) = schedule {
+        if let Some(port_of) = fresh_port_map(netlist, schedule.fresh_count()) {
+            schedule_name = Some(schedule.name().to_owned());
+            reuse = witnessed_reuse(netlist, schedule, &set.observed, &port_of);
+        }
+    }
+
+    // 4. Subcircuit rendering: unroll as deep as the pipeline, capped.
+    let depth =
+        (netlist.register_stages().iter().copied().max().unwrap_or(0) as usize).min(MAX_CONE_DEPTH);
+    let cone = netlist
+        .extract_cone(&set.wires, depth)
+        .expect("cone of an existing probe is reconstructible");
+
+    let hint = match reuse.iter().find(|pair| pair.same_physical_bit) {
+        Some(pair) => format!(
+            "recycled randomness {}={} (same physical bit {}) is observed \
+             jointly through {} cone signals",
+            pair.first,
+            pair.second,
+            pair.shared_bit,
+            pair.witnesses.len()
+        ),
+        None => match reuse.first() {
+            Some(pair) => format!(
+                "randomness {}={} shares port bit {} across pipeline layers",
+                pair.first, pair.second, pair.shared_bit
+            ),
+            None => format!(
+                "fixed-vs-random distributions diverge over {} observation \
+                 cells (G = {:.1}, df = {})",
+                result.distinct_keys, result.g_statistic, result.df
+            ),
+        },
+    };
+
+    EvidenceBundle {
+        label: table.label.clone(),
+        design: netlist.name().to_owned(),
+        model,
+        minus_log10_p: result.minus_log10_p,
+        g_statistic: result.g_statistic,
+        df: result.df,
+        samples: table.samples,
+        probes,
+        extended,
+        cells,
+        total_cells: table.columns.len(),
+        pooled,
+        pooled_contribution,
+        overflow: table.overflow,
+        schedule: schedule_name,
+        reuse,
+        exact: None,
+        dot: cone.to_dot(),
+        verilog: cone.to_verilog(),
+        hint,
+    }
+}
+
+impl EvidenceBundle {
+    /// Injects the exact enumerator's cross-check and extends the hint
+    /// with the named unmasked-bit dependence.
+    pub fn set_exact(&mut self, exact: ExactDependence) {
+        if !exact.secret_bits.is_empty() {
+            use std::fmt::Write as _;
+            let _ = write!(
+                self.hint,
+                "; joint distribution depends on unmasked {}",
+                exact.secret_bits.join(",")
+            );
+        }
+        self.exact = Some(exact);
+    }
+
+    /// Serializes the bundle as one deterministic JSON line (keys in
+    /// fixed order, floats rendered by the telemetry number formatter).
+    pub fn to_json(&self) -> String {
+        let quoted =
+            |items: &[String]| array(items.iter().map(|item| format!("\"{}\"", escape(item))));
+        let extended = array(self.extended.iter().map(|wire| {
+            JsonObject::new()
+                .string("wire", &wire.name)
+                .string("rule", &wire.rule)
+                .string("role", &wire.role)
+                .finish()
+        }));
+        let cells = array(self.cells.iter().map(|cell| {
+            JsonObject::new()
+                .string("key", &format!("{:#x}", cell.key))
+                .unsigned("fixed", cell.fixed)
+                .unsigned("random", cell.random)
+                .float("contribution", cell.contribution)
+                .finish()
+        }));
+        let table = JsonObject::new()
+            .unsigned("total_cells", self.total_cells as u64)
+            .raw("ranked_cells", &cells)
+            .raw(
+                "pooled",
+                &JsonObject::new()
+                    .unsigned("fixed", self.pooled[0])
+                    .unsigned("random", self.pooled[1])
+                    .float("contribution", self.pooled_contribution)
+                    .finish(),
+            )
+            .raw(
+                "overflow",
+                &JsonObject::new()
+                    .unsigned("fixed", self.overflow[0])
+                    .unsigned("random", self.overflow[1])
+                    .finish(),
+            )
+            .finish();
+        let reuse = array(self.reuse.iter().map(|pair| {
+            JsonObject::new()
+                .string("first", &pair.first)
+                .string("second", &pair.second)
+                .string("shared_bit", &pair.shared_bit)
+                .boolean("same_physical_bit", pair.same_physical_bit)
+                .raw("witnesses", &quoted(&pair.witnesses))
+                .finish()
+        }));
+        let schedule = match &self.schedule {
+            Some(name) => JsonObject::new()
+                .string("name", name)
+                .raw("reuse", &reuse)
+                .finish(),
+            None => "null".to_owned(),
+        };
+        let exact = match &self.exact {
+            Some(exact) => JsonObject::new()
+                .string("verdict", &exact.verdict)
+                .raw("secret_bits", &quoted(&exact.secret_bits))
+                .string("conditioning_a", &exact.conditioning_a)
+                .string("conditioning_b", &exact.conditioning_b)
+                .unsigned("support_bits", exact.support_bits as u64)
+                .finish(),
+            None => "null".to_owned(),
+        };
+        JsonObject::new()
+            .string("type", "evidence-bundle")
+            .string("label", &self.label)
+            .string("design", &self.design)
+            .string("model", self.model.name())
+            .float("minus_log10_p", self.minus_log10_p)
+            .float("g_statistic", self.g_statistic)
+            .unsigned("df", self.df)
+            .unsigned("samples", self.samples)
+            .raw("probes", &quoted(&self.probes))
+            .raw("extended", &extended)
+            .raw("table", &table)
+            .raw("schedule", &schedule)
+            .raw("exact", &exact)
+            .raw(
+                "subcircuit",
+                &JsonObject::new()
+                    .string("dot", &self.dot)
+                    .string("verilog", &self.verilog)
+                    .finish(),
+            )
+            .string("hint", &self.hint)
+            .finish()
+    }
+}
+
+fn role_text(role: SignalRole) -> String {
+    match role {
+        SignalRole::Share { secret, share, bit } => {
+            format!("share {share} of secret s{} bit {bit}", secret.0)
+        }
+        SignalRole::Mask => "fresh mask".to_owned(),
+        SignalRole::Control => "control".to_owned(),
+        SignalRole::Internal => "internal".to_owned(),
+    }
+}
+
+/// Locates the schedule's per-cycle randomness-port wires in the design
+/// (`f{port}` at top level, `…/f{port}` inside a scoped instance).
+/// Returns `None` unless every port resolves to a mask input.
+fn fresh_port_map(netlist: &Netlist, fresh_count: usize) -> Option<HashMap<WireId, u16>> {
+    let mut port_of = HashMap::with_capacity(fresh_count);
+    for port in 0..fresh_count {
+        let exact = format!("f{port}");
+        let suffix = format!("/f{port}");
+        let wire = netlist.inputs().iter().copied().find(|&wire| {
+            let name = netlist.wire_name(wire);
+            matches!(netlist.role(wire), SignalRole::Mask)
+                && (name == exact || name.ends_with(&suffix))
+        })?;
+        port_of.insert(wire, port as u16);
+    }
+    Some(port_of)
+}
+
+/// The Kronecker tree's pipeline layer per gate: G1..G4 are layer 0,
+/// G5/G6 layer 1, G7 layer 2 (Fig. 1b of the paper). A gate in layer
+/// `L` consumes its mask taps at cycle `τ + L − delay`, which is what
+/// decides whether two slots alias the same *physical* bit.
+fn kronecker_gate_layer(gate: usize) -> usize {
+    match gate {
+        0..=3 => 0,
+        4 | 5 => 1,
+        _ => 2,
+    }
+}
+
+/// All slot pairs of `schedule` that share a randomness port *and* are
+/// witnessed by the probe: the shared port must sit in the deep fan-in
+/// of at least two distinct observed stable signals, otherwise the
+/// aliasing cannot influence the probe's joint distribution.
+fn witnessed_reuse(
+    netlist: &Netlist,
+    schedule: &KroneckerRandomness,
+    observed: &[WireId],
+    port_of: &HashMap<WireId, u16>,
+) -> Vec<RandomnessReuse> {
+    let supports: Vec<(String, BTreeSet<u16>)> = observed
+        .iter()
+        .map(|&wire| {
+            (
+                netlist.wire_name(wire).to_owned(),
+                deep_fresh_support(netlist, wire, port_of),
+            )
+        })
+        .collect();
+    let slots = schedule.slots();
+    let per_gate = schedule.slots_per_gate();
+    let slot_name = |position: usize| {
+        let gate = position / per_gate + 1;
+        if per_gate == 1 {
+            format!("r{gate}")
+        } else {
+            format!("r{gate}[{}]", position % per_gate)
+        }
+    };
+    let mut reuse = Vec::new();
+    for a in 0..slots.len() {
+        for b in (a + 1)..slots.len() {
+            for tap_a in slots[a].taps() {
+                for tap_b in slots[b].taps() {
+                    if tap_a.port != tap_b.port {
+                        continue;
+                    }
+                    let witnesses: Vec<String> = supports
+                        .iter()
+                        .filter(|(_, support)| support.contains(&tap_a.port))
+                        .map(|(name, _)| name.clone())
+                        .collect();
+                    if witnesses.len() < 2 {
+                        continue;
+                    }
+                    let cycle_a =
+                        kronecker_gate_layer(a / per_gate) as isize - tap_a.delay as isize;
+                    let cycle_b =
+                        kronecker_gate_layer(b / per_gate) as isize - tap_b.delay as isize;
+                    reuse.push(RandomnessReuse {
+                        first: slot_name(a),
+                        second: slot_name(b),
+                        shared_bit: format!("f{}", tap_a.port),
+                        same_physical_bit: cycle_a == cycle_b,
+                        witnesses,
+                    });
+                }
+            }
+        }
+    }
+    reuse
+}
+
+/// The set of randomness-port indices in a wire's *deep* fan-in —
+/// transitively through registers, i.e. across all pipeline cycles
+/// (unlike [`mmaes_netlist::StableCones`], which stops at stability
+/// boundaries).
+fn deep_fresh_support(
+    netlist: &Netlist,
+    start: WireId,
+    port_of: &HashMap<WireId, u16>,
+) -> BTreeSet<u16> {
+    let mut support = BTreeSet::new();
+    let mut visited = HashSet::new();
+    let mut stack = vec![start];
+    while let Some(wire) = stack.pop() {
+        if !visited.insert(wire) {
+            continue;
+        }
+        match netlist.origin(wire) {
+            WireOrigin::Input => {
+                if let Some(&port) = port_of.get(&wire) {
+                    support.insert(port);
+                }
+            }
+            WireOrigin::Cell(cell_id) => {
+                stack.extend(netlist.cell(cell_id).inputs.iter().copied());
+            }
+            WireOrigin::Register(register_id) => {
+                stack.push(netlist.register(register_id).d);
+            }
+        }
+    }
+    support
+}

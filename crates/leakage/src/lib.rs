@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod forensics;
 pub mod mutate;
 pub mod probe;
 pub mod report;
@@ -37,8 +38,10 @@ pub mod snapshot;
 pub mod stats;
 
 pub use campaign::{
-    CampaignError, CampaignMode, Durability, EvaluationConfig, FixedVsRandom, SecretDomain,
+    CampaignError, CampaignMode, Durability, EvaluationConfig, FixedVsRandom, ProbeTable,
+    SecretDomain,
 };
+pub use forensics::{EvidenceBundle, ExactDependence, RandomnessReuse};
 pub use mmaes_sim::EvaluatorMode;
 pub use mutate::{mutants, FaultKind, Mutant};
 pub use probe::{enumerate_probe_sets, ProbeModel, ProbeSet};

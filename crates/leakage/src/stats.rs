@@ -198,6 +198,123 @@ pub fn g_test(columns: &[(u64, u64)]) -> Option<GTest> {
     })
 }
 
+/// What [`g_breakdown`] did with one input column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColumnFate {
+    /// Kept as its own column; carries this share of the G statistic
+    /// (`2a·ln(a/e₀) + 2b·ln(b/e₁)`, which can be negative for columns
+    /// closer to independence than expected).
+    Tested {
+        /// The column's additive contribution to [`GTest::statistic`].
+        contribution: f64,
+    },
+    /// Merged into the rare-events bucket (column total below
+    /// [`POOLING_THRESHOLD`]).
+    Pooled,
+    /// Zero in both populations — skipped entirely.
+    Empty,
+}
+
+/// Per-column decomposition of a [`g_test`]: which observation cells
+/// drive the statistic.
+///
+/// Forensic evidence bundles use this to rank contingency-table cells
+/// by their share of the evidence instead of reporting one opaque
+/// aggregate number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GBreakdown {
+    /// The aggregate test, identical to what [`g_test`] returns on the
+    /// same input.
+    pub test: GTest,
+    /// One fate per *input* column, in input order.
+    pub fates: Vec<ColumnFate>,
+    /// Total counts pooled into the rare-events bucket per population.
+    pub pooled_counts: (u64, u64),
+    /// The rare-events bucket's contribution to the statistic (0.0 when
+    /// nothing was pooled).
+    pub pooled_contribution: f64,
+}
+
+/// Decomposes a G-test into per-column contributions.
+///
+/// Pooling, degrees of freedom, and the aggregate statistic follow
+/// [`g_test`] exactly — `g_breakdown(columns).map(|b| b.test)` equals
+/// `g_test(columns)` — and returns `None` in exactly the same
+/// untestable cases. The tested columns' contributions plus
+/// [`GBreakdown::pooled_contribution`] sum to the statistic.
+pub fn g_breakdown(columns: &[(u64, u64)]) -> Option<GBreakdown> {
+    let mut fates = vec![ColumnFate::Empty; columns.len()];
+    let mut tested: Vec<(usize, u64, u64)> = Vec::with_capacity(columns.len());
+    let mut rare = (0u64, 0u64);
+    for (index, &(a, b)) in columns.iter().enumerate() {
+        if a + b == 0 {
+            continue;
+        }
+        if a + b < POOLING_THRESHOLD {
+            rare.0 += a;
+            rare.1 += b;
+            fates[index] = ColumnFate::Pooled;
+        } else {
+            tested.push((index, a, b));
+        }
+    }
+    let pooled_len = tested.len() + usize::from(rare.0 + rare.1 > 0);
+    if pooled_len < 2 {
+        return None;
+    }
+    let row0: u64 = tested.iter().map(|&(_, a, _)| a).sum::<u64>() + rare.0;
+    let row1: u64 = tested.iter().map(|&(_, _, b)| b).sum::<u64>() + rare.1;
+    if row0 == 0 || row1 == 0 {
+        return None;
+    }
+    let total = (row0 + row1) as f64;
+    // Accumulate the aggregate statistic term by term, exactly as
+    // `g_test` does, so the two functions agree bit-for-bit; the
+    // per-column share is tracked alongside.
+    let mut statistic = 0.0;
+    let contribution = |a: u64, b: u64, statistic: &mut f64| {
+        let column_total = (a + b) as f64;
+        let expected0 = row0 as f64 * column_total / total;
+        let expected1 = row1 as f64 * column_total / total;
+        let mut share = 0.0;
+        if a > 0 {
+            let term = 2.0 * a as f64 * (a as f64 / expected0).ln();
+            *statistic += term;
+            share += term;
+        }
+        if b > 0 {
+            let term = 2.0 * b as f64 * (b as f64 / expected1).ln();
+            *statistic += term;
+            share += term;
+        }
+        share
+    };
+    for &(index, a, b) in &tested {
+        let share = contribution(a, b, &mut statistic);
+        fates[index] = ColumnFate::Tested {
+            contribution: share,
+        };
+    }
+    let pooled_contribution = if rare.0 + rare.1 > 0 {
+        contribution(rare.0, rare.1, &mut statistic)
+    } else {
+        0.0
+    };
+    let df = (pooled_len - 1) as u64;
+    let p_value = chi2_sf(statistic, df);
+    Some(GBreakdown {
+        test: GTest {
+            statistic,
+            df,
+            p_value,
+            minus_log10_p: minus_log10_p(p_value),
+        },
+        fates,
+        pooled_counts: rare,
+        pooled_contribution,
+    })
+}
+
 /// A Welch's t-test result (the classic TVLA statistic, used by the
 /// zero-value-problem DPA demonstration).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -389,6 +506,61 @@ mod tests {
         assert!(g_test(&[]).is_none());
         assert!(g_test(&[(1000, 1000)]).is_none()); // single column
         assert!(g_test(&[(1000, 0), (1000, 0)]).is_none()); // empty group
+    }
+
+    #[test]
+    fn g_breakdown_agrees_with_g_test_and_sums_to_the_statistic() {
+        let columns: Vec<(u64, u64)> = vec![
+            (1000, 200),
+            (0, 0), // empty → skipped
+            (5, 3), // sparse → pooled
+            (200, 950),
+            (10, 2), // sparse → pooled
+            (400, 420),
+        ];
+        let breakdown = g_breakdown(&columns).expect("testable");
+        let reference = g_test(&columns).expect("testable");
+        assert_eq!(breakdown.test, reference);
+
+        assert_eq!(breakdown.fates.len(), columns.len());
+        assert_eq!(breakdown.fates[1], ColumnFate::Empty);
+        assert_eq!(breakdown.fates[2], ColumnFate::Pooled);
+        assert_eq!(breakdown.fates[4], ColumnFate::Pooled);
+        assert_eq!(breakdown.pooled_counts, (15, 5));
+
+        let tested_sum: f64 = breakdown
+            .fates
+            .iter()
+            .map(|fate| match fate {
+                ColumnFate::Tested { contribution } => *contribution,
+                _ => 0.0,
+            })
+            .sum();
+        let total = tested_sum + breakdown.pooled_contribution;
+        assert!(
+            (total - reference.statistic).abs() < 1e-9,
+            "{total} vs {}",
+            reference.statistic
+        );
+    }
+
+    #[test]
+    fn g_breakdown_is_untestable_exactly_when_g_test_is() {
+        let cases: Vec<Vec<(u64, u64)>> = vec![
+            vec![],
+            vec![(1000, 1000)],
+            vec![(1000, 0), (1000, 0)],
+            vec![(5, 3), (2, 4)], // everything pools into one bucket
+            vec![(1000, 0), (0, 1000)],
+            vec![(30, 10), (10, 30)],
+        ];
+        for columns in cases {
+            assert_eq!(
+                g_breakdown(&columns).map(|b| b.test),
+                g_test(&columns),
+                "{columns:?}"
+            );
+        }
     }
 
     #[test]

@@ -261,6 +261,101 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_cones_see_only_the_nearest_register_stage() {
+        // x -> NOT -> DFF1 -> NOT -> DFF2 -> NOT -> out: each stage's
+        // cone must contain exactly the previous boundary, never the
+        // primary input or an earlier register.
+        let mut builder = NetlistBuilder::new("pipeline");
+        let x = builder.input("x", SignalRole::Control);
+        let stage0 = builder.not(x);
+        let q1 = builder.register(stage0);
+        let stage1 = builder.not(q1);
+        let q2 = builder.register(stage1);
+        let stage2 = builder.not(q2);
+        builder.output("out", stage2);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+
+        let registers: Vec<RegisterId> = netlist.registers().map(|(id, _)| id).collect();
+        assert_eq!(
+            cones.signals_of(stage1),
+            vec![StableSignal::Register(registers[0])]
+        );
+        assert_eq!(
+            cones.signals_of(stage2),
+            vec![StableSignal::Register(registers[1])]
+        );
+        // A register's own Q wire is a stable signal: its cone is itself,
+        // not its D logic.
+        assert_eq!(
+            cones.signals_of(q2),
+            vec![StableSignal::Register(registers[1])]
+        );
+        assert_eq!(cones.cone_size(stage0), 1);
+    }
+
+    #[test]
+    fn wide_gates_keep_every_fanin_across_a_register_mix() {
+        // A 16-wide AND over 8 raw inputs and 8 registered inputs: the
+        // cone holds all 8 raw inputs plus the 8 registers, not the
+        // hidden pre-register inputs.
+        let mut builder = NetlistBuilder::new("wide");
+        let raw: Vec<WireId> = (0..8)
+            .map(|i| builder.input(format!("raw{i}"), SignalRole::Control))
+            .collect();
+        let hidden: Vec<WireId> = (0..8)
+            .map(|i| builder.input(format!("hidden{i}"), SignalRole::Control))
+            .collect();
+        let registered = builder.register_bus(&hidden);
+        let mut fanin = raw.clone();
+        fanin.extend(&registered);
+        let wide = builder.and_many(&fanin);
+        builder.output("out", wide);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+        assert_eq!(cones.cone_size(wide), 16);
+        let signals = cones.signals_of(wide);
+        assert_eq!(
+            signals
+                .iter()
+                .filter(|signal| matches!(signal, StableSignal::Input(_)))
+                .count(),
+            8
+        );
+        assert_eq!(
+            signals
+                .iter()
+                .filter(|signal| matches!(signal, StableSignal::Register(_)))
+                .count(),
+            8
+        );
+        for &input in &hidden {
+            assert!(!signals.contains(&StableSignal::Input(input)));
+        }
+    }
+
+    #[test]
+    fn const_cells_have_empty_cones() {
+        let mut builder = NetlistBuilder::new("consts");
+        let a = builder.input("a", SignalRole::Control);
+        let one = builder.const1();
+        let zero = builder.const0();
+        let mixed = builder.xor2(a, one);
+        let gated = builder.and2(mixed, zero);
+        builder.output("one", one);
+        builder.output("out", gated);
+        let netlist = builder.build().expect("valid");
+        let cones = StableCones::new(&netlist);
+        // A constant driver observes no stable signal at all — probe
+        // enumeration skips these as untestable.
+        assert_eq!(cones.cone_size(one), 0);
+        assert!(cones.signals_of(zero).is_empty());
+        // Constants add nothing to downstream cones.
+        assert_eq!(cones.signals_of(mixed), vec![StableSignal::Input(a)]);
+        assert_eq!(cones.signals_of(gated), vec![StableSignal::Input(a)]);
+    }
+
+    #[test]
     fn signal_wire_resolves_registers() {
         let mut builder = NetlistBuilder::new("resolve");
         let a = builder.input("a", SignalRole::Control);

@@ -7,10 +7,14 @@ use crate::netlist::{Netlist, SignalRole, WireOrigin};
 impl Netlist {
     /// Renders the netlist as a Graphviz DOT digraph.
     ///
-    /// Inputs are drawn as ellipses (mask inputs dashed, shares labelled
-    /// with their secret/share/bit), cells as boxes, registers as
-    /// double-bordered boxes. Useful for eyeballing the small gadgets
-    /// (e.g. a single DOM-AND or the Kronecker tree).
+    /// Inputs are drawn as ellipses — mask inputs dashed, share inputs
+    /// labelled with their secret/share/bit triple — cells as boxes,
+    /// registers as double-bordered boxes labelled with their pipeline
+    /// stage ([`Netlist::register_stages`]). All names are escaped, so
+    /// hierarchical wire names (`kronecker/G7/$and1`) and generated
+    /// cone names render verbatim. Useful for eyeballing the small
+    /// gadgets (e.g. a single DOM-AND or the Kronecker tree) and for
+    /// the subcircuit renderings in forensic evidence bundles.
     ///
     /// # Example
     ///
@@ -28,19 +32,23 @@ impl Netlist {
     /// ```
     pub fn to_dot(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(self.name()));
         let _ = writeln!(out, "  rankdir=LR;");
 
         for &input in self.inputs() {
-            let style = match self.role(input) {
-                SignalRole::Mask => ", style=dashed",
-                _ => "",
+            let (style, annotation) = match self.role(input) {
+                SignalRole::Mask => (", style=dashed", "\\nmask".to_owned()),
+                SignalRole::Share { secret, share, bit } => {
+                    ("", format!("\\ns{} share {share} bit {bit}", secret.0))
+                }
+                _ => ("", String::new()),
             };
             let _ = writeln!(
                 out,
-                "  \"w{}\" [shape=ellipse, label=\"{}\"{}];",
+                "  \"w{}\" [shape=ellipse, label=\"{}{}\"{}];",
                 input.index(),
                 escape(self.wire_name(input)),
+                annotation,
                 style
             );
         }
@@ -61,12 +69,14 @@ impl Netlist {
                 );
             }
         }
+        let stages = self.register_stages();
         for (register_id, register) in self.registers() {
             let _ = writeln!(
                 out,
-                "  \"r{}\" [shape=box, peripheries=2, label=\"DFF {}\"];",
+                "  \"r{}\" [shape=box, peripheries=2, label=\"DFF {}\\nstage {}\"];",
                 register_id.index(),
-                escape(self.wire_name(register.q))
+                escape(self.wire_name(register.q)),
+                stages[register_id.index()],
             );
             let _ = writeln!(
                 out,
@@ -75,19 +85,13 @@ impl Netlist {
                 register_id.index()
             );
         }
-        for (name, wire) in self.outputs() {
+        for (index, (name, wire)) in self.outputs().iter().enumerate() {
             let _ = writeln!(
                 out,
-                "  \"o{}\" [shape=ellipse, label=\"{}\"];",
-                escape(name),
+                "  \"o{index}\" [shape=ellipse, label=\"{}\"];",
                 escape(name)
             );
-            let _ = writeln!(
-                out,
-                "  {} -> \"o{}\";",
-                self.dot_source(*wire),
-                escape(name)
-            );
+            let _ = writeln!(out, "  {} -> \"o{index}\";", self.dot_source(*wire));
         }
         out.push_str("}\n");
         out
@@ -102,14 +106,36 @@ impl Netlist {
     }
 }
 
+/// Escapes a name for use inside a double-quoted DOT string: quotes and
+/// backslashes are backslash-escaped (DOT's `\n` stays meaningful as a
+/// label line break, so literal newlines map to it) and other control
+/// characters are dropped to keep the output parseable.
 fn escape(text: &str) -> String {
-    text.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut escaped = String::with_capacity(text.len());
+    for character in text.chars() {
+        match character {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            control if (control as u32) < 0x20 => {}
+            other => escaped.push(other),
+        }
+    }
+    escaped
 }
 
 #[cfg(test)]
 mod tests {
     use crate::builder::NetlistBuilder;
-    use crate::netlist::SignalRole;
+    use crate::netlist::{SecretId, SignalRole};
+
+    fn share(secret: u16, index: u8, bit: u8) -> SignalRole {
+        SignalRole::Share {
+            secret: SecretId(secret),
+            share: index,
+            bit,
+        }
+    }
 
     #[test]
     fn dot_contains_all_elements() {
@@ -126,5 +152,96 @@ mod tests {
         assert!(dot.contains("DFF"));
         assert!(dot.contains("style=dashed")); // mask input
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn share_inputs_and_register_stages_are_labelled() {
+        let mut builder = NetlistBuilder::new("labels");
+        let x0 = builder.input("x0[0]", share(0, 0, 0));
+        let x1 = builder.input("x1[0]", share(0, 1, 0));
+        let mixed = builder.xor2(x0, x1);
+        let stage1 = builder.register(mixed);
+        let stage2 = builder.register(stage1);
+        builder.output("q", stage2);
+        let netlist = builder.build().expect("valid");
+        let dot = netlist.to_dot();
+        assert!(dot.contains("s0 share 0 bit 0"), "{dot}");
+        assert!(dot.contains("s0 share 1 bit 0"), "{dot}");
+        assert!(dot.contains("stage 1"), "{dot}");
+        assert!(dot.contains("stage 2"), "{dot}");
+    }
+
+    #[test]
+    fn names_with_dot_specials_are_escaped() {
+        let mut builder = NetlistBuilder::new("weird \"name\"");
+        let a = builder.input("in\"quoted\"", SignalRole::Control);
+        let inverted = builder.not(a);
+        builder.name_wire(inverted, "back\\slash");
+        builder.output("out\nline", inverted);
+        let netlist = builder.build().expect("valid");
+        let dot = netlist.to_dot();
+        assert!(dot.contains("digraph \"weird \\\"name\\\"\""), "{dot}");
+        assert!(dot.contains("in\\\"quoted\\\""), "{dot}");
+        assert!(dot.contains("back\\\\slash"), "{dot}");
+        // A literal newline in a name becomes DOT's \n label break, so
+        // every statement still fits one source line.
+        assert!(dot.contains("out\\nline"), "{dot}");
+    }
+
+    /// Structural validity: every statement is `node [attrs];` or
+    /// `from -> to;`, quotes balance, every edge endpoint is a declared
+    /// node, and braces close. This is what graphviz needs to parse the
+    /// file, checked without a graphviz dependency.
+    #[test]
+    fn output_is_well_formed_dot() {
+        let mut builder = NetlistBuilder::new("check");
+        let a = builder.input("a\"b", share(0, 0, 0));
+        let b = builder.input("c\\d", share(0, 1, 0));
+        let mask = builder.input("r", SignalRole::Mask);
+        let ab = builder.and2(a, b);
+        let masked = builder.xor2(ab, mask);
+        let q = builder.register(masked);
+        builder.output("q", q);
+        let netlist = builder.build().expect("valid");
+        let dot = netlist.to_dot();
+
+        let mut lines = dot.lines();
+        assert!(lines.next().expect("header").starts_with("digraph "));
+        let mut declared = std::collections::HashSet::new();
+        let mut edges: Vec<(String, String)> = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line == "}" || line == "rankdir=LR;" {
+                continue;
+            }
+            assert!(line.ends_with(';'), "unterminated statement: {line}");
+            // Quotes must balance: count unescaped double quotes.
+            let mut quotes = 0usize;
+            let mut previous_backslash = false;
+            for character in line.chars() {
+                if character == '"' && !previous_backslash {
+                    quotes += 1;
+                }
+                previous_backslash = character == '\\' && !previous_backslash;
+            }
+            assert_eq!(quotes % 2, 0, "unbalanced quotes: {line}");
+            if let Some((from, to)) = line.split_once(" -> ") {
+                edges.push((
+                    from.trim_matches('"').to_owned(),
+                    to.trim_end_matches(';').trim_matches('"').to_owned(),
+                ));
+            } else {
+                let id = line
+                    .split_once(" [")
+                    .map(|(id, _)| id.trim_matches('"'))
+                    .expect("node statement has attributes");
+                declared.insert(id.to_owned());
+            }
+        }
+        assert!(!edges.is_empty());
+        for (from, to) in &edges {
+            assert!(declared.contains(from), "undeclared edge source {from}");
+            assert!(declared.contains(to), "undeclared edge target {to}");
+        }
     }
 }

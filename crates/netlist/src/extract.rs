@@ -1,0 +1,331 @@
+//! Backward cone extraction: the implicated subcircuit of a probe.
+//!
+//! Forensic reports need to *show* the logic a glitch-extended probe
+//! can observe, not just name it. [`Netlist::extract_cone`] carves the
+//! transitive fan-in of a set of probe wires out of a design as a new,
+//! self-contained [`Netlist`] that renders with the existing DOT and
+//! Verilog exporters.
+//!
+//! Extraction is *time-expanded*: crossing a register boundary steps
+//! one cycle back, so logic behind a DFF appears as its own copy with
+//! wire names suffixed `@-1`, `@-2`, … (matching the randomness
+//! schedule's `f1@-1` notation for previous-cycle taps). Registers
+//! within the unrolling depth are kept as real DFFs — their D now fed
+//! by the previous cycle's copy — and registers at the depth limit are
+//! cut into primary inputs. Because ages only grow walking backward,
+//! the extracted circuit is loop-free even when the source design has
+//! register feedback, and the construction order (ages oldest-first,
+//! then inputs, registers, cells in topological order) is
+//! deterministic: equal probes always extract byte-identical
+//! subcircuits.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::builder::NetlistBuilder;
+use crate::error::BuildError;
+use crate::netlist::{Netlist, SignalRole, WireId, WireOrigin};
+
+impl Netlist {
+    /// Extracts the backward cone of `targets` as a standalone netlist
+    /// named `{design}_cone`, unrolling up to `register_depth` register
+    /// boundaries (0 = stop at the first boundary).
+    ///
+    /// Each probe wire becomes a primary output named `probe:{wire}`.
+    /// Primary inputs keep their [`SignalRole`]; registers cut at the
+    /// depth limit become [`SignalRole::Control`] inputs named after
+    /// their Q wire (with the age suffix). Two exceptions keep the
+    /// extracted netlist valid: a share input needed at several ages
+    /// keeps its role only on the youngest copy (role triples must stay
+    /// unique), and when the cone covers only part of a secret's share
+    /// matrix, every surviving share input of that secret is demoted to
+    /// [`SignalRole::Control`] (share matrices must be dense).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from reconstruction — impossible for
+    /// wires of `self`, but the signature keeps the invariant explicit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target wire does not belong to this netlist.
+    pub fn extract_cone(
+        &self,
+        targets: &[WireId],
+        register_depth: usize,
+    ) -> Result<Netlist, BuildError> {
+        // Pass 1: which (wire, age) pairs the cone touches.
+        let mut needed: HashSet<(WireId, usize)> = HashSet::new();
+        let mut worklist: Vec<(WireId, usize)> =
+            targets.iter().map(|&wire| (wire, 0usize)).collect();
+        while let Some((wire, age)) = worklist.pop() {
+            if !needed.insert((wire, age)) {
+                continue;
+            }
+            match self.origin(wire) {
+                WireOrigin::Input => {}
+                WireOrigin::Cell(cell_id) => {
+                    for &input in &self.cell(cell_id).inputs {
+                        worklist.push((input, age));
+                    }
+                }
+                WireOrigin::Register(register_id) => {
+                    if age < register_depth {
+                        worklist.push((self.register(register_id).d, age + 1));
+                    }
+                }
+            }
+        }
+
+        // Share roles must survive the cone's own validation: keep a
+        // role only on the youngest copy of each share input, and only
+        // when the cone's coverage of that secret's share matrix is the
+        // full rectangle below its maxima (validation's density rule).
+        let mut youngest: HashMap<WireId, usize> = HashMap::new();
+        let mut matrix: HashMap<u16, HashSet<(u8, u8)>> = HashMap::new();
+        for &input in self.inputs() {
+            if let SignalRole::Share { secret, share, bit } = self.role(input) {
+                for age in 0..=register_depth {
+                    if needed.contains(&(input, age)) {
+                        let entry = youngest.entry(input).or_insert(age);
+                        *entry = (*entry).min(age);
+                        matrix.entry(secret.0).or_default().insert((share, bit));
+                    }
+                }
+            }
+        }
+        let mut sparse: HashSet<u16> = HashSet::new();
+        for (&secret, cells) in &matrix {
+            let shares = cells
+                .iter()
+                .map(|&(s, _)| usize::from(s))
+                .max()
+                .unwrap_or(0)
+                + 1;
+            let bits = cells
+                .iter()
+                .map(|&(_, b)| usize::from(b))
+                .max()
+                .unwrap_or(0)
+                + 1;
+            if cells.len() != shares * bits {
+                sparse.insert(secret);
+            }
+        }
+
+        // Pass 2: rebuild oldest age first so register D inputs resolve.
+        let suffixed = |name: &str, age: usize| {
+            if age == 0 {
+                name.to_owned()
+            } else {
+                format!("{name}@-{age}")
+            }
+        };
+        let mut builder = NetlistBuilder::new(format!("{}_cone", self.name));
+        let mut map: HashMap<(WireId, usize), WireId> = HashMap::new();
+        for age in (0..=register_depth).rev() {
+            for &input in self.inputs() {
+                if needed.contains(&(input, age)) {
+                    let role = match self.role(input) {
+                        SignalRole::Share { secret, .. }
+                            if sparse.contains(&secret.0) || youngest[&input] != age =>
+                        {
+                            SignalRole::Control
+                        }
+                        role => role,
+                    };
+                    let copy = builder.input(suffixed(self.wire_name(input), age), role);
+                    map.insert((input, age), copy);
+                }
+            }
+            for (_, register) in self.registers() {
+                if !needed.contains(&(register.q, age)) {
+                    continue;
+                }
+                let name = suffixed(self.wire_name(register.q), age);
+                let copy = if age < register_depth {
+                    let d = map[&(register.d, age + 1)];
+                    let q = builder.register_init(d, register.init);
+                    builder.name_wire(q, &name);
+                    q
+                } else {
+                    // Cut: the boundary register becomes an input.
+                    builder.input(name, SignalRole::Control)
+                };
+                map.insert((register.q, age), copy);
+            }
+            for &cell_id in self.topo_cells() {
+                let cell = self.cell(cell_id);
+                if !needed.contains(&(cell.output, age)) {
+                    continue;
+                }
+                let inputs: Vec<WireId> = cell
+                    .inputs
+                    .iter()
+                    .map(|&input| map[&(input, age)])
+                    .collect();
+                let copy = builder.cell(cell.kind, inputs);
+                builder.name_wire(copy, suffixed(self.wire_name(cell.output), age));
+                map.insert((cell.output, age), copy);
+            }
+        }
+        for &target in targets {
+            builder.output(
+                format!("probe:{}", self.wire_name(target)),
+                map[&(target, 0)],
+            );
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::SecretId;
+
+    fn share(secret: u16, index: u8) -> SignalRole {
+        SignalRole::Share {
+            secret: SecretId(secret),
+            share: index,
+            bit: 0,
+        }
+    }
+
+    /// a, b -> AND -> DFF -> XOR with c -> probe.
+    fn pipelined() -> (Netlist, WireId) {
+        let mut builder = NetlistBuilder::new("pipe");
+        let a = builder.input("a", share(0, 0));
+        let b = builder.input("b", share(0, 1));
+        let c = builder.input("c", SignalRole::Mask);
+        let ab = builder.and2(a, b);
+        let q = builder.register(ab);
+        builder.name_wire(q, "stage1");
+        let out = builder.xor2(q, c);
+        builder.name_wire(out, "probe_me");
+        builder.output("out", out);
+        (builder.build().expect("valid"), out)
+    }
+
+    #[test]
+    fn depth_zero_cuts_at_the_register() {
+        let (netlist, probe) = pipelined();
+        let cone = netlist.extract_cone(&[probe], 0).expect("valid cone");
+        assert_eq!(cone.name(), "pipe_cone");
+        // The register became a Control input; a and b are invisible.
+        assert!(cone.find_wire("stage1").is_some());
+        assert!(cone.find_wire("a").is_none());
+        assert_eq!(cone.register_count(), 0);
+        assert_eq!(cone.cell_count(), 1); // just the XOR
+        assert_eq!(cone.outputs()[0].0, "probe:probe_me");
+    }
+
+    #[test]
+    fn depth_one_unrolls_through_the_register() {
+        let (netlist, probe) = pipelined();
+        let cone = netlist.extract_cone(&[probe], 1).expect("valid cone");
+        // The register survives, its D fed by the previous cycle's AND,
+        // whose inputs carry the @-1 age suffix.
+        assert_eq!(cone.register_count(), 1);
+        assert_eq!(cone.cell_count(), 2); // AND@-1 and XOR
+        let a_old = cone.find_wire("a@-1").expect("unrolled input");
+        assert_eq!(cone.role(a_old), share(0, 0));
+        assert!(cone.find_wire("c").is_some());
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let (netlist, probe) = pipelined();
+        let first = netlist.extract_cone(&[probe], 1).expect("valid");
+        let second = netlist.extract_cone(&[probe], 1).expect("valid");
+        assert_eq!(first.to_dot(), second.to_dot());
+        assert_eq!(first.to_verilog(), second.to_verilog());
+    }
+
+    #[test]
+    fn feedback_registers_unroll_without_looping() {
+        let mut builder = NetlistBuilder::new("fb");
+        let a = builder.input("a", SignalRole::Control);
+        let (state, handle) = builder.register_feedback(false);
+        builder.name_wire(state, "state");
+        let next = builder.xor2(state, a);
+        builder.set_register_d(handle, next);
+        builder.output("state", state);
+        let netlist = builder.build().expect("valid");
+        let probe = netlist.find_wire("state").expect("exists");
+        let cone = netlist.extract_cone(&[probe], 2).expect("valid");
+        // Two unrolled stages, then the boundary cut.
+        assert_eq!(cone.register_count(), 2);
+        assert!(cone.find_wire("state@-2").is_some());
+        assert!(cone.find_wire("a@-1").is_some());
+    }
+
+    #[test]
+    fn partial_share_bus_coverage_demotes_the_secret_to_control() {
+        // An 8-bit-style bus where the probe cone only reaches bit 1:
+        // keeping Share roles would build a sparse share matrix, so the
+        // cone must demote every surviving share of that secret.
+        let mut builder = NetlistBuilder::new("bus");
+        let role = |index: u8, bit: u8| SignalRole::Share {
+            secret: SecretId(0),
+            share: index,
+            bit,
+        };
+        let _a0 = builder.input("x0[0]", role(0, 0));
+        let _a1 = builder.input("x1[0]", role(1, 0));
+        let b0 = builder.input("x0[1]", role(0, 1));
+        let b1 = builder.input("x1[1]", role(1, 1));
+        let m = builder.input("m", SignalRole::Mask);
+        let masked = builder.xor2(b0, m);
+        let probe = builder.and2(masked, b1);
+        builder.name_wire(probe, "probe_me");
+        builder.output("out", probe);
+        let netlist = builder.build().expect("valid");
+        let target = netlist.find_wire("probe_me").expect("exists");
+        let cone = netlist.extract_cone(&[target], 0).expect("valid cone");
+        let kept_b0 = cone.find_wire("x0[1]").expect("kept");
+        assert_eq!(cone.role(kept_b0), SignalRole::Control);
+        assert_eq!(
+            cone.role(cone.find_wire("m").expect("kept")),
+            SignalRole::Mask
+        );
+    }
+
+    #[test]
+    fn share_needed_at_two_ages_keeps_its_role_on_the_youngest_copy() {
+        // `a` feeds the probe both directly and through a register, so
+        // the cone needs it at ages 0 and 1 — only the age-0 copy may
+        // carry the Share role (role triples must stay unique).
+        let mut builder = NetlistBuilder::new("two-ages");
+        let a = builder.input("a", share(0, 0));
+        let b = builder.input("b", share(0, 1));
+        let q = builder.register(a);
+        builder.name_wire(q, "a_delayed");
+        let mix = builder.xor2(q, a);
+        let probe = builder.xor2(mix, b);
+        builder.name_wire(probe, "probe_me");
+        builder.output("out", probe);
+        let netlist = builder.build().expect("valid");
+        let target = netlist.find_wire("probe_me").expect("exists");
+        let cone = netlist.extract_cone(&[target], 1).expect("valid cone");
+        assert_eq!(cone.role(cone.find_wire("a").expect("kept")), share(0, 0));
+        assert_eq!(
+            cone.role(cone.find_wire("a@-1").expect("kept")),
+            SignalRole::Control
+        );
+        assert_eq!(cone.role(cone.find_wire("b").expect("kept")), share(0, 1));
+    }
+
+    #[test]
+    fn probe_on_an_input_extracts_a_passthrough() {
+        let mut builder = NetlistBuilder::new("trivial");
+        let a = builder.input("a", SignalRole::Mask);
+        builder.output("a_out", a);
+        let netlist = builder.build().expect("valid");
+        let cone = netlist.extract_cone(&[a], 1).expect("valid");
+        assert_eq!(cone.cell_count(), 0);
+        assert_eq!(
+            cone.role(cone.find_wire("a").expect("kept")),
+            SignalRole::Mask
+        );
+    }
+}

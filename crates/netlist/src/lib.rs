@@ -47,6 +47,7 @@ mod cone;
 mod dot;
 mod edit;
 mod error;
+mod extract;
 mod kind;
 #[allow(clippy::module_inception)]
 mod netlist;

@@ -308,6 +308,43 @@ impl Netlist {
         self.cells.iter().map(|cell| cell.output)
     }
 
+    /// The pipeline stage of every register: 1 more than the deepest
+    /// register feeding its D cone (primary inputs count as stage 0),
+    /// so a register sampling inputs directly is stage 1 and each
+    /// further boundary adds one. Computed by bounded fixed-point, so
+    /// feedback registers get a finite (capped) stage instead of
+    /// diverging. Used to label DFFs in DOT exports and to describe
+    /// probe-extension rules in forensic reports.
+    pub fn register_stages(&self) -> Vec<u32> {
+        let mut wire_stage = vec![0u32; self.wire_count()];
+        let mut stages = vec![0u32; self.register_count()];
+        for _ in 0..=self.register_count() {
+            for &cell_id in &self.topo {
+                let cell = self.cell(cell_id);
+                let max_in = cell
+                    .inputs
+                    .iter()
+                    .map(|input| wire_stage[input.index()])
+                    .max()
+                    .unwrap_or(0);
+                wire_stage[cell.output.index()] = max_in;
+            }
+            let mut changed = false;
+            for (index, register) in self.registers.iter().enumerate() {
+                let stage = wire_stage[register.d.index()] + 1;
+                if stage > stages[index] {
+                    stages[index] = stage;
+                    wire_stage[register.q.index()] = stage;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        stages
+    }
+
     /// The combinational logic depth (longest input/register-to-wire cell
     /// path) of every wire; stable signals have depth 0.
     pub fn logic_depths(&self) -> Vec<u32> {
@@ -384,6 +421,32 @@ mod tests {
         assert_eq!(depths[a.index()], 0);
         let max_depth = depths.iter().max().copied().unwrap_or(0);
         assert_eq!(max_depth, 2); // AND then XOR
+    }
+
+    #[test]
+    fn register_stages_count_pipeline_boundaries() {
+        let mut builder = NetlistBuilder::new("stages");
+        let a = builder.input("a", SignalRole::Control);
+        let stage1 = builder.register(a);
+        let inverted = builder.not(stage1);
+        let stage2 = builder.register(inverted);
+        builder.output("q", stage2);
+        let netlist = builder.build().expect("valid");
+        assert_eq!(netlist.register_stages(), vec![1, 2]);
+    }
+
+    #[test]
+    fn feedback_register_stage_stays_finite() {
+        let mut builder = NetlistBuilder::new("feedback");
+        let (state, handle) = builder.register_feedback(false);
+        let next = builder.not(state);
+        builder.set_register_d(handle, next);
+        builder.output("state", state);
+        let netlist = builder.build().expect("valid");
+        let stages = netlist.register_stages();
+        assert_eq!(stages.len(), 1);
+        // The bounded fixed-point caps instead of diverging.
+        assert!(stages[0] >= 1 && stages[0] <= netlist.register_count() as u32 + 1);
     }
 
     #[test]

@@ -11,10 +11,13 @@ use crate::perf::PerfSnapshot;
 /// that was SIGINT/SIGTERM'd mid-campaign and stopped cooperatively
 /// after writing a snapshot; v4: `threads` on `summary` — how many
 /// worker threads the run's campaigns sharded batches across, 1 for
-/// in-place single-threaded). The campaign *snapshot* file carries its
-/// own independent version
-/// (`mmaes_leakage::snapshot::SNAPSHOT_SCHEMA_VERSION`, currently 1).
-pub const EVENT_SCHEMA_VERSION: u64 = 4;
+/// in-place single-threaded; v5: `finding` events — per-probe-set
+/// forensic evidence bundles emitted by `mmaes explain`, carrying a
+/// one-line root-cause `hint` plus the full machine-readable `bundle`
+/// object). The campaign *snapshot* file carries its own independent
+/// version (`mmaes_leakage::snapshot::SNAPSHOT_SCHEMA_VERSION`,
+/// currently 1).
+pub const EVENT_SCHEMA_VERSION: u64 = 5;
 
 /// One probing set's running statistic at a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -234,6 +237,21 @@ pub enum Event {
         /// The frozen per-phase stats and counters.
         snapshot: PerfSnapshot,
     },
+    /// A forensic evidence bundle for one flagged probing set
+    /// (schema v5, emitted by `mmaes explain`). JSONL sinks get the
+    /// full machine-readable bundle; progress sinks print the hint.
+    Finding {
+        /// The probing-set label (wire names).
+        label: String,
+        /// The set's final `-log10(p)`.
+        minus_log10_p: f64,
+        /// One-line root-cause hint (recycled randomness, secret-bit
+        /// dependence) suitable for a terminal.
+        hint: String,
+        /// The full evidence bundle, already rendered as a JSON object
+        /// (see `mmaes_leakage::forensics::EvidenceBundle::to_json`).
+        bundle: String,
+    },
     /// The run's final machine-readable verdict.
     RunSummary(RunSummary),
 }
@@ -252,6 +270,7 @@ impl Event {
             Event::CounterexampleFound { .. } => "counterexample_found",
             Event::EnumerationFinished { .. } => "enumeration_finished",
             Event::PerfSnapshot { .. } => "perf_snapshot",
+            Event::Finding { .. } => "finding",
             Event::RunSummary(_) => "summary",
         }
     }
@@ -369,6 +388,18 @@ impl Event {
                         .string("scope", scope),
                 )
                 .finish(),
+            Event::Finding {
+                label,
+                minus_log10_p,
+                hint,
+                bundle,
+            } => JsonObject::new()
+                .string("type", self.kind())
+                .string("label", label)
+                .float("minus_log10_p", *minus_log10_p)
+                .string("hint", hint)
+                .raw("bundle", bundle)
+                .finish(),
             Event::RunSummary(summary) => summary.to_json_line(),
         }
     }
@@ -446,6 +477,12 @@ mod tests {
                 scope: "campaign".into(),
                 snapshot: PerfSnapshot::default(),
             },
+            Event::Finding {
+                label: "kronecker/G7/v1".into(),
+                minus_log10_p: 308.0,
+                hint: "recycled randomness r1=r3".into(),
+                bundle: "{\"probe\":\"kronecker/G7/v1\"}".into(),
+            },
             Event::RunSummary(RunSummary {
                 tool: "mmaes evaluate".into(),
                 id: "kronecker:de-meyer-eq6".into(),
@@ -512,6 +549,31 @@ mod tests {
             ..RunSummary::default()
         };
         assert!(interrupted.to_json_line().contains("\"interrupted\":true"));
+    }
+
+    #[test]
+    fn finding_embeds_the_bundle_as_a_raw_object() {
+        let event = Event::Finding {
+            label: "kronecker/G7/v1".into(),
+            minus_log10_p: 12.5,
+            hint: "recycled randomness r1=r3".into(),
+            bundle: "{\"probe\":\"kronecker/G7/v1\",\"cells\":[]}".into(),
+        };
+        let line = event.to_json_line();
+        assert!(line.contains("\"type\":\"finding\""), "{line}");
+        // The bundle is spliced in verbatim, not re-escaped as a string.
+        assert!(
+            line.contains("\"bundle\":{\"probe\":\"kronecker/G7/v1\",\"cells\":[]}"),
+            "{line}"
+        );
+        let parsed = crate::json::parse(&line).expect("finding line parses");
+        assert_eq!(
+            parsed
+                .get("bundle")
+                .and_then(|bundle| bundle.get("probe"))
+                .and_then(|probe| probe.as_str()),
+            Some("kronecker/G7/v1")
+        );
     }
 
     #[test]

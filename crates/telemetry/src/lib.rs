@@ -22,7 +22,8 @@
 //!   timers, named counters, and fixed-bucket duration histograms in a
 //!   [`PerfRecorder`] carried by the [`Observer`] — near-zero overhead
 //!   when disabled, `perf_snapshot` events and `BENCH_*.json` records
-//!   when enabled.
+//!   when enabled; [`chrome_trace`] renders frozen snapshots into
+//!   deterministic `chrome://tracing` JSON timelines.
 //!
 //! The crate is dependency-light by design: events serialize through a
 //! hand-rolled JSON writer ([`json`]), so every downstream crate can
@@ -31,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome_trace;
 mod counters;
 mod event;
 pub mod json;
@@ -38,6 +40,7 @@ mod observer;
 pub mod perf;
 mod sink;
 
+pub use chrome_trace::{chrome_trace, ChromeTraceBuilder};
 pub use counters::{Counter, Stopwatch};
 pub use event::{Checkpoint, Event, ProbePoint, RunSummary, EVENT_SCHEMA_VERSION};
 pub use observer::Observer;

@@ -203,6 +203,12 @@ impl Sink for HumanProgressSink {
                     .collect();
                 eprintln!("[perf] {scope}: {}", phases.join(", "));
             }
+            Event::Finding {
+                label,
+                minus_log10_p,
+                hint,
+                ..
+            } => eprintln!("[finding] {label} (-log10(p) = {minus_log10_p:.2}): {hint}"),
             Event::RunSummary(_) => {}
         }
     }
