@@ -10,6 +10,7 @@
 //! mmaes verify   <design> [options]        exhaustive (SILVER-style) proof
 //! mmaes selftest [options]                 fault-injection detector check
 //! mmaes bench    [options]                 performance-regression workload
+//! mmaes top      <status.json | --addr A>  live campaign dashboard
 //! ```
 //!
 //! Designs: `kronecker[:SCHEDULE]`, `sbox[:SCHEDULE]`, `sbox-no-kronecker`,
@@ -20,11 +21,17 @@
 //! `--traces N`, `--fixed V`, `--seed N`, `--scope PREFIX`, `--csv FILE`,
 //! `--checkpoints N`, `--early-stop`, `--threads N`,
 //! `--evaluator compiled|interpreted`, `--snapshot FILE`, `--resume`,
-//! `--stop-after-batches N`, `--metrics FILE`, `--progress`, `--perf`,
+//! `--stop-after-batches N`, `--metrics FILE`, `--status-file FILE`
+//! (atomically rewritten status.json with progress, top trajectories and
+//! convergence health — watch it with `mmaes top`), `--metrics-addr
+//! HOST:PORT` (Prometheus `/metrics` + JSON `/status` over HTTP; port 0
+//! picks a free port, the bound address is printed on stderr),
+//! `--progress`, `--perf`,
 //! `--trace FILE` (Chrome-trace JSON of the per-phase timings, viewable
 //! in `chrome://tracing` or Perfetto), `--quiet`. Campaign output
 //! (report, CSV, snapshots) is byte-identical for every `--threads`
-//! count and both evaluators.
+//! count and both evaluators; in status.json every wall-clock-derived
+//! field lives under the single `runtime` key.
 //!
 //! Explain options: the evaluate campaign options plus `--no-exact`
 //! (skip the enumerator cross-check), `--max-bits N` (its support
@@ -103,6 +110,7 @@ fn main() {
         "verify" => verify(&arguments[1..]),
         "selftest" => selftest(&arguments[1..]),
         "bench" => mmaes_bench::bench::run(&arguments[1..]),
+        "top" => mmaes_bench::top::run(&arguments[1..]),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command `{other}`");
@@ -125,7 +133,9 @@ fn usage() {
          \u{20}                  [--checkpoints N] [--early-stop] [--threads N]\n\
          \u{20}                  [--evaluator compiled|interpreted]\n\
          \u{20}                  [--snapshot FILE] [--resume] [--stop-after-batches N]\n\
-         \u{20}                  [--metrics FILE] [--progress] [--perf] [--trace FILE]\n\
+         \u{20}                  [--metrics FILE] [--status-file FILE]\n\
+         \u{20}                  [--metrics-addr HOST:PORT]\n\
+         \u{20}                  [--progress] [--perf] [--trace FILE]\n\
          \u{20}                  [--quiet]\n\
          mmaes explain  <design> [evaluate campaign options] [--no-exact]\n\
          \u{20}                  [--max-bits N] [--bundles FILE] [--report FILE]\n\
@@ -135,6 +145,8 @@ fn usage() {
          mmaes bench    [--quick] [--label NAME] [--baseline FILE]\n\
          \u{20}                  [--threshold PCT] [--out FILE] [--quiet] [--threads N]\n\
          \u{20}                  [--evaluator compiled|interpreted]\n\
+         mmaes top      <status.json> | --addr HOST:PORT\n\
+         \u{20}                  [--interval SECS] [--once]\n\
          \n\
          designs: kronecker[:SCHEDULE] | sbox[:SCHEDULE] | sbox-no-kronecker |\n\
          \u{20}        aes[:SCHEDULE] | unprotected-sbox\n\
@@ -327,6 +339,8 @@ fn evaluate(arguments: &[String]) {
     };
     let mut csv_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut status_file: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut progress = false;
     let mut perf = false;
@@ -390,6 +404,8 @@ fn evaluate(arguments: &[String]) {
                 config.durability.stop_after_batches = Some(cap);
             }
             "--metrics" => metrics_path = Some(value()),
+            "--status-file" => status_file = Some(value()),
+            "--metrics-addr" => metrics_addr = Some(value()),
             "--trace" => trace_path = Some(value()),
             "--progress" => progress = true,
             "--perf" => perf = true,
@@ -413,12 +429,18 @@ fn evaluate(arguments: &[String]) {
     let order = config.order;
     let threads = config.threads.max(1) as u64;
     // A Chrome-trace export needs the per-phase timings recorded even
-    // when `--perf`'s stderr table was not asked for.
-    let observer = mmaes_bench::observer_from(
-        metrics_path.as_deref(),
-        progress && !quiet,
-        perf || trace_path.is_some(),
-    );
+    // when `--perf`'s stderr table was not asked for. The server guard
+    // stays alive until the summary is printed, so a scraper can fetch
+    // the final state.
+    let (observer, _metrics_server) =
+        mmaes_bench::live_observer(&mmaes_bench::LiveObserverOptions {
+            metrics_path: metrics_path.as_deref(),
+            progress: progress && !quiet,
+            perf: perf || trace_path.is_some(),
+            status_file: status_file.as_deref(),
+            metrics_addr: metrics_addr.as_deref(),
+            threads,
+        });
     let stopwatch = Stopwatch::start();
     let mut campaign = FixedVsRandom::new(&design.netlist, config).with_observer(observer.clone());
     for bus in &design.nonzero_buses {
@@ -458,6 +480,7 @@ fn evaluate(arguments: &[String]) {
         cell_evals: report.cell_evals,
         interrupted: report.interrupted,
         threads,
+        schemas: mmaes_bench::schema_versions(),
         extra: Vec::new(),
     };
     observer.emit(&Event::RunSummary(summary.clone()));
@@ -516,6 +539,8 @@ fn explain(arguments: &[String]) {
     let mut report_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut status_file: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut no_exact = false;
     let mut max_bits = ExactConfig::default().max_support_bits;
     let mut progress = false;
@@ -578,6 +603,8 @@ fn explain(arguments: &[String]) {
             "--report" => report_path = Some(value()),
             "--trace" => trace_path = Some(value()),
             "--metrics" => metrics_path = Some(value()),
+            "--status-file" => status_file = Some(value()),
+            "--metrics-addr" => metrics_addr = Some(value()),
             "--progress" => progress = true,
             "--perf" => perf = true,
             "--quiet" => quiet = true,
@@ -594,11 +621,15 @@ fn explain(arguments: &[String]) {
     let campaign_model = config.model;
     let order = config.order;
     let threads = config.threads.max(1) as u64;
-    let observer = mmaes_bench::observer_from(
-        metrics_path.as_deref(),
-        progress && !quiet,
-        perf || trace_path.is_some(),
-    );
+    let (observer, _metrics_server) =
+        mmaes_bench::live_observer(&mmaes_bench::LiveObserverOptions {
+            metrics_path: metrics_path.as_deref(),
+            progress: progress && !quiet,
+            perf: perf || trace_path.is_some(),
+            status_file: status_file.as_deref(),
+            metrics_addr: metrics_addr.as_deref(),
+            threads,
+        });
     let stopwatch = Stopwatch::start();
     let mut campaign = FixedVsRandom::new(&design.netlist, config).with_observer(observer.clone());
     for bus in &design.nonzero_buses {
@@ -706,6 +737,7 @@ fn explain(arguments: &[String]) {
         cell_evals: report.cell_evals,
         interrupted: report.interrupted,
         threads,
+        schemas: mmaes_bench::schema_versions(),
         extra: vec![("findings".to_owned(), bundles.len().to_string())],
     };
     observer.emit(&Event::RunSummary(summary.clone()));
@@ -965,6 +997,7 @@ fn selftest(arguments: &[String]) {
         wall_ms: stopwatch.elapsed_ms(),
         traces_per_sec: stopwatch.rate(total_traces),
         interrupted,
+        schemas: mmaes_bench::schema_versions(),
         extra: vec![
             ("cases".to_owned(), cases.len().to_string()),
             ("misses".to_owned(), misses.to_string()),
@@ -1054,6 +1087,7 @@ fn verify(arguments: &[String]) {
         passed: !report.leak_found(),
         wall_ms: stopwatch.elapsed_ms(),
         cell_evals: report.cell_evals,
+        schemas: mmaes_bench::schema_versions(),
         extra: vec![
             ("secure".to_owned(), report.secure_count().to_string()),
             ("leaky".to_owned(), report.leaks().len().to_string()),

@@ -217,18 +217,35 @@ pub fn render_report(
     );
     document.push_str(
         "<h2>Ranked probing sets</h2><table><tr><th>probing set</th>\
-         <th>-log10(p)</th><th>G</th><th>df</th><th>verdict</th></tr>",
+         <th>-log10(p)</th><th>G</th><th>df</th><th>pooled</th>\
+         <th>slope/Mtrace</th><th>detect@</th><th>verdict</th></tr>",
     );
     for result in &report.results {
+        // The convergence diagnostics the live-status health block
+        // carries, recomputed from the trajectory so older campaign
+        // artifacts (no health events) still get the columns.
+        let mut points = result.trajectory.clone();
+        if points.last().map(|&(traces, _)| traces) != Some(report.traces) {
+            points.push((report.traces, result.minus_log10_p));
+        }
+        let (slope, detect) = mmaes_leakage::health::convergence(&points, report.threshold);
         let _ = write!(
             document,
             "<tr><td>{}</td><td class=\"num\">{:.2}</td>\
              <td class=\"num\">{:.2}</td><td class=\"num\">{}</td>\
-             <td>{}</td></tr>",
+             <td class=\"num\">{:.0}%</td><td class=\"num\">{:.1}</td>\
+             <td class=\"num\">{}</td><td>{}</td></tr>",
             escape(&result.label),
             result.minus_log10_p,
             result.g_statistic,
             result.df,
+            100.0 * result.pooled_fraction,
+            slope,
+            if detect.is_finite() {
+                format!("{detect:.0}")
+            } else {
+                "never".to_owned()
+            },
             if result.leaking {
                 "<span class=\"leak\">LEAK</span>"
             } else if result.testable {
@@ -239,6 +256,25 @@ pub fn render_report(
         );
     }
     document.push_str("</table>");
+    let untestable = report
+        .results
+        .iter()
+        .filter(|result| !result.testable)
+        .count();
+    let heavily_pooled = report
+        .results
+        .iter()
+        .filter(|result| result.testable && result.pooled_fraction > 0.5)
+        .count();
+    if untestable > 0 || heavily_pooled > 0 {
+        let _ = write!(
+            document,
+            "<p class=\"hint\">Statistical-power caveat: {untestable} set(s) \
+             untestable and {heavily_pooled} set(s) with over half their sample \
+             mass pooled into the rare-events bucket — a clean verdict on those \
+             sets carries little evidence at this trace count.</p>",
+        );
+    }
     if bundles.is_empty() {
         document.push_str("<p>No probing set crossed the threshold — nothing to explain.</p>");
     }
@@ -275,6 +311,8 @@ mod tests {
                 cone_size: 2,
                 samples: 2000,
                 distinct_keys: 4,
+                pooled_columns: 1,
+                pooled_fraction: 0.1,
                 g_statistic: 123.4,
                 df: 3,
                 minus_log10_p: 25.0,
@@ -294,6 +332,19 @@ mod tests {
         assert!(html.contains("probe &quot;a&quot; &amp; b"));
         assert!(!html.contains("toy<design>"));
         assert!(html.contains("nothing to explain"));
+    }
+
+    #[test]
+    fn ranked_table_carries_the_health_columns() {
+        let report = sample_report();
+        let html = render_report(&report, &[], "toy", "none");
+        assert!(html.contains("<th>pooled</th>"));
+        assert!(html.contains("<th>slope/Mtrace</th>"));
+        assert!(html.contains("<th>detect@</th>"));
+        // 10% pooled mass, and a leaking set reports its observed
+        // crossing (the 500-trace checkpoint already exceeds 5.0).
+        assert!(html.contains("10%"), "{html}");
+        assert!(html.contains("<td class=\"num\">500</td>"), "{html}");
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! --snapshot DIR    persist per-campaign snapshots under DIR
 //! --resume          continue campaigns from their snapshots in DIR
 //! --metrics FILE    append JSON-lines telemetry events to FILE
+//! --status-file F   rewrite a live status.json atomically at checkpoints
+//! --metrics-addr A  serve /metrics and /status over HTTP on A (port 0 ok)
 //! --progress        live human-readable progress on stderr
 //! --perf            record per-phase timings; breakdown on stderr
 //! --quiet           suppress the prose report (the JSON summary stays)
@@ -41,6 +43,7 @@
 
 pub mod bench;
 pub mod html;
+pub mod top;
 
 use mmaes_core::{ExperimentBudget, ExperimentOutcome};
 
@@ -61,8 +64,27 @@ pub mod exit_code {
     pub const INTERRUPTED: i32 = 3;
 }
 use mmaes_telemetry::{
-    Event, HumanProgressSink, JsonlSink, Observer, PerfRecorder, RunSummary, Sink, Stopwatch,
+    Event, HumanProgressSink, JsonlSink, MetricsRegistry, MetricsServer, MetricsSink, Observer,
+    PerfRecorder, RunSummary, Sink, StatusFileSink, Stopwatch,
 };
+
+/// The schema versions of every machine-readable artifact this crate
+/// can produce, in the form the [`RunSummary::schemas`] `build_info`
+/// block expects. The event schema itself is added by the summary
+/// renderer; this lists the artifact formats layered on top.
+pub fn schema_versions() -> Vec<(String, u64)> {
+    vec![
+        ("bench_schema".to_owned(), bench::BENCH_SCHEMA_VERSION),
+        (
+            "snapshot_schema".to_owned(),
+            mmaes_leakage::SNAPSHOT_SCHEMA_VERSION,
+        ),
+        (
+            "status_schema".to_owned(),
+            mmaes_telemetry::STATUS_SCHEMA_VERSION,
+        ),
+    ]
+}
 
 /// Parsed command line shared by the `exp_*` binaries: the workload
 /// budget, the telemetry observer built from `--metrics`/`--progress`,
@@ -75,6 +97,9 @@ pub struct RunOptions {
     pub observer: Observer,
     quiet: bool,
     stopwatch: Stopwatch,
+    // Keeps the `--metrics-addr` HTTP server alive until the process
+    // exits; dropping it joins the listener thread.
+    _metrics_server: Option<MetricsServer>,
 }
 
 impl RunOptions {
@@ -88,6 +113,8 @@ impl RunOptions {
         }
         let mut budget = ExperimentBudget::default();
         let mut metrics_path: Option<String> = None;
+        let mut status_file: Option<String> = None;
+        let mut metrics_addr: Option<String> = None;
         let mut progress = false;
         let mut perf = false;
         let mut quiet = false;
@@ -125,6 +152,8 @@ impl RunOptions {
                 "--snapshot" => budget.snapshot_dir = Some(value()),
                 "--resume" => budget.resume = true,
                 "--metrics" => metrics_path = Some(value()),
+                "--status-file" => status_file = Some(value()),
+                "--metrics-addr" => metrics_addr = Some(value()),
                 "--progress" => progress = true,
                 "--perf" => perf = true,
                 "--quiet" => quiet = true,
@@ -133,7 +162,8 @@ impl RunOptions {
                         "flags: --traces N  --traces2 N  --dpa-traces N  --seed N  \
                          --checkpoints N  --threads N  --paper-scale  --exact-full  \
                          --snapshot DIR  --resume  \
-                         --metrics FILE  --progress  --perf  --quiet\n\
+                         --metrics FILE  --status-file FILE  --metrics-addr HOST:PORT  \
+                         --progress  --perf  --quiet\n\
                          exit codes: 0 reproduced  1 mismatch  2 invalid input  \
                          3 interrupted (resumable with --snapshot DIR --resume)"
                     );
@@ -152,12 +182,20 @@ impl RunOptions {
             }
         }
         mmaes_sigint::install();
-        let observer = observer_from(metrics_path.as_deref(), progress && !quiet, perf);
+        let (observer, server) = live_observer(&LiveObserverOptions {
+            metrics_path: metrics_path.as_deref(),
+            progress: progress && !quiet,
+            perf,
+            status_file: status_file.as_deref(),
+            metrics_addr: metrics_addr.as_deref(),
+            threads: budget.threads.max(1) as u64,
+        });
         RunOptions {
             budget,
             observer,
             quiet,
             stopwatch: Stopwatch::start(),
+            _metrics_server: server,
         }
     }
 
@@ -213,6 +251,7 @@ impl RunOptions {
             wall_ms,
             interrupted: mmaes_sigint::interrupted(),
             threads: self.budget.threads.max(1) as u64,
+            schemas: schema_versions(),
             extra: vec![
                 ("experiments".to_owned(), outcomes.len().to_string()),
                 ("mismatches".to_owned(), mismatches.to_string()),
@@ -265,6 +304,7 @@ impl RunOptions {
             traces_per_sec: self.stopwatch.rate(outcome.traces),
             interrupted: mmaes_sigint::interrupted(),
             threads: self.budget.threads.max(1) as u64,
+            schemas: schema_versions(),
             extra: vec![("title".to_owned(), outcome.title.to_owned())],
             ..RunSummary::default()
         }
@@ -277,24 +317,84 @@ impl RunOptions {
 /// `perf` an enabled [`PerfRecorder`] is attached, so instrumented code
 /// records per-phase timings even when no sink is listening.
 pub fn observer_from(metrics_path: Option<&str>, progress: bool, perf: bool) -> Observer {
+    let (observer, _) = live_observer(&LiveObserverOptions {
+        metrics_path,
+        progress,
+        perf,
+        ..LiveObserverOptions::default()
+    });
+    observer
+}
+
+/// Inputs for [`live_observer`] — the shared telemetry flags plus the
+/// live-status outputs (`--status-file`, `--metrics-addr`).
+#[derive(Debug, Default)]
+pub struct LiveObserverOptions<'a> {
+    /// `--metrics FILE`: JSON-lines event log.
+    pub metrics_path: Option<&'a str>,
+    /// `--progress`: throttled human progress on stderr.
+    pub progress: bool,
+    /// `--perf`: per-phase timing recorder.
+    pub perf: bool,
+    /// `--status-file FILE`: atomically rewritten status.json.
+    pub status_file: Option<&'a str>,
+    /// `--metrics-addr HOST:PORT`: Prometheus `/metrics` + `/status`
+    /// HTTP endpoint (port 0 picks a free port; the bound address is
+    /// printed to stderr).
+    pub metrics_addr: Option<&'a str>,
+    /// Worker-thread count recorded in the status payload's `runtime`
+    /// block (0 is treated as 1).
+    pub threads: u64,
+}
+
+/// Builds the full observer stack, including the live-status layer.
+///
+/// On top of [`observer_from`]'s sinks this attaches a
+/// [`StatusFileSink`] for `--status-file` and, for `--metrics-addr`, a
+/// [`MetricsSink`] feeding a [`MetricsRegistry`] served by a
+/// [`MetricsServer`]. The returned server guard (if any) must be kept
+/// alive until the process is done — dropping it shuts the endpoint
+/// down. A malformed metrics file or unbindable address is fatal
+/// ([`exit_code::INVALID_INPUT`]): the user explicitly asked for an
+/// output this process cannot provide.
+pub fn live_observer(options: &LiveObserverOptions<'_>) -> (Observer, Option<MetricsServer>) {
+    let threads = options.threads.max(1);
     let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
-    if let Some(path) = metrics_path {
+    if let Some(path) = options.metrics_path {
         match JsonlSink::create(path) {
             Ok(sink) => sinks.push(Box::new(sink)),
             Err(error) => {
                 eprintln!("cannot open metrics file {path}: {error}");
-                std::process::exit(1);
+                std::process::exit(exit_code::INVALID_INPUT);
             }
         }
     }
-    if progress {
+    if options.progress {
         sinks.push(Box::new(HumanProgressSink::new()));
     }
+    if let Some(path) = options.status_file {
+        sinks.push(Box::new(StatusFileSink::create(path, threads)));
+    }
+    let mut server = None;
+    if let Some(addr) = options.metrics_addr {
+        let registry = MetricsRegistry::new();
+        match MetricsServer::serve(addr, registry.clone()) {
+            Ok(bound) => {
+                eprintln!("metrics: listening on http://{}", bound.local_addr());
+                sinks.push(Box::new(MetricsSink::new(registry, threads)));
+                server = Some(bound);
+            }
+            Err(error) => {
+                eprintln!("cannot serve metrics on {addr}: {error}");
+                std::process::exit(exit_code::INVALID_INPUT);
+            }
+        }
+    }
     let mut observer = Observer::from_sinks(sinks);
-    if perf {
+    if options.perf {
         observer = observer.with_perf(PerfRecorder::enabled());
     }
-    observer
+    (observer, server)
 }
 
 /// Prints the machine-readable summary as the *final* stdout line.

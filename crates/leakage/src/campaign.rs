@@ -19,14 +19,17 @@ use std::sync::{mpsc, Arc};
 
 use mmaes_netlist::{Netlist, NetlistError, SecretId, StableCones, WireId};
 use mmaes_sim::{EvaluatorMode, SimStats, Simulator, LANES};
-use mmaes_telemetry::{Checkpoint, Event, Observer, PerfRecorder, ProbePoint, Stopwatch};
+use mmaes_telemetry::{
+    Checkpoint, Event, Observer, PerfRecorder, ProbeHealth, ProbePoint, Stopwatch,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::health;
 use crate::probe::{enumerate_probe_sets, ProbeModel, ProbeSet};
 use crate::report::{LeakageReport, ProbeResult};
 use crate::snapshot::{self, CampaignSnapshot, SnapshotError, TableSnapshot};
-use crate::stats::g_test;
+use crate::stats::{g_test, pooling_summary};
 
 /// How the second population's secrets are drawn.
 ///
@@ -585,6 +588,9 @@ struct FoldContext<'a> {
     batches: u64,
     checkpoint_every: u64,
     prior_cell_evals: u64,
+    /// Fresh randomness the input driver draws per trace, in bits —
+    /// the health layer's randomness-consumption accounting.
+    fresh_bits_per_trace: u64,
 }
 
 /// A fixed-vs-random leakage evaluation bound to one netlist.
@@ -798,6 +804,21 @@ impl<'a> FixedVsRandom<'a> {
             .collect();
         let controls = self.netlist.control_inputs();
 
+        // Randomness-consumption accounting for the health layer: the
+        // masking randomness the driver draws per lane per cycle —
+        // d−1 random shares per secret bit, one bit per free mask,
+        // eight bits per non-zero byte bus — over the trace's
+        // `0..=warmup_cycles` driven cycles. The secret value itself
+        // is the population variable, not masking randomness.
+        let sharing_bits_per_cycle: u64 = secrets
+            .iter()
+            .map(|(_, shares)| ((shares.len() - 1) * shares[0].len()) as u64)
+            .sum();
+        let mask_bits_per_cycle =
+            free_masks.len() as u64 + 8 * self.nonzero_byte_buses.len() as u64;
+        let fresh_bits_per_trace =
+            (sharing_bits_per_cycle + mask_bits_per_cycle) * (config.warmup_cycles as u64 + 1);
+
         let batches = config.traces.div_ceil(LANES as u64);
         let durability = &config.durability;
         let fingerprint = self.fingerprint(&probe_sets);
@@ -866,6 +887,7 @@ impl<'a> FixedVsRandom<'a> {
             batches,
             checkpoint_every,
             prior_cell_evals,
+            fresh_bits_per_trace,
         };
         let threads = config.threads.max(1);
         if state.batches_done < batches {
@@ -900,22 +922,33 @@ impl<'a> FixedVsRandom<'a> {
             snapshot::save(&saved, path)?;
         }
 
+        let traces = state.batches_done * LANES as u64;
         let final_sweep = perf.span("g_test");
+        let health_enabled = self.observer.enabled();
+        let mut probe_healths: Vec<ProbeHealth> = Vec::new();
         let mut results: Vec<ProbeResult> = probe_sets
             .iter()
             .zip(&state.tables)
             .enumerate()
             .map(|(index, (set, table))| {
                 let columns = table.columns();
+                let summary = pooling_summary(&columns);
+                let pooled_fraction = if summary.total_mass > 0 {
+                    summary.pooled_mass as f64 / summary.total_mass as f64
+                } else {
+                    0.0
+                };
                 let distinct_keys = table.counts.len();
                 let trajectory = std::mem::take(&mut state.trajectories[index]);
-                match g_test(&columns) {
+                let result = match g_test(&columns) {
                     Some(test) => ProbeResult {
                         label: set.label.clone(),
                         probe_count: set.wires.len(),
                         cone_size: set.observed.len(),
                         samples: table.samples,
                         distinct_keys,
+                        pooled_columns: summary.pooled_columns,
+                        pooled_fraction,
                         g_statistic: test.statistic,
                         df: test.df,
                         minus_log10_p: test.minus_log10_p,
@@ -929,6 +962,8 @@ impl<'a> FixedVsRandom<'a> {
                         cone_size: set.observed.len(),
                         samples: table.samples,
                         distinct_keys,
+                        pooled_columns: summary.pooled_columns,
+                        pooled_fraction,
                         g_statistic: 0.0,
                         df: 0,
                         minus_log10_p: 0.0,
@@ -936,7 +971,18 @@ impl<'a> FixedVsRandom<'a> {
                         leaking: false,
                         trajectory,
                     },
+                };
+                if health_enabled {
+                    probe_healths.push(health::probe_health(
+                        &set.label,
+                        &summary,
+                        result.minus_log10_p,
+                        &result.trajectory,
+                        traces,
+                        config.threshold,
+                    ));
                 }
+                result
             })
             .collect();
         results.sort_by(|a, b| {
@@ -946,7 +992,6 @@ impl<'a> FixedVsRandom<'a> {
         });
         drop(final_sweep);
 
-        let traces = state.batches_done * LANES as u64;
         let cell_evals = prior_cell_evals + state.folded.cell_evals;
         if perf.is_enabled() {
             perf.add("traces", traces);
@@ -972,6 +1017,16 @@ impl<'a> FixedVsRandom<'a> {
             cell_evals,
             results,
         };
+        if health_enabled {
+            self.observer.emit(&Event::HealthSummary(health::assess(
+                std::mem::take(&mut probe_healths),
+                traces,
+                batches * LANES as u64,
+                config.threshold,
+                fresh_bits_per_trace,
+                CHECKPOINT_TOP_PROBES,
+            )));
+        }
         if self.observer.enabled() {
             self.observer.emit(&Event::CampaignFinished {
                 design: report.design.clone(),
@@ -1046,13 +1101,30 @@ impl<'a> FixedVsRandom<'a> {
         {
             let _span = perf.span("g_test");
             let traces_so_far = state.batches_done * LANES as u64;
+            let health_enabled = self.observer.enabled();
+            let mut probe_healths: Vec<ProbeHealth> = Vec::with_capacity(if health_enabled {
+                state.tables.len()
+            } else {
+                0
+            });
             let mut running: Vec<(usize, f64)> = Vec::with_capacity(context.probe_sets.len());
             for (index, table) in state.tables.iter().enumerate() {
-                let minus_log10_p = g_test(&table.columns())
+                let columns = table.columns();
+                let minus_log10_p = g_test(&columns)
                     .map(|test| test.minus_log10_p)
                     .unwrap_or(0.0);
                 state.trajectories[index].push((traces_so_far, minus_log10_p));
                 running.push((index, minus_log10_p));
+                if health_enabled {
+                    probe_healths.push(health::probe_health(
+                        &context.probe_sets[index].label,
+                        &pooling_summary(&columns),
+                        minus_log10_p,
+                        &state.trajectories[index],
+                        traces_so_far,
+                        config.threshold,
+                    ));
+                }
                 if minus_log10_p > config.threshold && !state.flagged[index] {
                     state.flagged[index] = true;
                     if self.observer.enabled() {
@@ -1107,6 +1179,14 @@ impl<'a> FixedVsRandom<'a> {
                     lane_utilization: config.traces.min(traces_so_far) as f64
                         / traces_so_far as f64,
                 });
+                self.observer.emit(&Event::Health(health::assess(
+                    probe_healths,
+                    traces_so_far,
+                    context.batches * LANES as u64,
+                    config.threshold,
+                    context.fresh_bits_per_trace,
+                    CHECKPOINT_TOP_PROBES,
+                )));
             }
             if let Some(path) = &config.durability.snapshot_path {
                 let _span = perf.span("snapshot");

@@ -31,6 +31,7 @@
 
 pub mod campaign;
 pub mod forensics;
+pub mod health;
 pub mod mutate;
 pub mod probe;
 pub mod report;
@@ -42,6 +43,7 @@ pub use campaign::{
     SecretDomain,
 };
 pub use forensics::{EvidenceBundle, ExactDependence, RandomnessReuse};
+pub use health::MIN_EXPECTED_FLOOR;
 pub use mmaes_sim::EvaluatorMode;
 pub use mutate::{mutants, FaultKind, Mutant};
 pub use probe::{enumerate_probe_sets, ProbeModel, ProbeSet};

@@ -17,6 +17,15 @@ pub struct ProbeResult {
     pub samples: u64,
     /// Distinct observation values seen (before pooling).
     pub distinct_keys: usize,
+    /// Contingency columns pooled into the rare-events bucket by the
+    /// final G-test (totals under
+    /// [`crate::stats::POOLING_THRESHOLD`]) — the report's
+    /// self-audit: a large pooled count means the cone was too wide
+    /// for the sample size and the test had little power.
+    pub pooled_columns: u64,
+    /// Fraction of the sample mass sitting in pooled columns
+    /// (0 when nothing pooled or nothing sampled).
+    pub pooled_fraction: f64,
     /// G statistic (0 when untestable).
     pub g_statistic: f64,
     /// Degrees of freedom after pooling (0 when untestable).
@@ -98,14 +107,14 @@ impl LeakageReport {
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
         let mut csv = String::from(
-            "label,kind,traces,minus_log10_p,leaking,probes,cone_size,samples,distinct_keys,g_statistic,df\n",
+            "label,kind,traces,minus_log10_p,leaking,probes,cone_size,samples,distinct_keys,g_statistic,df,pooled_columns,pooled_fraction\n",
         );
         for result in &self.results {
             let label = result.label.replace('"', "'");
             for &(traces, minus_log10_p) in &result.trajectory {
                 let _ = writeln!(
                     csv,
-                    "\"{}\",checkpoint,{},{:.4},{},{},{},,,,",
+                    "\"{}\",checkpoint,{},{:.4},{},{},{},,,,,,",
                     label,
                     traces,
                     minus_log10_p,
@@ -116,7 +125,7 @@ impl LeakageReport {
             }
             let _ = writeln!(
                 csv,
-                "\"{}\",final,{},{:.4},{},{},{},{},{},{:.4},{}",
+                "\"{}\",final,{},{:.4},{},{},{},{},{},{:.4},{},{},{:.4}",
                 label,
                 result.samples,
                 result.minus_log10_p,
@@ -127,6 +136,8 @@ impl LeakageReport {
                 result.distinct_keys,
                 result.g_statistic,
                 result.df,
+                result.pooled_columns,
+                result.pooled_fraction,
             );
         }
         csv
@@ -198,17 +209,18 @@ impl fmt::Display for LeakageReport {
         writeln!(formatter, "verdict:   {}", self.verdict())?;
         writeln!(
             formatter,
-            "{:<44} {:>5} {:>7} {:>10} {:>12}",
-            "probe", "cone", "keys", "G", "-log10(p)"
+            "{:<44} {:>5} {:>7} {:>7} {:>10} {:>12}",
+            "probe", "cone", "keys", "pooled", "G", "-log10(p)"
         )?;
         for result in self.results.iter().take(12) {
             let marker = if result.leaking { " ← LEAK" } else { "" };
             writeln!(
                 formatter,
-                "{:<44} {:>5} {:>7} {:>10.2} {:>12.2}{marker}",
+                "{:<44} {:>5} {:>7} {:>6.0}% {:>10.2} {:>12.2}{marker}",
                 truncate_label(&result.label, 44),
                 result.cone_size,
                 result.distinct_keys,
+                100.0 * result.pooled_fraction,
                 result.g_statistic,
                 result.minus_log10_p
             )?;
@@ -244,6 +256,8 @@ mod tests {
             cone_size: 4,
             samples: 1000,
             distinct_keys: 16,
+            pooled_columns: 2,
+            pooled_fraction: 0.05,
             g_statistic: 10.0,
             df: 3,
             minus_log10_p: p,
@@ -298,6 +312,13 @@ mod tests {
         assert!(csv.lines().next().expect("header").starts_with("label,"));
         assert!(csv.contains("\"alpha\",final,"));
         assert!(csv.contains("true"));
+        // Final rows carry the pooling self-audit columns.
+        assert!(csv
+            .lines()
+            .next()
+            .expect("header")
+            .ends_with(",pooled_columns,pooled_fraction"));
+        assert!(csv.contains(",2,0.0500\n"), "{csv}");
     }
 
     #[test]

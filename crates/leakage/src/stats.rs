@@ -315,6 +315,73 @@ pub fn g_breakdown(columns: &[(u64, u64)]) -> Option<GBreakdown> {
     })
 }
 
+/// What [`g_test`] pooling does to a table, without running the test —
+/// the self-audit numbers surfaced by [`crate::report::LeakageReport`]
+/// and the health layer. The χ² approximation degrades silently when
+/// cells are under-sampled; these numbers make that visible.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PoolingSummary {
+    /// Non-empty columns kept as their own contingency cells.
+    pub tested_columns: u64,
+    /// Non-empty columns pooled into the rare-events bucket
+    /// (total below [`POOLING_THRESHOLD`]).
+    pub pooled_columns: u64,
+    /// Sample mass (both populations) sitting in pooled columns.
+    pub pooled_mass: u64,
+    /// Total sample mass across all non-empty columns.
+    pub total_mass: u64,
+    /// Minimum expected cell count in the post-pooling table
+    /// (0 when untestable).
+    pub min_expected: f64,
+    /// Whether the pooled table supports a calibrated G-test —
+    /// `pooling_summary(c).testable == g_test(c).is_some()`.
+    pub testable: bool,
+}
+
+/// Summarizes how [`g_test`] pooling treats `columns`: which survive,
+/// which get pooled, and the minimum expected cell count afterwards.
+pub fn pooling_summary(columns: &[(u64, u64)]) -> PoolingSummary {
+    let mut summary = PoolingSummary::default();
+    let mut pooled: Vec<(u64, u64)> = Vec::with_capacity(columns.len());
+    let mut rare = (0u64, 0u64);
+    for &(a, b) in columns {
+        if a + b == 0 {
+            continue;
+        }
+        summary.total_mass += a + b;
+        if a + b < POOLING_THRESHOLD {
+            rare.0 += a;
+            rare.1 += b;
+            summary.pooled_columns += 1;
+            summary.pooled_mass += a + b;
+        } else {
+            summary.tested_columns += 1;
+            pooled.push((a, b));
+        }
+    }
+    if rare.0 + rare.1 > 0 {
+        pooled.push(rare);
+    }
+    if pooled.len() < 2 {
+        return summary;
+    }
+    let row0: u64 = pooled.iter().map(|&(a, _)| a).sum();
+    let row1: u64 = pooled.iter().map(|&(_, b)| b).sum();
+    if row0 == 0 || row1 == 0 {
+        return summary;
+    }
+    summary.testable = true;
+    let total = (row0 + row1) as f64;
+    summary.min_expected = f64::INFINITY;
+    for &(a, b) in &pooled {
+        let column_total = (a + b) as f64;
+        let expected0 = row0 as f64 * column_total / total;
+        let expected1 = row1 as f64 * column_total / total;
+        summary.min_expected = summary.min_expected.min(expected0).min(expected1);
+    }
+    summary
+}
+
 /// A Welch's t-test result (the classic TVLA statistic, used by the
 /// zero-value-problem DPA demonstration).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -558,6 +625,36 @@ mod tests {
             assert_eq!(
                 g_breakdown(&columns).map(|b| b.test),
                 g_test(&columns),
+                "{columns:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooling_summary_agrees_with_g_test() {
+        // Two fat columns + three sparse ones: the sparse mass pools.
+        let columns = [(100, 110), (90, 80), (3, 2), (0, 1), (4, 4)];
+        let summary = pooling_summary(&columns);
+        assert_eq!(summary.tested_columns, 2);
+        assert_eq!(summary.pooled_columns, 3);
+        assert_eq!(summary.pooled_mass, 14);
+        assert_eq!(summary.total_mass, 394);
+        assert!(summary.testable);
+        // min expected: the rare bucket (total 14) is the smallest
+        // column; row0 = 197, row1 = 197 of 394 → expected 7 each.
+        assert!((summary.min_expected - 7.0).abs() < 1e-9, "{summary:?}");
+        // Testability matches g_test on testable, untestable, and
+        // empty-group tables alike.
+        for columns in [
+            vec![(100u64, 110u64), (90, 80), (3, 2)],
+            vec![(100, 110)],
+            vec![(3, 2), (4, 4)],
+            vec![(100, 0), (90, 0)],
+            vec![],
+        ] {
+            assert_eq!(
+                pooling_summary(&columns).testable,
+                g_test(&columns).is_some(),
                 "{columns:?}"
             );
         }

@@ -14,10 +14,14 @@ use crate::perf::PerfSnapshot;
 /// in-place single-threaded; v5: `finding` events — per-probe-set
 /// forensic evidence bundles emitted by `mmaes explain`, carrying a
 /// one-line root-cause `hint` plus the full machine-readable `bundle`
-/// object). The campaign *snapshot* file carries its own independent
+/// object; v6: `health`/`health_summary` events — per-probe-set
+/// convergence diagnostics computed at every checkpoint and once at the
+/// end of a campaign — plus a `build_info` object on `summary` carrying
+/// the crate version and the schema versions of every artifact the run
+/// can write). The campaign *snapshot* file carries its own independent
 /// version (`mmaes_leakage::snapshot::SNAPSHOT_SCHEMA_VERSION`,
 /// currently 1).
-pub const EVENT_SCHEMA_VERSION: u64 = 5;
+pub const EVENT_SCHEMA_VERSION: u64 = 6;
 
 /// One probing set's running statistic at a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +41,112 @@ impl ProbePoint {
             .float("minus_log10_p", self.minus_log10_p)
             .boolean("leaking", self.leaking)
             .finish()
+    }
+}
+
+/// One probing set's convergence diagnostics at a checkpoint
+/// (schema v6). Everything here derives from the deterministic
+/// contingency tables and trajectories, never from wall clocks, so
+/// health payloads are byte-identical across `--threads`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeHealth {
+    /// The probing-set label (wire names).
+    pub label: String,
+    /// Running `-log10(p)` of the G-test at this checkpoint.
+    pub minus_log10_p: f64,
+    /// Whether the running value exceeds the decision threshold.
+    pub leaking: bool,
+    /// Contingency columns kept as their own cells by the G-test.
+    pub tested_columns: u64,
+    /// Contingency columns pooled into the rare-events bucket
+    /// (total below `POOLING_THRESHOLD`).
+    pub pooled_columns: u64,
+    /// Fraction of the set's sample mass sitting in pooled columns.
+    pub pooled_fraction: f64,
+    /// Minimum expected cell count after pooling (0 when untestable).
+    pub min_expected: f64,
+    /// Whether the table is too sparse for a calibrated test: not
+    /// testable at all, or minimum expected count under Cochran's 5.
+    pub undersampled: bool,
+    /// Effect-size estimate: `-log10(p)` gained per million traces,
+    /// the slope over the recent checkpoint trajectory.
+    pub slope_per_mtrace: f64,
+    /// Projected total traces until this set crosses the threshold:
+    /// the observed crossing point for already-leaking sets, a linear
+    /// projection for converging sets, infinity (rendered as JSON
+    /// `null`) when the trajectory is flat or receding.
+    pub traces_to_detection: f64,
+}
+
+impl ProbeHealth {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("label", &self.label)
+            .float("minus_log10_p", self.minus_log10_p)
+            .boolean("leaking", self.leaking)
+            .unsigned("tested_columns", self.tested_columns)
+            .unsigned("pooled_columns", self.pooled_columns)
+            .float("pooled_fraction", self.pooled_fraction)
+            .float("min_expected", self.min_expected)
+            .boolean("undersampled", self.undersampled)
+            .float("slope_per_mtrace", self.slope_per_mtrace)
+            .float("traces_to_detection", self.traces_to_detection)
+            .finish()
+    }
+}
+
+/// Campaign-wide convergence health at a checkpoint (schema v6): the
+/// payload of `health` events, of the final `health_summary`, and of
+/// the `health` block in `--status-file` output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthCheckpoint {
+    /// Traces accumulated so far.
+    pub traces: u64,
+    /// The campaign's trace budget.
+    pub traces_target: u64,
+    /// The `-log10(p)` decision threshold in force.
+    pub threshold: f64,
+    /// Probing sets under test.
+    pub probe_sets: u64,
+    /// Sets whose table currently supports a calibrated G-test.
+    pub testable_sets: u64,
+    /// Sets flagged as undersampled (untestable or expected < 5).
+    pub undersampled_sets: u64,
+    /// Sets currently over the threshold.
+    pub leaking_sets: u64,
+    /// Fresh randomness the schedule draws per trace, in bits
+    /// (sharing randomness + free masks + nonzero byte buses, over
+    /// the warm-up window).
+    pub fresh_bits_per_trace: u64,
+    /// Total fresh randomness consumed so far, in bits.
+    pub fresh_bits_total: u64,
+    /// Per-set diagnostics: the checkpoint's top sets plus every set
+    /// over the threshold (the same cut as checkpoint probes).
+    pub probes: Vec<ProbeHealth>,
+}
+
+impl HealthCheckpoint {
+    fn fill_json(&self, object: JsonObject) -> JsonObject {
+        object
+            .unsigned("traces", self.traces)
+            .unsigned("traces_target", self.traces_target)
+            .float("threshold", self.threshold)
+            .unsigned("probe_sets", self.probe_sets)
+            .unsigned("testable_sets", self.testable_sets)
+            .unsigned("undersampled_sets", self.undersampled_sets)
+            .unsigned("leaking_sets", self.leaking_sets)
+            .unsigned("fresh_bits_per_trace", self.fresh_bits_per_trace)
+            .unsigned("fresh_bits_total", self.fresh_bits_total)
+            .raw(
+                "probes",
+                &array(self.probes.iter().map(ProbeHealth::to_json)),
+            )
+    }
+
+    /// Renders the health block as a standalone JSON object (the
+    /// `health` value embedded in `--status-file` output).
+    pub fn to_json(&self) -> String {
+        self.fill_json(JsonObject::new()).finish()
     }
 }
 
@@ -97,6 +207,11 @@ pub struct RunSummary {
     /// Worker threads the run's campaigns sharded batches across
     /// (schema v4); 1 for single-threaded, 0 when not applicable.
     pub threads: u64,
+    /// Additional artifact schema versions rendered into `build_info`
+    /// (schema v6) beyond the always-present event schema — e.g.
+    /// `("bench_schema", 2)`, `("snapshot_schema", 1)`. The producing
+    /// binary lists the schemas of every artifact it can write.
+    pub schemas: Vec<(String, u64)>,
     /// Free-form extras appended to the JSON object.
     pub extra: Vec<(String, String)>,
 }
@@ -104,6 +219,12 @@ pub struct RunSummary {
 impl RunSummary {
     /// Renders the summary as a single JSON line.
     pub fn to_json_line(&self) -> String {
+        let mut build_info = JsonObject::new()
+            .string("version", env!("CARGO_PKG_VERSION"))
+            .unsigned("event_schema", EVENT_SCHEMA_VERSION);
+        for (name, version) in &self.schemas {
+            build_info = build_info.unsigned(name, *version);
+        }
         let mut object = JsonObject::new()
             .string("type", "summary")
             .string("tool", &self.tool)
@@ -123,7 +244,10 @@ impl RunSummary {
             .float("traces_per_sec", self.traces_per_sec)
             .unsigned("cell_evals", self.cell_evals)
             .boolean("interrupted", self.interrupted)
-            .unsigned("threads", self.threads);
+            .unsigned("threads", self.threads)
+            // Attribution for archived runs (schema v6): which crate
+            // version wrote this line, under which artifact schemas.
+            .raw("build_info", &build_info.finish());
         for (key, value) in &self.extra {
             object = object.string(key, value);
         }
@@ -252,6 +376,13 @@ pub enum Event {
         /// (see `mmaes_leakage::forensics::EvidenceBundle::to_json`).
         bundle: String,
     },
+    /// Convergence health at a checkpoint (schema v6): statistical
+    /// trustworthiness of the running G-tests, projected
+    /// traces-to-detection, and randomness-consumption accounting.
+    Health(HealthCheckpoint),
+    /// The campaign's final convergence health (schema v6), emitted
+    /// once after the closing sweep alongside `campaign_finished`.
+    HealthSummary(HealthCheckpoint),
     /// The run's final machine-readable verdict.
     RunSummary(RunSummary),
 }
@@ -271,6 +402,8 @@ impl Event {
             Event::EnumerationFinished { .. } => "enumeration_finished",
             Event::PerfSnapshot { .. } => "perf_snapshot",
             Event::Finding { .. } => "finding",
+            Event::Health(_) => "health",
+            Event::HealthSummary(_) => "health_summary",
             Event::RunSummary(_) => "summary",
         }
     }
@@ -400,6 +533,9 @@ impl Event {
                 .string("hint", hint)
                 .raw("bundle", bundle)
                 .finish(),
+            Event::Health(health) | Event::HealthSummary(health) => health
+                .fill_json(JsonObject::new().string("type", self.kind()))
+                .finish(),
             Event::RunSummary(summary) => summary.to_json_line(),
         }
     }
@@ -408,6 +544,32 @@ impl Event {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_health() -> HealthCheckpoint {
+        HealthCheckpoint {
+            traces: 64_000,
+            traces_target: 200_000,
+            threshold: 5.0,
+            probe_sets: 35,
+            testable_sets: 30,
+            undersampled_sets: 5,
+            leaking_sets: 4,
+            fresh_bits_per_trace: 72,
+            fresh_bits_total: 4_608_000,
+            probes: vec![ProbeHealth {
+                label: "kronecker/G7/v1".into(),
+                minus_log10_p: 7.3,
+                leaking: true,
+                tested_columns: 16,
+                pooled_columns: 3,
+                pooled_fraction: 0.01,
+                min_expected: 42.5,
+                undersampled: false,
+                slope_per_mtrace: 114.0,
+                traces_to_detection: 44_800.0,
+            }],
+        }
+    }
 
     #[test]
     fn every_event_renders_with_its_type_tag() {
@@ -483,6 +645,8 @@ mod tests {
                 hint: "recycled randomness r1=r3".into(),
                 bundle: "{\"probe\":\"kronecker/G7/v1\"}".into(),
             },
+            Event::Health(sample_health()),
+            Event::HealthSummary(sample_health()),
             Event::RunSummary(RunSummary {
                 tool: "mmaes evaluate".into(),
                 id: "kronecker:de-meyer-eq6".into(),
@@ -498,6 +662,7 @@ mod tests {
                 cell_evals: 10_000_000,
                 interrupted: false,
                 threads: 4,
+                schemas: vec![("snapshot_schema".into(), 1)],
                 extra: vec![("leaking".into(), "4".into())],
             }),
         ];
@@ -574,6 +739,57 @@ mod tests {
                 .and_then(|probe| probe.as_str()),
             Some("kronecker/G7/v1")
         );
+    }
+
+    #[test]
+    fn health_events_carry_the_v6_diagnostics() {
+        let line = Event::Health(sample_health()).to_json_line();
+        let parsed = crate::json::parse(&line).expect("health line parses");
+        assert_eq!(parsed.get("type").and_then(|v| v.as_str()), Some("health"));
+        assert_eq!(parsed.get("leaking_sets").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(
+            parsed.get("fresh_bits_per_trace").and_then(|v| v.as_u64()),
+            Some(72)
+        );
+        let probes = parsed
+            .get("probes")
+            .and_then(|v| v.as_array())
+            .expect("probes array");
+        assert_eq!(probes.len(), 1);
+        assert_eq!(
+            probes[0]
+                .get("traces_to_detection")
+                .and_then(|v| v.as_f64()),
+            Some(44_800.0)
+        );
+        // An unreachable projection renders as JSON null, not Infinity.
+        let mut unreachable = sample_health();
+        unreachable.probes[0].traces_to_detection = f64::INFINITY;
+        let line = Event::Health(unreachable).to_json_line();
+        assert!(line.contains("\"traces_to_detection\":null"), "{line}");
+        crate::json::parse(&line).expect("null projection still parses");
+    }
+
+    #[test]
+    fn summary_carries_the_v6_build_info() {
+        let line = RunSummary::default().to_json_line();
+        let parsed = crate::json::parse(&line).expect("summary parses");
+        let info = parsed.get("build_info").expect("build_info present");
+        assert_eq!(
+            info.get("version").and_then(|v| v.as_str()),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(
+            info.get("event_schema").and_then(|v| v.as_u64()),
+            Some(EVENT_SCHEMA_VERSION)
+        );
+        let line = RunSummary {
+            schemas: vec![("bench_schema".into(), 2), ("snapshot_schema".into(), 1)],
+            ..RunSummary::default()
+        }
+        .to_json_line();
+        assert!(line.contains("\"bench_schema\":2"), "{line}");
+        assert!(line.contains("\"snapshot_schema\":1"), "{line}");
     }
 
     #[test]

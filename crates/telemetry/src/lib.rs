@@ -23,7 +23,12 @@
 //!   [`PerfRecorder`] carried by the [`Observer`] — near-zero overhead
 //!   when disabled, `perf_snapshot` events and `BENCH_*.json` records
 //!   when enabled; [`chrome_trace`] renders frozen snapshots into
-//!   deterministic `chrome://tracing` JSON timelines.
+//!   deterministic `chrome://tracing` JSON timelines;
+//! * a live-status layer ([`metrics`], [`status`]): a lock-cheap
+//!   metrics registry with deterministic Prometheus text exposition
+//!   and an optional `--metrics-addr` server on `std::net` serving
+//!   `/metrics` and `/status`, plus a crash-safe `--status-file` sink
+//!   atomically rewritten at every checkpoint.
 //!
 //! The crate is dependency-light by design: events serialize through a
 //! hand-rolled JSON writer ([`json`]), so every downstream crate can
@@ -36,13 +41,19 @@ pub mod chrome_trace;
 mod counters;
 mod event;
 pub mod json;
+pub mod metrics;
 mod observer;
 pub mod perf;
 mod sink;
+pub mod status;
 
 pub use chrome_trace::{chrome_trace, ChromeTraceBuilder};
-pub use counters::{Counter, Stopwatch};
-pub use event::{Checkpoint, Event, ProbePoint, RunSummary, EVENT_SCHEMA_VERSION};
+pub use counters::{interval_rate, Counter, Stopwatch};
+pub use event::{
+    Checkpoint, Event, HealthCheckpoint, ProbeHealth, ProbePoint, RunSummary, EVENT_SCHEMA_VERSION,
+};
+pub use metrics::{MetricsRegistry, MetricsServer, MetricsSink};
 pub use observer::Observer;
 pub use perf::{PerfRecorder, PerfSnapshot, PhaseStats, Span};
 pub use sink::{HumanProgressSink, JsonlSink, MemorySink, NullSink, Sink};
+pub use status::{StatusFileSink, StatusModel, STATUS_SCHEMA_VERSION};

@@ -209,6 +209,21 @@ impl Sink for HumanProgressSink {
                 hint,
                 ..
             } => eprintln!("[finding] {label} (-log10(p) = {minus_log10_p:.2}): {hint}"),
+            // Checkpoint health rides along silently (the checkpoint
+            // line above already prints); the final summary gets one
+            // digest line so undersampled tests are never invisible.
+            Event::Health(_) => {}
+            Event::HealthSummary(health) => {
+                eprintln!(
+                    "[health] {}/{} sets testable, {} undersampled, \
+                     {} leaking; {} fresh bits/trace",
+                    health.testable_sets,
+                    health.probe_sets,
+                    health.undersampled_sets,
+                    health.leaking_sets,
+                    health.fresh_bits_per_trace,
+                );
+            }
             Event::RunSummary(_) => {}
         }
     }

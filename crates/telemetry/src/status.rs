@@ -1,0 +1,421 @@
+//! Live campaign status: a crash-safe `--status-file` rewritten at
+//! every checkpoint, and the shared model behind the `/status`
+//! exposition endpoint (documented in DESIGN.md § Campaign health).
+//!
+//! The status document is split into two parts by determinism. Every
+//! top-level field derives from the deterministic event stream
+//! (contingency tables, trajectories, health verdicts) and is
+//! byte-identical across `--threads`; everything wall-clock-dependent
+//! — elapsed time, rates, ETA, thread count, `PerfRecorder`
+//! utilization — lives under the single `runtime` key, so consumers
+//! comparing runs drop one key instead of maintaining a field list.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::event::{Event, HealthCheckpoint, EVENT_SCHEMA_VERSION};
+use crate::json::{array, number, JsonObject};
+use crate::perf::PerfSnapshot;
+
+/// Version of the `--status-file` document. Independent of the event
+/// schema: the status file is a point-in-time projection, not a log.
+pub const STATUS_SCHEMA_VERSION: u64 = 1;
+
+/// Cap on tracked trajectory labels. Checkpoints carry the top sets
+/// plus every leaking set, so a pathological campaign with thousands
+/// of flagged sets must not grow the status document without bound.
+const MAX_TRACKED_LABELS: usize = 128;
+
+/// One probing set's presence in the latest checkpoint, with its
+/// accumulated trajectory.
+#[derive(Debug, Clone)]
+struct TrackedProbe {
+    minus_log10_p: f64,
+    leaking: bool,
+}
+
+/// Accumulates the event stream into a renderable status document.
+///
+/// Sinks must tolerate any event ordering (see [`crate::Sink`]);
+/// the model starts empty and fills in whatever the stream provides.
+#[derive(Debug, Default)]
+pub struct StatusModel {
+    design: String,
+    model: String,
+    order: u64,
+    probe_sets: u64,
+    traces_target: u64,
+    traces: u64,
+    max_minus_log10_p: f64,
+    worst_label: String,
+    /// The latest checkpoint's probe cut, in checkpoint order.
+    top: Vec<(String, TrackedProbe)>,
+    /// Accumulated `(traces, -log10(p))` trajectories per label.
+    trajectories: BTreeMap<String, Vec<(u64, f64)>>,
+    health: Option<HealthCheckpoint>,
+    finished: bool,
+    passed: bool,
+    early_stopped: bool,
+    interrupted: bool,
+    leaking: u64,
+    // Wall-clock-dependent fields, rendered under `runtime` only.
+    threads: u64,
+    elapsed_ms: u64,
+    traces_per_sec: f64,
+    perf: Option<PerfSnapshot>,
+}
+
+impl StatusModel {
+    /// An empty model. `threads` is the worker-thread count of the
+    /// producing run (0 when unknown); it only ever appears under the
+    /// wall-clock `runtime` key, never in the deterministic body.
+    pub fn new(threads: u64) -> Self {
+        StatusModel {
+            threads,
+            ..StatusModel::default()
+        }
+    }
+
+    /// Folds one event into the model. Returns `true` when the event
+    /// marks a checkpoint or terminal state worth persisting — the
+    /// file sink rewrites its document exactly then.
+    pub fn absorb(&mut self, event: &Event) -> bool {
+        match event {
+            Event::CampaignStarted {
+                design,
+                model,
+                order,
+                probe_sets,
+                traces_target,
+            } => {
+                self.design = design.clone();
+                self.model = model.clone();
+                self.order = *order as u64;
+                self.probe_sets = *probe_sets as u64;
+                self.traces_target = *traces_target;
+                self.finished = false;
+                true
+            }
+            Event::CampaignCheckpoint(checkpoint) => {
+                self.traces = checkpoint.traces;
+                self.traces_target = checkpoint.traces_target;
+                self.elapsed_ms = checkpoint.elapsed_ms;
+                self.traces_per_sec = checkpoint.traces_per_sec;
+                self.max_minus_log10_p = checkpoint.max_minus_log10_p;
+                self.worst_label = checkpoint.worst_label.clone();
+                self.top = checkpoint
+                    .probes
+                    .iter()
+                    .map(|probe| {
+                        (
+                            probe.label.clone(),
+                            TrackedProbe {
+                                minus_log10_p: probe.minus_log10_p,
+                                leaking: probe.leaking,
+                            },
+                        )
+                    })
+                    .collect();
+                for probe in &checkpoint.probes {
+                    if self.trajectories.len() >= MAX_TRACKED_LABELS
+                        && !self.trajectories.contains_key(&probe.label)
+                    {
+                        continue;
+                    }
+                    self.trajectories
+                        .entry(probe.label.clone())
+                        .or_default()
+                        .push((checkpoint.traces, probe.minus_log10_p));
+                }
+                // The paired health event follows and triggers the
+                // write; checkpoints alone persist too in case the
+                // producer has health computation disabled.
+                true
+            }
+            Event::Health(health) => {
+                self.health = Some(health.clone());
+                self.traces = health.traces;
+                true
+            }
+            Event::HealthSummary(health) => {
+                self.health = Some(health.clone());
+                self.traces = health.traces;
+                true
+            }
+            Event::CampaignFinished {
+                traces,
+                wall_ms,
+                passed,
+                max_minus_log10_p,
+                leaking,
+                early_stopped,
+                ..
+            } => {
+                self.finished = true;
+                self.traces = *traces;
+                self.elapsed_ms = *wall_ms;
+                self.passed = *passed;
+                self.max_minus_log10_p = *max_minus_log10_p;
+                self.leaking = *leaking as u64;
+                self.early_stopped = *early_stopped;
+                true
+            }
+            Event::PerfSnapshot { snapshot, .. } => {
+                self.perf = Some(snapshot.clone());
+                false
+            }
+            Event::RunSummary(summary) => {
+                self.interrupted = summary.interrupted;
+                summary.interrupted
+            }
+            _ => false,
+        }
+    }
+
+    /// Renders the status document as one JSON object.
+    pub fn render(&self) -> String {
+        let top = array(self.top.iter().map(|(label, probe)| {
+            let trajectory = self
+                .trajectories
+                .get(label)
+                .map(|points| {
+                    array(
+                        points
+                            .iter()
+                            .map(|(traces, value)| format!("[{},{}]", traces, number(*value))),
+                    )
+                })
+                .unwrap_or_else(|| "[]".to_owned());
+            JsonObject::new()
+                .string("label", label)
+                .float("minus_log10_p", probe.minus_log10_p)
+                .boolean("leaking", probe.leaking)
+                .raw("trajectory", &trajectory)
+                .finish()
+        }));
+        let eta_seconds = if self.traces_per_sec > 0.0 && !self.finished {
+            self.traces_target.saturating_sub(self.traces) as f64 / self.traces_per_sec
+        } else {
+            f64::INFINITY // renders as null: no rate measured yet
+        };
+        let mut runtime = JsonObject::new()
+            .unsigned("threads", self.threads)
+            .unsigned("elapsed_ms", self.elapsed_ms)
+            .float("traces_per_sec", self.traces_per_sec)
+            .float("eta_seconds", eta_seconds);
+        if let Some(perf) = &self.perf {
+            runtime = runtime.raw("utilization", &perf.fill_json(JsonObject::new()).finish());
+        }
+        let mut object = JsonObject::new()
+            .string("type", "status")
+            .unsigned("status_schema", STATUS_SCHEMA_VERSION)
+            .unsigned("event_schema", EVENT_SCHEMA_VERSION)
+            .string("design", &self.design)
+            .string("model", &self.model)
+            .unsigned("order", self.order)
+            .unsigned("probe_sets", self.probe_sets)
+            .unsigned("traces", self.traces)
+            .unsigned("traces_target", self.traces_target)
+            .boolean("finished", self.finished)
+            .boolean("passed", self.passed)
+            .boolean("early_stopped", self.early_stopped)
+            .boolean("interrupted", self.interrupted)
+            .unsigned("leaking", self.leaking)
+            .float("max_minus_log10_p", self.max_minus_log10_p)
+            .string("worst_label", &self.worst_label)
+            .raw("top", &top);
+        if let Some(health) = &self.health {
+            object = object.raw("health", &health.to_json());
+        }
+        object.raw("runtime", &runtime.finish()).finish()
+    }
+}
+
+/// Atomically replaces `path` with `contents`: write a sibling tmp
+/// file, fsync, rename — the same discipline as campaign snapshots, so
+/// a reader (or a crash) never observes a torn document.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// A sink that maintains a crash-safe live status file
+/// (`--status-file status.json`), atomically rewritten at every
+/// checkpoint and on campaign completion.
+#[derive(Debug)]
+pub struct StatusFileSink {
+    model: StatusModel,
+    path: PathBuf,
+}
+
+impl StatusFileSink {
+    /// A sink writing to `path`. `threads` is the producing run's
+    /// worker-thread count (0 when unknown), reported under the
+    /// status document's `runtime` key.
+    pub fn create(path: impl Into<PathBuf>, threads: u64) -> Self {
+        StatusFileSink {
+            model: StatusModel::new(threads),
+            path: path.into(),
+        }
+    }
+}
+
+impl crate::sink::Sink for StatusFileSink {
+    fn on_event(&mut self, event: &Event) {
+        if self.model.absorb(event) {
+            // Status is advisory; a full disk must not kill a
+            // multi-hour campaign the way a snapshot failure would.
+            let _ = write_atomic(&self.path, &(self.model.render() + "\n"));
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = write_atomic(&self.path, &(self.model.render() + "\n"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Checkpoint, ProbeHealth, ProbePoint};
+    use crate::sink::Sink;
+
+    fn checkpoint(traces: u64, value: f64) -> Event {
+        Event::CampaignCheckpoint(Checkpoint {
+            traces,
+            traces_target: 1000,
+            elapsed_ms: 17,
+            traces_per_sec: 123.4,
+            max_minus_log10_p: value,
+            worst_label: "g/v1".into(),
+            probes: vec![ProbePoint {
+                label: "g/v1".into(),
+                minus_log10_p: value,
+                leaking: value > 5.0,
+            }],
+        })
+    }
+
+    fn health(traces: u64) -> Event {
+        Event::Health(HealthCheckpoint {
+            traces,
+            traces_target: 1000,
+            threshold: 5.0,
+            probe_sets: 3,
+            testable_sets: 2,
+            undersampled_sets: 1,
+            leaking_sets: 1,
+            fresh_bits_per_trace: 24,
+            fresh_bits_total: 24 * traces,
+            probes: vec![ProbeHealth {
+                label: "g/v1".into(),
+                minus_log10_p: 6.0,
+                leaking: true,
+                tested_columns: 4,
+                pooled_columns: 0,
+                pooled_fraction: 0.0,
+                min_expected: 62.5,
+                undersampled: false,
+                slope_per_mtrace: 12_000.0,
+                traces_to_detection: 500.0,
+            }],
+        })
+    }
+
+    #[test]
+    fn model_accumulates_trajectories_and_health() {
+        let mut model = StatusModel::new(2);
+        assert!(model.absorb(&checkpoint(500, 3.0)));
+        assert!(model.absorb(&checkpoint(1000, 6.0)));
+        assert!(model.absorb(&health(1000)));
+        let parsed = crate::json::parse(&model.render()).expect("status parses");
+        assert_eq!(parsed.get("traces").and_then(|v| v.as_u64()), Some(1000));
+        let top = parsed.get("top").and_then(|v| v.as_array()).unwrap();
+        let trajectory = top[0].get("trajectory").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(trajectory.len(), 2, "both checkpoints accumulated");
+        assert_eq!(
+            parsed
+                .get("health")
+                .and_then(|h| h.get("leaking_sets"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            parsed
+                .get("runtime")
+                .and_then(|r| r.get("threads"))
+                .and_then(|v| v.as_u64()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn wall_clock_fields_stay_inside_runtime() {
+        let mut model = StatusModel::new(4);
+        model.absorb(&checkpoint(500, 3.0));
+        let rendered = model.render();
+        let parsed = crate::json::parse(&rendered).expect("status parses");
+        // elapsed/rate appear under `runtime` and nowhere at top level.
+        assert!(parsed.get("elapsed_ms").is_none());
+        assert!(parsed.get("traces_per_sec").is_none());
+        let runtime = parsed.get("runtime").expect("runtime key");
+        assert_eq!(runtime.get("elapsed_ms").and_then(|v| v.as_u64()), Some(17));
+        assert!(runtime.get("traces_per_sec").is_some());
+    }
+
+    #[test]
+    fn file_sink_rewrites_atomically_on_checkpoints() {
+        let path =
+            std::env::temp_dir().join(format!("mmaes-status-test-{}.json", std::process::id()));
+        let mut sink = StatusFileSink::create(&path, 1);
+        sink.on_event(&checkpoint(500, 3.0));
+        let first = fs::read_to_string(&path).expect("status written");
+        crate::json::parse(first.trim()).expect("first write parses");
+        sink.on_event(&Event::CampaignFinished {
+            design: "g".into(),
+            traces: 1000,
+            wall_ms: 99,
+            passed: false,
+            max_minus_log10_p: 6.0,
+            leaking: 1,
+            early_stopped: false,
+        });
+        let last = fs::read_to_string(&path).expect("status rewritten");
+        let parsed = crate::json::parse(last.trim()).expect("final write parses");
+        assert_eq!(parsed.get("finished").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(parsed.get("passed").and_then(|v| v.as_bool()), Some(false));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trajectory_label_tracking_is_bounded() {
+        let mut model = StatusModel::new(1);
+        for wave in 0..4 {
+            let probes: Vec<ProbePoint> = (0..50)
+                .map(|index| ProbePoint {
+                    label: format!("g/v{}", wave * 50 + index),
+                    minus_log10_p: 1.0,
+                    leaking: false,
+                })
+                .collect();
+            model.absorb(&Event::CampaignCheckpoint(Checkpoint {
+                traces: 100 * (wave + 1),
+                traces_target: 1000,
+                elapsed_ms: 1,
+                traces_per_sec: 1.0,
+                max_minus_log10_p: 1.0,
+                worst_label: "g/v0".into(),
+                probes,
+            }));
+        }
+        assert!(model.trajectories.len() <= MAX_TRACKED_LABELS);
+    }
+}
