@@ -23,7 +23,9 @@ fn bench_leakage(criterion: &mut Criterion) {
                     warmup_cycles: 6,
                     ..EvaluationConfig::default()
                 };
-                FixedVsRandom::new(&kronecker.netlist, config).run()
+                FixedVsRandom::new(&kronecker.netlist, config)
+                    .try_run()
+                    .expect("campaign")
             })
         });
     }
@@ -38,7 +40,8 @@ fn bench_leakage(criterion: &mut Criterion) {
             };
             FixedVsRandom::new(&sbox.netlist, config)
                 .require_nonzero_bus(sbox.r_bus.clone())
-                .run()
+                .try_run()
+                .expect("campaign")
         })
     });
 

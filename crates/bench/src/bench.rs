@@ -394,7 +394,8 @@ fn bench_campaign(
     let watch = Stopwatch::start();
     let report = FixedVsRandom::new(netlist, config)
         .with_observer(observer)
-        .run();
+        .try_run()
+        .expect("campaign");
     let wall_ms = watch.elapsed_ms();
     let table_keys: u64 = report
         .results

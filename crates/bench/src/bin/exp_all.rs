@@ -2,6 +2,6 @@
 //! EXPERIMENTS.md records, plus one aggregate JSON summary line.
 fn main() {
     let run = mmaes_bench::RunOptions::from_args();
-    let outcomes = mmaes_core::run_all(&run.budget, &run.observer);
+    let outcomes = mmaes_bench::unwrap_campaign(mmaes_core::run_all(&run.budget, &run.observer));
     run.finish_suite(&outcomes);
 }

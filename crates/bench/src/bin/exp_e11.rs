@@ -1,6 +1,6 @@
 //! Regenerates experiment E11 of the reproduction (see EXPERIMENTS.md).
 fn main() {
     let run = mmaes_bench::RunOptions::from_args();
-    let outcome = mmaes_core::run_e11(&run.budget, &run.observer);
+    let outcome = mmaes_bench::unwrap_campaign(mmaes_core::run_e11(&run.budget, &run.observer));
     run.finish(&outcome);
 }

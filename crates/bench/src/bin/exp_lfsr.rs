@@ -31,7 +31,8 @@ fn main() {
             let report = FixedVsRandom::new(&circuit.netlist, config)
                 .with_observer(run.observer.clone())
                 .schedule_control(circuit.lfsr.load, vec![true, false])
-                .run();
+                .try_run();
+            let report = mmaes_bench::unwrap_campaign(report);
             let worst = report.worst().map(|r| r.minus_log10_p).unwrap_or(0.0);
             cells.push(format!(
                 "{} (max {:.1})",

@@ -92,7 +92,8 @@ fn main() {
             },
         )
         .with_observer(run.observer.clone())
-        .run();
+        .try_run();
+        let report = mmaes_bench::unwrap_campaign(report);
         if report.passed() {
             transition_survivors += 1;
             println!("  r5=f{r5} r6=f{r6} r7=f{r7}: PASS under transitions (!)");
@@ -126,7 +127,8 @@ fn main() {
             },
         )
         .with_observer(run.observer.clone())
-        .run();
+        .try_run();
+        let report = mmaes_bench::unwrap_campaign(report);
         let expected = r7 < 4; // the paper's family: r7 = r1..r4
         println!(
             "  r7 = f{r7} (= r{}): {}  (paper expects {})",

@@ -9,6 +9,7 @@
 //! mmaes explain  <design> [options]        campaign + root-cause forensics
 //! mmaes verify   <design> [options]        exhaustive (SILVER-style) proof
 //! mmaes selftest [options]                 fault-injection detector check
+//! mmaes chaos    [options]                 fault-containment chaos harness
 //! mmaes bench    [options]                 performance-regression workload
 //! mmaes top      <status.json | --addr A>  live campaign dashboard
 //! ```
@@ -28,10 +29,14 @@
 //! picks a free port, the bound address is printed on stderr),
 //! `--progress`, `--perf`,
 //! `--trace FILE` (Chrome-trace JSON of the per-phase timings, viewable
-//! in `chrome://tracing` or Perfetto), `--quiet`. Campaign output
+//! in `chrome://tracing` or Perfetto), `--failpoints SPEC`
+//! (deterministic fault injection — see `mmaes chaos` below; the
+//! `MMAES_FAILPOINTS` environment variable installs the same schedule
+//! for any subcommand), `--quiet`. Campaign output
 //! (report, CSV, snapshots) is byte-identical for every `--threads`
-//! count and both evaluators; in status.json every wall-clock-derived
-//! field lives under the single `runtime` key.
+//! count and both evaluators — including runs where injected or real
+//! worker faults forced batch retries; in status.json every
+//! wall-clock-derived field lives under the single `runtime` key.
 //!
 //! Explain options: the evaluate campaign options plus `--no-exact`
 //! (skip the enumerator cross-check), `--max-bits N` (its support
@@ -49,6 +54,18 @@
 //! `--metrics FILE`, `--progress`, `--perf`, `--quiet`.
 //! Selftest options: `--traces N`, `--per-kind N`, `--metrics FILE`,
 //! `--quiet`.
+//! Chaos options: `--traces N`, `--seed N`, `--threads N`,
+//! `--failpoints SPEC`, `--quiet`. `chaos` runs the Eq. 6 campaign
+//! fault-free, then re-runs it under a scripted fault schedule
+//! (worker panics, a stalled batch, snapshot and status-file write
+//! errors by default) at one and `--threads` worker threads, and
+//! asserts containment: the finding survives, the report is
+//! byte-identical to the fault-free baseline, the degraded subsystems
+//! are reported, and the final snapshot is loadable. Failpoint specs
+//! are `site=action[@WHEN][xCOUNT][~P:SEED]` entries joined with `;`
+//! — sites `worker` (keyed by batch index), `snapshot.save`,
+//! `status.write`, `metrics.write`; actions `ioerr`, `truncate`,
+//! `panic`, `stall[(MS)]`.
 //! Bench options: `--quick`, `--label NAME`, `--baseline FILE`,
 //! `--threshold PCT`, `--out FILE`, `--quiet`, `--threads N`,
 //! `--evaluator compiled|interpreted` (the latter two apply to the
@@ -95,6 +112,12 @@ use mmaes_sim::EvaluatorMode;
 use mmaes_telemetry::{chrome_trace, Event, Observer, RunSummary, Stopwatch};
 
 fn main() {
+    // A malformed MMAES_FAILPOINTS is a bad input, not a chaos event:
+    // refuse to run rather than silently ignore the schedule.
+    if let Err(error) = mmaes_telemetry::failpoint::configure_from_env() {
+        eprintln!("{error}");
+        exit(2);
+    }
     let arguments: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = arguments.first() else {
         usage();
@@ -109,6 +132,7 @@ fn main() {
         "explain" => explain(&arguments[1..]),
         "verify" => verify(&arguments[1..]),
         "selftest" => selftest(&arguments[1..]),
+        "chaos" => chaos(&arguments[1..]),
         "bench" => mmaes_bench::bench::run(&arguments[1..]),
         "top" => mmaes_bench::top::run(&arguments[1..]),
         "--help" | "-h" | "help" => usage(),
@@ -136,12 +160,14 @@ fn usage() {
          \u{20}                  [--metrics FILE] [--status-file FILE]\n\
          \u{20}                  [--metrics-addr HOST:PORT]\n\
          \u{20}                  [--progress] [--perf] [--trace FILE]\n\
-         \u{20}                  [--quiet]\n\
+         \u{20}                  [--failpoints SPEC] [--quiet]\n\
          mmaes explain  <design> [evaluate campaign options] [--no-exact]\n\
          \u{20}                  [--max-bits N] [--bundles FILE] [--report FILE]\n\
          mmaes verify   <design> [--scope PREFIX] [--max-bits N] [--transition]\n\
          \u{20}                  [--metrics FILE] [--progress] [--perf] [--quiet]\n\
          mmaes selftest [--traces N] [--per-kind N] [--metrics FILE] [--quiet]\n\
+         mmaes chaos    [--traces N] [--seed N] [--threads N]\n\
+         \u{20}                  [--failpoints SPEC] [--quiet]\n\
          mmaes bench    [--quick] [--label NAME] [--baseline FILE]\n\
          \u{20}                  [--threshold PCT] [--out FILE] [--quiet] [--threads N]\n\
          \u{20}                  [--evaluator compiled|interpreted]\n\
@@ -407,6 +433,13 @@ fn evaluate(arguments: &[String]) {
             "--status-file" => status_file = Some(value()),
             "--metrics-addr" => metrics_addr = Some(value()),
             "--trace" => trace_path = Some(value()),
+            "--failpoints" => {
+                let spec = value();
+                mmaes_telemetry::failpoint::configure(&spec).unwrap_or_else(|error| {
+                    eprintln!("--failpoints: {error}");
+                    exit(exit_code::INVALID_INPUT);
+                });
+            }
             "--progress" => progress = true,
             "--perf" => perf = true,
             "--quiet" => quiet = true,
@@ -481,6 +514,7 @@ fn evaluate(arguments: &[String]) {
         interrupted: report.interrupted,
         threads,
         schemas: mmaes_bench::schema_versions(),
+        degraded: mmaes_telemetry::degraded::snapshot(),
         extra: Vec::new(),
     };
     observer.emit(&Event::RunSummary(summary.clone()));
@@ -738,6 +772,7 @@ fn explain(arguments: &[String]) {
         interrupted: report.interrupted,
         threads,
         schemas: mmaes_bench::schema_versions(),
+        degraded: mmaes_telemetry::degraded::snapshot(),
         extra: vec![("findings".to_owned(), bundles.len().to_string())],
     };
     observer.emit(&Event::RunSummary(summary.clone()));
@@ -998,6 +1033,7 @@ fn selftest(arguments: &[String]) {
         traces_per_sec: stopwatch.rate(total_traces),
         interrupted,
         schemas: mmaes_bench::schema_versions(),
+        degraded: mmaes_telemetry::degraded::snapshot(),
         extra: vec![
             ("cases".to_owned(), cases.len().to_string()),
             ("misses".to_owned(), misses.to_string()),
@@ -1020,6 +1056,224 @@ fn selftest(arguments: &[String]) {
         exit(exit_code::FINDING);
     }
     exit(exit_code::CLEAN);
+}
+
+/// `mmaes chaos` — the deterministic chaos harness, a containment
+/// check on the campaign's fault-tolerance machinery.
+///
+/// Runs the Eq. 6 campaign fault-free to establish a baseline report,
+/// then re-runs it under a scripted fault schedule (injected worker
+/// panics, a stalled batch, snapshot-save and status-file write errors
+/// by default) at one and `--threads` worker threads, asserting after
+/// each run that the faults were *contained*: the campaign still
+/// completes, the Eq. 6 finding still emerges, the report is
+/// byte-identical to the fault-free baseline, the degraded subsystems
+/// show up in the registry, and the final snapshot is loadable.
+///
+/// Exit code is the campaign verdict — 1, since Eq. 6 leaks — so CI
+/// can assert the finding survived the chaos. Any containment failure
+/// exits 2 instead: a lost finding, a diverged report, or an
+/// unreadable snapshot means the fault machinery (not the design)
+/// is broken.
+fn chaos(arguments: &[String]) {
+    use mmaes_telemetry::{degraded, failpoint};
+
+    /// Worker panics on batch 3 (twice, so the retry path runs twice),
+    /// one stalled batch, and enough write errors on the snapshot and
+    /// status files to exhaust their retry budgets and force degraded
+    /// mode — while leaving the *final* snapshot save healthy.
+    const DEFAULT_SCHEDULE: &str = "worker=panic@3x2;worker=stall(40)@5;\
+                                    snapshot.save=ioerr x3;status.write=ioerr x3";
+
+    let mut traces = 50_000u64;
+    let mut seed = EvaluationConfig::default().seed;
+    let mut max_threads = 2u64;
+    let mut schedule = DEFAULT_SCHEDULE.to_owned();
+    let mut quiet = false;
+    let mut rest = arguments.iter();
+    while let Some(flag) = rest.next() {
+        let mut value = || {
+            rest.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {flag} needs a value");
+                exit(exit_code::INVALID_INPUT);
+            })
+        };
+        let mut numeric = |target: &mut u64| {
+            *target = value().parse().unwrap_or_else(|error| {
+                eprintln!("flag {flag}: {error}");
+                exit(exit_code::INVALID_INPUT);
+            });
+        };
+        match flag.as_str() {
+            "--traces" => numeric(&mut traces),
+            "--seed" => numeric(&mut seed),
+            "--threads" => numeric(&mut max_threads),
+            "--failpoints" => schedule = value(),
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                exit(exit_code::INVALID_INPUT);
+            }
+        }
+    }
+    // Validate the schedule before spending any compute on it.
+    if let Err(error) = failpoint::configure(&schedule) {
+        eprintln!("--failpoints: {error}");
+        exit(exit_code::INVALID_INPUT);
+    }
+    failpoint::clear();
+
+    let circuit = build_kronecker(&KroneckerRandomness::de_meyer_eq6())
+        .expect("generator emits valid netlists");
+    let stopwatch = Stopwatch::start();
+    let make_config = |threads: usize, snapshot: Option<std::path::PathBuf>| EvaluationConfig {
+        traces,
+        seed,
+        warmup_cycles: 6,
+        checkpoints: 4,
+        threads,
+        durability: Durability {
+            snapshot_path: snapshot,
+            ..Durability::default()
+        },
+        ..EvaluationConfig::default()
+    };
+
+    // Phase 0: the fault-free baseline every chaos run is judged against.
+    degraded::clear();
+    let baseline = FixedVsRandom::new(&circuit.netlist, make_config(1, None)).run_or_exit();
+    let baseline_csv = baseline.to_csv();
+    let found_leak = !baseline.passed();
+    if !quiet {
+        println!(
+            "baseline (no faults): {} at {} traces",
+            if found_leak { "LEAK" } else { "clean" },
+            baseline.traces
+        );
+    }
+
+    let scratch = std::env::temp_dir();
+    let pid = std::process::id();
+    let thread_counts: Vec<usize> = if max_threads <= 1 {
+        vec![1]
+    } else {
+        vec![1, max_threads as usize]
+    };
+    let mut failures: Vec<String> = Vec::new();
+    for &threads in &thread_counts {
+        let snapshot_path = scratch.join(format!("mmaes-chaos-{pid}-t{threads}.snapshot"));
+        let status_path = scratch.join(format!("mmaes-chaos-{pid}-t{threads}-status.json"));
+        let _ = std::fs::remove_file(&snapshot_path);
+        let _ = std::fs::remove_file(&status_path);
+        degraded::clear();
+        failpoint::configure(&schedule).expect("schedule validated above");
+        let observer = Observer::from_sinks(vec![Box::new(
+            mmaes_telemetry::StatusFileSink::create(&status_path, threads as u64),
+        )]);
+        let result = FixedVsRandom::new(
+            &circuit.netlist,
+            make_config(threads, Some(snapshot_path.clone())),
+        )
+        .with_observer(observer)
+        .try_run();
+        failpoint::clear();
+        let entries = degraded::snapshot();
+        match &result {
+            Ok(report) => {
+                if report.to_csv() != baseline_csv {
+                    failures.push(format!(
+                        "threads={threads}: report under faults diverged from the fault-free baseline"
+                    ));
+                }
+                if report.passed() == found_leak {
+                    failures.push(format!(
+                        "threads={threads}: the campaign verdict changed under faults"
+                    ));
+                }
+            }
+            Err(error) => failures.push(format!(
+                "threads={threads}: faults were not contained: {error}"
+            )),
+        }
+        if schedule.contains("snapshot.save")
+            && !entries.iter().any(|entry| entry.subsystem == "snapshot")
+        {
+            failures.push(format!(
+                "threads={threads}: snapshot faults injected but no degraded mark recorded"
+            ));
+        }
+        if result.is_ok() {
+            if let Err(error) = mmaes_leakage::snapshot::load(&snapshot_path) {
+                failures.push(format!(
+                    "threads={threads}: final snapshot unreadable after faults: {error}"
+                ));
+            }
+        }
+        if !quiet {
+            let degraded_list = if entries.is_empty() {
+                "none".to_owned()
+            } else {
+                entries
+                    .iter()
+                    .map(|entry| format!("{} ({}x)", entry.subsystem, entry.incidents))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!(
+                "under faults, threads={threads}: {}, degraded: {degraded_list}",
+                match &result {
+                    Ok(report) if report.to_csv() == baseline_csv =>
+                        "report byte-identical to baseline".to_owned(),
+                    Ok(_) => "report DIVERGED".to_owned(),
+                    Err(error) => format!("campaign failed: {error}"),
+                }
+            );
+        }
+        let _ = std::fs::remove_file(&snapshot_path);
+        let _ = std::fs::remove_file(&status_path);
+    }
+
+    let summary = RunSummary {
+        tool: "mmaes chaos".to_owned(),
+        id: "chaos".to_owned(),
+        design: circuit.netlist.name().to_owned(),
+        schedule: "de-meyer-eq6".to_owned(),
+        traces: baseline.traces * (1 + thread_counts.len() as u64),
+        max_minus_log10_p: baseline
+            .worst()
+            .map(|result| result.minus_log10_p)
+            .unwrap_or(0.0),
+        passed: failures.is_empty(),
+        wall_ms: stopwatch.elapsed_ms(),
+        threads: *thread_counts.iter().max().unwrap_or(&1) as u64,
+        schemas: mmaes_bench::schema_versions(),
+        degraded: degraded::snapshot(),
+        extra: vec![
+            ("failpoints".to_owned(), schedule.clone()),
+            (
+                "containment_failures".to_owned(),
+                failures.len().to_string(),
+            ),
+        ],
+        ..RunSummary::default()
+    };
+    println!("{}", summary.to_json_line());
+    for failure in &failures {
+        eprintln!("chaos: containment failure: {failure}");
+    }
+    if !failures.is_empty() {
+        exit(exit_code::INVALID_INPUT);
+    }
+    if !quiet {
+        println!(
+            "chaos passed: faults contained, the finding and report survived at every thread count"
+        );
+    }
+    exit(if found_leak {
+        exit_code::FINDING
+    } else {
+        exit_code::CLEAN
+    });
 }
 
 fn model_name(model: ProbeModel) -> &'static str {
@@ -1088,6 +1342,7 @@ fn verify(arguments: &[String]) {
         wall_ms: stopwatch.elapsed_ms(),
         cell_evals: report.cell_evals,
         schemas: mmaes_bench::schema_versions(),
+        degraded: mmaes_telemetry::degraded::snapshot(),
         extra: vec![
             ("secure".to_owned(), report.secure_count().to_string()),
             ("leaky".to_owned(), report.leaks().len().to_string()),

@@ -252,6 +252,7 @@ impl RunOptions {
             interrupted: mmaes_sigint::interrupted(),
             threads: self.budget.threads.max(1) as u64,
             schemas: schema_versions(),
+            degraded: mmaes_telemetry::degraded::snapshot(),
             extra: vec![
                 ("experiments".to_owned(), outcomes.len().to_string()),
                 ("mismatches".to_owned(), mismatches.to_string()),
@@ -305,8 +306,25 @@ impl RunOptions {
             interrupted: mmaes_sigint::interrupted(),
             threads: self.budget.threads.max(1) as u64,
             schemas: schema_versions(),
+            degraded: mmaes_telemetry::degraded::snapshot(),
             extra: vec![("title".to_owned(), outcome.title.to_owned())],
             ..RunSummary::default()
+        }
+    }
+}
+
+/// Unwraps a campaign result for the experiment binaries: a fault that
+/// survived containment (exhausted worker retries, unwritable final
+/// snapshot, corrupt resume file, invalid netlist) is an input/
+/// environment problem, reported on stderr with
+/// [`exit_code::INVALID_INPUT`] — deliberately distinct from exit 1,
+/// which is reserved for a *statistical* finding.
+pub fn unwrap_campaign<T>(result: Result<T, mmaes_leakage::CampaignError>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(error) => {
+            eprintln!("campaign failed: {error}");
+            std::process::exit(exit_code::INVALID_INPUT);
         }
     }
 }

@@ -9,7 +9,8 @@ use mmaes_exact::{ExactConfig, ExactVerifier};
 use mmaes_gf256::sbox::sbox;
 use mmaes_gf256::Gf256;
 use mmaes_leakage::{
-    Durability, EvaluationConfig, FixedVsRandom, LeakageReport, ProbeModel, SecretDomain,
+    CampaignError, Durability, EvaluationConfig, FixedVsRandom, LeakageReport, ProbeModel,
+    SecretDomain,
 };
 use mmaes_masking::KroneckerRandomness;
 use mmaes_netlist::NetlistStats;
@@ -58,7 +59,7 @@ fn kronecker_eval(
     max_sets: usize,
     budget: &ExperimentBudget,
     observer: &Observer,
-) -> LeakageReport {
+) -> Result<LeakageReport, CampaignError> {
     let circuit = build_kronecker(schedule).expect("generator emits valid netlists");
     let config = EvaluationConfig {
         model,
@@ -78,7 +79,7 @@ fn kronecker_eval(
     };
     FixedVsRandom::new(&circuit.netlist, config)
         .with_observer(observer.clone())
-        .run()
+        .try_run()
 }
 
 fn sbox_eval(
@@ -88,7 +89,7 @@ fn sbox_eval(
     traces: u64,
     budget: &ExperimentBudget,
     observer: &Observer,
-) -> LeakageReport {
+) -> Result<LeakageReport, CampaignError> {
     let label = format!(
         "sbox-{}-kron{}-fixed{fixed_secret}",
         options.schedule.name(),
@@ -110,13 +111,16 @@ fn sbox_eval(
     FixedVsRandom::new(&circuit.netlist, config)
         .require_nonzero_bus(circuit.r_bus.clone())
         .with_observer(observer.clone())
-        .run()
+        .try_run()
 }
 
 /// E1 (§III ¶2): the S-box **without** the Kronecker stage, non-zero
 /// fixed input, random inputs drawn from GF(2⁸)* — passes, confirming
 /// conversions + inversion + affine are sound away from zero.
-pub fn run_e1(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
+pub fn run_e1(
+    budget: &ExperimentBudget,
+    observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     let report = sbox_eval(
         SboxOptions {
             include_kronecker: false,
@@ -127,9 +131,9 @@ pub fn run_e1(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         budget.first_order_traces,
         budget,
         observer,
-    );
+    )?;
     let matches = report.passed();
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E1",
         title: "S-box without Kronecker, non-zero fixed input",
         paper_location: "§III ¶2",
@@ -140,13 +144,16 @@ pub fn run_e1(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         traces: report.traces,
         max_minus_log10_p: max_minus_log10_p(&[&report]),
         details: report.to_string(),
-    }
+    })
 }
 
 /// E2 (§III ¶2–3, Fig. 3): the full S-box with the Eq. 6 optimization
 /// and fixed input 0 — **fails**; the leaking probes sit in the
 /// Kronecker tree (the G7 `v` nodes fed by the G5/G6 registers).
-pub fn run_e2(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
+pub fn run_e2(
+    budget: &ExperimentBudget,
+    observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     let report = sbox_eval(
         SboxOptions {
             schedule: KroneckerRandomness::de_meyer_eq6(),
@@ -157,13 +164,13 @@ pub fn run_e2(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         budget.first_order_traces,
         budget,
         observer,
-    );
+    )?;
     let leak_in_kronecker = report
         .leaking()
         .iter()
         .any(|result| result.label.contains("kronecker"));
     let matches = !report.passed() && leak_in_kronecker;
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E2",
         title: "Full S-box with Eq. 6 optimization, fixed = 0",
         paper_location: "§III ¶2–3, Fig. 3",
@@ -178,12 +185,15 @@ pub fn run_e2(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         traces: report.traces,
         max_minus_log10_p: max_minus_log10_p(&[&report]),
         details: report.to_string(),
-    }
+    })
 }
 
 /// E3 (§III ¶4): with 7 independent fresh mask bits the full design
 /// passes all evaluations.
-pub fn run_e3(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
+pub fn run_e3(
+    budget: &ExperimentBudget,
+    observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     let sbox_report = sbox_eval(
         SboxOptions {
             schedule: KroneckerRandomness::full(),
@@ -194,7 +204,7 @@ pub fn run_e3(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         budget.first_order_traces,
         budget,
         observer,
-    );
+    )?;
     let kronecker_report = kronecker_eval(
         &KroneckerRandomness::full(),
         ProbeModel::Glitch,
@@ -203,9 +213,9 @@ pub fn run_e3(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         usize::MAX,
         budget,
         observer,
-    );
+    )?;
     let matches = sbox_report.passed() && kronecker_report.passed();
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E3",
         title: "Full randomness (7 bits): S-box and Kronecker pass",
         paper_location: "§III ¶4",
@@ -220,7 +230,7 @@ pub fn run_e3(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         traces: sbox_report.traces + kronecker_report.traces,
         max_minus_log10_p: max_minus_log10_p(&[&sbox_report, &kronecker_report]),
         details: format!("{sbox_report}\n{kronecker_report}"),
-    }
+    })
 }
 
 fn exact_verify(
@@ -248,7 +258,10 @@ fn exact_verify(
 /// depend on unmasked values. Proven by exhaustive enumeration, with a
 /// distribution-gap counterexample (this is the SILVER role predicted in
 /// the paper's conclusion).
-pub fn run_e4(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
+pub fn run_e4(
+    budget: &ExperimentBudget,
+    observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     let scope = budget.exact_scope.as_deref();
     let (_, single_reuse) =
         exact_verify(&KroneckerRandomness::single_reuse_r1_r3(), scope, observer);
@@ -259,7 +272,7 @@ pub fn run_e4(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         .first()
         .map(|(label, counterexample)| format!("{label}: {counterexample}"))
         .unwrap_or_else(|| "no witness".to_owned());
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E4",
         title: "Root cause proven exactly: r1 = r3 alone leaks",
         paper_location: "§III, Equation (8)",
@@ -278,13 +291,16 @@ pub fn run_e4(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         traces: 0,
         max_minus_log10_p: 0.0,
         details: format!("{single_reuse}\n{eq6}"),
-    }
+    })
 }
 
 /// E5 (§IV, Eq. 9): the paper's repaired optimization (4 bits) passes
 /// the glitch-extended evaluation — statistically and by exhaustive
 /// proof.
-pub fn run_e5(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
+pub fn run_e5(
+    budget: &ExperimentBudget,
+    observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     let statistical = kronecker_eval(
         &KroneckerRandomness::proposed_eq9(),
         ProbeModel::Glitch,
@@ -293,14 +309,14 @@ pub fn run_e5(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         usize::MAX,
         budget,
         observer,
-    );
+    )?;
     let (_, proof) = exact_verify(
         &KroneckerRandomness::proposed_eq9(),
         budget.exact_scope.as_deref(),
         observer,
     );
     let matches = statistical.passed() && proof.proven_secure();
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E5",
         title: "Proposed Eq. 9 optimization passes (glitch model)",
         paper_location: "§IV, Equation (9)",
@@ -315,12 +331,15 @@ pub fn run_e5(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         traces: statistical.traces,
         max_minus_log10_p: max_minus_log10_p(&[&statistical]),
         details: format!("{statistical}\n{proof}"),
-    }
+    })
 }
 
 /// E6 (§IV): the `r5 = r6` counterexample — sharing the two layer-2
 /// masks leaks even with a fully fresh first layer.
-pub fn run_e6(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
+pub fn run_e6(
+    budget: &ExperimentBudget,
+    observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     let statistical = kronecker_eval(
         &KroneckerRandomness::r5_equals_r6(),
         ProbeModel::Glitch,
@@ -329,14 +348,14 @@ pub fn run_e6(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         usize::MAX,
         budget,
         observer,
-    );
+    )?;
     let (_, proof) = exact_verify(
         &KroneckerRandomness::r5_equals_r6(),
         budget.exact_scope.as_deref(),
         observer,
     );
     let matches = !statistical.passed() && proof.leak_found();
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E6",
         title: "r5 = r6 is insecure (layer-2 masks must differ)",
         paper_location: "§IV (w0/w1 analysis)",
@@ -351,13 +370,16 @@ pub fn run_e6(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         traces: statistical.traces,
         max_minus_log10_p: max_minus_log10_p(&[&statistical]),
         details: format!("{statistical}\n{proof}"),
-    }
+    })
 }
 
 /// E7 (§IV, transition paragraph): the schedule × model matrix. Under
 /// glitch+transition, Eq. 6 and Eq. 9 fail; the four `r7 = rᵢ` solutions
 /// (7→6 bits) pass, as does the unoptimized schedule.
-pub fn run_e7(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
+pub fn run_e7(
+    budget: &ExperimentBudget,
+    observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     struct Expectation {
         schedule: KroneckerRandomness,
         glitch_pass: bool,
@@ -414,7 +436,7 @@ pub fn run_e7(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
             usize::MAX,
             budget,
             observer,
-        );
+        )?;
         let transition = kronecker_eval(
             &expectation.schedule,
             ProbeModel::GlitchTransition,
@@ -423,7 +445,7 @@ pub fn run_e7(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
             usize::MAX,
             budget,
             observer,
-        );
+        )?;
         let row_matches = glitch.passed() == expectation.glitch_pass
             && transition.passed() == expectation.transition_pass;
         matches &= row_matches;
@@ -447,7 +469,7 @@ pub fn run_e7(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         ));
         details.push_str(&format!("{glitch}\n{transition}\n"));
     }
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E7",
         title: "Schedule × model security matrix (incl. transitions)",
         paper_location: "§IV (transition paragraph)",
@@ -458,13 +480,16 @@ pub fn run_e7(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         traces: total_traces,
         max_minus_log10_p: worst,
         details,
-    }
+    })
 }
 
 /// E8 (§IV last ¶): the second-order Kronecker with the 21→13-bit
 /// optimization (reconstructed schedule) shows no detectable leakage up
 /// to second order under glitches and transitions.
-pub fn run_e8(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
+pub fn run_e8(
+    budget: &ExperimentBudget,
+    observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     let mut reports = Vec::new();
     let mut matches = true;
     let mut total_traces = 0u64;
@@ -482,7 +507,7 @@ pub fn run_e8(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
                 budget.second_order_max_sets,
                 budget,
                 observer,
-            );
+            )?;
             matches &= report.passed();
             total_traces += report.traces;
             worst = worst.max(max_minus_log10_p(&[&report]));
@@ -494,7 +519,7 @@ pub fn run_e8(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
             ));
         }
     }
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E8",
         title: "Second-order Kronecker (21→13 bits): no leakage detected",
         paper_location: "§IV last ¶",
@@ -509,11 +534,14 @@ pub fn run_e8(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutco
         traces: total_traces,
         max_minus_log10_p: worst,
         details: reports.join("\n"),
-    }
+    })
 }
 
 /// E9 (§II-B Eq. 6, §IV): the randomness-cost accounting.
-pub fn run_e9(_budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOutcome {
+pub fn run_e9(
+    _budget: &ExperimentBudget,
+    _observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     let rows: Vec<(KroneckerRandomness, usize)> = vec![
         (KroneckerRandomness::full(), 7),
         (KroneckerRandomness::de_meyer_eq6(), 3),
@@ -537,7 +565,7 @@ pub fn run_e9(_budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOut
         })
         .collect::<Vec<_>>()
         .join("; ");
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E9",
         title: "Fresh-randomness costs of the schedules",
         paper_location: "§II-B Eq. (6), §IV",
@@ -548,14 +576,17 @@ pub fn run_e9(_budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOut
         traces: 0,
         max_minus_log10_p: 0.0,
         details: String::new(),
-    }
+    })
 }
 
 /// E10 (Fig. 1/2, §II-C): structure — 5-cycle latency (3 Kronecker +
 /// 2 conversions), one S-box per cycle throughput, functional
 /// equivalence with the FIPS-197 S-box on all 256 inputs, and the area
 /// overhead over the unprotected S-box.
-pub fn run_e10(budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOutcome {
+pub fn run_e10(
+    budget: &ExperimentBudget,
+    _observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     let circuit = build_masked_sbox(SboxOptions::default()).expect("valid netlist");
     let mut rng = StdRng::seed_from_u64(budget.seed);
     let mut sim = Simulator::new(&circuit.netlist);
@@ -584,7 +615,7 @@ pub fn run_e10(budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOut
     let (unprotected, ..) = build_unprotected_sbox(InverterKind::Tower).expect("valid netlist");
     let unprotected_stats = NetlistStats::of(&unprotected);
     let matches = circuit.latency == 5 && correct == 256;
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E10",
         title: "Pipeline structure: latency 5, correct for all inputs",
         paper_location: "§II-C, Fig. 2",
@@ -602,18 +633,21 @@ pub fn run_e10(budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOut
         traces: 0,
         max_minus_log10_p: 0.0,
         details: format!("{masked_stats}\n{unprotected_stats}"),
-    }
+    })
 }
 
 /// E11 (§I/§II-B): the zero-value problem as a first-order DPA — broken
 /// without the Kronecker mapping, closed with it.
-pub fn run_e11(budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOutcome {
+pub fn run_e11(
+    budget: &ExperimentBudget,
+    _observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     let mut rng = StdRng::seed_from_u64(budget.seed);
     let unprotected = zero_value_t_test(ZeroMapping::Disabled, budget.dpa_traces, 1.0, &mut rng);
     let protected = zero_value_t_test(ZeroMapping::Enabled, budget.dpa_traces, 1.0, &mut rng);
     let matches =
         unprotected.statistic.abs() > TVLA_THRESHOLD && protected.statistic.abs() < TVLA_THRESHOLD;
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E11",
         title: "Zero-value problem: first-order DPA on HW leakage",
         paper_location: "§I, §II-B (Golić–Tymen)",
@@ -628,7 +662,7 @@ pub fn run_e11(budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOut
         traces: 2 * budget.dpa_traces as u64,
         max_minus_log10_p: 0.0,
         details: String::new(),
-    }
+    })
 }
 
 /// E12 (extension, beyond the paper): the *complete* masked AES-128
@@ -637,7 +671,10 @@ pub fn run_e11(budget: &ExperimentBudget, _observer: &Observer) -> ExperimentOut
 /// masked cipher implementations" capability PROLEAD advertises. With
 /// the Eq. 6 schedule in every S-box the cipher leaks (fixed plaintext
 /// 0 puts zero bytes through round 1); with Eq. 9 it passes.
-pub fn run_e12(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutcome {
+pub fn run_e12(
+    budget: &ExperimentBudget,
+    observer: &Observer,
+) -> Result<ExperimentOutcome, CampaignError> {
     let mut rows = Vec::new();
     let mut matches = true;
     let mut total_traces = 0u64;
@@ -665,7 +702,7 @@ pub fn run_e12(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutc
         for bus in &circuit.r_buses {
             campaign = campaign.require_nonzero_bus(bus.clone());
         }
-        let report = campaign.run();
+        let report = campaign.try_run()?;
         matches &= report.passed() == expect_pass;
         total_traces += report.traces;
         worst = worst.max(max_minus_log10_p(&[&report]));
@@ -676,7 +713,7 @@ pub fn run_e12(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutc
             if expect_pass { "PASS" } else { "FAIL" }
         ));
     }
-    ExperimentOutcome {
+    Ok(ExperimentOutcome {
         id: "E12",
         title: "Extension: complete masked AES-128 core evaluated",
         paper_location: "extension (PROLEAD capability, §II-D)",
@@ -691,25 +728,29 @@ pub fn run_e12(budget: &ExperimentBudget, observer: &Observer) -> ExperimentOutc
         traces: total_traces,
         max_minus_log10_p: worst,
         details: rows.join("\n"),
-    }
+    })
 }
 
-/// Runs every experiment in order.
-pub fn run_all(budget: &ExperimentBudget, observer: &Observer) -> Vec<ExperimentOutcome> {
-    vec![
-        run_e1(budget, observer),
-        run_e2(budget, observer),
-        run_e3(budget, observer),
-        run_e4(budget, observer),
-        run_e5(budget, observer),
-        run_e6(budget, observer),
-        run_e7(budget, observer),
-        run_e8(budget, observer),
-        run_e9(budget, observer),
-        run_e10(budget, observer),
-        run_e11(budget, observer),
-        run_e12(budget, observer),
-    ]
+/// Runs every experiment in order, stopping at the first campaign
+/// whose fault containment is exhausted.
+pub fn run_all(
+    budget: &ExperimentBudget,
+    observer: &Observer,
+) -> Result<Vec<ExperimentOutcome>, CampaignError> {
+    Ok(vec![
+        run_e1(budget, observer)?,
+        run_e2(budget, observer)?,
+        run_e3(budget, observer)?,
+        run_e4(budget, observer)?,
+        run_e5(budget, observer)?,
+        run_e6(budget, observer)?,
+        run_e7(budget, observer)?,
+        run_e8(budget, observer)?,
+        run_e9(budget, observer)?,
+        run_e10(budget, observer)?,
+        run_e11(budget, observer)?,
+        run_e12(budget, observer)?,
+    ])
 }
 
 #[cfg(test)]
@@ -723,15 +764,15 @@ mod tests {
     #[test]
     fn e9_and_e10_are_cheap_and_reproduce() {
         let observer = Observer::null();
-        let e9 = run_e9(&smoke(), &observer);
+        let e9 = run_e9(&smoke(), &observer).expect("no campaign to fault");
         assert!(e9.matches_paper, "{e9}");
-        let e10 = run_e10(&smoke(), &observer);
+        let e10 = run_e10(&smoke(), &observer).expect("no campaign to fault");
         assert!(e10.matches_paper, "{e10}");
     }
 
     #[test]
     fn e11_reproduces() {
-        let e11 = run_e11(&smoke(), &Observer::null());
+        let e11 = run_e11(&smoke(), &Observer::null()).expect("no campaign to fault");
         assert!(e11.matches_paper, "{e11}");
     }
 }

@@ -10,11 +10,12 @@
 //! ```no_run
 //! use mmaes_core::{run_all, ExperimentBudget, Observer};
 //!
-//! let outcomes = run_all(&ExperimentBudget::default(), &Observer::null());
+//! let outcomes = run_all(&ExperimentBudget::default(), &Observer::null())?;
 //! for outcome in &outcomes {
 //!     println!("{outcome}");
 //! }
 //! assert!(outcomes.iter().all(|outcome| outcome.matches_paper));
+//! # Ok::<(), mmaes_leakage::CampaignError>(())
 //! ```
 
 #![forbid(unsafe_code)]

@@ -12,42 +12,42 @@ fn e1_reproduces() {
         first_order_traces: 100_000,
         ..ExperimentBudget::smoke()
     };
-    let o = run_e1(&budget, &Observer::null());
+    let o = run_e1(&budget, &Observer::null()).expect("campaign");
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e2_reproduces() {
-    let o = run_e2(&ExperimentBudget::smoke(), &Observer::null());
+    let o = run_e2(&ExperimentBudget::smoke(), &Observer::null()).expect("campaign");
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e3_reproduces() {
-    let o = run_e3(&ExperimentBudget::smoke(), &Observer::null());
+    let o = run_e3(&ExperimentBudget::smoke(), &Observer::null()).expect("campaign");
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e4_reproduces() {
-    let o = run_e4(&ExperimentBudget::smoke(), &Observer::null());
+    let o = run_e4(&ExperimentBudget::smoke(), &Observer::null()).expect("campaign");
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e5_reproduces() {
-    let o = run_e5(&ExperimentBudget::smoke(), &Observer::null());
+    let o = run_e5(&ExperimentBudget::smoke(), &Observer::null()).expect("campaign");
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e6_reproduces() {
-    let o = run_e6(&ExperimentBudget::smoke(), &Observer::null());
+    let o = run_e6(&ExperimentBudget::smoke(), &Observer::null()).expect("campaign");
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e7_reproduces() {
-    let o = run_e7(&ExperimentBudget::smoke(), &Observer::null());
+    let o = run_e7(&ExperimentBudget::smoke(), &Observer::null()).expect("campaign");
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
 fn e8_reproduces() {
-    let o = run_e8(&ExperimentBudget::smoke(), &Observer::null());
+    let o = run_e8(&ExperimentBudget::smoke(), &Observer::null()).expect("campaign");
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }
 #[test]
@@ -60,6 +60,6 @@ fn e12_reproduces() {
         cipher_traces: 30_000,
         ..ExperimentBudget::smoke()
     };
-    let o = run_e12(&budget, &Observer::null());
+    let o = run_e12(&budget, &Observer::null()).expect("campaign");
     assert!(o.matches_paper, "{o}\n{}", o.details);
 }

@@ -15,7 +15,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 use mmaes_netlist::{Netlist, NetlistError, SecretId, StableCones, WireId};
 use mmaes_sim::{EvaluatorMode, SimStats, Simulator, LANES};
@@ -30,6 +31,7 @@ use crate::probe::{enumerate_probe_sets, ProbeModel, ProbeSet};
 use crate::report::{LeakageReport, ProbeResult};
 use crate::snapshot::{self, CampaignSnapshot, SnapshotError, TableSnapshot};
 use crate::stats::{g_test, pooling_summary};
+use crate::supervisor::{self, RetryQueue};
 
 /// How the second population's secrets are drawn.
 ///
@@ -104,6 +106,17 @@ pub enum CampaignError {
     /// The netlist declares no secret shares — there is nothing to fix
     /// versus randomize.
     NoSecretShares,
+    /// A batch kept faulting after exhausting its quarantine-and-retry
+    /// budget (see [`crate::supervisor`]); the campaign stopped with a
+    /// contiguous folded prefix and an emergency snapshot.
+    Worker {
+        /// The batch whose attempts were exhausted.
+        batch: u64,
+        /// Attempts consumed (the supervisor's full budget).
+        attempts: u32,
+        /// The last fault's message.
+        message: String,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -114,6 +127,16 @@ impl fmt::Display for CampaignError {
             CampaignError::NoSecretShares => {
                 write!(formatter, "netlist declares no secret shares")
             }
+            CampaignError::Worker {
+                batch,
+                attempts,
+                message,
+            } => {
+                write!(
+                    formatter,
+                    "batch {batch} failed {attempts} attempts: {message}"
+                )
+            }
         }
     }
 }
@@ -123,7 +146,7 @@ impl std::error::Error for CampaignError {
         match self {
             CampaignError::Netlist(error) => Some(error),
             CampaignError::Snapshot(error) => Some(error),
-            CampaignError::NoSecretShares => None,
+            CampaignError::NoSecretShares | CampaignError::Worker { .. } => None,
         }
     }
 }
@@ -414,6 +437,44 @@ struct BatchOutcome {
     stats: SimStats,
 }
 
+/// Watchdog granularity of the sharded coordinator: how often it wakes
+/// from `recv` to scan heartbeats and check for a fatal worker verdict.
+const WATCHDOG_TICK_MS: u64 = 100;
+
+/// Runs one batch under supervision, retrying in place: a faulted
+/// attempt (contained panic — injected or real) rebuilds the simulator
+/// and retries after bounded backoff, up to
+/// [`supervisor::MAX_ATTEMPTS`] total attempts. Because the outcome is
+/// a pure function of `(seed, batch)`, a successful retry is
+/// indistinguishable from a fault-free first attempt.
+fn run_batch_supervised<'a>(
+    engine: &BatchEngine<'a>,
+    sim: &mut Simulator<'a>,
+    batch: u64,
+    perf: &PerfRecorder,
+) -> Result<BatchOutcome, CampaignError> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match supervisor::supervised(batch, || engine.run_batch(sim, batch, perf)) {
+            Ok(outcome) => return Ok(outcome),
+            Err(fault) => {
+                if attempts >= supervisor::MAX_ATTEMPTS {
+                    return Err(CampaignError::Worker {
+                        batch,
+                        attempts,
+                        message: fault.to_string(),
+                    });
+                }
+                // The panicked attempt may have torn the simulator
+                // mid-step; rebuild it rather than trust its state.
+                *sim = Simulator::with_evaluator(engine.netlist, engine.config.evaluator);
+                std::thread::sleep(Duration::from_millis(supervisor::backoff_ms(attempts)));
+            }
+        }
+    }
+}
+
 impl BatchEngine<'_> {
     /// Simulates one batch on `sim` and aggregates its observations.
     /// A pure function of `(seed, batch)` — which simulator runs it,
@@ -559,6 +620,10 @@ struct CampaignState {
     folded: SimStats,
     early_stopped: bool,
     interrupted: bool,
+    /// Checkpoint snapshot writes exhausted their retry budget: skip
+    /// further interim saves (the final save is still attempted) and
+    /// surface the outage via the degraded registry.
+    snapshot_degraded: bool,
     last_stats: SimStats,
     last_elapsed_ms: u64,
 }
@@ -573,6 +638,7 @@ impl CampaignState {
             folded: SimStats::default(),
             early_stopped: false,
             interrupted: false,
+            snapshot_degraded: false,
             last_stats: SimStats::default(),
             last_elapsed_ms: 0,
         }
@@ -603,9 +669,9 @@ struct FoldContext<'a> {
 /// use mmaes_masking::KroneckerRandomness;
 ///
 /// let circuit = build_kronecker(&KroneckerRandomness::de_meyer_eq6())?;
-/// let report = FixedVsRandom::new(&circuit.netlist, EvaluationConfig::default()).run();
+/// let report = FixedVsRandom::new(&circuit.netlist, EvaluationConfig::default()).try_run()?;
 /// assert!(!report.passed()); // Eq. 6 leaks — the paper's finding
-/// # Ok::<(), mmaes_netlist::BuildError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct FixedVsRandom<'a> {
@@ -661,21 +727,6 @@ impl<'a> FixedVsRandom<'a> {
         self
     }
 
-    /// Runs the campaign and produces a report.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the netlist declares no secret shares (nothing to fix),
-    /// fails validation, or the snapshot options error — the message is
-    /// the [`CampaignError`] display. Use [`FixedVsRandom::try_run`] to
-    /// handle these as values.
-    pub fn run(&self) -> LeakageReport {
-        match self.try_run() {
-            Ok(report) => report,
-            Err(error) => panic!("{error}"),
-        }
-    }
-
     /// The campaign's snapshot-compatibility fingerprint: every
     /// sampling-relevant configuration field plus the probing-set list.
     fn fingerprint(&self, probe_sets: &[ProbeSet]) -> u64 {
@@ -708,7 +759,7 @@ impl<'a> FixedVsRandom<'a> {
         fnv1a(canonical.as_bytes())
     }
 
-    /// Fallible form of [`FixedVsRandom::run`], with crash-safety: when
+    /// Runs the campaign and produces a report, with crash-safety: when
     /// [`Durability::snapshot_path`] is set the complete campaign state
     /// is persisted atomically at every checkpoint and on exit, and
     /// [`Durability::resume`] continues a previous run bit-identically.
@@ -721,6 +772,8 @@ impl<'a> FixedVsRandom<'a> {
     /// * [`CampaignError::Snapshot`] — the snapshot file is corrupt,
     ///   version-mismatched, taken under a different configuration, or
     ///   unwritable.
+    /// * [`CampaignError::Worker`] — a batch exhausted the supervisor's
+    ///   quarantine-and-retry budget (see [`crate::supervisor`]).
     pub fn try_run(&self) -> Result<LeakageReport, CampaignError> {
         self.try_run_impl(false).map(|(report, _)| report)
     }
@@ -825,6 +878,12 @@ impl<'a> FixedVsRandom<'a> {
         let mut state = CampaignState::new(probe_sets.len());
         // Cell evaluations folded in by previous (interrupted) legs.
         let mut prior_cell_evals = 0u64;
+        // A crash between tmp-write and rename leaves a stale `.tmp`
+        // sibling; reap it before touching the snapshot so a torn file
+        // can never be mistaken for (or block) campaign state.
+        if let Some(path) = &durability.snapshot_path {
+            snapshot::reap_stale_tmp(path);
+        }
         if durability.resume {
             if let Some(path) = &durability.snapshot_path {
                 if path.exists() {
@@ -890,24 +949,40 @@ impl<'a> FixedVsRandom<'a> {
             fresh_bits_per_trace,
         };
         let threads = config.threads.max(1);
-        if state.batches_done < batches {
+        let run_result: Result<(), CampaignError> = if state.batches_done < batches {
             if threads == 1 {
-                // In-place single-threaded: one simulator, fold as we go.
+                // In-place single-threaded: one simulator, fold as we
+                // go. Faulted batches are retried in place on a rebuilt
+                // simulator (same supervision budget as the pool).
                 let mut sim = Simulator::with_evaluator(self.netlist, config.evaluator);
+                let mut stopped = Ok(());
                 for batch in state.batches_done..batches {
-                    let outcome = engine.run_batch(&mut sim, batch, perf);
-                    if self.fold_batch(&context, &mut state, outcome)? {
-                        break;
+                    match run_batch_supervised(&engine, &mut sim, batch, perf) {
+                        Ok(outcome) => {
+                            if self.fold_batch(&context, &mut state, outcome) {
+                                break;
+                            }
+                        }
+                        Err(error) => {
+                            stopped = Err(error);
+                            break;
+                        }
                     }
                 }
+                stopped
             } else {
-                self.run_sharded(&engine, &context, &mut state, threads)?;
+                self.run_sharded(&engine, &context, &mut state, threads)
             }
-        }
+        } else {
+            Ok(())
+        };
 
-        // Final snapshot: covers interruption, early stop and normal
+        // Final snapshot: covers interruption, early stop, normal
         // completion (resuming a completed snapshot reproduces the
-        // final report without re-simulating).
+        // final report without re-simulating) — and, when the run
+        // itself failed, an emergency flush of the contiguous folded
+        // prefix before the error propagates, so the traces already
+        // simulated are never lost.
         if let Some(path) = &durability.snapshot_path {
             let _span = perf.span("snapshot");
             let saved = build_snapshot(
@@ -919,8 +994,22 @@ impl<'a> FixedVsRandom<'a> {
                 &state.flagged,
                 &state.trajectories,
             );
-            snapshot::save(&saved, path)?;
+            if let Err(error) = snapshot::save_with_retry(&saved, path) {
+                if run_result.is_ok() {
+                    // A healthy run whose final state cannot be
+                    // persisted is a typed error: the caller asked for
+                    // durability and did not get it.
+                    return Err(error.into());
+                }
+                // The run error is the root cause and wins; record the
+                // failed emergency flush alongside it.
+                mmaes_telemetry::degraded::mark(
+                    "snapshot",
+                    &format!("emergency flush failed: {error}"),
+                );
+            }
         }
+        run_result?;
 
         let traces = state.batches_done * LANES as u64;
         let final_sweep = perf.span("g_test");
@@ -1071,14 +1160,17 @@ impl<'a> FixedVsRandom<'a> {
     /// cooperative-interrupt check. Batches MUST be folded in strictly
     /// increasing batch order — that invariant (not any property of the
     /// producers) is what makes multi-threaded campaigns byte-identical
-    /// to single-threaded ones. Returns `Ok(true)` when the campaign
+    /// to single-threaded ones. Returns `true` when the campaign
     /// should stop before `context.batches` (early stop or interrupt).
+    /// Infallible: a checkpoint snapshot that exhausts its retry budget
+    /// degrades (recorded in the registry, later interim saves skipped)
+    /// rather than aborting a healthy campaign.
     fn fold_batch(
         &self,
         context: &FoldContext<'_>,
         state: &mut CampaignState,
         outcome: BatchOutcome,
-    ) -> Result<bool, CampaignError> {
+    ) -> bool {
         let config = &self.config;
         let perf = context.perf;
         debug_assert_eq!(outcome.batch, state.batches_done, "fold order violated");
@@ -1189,21 +1281,33 @@ impl<'a> FixedVsRandom<'a> {
                 )));
             }
             if let Some(path) = &config.durability.snapshot_path {
-                let _span = perf.span("snapshot");
-                let saved = build_snapshot(
-                    context.fingerprint,
-                    state.batches_done,
-                    context.batches,
-                    context.prior_cell_evals + state.folded.cell_evals,
-                    &state.tables,
-                    &state.flagged,
-                    &state.trajectories,
-                );
-                snapshot::save(&saved, path)?;
+                if !state.snapshot_degraded {
+                    let _span = perf.span("snapshot");
+                    let saved = build_snapshot(
+                        context.fingerprint,
+                        state.batches_done,
+                        context.batches,
+                        context.prior_cell_evals + state.folded.cell_evals,
+                        &state.tables,
+                        &state.flagged,
+                        &state.trajectories,
+                    );
+                    if let Err(error) = snapshot::save_with_retry(&saved, path) {
+                        // Interim saves are an amenity; losing them must
+                        // not kill a healthy campaign. Degrade: skip
+                        // further interim saves (the final save is still
+                        // attempted) and surface the outage.
+                        state.snapshot_degraded = true;
+                        mmaes_telemetry::degraded::mark(
+                            "snapshot",
+                            &format!("checkpoint at batch {}: {error}", state.batches_done),
+                        );
+                    }
+                }
             }
             if config.early_stop && max_minus_log10_p >= DECISIVE_MARGIN * config.threshold {
                 state.early_stopped = true;
-                return Ok(true);
+                return true;
             }
         }
 
@@ -1222,16 +1326,31 @@ impl<'a> FixedVsRandom<'a> {
             .is_some_and(|cap| state.batches_done >= cap);
         if (signalled || capped) && state.batches_done < context.batches {
             state.interrupted = true;
-            return Ok(true);
+            return true;
         }
-        Ok(false)
+        false
     }
 
-    /// Shards batches across a worker pool. Workers claim batch indices
-    /// from a shared atomic counter and each own a private [`Simulator`];
-    /// the coordinator (this thread) reorders completed batches through
-    /// a `BTreeMap` buffer and folds them in strict batch order, so the
-    /// result is byte-identical to the in-place single-threaded loop.
+    /// Shards batches across a supervised worker pool. Workers claim
+    /// batch indices from a shared atomic counter (quarantined retries
+    /// first) and each own a private [`Simulator`]; the coordinator
+    /// (this thread) reorders completed batches through a `BTreeMap`
+    /// buffer and folds them in strict batch order, so the result is
+    /// byte-identical to the in-place single-threaded loop.
+    ///
+    /// Fault containment (see [`crate::supervisor`]): every batch
+    /// attempt runs inside a panic boundary. A faulted batch is pushed
+    /// onto a shared retry queue — the next free (healthy) worker
+    /// rebuilds its simulator, backs off briefly and re-runs it; a
+    /// panicked attempt delivers no outcome, so the fold sees each
+    /// batch exactly once and reports stay byte-identical under
+    /// injected faults. A batch that exhausts
+    /// [`supervisor::MAX_ATTEMPTS`] is fatal: the pool stops and the
+    /// campaign returns [`CampaignError::Worker`]. The coordinator
+    /// doubles as a heartbeat watchdog, flagging shards whose in-flight
+    /// batch is overdue into the degraded registry (advisory only —
+    /// wall-clock diagnostics never reach the report).
+    ///
     /// Each worker records perf into its own recorder, merged into the
     /// campaign recorder at join (per-phase totals then sum CPU time
     /// across workers, which can exceed wall time).
@@ -1244,6 +1363,11 @@ impl<'a> FixedVsRandom<'a> {
     ) -> Result<(), CampaignError> {
         let next_batch = AtomicU64::new(state.batches_done);
         let stop = AtomicBool::new(false);
+        let retry_queue = RetryQueue::new();
+        let heartbeats = supervisor::Heartbeats::new(threads);
+        let stall_timeout_ms = supervisor::stall_timeout_ms();
+        // First fatal worker verdict wins; later ones are dropped.
+        let fatal: Mutex<Option<CampaignError>> = Mutex::new(None);
         // Bounded channel: backpressure keeps the reorder buffer (and
         // per-worker memory) proportional to the thread count even when
         // one batch folds slowly (e.g. a checkpoint snapshot).
@@ -1252,10 +1376,13 @@ impl<'a> FixedVsRandom<'a> {
         let mut result = Ok(());
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
+                .map(|worker| {
                     let sender = sender.clone();
                     let next_batch = &next_batch;
                     let stop = &stop;
+                    let retry_queue = &retry_queue;
+                    let heartbeats = &heartbeats;
+                    let fatal = &fatal;
                     scope.spawn(move || {
                         let worker_perf = if perf_enabled {
                             PerfRecorder::enabled()
@@ -1265,15 +1392,60 @@ impl<'a> FixedVsRandom<'a> {
                         let mut sim =
                             Simulator::with_evaluator(engine.netlist, engine.config.evaluator);
                         while !stop.load(Ordering::Acquire) {
-                            let batch = next_batch.fetch_add(1, Ordering::Relaxed);
-                            if batch >= context.batches {
-                                break;
+                            // Quarantined batches first: a faulted batch
+                            // must not languish behind the claim
+                            // frontier (the fold is blocked on it).
+                            let (batch, prior_attempts) = match retry_queue.pop() {
+                                Some(claim) => (claim.batch, claim.attempts),
+                                None => {
+                                    let batch = next_batch.fetch_add(1, Ordering::Relaxed);
+                                    if batch >= context.batches {
+                                        break;
+                                    }
+                                    (batch, 0)
+                                }
+                            };
+                            if prior_attempts > 0 {
+                                std::thread::sleep(Duration::from_millis(supervisor::backoff_ms(
+                                    prior_attempts,
+                                )));
                             }
-                            let outcome = engine.run_batch(&mut sim, batch, &worker_perf);
-                            // A closed channel means the coordinator
-                            // stopped (early stop, interrupt or error).
-                            if sender.send(outcome).is_err() {
-                                break;
+                            heartbeats.start(worker, batch);
+                            let attempt = supervisor::supervised(batch, || {
+                                engine.run_batch(&mut sim, batch, &worker_perf)
+                            });
+                            heartbeats.idle(worker);
+                            match attempt {
+                                // A closed channel means the coordinator
+                                // stopped (early stop, interrupt or error).
+                                Ok(outcome) => {
+                                    if sender.send(outcome).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(fault) => {
+                                    // The panicked attempt may have torn
+                                    // the simulator mid-step; rebuild it
+                                    // rather than trust its state.
+                                    sim = Simulator::with_evaluator(
+                                        engine.netlist,
+                                        engine.config.evaluator,
+                                    );
+                                    let attempts = prior_attempts + 1;
+                                    if attempts >= supervisor::MAX_ATTEMPTS {
+                                        let mut slot = fatal
+                                            .lock()
+                                            .unwrap_or_else(|poison| poison.into_inner());
+                                        slot.get_or_insert(CampaignError::Worker {
+                                            batch,
+                                            attempts,
+                                            message: fault.to_string(),
+                                        });
+                                        stop.store(true, Ordering::Release);
+                                        break;
+                                    }
+                                    retry_queue.push(batch, attempts);
+                                }
                             }
                         }
                         worker_perf
@@ -1282,21 +1454,39 @@ impl<'a> FixedVsRandom<'a> {
                 .collect();
             drop(sender);
             // Reorder buffer: outcomes arrive in completion order and
-            // are folded in batch order. A recv error means every
+            // are folded in batch order. A disconnect means every
             // worker exited — with all batches claimed and sent, that
-            // only happens once the frontier has caught up.
+            // only happens once the frontier has caught up (or the
+            // pool stopped on a fatal fault, picked up below).
             let mut pending: BTreeMap<u64, BatchOutcome> = BTreeMap::new();
+            let mut flagged_stall = vec![false; threads];
             'fold: while state.batches_done < context.batches {
-                let Ok(outcome) = receiver.recv() else { break };
+                let outcome = match receiver.recv_timeout(Duration::from_millis(WATCHDOG_TICK_MS)) {
+                    Ok(outcome) => outcome,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Watchdog tick: advisory stall flags (once
+                        // per worker) and the fatal-verdict check.
+                        for (worker, fault) in heartbeats.stalled(stall_timeout_ms) {
+                            if !flagged_stall[worker] {
+                                flagged_stall[worker] = true;
+                                mmaes_telemetry::degraded::mark(
+                                    "worker",
+                                    &format!("worker {worker}: {fault}"),
+                                );
+                            }
+                        }
+                        let poisoned = fatal.lock().unwrap_or_else(|poison| poison.into_inner());
+                        if poisoned.is_some() {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                };
                 pending.insert(outcome.batch, outcome);
                 while let Some(outcome) = pending.remove(&state.batches_done) {
-                    match self.fold_batch(context, state, outcome) {
-                        Ok(false) => {}
-                        Ok(true) => break 'fold,
-                        Err(error) => {
-                            result = Err(error);
-                            break 'fold;
-                        }
+                    if self.fold_batch(context, state, outcome) {
+                        break 'fold;
                     }
                 }
             }
@@ -1307,8 +1497,17 @@ impl<'a> FixedVsRandom<'a> {
             for handle in handles {
                 match handle.join() {
                     Ok(worker_perf) => context.perf.absorb(&worker_perf),
+                    // Unreachable: every batch attempt runs inside the
+                    // supervisor's panic boundary.
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
+            }
+            if let Some(error) = fatal
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .take()
+            {
+                result = Err(error);
             }
         });
         result
@@ -1398,7 +1597,9 @@ mod tests {
     #[test]
     fn unmasked_recombination_is_flagged() {
         let netlist = blatantly_leaky();
-        let report = FixedVsRandom::new(&netlist, config(20_000)).run();
+        let report = FixedVsRandom::new(&netlist, config(20_000))
+            .try_run()
+            .expect("campaign");
         assert!(!report.passed(), "{report}");
         assert!(report.worst().expect("results").minus_log10_p > 50.0);
     }
@@ -1406,7 +1607,9 @@ mod tests {
     #[test]
     fn independent_shares_pass() {
         let netlist = properly_masked();
-        let report = FixedVsRandom::new(&netlist, config(20_000)).run();
+        let report = FixedVsRandom::new(&netlist, config(20_000))
+            .try_run()
+            .expect("campaign");
         assert!(report.passed(), "{report}");
     }
 
@@ -1486,7 +1689,9 @@ mod tests {
         let q = builder.register(out);
         builder.output("q", q);
         let netlist = builder.build().expect("valid");
-        let report = FixedVsRandom::new(&netlist, config(20_000)).run();
+        let report = FixedVsRandom::new(&netlist, config(20_000))
+            .try_run()
+            .expect("campaign");
         assert!(!report.passed(), "{report}");
     }
 
@@ -1508,7 +1713,8 @@ mod tests {
                 ..Default::default()
             },
         )
-        .run();
+        .try_run()
+        .expect("campaign");
         let transition = FixedVsRandom::new(
             &netlist,
             EvaluationConfig {
@@ -1518,7 +1724,8 @@ mod tests {
                 ..Default::default()
             },
         )
-        .run();
+        .try_run()
+        .expect("campaign");
         assert!(glitch.passed());
         assert!(transition.passed(), "{transition}");
     }
@@ -1539,7 +1746,8 @@ mod tests {
                 ..Default::default()
             },
         )
-        .run();
+        .try_run()
+        .expect("campaign");
         assert!(!report.passed());
     }
 
@@ -1559,7 +1767,8 @@ mod tests {
             },
         )
         .with_observer(Observer::single(sink))
-        .run();
+        .try_run()
+        .expect("campaign");
 
         let worst = report.worst().expect("results");
         assert!(worst.trajectory.len() >= 2, "{:?}", worst.trajectory);
@@ -1601,7 +1810,8 @@ mod tests {
                 ..EvaluationConfig::default()
             },
         )
-        .run();
+        .try_run()
+        .expect("campaign");
         assert!(!report.passed());
         assert!(report.early_stopped);
         assert!(
@@ -1614,7 +1824,9 @@ mod tests {
     #[test]
     fn default_config_keeps_the_fast_path_trajectory_free() {
         let netlist = properly_masked();
-        let report = FixedVsRandom::new(&netlist, config(1_000)).run();
+        let report = FixedVsRandom::new(&netlist, config(1_000))
+            .try_run()
+            .expect("campaign");
         assert!(report
             .results
             .iter()
@@ -1638,7 +1850,8 @@ mod tests {
                 ..EvaluationConfig::default()
             },
         )
-        .run();
+        .try_run()
+        .expect("campaign");
         let worst = report.worst().expect("results");
         assert!(worst.trajectory.len() >= 4, "{:?}", worst.trajectory);
         for pair in worst.trajectory.windows(2) {
@@ -1668,7 +1881,8 @@ mod tests {
                 ..EvaluationConfig::default()
             },
         )
-        .run();
+        .try_run()
+        .expect("campaign");
         assert!(!report.passed(), "{report}");
         for result in &report.results {
             assert!(result.distinct_keys <= 1, "cap violated: {result:?}");
@@ -1684,8 +1898,12 @@ mod tests {
             checkpoints: 4,
             ..EvaluationConfig::default()
         };
-        let single = FixedVsRandom::new(&netlist, base.clone()).run();
-        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 4, ..base }).run();
+        let single = FixedVsRandom::new(&netlist, base.clone())
+            .try_run()
+            .expect("campaign");
+        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 4, ..base })
+            .try_run()
+            .expect("campaign");
         assert_eq!(single.results, sharded.results);
         assert_eq!(single.traces, sharded.traces);
         assert_eq!(single.cell_evals, sharded.cell_evals);
@@ -1705,8 +1923,12 @@ mod tests {
             max_table_keys: 1,
             ..EvaluationConfig::default()
         };
-        let single = FixedVsRandom::new(&netlist, base.clone()).run();
-        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 3, ..base }).run();
+        let single = FixedVsRandom::new(&netlist, base.clone())
+            .try_run()
+            .expect("campaign");
+        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 3, ..base })
+            .try_run()
+            .expect("campaign");
         assert_eq!(single.results, sharded.results);
     }
 
@@ -1723,8 +1945,12 @@ mod tests {
             early_stop: true,
             ..EvaluationConfig::default()
         };
-        let single = FixedVsRandom::new(&netlist, base.clone()).run();
-        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 4, ..base }).run();
+        let single = FixedVsRandom::new(&netlist, base.clone())
+            .try_run()
+            .expect("campaign");
+        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 4, ..base })
+            .try_run()
+            .expect("campaign");
         assert!(sharded.early_stopped);
         assert_eq!(single.traces, sharded.traces);
         assert_eq!(single.results, sharded.results);
@@ -1734,7 +1960,9 @@ mod tests {
     fn interpreted_evaluator_reproduces_the_compiled_report() {
         let netlist = blatantly_leaky();
         let base = config(10_000);
-        let compiled = FixedVsRandom::new(&netlist, base.clone()).run();
+        let compiled = FixedVsRandom::new(&netlist, base.clone())
+            .try_run()
+            .expect("campaign");
         let interpreted = FixedVsRandom::new(
             &netlist,
             EvaluationConfig {
@@ -1742,7 +1970,8 @@ mod tests {
                 ..base
             },
         )
-        .run();
+        .try_run()
+        .expect("campaign");
         assert_eq!(compiled.results, interpreted.results);
         assert_eq!(compiled.cell_evals, interpreted.cell_evals);
     }
@@ -1750,7 +1979,9 @@ mod tests {
     #[test]
     fn report_metadata_is_populated() {
         let netlist = properly_masked();
-        let report = FixedVsRandom::new(&netlist, config(1_000)).run();
+        let report = FixedVsRandom::new(&netlist, config(1_000))
+            .try_run()
+            .expect("campaign");
         assert_eq!(report.design, "masked");
         assert!(report.traces >= 1_000);
         assert!(report.probe_set_count() > 0);

@@ -161,6 +161,10 @@ pub fn assess(
         fresh_bits_per_trace,
         fresh_bits_total: fresh_bits_per_trace * traces,
         probes: ranked,
+        // Fault containment (event schema v7): subsystems that fell
+        // back to in-memory operation. Empty on a clean run, so the
+        // payload stays deterministic across `--threads`.
+        degraded: mmaes_telemetry::degraded::snapshot(),
     }
 }
 

@@ -37,6 +37,7 @@ pub mod probe;
 pub mod report;
 pub mod snapshot;
 pub mod stats;
+pub mod supervisor;
 
 pub use campaign::{
     CampaignError, CampaignMode, Durability, EvaluationConfig, FixedVsRandom, ProbeTable,
@@ -49,3 +50,4 @@ pub use mutate::{mutants, FaultKind, Mutant};
 pub use probe::{enumerate_probe_sets, ProbeModel, ProbeSet};
 pub use report::{LeakageReport, ProbeResult};
 pub use snapshot::{CampaignSnapshot, SnapshotError, TableSnapshot, SNAPSHOT_SCHEMA_VERSION};
+pub use supervisor::WorkerFault;

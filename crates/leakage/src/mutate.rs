@@ -267,13 +267,17 @@ mod tests {
             warmup_cycles: 3,
             ..EvaluationConfig::default()
         };
-        let clean = FixedVsRandom::new(&netlist, config.clone()).run();
+        let clean = FixedVsRandom::new(&netlist, config.clone())
+            .try_run()
+            .expect("campaign");
         assert!(clean.passed(), "{clean}");
 
         let stuck = netlist
             .with_input_stuck_at_zero(netlist.find_wire("m").expect("mask"))
             .expect("valid edit");
-        let leaky = FixedVsRandom::new(&stuck, config).run();
+        let leaky = FixedVsRandom::new(&stuck, config)
+            .try_run()
+            .expect("campaign");
         assert!(!leaky.passed(), "stuck mask must leak: {leaky}");
     }
 }

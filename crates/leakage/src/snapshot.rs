@@ -324,6 +324,18 @@ pub fn save(snapshot: &CampaignSnapshot, path: &Path) -> Result<(), SnapshotErro
         SnapshotError::Io(format!("{context} {}: {error}", path.display()))
     };
     let tmp = path.with_extension("tmp");
+    // Deterministic fault injection (`--failpoints snapshot.save=...`):
+    // the chaos harness strikes here, before the real write, so an
+    // injected ENOSPC or truncation never corrupts the destination.
+    // Guarded on `active()` so the inactive fast path never pays for
+    // the serialized payload.
+    if mmaes_telemetry::failpoint::active() {
+        mmaes_telemetry::failpoint::inject_io(
+            "snapshot.save",
+            Some((&tmp, snapshot.to_text().as_bytes())),
+        )
+        .map_err(|error| io_error("write", error))?;
+    }
     {
         let mut file = fs::File::create(&tmp).map_err(|error| io_error("create", error))?;
         file.write_all(snapshot.to_text().as_bytes())
@@ -338,6 +350,25 @@ pub fn save(snapshot: &CampaignSnapshot, path: &Path) -> Result<(), SnapshotErro
         }
     }
     Ok(())
+}
+
+/// [`save`] with the bounded retry-with-backoff budget of
+/// [`mmaes_telemetry::degraded::retry`]: transient failures (or a
+/// bounded fault schedule) recover invisibly; persistent ones surface
+/// the last error so the caller can degrade or propagate.
+pub fn save_with_retry(snapshot: &CampaignSnapshot, path: &Path) -> Result<(), SnapshotError> {
+    mmaes_telemetry::degraded::retry(|| save(snapshot, path))
+}
+
+/// Removes a stale `.tmp` sibling left next to `path` by a crash
+/// mid-rename (or an injected truncation) in a previous run. Called on
+/// campaign startup; best-effort, the atomic-rename discipline never
+/// reads `.tmp` files.
+pub fn reap_stale_tmp(path: &Path) {
+    let tmp = path.with_extension("tmp");
+    if tmp.exists() {
+        let _ = fs::remove_file(&tmp);
+    }
 }
 
 /// Loads and parses a snapshot file.
@@ -435,6 +466,9 @@ mod tests {
 
     #[test]
     fn save_and_load_through_a_file() {
+        // Hold the failpoint gate: the fault tests below share this
+        // process and must not inject into this save.
+        let _guard = mmaes_telemetry::failpoint::scoped("");
         let directory = std::env::temp_dir().join("mmaes-snapshot-test");
         fs::create_dir_all(&directory).expect("mkdir");
         let path = directory.join("roundtrip.snapshot");
@@ -446,6 +480,75 @@ mod tests {
         save(&snapshot, &path).expect("saves again");
         assert!(!path.with_extension("tmp").exists());
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_enospc_fails_cleanly_and_leaves_no_file() {
+        // A persistent I/O failure (modelling ENOSPC) must exhaust the
+        // retry budget, surface a typed error, and leave nothing — no
+        // destination, no `.tmp` — behind.
+        let _guard = mmaes_telemetry::failpoint::scoped("snapshot.save=ioerr x*");
+        let directory = std::env::temp_dir().join("mmaes-snapshot-enospc-test");
+        fs::create_dir_all(&directory).expect("mkdir");
+        let path = directory.join("full-disk.snapshot");
+        let error = save_with_retry(&sample(), &path).expect_err("injected ENOSPC");
+        assert!(matches!(error, SnapshotError::Io(_)), "{error}");
+        assert!(error.to_string().contains("injected"), "{error}");
+        assert!(!path.exists(), "no snapshot file under persistent ENOSPC");
+        assert!(!path.with_extension("tmp").exists());
+    }
+
+    #[test]
+    fn bounded_faults_recover_within_the_retry_budget() {
+        // Two injected failures, a budget of three attempts: the
+        // campaign never notices.
+        let _guard = mmaes_telemetry::failpoint::scoped("snapshot.save=ioerr x2");
+        let directory = std::env::temp_dir().join("mmaes-snapshot-retry-test");
+        fs::create_dir_all(&directory).expect("mkdir");
+        let path = directory.join("transient.snapshot");
+        save_with_retry(&sample(), &path).expect("third attempt lands");
+        assert_eq!(load(&path).expect("loads"), sample());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_writes_leave_the_previous_snapshot_intact() {
+        // `@2`: the first save succeeds, the second is torn mid-write.
+        let _guard = mmaes_telemetry::failpoint::scoped("snapshot.save=truncate@2");
+        let directory = std::env::temp_dir().join("mmaes-snapshot-truncate-test");
+        fs::create_dir_all(&directory).expect("mkdir");
+        let path = directory.join("torn.snapshot");
+        save(&sample(), &path).expect("first save lands");
+        let error = save(&sample(), &path).expect_err("second save is torn");
+        assert!(matches!(error, SnapshotError::Io(_)), "{error}");
+        // The torn bytes sit in `.tmp`; the published path still holds
+        // the complete previous snapshot.
+        let tmp = path.with_extension("tmp");
+        assert!(tmp.exists(), "torn write leaves a .tmp leftover");
+        assert!(
+            CampaignSnapshot::from_text(&fs::read_to_string(&tmp).unwrap()).is_err(),
+            "the leftover really is torn"
+        );
+        assert_eq!(load(&path).expect("previous snapshot intact"), sample());
+        // Startup reaping clears the leftover.
+        reap_stale_tmp(&path);
+        assert!(!tmp.exists(), "stale tmp reaped");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unwritable_directory_is_a_typed_error_not_a_panic() {
+        // A snapshot path whose directory does not exist (the portable
+        // stand-in for a read-only directory — these tests may run as
+        // root, where permission bits do not bite) must fail typed
+        // through the whole retry budget.
+        let path = std::env::temp_dir()
+            .join("mmaes-snapshot-missing-dir-test")
+            .join("nonexistent")
+            .join("x.snapshot");
+        let error = save_with_retry(&sample(), &path).expect_err("unwritable directory");
+        assert!(matches!(error, SnapshotError::Io(_)), "{error}");
+        assert!(error.to_string().contains("create"), "{error}");
     }
 
     #[test]

@@ -23,7 +23,9 @@ fn evaluate(
         warmup_cycles: 6,
         ..EvaluationConfig::default()
     };
-    FixedVsRandom::new(&circuit.netlist, config).run()
+    FixedVsRandom::new(&circuit.netlist, config)
+        .try_run()
+        .expect("campaign")
 }
 
 #[test]
@@ -136,7 +138,9 @@ fn second_order_probes_break_any_first_order_design() {
         max_probe_sets: 1_500,
         ..EvaluationConfig::default()
     };
-    let report = FixedVsRandom::new(&circuit.netlist, config).run();
+    let report = FixedVsRandom::new(&circuit.netlist, config)
+        .try_run()
+        .expect("campaign");
     assert!(
         !report.passed(),
         "order-2 must break a first-order design:\n{report}"
@@ -156,7 +160,9 @@ fn fixed_vs_fixed_zero_against_nonzero_flags_eq6() {
         warmup_cycles: 6,
         ..EvaluationConfig::default()
     };
-    let report = FixedVsRandom::new(&circuit.netlist, config).run();
+    let report = FixedVsRandom::new(&circuit.netlist, config)
+        .try_run()
+        .expect("campaign");
     assert!(!report.passed(), "{report}");
 }
 
@@ -170,7 +176,9 @@ fn fixed_vs_fixed_passes_for_the_repaired_schedule() {
         warmup_cycles: 6,
         ..EvaluationConfig::default()
     };
-    let report = FixedVsRandom::new(&circuit.netlist, config).run();
+    let report = FixedVsRandom::new(&circuit.netlist, config)
+        .try_run()
+        .expect("campaign");
     assert!(report.passed(), "{report}");
 }
 
@@ -194,7 +202,8 @@ fn kronecker_with_onchip_lfsr_randomness_passes_glitch_model() {
     };
     let report = FixedVsRandom::new(&circuit.netlist, config)
         .schedule_control(circuit.lfsr.load, vec![true, false])
-        .run();
+        .try_run()
+        .expect("campaign");
     assert!(report.passed(), "spaced LFSR taps must pass:\n{report}");
 }
 
@@ -267,7 +276,9 @@ fn paper_scale_budgets_preserve_every_verdict() {
         max_probe_sets: 3_000,
         ..EvaluationConfig::default()
     };
-    let report = FixedVsRandom::new(&circuit.netlist, config).run();
+    let report = FixedVsRandom::new(&circuit.netlist, config)
+        .try_run()
+        .expect("campaign");
     assert!(
         !report.passed(),
         "order-2 must break a first-order design:\n{report}"

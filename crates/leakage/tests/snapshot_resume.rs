@@ -91,7 +91,9 @@ fn fingerprint_report(report: &LeakageReport) -> BTreeMap<String, ProbeFingerpri
 /// then resume) and checks the result against one uninterrupted run.
 fn assert_resume_is_bit_identical(netlist: &Netlist, traces: u64, stop_after: u64) {
     let path = snapshot_path("leg");
-    let reference = FixedVsRandom::new(netlist, config(traces)).run();
+    let reference = FixedVsRandom::new(netlist, config(traces))
+        .try_run()
+        .expect("campaign");
 
     let mut interrupted_config = config(traces);
     interrupted_config.durability = Durability {
@@ -155,7 +157,9 @@ fn resume_with_missing_snapshot_starts_fresh() {
         .try_run()
         .expect("missing snapshot starts fresh");
     let _ = std::fs::remove_file(&path);
-    let reference = FixedVsRandom::new(&netlist, config(6_400)).run();
+    let reference = FixedVsRandom::new(&netlist, config(6_400))
+        .try_run()
+        .expect("campaign");
     assert_eq!(fingerprint_report(&resumed), fingerprint_report(&reference));
 }
 

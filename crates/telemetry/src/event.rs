@@ -1,5 +1,6 @@
 //! The typed event schema (documented in DESIGN.md § Observability).
 
+use crate::degraded::{self, DegradedEntry};
 use crate::json::{array, JsonObject};
 use crate::perf::PerfSnapshot;
 
@@ -18,10 +19,13 @@ use crate::perf::PerfSnapshot;
 /// convergence diagnostics computed at every checkpoint and once at the
 /// end of a campaign — plus a `build_info` object on `summary` carrying
 /// the crate version and the schema versions of every artifact the run
-/// can write). The campaign *snapshot* file carries its own independent
+/// can write; v7: a `degraded` array on `health`/`health_summary`
+/// events and on `summary` — subsystems that exhausted their I/O retry
+/// budget and fell back to in-memory operation, `[]` on a clean run).
+/// The campaign *snapshot* file carries its own independent
 /// version (`mmaes_leakage::snapshot::SNAPSHOT_SCHEMA_VERSION`,
 /// currently 1).
-pub const EVENT_SCHEMA_VERSION: u64 = 6;
+pub const EVENT_SCHEMA_VERSION: u64 = 7;
 
 /// One probing set's running statistic at a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +127,10 @@ pub struct HealthCheckpoint {
     /// Per-set diagnostics: the checkpoint's top sets plus every set
     /// over the threshold (the same cut as checkpoint probes).
     pub probes: Vec<ProbeHealth>,
+    /// Subsystems operating in degraded mode at this checkpoint
+    /// (schema v7); empty — and rendered as `[]` — on a clean run, so
+    /// health payloads stay byte-identical across `--threads`.
+    pub degraded: Vec<DegradedEntry>,
 }
 
 impl HealthCheckpoint {
@@ -141,6 +149,7 @@ impl HealthCheckpoint {
                 "probes",
                 &array(self.probes.iter().map(ProbeHealth::to_json)),
             )
+            .raw("degraded", &degraded::to_json(&self.degraded))
     }
 
     /// Renders the health block as a standalone JSON object (the
@@ -212,6 +221,11 @@ pub struct RunSummary {
     /// `("bench_schema", 2)`, `("snapshot_schema", 1)`. The producing
     /// binary lists the schemas of every artifact it can write.
     pub schemas: Vec<(String, u64)>,
+    /// Subsystems that degraded to in-memory operation during the run
+    /// (schema v7); empty on a clean run. Producers typically fill
+    /// this from [`crate::degraded::snapshot`] when building the
+    /// summary.
+    pub degraded: Vec<DegradedEntry>,
     /// Free-form extras appended to the JSON object.
     pub extra: Vec<(String, String)>,
 }
@@ -247,7 +261,10 @@ impl RunSummary {
             .unsigned("threads", self.threads)
             // Attribution for archived runs (schema v6): which crate
             // version wrote this line, under which artifact schemas.
-            .raw("build_info", &build_info.finish());
+            .raw("build_info", &build_info.finish())
+            // Fault containment (schema v7): `[]` unless a subsystem
+            // exhausted its retry budget and fell back to in-memory.
+            .raw("degraded", &degraded::to_json(&self.degraded));
         for (key, value) in &self.extra {
             object = object.string(key, value);
         }
@@ -568,6 +585,7 @@ mod tests {
                 slope_per_mtrace: 114.0,
                 traces_to_detection: 44_800.0,
             }],
+            degraded: Vec::new(),
         }
     }
 
@@ -663,6 +681,7 @@ mod tests {
                 interrupted: false,
                 threads: 4,
                 schemas: vec![("snapshot_schema".into(), 1)],
+                degraded: Vec::new(),
                 extra: vec![("leaking".into(), "4".into())],
             }),
         ];
@@ -790,6 +809,37 @@ mod tests {
         .to_json_line();
         assert!(line.contains("\"bench_schema\":2"), "{line}");
         assert!(line.contains("\"snapshot_schema\":1"), "{line}");
+    }
+
+    #[test]
+    fn health_and_summary_carry_the_v7_degraded_block() {
+        // Clean runs render a deterministic empty array.
+        let line = Event::Health(sample_health()).to_json_line();
+        assert!(line.contains("\"degraded\":[]"), "{line}");
+        let line = RunSummary::default().to_json_line();
+        assert!(line.contains("\"degraded\":[]"), "{line}");
+        // Degraded subsystems carry their detail and incident count.
+        let mut health = sample_health();
+        health.degraded = vec![DegradedEntry {
+            subsystem: "snapshot".into(),
+            detail: "write eq6.tmp: no space left".into(),
+            incidents: 3,
+        }];
+        let line = Event::HealthSummary(health).to_json_line();
+        let parsed = crate::json::parse(&line).expect("health line parses");
+        let degraded = parsed
+            .get("degraded")
+            .and_then(|v| v.as_array())
+            .expect("degraded array");
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(
+            degraded[0].get("subsystem").and_then(|v| v.as_str()),
+            Some("snapshot")
+        );
+        assert_eq!(
+            degraded[0].get("incidents").and_then(|v| v.as_u64()),
+            Some(3)
+        );
     }
 
     #[test]

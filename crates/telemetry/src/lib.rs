@@ -28,7 +28,13 @@
 //!   metrics registry with deterministic Prometheus text exposition
 //!   and an optional `--metrics-addr` server on `std::net` serving
 //!   `/metrics` and `/status`, plus a crash-safe `--status-file` sink
-//!   atomically rewritten at every checkpoint.
+//!   atomically rewritten at every checkpoint;
+//! * a fault-containment layer ([`failpoint`], [`degraded`]): a
+//!   deterministic fault-injection registry (`MMAES_FAILPOINTS` /
+//!   `--failpoints`) consulted by resilient sinks and campaign
+//!   workers, and a degraded-subsystem registry feeding the
+//!   `degraded` block in status documents, health events, and run
+//!   summaries.
 //!
 //! The crate is dependency-light by design: events serialize through a
 //! hand-rolled JSON writer ([`json`]), so every downstream crate can
@@ -39,7 +45,9 @@
 
 pub mod chrome_trace;
 mod counters;
+pub mod degraded;
 mod event;
+pub mod failpoint;
 pub mod json;
 pub mod metrics;
 mod observer;
@@ -49,9 +57,11 @@ pub mod status;
 
 pub use chrome_trace::{chrome_trace, ChromeTraceBuilder};
 pub use counters::{interval_rate, Counter, Stopwatch};
+pub use degraded::DegradedEntry;
 pub use event::{
     Checkpoint, Event, HealthCheckpoint, ProbeHealth, ProbePoint, RunSummary, EVENT_SCHEMA_VERSION,
 };
+pub use failpoint::Fault;
 pub use metrics::{MetricsRegistry, MetricsServer, MetricsSink};
 pub use observer::Observer;
 pub use perf::{PerfRecorder, PerfSnapshot, PhaseStats, Span};

@@ -32,26 +32,73 @@ impl Sink for NullSink {
 
 /// Writes one JSON object per line — a replayable run record
 /// (`--metrics FILE.jsonl`).
+///
+/// Resilient: a failed line write is retried with bounded backoff;
+/// once the budget is exhausted the sink degrades to an in-memory
+/// buffer (bounded, newest lines kept) and records itself in the
+/// [`crate::degraded`] registry instead of silently dropping records.
+/// [`Sink::flush`] makes one last attempt to land the buffered tail.
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: BufWriter<File>,
+    /// In-memory fallback once writes stop succeeding.
+    buffered: Vec<String>,
+    degraded: bool,
 }
+
+/// Cap on lines the degraded in-memory buffer retains (oldest dropped
+/// first): enough for the tail of a long campaign — the part an
+/// analyst actually wants after an outage — without unbounded growth.
+const DEGRADED_BUFFER_LINES: usize = 4096;
 
 impl JsonlSink {
     /// Creates (truncating) the record file at `path`.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Ok(JsonlSink {
             writer: BufWriter::new(File::create(path)?),
+            buffered: Vec::new(),
+            degraded: false,
         })
+    }
+
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        crate::failpoint::inject_io("metrics.write", None)?;
+        writeln!(self.writer, "{line}")
+    }
+
+    fn buffer(&mut self, line: String) {
+        if self.buffered.len() >= DEGRADED_BUFFER_LINES {
+            self.buffered.remove(0);
+        }
+        self.buffered.push(line);
     }
 }
 
 impl Sink for JsonlSink {
     fn on_event(&mut self, event: &Event) {
-        let _ = writeln!(self.writer, "{}", event.to_json_line());
+        let line = event.to_json_line();
+        if self.degraded {
+            self.buffer(line);
+            return;
+        }
+        if let Err(error) = crate::degraded::retry(|| self.write_line(&line)) {
+            self.degraded = true;
+            crate::degraded::mark("metrics", &format!("event record: {error}"));
+            self.buffer(line);
+        }
     }
 
     fn flush(&mut self) {
+        if self.degraded && !self.buffered.is_empty() {
+            // Best effort: if the disk recovered, the buffered tail
+            // still lands in order before the final flush.
+            let pending = std::mem::take(&mut self.buffered);
+            for line in pending {
+                if writeln!(self.writer, "{line}").is_err() {
+                    break;
+                }
+            }
+        }
         let _ = self.writer.flush();
     }
 }
@@ -223,6 +270,15 @@ impl Sink for HumanProgressSink {
                     health.leaking_sets,
                     health.fresh_bits_per_trace,
                 );
+                for entry in &health.degraded {
+                    eprintln!(
+                        "[degraded] {}: {} ({} incident{})",
+                        entry.subsystem,
+                        entry.detail,
+                        entry.incidents,
+                        if entry.incidents == 1 { "" } else { "s" },
+                    );
+                }
             }
             Event::RunSummary(_) => {}
         }
@@ -271,7 +327,36 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_sink_buffers_in_memory_once_degraded() {
+        let _guard = crate::failpoint::scoped("metrics.write=ioerr x*");
+        let path = std::env::temp_dir().join(format!(
+            "mmaes-telemetry-jsonl-degraded-test-{}.jsonl",
+            std::process::id()
+        ));
+        let mut sink = JsonlSink::create(&path).unwrap();
+        for index in 0..3 {
+            sink.on_event(&Event::CounterexampleFound {
+                label: format!("v{index}"),
+                elapsed_ms: index,
+            });
+        }
+        assert!(sink.degraded);
+        assert_eq!(sink.buffered.len(), 3, "records held in memory");
+        let entries = crate::degraded::snapshot();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].subsystem, "metrics");
+        // Flush drains the buffer once real writes work again (the
+        // injected fault only guards on_event's path).
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text.lines().count(), 3, "buffered tail landed in order");
+        assert!(text.lines().next().unwrap().contains("\"v0\""));
+    }
+
+    #[test]
     fn jsonl_sink_writes_one_line_per_event() {
+        let _guard = crate::failpoint::scoped("");
         let path = std::env::temp_dir().join("mmaes-telemetry-jsonl-test.jsonl");
         {
             let mut sink = JsonlSink::create(&path).unwrap();

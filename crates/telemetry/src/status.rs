@@ -225,7 +225,16 @@ impl StatusModel {
             .unsigned("leaking", self.leaking)
             .float("max_minus_log10_p", self.max_minus_log10_p)
             .string("worst_label", &self.worst_label)
-            .raw("top", &top);
+            .raw("top", &top)
+            // Fault containment (event schema v7): subsystems that
+            // exhausted their write-retry budget and fell back to
+            // in-memory operation. Rendered live from the process-wide
+            // registry; `[]` on a clean run, so the deterministic body
+            // stays byte-identical across `--threads`.
+            .raw(
+                "degraded",
+                &crate::degraded::to_json(&crate::degraded::snapshot()),
+            );
         if let Some(health) = &self.health {
             object = object.raw("health", &health.to_json());
         }
@@ -238,6 +247,7 @@ impl StatusModel {
 /// a reader (or a crash) never observes a torn document.
 pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
+    crate::failpoint::inject_io("status.write", Some((&tmp, contents.as_bytes())))?;
     {
         let mut file = fs::File::create(&tmp)?;
         file.write_all(contents.as_bytes())?;
@@ -254,31 +264,57 @@ pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
 pub struct StatusFileSink {
     model: StatusModel,
     path: PathBuf,
+    /// Set once the write-retry budget is exhausted: the model keeps
+    /// accumulating in memory, but checkpoint rewrites stop (a final
+    /// best-effort attempt still happens at [`Sink::flush`] time).
+    degraded: bool,
 }
 
 impl StatusFileSink {
     /// A sink writing to `path`. `threads` is the producing run's
     /// worker-thread count (0 when unknown), reported under the
-    /// status document's `runtime` key.
+    /// status document's `runtime` key. Reaps a stale sibling `.tmp`
+    /// file left behind by a crash mid-rename in a previous run.
     pub fn create(path: impl Into<PathBuf>, threads: u64) -> Self {
+        let path = path.into();
+        let stale_tmp = path.with_extension("tmp");
+        if stale_tmp.exists() {
+            let _ = fs::remove_file(&stale_tmp);
+        }
         StatusFileSink {
             model: StatusModel::new(threads),
-            path: path.into(),
+            path,
+            degraded: false,
+        }
+    }
+
+    fn persist(&mut self) {
+        // Status is advisory; a full disk must not kill a multi-hour
+        // campaign the way a final-snapshot failure would. Retry with
+        // bounded backoff, then degrade to in-memory and say so.
+        let document = self.model.render() + "\n";
+        if let Err(error) = crate::degraded::retry(|| write_atomic(&self.path, &document)) {
+            self.degraded = true;
+            crate::degraded::mark("status-file", &format!("{}: {error}", self.path.display()));
         }
     }
 }
 
 impl crate::sink::Sink for StatusFileSink {
     fn on_event(&mut self, event: &Event) {
-        if self.model.absorb(event) {
-            // Status is advisory; a full disk must not kill a
-            // multi-hour campaign the way a snapshot failure would.
-            let _ = write_atomic(&self.path, &(self.model.render() + "\n"));
+        if self.model.absorb(event) && !self.degraded {
+            self.persist();
         }
     }
 
     fn flush(&mut self) {
-        let _ = write_atomic(&self.path, &(self.model.render() + "\n"));
+        if self.degraded {
+            // One last best-effort write: if the disk recovered, the
+            // final document (with its `degraded` block) still lands.
+            let _ = write_atomic(&self.path, &(self.model.render() + "\n"));
+        } else {
+            self.persist();
+        }
     }
 }
 
@@ -327,6 +363,7 @@ mod tests {
                 slope_per_mtrace: 12_000.0,
                 traces_to_detection: 500.0,
             }],
+            degraded: Vec::new(),
         })
     }
 
@@ -373,6 +410,9 @@ mod tests {
 
     #[test]
     fn file_sink_rewrites_atomically_on_checkpoints() {
+        // Hold the failpoint gate so a concurrently running fault test
+        // cannot inject errors into this sink's writes.
+        let _guard = crate::failpoint::scoped("");
         let path =
             std::env::temp_dir().join(format!("mmaes-status-test-{}.json", std::process::id()));
         let mut sink = StatusFileSink::create(&path, 1);
@@ -392,6 +432,65 @@ mod tests {
         let parsed = crate::json::parse(last.trim()).expect("final write parses");
         assert_eq!(parsed.get("finished").and_then(|v| v.as_bool()), Some(true));
         assert_eq!(parsed.get("passed").and_then(|v| v.as_bool()), Some(false));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_sink_degrades_after_exhausting_the_retry_budget() {
+        let _guard = crate::failpoint::scoped("status.write=ioerr x*");
+        let path = std::env::temp_dir().join(format!(
+            "mmaes-status-degraded-test-{}.json",
+            std::process::id()
+        ));
+        let _ = fs::remove_file(&path);
+        let mut sink = StatusFileSink::create(&path, 1);
+        sink.on_event(&checkpoint(500, 3.0));
+        assert!(sink.degraded, "retry budget exhausted");
+        assert!(!path.exists(), "no document written under injected ioerr");
+        let entries = crate::degraded::snapshot();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].subsystem, "status-file");
+        assert_eq!(
+            entries[0].incidents, 1,
+            "one degradation, not one per retry"
+        );
+        // Later checkpoints stay in memory without further incidents.
+        sink.on_event(&checkpoint(1000, 6.0));
+        assert_eq!(crate::degraded::snapshot()[0].incidents, 1);
+        // The model itself now renders the degraded block.
+        let rendered = sink.model.render();
+        assert!(rendered.contains("\"degraded\":[{"), "{rendered}");
+    }
+
+    #[test]
+    fn truncated_writes_never_tear_the_published_document() {
+        let _guard = crate::failpoint::scoped("status.write=truncate@1");
+        let path = std::env::temp_dir().join(format!(
+            "mmaes-status-truncate-test-{}.json",
+            std::process::id()
+        ));
+        let _ = fs::remove_file(&path);
+        let mut sink = StatusFileSink::create(&path, 1);
+        // Hit 1 truncates mid-write; the retry (hit 2) succeeds. The
+        // published path must only ever hold the complete document.
+        sink.on_event(&checkpoint(500, 3.0));
+        assert!(!sink.degraded, "retry recovered");
+        let document = fs::read_to_string(&path).expect("status written on retry");
+        crate::json::parse(document.trim()).expect("published document is whole");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(path.with_extension("tmp"));
+    }
+
+    #[test]
+    fn create_reaps_a_stale_tmp_from_a_prior_crash() {
+        let path = std::env::temp_dir().join(format!(
+            "mmaes-status-reap-test-{}.json",
+            std::process::id()
+        ));
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, "{\"type\":\"status\",\"trunca").expect("plant stale tmp");
+        let _sink = StatusFileSink::create(&path, 1);
+        assert!(!tmp.exists(), "stale tmp reaped on startup");
         let _ = fs::remove_file(&path);
     }
 

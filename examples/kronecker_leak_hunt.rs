@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..EvaluationConfig::default()
         },
     )
-    .run();
+    .try_run()?;
     println!("{report}");
     for result in report.leaking().iter().take(4) {
         println!(

@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )
     .with_observer(observer)
-    .run();
+    .try_run()?;
     println!("{}\n", report.verdict());
 
     // The registry's status document is the same JSON `/status` serves

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== CHES 2018 optimization (Eq. 6): r1=r3, r2=r4, r6=[r5^r2], r7=r1 ===\n");
     let eq6 = build_kronecker(&KroneckerRandomness::de_meyer_eq6())?;
-    let report = FixedVsRandom::new(&eq6.netlist, config.clone()).run();
+    let report = FixedVsRandom::new(&eq6.netlist, config.clone()).try_run()?;
     println!("{report}");
     assert!(
         !report.passed(),
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== The paper's repaired optimization (Eq. 9): r5=r4, r6=r2, r7=r3 ===\n");
     let eq9 = build_kronecker(&KroneckerRandomness::proposed_eq9())?;
-    let report = FixedVsRandom::new(&eq9.netlist, config).run();
+    let report = FixedVsRandom::new(&eq9.netlist, config).try_run()?;
     println!("{report}");
     assert!(
         report.passed(),

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     ..EvaluationConfig::default()
                 },
             )
-            .run();
+            .try_run()?;
             let worst = report
                 .worst()
                 .map(|result| result.minus_log10_p)

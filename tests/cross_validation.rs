@@ -20,7 +20,8 @@ fn check_catalog_agreement(traces: u64) {
                 ..EvaluationConfig::default()
             },
         )
-        .run();
+        .try_run()
+        .expect("campaign");
 
         let exact = ExactVerifier::with_config(
             &circuit.netlist,

@@ -73,7 +73,8 @@ fn leakage_campaign_runs_against_facade_built_designs() {
         },
     )
     .require_nonzero_bus(circuit.r_bus.clone())
-    .run();
+    .try_run()
+    .expect("campaign");
     // Full-randomness default schedule: no leak expected even at this
     // small budget.
     assert!(report.passed(), "{report}");

@@ -66,7 +66,8 @@ fn check_six_bit_r7_family(traces: u64) {
                 ..EvaluationConfig::default()
             },
         )
-        .run();
+        .try_run()
+        .expect("campaign");
         let expected_pass = r7 < 4;
         assert_eq!(
             report.passed(),
