@@ -13,8 +13,11 @@
 //!    speedup per schedule;
 //! 3. **campaign** — a capped fixed-vs-random campaign with interim
 //!    checkpoints (the end-to-end evaluation hot path), honouring
-//!    `--threads` and `--evaluator`;
-//! 4. **exact** — an exhaustive verification slice scoped to
+//!    `--threads`, `--evaluator`, and `--tabulator`;
+//! 4. **campaign-hashed** — the same campaign pinned to the hashed
+//!    contingency-table fallback, so the record carries the
+//!    dense-over-hashed tabulation speedup per schedule;
+//! 5. **exact** — an exhaustive verification slice scoped to
 //!    `kronecker/G7` (the enumeration hot path).
 //!
 //! Every workload runs under an enabled [`PerfRecorder`], so the record
@@ -31,7 +34,7 @@ use std::process::exit;
 
 use mmaes_circuits::build_kronecker;
 use mmaes_exact::{ExactConfig, ExactVerifier};
-use mmaes_leakage::{EvaluationConfig, FixedVsRandom};
+use mmaes_leakage::{EvaluationConfig, FixedVsRandom, TabulatorMode};
 use mmaes_masking::KroneckerRandomness;
 use mmaes_sim::{EvaluatorMode, Simulator, LANES};
 use mmaes_telemetry::json::{array, parse, JsonObject, JsonValue};
@@ -45,15 +48,15 @@ use mmaes_telemetry::{
 /// * v2 — per-workload `threads`/`evaluator` fields, the
 ///   `simulate-interpreted` workload, the top-level `threads` knob and
 ///   the per-schedule `compiled_speedup` map.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// * v3 — per-workload `tabulator`/`keys_per_sec` fields, `table_bytes`
+///   (actual resident bytes from the report, replacing the
+///   per-key-estimated `table_bytes_est`), the `campaign-hashed`
+///   workload and the per-schedule `tabulation_speedup` map.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Default regression threshold: a workload regresses when its
 /// `traces_per_sec` falls more than this percentage below the baseline.
 pub const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
-
-/// Per-entry memory estimate for the campaign contingency tables: a
-/// `u128` key plus a `[u64; 2]` cell plus `HashMap` bucket overhead.
-const TABLE_BYTES_PER_KEY: u64 = 48;
 
 /// The parsed `mmaes bench` command line.
 #[derive(Debug, Clone)]
@@ -77,6 +80,10 @@ pub struct BenchOptions {
     pub threads: usize,
     /// Netlist evaluator for the campaign workloads (`--evaluator`).
     pub evaluator: EvaluatorMode,
+    /// Contingency-table store for the `campaign` workload
+    /// (`--tabulator`). The `campaign-hashed` workload always pins the
+    /// hashed fallback regardless.
+    pub tabulator: TabulatorMode,
 }
 
 impl Default for BenchOptions {
@@ -91,6 +98,7 @@ impl Default for BenchOptions {
             quiet: false,
             threads: 1,
             evaluator: EvaluatorMode::Compiled,
+            tabulator: TabulatorMode::Dense,
         }
     }
 }
@@ -141,11 +149,19 @@ impl BenchOptions {
                         exit(2);
                     })
                 }
+                "--tabulator" => {
+                    let name = value();
+                    options.tabulator = TabulatorMode::parse(&name).unwrap_or_else(|| {
+                        eprintln!("unknown tabulator `{name}` (dense|hashed)");
+                        exit(2);
+                    })
+                }
                 other => {
                     eprintln!(
                         "unknown bench flag `{other}` (flags: --quick --label NAME \
                          --baseline FILE --threshold PCT --out FILE --trace FILE \
-                         --quiet --threads N --evaluator compiled|interpreted)"
+                         --quiet --threads N --evaluator compiled|interpreted \
+                         --tabulator dense|hashed)"
                     );
                     exit(2);
                 }
@@ -175,8 +191,8 @@ impl BenchOptions {
 pub struct WorkloadRecord {
     /// The randomness schedule benchmarked.
     pub schedule: String,
-    /// Workload id: `simulate`, `simulate-interpreted`, `campaign`, or
-    /// `exact`.
+    /// Workload id: `simulate`, `simulate-interpreted`, `campaign`,
+    /// `campaign-hashed`, or `exact`.
     pub workload: &'static str,
     /// Worker threads the workload ran with (1 for the single-simulator
     /// workloads).
@@ -184,6 +200,10 @@ pub struct WorkloadRecord {
     /// Netlist evaluator the workload ran with
     /// ([`EvaluatorMode::name`]).
     pub evaluator: &'static str,
+    /// Contingency-table store the workload ran with
+    /// ([`TabulatorMode::name`]; `none` for workloads that keep no
+    /// tables).
+    pub tabulator: &'static str,
     /// Wall time of the workload, milliseconds.
     pub wall_ms: u64,
     /// Work units completed (lane-traces for `simulate`/`campaign`,
@@ -195,9 +215,14 @@ pub struct WorkloadRecord {
     pub cell_evals: u64,
     /// Cell evaluations per second of wall time.
     pub cell_evals_per_sec: f64,
-    /// Estimated peak contingency-table memory, bytes (0 for workloads
-    /// that keep no tables).
-    pub table_bytes_est: u64,
+    /// Observation keys absorbed per second of tabulate-phase time (0
+    /// for workloads that keep no tables) — the tabulation hot-path
+    /// rate, independent of simulator throughput.
+    pub keys_per_sec: f64,
+    /// Resident contingency-table memory at the final sweep, bytes,
+    /// from [`mmaes_leakage::LeakageReport::table_bytes`] (0 for
+    /// workloads that keep no tables).
+    pub table_bytes: u64,
     /// Per-phase timing captured by the workload's [`PerfRecorder`].
     pub snapshot: PerfSnapshot,
 }
@@ -213,12 +238,14 @@ impl WorkloadRecord {
             .string("workload", self.workload)
             .unsigned("threads", self.threads)
             .string("evaluator", self.evaluator)
+            .string("tabulator", self.tabulator)
             .unsigned("wall_ms", self.wall_ms)
             .unsigned("traces", self.traces)
             .float("traces_per_sec", self.traces_per_sec)
             .unsigned("cell_evals", self.cell_evals)
             .float("cell_evals_per_sec", self.cell_evals_per_sec)
-            .unsigned("table_bytes_est", self.table_bytes_est)
+            .float("keys_per_sec", self.keys_per_sec)
+            .unsigned("table_bytes", self.table_bytes)
             .raw(
                 "phases",
                 &array(self.snapshot.phases.iter().map(PhaseStats::to_json)),
@@ -308,7 +335,22 @@ pub fn run_matrix(options: &BenchOptions) -> Vec<WorkloadRecord> {
             EvaluatorMode::Interpreted,
             options,
         ));
-        records.push(bench_campaign(&name, &circuit.netlist, order, options));
+        records.push(bench_campaign(
+            &name,
+            &circuit.netlist,
+            order,
+            options,
+            options.tabulator,
+            "campaign",
+        ));
+        records.push(bench_campaign(
+            &name,
+            &circuit.netlist,
+            order,
+            options,
+            TabulatorMode::Hashed,
+            "campaign-hashed",
+        ));
         records.push(bench_exact(&name, &circuit.netlist, options));
     }
     records
@@ -360,12 +402,14 @@ fn bench_simulate(
         },
         threads: 1,
         evaluator: evaluator.name(),
+        tabulator: "none",
         wall_ms,
         traces,
         traces_per_sec: watch.rate(traces),
         cell_evals: stats.cell_evals,
         cell_evals_per_sec: watch.rate(stats.cell_evals),
-        table_bytes_est: 0,
+        keys_per_sec: 0.0,
+        table_bytes: 0,
         snapshot: perf.snapshot().expect("enabled"),
     }
 }
@@ -376,6 +420,8 @@ fn bench_campaign(
     netlist: &mmaes_netlist::Netlist,
     order: usize,
     options: &BenchOptions,
+    tabulator: TabulatorMode,
+    workload: &'static str,
 ) -> WorkloadRecord {
     let traces: u64 = if options.quick { 8_000 } else { 100_000 };
     let config = EvaluationConfig {
@@ -387,6 +433,7 @@ fn bench_campaign(
         max_probe_sets: if order >= 2 { 300 } else { 100_000 },
         threads: options.threads,
         evaluator: options.evaluator,
+        tabulator,
         ..EvaluationConfig::default()
     };
     let perf = PerfRecorder::enabled();
@@ -397,24 +444,35 @@ fn bench_campaign(
         .try_run()
         .expect("campaign");
     let wall_ms = watch.elapsed_ms();
-    let table_keys: u64 = report
-        .results
-        .iter()
-        .map(|result| result.distinct_keys as u64)
-        .sum();
+    let snapshot = perf.snapshot().expect("enabled");
     WorkloadRecord {
         schedule: schedule.to_owned(),
-        workload: "campaign",
+        workload,
         threads: options.threads as u64,
         evaluator: options.evaluator.name(),
+        tabulator: tabulator.name(),
         wall_ms,
         traces: report.traces,
         traces_per_sec: watch.rate(report.traces),
         cell_evals: report.cell_evals,
         cell_evals_per_sec: watch.rate(report.cell_evals),
-        table_bytes_est: table_keys * TABLE_BYTES_PER_KEY,
-        snapshot: perf.snapshot().expect("enabled"),
+        keys_per_sec: keys_per_sec(&snapshot),
+        table_bytes: report.table_bytes,
+        snapshot,
     }
+}
+
+/// Observation keys absorbed per second of tabulate-phase time, from a
+/// campaign's perf snapshot: the `keys_tabulated` counter over the
+/// `tabulate` phase total (summed across workers by the campaign). Zero
+/// when the snapshot carries neither.
+fn keys_per_sec(snapshot: &PerfSnapshot) -> f64 {
+    let keys = snapshot.counter("keys_tabulated").unwrap_or(0);
+    let tabulate_ns = snapshot.phase("tabulate").map_or(0, |phase| phase.total_ns);
+    if keys == 0 || tabulate_ns == 0 {
+        return 0.0;
+    }
+    keys as f64 / (tabulate_ns as f64 / 1e9)
 }
 
 /// One exhaustive-verification slice (the `kronecker/G7` scope the CLI's
@@ -446,12 +504,14 @@ fn bench_exact(
         workload: "exact",
         threads: 1,
         evaluator: EvaluatorMode::Compiled.name(),
+        tabulator: "none",
         wall_ms,
         traces: sets,
         traces_per_sec: watch.rate(sets),
         cell_evals: report.cell_evals,
         cell_evals_per_sec: watch.rate(report.cell_evals),
-        table_bytes_est: 0,
+        keys_per_sec: 0.0,
+        table_bytes: 0,
         snapshot: perf.snapshot().expect("enabled"),
     }
 }
@@ -498,6 +558,37 @@ pub fn compiled_speedups(records: &[WorkloadRecord]) -> Vec<(String, f64)> {
     speedups
 }
 
+/// Per-schedule `campaign`-over-`campaign-hashed` `traces_per_sec`
+/// ratio — the headline number for the dense tabulation fast path.
+/// Schedules missing either workload are skipped; when `--tabulator
+/// hashed` pins both workloads to the hashed store the ratio degenerates
+/// to ~1, which the record states honestly via the per-workload
+/// `tabulator` fields.
+pub fn tabulation_speedups(records: &[WorkloadRecord]) -> Vec<(String, f64)> {
+    let rate = |schedule: &str, workload: &str| {
+        records
+            .iter()
+            .find(|record| record.schedule == schedule && record.workload == workload)
+            .map(|record| record.traces_per_sec)
+    };
+    let mut speedups = Vec::new();
+    for record in records {
+        if record.workload != "campaign" {
+            continue;
+        }
+        let (Some(campaign), Some(hashed)) = (
+            rate(&record.schedule, "campaign"),
+            rate(&record.schedule, "campaign-hashed"),
+        ) else {
+            continue;
+        };
+        if hashed > 0.0 {
+            speedups.push((record.schedule.clone(), campaign / hashed));
+        }
+    }
+    speedups
+}
+
 /// Renders the full `BENCH_*.json` document (one line, no trailing
 /// newline).
 pub fn render_document(options: &BenchOptions, records: &[WorkloadRecord]) -> String {
@@ -505,13 +596,19 @@ pub fn render_document(options: &BenchOptions, records: &[WorkloadRecord]) -> St
     for (schedule, ratio) in compiled_speedups(records) {
         speedups = speedups.float(&schedule, ratio);
     }
+    let mut tab_speedups = JsonObject::new();
+    for (schedule, ratio) in tabulation_speedups(records) {
+        tab_speedups = tab_speedups.float(&schedule, ratio);
+    }
     JsonObject::new()
         .string("type", "bench")
         .unsigned("schema_version", BENCH_SCHEMA_VERSION)
         .string("label", &options.label)
         .boolean("quick", options.quick)
         .unsigned("threads", options.threads as u64)
+        .string("tabulator", options.tabulator.name())
         .raw("compiled_speedup", &speedups.finish())
+        .raw("tabulation_speedup", &tab_speedups.finish())
         .raw(
             "workloads",
             &array(records.iter().map(WorkloadRecord::to_json)),
@@ -538,7 +635,7 @@ pub fn render_table(records: &[WorkloadRecord]) -> String {
             record.wall_ms,
             record.traces_per_sec,
             record.cell_evals_per_sec,
-            record.table_bytes_est / 1024,
+            record.table_bytes / 1024,
         );
     }
     for (schedule, ratio) in compiled_speedups(records) {
@@ -546,6 +643,9 @@ pub fn render_table(records: &[WorkloadRecord]) -> String {
             table,
             "{schedule}: compiled evaluator {ratio:.2}x interpreted"
         );
+    }
+    for (schedule, ratio) in tabulation_speedups(records) {
+        let _ = writeln!(table, "{schedule}: campaign {ratio:.2}x hashed tabulation");
     }
     table
 }
@@ -628,12 +728,14 @@ mod tests {
             workload,
             threads: 1,
             evaluator: "compiled",
+            tabulator: "dense",
             wall_ms: 100,
             traces: 1000,
             traces_per_sec: rate,
             cell_evals: 50_000,
             cell_evals_per_sec: 500_000.0,
-            table_bytes_est: 4096,
+            keys_per_sec: 0.0,
+            table_bytes: 4096,
             snapshot: PerfSnapshot::default(),
         }
     }
@@ -721,6 +823,61 @@ mod tests {
             workloads[0].get("threads").and_then(JsonValue::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn tabulation_speedup_is_the_ratio_of_the_two_campaign_modes() {
+        let mut dense = record("de-meyer-eq6", "campaign", 300_000.0);
+        dense.tabulator = "dense";
+        let mut hashed = record("de-meyer-eq6", "campaign-hashed", 100_000.0);
+        hashed.tabulator = "hashed";
+        let unpaired = record("proposed-eq9", "campaign", 50_000.0);
+        let records = vec![dense, hashed, unpaired];
+        let speedups = tabulation_speedups(&records);
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].0, "de-meyer-eq6");
+        assert!((speedups[0].1 - 3.0).abs() < 1e-12);
+
+        let options = BenchOptions::default();
+        let value = parse(&render_document(&options, &records)).expect("valid JSON");
+        assert_eq!(
+            value.get("tabulator").and_then(JsonValue::as_str),
+            Some("dense")
+        );
+        assert_eq!(
+            value
+                .get("tabulation_speedup")
+                .and_then(|map| map.get("de-meyer-eq6"))
+                .and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+        let workloads = value
+            .get("workloads")
+            .and_then(JsonValue::as_array)
+            .expect("workloads");
+        assert_eq!(
+            workloads[1].get("tabulator").and_then(JsonValue::as_str),
+            Some("hashed")
+        );
+        assert_eq!(
+            workloads[0].get("table_bytes").and_then(JsonValue::as_u64),
+            Some(4096)
+        );
+        assert_eq!(
+            workloads[0].get("keys_per_sec").and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn keys_per_sec_divides_the_counter_by_the_tabulate_phase() {
+        let perf = PerfRecorder::enabled();
+        perf.add("keys_tabulated", 2_000_000);
+        perf.record_duration("tabulate", std::time::Duration::from_secs(2));
+        let snapshot = perf.snapshot().expect("enabled");
+        assert!((keys_per_sec(&snapshot) - 1_000_000.0).abs() < 1e-6);
+        // No tabulate phase (or no counter) degrades to zero, not NaN.
+        assert_eq!(keys_per_sec(&PerfSnapshot::default()), 0.0);
     }
 
     #[test]

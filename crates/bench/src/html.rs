@@ -305,6 +305,7 @@ mod tests {
             early_stopped: false,
             interrupted: false,
             cell_evals: 0,
+            table_bytes: 0,
             results: vec![ProbeResult {
                 label: "probe \"a\" & b".to_owned(),
                 probe_count: 1,

@@ -10,6 +10,7 @@
 //! --seed N          RNG seed                        (default 0x9c01ead)
 //! --checkpoints N   interim campaign checkpoints    (default 8)
 //! --threads N       campaign worker threads         (default 1)
+//! --tabulator T     contingency-table store, dense|hashed (default dense)
 //! --paper-scale     use the paper's simulation counts (slow!)
 //! --exact-full      exhaustively verify the whole design, not just G7
 //! --snapshot DIR    persist per-campaign snapshots under DIR
@@ -147,6 +148,13 @@ impl RunOptions {
                     numeric(&mut value);
                     budget.threads = value as usize;
                 }
+                "--tabulator" => {
+                    let name = value();
+                    budget.tabulator =
+                        mmaes_leakage::TabulatorMode::parse(&name).unwrap_or_else(|| {
+                            invalid(format_args!("unknown tabulator `{name}` (dense|hashed)"))
+                        });
+                }
                 "--paper-scale" => budget = ExperimentBudget::paper_scale(),
                 "--exact-full" => budget.exact_scope = None,
                 "--snapshot" => budget.snapshot_dir = Some(value()),
@@ -160,7 +168,8 @@ impl RunOptions {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --traces N  --traces2 N  --dpa-traces N  --seed N  \
-                         --checkpoints N  --threads N  --paper-scale  --exact-full  \
+                         --checkpoints N  --threads N  --tabulator dense|hashed  \
+                         --paper-scale  --exact-full  \
                          --snapshot DIR  --resume  \
                          --metrics FILE  --status-file FILE  --metrics-addr HOST:PORT  \
                          --progress  --perf  --quiet\n\

@@ -44,13 +44,13 @@ fn bench_quick_emits_a_schema_valid_record_and_matching_stdout() {
         Some("citest")
     );
 
-    // …over the full 3-schedule × 4-workload matrix, every entry
+    // …over the full 3-schedule × 5-workload matrix, every entry
     // carrying the throughput fields and a per-phase breakdown.
     let workloads = document
         .get("workloads")
         .and_then(JsonValue::as_array)
         .expect("workloads array");
-    assert_eq!(workloads.len(), 12, "{record}");
+    assert_eq!(workloads.len(), 15, "{record}");
     let mut schedules = std::collections::BTreeSet::new();
     let mut kinds = std::collections::BTreeSet::new();
     for entry in workloads {
@@ -63,19 +63,20 @@ fn bench_quick_emits_a_schema_valid_record_and_matching_stdout() {
             ),
             "{record}"
         );
-        for key in [
-            "wall_ms",
-            "traces",
-            "cell_evals",
-            "table_bytes_est",
-            "threads",
-        ] {
+        assert!(
+            matches!(
+                entry.get("tabulator").and_then(JsonValue::as_str),
+                Some("dense" | "hashed" | "none")
+            ),
+            "{record}"
+        );
+        for key in ["wall_ms", "traces", "cell_evals", "table_bytes", "threads"] {
             assert!(
                 entry.get(key).and_then(JsonValue::as_u64).is_some(),
                 "missing {key}: {record}"
             );
         }
-        for key in ["traces_per_sec", "cell_evals_per_sec"] {
+        for key in ["traces_per_sec", "cell_evals_per_sec", "keys_per_sec"] {
             assert!(
                 entry.get(key).and_then(JsonValue::as_f64).is_some(),
                 "missing {key}: {record}"
@@ -101,14 +102,28 @@ fn bench_quick_emits_a_schema_valid_record_and_matching_stdout() {
         schedules.contains("de-meyer-13-order2-reconstruction"),
         "{schedules:?}"
     );
-    for kind in ["simulate", "simulate-interpreted", "campaign", "exact"] {
+    for kind in [
+        "simulate",
+        "simulate-interpreted",
+        "campaign",
+        "campaign-hashed",
+        "exact",
+    ] {
         assert!(kinds.contains(kind), "{kinds:?}");
     }
 
-    // The v2 envelope carries the threads knob and a per-schedule
-    // compiled-over-interpreted speedup for every schedule.
+    // The envelope carries the threads/tabulator knobs, a per-schedule
+    // compiled-over-interpreted speedup, and (v3) a per-schedule
+    // dense-over-hashed tabulation speedup.
     assert_eq!(document.get("threads").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(
+        document.get("tabulator").and_then(JsonValue::as_str),
+        Some("dense")
+    );
     let speedups = document.get("compiled_speedup").expect("speedup map");
+    let tab_speedups = document
+        .get("tabulation_speedup")
+        .expect("tabulation speedup map");
     for schedule in &schedules {
         assert!(
             speedups
@@ -116,6 +131,13 @@ fn bench_quick_emits_a_schema_valid_record_and_matching_stdout() {
                 .and_then(JsonValue::as_f64)
                 .is_some(),
             "missing speedup for {schedule}: {record}"
+        );
+        assert!(
+            tab_speedups
+                .get(schedule as &str)
+                .and_then(JsonValue::as_f64)
+                .is_some(),
+            "missing tabulation speedup for {schedule}: {record}"
         );
     }
 

@@ -24,6 +24,10 @@ fn chaos_verb_contains_faults_and_exits_with_the_finding() {
         stdout.contains("report byte-identical to baseline"),
         "{stdout}"
     );
+    // The harness runs faulted legs on both table stores: the dense
+    // default plus one leg on the hashed fallback.
+    assert!(stdout.contains("tabulator=dense"), "{stdout}");
+    assert!(stdout.contains("tabulator=hashed"), "{stdout}");
     assert!(
         stdout.contains("\"containment_failures\":\"0\""),
         "{stdout}"

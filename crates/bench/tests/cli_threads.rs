@@ -1,8 +1,10 @@
-//! End-to-end determinism checks for the sharded campaign runner and
-//! the evaluator modes: `--threads N` and `--evaluator interpreted`
-//! must change nothing but wall time — the per-probe CSV is compared
-//! byte for byte and the JSON summary field by field (excluding the
-//! timing fields and the `threads` echo, which legitimately differ).
+//! End-to-end determinism checks for the sharded campaign runner, the
+//! evaluator modes, and the tabulator stores: `--threads N`,
+//! `--evaluator interpreted`, and `--tabulator hashed` must change
+//! nothing but wall time — the per-probe CSV (and, for the tabulators,
+//! the snapshot file) is compared byte for byte and the JSON summary
+//! field by field (excluding the timing fields and the `threads` echo,
+//! which legitimately differ).
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -121,6 +123,60 @@ fn the_interpreted_evaluator_produces_byte_identical_output() {
         csv_compiled, csv_interpreted,
         "per-probe CSV diverged between the two evaluators"
     );
+}
+
+#[test]
+fn the_hashed_tabulator_produces_byte_identical_output_and_snapshots() {
+    let design = "kronecker:de-meyer-eq6";
+    let mut snapshots: Vec<Vec<u8>> = Vec::new();
+    let mut csvs: Vec<Vec<u8>> = Vec::new();
+    let mut summaries: Vec<JsonValue> = Vec::new();
+    for tabulator in ["dense", "hashed"] {
+        for threads in ["1", "2"] {
+            let snapshot = unique_path("snapshot", "snapshot");
+            let (code, summary, csv) = evaluate(
+                design,
+                &[
+                    "--tabulator",
+                    tabulator,
+                    "--threads",
+                    threads,
+                    "--snapshot",
+                    snapshot.to_str().unwrap(),
+                ],
+            );
+            assert_eq!(code, Some(1), "eq6 must be flagged leaky ({tabulator})");
+            snapshots.push(std::fs::read(&snapshot).expect("snapshot written"));
+            let _ = std::fs::remove_file(&snapshot);
+            csvs.push(csv);
+            summaries.push(summary);
+        }
+    }
+    for index in 1..csvs.len() {
+        assert_eq!(
+            csvs[0], csvs[index],
+            "per-probe CSV diverged between tabulator/thread combinations"
+        );
+        assert_eq!(
+            snapshots[0], snapshots[index],
+            "snapshot file diverged between tabulator/thread combinations"
+        );
+        assert_same_statistics(&summaries[0], &summaries[index]);
+    }
+}
+
+#[test]
+fn bad_tabulator_name_exits_invalid_input() {
+    let output = mmaes(&[
+        "evaluate",
+        "kronecker:proposed-eq9",
+        "--traces",
+        "6400",
+        "--tabulator",
+        "btree",
+    ]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown tabulator"));
 }
 
 #[test]

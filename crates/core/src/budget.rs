@@ -1,5 +1,7 @@
 //! Workload scaling for the experiment suite.
 
+use mmaes_leakage::TabulatorMode;
+
 /// How much compute each experiment may spend.
 ///
 /// The paper runs PROLEAD with 4·10⁶ simulations for first-order
@@ -48,6 +50,11 @@ pub struct ExperimentBudget {
     /// [`mmaes_leakage::EvaluationConfig::threads`]). Reports are
     /// byte-identical for every thread count.
     pub threads: usize,
+    /// Contingency-table store for every statistical campaign (see
+    /// [`mmaes_leakage::EvaluationConfig::tabulator`]). Reports are
+    /// byte-identical for either store; `hashed` exists as the wide-key
+    /// fallback and for differential testing.
+    pub tabulator: TabulatorMode,
 }
 
 impl Default for ExperimentBudget {
@@ -65,6 +72,7 @@ impl Default for ExperimentBudget {
             snapshot_dir: None,
             resume: false,
             threads: 1,
+            tabulator: TabulatorMode::Dense,
         }
     }
 }
@@ -85,6 +93,7 @@ impl ExperimentBudget {
             snapshot_dir: None,
             resume: false,
             threads: 1,
+            tabulator: TabulatorMode::Dense,
         }
     }
 
@@ -103,6 +112,7 @@ impl ExperimentBudget {
             snapshot_dir: None,
             resume: false,
             threads: 1,
+            tabulator: TabulatorMode::Dense,
         }
     }
 }

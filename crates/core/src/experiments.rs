@@ -71,6 +71,7 @@ fn kronecker_eval(
         seed: budget.seed,
         checkpoints: budget.checkpoints,
         threads: budget.threads,
+        tabulator: budget.tabulator,
         durability: campaign_durability(
             budget,
             &format!("kronecker-{}-{}-o{order}", schedule.name(), model.name()),
@@ -105,6 +106,7 @@ fn sbox_eval(
         seed: budget.seed,
         checkpoints: budget.checkpoints,
         threads: budget.threads,
+        tabulator: budget.tabulator,
         durability: campaign_durability(budget, &label),
         ..EvaluationConfig::default()
     };
@@ -693,6 +695,7 @@ pub fn run_e12(
             seed: budget.seed,
             checkpoints: budget.checkpoints,
             threads: budget.threads,
+            tabulator: budget.tabulator,
             durability: campaign_durability(budget, &format!("aes-{}", schedule.name())),
             ..EvaluationConfig::default()
         };

@@ -11,7 +11,7 @@
 //! set decides, at `-log10(p) > 5`, whether the observation distinguishes
 //! the populations — i.e. whether the probe leaks.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -24,7 +24,7 @@ use mmaes_telemetry::{
     Checkpoint, Event, Observer, PerfRecorder, ProbeHealth, ProbePoint, Stopwatch,
 };
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::health;
 use crate::probe::{enumerate_probe_sets, ProbeModel, ProbeSet};
@@ -32,6 +32,7 @@ use crate::report::{LeakageReport, ProbeResult};
 use crate::snapshot::{self, CampaignSnapshot, SnapshotError, TableSnapshot};
 use crate::stats::{g_test, pooling_summary};
 use crate::supervisor::{self, RetryQueue};
+use crate::tabulate::{Table, TabulatorMode};
 
 /// How the second population's secrets are drawn.
 ///
@@ -221,6 +222,17 @@ pub struct EvaluationConfig {
     /// for differential testing). Both engines are bit-exact, so this is
     /// not part of the snapshot fingerprint either.
     pub evaluator: EvaluatorMode,
+    /// Which contingency-table engine the campaign uses
+    /// ([`TabulatorMode::Dense`] by default; the hashed reference
+    /// exists for differential testing). Per probing set, `Dense`
+    /// direct-indexes a flat table whenever the set's full key space
+    /// fits `max_table_keys` (see
+    /// [`ProbeSet::dense_index_width`]) and falls back to the hashed
+    /// table otherwise; both produce byte-identical reports and
+    /// snapshots, so this is not part of the snapshot fingerprint
+    /// either — a campaign interrupted under one tabulator resumes fine
+    /// under the other.
+    pub tabulator: TabulatorMode,
     /// Crash-safety options: snapshotting, resume, cooperative
     /// interruption. Defaults to all-off (no behavior change).
     pub durability: Durability,
@@ -253,6 +265,7 @@ impl Default for EvaluationConfig {
             early_stop: false,
             threads: 1,
             evaluator: EvaluatorMode::Compiled,
+            tabulator: TabulatorMode::Dense,
             durability: Durability::default(),
         }
     }
@@ -271,13 +284,16 @@ fn batch_rng(seed: u64, batch: u64) -> StdRng {
 }
 
 /// Assembles the serializable campaign state from the live tables.
+/// Takes the tables `&mut` so the serialized columns come from (and
+/// prime) each table's memoized sorted snapshot: a checkpoint's G-test
+/// sweep and its snapshot share one sort per table.
 #[allow(clippy::too_many_arguments)]
 fn build_snapshot(
     fingerprint: u64,
     batches_done: u64,
     total_batches: u64,
     cell_evals: u64,
-    tables: &[Table],
+    tables: &mut [Table],
     flagged: &[bool],
     trajectories: &[Vec<(u64, f64)>],
 ) -> CampaignSnapshot {
@@ -287,13 +303,13 @@ fn build_snapshot(
         total_batches,
         cell_evals,
         tables: tables
-            .iter()
+            .iter_mut()
             .enumerate()
             .map(|(index, table)| {
-                TableSnapshot::from_counts(
-                    &table.counts,
-                    table.overflow,
-                    table.samples,
+                TableSnapshot::from_sorted(
+                    table.sorted_columns().to_vec(),
+                    table.overflow(),
+                    table.samples(),
                     flagged[index],
                     &trajectories[index],
                 )
@@ -354,62 +370,59 @@ impl ProbeTable {
     }
 }
 
-/// A contingency table over observation keys for one probing set.
-struct Table {
-    counts: HashMap<u128, [u64; 2]>,
-    overflow: [u64; 2],
-    samples: u64,
+/// Builds the contingency table for one probing set under the
+/// configured [`TabulatorMode`]: a dense direct-indexed table when the
+/// set's full key space fits the cap (it then cannot overflow, which is
+/// what makes dense absorption commutative), the hashed reference
+/// otherwise.
+fn make_table(set: &ProbeSet, config: &EvaluationConfig) -> Table {
+    match config.tabulator {
+        TabulatorMode::Dense => set
+            .dense_index_width(config.model, config.max_table_keys)
+            .map_or_else(Table::hashed, Table::dense),
+        TabulatorMode::Hashed => Table::hashed(),
+    }
 }
 
-impl Table {
-    fn new() -> Self {
-        Table {
-            counts: HashMap::new(),
-            overflow: [0, 0],
-            samples: 0,
+/// Refill granularity of [`BufferedRng`], in `u64` words.
+const RNG_BLOCK: usize = 256;
+
+/// A block-buffered wrapper over the per-batch [`StdRng`]: refills 256
+/// words in one tight pass and serves draws from the buffer, amortizing
+/// the per-draw generator stepping across the batch's randomness
+/// (shares, masks, controls). Emits the *identical* word stream — every
+/// `gen`/`gen_range` draw in this crate consumes exactly one `next_u64`
+/// — so the trace stream stays a pure function of `(seed, batch)`;
+/// unused buffered words at batch end are simply discarded (each batch
+/// derives a fresh RNG anyway).
+struct BufferedRng {
+    inner: StdRng,
+    buffer: [u64; RNG_BLOCK],
+    cursor: usize,
+}
+
+impl BufferedRng {
+    fn new(inner: StdRng) -> Self {
+        BufferedRng {
+            inner,
+            buffer: [0; RNG_BLOCK],
+            cursor: RNG_BLOCK,
         }
     }
+}
 
-    /// Folds one batch's pre-aggregated `(key, per-group counts)` runs
-    /// into the table. Runs arrive sorted by key (see
-    /// `BatchEngine::run_batch`), so which keys claim the last slots
-    /// under `cap` is a deterministic function of the batch sequence —
-    /// the property that makes sharded campaigns byte-identical to
-    /// single-threaded ones even when tables overflow.
-    fn absorb(&mut self, runs: &[(u128, [u64; 2])], cap: usize) {
-        for &(key, cell) in runs {
-            self.samples += cell[0] + cell[1];
-            if let Some(existing) = self.counts.get_mut(&key) {
-                existing[0] += cell[0];
-                existing[1] += cell[1];
-            } else if self.counts.len() < cap {
-                self.counts.insert(key, cell);
-            } else {
-                self.overflow[0] += cell[0];
-                self.overflow[1] += cell[1];
+impl RngCore for BufferedRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor == RNG_BLOCK {
+            for word in &mut self.buffer {
+                *word = self.inner.next_u64();
             }
+            self.cursor = 0;
         }
-    }
-
-    // Columns in sorted key order: the G statistic is a float sum, so a
-    // deterministic summation order is what makes checkpoint
-    // trajectories byte-identical across runs and across resume legs
-    // (HashMap iteration order is neither).
-    fn columns(&self) -> Vec<(u64, u64)> {
-        let mut entries: Vec<(u128, [u64; 2])> = self
-            .counts
-            .iter()
-            .map(|(&key, &cell)| (key, cell))
-            .collect();
-        entries.sort_unstable_by_key(|&(key, _)| key);
-        let mut columns: Vec<(u64, u64)> = entries
-            .into_iter()
-            .map(|(_, cell)| (cell[0], cell[1]))
-            .collect();
-        if self.overflow[0] + self.overflow[1] > 0 {
-            columns.push((self.overflow[0], self.overflow[1]));
-        }
-        columns
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
     }
 }
 
@@ -440,6 +453,13 @@ struct BatchOutcome {
 /// Watchdog granularity of the sharded coordinator: how often it wakes
 /// from `recv` to scan heartbeats and check for a fatal worker verdict.
 const WATCHDOG_TICK_MS: u64 = 100;
+
+/// Batches per claim in the dense windowed protocol: workers take
+/// multi-batch chunks from the shared counter to amortize claim
+/// contention. Chunk size cannot perturb results — absorption into
+/// thread-local dense tables is commutative — so this is purely a
+/// throughput knob.
+const DENSE_CHUNK: u64 = 4;
 
 /// Runs one batch under supervision, retrying in place: a faulted
 /// attempt (contained panic — injected or real) rebuilds the simulator
@@ -475,6 +495,39 @@ fn run_batch_supervised<'a>(
     }
 }
 
+/// [`run_batch_supervised`] for the dense fast path: same retry budget,
+/// same rebuilt-simulator policy, but the outcome is the per-set index
+/// scratch (rewritten whole on every attempt) plus the batch's
+/// `(lane_groups, stats)` — nothing is committed to live tables here.
+fn run_batch_dense_supervised<'a>(
+    engine: &BatchEngine<'a>,
+    sim: &mut Simulator<'a>,
+    batch: u64,
+    perf: &PerfRecorder,
+    indices: &mut [[u32; LANES]],
+) -> Result<(u64, SimStats), CampaignError> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match supervisor::supervised(batch, || {
+            engine.run_batch_dense(sim, batch, perf, &mut *indices)
+        }) {
+            Ok(outcome) => return Ok(outcome),
+            Err(fault) => {
+                if attempts >= supervisor::MAX_ATTEMPTS {
+                    return Err(CampaignError::Worker {
+                        batch,
+                        attempts,
+                        message: fault.to_string(),
+                    });
+                }
+                *sim = Simulator::with_evaluator(engine.netlist, engine.config.evaluator);
+                std::thread::sleep(Duration::from_millis(supervisor::backoff_ms(attempts)));
+            }
+        }
+    }
+}
+
 impl BatchEngine<'_> {
     /// Simulates one batch on `sim` and aggregates its observations.
     /// A pure function of `(seed, batch)` — which simulator runs it,
@@ -483,8 +536,9 @@ impl BatchEngine<'_> {
         let config = self.config;
         // Each batch derives its own RNG from (seed, batch), so the
         // trace stream is position-addressable: resume is exact and
-        // sharding across threads cannot perturb it.
-        let mut rng = batch_rng(config.seed, batch);
+        // sharding across threads cannot perturb it. Block-buffering
+        // amortizes generator stepping without changing the stream.
+        let mut rng = BufferedRng::new(batch_rng(config.seed, batch));
         // Lane → population: bit set = random population.
         let lane_groups: u64 = rng.gen();
         let before = sim.counters();
@@ -538,10 +592,58 @@ impl BatchEngine<'_> {
         }
     }
 
+    /// Simulates one batch and extracts per-probing-set packed indices
+    /// into the caller's scratch — the dense fast path. Identical
+    /// simulation to [`BatchEngine::run_batch`], but the tabulation
+    /// side does no sorting, no run-length encoding and no allocation:
+    /// each set's 64 lane observations become 64 `u32` indices
+    /// (bit-for-bit the zero-extended `u128` keys, see
+    /// [`observation_indices`]) for the caller to commit with
+    /// [`Table::absorb_indices`]. Extraction is the fallible phase and
+    /// runs inside the supervisor's panic boundary; the commit into
+    /// live tables happens outside it, only after the whole batch
+    /// succeeded — a retried attempt rewrites the scratch completely,
+    /// so a torn attempt can never half-count a batch.
+    fn run_batch_dense(
+        &self,
+        sim: &mut Simulator,
+        batch: u64,
+        perf: &PerfRecorder,
+        indices: &mut [[u32; LANES]],
+    ) -> (u64, SimStats) {
+        let config = self.config;
+        let mut rng = BufferedRng::new(batch_rng(config.seed, batch));
+        let lane_groups: u64 = rng.gen();
+        let before = sim.counters();
+        sim.reset();
+        {
+            let _span = perf.span("simulate");
+            for cycle in 0..=config.warmup_cycles {
+                self.drive_cycle(sim, cycle, lane_groups, &mut rng);
+                if cycle < config.warmup_cycles {
+                    sim.step();
+                } else {
+                    sim.eval();
+                }
+            }
+        }
+        let _span = perf.span("tabulate");
+        for (set, slot) in self.probe_sets.iter().zip(indices.iter_mut()) {
+            observation_indices(sim, set, config.model, slot);
+        }
+        (lane_groups, sim.counters().delta_since(before))
+    }
+
     /// Drives every primary input for one cycle: shares re-randomized
     /// around the per-lane (fixed or random) secret, masks uniform,
     /// controls per their schedules.
-    fn drive_cycle(&self, sim: &mut Simulator, cycle: usize, lane_groups: u64, rng: &mut StdRng) {
+    fn drive_cycle(
+        &self,
+        sim: &mut Simulator,
+        cycle: usize,
+        lane_groups: u64,
+        rng: &mut BufferedRng,
+    ) {
         let config = self.config;
         let fixed = config.fixed_secret;
         for (_, shares) in self.secrets {
@@ -629,9 +731,13 @@ struct CampaignState {
 }
 
 impl CampaignState {
-    fn new(probe_set_count: usize) -> Self {
+    fn new(probe_sets: &[ProbeSet], config: &EvaluationConfig) -> Self {
+        let probe_set_count = probe_sets.len();
         CampaignState {
-            tables: (0..probe_set_count).map(|_| Table::new()).collect(),
+            tables: probe_sets
+                .iter()
+                .map(|set| make_table(set, config))
+                .collect(),
             trajectories: vec![Vec::new(); probe_set_count],
             flagged: vec![false; probe_set_count],
             batches_done: 0,
@@ -875,7 +981,7 @@ impl<'a> FixedVsRandom<'a> {
         let batches = config.traces.div_ceil(LANES as u64);
         let durability = &config.durability;
         let fingerprint = self.fingerprint(&probe_sets);
-        let mut state = CampaignState::new(probe_sets.len());
+        let mut state = CampaignState::new(&probe_sets, config);
         // Cell evaluations folded in by previous (interrupted) legs.
         let mut prior_cell_evals = 0u64;
         // A crash between tmp-write and rename leaves a stale `.tmp`
@@ -907,9 +1013,7 @@ impl<'a> FixedVsRandom<'a> {
                     for (index, table) in saved.tables.into_iter().enumerate() {
                         state.flagged[index] = table.flagged;
                         state.trajectories[index] = table.trajectory;
-                        state.tables[index].samples = table.samples;
-                        state.tables[index].overflow = table.overflow;
-                        state.tables[index].counts = table.counts.into_iter().collect();
+                        state.tables[index].restore(table.counts, table.overflow, table.samples);
                     }
                 }
             }
@@ -949,27 +1053,38 @@ impl<'a> FixedVsRandom<'a> {
             fresh_bits_per_trace,
         };
         let threads = config.threads.max(1);
+        // The dense fast path needs *every* table dense: checked after
+        // resume, because restoring a foreign snapshot can downgrade a
+        // table to the hashed store.
+        let all_dense = state.tables.iter().all(Table::is_dense);
         let run_result: Result<(), CampaignError> = if state.batches_done < batches {
             if threads == 1 {
-                // In-place single-threaded: one simulator, fold as we
-                // go. Faulted batches are retried in place on a rebuilt
-                // simulator (same supervision budget as the pool).
-                let mut sim = Simulator::with_evaluator(self.netlist, config.evaluator);
-                let mut stopped = Ok(());
-                for batch in state.batches_done..batches {
-                    match run_batch_supervised(&engine, &mut sim, batch, perf) {
-                        Ok(outcome) => {
-                            if self.fold_batch(&context, &mut state, outcome) {
+                if all_dense {
+                    self.run_in_place_dense(&engine, &context, &mut state)
+                } else {
+                    // In-place single-threaded: one simulator, fold as
+                    // we go. Faulted batches are retried in place on a
+                    // rebuilt simulator (same supervision budget as the
+                    // pool).
+                    let mut sim = Simulator::with_evaluator(self.netlist, config.evaluator);
+                    let mut stopped = Ok(());
+                    for batch in state.batches_done..batches {
+                        match run_batch_supervised(&engine, &mut sim, batch, perf) {
+                            Ok(outcome) => {
+                                if self.fold_batch(&context, &mut state, outcome) {
+                                    break;
+                                }
+                            }
+                            Err(error) => {
+                                stopped = Err(error);
                                 break;
                             }
                         }
-                        Err(error) => {
-                            stopped = Err(error);
-                            break;
-                        }
                     }
+                    stopped
                 }
-                stopped
+            } else if all_dense {
+                self.run_sharded_dense(&engine, &context, &mut state, threads)
             } else {
                 self.run_sharded(&engine, &context, &mut state, threads)
             }
@@ -990,7 +1105,7 @@ impl<'a> FixedVsRandom<'a> {
                 state.batches_done,
                 batches,
                 prior_cell_evals + state.folded.cell_evals,
-                &state.tables,
+                &mut state.tables,
                 &state.flagged,
                 &state.trajectories,
             );
@@ -1017,24 +1132,24 @@ impl<'a> FixedVsRandom<'a> {
         let mut probe_healths: Vec<ProbeHealth> = Vec::new();
         let mut results: Vec<ProbeResult> = probe_sets
             .iter()
-            .zip(&state.tables)
+            .zip(&mut state.tables)
             .enumerate()
             .map(|(index, (set, table))| {
-                let columns = table.columns();
+                let columns = table.g_columns();
                 let summary = pooling_summary(&columns);
                 let pooled_fraction = if summary.total_mass > 0 {
                     summary.pooled_mass as f64 / summary.total_mass as f64
                 } else {
                     0.0
                 };
-                let distinct_keys = table.counts.len();
+                let distinct_keys = table.distinct_keys();
                 let trajectory = std::mem::take(&mut state.trajectories[index]);
                 let result = match g_test(&columns) {
                     Some(test) => ProbeResult {
                         label: set.label.clone(),
                         probe_count: set.wires.len(),
                         cone_size: set.observed.len(),
-                        samples: table.samples,
+                        samples: table.samples(),
                         distinct_keys,
                         pooled_columns: summary.pooled_columns,
                         pooled_fraction,
@@ -1049,7 +1164,7 @@ impl<'a> FixedVsRandom<'a> {
                         label: set.label.clone(),
                         probe_count: set.wires.len(),
                         cone_size: set.observed.len(),
-                        samples: table.samples,
+                        samples: table.samples(),
                         distinct_keys,
                         pooled_columns: summary.pooled_columns,
                         pooled_fraction,
@@ -1082,9 +1197,29 @@ impl<'a> FixedVsRandom<'a> {
         drop(final_sweep);
 
         let cell_evals = prior_cell_evals + state.folded.cell_evals;
+        // Actual resident table bytes (exact for dense stores, a
+        // per-entry estimate for hashed ones) — deterministic, so it
+        // survives the byte-identity contract.
+        let table_bytes: u64 = state.tables.iter().map(Table::resident_bytes).sum();
         if perf.is_enabled() {
             perf.add("traces", traces);
             perf.add("cell_evals", cell_evals);
+            perf.add(
+                "keys_tabulated",
+                state.tables.iter().map(Table::samples).sum(),
+            );
+            perf.add(
+                "dense_tables",
+                state.tables.iter().filter(|table| table.is_dense()).count() as u64,
+            );
+            perf.add(
+                "hashed_tables",
+                state
+                    .tables
+                    .iter()
+                    .filter(|table| !table.is_dense())
+                    .count() as u64,
+            );
             if self.observer.enabled() {
                 if let Some(snapshot) = perf.snapshot() {
                     self.observer.emit(&Event::PerfSnapshot {
@@ -1104,6 +1239,7 @@ impl<'a> FixedVsRandom<'a> {
             early_stopped: state.early_stopped,
             interrupted: state.interrupted,
             cell_evals,
+            table_bytes,
             results,
         };
         if health_enabled {
@@ -1133,21 +1269,15 @@ impl<'a> FixedVsRandom<'a> {
         let tables = keep_tables.then(|| {
             probe_sets
                 .iter()
-                .zip(&state.tables)
-                .map(|(set, table)| {
-                    let mut columns: Vec<(u128, [u64; 2])> = table
-                        .counts
-                        .iter()
-                        .map(|(&key, &cell)| (key, cell))
-                        .collect();
-                    columns.sort_unstable_by_key(|&(key, _)| key);
-                    ProbeTable {
-                        label: set.label.clone(),
-                        set: set.clone(),
-                        columns,
-                        overflow: table.overflow,
-                        samples: table.samples,
-                    }
+                .zip(&mut state.tables)
+                .map(|(set, table)| ProbeTable {
+                    label: set.label.clone(),
+                    set: set.clone(),
+                    // The final sweep already memoized the sorted
+                    // snapshot; this re-serves it without a second sort.
+                    columns: table.sorted_columns().to_vec(),
+                    overflow: table.overflow(),
+                    samples: table.samples(),
                 })
                 .collect()
         });
@@ -1177,12 +1307,27 @@ impl<'a> FixedVsRandom<'a> {
         {
             let _span = perf.span("merge");
             for (runs, table) in outcome.counts.iter().zip(&mut state.tables) {
-                table.absorb(runs, config.max_table_keys);
+                table.absorb_runs(runs, config.max_table_keys);
             }
         }
         state.folded.cycles += outcome.stats.cycles;
         state.folded.cell_evals += outcome.stats.cell_evals;
         state.batches_done += 1;
+        self.after_batch(context, state)
+    }
+
+    /// Everything a batch-frontier advance triggers besides absorption:
+    /// the interim checkpoint (running G-test sweep, events, snapshot,
+    /// early-stop decision) and the cooperative-interrupt check, purely
+    /// as a function of `state.batches_done`. Shared verbatim by the
+    /// batch-ordered fold and the dense windowed protocol (whose window
+    /// boundaries coincide exactly with checkpoint multiples), which is
+    /// what keeps checkpoints, trajectories, early stops and interrupt
+    /// frontiers byte-identical between them. Returns `true` when the
+    /// campaign should stop before `context.batches`.
+    fn after_batch(&self, context: &FoldContext<'_>, state: &mut CampaignState) -> bool {
+        let config = &self.config;
+        let perf = context.perf;
 
         // Interim checkpoint: running G-test per probing set, events,
         // and the early-stop decision. Skipped on the last batch (the
@@ -1200,8 +1345,8 @@ impl<'a> FixedVsRandom<'a> {
                 0
             });
             let mut running: Vec<(usize, f64)> = Vec::with_capacity(context.probe_sets.len());
-            for (index, table) in state.tables.iter().enumerate() {
-                let columns = table.columns();
+            for (index, table) in state.tables.iter_mut().enumerate() {
+                let columns = table.g_columns();
                 let minus_log10_p = g_test(&columns)
                     .map(|test| test.minus_log10_p)
                     .unwrap_or(0.0);
@@ -1288,7 +1433,7 @@ impl<'a> FixedVsRandom<'a> {
                         state.batches_done,
                         context.batches,
                         context.prior_cell_evals + state.folded.cell_evals,
-                        &state.tables,
+                        &mut state.tables,
                         &state.flagged,
                         &state.trajectories,
                     );
@@ -1512,6 +1657,262 @@ impl<'a> FixedVsRandom<'a> {
         });
         result
     }
+
+    /// The single-threaded dense fast path: one simulator, per-set
+    /// `u32` index scratch reused across batches, observations absorbed
+    /// straight into the live tables — no hashing, no sorting, no
+    /// per-batch allocation. Extraction (the fallible phase) runs under
+    /// supervision; the commit happens only after the whole batch
+    /// succeeded, so retried batches count exactly once.
+    fn run_in_place_dense(
+        &self,
+        engine: &BatchEngine<'_>,
+        context: &FoldContext<'_>,
+        state: &mut CampaignState,
+    ) -> Result<(), CampaignError> {
+        let perf = context.perf;
+        let mut sim = Simulator::with_evaluator(self.netlist, self.config.evaluator);
+        let mut indices = vec![[0u32; LANES]; context.probe_sets.len()];
+        for batch in state.batches_done..context.batches {
+            let (lane_groups, stats) =
+                run_batch_dense_supervised(engine, &mut sim, batch, perf, &mut indices)?;
+            {
+                let _span = perf.span("tabulate");
+                for (slot, table) in indices.iter().zip(&mut state.tables) {
+                    table.absorb_indices(slot, lane_groups);
+                }
+            }
+            state.folded.cycles += stats.cycles;
+            state.folded.cell_evals += stats.cell_evals;
+            state.batches_done += 1;
+            if self.after_batch(context, state) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Shards batches across workers with **thread-local dense tables**
+    /// and a commutative once-per-window merge — the protocol dense
+    /// absorption licenses (see [`crate::tabulate`]): a dense table can
+    /// never overflow its cap, so its counts are plain integer sums and
+    /// fold order is irrelevant. Workers claim [`DENSE_CHUNK`]-batch
+    /// chunks from an atomic counter and absorb each batch into their
+    /// own shard; nothing crosses a channel per batch, eliminating the
+    /// steady-state `merge` phase and the reorder buffer entirely.
+    ///
+    /// Byte-identity is preserved by *windowing*: the claim frontier
+    /// runs only to the next checkpoint boundary (`checkpoint_every`
+    /// multiple, `stop_after_batches` cap, or the end), the coordinator
+    /// folds every shard exactly there, and [`Self::after_batch`] then
+    /// sees the same `batches_done` — and bit-identical tables, since
+    /// integer addition is associative — as the single-threaded loop
+    /// does at that batch. Checkpoints, trajectories, snapshots, early
+    /// stops and deterministic interrupts land on identical bytes.
+    ///
+    /// Fault containment: each batch retries in place under the
+    /// supervisor's budget (rebuilt simulator, bounded backoff), like
+    /// the single-threaded loop. A batch that exhausts its budget is
+    /// fatal: the window's shard tables are **discarded unmerged**
+    /// (workers stop mid-window, so their union is not a contiguous
+    /// batch range) and the campaign state remains at the last window
+    /// boundary — still contiguous, so the emergency snapshot stays
+    /// valid. The coordinator doubles as the heartbeat watchdog,
+    /// flagging overdue shards into the degraded registry (advisory).
+    fn run_sharded_dense(
+        &self,
+        engine: &BatchEngine<'_>,
+        context: &FoldContext<'_>,
+        state: &mut CampaignState,
+        threads: usize,
+    ) -> Result<(), CampaignError> {
+        let config = &self.config;
+        let perf_enabled = context.perf.is_enabled();
+        let heartbeats = supervisor::Heartbeats::new(threads);
+        let stall_timeout_ms = supervisor::stall_timeout_ms();
+        let mut flagged_stall = vec![false; threads];
+        let interrupt = &config.durability.interrupt;
+        // Hoisted across windows: simulators (lowering is one-time
+        // work), per-worker shard tables (drained by each window's
+        // merge) and per-worker perf recorders (absorbed once at exit).
+        let mut sims: Vec<Simulator> = (0..threads)
+            .map(|_| Simulator::with_evaluator(self.netlist, config.evaluator))
+            .collect();
+        let mut shards: Vec<Vec<Table>> = (0..threads)
+            .map(|_| {
+                context
+                    .probe_sets
+                    .iter()
+                    .map(|set| make_table(set, config))
+                    .collect()
+            })
+            .collect();
+        let worker_perfs: Vec<PerfRecorder> = (0..threads)
+            .map(|_| {
+                if perf_enabled {
+                    PerfRecorder::enabled()
+                } else {
+                    PerfRecorder::disabled()
+                }
+            })
+            .collect();
+        let mut result = Ok(());
+        while state.batches_done < context.batches {
+            let window_start = state.batches_done;
+            // The window runs to the next single-thread decision point:
+            // checkpoint multiple, deterministic batch cap, or the end.
+            // (`cap.max(window_start + 1)` reproduces the single-thread
+            // loop, which always folds one more batch before noticing
+            // the cap when resumed at or past it.)
+            let mut window_end = match window_start.checked_div(context.checkpoint_every) {
+                Some(windows_done) => {
+                    ((windows_done + 1) * context.checkpoint_every).min(context.batches)
+                }
+                None => context.batches,
+            };
+            if let Some(cap) = config.durability.stop_after_batches {
+                window_end = window_end.min(cap.max(window_start + 1));
+            }
+            let next_batch = AtomicU64::new(window_start);
+            let stop = AtomicBool::new(false);
+            let fatal: Mutex<Option<CampaignError>> = Mutex::new(None);
+            // Workers report their window's SimStats exactly once at
+            // exit; the channel doubles as the coordinator's completion
+            // wake-up between watchdog ticks.
+            let (sender, receiver) = mpsc::channel::<SimStats>();
+            let mut window_stats = SimStats::default();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = sims
+                    .iter_mut()
+                    .zip(shards.iter_mut())
+                    .zip(worker_perfs.iter())
+                    .enumerate()
+                    .map(|(worker, ((sim, shard), worker_perf))| {
+                        let sender = sender.clone();
+                        let next_batch = &next_batch;
+                        let stop = &stop;
+                        let fatal = &fatal;
+                        let heartbeats = &heartbeats;
+                        scope.spawn(move || {
+                            let mut indices = vec![[0u32; LANES]; shard.len()];
+                            let mut local = SimStats::default();
+                            'claim: while !stop.load(Ordering::Acquire) {
+                                let chunk = next_batch.fetch_add(DENSE_CHUNK, Ordering::Relaxed);
+                                if chunk >= window_end {
+                                    break;
+                                }
+                                // A claimed chunk always completes (or
+                                // turns fatal), so the absorbed batches
+                                // are exactly the contiguous range below
+                                // the claim frontier.
+                                for batch in chunk..(chunk + DENSE_CHUNK).min(window_end) {
+                                    heartbeats.start(worker, batch);
+                                    let attempt = run_batch_dense_supervised(
+                                        engine,
+                                        sim,
+                                        batch,
+                                        worker_perf,
+                                        &mut indices,
+                                    );
+                                    heartbeats.idle(worker);
+                                    match attempt {
+                                        Ok((lane_groups, stats)) => {
+                                            let _span = worker_perf.span("tabulate");
+                                            for (slot, table) in
+                                                indices.iter().zip(shard.iter_mut())
+                                            {
+                                                table.absorb_indices(slot, lane_groups);
+                                            }
+                                            local.cycles += stats.cycles;
+                                            local.cell_evals += stats.cell_evals;
+                                        }
+                                        Err(error) => {
+                                            fatal
+                                                .lock()
+                                                .unwrap_or_else(|poison| poison.into_inner())
+                                                .get_or_insert(error);
+                                            stop.store(true, Ordering::Release);
+                                            break 'claim;
+                                        }
+                                    }
+                                }
+                                if interrupt
+                                    .as_ref()
+                                    .is_some_and(|flag| flag.load(Ordering::Relaxed))
+                                {
+                                    // Stop claiming; completed chunks
+                                    // stand, and the merge below folds
+                                    // the contiguous claimed range.
+                                    break;
+                                }
+                            }
+                            let _ = sender.send(local);
+                        })
+                    })
+                    .collect();
+                drop(sender);
+                let mut done = 0usize;
+                while done < threads {
+                    match receiver.recv_timeout(Duration::from_millis(WATCHDOG_TICK_MS)) {
+                        Ok(local) => {
+                            window_stats.cycles += local.cycles;
+                            window_stats.cell_evals += local.cell_evals;
+                            done += 1;
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            for (worker, fault) in heartbeats.stalled(stall_timeout_ms) {
+                                if !flagged_stall[worker] {
+                                    flagged_stall[worker] = true;
+                                    mmaes_telemetry::degraded::mark(
+                                        "worker",
+                                        &format!("worker {worker}: {fault}"),
+                                    );
+                                }
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                for handle in handles {
+                    if let Err(payload) = handle.join() {
+                        // Unreachable: batch attempts run inside the
+                        // supervisor's panic boundary.
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+            if let Some(error) = fatal
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .take()
+            {
+                // Discard the torn window: the shards' union is not a
+                // contiguous batch range. State stays at the last
+                // window boundary, which is.
+                result = Err(error);
+                break;
+            }
+            let reached = next_batch.load(Ordering::Relaxed).min(window_end);
+            {
+                let _span = context.perf.span("merge");
+                for shard in &mut shards {
+                    for (table, local) in state.tables.iter_mut().zip(shard.iter_mut()) {
+                        table.merge_from(local);
+                    }
+                }
+            }
+            state.folded.cycles += window_stats.cycles;
+            state.folded.cell_evals += window_stats.cell_evals;
+            state.batches_done = reached;
+            if self.after_batch(context, state) || reached < window_end {
+                break;
+            }
+        }
+        for worker_perf in &worker_perfs {
+            context.perf.absorb(worker_perf);
+        }
+        result
+    }
 }
 
 /// Packs each lane's extended observation of `set` into a key.
@@ -1545,6 +1946,38 @@ fn observation_keys(sim: &Simulator, set: &ProbeSet, model: ProbeModel) -> [u128
     }
     debug_assert_eq!(position, bits);
     keys
+}
+
+/// [`observation_keys`] specialized to dense-eligible sets: packs each
+/// lane's observation into a `u32` index using the *same* bit layout
+/// (observed bit `i` at index bit `i`), so the index is bit-for-bit the
+/// zero-extended `u128` key — which is why a dense table's linear scan
+/// serializes in the exact sorted-key order the hashed store emits.
+/// Only called for sets whose [`ProbeSet::dense_index_width`] fits
+/// `u32`, so no overflow-mix arm exists here.
+fn observation_indices(
+    sim: &Simulator,
+    set: &ProbeSet,
+    model: ProbeModel,
+    indices: &mut [u32; LANES],
+) {
+    let bits = set.observation_bits(model);
+    debug_assert!(bits <= crate::tabulate::MAX_DENSE_WIDTH);
+    indices.fill(0);
+    let mut position = 0u32;
+    let mut push_word = |indices: &mut [u32; LANES], word: u64| {
+        for (lane, index) in indices.iter_mut().enumerate() {
+            *index |= (((word >> lane) & 1) as u32) << position;
+        }
+        position += 1;
+    };
+    for &wire in &set.observed {
+        push_word(indices, sim.value(wire));
+        if matches!(model, ProbeModel::GlitchTransition) {
+            push_word(indices, sim.prev_value(wire));
+        }
+    }
+    debug_assert_eq!(position as usize, bits);
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ pub mod report;
 pub mod snapshot;
 pub mod stats;
 pub mod supervisor;
+pub mod tabulate;
 
 pub use campaign::{
     CampaignError, CampaignMode, Durability, EvaluationConfig, FixedVsRandom, ProbeTable,
@@ -51,3 +52,4 @@ pub use probe::{enumerate_probe_sets, ProbeModel, ProbeSet};
 pub use report::{LeakageReport, ProbeResult};
 pub use snapshot::{CampaignSnapshot, SnapshotError, TableSnapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use supervisor::WorkerFault;
+pub use tabulate::{TabulatorMode, MAX_DENSE_WIDTH};

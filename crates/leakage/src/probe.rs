@@ -49,6 +49,21 @@ impl ProbeSet {
             ProbeModel::GlitchTransition => 2 * self.observed.len(),
         }
     }
+
+    /// The exact packed-key width for a dense direct-indexed
+    /// contingency table, when this set qualifies for one: the set's
+    /// full key space (`2^bits`) must fit within `max_table_keys` (so
+    /// the dense table can never overflow the cap the hashed fallback
+    /// enforces) and the packed key must fit the per-lane `u32` index
+    /// ([`crate::tabulate::MAX_DENSE_WIDTH`]). `None` selects the
+    /// hashed fallback.
+    pub fn dense_index_width(&self, model: ProbeModel, max_table_keys: usize) -> Option<usize> {
+        let bits = self.observation_bits(model);
+        if bits > crate::tabulate::MAX_DENSE_WIDTH {
+            return None;
+        }
+        ((1u64 << bits) <= max_table_keys as u64).then_some(bits)
+    }
 }
 
 /// Enumerates deduplicated probing sets of the given order.

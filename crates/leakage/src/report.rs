@@ -69,6 +69,13 @@ pub struct LeakageReport {
     /// [`mmaes_sim::SimStats`]; the throughput denominator for
     /// cell-evals/sec).
     pub cell_evals: u64,
+    /// Resident bytes of the contingency-table stores at the final
+    /// sweep, summed over probing sets (exact for dense tables, a
+    /// per-entry estimate for hashed ones; see
+    /// [`crate::tabulate::Table::resident_bytes`]). Deterministic
+    /// across thread counts and resume legs. Not serialized into the
+    /// CSV or the display table — memory accounting, not statistics.
+    pub table_bytes: u64,
     /// Per-probe-set results, sorted by decreasing `-log10(p)`.
     pub results: Vec<ProbeResult>,
 }
@@ -278,6 +285,7 @@ mod tests {
             early_stopped: false,
             interrupted: false,
             cell_evals: 0,
+            table_bytes: 0,
             results,
         }
     }

@@ -81,6 +81,26 @@ impl TableSnapshot {
             trajectory: trajectory.to_vec(),
         }
     }
+
+    /// Builds a snapshot from already-sorted columns (as
+    /// [`crate::tabulate::Table::sorted_columns`] memoizes them), so a
+    /// checkpoint's G-test sweep and its snapshot share one sort.
+    pub fn from_sorted(
+        counts: Vec<(u128, [u64; 2])>,
+        overflow: [u64; 2],
+        samples: u64,
+        flagged: bool,
+        trajectory: &[(u64, f64)],
+    ) -> Self {
+        debug_assert!(counts.windows(2).all(|pair| pair[0].0 < pair[1].0));
+        TableSnapshot {
+            samples,
+            overflow,
+            flagged,
+            counts,
+            trajectory: trajectory.to_vec(),
+        }
+    }
 }
 
 /// The complete serialized state of a paused campaign.

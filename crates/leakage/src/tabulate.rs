@@ -1,0 +1,526 @@
+//! Contingency-table tabulation engines (DESIGN.md §5a).
+//!
+//! A fixed-vs-random campaign spends most of its time turning
+//! observations into contingency-table counts. This module provides two
+//! interchangeable table stores behind one [`Table`] type:
+//!
+//! * **Dense** — a flat `Vec<[u64; 2]>` directly indexed by the packed
+//!   observation key. Selected per probing set when the set's exact
+//!   key-space width fits (`2^width ≤ max_table_keys`, width ≤
+//!   [`MAX_DENSE_WIDTH`]): absorption is then a bounds-checked array
+//!   increment — no hashing, no sorting, no per-batch allocation — and
+//!   the table can never overflow its cap, which is what makes dense
+//!   absorption *commutative* and lets sharded workers keep
+//!   thread-local tables folded once per checkpoint window.
+//! * **Hashed** — the original `HashMap<u128, [u64; 2]>` with an
+//!   overflow bucket past the key cap. The fallback for sets wider than
+//!   the dense rule admits, and the differential-testing reference
+//!   (`--tabulator hashed`).
+//!
+//! Byte-identity across the two stores is structural, not statistical:
+//! a dense-eligible set has at most `2^width ≤ max_table_keys` distinct
+//! keys, so the hashed store never overflows on it either, and because
+//! keys are packed with bit `i` of the observation at key bit `i`, the
+//! dense index order *is* the sorted-u128-key order the hashed store
+//! serializes in. Same cells, same order, same bytes.
+//!
+//! [`Table::sorted_columns`] memoizes the sorted snapshot (invalidated
+//! by any absorption), so a checkpoint's G-test sweep, its snapshot
+//! serialization and the final report all share one sort (hashed) or
+//! one linear scan (dense) instead of re-collecting per consumer.
+
+use std::collections::HashMap;
+
+use mmaes_sim::LANES;
+
+/// Widest packed observation a dense table will direct-index: the
+/// packed key must fit a `u32` (the per-lane index type). The memory
+/// gate is [`EvaluationConfig::max_table_keys`](crate::EvaluationConfig::max_table_keys),
+/// which bounds `2^width` cells of 16 bytes each.
+pub const MAX_DENSE_WIDTH: usize = 32;
+
+/// Fixed per-table bookkeeping bytes (struct header, overflow, cache
+/// slot) counted by [`Table::resident_bytes`].
+const TABLE_OVERHEAD_BYTES: u64 = 48;
+
+/// Bytes per dense cell: one `[u64; 2]`.
+const DENSE_CELL_BYTES: u64 = 16;
+
+/// Estimated resident bytes per hashed entry: 24 bytes of payload
+/// (`u128` key + `[u64; 2]` cell) plus hash-table bucket overhead.
+const HASHED_ENTRY_BYTES: u64 = 48;
+
+/// Which contingency-table store a campaign uses
+/// (`--tabulator dense|hashed`, mirroring `--evaluator`).
+///
+/// Both produce byte-identical reports, CSVs, trajectories and
+/// snapshots; `Hashed` exists as the differential-testing reference and
+/// is also what `Dense` silently falls back to per probing set when the
+/// set's key space exceeds the dense selection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TabulatorMode {
+    /// Direct-indexed flat tables for every set that fits the selection
+    /// rule, hashed fallback for the rest. The default.
+    #[default]
+    Dense,
+    /// The HashMap-based reference tabulator for every set.
+    Hashed,
+}
+
+impl TabulatorMode {
+    /// Canonical CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            TabulatorMode::Dense => "dense",
+            TabulatorMode::Hashed => "hashed",
+        }
+    }
+
+    /// Parses the [`TabulatorMode::name`] spelling.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "dense" => Some(TabulatorMode::Dense),
+            "hashed" => Some(TabulatorMode::Hashed),
+            _ => None,
+        }
+    }
+}
+
+/// The two table stores. Dense cells are indexed by the packed
+/// observation key; a cell of `[0, 0]` means the key was never seen
+/// (counts only ever increment, so zero cells are exactly the unseen
+/// keys).
+#[derive(Debug, Clone)]
+enum Store {
+    Hashed(HashMap<u128, [u64; 2]>),
+    Dense(Vec<[u64; 2]>),
+}
+
+/// A contingency table over observation keys for one probing set:
+/// `[fixed, random]` counts per key, an overflow bucket past the key
+/// cap (hashed store only — dense tables cannot overflow), and a
+/// memoized sorted snapshot of the columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    store: Store,
+    overflow: [u64; 2],
+    samples: u64,
+    /// Sorted `(key, cell)` snapshot, memoized until the next
+    /// absorption. Serves the checkpoint G-test sweep, snapshot
+    /// serialization and report assembly from one sort/scan.
+    sorted: Option<Vec<(u128, [u64; 2])>>,
+}
+
+impl Table {
+    /// An empty hashed table.
+    pub fn hashed() -> Self {
+        Table {
+            store: Store::Hashed(HashMap::new()),
+            overflow: [0, 0],
+            samples: 0,
+            sorted: None,
+        }
+    }
+
+    /// An empty dense table of `2^width` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` exceeds [`MAX_DENSE_WIDTH`] — callers gate on
+    /// the selection rule first.
+    pub fn dense(width: usize) -> Self {
+        assert!(width <= MAX_DENSE_WIDTH, "dense width {width} too wide");
+        Table {
+            store: Store::Dense(vec![[0, 0]; 1usize << width]),
+            overflow: [0, 0],
+            samples: 0,
+            sorted: None,
+        }
+    }
+
+    /// Whether this table uses the dense direct-indexed store.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.store, Store::Dense(_))
+    }
+
+    /// Total samples absorbed (both populations, overflow included).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// `[fixed, random]` counts pooled past the key cap.
+    pub fn overflow(&self) -> [u64; 2] {
+        self.overflow
+    }
+
+    /// Folds one batch's pre-aggregated `(key, per-group counts)` runs
+    /// into the table — the batch-ordered protocol's absorption path.
+    /// Runs arrive sorted by key, so on the hashed store which keys
+    /// claim the last slots under `cap` is a deterministic function of
+    /// the batch sequence — the property that makes sharded campaigns
+    /// byte-identical to single-threaded ones even when tables
+    /// overflow. The dense store ignores `cap`: its key space is
+    /// complete by construction.
+    pub fn absorb_runs(&mut self, runs: &[(u128, [u64; 2])], cap: usize) {
+        self.sorted = None;
+        match &mut self.store {
+            Store::Hashed(counts) => {
+                for &(key, cell) in runs {
+                    self.samples += cell[0] + cell[1];
+                    if let Some(existing) = counts.get_mut(&key) {
+                        existing[0] += cell[0];
+                        existing[1] += cell[1];
+                    } else if counts.len() < cap {
+                        counts.insert(key, cell);
+                    } else {
+                        self.overflow[0] += cell[0];
+                        self.overflow[1] += cell[1];
+                    }
+                }
+            }
+            Store::Dense(cells) => {
+                for &(key, cell) in runs {
+                    self.samples += cell[0] + cell[1];
+                    let slot = &mut cells[key as usize];
+                    slot[0] += cell[0];
+                    slot[1] += cell[1];
+                }
+            }
+        }
+    }
+
+    /// Absorbs one batch of per-lane packed indices directly — the
+    /// dense fast path: no sort, no run-length encoding, no per-batch
+    /// allocation, just [`LANES`] bounds-checked increments. Lane `i`
+    /// belongs to the random population when bit `i` of `lane_groups`
+    /// is set. Commutative across batches (pure integer adds), which is
+    /// what licenses the per-worker-table merge protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index exceeds the table's width — an internal
+    /// invariant violation, since indices are packed from exactly the
+    /// bits the width was computed from.
+    pub fn absorb_indices(&mut self, indices: &[u32; LANES], lane_groups: u64) {
+        let Store::Dense(cells) = &mut self.store else {
+            unreachable!("absorb_indices on a hashed table");
+        };
+        self.sorted = None;
+        self.samples += LANES as u64;
+        for (lane, &index) in indices.iter().enumerate() {
+            cells[index as usize][((lane_groups >> lane) & 1) as usize] += 1;
+        }
+    }
+
+    /// Folds `other` into `self` and drains `other` back to empty — the
+    /// commutative merge a sharded coordinator runs once per checkpoint
+    /// window over each worker's thread-local tables. Both tables must
+    /// share the same store layout (the campaign builds every shard
+    /// from the same probing set).
+    pub fn merge_from(&mut self, other: &mut Table) {
+        self.sorted = None;
+        other.sorted = None;
+        self.samples += other.samples;
+        other.samples = 0;
+        self.overflow[0] += other.overflow[0];
+        self.overflow[1] += other.overflow[1];
+        other.overflow = [0, 0];
+        match (&mut self.store, &mut other.store) {
+            (Store::Dense(into), Store::Dense(from)) => {
+                assert_eq!(into.len(), from.len(), "mismatched dense widths");
+                for (into, from) in into.iter_mut().zip(from.iter_mut()) {
+                    into[0] += from[0];
+                    into[1] += from[1];
+                    *from = [0, 0];
+                }
+            }
+            (Store::Hashed(into), Store::Hashed(from)) => {
+                // Uncapped by design: the commutative protocol only
+                // runs when every table is dense, so a hashed merge
+                // only occurs in direct API use (e.g. tests).
+                for (key, cell) in from.drain() {
+                    let slot = into.entry(key).or_insert([0, 0]);
+                    slot[0] += cell[0];
+                    slot[1] += cell[1];
+                }
+            }
+            _ => panic!("merge_from requires matching table layouts"),
+        }
+    }
+
+    /// Restores serialized state (sorted `(key, cell)` pairs, overflow,
+    /// samples) into this table — the resume path. A dense table whose
+    /// layout cannot hold a key (a foreign or hand-edited snapshot)
+    /// falls back to the hashed store rather than failing: resume
+    /// correctness never depends on the tabulator choice.
+    pub fn restore(&mut self, counts: Vec<(u128, [u64; 2])>, overflow: [u64; 2], samples: u64) {
+        self.sorted = None;
+        self.overflow = overflow;
+        self.samples = samples;
+        match &mut self.store {
+            Store::Dense(cells) => {
+                if counts.iter().all(|&(key, _)| key < cells.len() as u128) {
+                    cells.fill([0, 0]);
+                    for (key, cell) in counts {
+                        cells[key as usize] = cell;
+                    }
+                } else {
+                    self.store = Store::Hashed(counts.into_iter().collect());
+                }
+            }
+            Store::Hashed(map) => *map = counts.into_iter().collect(),
+        }
+    }
+
+    /// The `(key, cell)` columns in sorted key order, memoized until
+    /// the next absorption. The G statistic is a float sum, so a
+    /// deterministic column order is what makes checkpoint trajectories
+    /// byte-identical across runs and resume legs; for the dense store
+    /// the linear scan of non-zero cells *is* sorted-key order, because
+    /// the packed index equals the key.
+    pub fn sorted_columns(&mut self) -> &[(u128, [u64; 2])] {
+        if self.sorted.is_none() {
+            let entries = match &self.store {
+                Store::Hashed(counts) => {
+                    let mut entries: Vec<(u128, [u64; 2])> =
+                        counts.iter().map(|(&key, &cell)| (key, cell)).collect();
+                    entries.sort_unstable_by_key(|&(key, _)| key);
+                    entries
+                }
+                Store::Dense(cells) => cells
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, cell)| cell[0] | cell[1] != 0)
+                    .map(|(index, &cell)| (index as u128, cell))
+                    .collect(),
+            };
+            self.sorted = Some(entries);
+        }
+        self.sorted.as_deref().expect("just memoized")
+    }
+
+    /// The `(fixed, random)` columns exactly as the G-test consumes
+    /// them: key-sorted counts, then the overflow bucket if any.
+    pub fn g_columns(&mut self) -> Vec<(u64, u64)> {
+        let overflow = self.overflow;
+        let mut columns: Vec<(u64, u64)> = self
+            .sorted_columns()
+            .iter()
+            .map(|&(_, cell)| (cell[0], cell[1]))
+            .collect();
+        if overflow[0] + overflow[1] > 0 {
+            columns.push((overflow[0], overflow[1]));
+        }
+        columns
+    }
+
+    /// Distinct observation keys seen (the overflow bucket excluded).
+    pub fn distinct_keys(&mut self) -> usize {
+        self.sorted_columns().len()
+    }
+
+    /// Actual resident bytes of the table store: exact for dense (the
+    /// cell array is fully allocated up front), a per-entry estimate
+    /// including bucket overhead for hashed. Deterministic across
+    /// thread counts and resume legs (it depends on logical content,
+    /// never on allocator state).
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.store {
+            Store::Dense(cells) => TABLE_OVERHEAD_BYTES + DENSE_CELL_BYTES * cells.len() as u64,
+            Store::Hashed(counts) => {
+                TABLE_OVERHEAD_BYTES + HASHED_ENTRY_BYTES * counts.len() as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Splits a key stream into per-batch sorted runs, mirroring the
+    /// campaign's per-batch RLE aggregation.
+    fn runs_of(keys: &[(u128, usize)]) -> Vec<(u128, [u64; 2])> {
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable_by_key(|&(key, _)| key);
+        let mut runs: Vec<(u128, [u64; 2])> = Vec::new();
+        for (key, group) in sorted {
+            match runs.last_mut() {
+                Some((last, cell)) if *last == key => cell[group] += 1,
+                _ => {
+                    let mut cell = [0u64; 2];
+                    cell[group] = 1;
+                    runs.push((key, cell));
+                }
+            }
+        }
+        runs
+    }
+
+    #[test]
+    fn mode_parses_its_own_names() {
+        for mode in [TabulatorMode::Dense, TabulatorMode::Hashed] {
+            assert_eq!(TabulatorMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(TabulatorMode::parse("turbo"), None);
+        assert_eq!(TabulatorMode::default(), TabulatorMode::Dense);
+    }
+
+    #[test]
+    fn dense_and_hashed_agree_on_a_fixed_stream() {
+        let mut dense = Table::dense(4);
+        let mut hashed = Table::hashed();
+        let runs = runs_of(&[(3, 0), (3, 1), (15, 1), (0, 0), (3, 0)]);
+        dense.absorb_runs(&runs, 16);
+        hashed.absorb_runs(&runs, 16);
+        assert_eq!(dense.sorted_columns(), hashed.sorted_columns());
+        assert_eq!(dense.g_columns(), hashed.g_columns());
+        assert_eq!(dense.samples(), hashed.samples());
+        assert_eq!(dense.distinct_keys(), 3);
+        assert_eq!(dense.overflow(), [0, 0]);
+    }
+
+    #[test]
+    fn absorb_indices_matches_absorb_runs() {
+        let lane_groups = 0xdead_beef_0bad_f00du64;
+        let mut indices = [0u32; LANES];
+        for (lane, slot) in indices.iter_mut().enumerate() {
+            *slot = (lane % 7) as u32;
+        }
+        let keyed: Vec<(u128, usize)> = indices
+            .iter()
+            .enumerate()
+            .map(|(lane, &index)| (index as u128, ((lane_groups >> lane) & 1) as usize))
+            .collect();
+        let mut direct = Table::dense(3);
+        direct.absorb_indices(&indices, lane_groups);
+        let mut reference = Table::dense(3);
+        reference.absorb_runs(&runs_of(&keyed), 8);
+        assert_eq!(direct.sorted_columns(), reference.sorted_columns());
+        assert_eq!(direct.samples(), LANES as u64);
+    }
+
+    #[test]
+    fn merge_from_is_commutative_and_drains_the_source() {
+        let runs_a = runs_of(&[(1, 0), (2, 1), (2, 1)]);
+        let runs_b = runs_of(&[(2, 0), (7, 1)]);
+        let mut ab = Table::dense(3);
+        ab.absorb_runs(&runs_a, 8);
+        let mut b = Table::dense(3);
+        b.absorb_runs(&runs_b, 8);
+        ab.merge_from(&mut b);
+        let mut ba = Table::dense(3);
+        ba.absorb_runs(&runs_b, 8);
+        let mut a = Table::dense(3);
+        a.absorb_runs(&runs_a, 8);
+        ba.merge_from(&mut a);
+        assert_eq!(ab.sorted_columns(), ba.sorted_columns());
+        assert_eq!(ab.samples(), ba.samples());
+        assert_eq!(b.samples(), 0, "merge drains the source");
+        assert!(b.sorted_columns().is_empty());
+    }
+
+    #[test]
+    fn cached_columns_invalidate_on_absorption() {
+        let mut table = Table::dense(2);
+        table.absorb_runs(&runs_of(&[(1, 0)]), 4);
+        assert_eq!(table.sorted_columns().len(), 1);
+        table.absorb_runs(&runs_of(&[(2, 1)]), 4);
+        assert_eq!(table.sorted_columns().len(), 2, "stale cache served");
+        table.absorb_indices(&[0u32; LANES], 0);
+        assert_eq!(table.sorted_columns().len(), 3);
+    }
+
+    #[test]
+    fn hashed_overflow_pools_past_the_cap_deterministically() {
+        let mut table = Table::hashed();
+        table.absorb_runs(&runs_of(&[(1, 0), (2, 0), (3, 1), (4, 1)]), 2);
+        assert_eq!(table.distinct_keys(), 2);
+        assert_eq!(table.overflow(), [0, 2], "keys 3 and 4 pooled");
+        assert_eq!(table.g_columns().len(), 3, "overflow is one more column");
+        assert_eq!(table.samples(), 4);
+    }
+
+    #[test]
+    fn restore_falls_back_to_hashed_when_keys_exceed_the_dense_layout() {
+        let mut table = Table::dense(2);
+        table.restore(vec![(1, [5, 6]), (999, [1, 2])], [0, 0], 14);
+        assert!(!table.is_dense(), "foreign snapshot forces the fallback");
+        assert_eq!(
+            table.sorted_columns(),
+            &[(1u128, [5u64, 6u64]), (999, [1, 2])]
+        );
+        let mut fits = Table::dense(2);
+        fits.restore(vec![(1, [5, 6]), (3, [1, 2])], [0, 0], 14);
+        assert!(fits.is_dense());
+        assert_eq!(fits.sorted_columns(), &[(1u128, [5u64, 6u64]), (3, [1, 2])]);
+    }
+
+    #[test]
+    fn resident_bytes_track_the_store() {
+        let dense = Table::dense(4);
+        assert_eq!(dense.resident_bytes(), 48 + 16 * 16);
+        let mut hashed = Table::hashed();
+        assert_eq!(hashed.resident_bytes(), 48);
+        hashed.absorb_runs(&runs_of(&[(1, 0), (2, 1)]), 8);
+        assert_eq!(hashed.resident_bytes(), 48 + 2 * 48);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The differential property behind `--tabulator`: on any key
+        /// stream batched any way, a dense table and a capacity-matched
+        /// hashed table produce identical `g_columns()` — including at
+        /// the `2^width == max_table_keys` boundary, where the hashed
+        /// store's cap is exactly the dense key space.
+        #[test]
+        fn dense_matches_hashed_on_random_key_streams(
+            width in 1usize..=10,
+            raw in prop::collection::vec((any::<u64>(), any::<bool>()), 1..200),
+            batch_len in 1usize..32,
+        ) {
+            let cap = 1usize << width; // the exact 2^width == cap boundary
+            let keys: Vec<(u128, usize)> = raw
+                .iter()
+                .map(|&(key, group)| ((key as u128) & (cap as u128 - 1), group as usize))
+                .collect();
+            let mut dense = Table::dense(width);
+            let mut hashed = Table::hashed();
+            for batch in keys.chunks(batch_len) {
+                let runs = runs_of(batch);
+                dense.absorb_runs(&runs, cap);
+                hashed.absorb_runs(&runs, cap);
+            }
+            prop_assert_eq!(dense.g_columns(), hashed.g_columns());
+            prop_assert_eq!(dense.sorted_columns(), hashed.sorted_columns());
+            prop_assert_eq!(dense.samples(), hashed.samples());
+            prop_assert_eq!(dense.overflow(), [0, 0]);
+            prop_assert_eq!(hashed.overflow(), [0, 0]);
+        }
+
+        /// Below the dense threshold the hashed store pools overflow:
+        /// mass is conserved and the bucket is one extra column.
+        #[test]
+        fn hashed_overflow_conserves_mass(
+            raw in prop::collection::vec((any::<u64>(), any::<bool>()), 1..200),
+            cap in 1usize..8,
+        ) {
+            let keys: Vec<(u128, usize)> = raw
+                .iter()
+                .map(|&(key, group)| ((key as u128) & 0xff, group as usize))
+                .collect();
+            let mut table = Table::hashed();
+            table.absorb_runs(&runs_of(&keys), cap);
+            prop_assert!(table.distinct_keys() <= cap);
+            let tallied: u64 = table
+                .g_columns()
+                .iter()
+                .map(|&(fixed, random)| fixed + random)
+                .sum();
+            prop_assert_eq!(tallied, keys.len() as u64);
+            prop_assert_eq!(table.samples(), keys.len() as u64);
+        }
+    }
+}

@@ -15,6 +15,7 @@ use std::path::{Path, PathBuf};
 use mmaes_circuits::build_kronecker;
 use mmaes_leakage::{
     snapshot, CampaignError, Durability, EvaluationConfig, FixedVsRandom, LeakageReport,
+    TabulatorMode,
 };
 use mmaes_masking::KroneckerRandomness;
 use mmaes_telemetry::{degraded, failpoint};
@@ -30,12 +31,21 @@ fn temp_path(name: &str) -> PathBuf {
 /// faults at batches 3 and 5 land well inside the run, with interim
 /// checkpoints for the snapshot-fault tests.
 fn run_eq6(threads: usize, snapshot_path: Option<&Path>) -> Result<LeakageReport, CampaignError> {
+    run_eq6_with(threads, TabulatorMode::Dense, snapshot_path)
+}
+
+fn run_eq6_with(
+    threads: usize,
+    tabulator: TabulatorMode,
+    snapshot_path: Option<&Path>,
+) -> Result<LeakageReport, CampaignError> {
     let circuit = build_kronecker(&KroneckerRandomness::de_meyer_eq6()).expect("valid circuit");
     let config = EvaluationConfig {
         traces: 2048,
         threads,
         warmup_cycles: 6,
         checkpoints: 4,
+        tabulator,
         durability: Durability {
             snapshot_path: snapshot_path.map(PathBuf::from),
             ..Durability::default()
@@ -51,14 +61,21 @@ fn worker_panics_leave_the_report_byte_identical_at_every_thread_count() {
         let _guard = failpoint::scoped("");
         run_eq6(1, None).expect("fault-free campaign")
     };
-    for threads in [1usize, 2, 4] {
-        let _guard = failpoint::scoped("worker=panic@3x2;worker=stall(20)@5");
-        let faulted = run_eq6(threads, None).expect("faults must be contained");
-        assert_eq!(
-            faulted.to_csv(),
-            baseline.to_csv(),
-            "threads={threads}: retried batches perturbed the report"
-        );
+    // Both table stores retry panicked batches mid-chunk without
+    // perturbing the statistics: the dense path re-runs phase A (pure
+    // simulation) in place, the hashed path replays through the
+    // batch-ordered retry queue.
+    for tabulator in [TabulatorMode::Dense, TabulatorMode::Hashed] {
+        for threads in [1usize, 2, 4] {
+            let _guard = failpoint::scoped("worker=panic@3x2;worker=stall(20)@5");
+            let faulted = run_eq6_with(threads, tabulator, None).expect("faults must be contained");
+            assert_eq!(
+                faulted.to_csv(),
+                baseline.to_csv(),
+                "threads={threads} tabulator={}: retried batches perturbed the report",
+                tabulator.name()
+            );
+        }
     }
 }
 

@@ -1,0 +1,165 @@
+//! Differential tests for the two contingency-table stores: the dense
+//! direct-indexed fast path and the hashed fallback must produce
+//! byte-identical reports, CSVs and trajectories — across thread
+//! counts, across a resume leg that switches stores mid-campaign, and
+//! in mixed campaigns where a narrow key cap sends only some probing
+//! sets down the dense path.
+
+use std::path::PathBuf;
+
+use mmaes_circuits::build_kronecker;
+use mmaes_leakage::{Durability, EvaluationConfig, FixedVsRandom, LeakageReport, TabulatorMode};
+use mmaes_masking::KroneckerRandomness;
+use mmaes_netlist::{Netlist, NetlistBuilder, SecretId, SignalRole};
+
+fn share_role(share: u8) -> SignalRole {
+    SignalRole::Share {
+        secret: SecretId(0),
+        share,
+        bit: 0,
+    }
+}
+
+/// An unmasked recombination — leaks hard, so trajectories are rich.
+fn leaky_design() -> Netlist {
+    let mut builder = NetlistBuilder::new("tabulator_leaky");
+    let s0 = builder.input("s0", share_role(0));
+    let s1 = builder.input("s1", share_role(1));
+    let secret = builder.xor2(s0, s1);
+    let q = builder.register(secret);
+    builder.output("q", q);
+    builder.build().expect("valid")
+}
+
+fn eq6_config(threads: usize, tabulator: TabulatorMode) -> EvaluationConfig {
+    EvaluationConfig {
+        traces: 2048,
+        threads,
+        warmup_cycles: 6,
+        checkpoints: 4,
+        tabulator,
+        ..EvaluationConfig::default()
+    }
+}
+
+fn run_eq6(config: EvaluationConfig) -> LeakageReport {
+    let circuit = build_kronecker(&KroneckerRandomness::de_meyer_eq6()).expect("valid circuit");
+    FixedVsRandom::new(&circuit.netlist, config)
+        .try_run()
+        .expect("campaign")
+}
+
+/// The full user-visible surface: CSV (with trajectories) plus the
+/// rendered report. `table_bytes` is deliberately excluded — it is
+/// memory accounting and legitimately differs between the stores.
+fn surface(report: &LeakageReport) -> (String, String) {
+    (report.to_csv(), report.to_string())
+}
+
+#[test]
+fn dense_and_hashed_reports_are_byte_identical_across_thread_counts() {
+    let reference = run_eq6(eq6_config(1, TabulatorMode::Dense));
+    for tabulator in [TabulatorMode::Dense, TabulatorMode::Hashed] {
+        for threads in [1usize, 2] {
+            let report = run_eq6(eq6_config(threads, tabulator));
+            assert_eq!(
+                surface(&report),
+                surface(&reference),
+                "threads={threads} tabulator={} diverged",
+                tabulator.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn a_narrow_key_cap_mixes_stores_without_changing_the_statistics() {
+    // With the cap at 16 keys, probing sets observing ≤4 bits qualify
+    // for the dense store while wider cones fall back to hashed — a
+    // mixed campaign. The statistics must not notice.
+    let mixed = |threads: usize, tabulator: TabulatorMode| {
+        let mut config = eq6_config(threads, tabulator);
+        config.max_table_keys = 16;
+        run_eq6(config)
+    };
+    let reference = mixed(1, TabulatorMode::Hashed);
+    assert!(reference.table_bytes > 0);
+    for threads in [1usize, 2] {
+        let report = mixed(threads, TabulatorMode::Dense);
+        assert!(report.table_bytes > 0);
+        assert_eq!(
+            surface(&report),
+            surface(&reference),
+            "threads={threads}: mixed-store campaign diverged from all-hashed"
+        );
+    }
+}
+
+fn resume_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "mmaes-tabulator-resume-{}-{tag}.snapshot",
+        std::process::id()
+    ))
+}
+
+/// Interrupt a campaign under `first`, resume it under `second`, and
+/// demand the stitched run matches an uninterrupted reference byte for
+/// byte. The snapshot stores plain sorted (key, counts) columns, so the
+/// store that wrote it places no constraint on the store that restores
+/// it — switching tabulators across a resume leg is supported exactly
+/// like switching `--threads` or `--evaluator`.
+fn assert_resume_switches_stores(first: TabulatorMode, second: TabulatorMode) {
+    let netlist = leaky_design();
+    let config = |tabulator: TabulatorMode| EvaluationConfig {
+        traces: 12_800,
+        warmup_cycles: 3,
+        checkpoints: 5,
+        tabulator,
+        ..EvaluationConfig::default()
+    };
+    let reference = FixedVsRandom::new(&netlist, config(first))
+        .try_run()
+        .expect("reference");
+
+    let path = resume_path(&format!("{}-{}", first.name(), second.name()));
+    let mut interrupted = config(first);
+    interrupted.durability = Durability {
+        snapshot_path: Some(path.clone()),
+        stop_after_batches: Some(80),
+        ..Durability::default()
+    };
+    let first_leg = FixedVsRandom::new(&netlist, interrupted)
+        .try_run()
+        .expect("first leg");
+    assert!(first_leg.interrupted);
+
+    let mut resumed = config(second);
+    resumed.durability = Durability {
+        snapshot_path: Some(path.clone()),
+        resume: true,
+        ..Durability::default()
+    };
+    let second_leg = FixedVsRandom::new(&netlist, resumed)
+        .try_run()
+        .expect("resume leg");
+    let _ = std::fs::remove_file(&path);
+
+    assert!(!second_leg.interrupted);
+    assert_eq!(
+        surface(&second_leg),
+        surface(&reference),
+        "{}→{} resume diverged from the uninterrupted reference",
+        first.name(),
+        second.name()
+    );
+}
+
+#[test]
+fn a_snapshot_written_dense_resumes_hashed_bit_identically() {
+    assert_resume_switches_stores(TabulatorMode::Dense, TabulatorMode::Hashed);
+}
+
+#[test]
+fn a_snapshot_written_hashed_resumes_dense_bit_identically() {
+    assert_resume_switches_stores(TabulatorMode::Hashed, TabulatorMode::Dense);
+}
