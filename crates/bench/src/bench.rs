@@ -34,7 +34,7 @@ use std::process::exit;
 
 use mmaes_circuits::build_kronecker;
 use mmaes_exact::{ExactConfig, ExactVerifier};
-use mmaes_leakage::{EvaluationConfig, FixedVsRandom, TabulatorMode};
+use mmaes_leakage::{EvaluationConfig, FixedVsRandom, StatisticKind, TabulatorMode};
 use mmaes_masking::KroneckerRandomness;
 use mmaes_sim::{EvaluatorMode, Simulator, LANES};
 use mmaes_telemetry::json::{array, parse, JsonObject, JsonValue};
@@ -52,7 +52,10 @@ use mmaes_telemetry::{
 ///   (actual resident bytes from the report, replacing the
 ///   per-key-estimated `table_bytes_est`), the `campaign-hashed`
 ///   workload and the per-schedule `tabulation_speedup` map.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// * v4 — per-workload `statistic` field and the top-level `statistic`
+///   knob (`--statistic gtest|ttest` on the campaign workloads; `none`
+///   for workloads that fold no statistic).
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// Default regression threshold: a workload regresses when its
 /// `traces_per_sec` falls more than this percentage below the baseline.
@@ -84,6 +87,10 @@ pub struct BenchOptions {
     /// (`--tabulator`). The `campaign-hashed` workload always pins the
     /// hashed fallback regardless.
     pub tabulator: TabulatorMode,
+    /// Leakage statistic for the campaign workloads (`--statistic`):
+    /// the G-test fold or the Welch t-test fold, so either hot path can
+    /// be tracked for regressions.
+    pub statistic: StatisticKind,
 }
 
 impl Default for BenchOptions {
@@ -99,6 +106,7 @@ impl Default for BenchOptions {
             threads: 1,
             evaluator: EvaluatorMode::Compiled,
             tabulator: TabulatorMode::Dense,
+            statistic: StatisticKind::GTest,
         }
     }
 }
@@ -156,12 +164,19 @@ impl BenchOptions {
                         exit(2);
                     })
                 }
+                "--statistic" => {
+                    let name = value();
+                    options.statistic = StatisticKind::parse(&name).unwrap_or_else(|| {
+                        eprintln!("unknown statistic `{name}` (gtest|ttest)");
+                        exit(2);
+                    })
+                }
                 other => {
                     eprintln!(
                         "unknown bench flag `{other}` (flags: --quick --label NAME \
                          --baseline FILE --threshold PCT --out FILE --trace FILE \
                          --quiet --threads N --evaluator compiled|interpreted \
-                         --tabulator dense|hashed)"
+                         --tabulator dense|hashed --statistic gtest|ttest)"
                     );
                     exit(2);
                 }
@@ -204,6 +219,9 @@ pub struct WorkloadRecord {
     /// ([`TabulatorMode::name`]; `none` for workloads that keep no
     /// tables).
     pub tabulator: &'static str,
+    /// Leakage statistic the workload folded ([`StatisticKind::name`];
+    /// `none` for workloads that fold no statistic).
+    pub statistic: &'static str,
     /// Wall time of the workload, milliseconds.
     pub wall_ms: u64,
     /// Work units completed (lane-traces for `simulate`/`campaign`,
@@ -239,6 +257,7 @@ impl WorkloadRecord {
             .unsigned("threads", self.threads)
             .string("evaluator", self.evaluator)
             .string("tabulator", self.tabulator)
+            .string("statistic", self.statistic)
             .unsigned("wall_ms", self.wall_ms)
             .unsigned("traces", self.traces)
             .float("traces_per_sec", self.traces_per_sec)
@@ -403,6 +422,7 @@ fn bench_simulate(
         threads: 1,
         evaluator: evaluator.name(),
         tabulator: "none",
+        statistic: "none",
         wall_ms,
         traces,
         traces_per_sec: watch.rate(traces),
@@ -434,6 +454,7 @@ fn bench_campaign(
         threads: options.threads,
         evaluator: options.evaluator,
         tabulator,
+        statistic: options.statistic,
         ..EvaluationConfig::default()
     };
     let perf = PerfRecorder::enabled();
@@ -451,6 +472,7 @@ fn bench_campaign(
         threads: options.threads as u64,
         evaluator: options.evaluator.name(),
         tabulator: tabulator.name(),
+        statistic: options.statistic.name(),
         wall_ms,
         traces: report.traces,
         traces_per_sec: watch.rate(report.traces),
@@ -505,6 +527,7 @@ fn bench_exact(
         threads: 1,
         evaluator: EvaluatorMode::Compiled.name(),
         tabulator: "none",
+        statistic: "none",
         wall_ms,
         traces: sets,
         traces_per_sec: watch.rate(sets),
@@ -607,6 +630,7 @@ pub fn render_document(options: &BenchOptions, records: &[WorkloadRecord]) -> St
         .boolean("quick", options.quick)
         .unsigned("threads", options.threads as u64)
         .string("tabulator", options.tabulator.name())
+        .string("statistic", options.statistic.name())
         .raw("compiled_speedup", &speedups.finish())
         .raw("tabulation_speedup", &tab_speedups.finish())
         .raw(
@@ -729,6 +753,7 @@ mod tests {
             threads: 1,
             evaluator: "compiled",
             tabulator: "dense",
+            statistic: "gtest",
             wall_ms: 100,
             traces: 1000,
             traces_per_sec: rate,

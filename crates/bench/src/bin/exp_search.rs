@@ -13,6 +13,11 @@
 //! 2. **6-bit space** — `r1..r6` fresh, `r7 ∈ {f0..f5}`: the paper's
 //!    claim is that exactly `r7 ∈ {r1..r4}` survives transitions; the
 //!    sweep checks all six.
+//!
+//! The run passes when the search reproduces the paper's §IV claims:
+//! Eq. 9 is rediscovered among the glitch-secure 4-bit candidates, none
+//! of them survive transitions, and the 6-bit sweep matches the
+//! `r7 ∈ {r1..r4}` family exactly.
 
 use mmaes_circuits::build_kronecker;
 use mmaes_exact::{ExactConfig, ExactVerifier};
@@ -37,6 +42,8 @@ fn schedule_with_tail(r5: u16, r6: u16, r7: u16) -> KroneckerRandomness {
 fn main() {
     let run = mmaes_bench::RunOptions::from_args();
     let budget = &run.budget;
+    let mut total_traces = 0u64;
+    let mut worst = 0.0f64;
 
     println!(
         "=== sweep 1: 4-bit pool, fresh first layer, r5/r6/r7 ∈ {{f0..f3}} (64 candidates) ===\n"
@@ -88,12 +95,15 @@ fn main() {
                 warmup_cycles: 6,
                 seed: budget.seed,
                 checkpoints: budget.checkpoints,
+                statistic: budget.statistic,
                 ..EvaluationConfig::default()
             },
         )
         .with_observer(run.observer.clone())
         .try_run();
         let report = mmaes_bench::unwrap_campaign(report);
+        total_traces += report.traces;
+        worst = worst.max(report.worst().map(|r| r.minus_log10_p).unwrap_or(0.0));
         if report.passed() {
             transition_survivors += 1;
             println!("  r5=f{r5} r6=f{r6} r7=f{r7}: PASS under transitions (!)");
@@ -106,6 +116,7 @@ fn main() {
     );
 
     println!("\n=== sweep 2: 6-bit pool, r7 ∈ {{f0..f5}} under glitch+transition ===\n");
+    let mut sweep2_mismatches = 0usize;
     for r7 in 0..6u16 {
         let slots: Vec<MaskSlot> = (0..6)
             .map(|port| MaskSlot::fresh(port as u16))
@@ -123,13 +134,17 @@ fn main() {
                 warmup_cycles: 6,
                 seed: budget.seed,
                 checkpoints: budget.checkpoints,
+                statistic: budget.statistic,
                 ..EvaluationConfig::default()
             },
         )
         .with_observer(run.observer.clone())
         .try_run();
         let report = mmaes_bench::unwrap_campaign(report);
+        total_traces += report.traces;
+        worst = worst.max(report.worst().map(|r| r.minus_log10_p).unwrap_or(0.0));
         let expected = r7 < 4; // the paper's family: r7 = r1..r4
+        sweep2_mismatches += usize::from(report.passed() != expected);
         println!(
             "  r7 = f{r7} (= r{}): {}  (paper expects {})",
             r7 + 1,
@@ -137,4 +152,22 @@ fn main() {
             if expected { "PASS" } else { "FAIL" }
         );
     }
+    let mut summary = run.base_summary("exp_search", "SEARCH", total_traces);
+    summary.schedule = "search".to_owned();
+    summary.model = "glitch+transition".to_owned();
+    summary.max_minus_log10_p = worst;
+    summary.passed = eq9_found && transition_survivors == 0 && sweep2_mismatches == 0;
+    summary.extra = vec![
+        ("glitch_secure".to_owned(), glitch_secure.len().to_string()),
+        ("eq9_rediscovered".to_owned(), eq9_found.to_string()),
+        (
+            "transition_survivors".to_owned(),
+            transition_survivors.to_string(),
+        ),
+        (
+            "sweep2_mismatches".to_owned(),
+            sweep2_mismatches.to_string(),
+        ),
+    ];
+    run.finish_with(summary);
 }

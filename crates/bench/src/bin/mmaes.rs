@@ -24,6 +24,10 @@
 //! `--evaluator compiled|interpreted`, `--tabulator dense|hashed`
 //! (contingency-table store: `dense` direct-indexes flat arrays when a
 //! probing set's key space fits, `hashed` forces the HashMap fallback),
+//! `--statistic gtest|ttest` (the leakage test folded over the
+//! contingency tables: the PROLEAD-style G-test on the full observation
+//! distribution, or a TVLA-style Welch t-test on the observations'
+//! Hamming weight — see `mmaes_leakage::Statistic`),
 //! `--snapshot FILE`, `--resume`,
 //! `--stop-after-batches N`, `--metrics FILE`, `--status-file FILE`
 //! (atomically rewritten status.json with progress, top trajectories and
@@ -60,7 +64,8 @@
 //! Selftest options: `--traces N`, `--per-kind N`, `--metrics FILE`,
 //! `--quiet`.
 //! Chaos options: `--traces N`, `--seed N`, `--threads N`,
-//! `--tabulator dense|hashed`, `--failpoints SPEC`, `--quiet`. `chaos`
+//! `--tabulator dense|hashed`, `--statistic gtest|ttest`,
+//! `--failpoints SPEC`, `--quiet`. `chaos`
 //! runs the Eq. 6 campaign fault-free, then re-runs it under a
 //! scripted fault schedule (worker panics, a stalled batch, snapshot
 //! and status-file write errors by default) at one and `--threads`
@@ -113,7 +118,7 @@ use mmaes_circuits::{
 use mmaes_exact::{ExactConfig, ExactVerifier, ProbeVerdict};
 use mmaes_leakage::{
     forensics, CampaignError, Durability, EvaluationConfig, EvidenceBundle, ExactDependence,
-    FixedVsRandom, ProbeModel, ProbeSet, TabulatorMode,
+    FixedVsRandom, ProbeModel, ProbeSet, StatisticKind, TabulatorMode,
 };
 use mmaes_masking::KroneckerRandomness;
 use mmaes_netlist::{Netlist, NetlistStats, WireId};
@@ -165,7 +170,7 @@ fn usage() {
          \u{20}                  [--fixed V] [--seed N] [--scope PREFIX] [--csv FILE]\n\
          \u{20}                  [--checkpoints N] [--early-stop] [--threads N]\n\
          \u{20}                  [--evaluator compiled|interpreted]\n\
-         \u{20}                  [--tabulator dense|hashed]\n\
+         \u{20}                  [--tabulator dense|hashed] [--statistic gtest|ttest]\n\
          \u{20}                  [--snapshot FILE] [--resume] [--stop-after-batches N]\n\
          \u{20}                  [--metrics FILE] [--status-file FILE]\n\
          \u{20}                  [--metrics-addr HOST:PORT]\n\
@@ -177,12 +182,12 @@ fn usage() {
          \u{20}                  [--metrics FILE] [--progress] [--perf] [--quiet]\n\
          mmaes selftest [--traces N] [--per-kind N] [--metrics FILE] [--quiet]\n\
          mmaes chaos    [--traces N] [--seed N] [--threads N]\n\
-         \u{20}                  [--tabulator dense|hashed]\n\
+         \u{20}                  [--tabulator dense|hashed] [--statistic gtest|ttest]\n\
          \u{20}                  [--failpoints SPEC] [--quiet]\n\
          mmaes bench    [--quick] [--label NAME] [--baseline FILE]\n\
          \u{20}                  [--threshold PCT] [--out FILE] [--quiet] [--threads N]\n\
          \u{20}                  [--evaluator compiled|interpreted]\n\
-         \u{20}                  [--tabulator dense|hashed]\n\
+         \u{20}                  [--tabulator dense|hashed] [--statistic gtest|ttest]\n\
          mmaes top      <status.json> | --addr HOST:PORT\n\
          \u{20}                  [--interval SECS] [--once]\n\
          \n\
@@ -439,6 +444,13 @@ fn evaluate(arguments: &[String]) {
                     exit(exit_code::INVALID_INPUT);
                 });
             }
+            "--statistic" => {
+                let name = value();
+                config.statistic = StatisticKind::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown statistic `{name}` (gtest|ttest)");
+                    exit(exit_code::INVALID_INPUT);
+                });
+            }
             "--snapshot" => {
                 config.durability.snapshot_path = Some(std::path::PathBuf::from(value()));
             }
@@ -479,6 +491,7 @@ fn evaluate(arguments: &[String]) {
     }
     let model = model_name(config.model);
     let order = config.order;
+    let statistic = config.statistic;
     let threads = config.threads.max(1) as u64;
     // A Chrome-trace export needs the per-phase timings recorded even
     // when `--perf`'s stderr table was not asked for. The server guard
@@ -520,6 +533,7 @@ fn evaluate(arguments: &[String]) {
         design: design.netlist.name().to_owned(),
         schedule: design.schedule.clone(),
         model: model.to_owned(),
+        statistic: statistic.name().to_owned(),
         order,
         traces: report.traces,
         max_minus_log10_p: report
@@ -653,6 +667,13 @@ fn explain(arguments: &[String]) {
                     exit(exit_code::INVALID_INPUT);
                 });
             }
+            "--statistic" => {
+                let name = value();
+                config.statistic = StatisticKind::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown statistic `{name}` (gtest|ttest)");
+                    exit(exit_code::INVALID_INPUT);
+                });
+            }
             "--no-exact" => no_exact = true,
             "--max-bits" => {
                 let mut bits = 0u64;
@@ -680,6 +701,7 @@ fn explain(arguments: &[String]) {
     }
     let campaign_model = config.model;
     let order = config.order;
+    let statistic = config.statistic;
     let threads = config.threads.max(1) as u64;
     let (observer, _metrics_server) =
         mmaes_bench::live_observer(&mmaes_bench::LiveObserverOptions {
@@ -785,6 +807,7 @@ fn explain(arguments: &[String]) {
         design: design.netlist.name().to_owned(),
         schedule: design.schedule.clone(),
         model: model_name(campaign_model).to_owned(),
+        statistic: statistic.name().to_owned(),
         order,
         traces: report.traces,
         max_minus_log10_p: report
@@ -1052,6 +1075,7 @@ fn selftest(arguments: &[String]) {
         tool: "mmaes selftest".to_owned(),
         id: "selftest".to_owned(),
         design: "kronecker eq6/eq9 + mutants".to_owned(),
+        statistic: StatisticKind::GTest.name().to_owned(),
         traces: total_traces,
         max_minus_log10_p: worst,
         passed: misses == 0 && !interrupted,
@@ -1115,6 +1139,7 @@ fn chaos(arguments: &[String]) {
     let mut seed = EvaluationConfig::default().seed;
     let mut max_threads = 2u64;
     let mut tabulator = TabulatorMode::default();
+    let mut statistic = StatisticKind::default();
     let mut schedule = DEFAULT_SCHEDULE.to_owned();
     let mut quiet = false;
     let mut rest = arguments.iter();
@@ -1139,6 +1164,13 @@ fn chaos(arguments: &[String]) {
                 let name = value();
                 tabulator = TabulatorMode::parse(&name).unwrap_or_else(|| {
                     eprintln!("unknown tabulator `{name}` (dense|hashed)");
+                    exit(exit_code::INVALID_INPUT);
+                });
+            }
+            "--statistic" => {
+                let name = value();
+                statistic = StatisticKind::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown statistic `{name}` (gtest|ttest)");
                     exit(exit_code::INVALID_INPUT);
                 });
             }
@@ -1169,6 +1201,7 @@ fn chaos(arguments: &[String]) {
                 checkpoints: 4,
                 threads,
                 tabulator,
+                statistic,
                 durability: Durability {
                     snapshot_path: snapshot,
                     ..Durability::default()
@@ -1295,6 +1328,7 @@ fn chaos(arguments: &[String]) {
         id: "chaos".to_owned(),
         design: circuit.netlist.name().to_owned(),
         schedule: "de-meyer-eq6".to_owned(),
+        statistic: statistic.name().to_owned(),
         traces: baseline.traces * (1 + legs.len() as u64),
         max_minus_log10_p: baseline
             .worst()

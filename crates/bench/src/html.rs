@@ -292,7 +292,7 @@ pub fn render_report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmaes_leakage::ProbeModel;
+    use mmaes_leakage::{ProbeModel, StatisticKind};
 
     fn sample_report() -> LeakageReport {
         LeakageReport {
@@ -301,6 +301,7 @@ mod tests {
             order: 1,
             traces: 1000,
             threshold: 5.0,
+            statistic: StatisticKind::GTest,
             probe_sets_truncated: false,
             early_stopped: false,
             interrupted: false,
@@ -315,7 +316,7 @@ mod tests {
                 pooled_columns: 1,
                 pooled_fraction: 0.1,
                 g_statistic: 123.4,
-                df: 3,
+                df: 3.0,
                 minus_log10_p: 25.0,
                 testable: true,
                 leaking: true,

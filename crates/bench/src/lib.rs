@@ -11,6 +11,7 @@
 //! --checkpoints N   interim campaign checkpoints    (default 8)
 //! --threads N       campaign worker threads         (default 1)
 //! --tabulator T     contingency-table store, dense|hashed (default dense)
+//! --statistic S     leakage test, gtest|ttest       (default gtest)
 //! --paper-scale     use the paper's simulation counts (slow!)
 //! --exact-full      exhaustively verify the whole design, not just G7
 //! --snapshot DIR    persist per-campaign snapshots under DIR
@@ -155,6 +156,13 @@ impl RunOptions {
                             invalid(format_args!("unknown tabulator `{name}` (dense|hashed)"))
                         });
                 }
+                "--statistic" => {
+                    let name = value();
+                    budget.statistic =
+                        mmaes_leakage::StatisticKind::parse(&name).unwrap_or_else(|| {
+                            invalid(format_args!("unknown statistic `{name}` (gtest|ttest)"))
+                        });
+                }
                 "--paper-scale" => budget = ExperimentBudget::paper_scale(),
                 "--exact-full" => budget.exact_scope = None,
                 "--snapshot" => budget.snapshot_dir = Some(value()),
@@ -169,7 +177,7 @@ impl RunOptions {
                     eprintln!(
                         "flags: --traces N  --traces2 N  --dpa-traces N  --seed N  \
                          --checkpoints N  --threads N  --tabulator dense|hashed  \
-                         --paper-scale  --exact-full  \
+                         --statistic gtest|ttest  --paper-scale  --exact-full  \
                          --snapshot DIR  --resume  \
                          --metrics FILE  --status-file FILE  --metrics-addr HOST:PORT  \
                          --progress  --perf  --quiet\n\
@@ -208,6 +216,50 @@ impl RunOptions {
         }
     }
 
+    /// A [`RunSummary`] prefilled with everything the shared scaffolding
+    /// already knows — wall clock, throughput, thread count, statistic,
+    /// artifact schema versions, the degraded registry and the interrupt
+    /// flag. Callers fill in the verdict fields (`passed`, `traces`,
+    /// `max_minus_log10_p`, …) and hand the result to [`finish_with`].
+    ///
+    /// [`finish_with`]: RunOptions::finish_with
+    pub fn base_summary(&self, tool: &str, id: &str, traces: u64) -> RunSummary {
+        RunSummary {
+            tool: tool.to_owned(),
+            id: id.to_owned(),
+            statistic: self.budget.statistic.name().to_owned(),
+            traces,
+            wall_ms: self.stopwatch.elapsed_ms(),
+            traces_per_sec: self.stopwatch.rate(traces),
+            interrupted: mmaes_sigint::interrupted(),
+            threads: self.budget.threads.max(1) as u64,
+            schemas: schema_versions(),
+            degraded: mmaes_telemetry::degraded::snapshot(),
+            ..RunSummary::default()
+        }
+    }
+
+    /// The shared tail of every `exp_*` binary: emits the summary to the
+    /// observer, prints the `--perf` breakdown, writes the one-line JSON
+    /// summary as the *last* stdout line, and exits with the canonical
+    /// code — [`exit_code::INTERRUPTED`] when the run was signalled
+    /// (its statistics are partial, so neither verdict applies),
+    /// [`exit_code::CLEAN`] when `summary.passed`, [`exit_code::FINDING`]
+    /// otherwise. Prose output must be printed *before* calling this.
+    pub fn finish_with(self, summary: RunSummary) -> ! {
+        self.observer.emit(&Event::RunSummary(summary.clone()));
+        self.report_perf();
+        print_summary_last(&self.observer, &summary.to_json_line());
+        if summary.interrupted {
+            eprintln!("interrupted — partial statistics; resume with --snapshot DIR --resume");
+            std::process::exit(exit_code::INTERRUPTED);
+        }
+        if summary.passed {
+            std::process::exit(exit_code::CLEAN);
+        }
+        std::process::exit(exit_code::FINDING);
+    }
+
     /// Finishes a single-experiment binary: emits the summary to the
     /// observer, prints the prose report (unless `--quiet`) followed by
     /// the one-line JSON summary, and exits non-zero on a mismatch so
@@ -216,59 +268,38 @@ impl RunOptions {
     /// its statistics are partial, so neither verdict applies.
     pub fn finish(self, outcome: &ExperimentOutcome) -> ! {
         let summary = self.summarize(outcome);
-        self.observer.emit(&Event::RunSummary(summary.clone()));
         if !self.quiet {
             println!("{outcome}");
             println!();
             println!("--- full evaluator output ---");
             println!("{}", outcome.details);
         }
-        self.report_perf();
-        print_summary_last(&self.observer, &summary.to_json_line());
-        if summary.interrupted {
-            eprintln!("interrupted — partial statistics; resume with --snapshot DIR --resume");
-            std::process::exit(exit_code::INTERRUPTED);
+        if !summary.passed && !summary.interrupted {
+            eprintln!("MISMATCH with the paper's claim — see the report above");
         }
-        if outcome.matches_paper {
-            std::process::exit(exit_code::CLEAN);
-        }
-        eprintln!("MISMATCH with the paper's claim — see the report above");
-        std::process::exit(exit_code::FINDING);
+        self.finish_with(summary)
     }
 
     /// Finishes a whole-suite binary (`exp_all`): prints the summary
     /// table, per-experiment reports (unless `--quiet`), then one JSON
     /// summary line aggregating every outcome.
     pub fn finish_suite(self, outcomes: &[ExperimentOutcome]) -> ! {
-        let wall_ms = self.stopwatch.elapsed_ms();
         let mismatches = outcomes
             .iter()
             .filter(|outcome| !outcome.matches_paper)
             .count();
         let total_traces: u64 = outcomes.iter().map(|outcome| outcome.traces).sum();
-        let summary = RunSummary {
-            tool: "exp_all".to_owned(),
-            id: "ALL".to_owned(),
-            schedule: "suite".to_owned(),
-            traces: total_traces,
-            traces_per_sec: self.stopwatch.rate(total_traces),
-            max_minus_log10_p: outcomes
-                .iter()
-                .map(|outcome| outcome.max_minus_log10_p)
-                .fold(0.0, f64::max),
-            passed: mismatches == 0,
-            wall_ms,
-            interrupted: mmaes_sigint::interrupted(),
-            threads: self.budget.threads.max(1) as u64,
-            schemas: schema_versions(),
-            degraded: mmaes_telemetry::degraded::snapshot(),
-            extra: vec![
-                ("experiments".to_owned(), outcomes.len().to_string()),
-                ("mismatches".to_owned(), mismatches.to_string()),
-            ],
-            ..RunSummary::default()
-        };
-        self.observer.emit(&Event::RunSummary(summary.clone()));
+        let mut summary = self.base_summary("exp_all", "ALL", total_traces);
+        summary.schedule = "suite".to_owned();
+        summary.max_minus_log10_p = outcomes
+            .iter()
+            .map(|outcome| outcome.max_minus_log10_p)
+            .fold(0.0, f64::max);
+        summary.passed = mismatches == 0;
+        summary.extra = vec![
+            ("experiments".to_owned(), outcomes.len().to_string()),
+            ("mismatches".to_owned(), mismatches.to_string()),
+        ];
         if !self.quiet {
             println!("{}", mmaes_core::outcome_table(outcomes));
             for outcome in outcomes {
@@ -281,17 +312,10 @@ impl RunOptions {
                 );
             }
         }
-        self.report_perf();
-        print_summary_last(&self.observer, &summary.to_json_line());
-        if summary.interrupted {
-            eprintln!("interrupted — partial statistics; resume with --snapshot DIR --resume");
-            std::process::exit(exit_code::INTERRUPTED);
-        }
         if mismatches > 0 {
             eprintln!("{mismatches} experiment(s) did not reproduce");
-            std::process::exit(exit_code::FINDING);
         }
-        std::process::exit(exit_code::CLEAN);
+        self.finish_with(summary)
     }
 
     /// Prints the per-phase breakdown to stderr when `--perf` was given.
@@ -303,22 +327,12 @@ impl RunOptions {
     }
 
     fn summarize(&self, outcome: &ExperimentOutcome) -> RunSummary {
-        RunSummary {
-            tool: "exp".to_owned(),
-            id: outcome.id.to_owned(),
-            schedule: outcome.schedule.clone(),
-            traces: outcome.traces,
-            max_minus_log10_p: outcome.max_minus_log10_p,
-            passed: outcome.matches_paper,
-            wall_ms: self.stopwatch.elapsed_ms(),
-            traces_per_sec: self.stopwatch.rate(outcome.traces),
-            interrupted: mmaes_sigint::interrupted(),
-            threads: self.budget.threads.max(1) as u64,
-            schemas: schema_versions(),
-            degraded: mmaes_telemetry::degraded::snapshot(),
-            extra: vec![("title".to_owned(), outcome.title.to_owned())],
-            ..RunSummary::default()
-        }
+        let mut summary = self.base_summary("exp", outcome.id, outcome.traces);
+        summary.schedule = outcome.schedule.clone();
+        summary.max_minus_log10_p = outcome.max_minus_log10_p;
+        summary.passed = outcome.matches_paper;
+        summary.extra = vec![("title".to_owned(), outcome.title.to_owned())];
+        summary
     }
 }
 

@@ -1,6 +1,6 @@
 //! Workload scaling for the experiment suite.
 
-use mmaes_leakage::TabulatorMode;
+use mmaes_leakage::{StatisticKind, TabulatorMode};
 
 /// How much compute each experiment may spend.
 ///
@@ -55,6 +55,11 @@ pub struct ExperimentBudget {
     /// byte-identical for either store; `hashed` exists as the wide-key
     /// fallback and for differential testing.
     pub tabulator: TabulatorMode,
+    /// Leakage statistic every campaign folds over its tables (see
+    /// [`mmaes_leakage::EvaluationConfig::statistic`]): the
+    /// PROLEAD-style G-test the paper's numbers come from, or the
+    /// TVLA-style Welch t-test for cross-methodology comparison.
+    pub statistic: StatisticKind,
 }
 
 impl Default for ExperimentBudget {
@@ -73,6 +78,7 @@ impl Default for ExperimentBudget {
             resume: false,
             threads: 1,
             tabulator: TabulatorMode::Dense,
+            statistic: StatisticKind::GTest,
         }
     }
 }
@@ -94,6 +100,7 @@ impl ExperimentBudget {
             resume: false,
             threads: 1,
             tabulator: TabulatorMode::Dense,
+            statistic: StatisticKind::GTest,
         }
     }
 
@@ -113,6 +120,7 @@ impl ExperimentBudget {
             resume: false,
             threads: 1,
             tabulator: TabulatorMode::Dense,
+            statistic: StatisticKind::GTest,
         }
     }
 }

@@ -72,6 +72,7 @@ fn kronecker_eval(
         checkpoints: budget.checkpoints,
         threads: budget.threads,
         tabulator: budget.tabulator,
+        statistic: budget.statistic,
         durability: campaign_durability(
             budget,
             &format!("kronecker-{}-{}-o{order}", schedule.name(), model.name()),
@@ -107,6 +108,7 @@ fn sbox_eval(
         checkpoints: budget.checkpoints,
         threads: budget.threads,
         tabulator: budget.tabulator,
+        statistic: budget.statistic,
         durability: campaign_durability(budget, &label),
         ..EvaluationConfig::default()
     };
@@ -696,6 +698,7 @@ pub fn run_e12(
             checkpoints: budget.checkpoints,
             threads: budget.threads,
             tabulator: budget.tabulator,
+            statistic: budget.statistic,
             durability: campaign_durability(budget, &format!("aes-{}", schedule.name())),
             ..EvaluationConfig::default()
         };

@@ -7,316 +7,31 @@
 //! design); in the *random* population it is uniform. Both populations
 //! draw fresh sharing and fresh masks every cycle. After a pipeline
 //! warm-up, every probing set's extended observation is sampled once per
-//! lane and accumulated into a contingency table; a G-test per probing
-//! set decides, at `-log10(p) > 5`, whether the observation distinguishes
+//! lane and accumulated into a contingency table; the configured
+//! [`crate::stats::Statistic`] (the PROLEAD-style G-test by default)
+//! decides, at `-log10(p) > 5`, whether the observation distinguishes
 //! the populations — i.e. whether the probe leaks.
+//!
+//! This module holds the configuration surface (re-exported from
+//! [`crate::config`]), the [`FixedVsRandom`] builder API and the report
+//! assembly; the staged scheduler that actually runs the campaign lives
+//! in [`crate::engine`].
 
-use std::collections::BTreeMap;
-use std::fmt;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use mmaes_netlist::{Netlist, SecretId, StableCones, WireId};
+use mmaes_sim::LANES;
+use mmaes_telemetry::{Event, Observer, ProbeHealth, Stopwatch};
 
-use mmaes_netlist::{Netlist, NetlistError, SecretId, StableCones, WireId};
-use mmaes_sim::{EvaluatorMode, SimStats, Simulator, LANES};
-use mmaes_telemetry::{
-    Checkpoint, Event, Observer, PerfRecorder, ProbeHealth, ProbePoint, Stopwatch,
+pub use crate::config::{
+    CampaignMode, Durability, EvaluationConfig, SecretDomain, DECISIVE_MARGIN,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
+use crate::engine::{build_snapshot, CampaignState, Engine, FoldContext, CHECKPOINT_TOP_PROBES};
+pub use crate::error::CampaignError;
 use crate::health;
-use crate::probe::{enumerate_probe_sets, ProbeModel, ProbeSet};
+use crate::probe::{enumerate_probe_sets, ProbeSet};
 use crate::report::{LeakageReport, ProbeResult};
-use crate::snapshot::{self, CampaignSnapshot, SnapshotError, TableSnapshot};
-use crate::stats::{g_test, pooling_summary};
-use crate::supervisor::{self, RetryQueue};
-use crate::tabulate::{Table, TabulatorMode};
-
-/// How the second population's secrets are drawn.
-///
-/// PROLEAD offers both fixed-vs-random and fixed-vs-fixed testing; the
-/// latter compares two specific secret values (e.g. the all-zero
-/// S-box input against a non-zero one), which concentrates statistical
-/// power on one hypothesis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum CampaignMode {
-    /// Population 1 draws fresh secrets per [`SecretDomain`].
-    #[default]
-    FixedVsRandom,
-    /// Population 1 uses this second fixed secret value.
-    FixedVsFixed {
-        /// The second population's secret value.
-        other: u64,
-    },
-}
-
-/// The distribution of the *random* population's secrets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SecretDomain {
-    /// Uniform over all values (PROLEAD's default).
-    #[default]
-    Uniform,
-    /// Uniform over non-zero values — used when evaluating the S-box
-    /// *without* the Kronecker stage (experiment E1): plain
-    /// multiplicative masking is only defined on GF(2⁸)*, so the
-    /// testbench keeps zero out, exactly as the paper's evaluation of
-    /// the reduced design does.
-    NonZero,
-}
-
-/// Crash-safety and cooperative-shutdown options of a campaign.
-///
-/// All fields default to "off", so existing configurations behave
-/// exactly as before. With a `snapshot_path` set, the campaign
-/// atomically persists its complete state (contingency tables, batch
-/// counter, flags, trajectories) at every checkpoint and when it stops;
-/// with `resume` it restores that state and continues bit-identically —
-/// the per-batch RNG derivation makes the trace stream a pure function
-/// of `(seed, batch index)`, so a resumed campaign is indistinguishable
-/// from an uninterrupted one.
-#[derive(Debug, Clone, Default)]
-pub struct Durability {
-    /// Where to persist campaign state (written atomically; see
-    /// [`crate::snapshot`]). `None` disables snapshotting.
-    pub snapshot_path: Option<PathBuf>,
-    /// Load `snapshot_path` before starting and continue from it. A
-    /// missing file starts from scratch (so `--resume` is safe on the
-    /// first run); a corrupt or mismatched file is a typed error.
-    pub resume: bool,
-    /// Cooperative interrupt flag (e.g. `mmaes_sigint::shared()`): when
-    /// it becomes true the campaign finishes the batch in flight,
-    /// writes a final snapshot and returns with
-    /// [`LeakageReport::interrupted`] set.
-    pub interrupt: Option<Arc<AtomicBool>>,
-    /// Deterministic interruption for tests and CI: stop (as if
-    /// signalled) once this many *total* batches are done. `None`
-    /// disables the cap.
-    pub stop_after_batches: Option<u64>,
-}
-
-/// Error from [`FixedVsRandom::try_run`].
-#[derive(Debug, Clone, PartialEq)]
-#[non_exhaustive]
-pub enum CampaignError {
-    /// The netlist failed structural validation.
-    Netlist(NetlistError),
-    /// The snapshot file could not be loaded, parsed or written.
-    Snapshot(SnapshotError),
-    /// The netlist declares no secret shares — there is nothing to fix
-    /// versus randomize.
-    NoSecretShares,
-    /// A batch kept faulting after exhausting its quarantine-and-retry
-    /// budget (see [`crate::supervisor`]); the campaign stopped with a
-    /// contiguous folded prefix and an emergency snapshot.
-    Worker {
-        /// The batch whose attempts were exhausted.
-        batch: u64,
-        /// Attempts consumed (the supervisor's full budget).
-        attempts: u32,
-        /// The last fault's message.
-        message: String,
-    },
-}
-
-impl fmt::Display for CampaignError {
-    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CampaignError::Netlist(error) => write!(formatter, "invalid netlist: {error}"),
-            CampaignError::Snapshot(error) => write!(formatter, "{error}"),
-            CampaignError::NoSecretShares => {
-                write!(formatter, "netlist declares no secret shares")
-            }
-            CampaignError::Worker {
-                batch,
-                attempts,
-                message,
-            } => {
-                write!(
-                    formatter,
-                    "batch {batch} failed {attempts} attempts: {message}"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for CampaignError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            CampaignError::Netlist(error) => Some(error),
-            CampaignError::Snapshot(error) => Some(error),
-            CampaignError::NoSecretShares | CampaignError::Worker { .. } => None,
-        }
-    }
-}
-
-impl From<NetlistError> for CampaignError {
-    fn from(error: NetlistError) -> Self {
-        CampaignError::Netlist(error)
-    }
-}
-
-impl From<SnapshotError> for CampaignError {
-    fn from(error: SnapshotError) -> Self {
-        CampaignError::Snapshot(error)
-    }
-}
-
-/// Configuration of a fixed-vs-random evaluation.
-#[derive(Debug, Clone)]
-pub struct EvaluationConfig {
-    /// The probing model (glitch, or glitch + transition).
-    pub model: ProbeModel,
-    /// Probing order to test (1 or 2).
-    pub order: usize,
-    /// Total observations per probing set (PROLEAD's "simulations"; the
-    /// paper uses 4·10⁶ for first-order and 10⁸ for second-order — scale
-    /// down for laptop runtimes, the Eq. 6 flaw shows at 10⁵).
-    pub traces: u64,
-    /// The fixed population's unshared secret value (applied to every
-    /// declared secret; the paper fixes the S-box input).
-    pub fixed_secret: u64,
-    /// The random population's secret distribution.
-    pub secret_domain: SecretDomain,
-    /// Fixed-vs-random (default) or fixed-vs-fixed.
-    pub mode: CampaignMode,
-    /// Cycles simulated before observations start (must exceed the
-    /// pipeline depth).
-    pub warmup_cycles: usize,
-    /// Decision threshold on `-log10(p)` (PROLEAD convention: 5.0).
-    pub threshold: f64,
-    /// RNG seed (campaigns are reproducible).
-    pub seed: u64,
-    /// Cap on enumerated probing sets (relevant at order 2).
-    pub max_probe_sets: usize,
-    /// Restrict probe positions to wires whose name starts with this
-    /// prefix (e.g. `"kronecker"`), mirroring module-wise evaluation.
-    pub probe_scope_filter: Option<String>,
-    /// Cap on distinct keys kept per contingency table; overflow is
-    /// pooled into one bucket (bounds memory on very wide cones).
-    pub max_table_keys: usize,
-    /// Number of interim checkpoints across the campaign (PROLEAD's
-    /// intermediate reports). At each checkpoint every probing set's
-    /// running G-test is computed, recorded in
-    /// [`crate::ProbeResult::trajectory`], and emitted to the observer.
-    /// 0 (the default) skips interim statistics entirely, leaving the
-    /// sampling loop on its uninstrumented fast path.
-    pub checkpoints: u64,
-    /// Stop at a checkpoint once the verdict is decisive: the running
-    /// max `-log10(p)` reached [`DECISIVE_MARGIN`] × `threshold`
-    /// (p < 10⁻¹⁰ at the default threshold — far beyond any null
-    /// fluctuation). Requires `checkpoints > 0` to have any effect.
-    pub early_stop: bool,
-    /// Worker threads batches are sharded across (0 and 1 both mean
-    /// in-place single-threaded). Because every batch's randomness is a
-    /// pure function of `(seed, batch)` and the coordinator folds
-    /// completed batches in strict batch order, the report, the
-    /// trajectories and the snapshots are **byte-identical** for every
-    /// thread count. Not part of the snapshot fingerprint: a campaign
-    /// interrupted at `--threads 4` resumes fine on 1 thread.
-    pub threads: usize,
-    /// Which simulator engine each worker runs
-    /// ([`EvaluatorMode::Compiled`] by default; the interpreter exists
-    /// for differential testing). Both engines are bit-exact, so this is
-    /// not part of the snapshot fingerprint either.
-    pub evaluator: EvaluatorMode,
-    /// Which contingency-table engine the campaign uses
-    /// ([`TabulatorMode::Dense`] by default; the hashed reference
-    /// exists for differential testing). Per probing set, `Dense`
-    /// direct-indexes a flat table whenever the set's full key space
-    /// fits `max_table_keys` (see
-    /// [`ProbeSet::dense_index_width`]) and falls back to the hashed
-    /// table otherwise; both produce byte-identical reports and
-    /// snapshots, so this is not part of the snapshot fingerprint
-    /// either — a campaign interrupted under one tabulator resumes fine
-    /// under the other.
-    pub tabulator: TabulatorMode,
-    /// Crash-safety options: snapshotting, resume, cooperative
-    /// interruption. Defaults to all-off (no behavior change).
-    pub durability: Durability,
-}
-
-/// Early stop triggers at `DECISIVE_MARGIN × threshold` running
-/// `-log10(p)` (see [`EvaluationConfig::early_stop`]).
-pub const DECISIVE_MARGIN: f64 = 2.0;
-
-/// Probing sets carried per checkpoint event: the top sets by running
-/// `-log10(p)` plus every set over the threshold.
-const CHECKPOINT_TOP_PROBES: usize = 8;
-
-impl Default for EvaluationConfig {
-    fn default() -> Self {
-        EvaluationConfig {
-            model: ProbeModel::Glitch,
-            order: 1,
-            traces: 100_000,
-            fixed_secret: 0,
-            secret_domain: SecretDomain::Uniform,
-            mode: CampaignMode::FixedVsRandom,
-            warmup_cycles: 8,
-            threshold: 5.0,
-            seed: 0x9c0_1ead,
-            max_probe_sets: 100_000,
-            probe_scope_filter: None,
-            max_table_keys: 1 << 20,
-            checkpoints: 0,
-            early_stop: false,
-            threads: 1,
-            evaluator: EvaluatorMode::Compiled,
-            tabulator: TabulatorMode::Dense,
-            durability: Durability::default(),
-        }
-    }
-}
-
-/// Derives the RNG for one batch from the campaign seed and the batch
-/// index (a splitmix64-style mix). Making every batch's randomness a
-/// pure function of `(seed, batch)` is what lets an interrupted
-/// campaign resume bit-identically: no draw-count bookkeeping can work,
-/// because secret sampling uses rejection (variable draws per batch).
-fn batch_rng(seed: u64, batch: u64) -> StdRng {
-    let mut mixed = seed ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    mixed = (mixed ^ (mixed >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    mixed = (mixed ^ (mixed >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    StdRng::seed_from_u64(mixed ^ (mixed >> 31))
-}
-
-/// Assembles the serializable campaign state from the live tables.
-/// Takes the tables `&mut` so the serialized columns come from (and
-/// prime) each table's memoized sorted snapshot: a checkpoint's G-test
-/// sweep and its snapshot share one sort per table.
-#[allow(clippy::too_many_arguments)]
-fn build_snapshot(
-    fingerprint: u64,
-    batches_done: u64,
-    total_batches: u64,
-    cell_evals: u64,
-    tables: &mut [Table],
-    flagged: &[bool],
-    trajectories: &[Vec<(u64, f64)>],
-) -> CampaignSnapshot {
-    CampaignSnapshot {
-        config_fingerprint: fingerprint,
-        batches_done,
-        total_batches,
-        cell_evals,
-        tables: tables
-            .iter_mut()
-            .enumerate()
-            .map(|(index, table)| {
-                TableSnapshot::from_sorted(
-                    table.sorted_columns().to_vec(),
-                    table.overflow(),
-                    table.samples(),
-                    flagged[index],
-                    &trajectories[index],
-                )
-            })
-            .collect(),
-    }
-}
+use crate::snapshot::{self, SnapshotError};
+use crate::stats::pooling_summary;
+use crate::tabulate::Table;
 
 /// FNV-1a over the canonical description of every sampling-relevant
 /// configuration field — the snapshot compatibility fingerprint.
@@ -332,7 +47,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// The final contingency table of one probing set, keyed by observation
 /// value, as returned by [`FixedVsRandom::try_run_with_tables`].
 ///
-/// Unlike the `(fixed, random)` column pairs fed to the G-test, this
+/// Unlike the `(fixed, random)` column pairs fed to the statistic, this
 /// keeps the observation keys, so forensic consumers can attribute each
 /// column back to a concrete stable-signal valuation. Columns are
 /// sorted by key; the overflow bucket (observations past
@@ -368,401 +83,6 @@ impl ProbeTable {
         }
         columns
     }
-}
-
-/// Builds the contingency table for one probing set under the
-/// configured [`TabulatorMode`]: a dense direct-indexed table when the
-/// set's full key space fits the cap (it then cannot overflow, which is
-/// what makes dense absorption commutative), the hashed reference
-/// otherwise.
-fn make_table(set: &ProbeSet, config: &EvaluationConfig) -> Table {
-    match config.tabulator {
-        TabulatorMode::Dense => set
-            .dense_index_width(config.model, config.max_table_keys)
-            .map_or_else(Table::hashed, Table::dense),
-        TabulatorMode::Hashed => Table::hashed(),
-    }
-}
-
-/// Refill granularity of [`BufferedRng`], in `u64` words.
-const RNG_BLOCK: usize = 256;
-
-/// A block-buffered wrapper over the per-batch [`StdRng`]: refills 256
-/// words in one tight pass and serves draws from the buffer, amortizing
-/// the per-draw generator stepping across the batch's randomness
-/// (shares, masks, controls). Emits the *identical* word stream — every
-/// `gen`/`gen_range` draw in this crate consumes exactly one `next_u64`
-/// — so the trace stream stays a pure function of `(seed, batch)`;
-/// unused buffered words at batch end are simply discarded (each batch
-/// derives a fresh RNG anyway).
-struct BufferedRng {
-    inner: StdRng,
-    buffer: [u64; RNG_BLOCK],
-    cursor: usize,
-}
-
-impl BufferedRng {
-    fn new(inner: StdRng) -> Self {
-        BufferedRng {
-            inner,
-            buffer: [0; RNG_BLOCK],
-            cursor: RNG_BLOCK,
-        }
-    }
-}
-
-impl RngCore for BufferedRng {
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        if self.cursor == RNG_BLOCK {
-            for word in &mut self.buffer {
-                *word = self.inner.next_u64();
-            }
-            self.cursor = 0;
-        }
-        let word = self.buffer[self.cursor];
-        self.cursor += 1;
-        word
-    }
-}
-
-/// Everything needed to simulate one batch, shared read-only across
-/// worker threads. Splitting this out of [`FixedVsRandom`] is what lets
-/// `std::thread::scope` workers borrow the input-driving tables while
-/// the coordinator keeps `&mut` access to the campaign state.
-struct BatchEngine<'a> {
-    netlist: &'a Netlist,
-    config: &'a EvaluationConfig,
-    probe_sets: &'a [ProbeSet],
-    /// Per secret: `shares[share][bit]` wires (dense).
-    secrets: &'a [(SecretId, Vec<Vec<WireId>>)],
-    free_masks: &'a [WireId],
-    controls: &'a [WireId],
-    nonzero_byte_buses: &'a [Vec<WireId>],
-    control_schedules: &'a [(WireId, Vec<bool>)],
-}
-
-/// One completed batch: per-probing-set `(key, [fixed, random])` runs
-/// sorted by key, plus the simulator work the batch cost.
-struct BatchOutcome {
-    batch: u64,
-    counts: Vec<Vec<(u128, [u64; 2])>>,
-    stats: SimStats,
-}
-
-/// Watchdog granularity of the sharded coordinator: how often it wakes
-/// from `recv` to scan heartbeats and check for a fatal worker verdict.
-const WATCHDOG_TICK_MS: u64 = 100;
-
-/// Batches per claim in the dense windowed protocol: workers take
-/// multi-batch chunks from the shared counter to amortize claim
-/// contention. Chunk size cannot perturb results — absorption into
-/// thread-local dense tables is commutative — so this is purely a
-/// throughput knob.
-const DENSE_CHUNK: u64 = 4;
-
-/// Runs one batch under supervision, retrying in place: a faulted
-/// attempt (contained panic — injected or real) rebuilds the simulator
-/// and retries after bounded backoff, up to
-/// [`supervisor::MAX_ATTEMPTS`] total attempts. Because the outcome is
-/// a pure function of `(seed, batch)`, a successful retry is
-/// indistinguishable from a fault-free first attempt.
-fn run_batch_supervised<'a>(
-    engine: &BatchEngine<'a>,
-    sim: &mut Simulator<'a>,
-    batch: u64,
-    perf: &PerfRecorder,
-) -> Result<BatchOutcome, CampaignError> {
-    let mut attempts = 0u32;
-    loop {
-        attempts += 1;
-        match supervisor::supervised(batch, || engine.run_batch(sim, batch, perf)) {
-            Ok(outcome) => return Ok(outcome),
-            Err(fault) => {
-                if attempts >= supervisor::MAX_ATTEMPTS {
-                    return Err(CampaignError::Worker {
-                        batch,
-                        attempts,
-                        message: fault.to_string(),
-                    });
-                }
-                // The panicked attempt may have torn the simulator
-                // mid-step; rebuild it rather than trust its state.
-                *sim = Simulator::with_evaluator(engine.netlist, engine.config.evaluator);
-                std::thread::sleep(Duration::from_millis(supervisor::backoff_ms(attempts)));
-            }
-        }
-    }
-}
-
-/// [`run_batch_supervised`] for the dense fast path: same retry budget,
-/// same rebuilt-simulator policy, but the outcome is the per-set index
-/// scratch (rewritten whole on every attempt) plus the batch's
-/// `(lane_groups, stats)` — nothing is committed to live tables here.
-fn run_batch_dense_supervised<'a>(
-    engine: &BatchEngine<'a>,
-    sim: &mut Simulator<'a>,
-    batch: u64,
-    perf: &PerfRecorder,
-    indices: &mut [[u32; LANES]],
-) -> Result<(u64, SimStats), CampaignError> {
-    let mut attempts = 0u32;
-    loop {
-        attempts += 1;
-        match supervisor::supervised(batch, || {
-            engine.run_batch_dense(sim, batch, perf, &mut *indices)
-        }) {
-            Ok(outcome) => return Ok(outcome),
-            Err(fault) => {
-                if attempts >= supervisor::MAX_ATTEMPTS {
-                    return Err(CampaignError::Worker {
-                        batch,
-                        attempts,
-                        message: fault.to_string(),
-                    });
-                }
-                *sim = Simulator::with_evaluator(engine.netlist, engine.config.evaluator);
-                std::thread::sleep(Duration::from_millis(supervisor::backoff_ms(attempts)));
-            }
-        }
-    }
-}
-
-impl BatchEngine<'_> {
-    /// Simulates one batch on `sim` and aggregates its observations.
-    /// A pure function of `(seed, batch)` — which simulator runs it,
-    /// on which thread, in which order, cannot change the outcome.
-    fn run_batch(&self, sim: &mut Simulator, batch: u64, perf: &PerfRecorder) -> BatchOutcome {
-        let config = self.config;
-        // Each batch derives its own RNG from (seed, batch), so the
-        // trace stream is position-addressable: resume is exact and
-        // sharding across threads cannot perturb it. Block-buffering
-        // amortizes generator stepping without changing the stream.
-        let mut rng = BufferedRng::new(batch_rng(config.seed, batch));
-        // Lane → population: bit set = random population.
-        let lane_groups: u64 = rng.gen();
-        let before = sim.counters();
-        sim.reset();
-        {
-            let _span = perf.span("simulate");
-            for cycle in 0..=config.warmup_cycles {
-                self.drive_cycle(sim, cycle, lane_groups, &mut rng);
-                if cycle < config.warmup_cycles {
-                    sim.step();
-                } else {
-                    sim.eval();
-                }
-            }
-        }
-        // Observation: one sample per lane per probing set, aggregated
-        // into key-sorted runs. The sort makes the batch's contribution
-        // canonical, so table insertion order (and thus which keys win
-        // the last slots under `max_table_keys`) depends only on the
-        // batch sequence — the overflow-determinism half of the
-        // byte-identity guarantee.
-        let _span = perf.span("tabulate");
-        let counts = self
-            .probe_sets
-            .iter()
-            .map(|set| {
-                let keys = observation_keys(sim, set, config.model);
-                let mut samples = [(0u128, 0usize); LANES];
-                for (lane, slot) in samples.iter_mut().enumerate() {
-                    *slot = (keys[lane], ((lane_groups >> lane) & 1) as usize);
-                }
-                samples.sort_unstable_by_key(|&(key, _)| key);
-                let mut runs: Vec<(u128, [u64; 2])> = Vec::new();
-                for (key, group) in samples {
-                    match runs.last_mut() {
-                        Some((last, cell)) if *last == key => cell[group] += 1,
-                        _ => {
-                            let mut cell = [0u64; 2];
-                            cell[group] = 1;
-                            runs.push((key, cell));
-                        }
-                    }
-                }
-                runs
-            })
-            .collect();
-        BatchOutcome {
-            batch,
-            counts,
-            stats: sim.counters().delta_since(before),
-        }
-    }
-
-    /// Simulates one batch and extracts per-probing-set packed indices
-    /// into the caller's scratch — the dense fast path. Identical
-    /// simulation to [`BatchEngine::run_batch`], but the tabulation
-    /// side does no sorting, no run-length encoding and no allocation:
-    /// each set's 64 lane observations become 64 `u32` indices
-    /// (bit-for-bit the zero-extended `u128` keys, see
-    /// [`observation_indices`]) for the caller to commit with
-    /// [`Table::absorb_indices`]. Extraction is the fallible phase and
-    /// runs inside the supervisor's panic boundary; the commit into
-    /// live tables happens outside it, only after the whole batch
-    /// succeeded — a retried attempt rewrites the scratch completely,
-    /// so a torn attempt can never half-count a batch.
-    fn run_batch_dense(
-        &self,
-        sim: &mut Simulator,
-        batch: u64,
-        perf: &PerfRecorder,
-        indices: &mut [[u32; LANES]],
-    ) -> (u64, SimStats) {
-        let config = self.config;
-        let mut rng = BufferedRng::new(batch_rng(config.seed, batch));
-        let lane_groups: u64 = rng.gen();
-        let before = sim.counters();
-        sim.reset();
-        {
-            let _span = perf.span("simulate");
-            for cycle in 0..=config.warmup_cycles {
-                self.drive_cycle(sim, cycle, lane_groups, &mut rng);
-                if cycle < config.warmup_cycles {
-                    sim.step();
-                } else {
-                    sim.eval();
-                }
-            }
-        }
-        let _span = perf.span("tabulate");
-        for (set, slot) in self.probe_sets.iter().zip(indices.iter_mut()) {
-            observation_indices(sim, set, config.model, slot);
-        }
-        (lane_groups, sim.counters().delta_since(before))
-    }
-
-    /// Drives every primary input for one cycle: shares re-randomized
-    /// around the per-lane (fixed or random) secret, masks uniform,
-    /// controls per their schedules.
-    fn drive_cycle(
-        &self,
-        sim: &mut Simulator,
-        cycle: usize,
-        lane_groups: u64,
-        rng: &mut BufferedRng,
-    ) {
-        let config = self.config;
-        let fixed = config.fixed_secret;
-        for (_, shares) in self.secrets {
-            let bit_count = shares[0].len();
-            let value_mask = if bit_count >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << bit_count) - 1
-            };
-            let mut per_lane_value = [0u64; LANES];
-            for (lane, value) in per_lane_value.iter_mut().enumerate() {
-                *value = if (lane_groups >> lane) & 1 == 1 {
-                    match config.mode {
-                        CampaignMode::FixedVsFixed { other } => other & value_mask,
-                        CampaignMode::FixedVsRandom => match config.secret_domain {
-                            SecretDomain::Uniform => rng.gen::<u64>() & value_mask,
-                            SecretDomain::NonZero => loop {
-                                let candidate = rng.gen::<u64>() & value_mask;
-                                if candidate != 0 {
-                                    break candidate;
-                                }
-                            },
-                        },
-                    }
-                } else {
-                    fixed & value_mask
-                };
-            }
-            // Shares 1..d random; share 0 completes the XOR.
-            let mut remaining = per_lane_value;
-            for share_bus in shares.iter().skip(1) {
-                let mut random_share = [0u64; LANES];
-                for (lane, value) in random_share.iter_mut().enumerate() {
-                    *value = rng.gen::<u64>() & value_mask;
-                    remaining[lane] ^= *value;
-                }
-                sim.set_bus_per_lane(share_bus, &random_share);
-            }
-            sim.set_bus_per_lane(&shares[0], &remaining);
-        }
-        for &mask in self.free_masks {
-            sim.set_input(mask, rng.gen());
-        }
-        for bus in self.nonzero_byte_buses {
-            let mut per_lane = [0u64; LANES];
-            for value in &mut per_lane {
-                *value = rng.gen_range(1..=255u64);
-            }
-            sim.set_bus_per_lane(bus, &per_lane);
-        }
-        for &control in self.controls {
-            sim.set_input(control, 0);
-        }
-        for (wire, pattern) in self.control_schedules {
-            let value = pattern[cycle.min(pattern.len() - 1)];
-            sim.set_input(*wire, if value { u64::MAX } else { 0 });
-        }
-    }
-}
-
-/// The coordinator-side campaign state. Only `fold_batch` mutates it,
-/// and only in strict batch order — which is the whole determinism
-/// argument: any producer (the in-place loop or a worker pool) that
-/// hands `fold_batch` the same outcomes in the same order yields the
-/// same bytes. A side effect worth naming: `batches_done` is always a
-/// contiguous frontier, so every snapshot records exactly the batches
-/// `0..batches_done` — resumable on any thread count.
-struct CampaignState {
-    tables: Vec<Table>,
-    trajectories: Vec<Vec<(u64, f64)>>,
-    flagged: Vec<bool>,
-    batches_done: u64,
-    /// Work from *folded* batches only. Batches a stopping worker pool
-    /// simulated but never folded are excluded, keeping `cell_evals`
-    /// independent of the thread count.
-    folded: SimStats,
-    early_stopped: bool,
-    interrupted: bool,
-    /// Checkpoint snapshot writes exhausted their retry budget: skip
-    /// further interim saves (the final save is still attempted) and
-    /// surface the outage via the degraded registry.
-    snapshot_degraded: bool,
-    last_stats: SimStats,
-    last_elapsed_ms: u64,
-}
-
-impl CampaignState {
-    fn new(probe_sets: &[ProbeSet], config: &EvaluationConfig) -> Self {
-        let probe_set_count = probe_sets.len();
-        CampaignState {
-            tables: probe_sets
-                .iter()
-                .map(|set| make_table(set, config))
-                .collect(),
-            trajectories: vec![Vec::new(); probe_set_count],
-            flagged: vec![false; probe_set_count],
-            batches_done: 0,
-            folded: SimStats::default(),
-            early_stopped: false,
-            interrupted: false,
-            snapshot_degraded: false,
-            last_stats: SimStats::default(),
-            last_elapsed_ms: 0,
-        }
-    }
-}
-
-/// Read-only context `fold_batch` needs besides the state.
-struct FoldContext<'a> {
-    probe_sets: &'a [ProbeSet],
-    watch: &'a Stopwatch,
-    perf: &'a PerfRecorder,
-    fingerprint: u64,
-    batches: u64,
-    checkpoint_every: u64,
-    prior_cell_evals: u64,
-    /// Fresh randomness the input driver draws per trace, in bits —
-    /// the health layer's randomness-consumption accounting.
-    fresh_bits_per_trace: u64,
 }
 
 /// A fixed-vs-random leakage evaluation bound to one netlist.
@@ -835,6 +155,9 @@ impl<'a> FixedVsRandom<'a> {
 
     /// The campaign's snapshot-compatibility fingerprint: every
     /// sampling-relevant configuration field plus the probing-set list.
+    /// The statistic is appended only when non-default, so every
+    /// pre-existing G-test snapshot keeps its fingerprint — and a
+    /// campaign can never silently resume under a different test.
     fn fingerprint(&self, probe_sets: &[ProbeSet]) -> u64 {
         use std::fmt::Write as _;
         let config = &self.config;
@@ -858,6 +181,9 @@ impl<'a> FixedVsRandom<'a> {
             config.checkpoints,
             config.early_stop,
         );
+        if config.statistic != crate::stats::StatisticKind::GTest {
+            let _ = write!(canonical, "|statistic={}", config.statistic.name());
+        }
         for set in probe_sets {
             canonical.push('|');
             canonical.push_str(&set.label);
@@ -875,6 +201,8 @@ impl<'a> FixedVsRandom<'a> {
     /// * [`CampaignError::Netlist`] — the netlist fails
     ///   [`Netlist::validate`] (checked before any simulation).
     /// * [`CampaignError::NoSecretShares`] — nothing to fix vs randomize.
+    /// * [`CampaignError::MalformedShares`] — a secret's share wires do
+    ///   not form a dense `share × bit` matrix.
     /// * [`CampaignError::Snapshot`] — the snapshot file is corrupt,
     ///   version-mismatched, taken under a different configuration, or
     ///   unwritable.
@@ -889,11 +217,11 @@ impl<'a> FixedVsRandom<'a> {
     /// enumeration order.
     ///
     /// The forensics layer needs the tables themselves — not just the
-    /// aggregate G-test each one produced — to decompose a finding into
-    /// per-cell contributions ([`crate::stats::g_breakdown`]) and to
-    /// render the fixed-vs-random distributions in evidence bundles.
+    /// aggregate statistic each one produced — to decompose a finding
+    /// into per-cell contributions ([`crate::stats::g_breakdown`]) and
+    /// to render the fixed-vs-random distributions in evidence bundles.
     /// Table columns come out sorted by observation key, exactly the
-    /// order the final G-test sweep consumed, so bundles derived from
+    /// order the final statistic sweep consumed, so bundles derived from
     /// them inherit the campaign's byte-identity across thread counts
     /// and evaluators.
     ///
@@ -924,30 +252,53 @@ impl<'a> FixedVsRandom<'a> {
         let truncated = probe_sets.len() >= config.max_probe_sets;
 
         // Secret share structure: per secret, shares[share][bit] wires.
+        // A secret with no share wires at all, or with a hole in the
+        // share × bit matrix, is a typed error (exit 2 at the CLI), not
+        // a panic: it is malformed *input*, not a campaign bug.
         let secrets: Vec<(SecretId, Vec<Vec<WireId>>)> = self
             .netlist
             .secrets()
             .into_iter()
             .map(|secret| {
                 let triples = self.netlist.shares_of(secret);
-                let share_count =
-                    triples.iter().map(|&(share, ..)| share).max().unwrap() as usize + 1;
-                let bit_count = triples.iter().map(|&(_, bit, _)| bit).max().unwrap() as usize + 1;
+                let no_shares = || CampaignError::MalformedShares {
+                    secret,
+                    detail: "no share wires declared".to_owned(),
+                };
+                let share_count = triples
+                    .iter()
+                    .map(|&(share, ..)| share)
+                    .max()
+                    .ok_or_else(no_shares)? as usize
+                    + 1;
+                let bit_count = triples
+                    .iter()
+                    .map(|&(_, bit, _)| bit)
+                    .max()
+                    .ok_or_else(no_shares)? as usize
+                    + 1;
                 let mut shares: Vec<Vec<Option<WireId>>> = vec![vec![None; bit_count]; share_count];
                 for (share, bit, wire) in triples {
                     shares[share as usize][bit as usize] = Some(wire);
                 }
                 let shares: Vec<Vec<WireId>> = shares
                     .into_iter()
-                    .map(|bus| {
+                    .enumerate()
+                    .map(|(share, bus)| {
                         bus.into_iter()
-                            .map(|wire| wire.expect("share matrix must be dense"))
-                            .collect()
+                            .enumerate()
+                            .map(|(bit, wire)| {
+                                wire.ok_or_else(|| CampaignError::MalformedShares {
+                                    secret,
+                                    detail: format!("share {share} has no wire for bit {bit}"),
+                                })
+                            })
+                            .collect::<Result<Vec<WireId>, CampaignError>>()
                     })
-                    .collect();
-                (secret, shares)
+                    .collect::<Result<_, _>>()?;
+                Ok((secret, shares))
             })
-            .collect();
+            .collect::<Result<_, CampaignError>>()?;
         if secrets.is_empty() {
             return Err(CampaignError::NoSecretShares);
         }
@@ -1032,7 +383,7 @@ impl<'a> FixedVsRandom<'a> {
         let checkpoint_every = batches
             .checked_div(config.checkpoints)
             .map_or(0, |every| every.max(1));
-        let engine = BatchEngine {
+        let engine = Engine {
             netlist: self.netlist,
             config,
             probe_sets: &probe_sets,
@@ -1041,6 +392,7 @@ impl<'a> FixedVsRandom<'a> {
             controls: &controls,
             nonzero_byte_buses: &self.nonzero_byte_buses,
             control_schedules: &self.control_schedules,
+            observer: &self.observer,
         };
         let context = FoldContext {
             probe_sets: &probe_sets,
@@ -1052,45 +404,7 @@ impl<'a> FixedVsRandom<'a> {
             prior_cell_evals,
             fresh_bits_per_trace,
         };
-        let threads = config.threads.max(1);
-        // The dense fast path needs *every* table dense: checked after
-        // resume, because restoring a foreign snapshot can downgrade a
-        // table to the hashed store.
-        let all_dense = state.tables.iter().all(Table::is_dense);
-        let run_result: Result<(), CampaignError> = if state.batches_done < batches {
-            if threads == 1 {
-                if all_dense {
-                    self.run_in_place_dense(&engine, &context, &mut state)
-                } else {
-                    // In-place single-threaded: one simulator, fold as
-                    // we go. Faulted batches are retried in place on a
-                    // rebuilt simulator (same supervision budget as the
-                    // pool).
-                    let mut sim = Simulator::with_evaluator(self.netlist, config.evaluator);
-                    let mut stopped = Ok(());
-                    for batch in state.batches_done..batches {
-                        match run_batch_supervised(&engine, &mut sim, batch, perf) {
-                            Ok(outcome) => {
-                                if self.fold_batch(&context, &mut state, outcome) {
-                                    break;
-                                }
-                            }
-                            Err(error) => {
-                                stopped = Err(error);
-                                break;
-                            }
-                        }
-                    }
-                    stopped
-                }
-            } else if all_dense {
-                self.run_sharded_dense(&engine, &context, &mut state, threads)
-            } else {
-                self.run_sharded(&engine, &context, &mut state, threads)
-            }
-        } else {
-            Ok(())
-        };
+        let run_result = engine.run(&context, &mut state);
 
         // Final snapshot: covers interruption, early stop, normal
         // completion (resuming a completed snapshot reproduces the
@@ -1102,6 +416,7 @@ impl<'a> FixedVsRandom<'a> {
             let _span = perf.span("snapshot");
             let saved = build_snapshot(
                 fingerprint,
+                config.statistic,
                 state.batches_done,
                 batches,
                 prior_cell_evals + state.folded.cell_evals,
@@ -1127,6 +442,7 @@ impl<'a> FixedVsRandom<'a> {
         run_result?;
 
         let traces = state.batches_done * LANES as u64;
+        let statistic = config.statistic.as_statistic();
         let final_sweep = perf.span("g_test");
         let health_enabled = self.observer.enabled();
         let mut probe_healths: Vec<ProbeHealth> = Vec::new();
@@ -1144,7 +460,8 @@ impl<'a> FixedVsRandom<'a> {
                 };
                 let distinct_keys = table.distinct_keys();
                 let trajectory = std::mem::take(&mut state.trajectories[index]);
-                let result = match g_test(&columns) {
+                let overflow = table.overflow();
+                let result = match statistic.evaluate(table.sorted_columns(), overflow) {
                     Some(test) => ProbeResult {
                         label: set.label.clone(),
                         probe_count: set.wires.len(),
@@ -1169,7 +486,7 @@ impl<'a> FixedVsRandom<'a> {
                         pooled_columns: summary.pooled_columns,
                         pooled_fraction,
                         g_statistic: 0.0,
-                        df: 0,
+                        df: 0.0,
                         minus_log10_p: 0.0,
                         testable: false,
                         leaking: false,
@@ -1235,6 +552,7 @@ impl<'a> FixedVsRandom<'a> {
             order: config.order,
             traces,
             threshold: config.threshold,
+            statistic: config.statistic,
             probe_sets_truncated: truncated,
             early_stopped: state.early_stopped,
             interrupted: state.interrupted,
@@ -1249,6 +567,7 @@ impl<'a> FixedVsRandom<'a> {
                 batches * LANES as u64,
                 config.threshold,
                 fresh_bits_per_trace,
+                config.statistic,
                 CHECKPOINT_TOP_PROBES,
             )));
         }
@@ -1283,706 +602,12 @@ impl<'a> FixedVsRandom<'a> {
         });
         Ok((report, tables))
     }
-
-    /// Folds one completed batch into the campaign state: contingency
-    /// tables first, then (on checkpoint boundaries) the running G-test
-    /// sweep, events, snapshot and early-stop decision, then the
-    /// cooperative-interrupt check. Batches MUST be folded in strictly
-    /// increasing batch order — that invariant (not any property of the
-    /// producers) is what makes multi-threaded campaigns byte-identical
-    /// to single-threaded ones. Returns `true` when the campaign
-    /// should stop before `context.batches` (early stop or interrupt).
-    /// Infallible: a checkpoint snapshot that exhausts its retry budget
-    /// degrades (recorded in the registry, later interim saves skipped)
-    /// rather than aborting a healthy campaign.
-    fn fold_batch(
-        &self,
-        context: &FoldContext<'_>,
-        state: &mut CampaignState,
-        outcome: BatchOutcome,
-    ) -> bool {
-        let config = &self.config;
-        let perf = context.perf;
-        debug_assert_eq!(outcome.batch, state.batches_done, "fold order violated");
-        {
-            let _span = perf.span("merge");
-            for (runs, table) in outcome.counts.iter().zip(&mut state.tables) {
-                table.absorb_runs(runs, config.max_table_keys);
-            }
-        }
-        state.folded.cycles += outcome.stats.cycles;
-        state.folded.cell_evals += outcome.stats.cell_evals;
-        state.batches_done += 1;
-        self.after_batch(context, state)
-    }
-
-    /// Everything a batch-frontier advance triggers besides absorption:
-    /// the interim checkpoint (running G-test sweep, events, snapshot,
-    /// early-stop decision) and the cooperative-interrupt check, purely
-    /// as a function of `state.batches_done`. Shared verbatim by the
-    /// batch-ordered fold and the dense windowed protocol (whose window
-    /// boundaries coincide exactly with checkpoint multiples), which is
-    /// what keeps checkpoints, trajectories, early stops and interrupt
-    /// frontiers byte-identical between them. Returns `true` when the
-    /// campaign should stop before `context.batches`.
-    fn after_batch(&self, context: &FoldContext<'_>, state: &mut CampaignState) -> bool {
-        let config = &self.config;
-        let perf = context.perf;
-
-        // Interim checkpoint: running G-test per probing set, events,
-        // and the early-stop decision. Skipped on the last batch (the
-        // final statistics cover it).
-        if context.checkpoint_every > 0
-            && state.batches_done.is_multiple_of(context.checkpoint_every)
-            && state.batches_done < context.batches
-        {
-            let _span = perf.span("g_test");
-            let traces_so_far = state.batches_done * LANES as u64;
-            let health_enabled = self.observer.enabled();
-            let mut probe_healths: Vec<ProbeHealth> = Vec::with_capacity(if health_enabled {
-                state.tables.len()
-            } else {
-                0
-            });
-            let mut running: Vec<(usize, f64)> = Vec::with_capacity(context.probe_sets.len());
-            for (index, table) in state.tables.iter_mut().enumerate() {
-                let columns = table.g_columns();
-                let minus_log10_p = g_test(&columns)
-                    .map(|test| test.minus_log10_p)
-                    .unwrap_or(0.0);
-                state.trajectories[index].push((traces_so_far, minus_log10_p));
-                running.push((index, minus_log10_p));
-                if health_enabled {
-                    probe_healths.push(health::probe_health(
-                        &context.probe_sets[index].label,
-                        &pooling_summary(&columns),
-                        minus_log10_p,
-                        &state.trajectories[index],
-                        traces_so_far,
-                        config.threshold,
-                    ));
-                }
-                if minus_log10_p > config.threshold && !state.flagged[index] {
-                    state.flagged[index] = true;
-                    if self.observer.enabled() {
-                        self.observer.emit(&Event::ProbeFlagged {
-                            label: context.probe_sets[index].label.clone(),
-                            minus_log10_p,
-                            traces: traces_so_far,
-                        });
-                    }
-                }
-            }
-            running.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let (worst_index, max_minus_log10_p) = running.first().copied().unwrap_or((0, 0.0));
-            if self.observer.enabled() {
-                let probes: Vec<ProbePoint> = running
-                    .iter()
-                    .enumerate()
-                    .take_while(|&(rank, &(_, value))| {
-                        rank < CHECKPOINT_TOP_PROBES || value > config.threshold
-                    })
-                    .map(|(_, &(index, value))| ProbePoint {
-                        label: context.probe_sets[index].label.clone(),
-                        minus_log10_p: value,
-                        leaking: value > config.threshold,
-                    })
-                    .collect();
-                self.observer.emit(&Event::CampaignCheckpoint(Checkpoint {
-                    traces: traces_so_far,
-                    traces_target: context.batches * LANES as u64,
-                    elapsed_ms: context.watch.elapsed_ms(),
-                    traces_per_sec: context.watch.rate(traces_so_far),
-                    max_minus_log10_p,
-                    worst_label: context
-                        .probe_sets
-                        .get(worst_index)
-                        .map(|set| set.label.clone())
-                        .unwrap_or_default(),
-                    probes,
-                }));
-                let stats = state.folded;
-                let elapsed_ms = context.watch.elapsed_ms();
-                let interval = stats
-                    .delta_since(state.last_stats)
-                    .rates(elapsed_ms.saturating_sub(state.last_elapsed_ms) as f64 / 1000.0);
-                state.last_stats = stats;
-                state.last_elapsed_ms = elapsed_ms;
-                self.observer.emit(&Event::SimProgress {
-                    cycles: stats.cycles,
-                    cell_evals: stats.cell_evals,
-                    cycles_per_sec: interval.cycles_per_sec,
-                    cell_evals_per_sec: interval.cell_evals_per_sec,
-                    lane_utilization: config.traces.min(traces_so_far) as f64
-                        / traces_so_far as f64,
-                });
-                self.observer.emit(&Event::Health(health::assess(
-                    probe_healths,
-                    traces_so_far,
-                    context.batches * LANES as u64,
-                    config.threshold,
-                    context.fresh_bits_per_trace,
-                    CHECKPOINT_TOP_PROBES,
-                )));
-            }
-            if let Some(path) = &config.durability.snapshot_path {
-                if !state.snapshot_degraded {
-                    let _span = perf.span("snapshot");
-                    let saved = build_snapshot(
-                        context.fingerprint,
-                        state.batches_done,
-                        context.batches,
-                        context.prior_cell_evals + state.folded.cell_evals,
-                        &mut state.tables,
-                        &state.flagged,
-                        &state.trajectories,
-                    );
-                    if let Err(error) = snapshot::save_with_retry(&saved, path) {
-                        // Interim saves are an amenity; losing them must
-                        // not kill a healthy campaign. Degrade: skip
-                        // further interim saves (the final save is still
-                        // attempted) and surface the outage.
-                        state.snapshot_degraded = true;
-                        mmaes_telemetry::degraded::mark(
-                            "snapshot",
-                            &format!("checkpoint at batch {}: {error}", state.batches_done),
-                        );
-                    }
-                }
-            }
-            if config.early_stop && max_minus_log10_p >= DECISIVE_MARGIN * config.threshold {
-                state.early_stopped = true;
-                return true;
-            }
-        }
-
-        // Cooperative interruption: a signal flag (set from a
-        // SIGINT/SIGTERM handler) or a deterministic batch cap. The
-        // folded prefix is contiguous, so the state is consistent; the
-        // final snapshot persists it.
-        let signalled = config
-            .durability
-            .interrupt
-            .as_ref()
-            .is_some_and(|flag| flag.load(Ordering::Relaxed));
-        let capped = config
-            .durability
-            .stop_after_batches
-            .is_some_and(|cap| state.batches_done >= cap);
-        if (signalled || capped) && state.batches_done < context.batches {
-            state.interrupted = true;
-            return true;
-        }
-        false
-    }
-
-    /// Shards batches across a supervised worker pool. Workers claim
-    /// batch indices from a shared atomic counter (quarantined retries
-    /// first) and each own a private [`Simulator`]; the coordinator
-    /// (this thread) reorders completed batches through a `BTreeMap`
-    /// buffer and folds them in strict batch order, so the result is
-    /// byte-identical to the in-place single-threaded loop.
-    ///
-    /// Fault containment (see [`crate::supervisor`]): every batch
-    /// attempt runs inside a panic boundary. A faulted batch is pushed
-    /// onto a shared retry queue — the next free (healthy) worker
-    /// rebuilds its simulator, backs off briefly and re-runs it; a
-    /// panicked attempt delivers no outcome, so the fold sees each
-    /// batch exactly once and reports stay byte-identical under
-    /// injected faults. A batch that exhausts
-    /// [`supervisor::MAX_ATTEMPTS`] is fatal: the pool stops and the
-    /// campaign returns [`CampaignError::Worker`]. The coordinator
-    /// doubles as a heartbeat watchdog, flagging shards whose in-flight
-    /// batch is overdue into the degraded registry (advisory only —
-    /// wall-clock diagnostics never reach the report).
-    ///
-    /// Each worker records perf into its own recorder, merged into the
-    /// campaign recorder at join (per-phase totals then sum CPU time
-    /// across workers, which can exceed wall time).
-    fn run_sharded(
-        &self,
-        engine: &BatchEngine<'_>,
-        context: &FoldContext<'_>,
-        state: &mut CampaignState,
-        threads: usize,
-    ) -> Result<(), CampaignError> {
-        let next_batch = AtomicU64::new(state.batches_done);
-        let stop = AtomicBool::new(false);
-        let retry_queue = RetryQueue::new();
-        let heartbeats = supervisor::Heartbeats::new(threads);
-        let stall_timeout_ms = supervisor::stall_timeout_ms();
-        // First fatal worker verdict wins; later ones are dropped.
-        let fatal: Mutex<Option<CampaignError>> = Mutex::new(None);
-        // Bounded channel: backpressure keeps the reorder buffer (and
-        // per-worker memory) proportional to the thread count even when
-        // one batch folds slowly (e.g. a checkpoint snapshot).
-        let (sender, receiver) = mpsc::sync_channel::<BatchOutcome>(threads * 2);
-        let perf_enabled = context.perf.is_enabled();
-        let mut result = Ok(());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|worker| {
-                    let sender = sender.clone();
-                    let next_batch = &next_batch;
-                    let stop = &stop;
-                    let retry_queue = &retry_queue;
-                    let heartbeats = &heartbeats;
-                    let fatal = &fatal;
-                    scope.spawn(move || {
-                        let worker_perf = if perf_enabled {
-                            PerfRecorder::enabled()
-                        } else {
-                            PerfRecorder::disabled()
-                        };
-                        let mut sim =
-                            Simulator::with_evaluator(engine.netlist, engine.config.evaluator);
-                        while !stop.load(Ordering::Acquire) {
-                            // Quarantined batches first: a faulted batch
-                            // must not languish behind the claim
-                            // frontier (the fold is blocked on it).
-                            let (batch, prior_attempts) = match retry_queue.pop() {
-                                Some(claim) => (claim.batch, claim.attempts),
-                                None => {
-                                    let batch = next_batch.fetch_add(1, Ordering::Relaxed);
-                                    if batch >= context.batches {
-                                        break;
-                                    }
-                                    (batch, 0)
-                                }
-                            };
-                            if prior_attempts > 0 {
-                                std::thread::sleep(Duration::from_millis(supervisor::backoff_ms(
-                                    prior_attempts,
-                                )));
-                            }
-                            heartbeats.start(worker, batch);
-                            let attempt = supervisor::supervised(batch, || {
-                                engine.run_batch(&mut sim, batch, &worker_perf)
-                            });
-                            heartbeats.idle(worker);
-                            match attempt {
-                                // A closed channel means the coordinator
-                                // stopped (early stop, interrupt or error).
-                                Ok(outcome) => {
-                                    if sender.send(outcome).is_err() {
-                                        break;
-                                    }
-                                }
-                                Err(fault) => {
-                                    // The panicked attempt may have torn
-                                    // the simulator mid-step; rebuild it
-                                    // rather than trust its state.
-                                    sim = Simulator::with_evaluator(
-                                        engine.netlist,
-                                        engine.config.evaluator,
-                                    );
-                                    let attempts = prior_attempts + 1;
-                                    if attempts >= supervisor::MAX_ATTEMPTS {
-                                        let mut slot = fatal
-                                            .lock()
-                                            .unwrap_or_else(|poison| poison.into_inner());
-                                        slot.get_or_insert(CampaignError::Worker {
-                                            batch,
-                                            attempts,
-                                            message: fault.to_string(),
-                                        });
-                                        stop.store(true, Ordering::Release);
-                                        break;
-                                    }
-                                    retry_queue.push(batch, attempts);
-                                }
-                            }
-                        }
-                        worker_perf
-                    })
-                })
-                .collect();
-            drop(sender);
-            // Reorder buffer: outcomes arrive in completion order and
-            // are folded in batch order. A disconnect means every
-            // worker exited — with all batches claimed and sent, that
-            // only happens once the frontier has caught up (or the
-            // pool stopped on a fatal fault, picked up below).
-            let mut pending: BTreeMap<u64, BatchOutcome> = BTreeMap::new();
-            let mut flagged_stall = vec![false; threads];
-            'fold: while state.batches_done < context.batches {
-                let outcome = match receiver.recv_timeout(Duration::from_millis(WATCHDOG_TICK_MS)) {
-                    Ok(outcome) => outcome,
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        // Watchdog tick: advisory stall flags (once
-                        // per worker) and the fatal-verdict check.
-                        for (worker, fault) in heartbeats.stalled(stall_timeout_ms) {
-                            if !flagged_stall[worker] {
-                                flagged_stall[worker] = true;
-                                mmaes_telemetry::degraded::mark(
-                                    "worker",
-                                    &format!("worker {worker}: {fault}"),
-                                );
-                            }
-                        }
-                        let poisoned = fatal.lock().unwrap_or_else(|poison| poison.into_inner());
-                        if poisoned.is_some() {
-                            break;
-                        }
-                        continue;
-                    }
-                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
-                };
-                pending.insert(outcome.batch, outcome);
-                while let Some(outcome) = pending.remove(&state.batches_done) {
-                    if self.fold_batch(context, state, outcome) {
-                        break 'fold;
-                    }
-                }
-            }
-            // Shut down: flag first, then close the channel so workers
-            // blocked in `send` observe the disconnect and exit.
-            stop.store(true, Ordering::Release);
-            drop(receiver);
-            for handle in handles {
-                match handle.join() {
-                    Ok(worker_perf) => context.perf.absorb(&worker_perf),
-                    // Unreachable: every batch attempt runs inside the
-                    // supervisor's panic boundary.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-            if let Some(error) = fatal
-                .lock()
-                .unwrap_or_else(|poison| poison.into_inner())
-                .take()
-            {
-                result = Err(error);
-            }
-        });
-        result
-    }
-
-    /// The single-threaded dense fast path: one simulator, per-set
-    /// `u32` index scratch reused across batches, observations absorbed
-    /// straight into the live tables — no hashing, no sorting, no
-    /// per-batch allocation. Extraction (the fallible phase) runs under
-    /// supervision; the commit happens only after the whole batch
-    /// succeeded, so retried batches count exactly once.
-    fn run_in_place_dense(
-        &self,
-        engine: &BatchEngine<'_>,
-        context: &FoldContext<'_>,
-        state: &mut CampaignState,
-    ) -> Result<(), CampaignError> {
-        let perf = context.perf;
-        let mut sim = Simulator::with_evaluator(self.netlist, self.config.evaluator);
-        let mut indices = vec![[0u32; LANES]; context.probe_sets.len()];
-        for batch in state.batches_done..context.batches {
-            let (lane_groups, stats) =
-                run_batch_dense_supervised(engine, &mut sim, batch, perf, &mut indices)?;
-            {
-                let _span = perf.span("tabulate");
-                for (slot, table) in indices.iter().zip(&mut state.tables) {
-                    table.absorb_indices(slot, lane_groups);
-                }
-            }
-            state.folded.cycles += stats.cycles;
-            state.folded.cell_evals += stats.cell_evals;
-            state.batches_done += 1;
-            if self.after_batch(context, state) {
-                break;
-            }
-        }
-        Ok(())
-    }
-
-    /// Shards batches across workers with **thread-local dense tables**
-    /// and a commutative once-per-window merge — the protocol dense
-    /// absorption licenses (see [`crate::tabulate`]): a dense table can
-    /// never overflow its cap, so its counts are plain integer sums and
-    /// fold order is irrelevant. Workers claim [`DENSE_CHUNK`]-batch
-    /// chunks from an atomic counter and absorb each batch into their
-    /// own shard; nothing crosses a channel per batch, eliminating the
-    /// steady-state `merge` phase and the reorder buffer entirely.
-    ///
-    /// Byte-identity is preserved by *windowing*: the claim frontier
-    /// runs only to the next checkpoint boundary (`checkpoint_every`
-    /// multiple, `stop_after_batches` cap, or the end), the coordinator
-    /// folds every shard exactly there, and [`Self::after_batch`] then
-    /// sees the same `batches_done` — and bit-identical tables, since
-    /// integer addition is associative — as the single-threaded loop
-    /// does at that batch. Checkpoints, trajectories, snapshots, early
-    /// stops and deterministic interrupts land on identical bytes.
-    ///
-    /// Fault containment: each batch retries in place under the
-    /// supervisor's budget (rebuilt simulator, bounded backoff), like
-    /// the single-threaded loop. A batch that exhausts its budget is
-    /// fatal: the window's shard tables are **discarded unmerged**
-    /// (workers stop mid-window, so their union is not a contiguous
-    /// batch range) and the campaign state remains at the last window
-    /// boundary — still contiguous, so the emergency snapshot stays
-    /// valid. The coordinator doubles as the heartbeat watchdog,
-    /// flagging overdue shards into the degraded registry (advisory).
-    fn run_sharded_dense(
-        &self,
-        engine: &BatchEngine<'_>,
-        context: &FoldContext<'_>,
-        state: &mut CampaignState,
-        threads: usize,
-    ) -> Result<(), CampaignError> {
-        let config = &self.config;
-        let perf_enabled = context.perf.is_enabled();
-        let heartbeats = supervisor::Heartbeats::new(threads);
-        let stall_timeout_ms = supervisor::stall_timeout_ms();
-        let mut flagged_stall = vec![false; threads];
-        let interrupt = &config.durability.interrupt;
-        // Hoisted across windows: simulators (lowering is one-time
-        // work), per-worker shard tables (drained by each window's
-        // merge) and per-worker perf recorders (absorbed once at exit).
-        let mut sims: Vec<Simulator> = (0..threads)
-            .map(|_| Simulator::with_evaluator(self.netlist, config.evaluator))
-            .collect();
-        let mut shards: Vec<Vec<Table>> = (0..threads)
-            .map(|_| {
-                context
-                    .probe_sets
-                    .iter()
-                    .map(|set| make_table(set, config))
-                    .collect()
-            })
-            .collect();
-        let worker_perfs: Vec<PerfRecorder> = (0..threads)
-            .map(|_| {
-                if perf_enabled {
-                    PerfRecorder::enabled()
-                } else {
-                    PerfRecorder::disabled()
-                }
-            })
-            .collect();
-        let mut result = Ok(());
-        while state.batches_done < context.batches {
-            let window_start = state.batches_done;
-            // The window runs to the next single-thread decision point:
-            // checkpoint multiple, deterministic batch cap, or the end.
-            // (`cap.max(window_start + 1)` reproduces the single-thread
-            // loop, which always folds one more batch before noticing
-            // the cap when resumed at or past it.)
-            let mut window_end = match window_start.checked_div(context.checkpoint_every) {
-                Some(windows_done) => {
-                    ((windows_done + 1) * context.checkpoint_every).min(context.batches)
-                }
-                None => context.batches,
-            };
-            if let Some(cap) = config.durability.stop_after_batches {
-                window_end = window_end.min(cap.max(window_start + 1));
-            }
-            let next_batch = AtomicU64::new(window_start);
-            let stop = AtomicBool::new(false);
-            let fatal: Mutex<Option<CampaignError>> = Mutex::new(None);
-            // Workers report their window's SimStats exactly once at
-            // exit; the channel doubles as the coordinator's completion
-            // wake-up between watchdog ticks.
-            let (sender, receiver) = mpsc::channel::<SimStats>();
-            let mut window_stats = SimStats::default();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = sims
-                    .iter_mut()
-                    .zip(shards.iter_mut())
-                    .zip(worker_perfs.iter())
-                    .enumerate()
-                    .map(|(worker, ((sim, shard), worker_perf))| {
-                        let sender = sender.clone();
-                        let next_batch = &next_batch;
-                        let stop = &stop;
-                        let fatal = &fatal;
-                        let heartbeats = &heartbeats;
-                        scope.spawn(move || {
-                            let mut indices = vec![[0u32; LANES]; shard.len()];
-                            let mut local = SimStats::default();
-                            'claim: while !stop.load(Ordering::Acquire) {
-                                let chunk = next_batch.fetch_add(DENSE_CHUNK, Ordering::Relaxed);
-                                if chunk >= window_end {
-                                    break;
-                                }
-                                // A claimed chunk always completes (or
-                                // turns fatal), so the absorbed batches
-                                // are exactly the contiguous range below
-                                // the claim frontier.
-                                for batch in chunk..(chunk + DENSE_CHUNK).min(window_end) {
-                                    heartbeats.start(worker, batch);
-                                    let attempt = run_batch_dense_supervised(
-                                        engine,
-                                        sim,
-                                        batch,
-                                        worker_perf,
-                                        &mut indices,
-                                    );
-                                    heartbeats.idle(worker);
-                                    match attempt {
-                                        Ok((lane_groups, stats)) => {
-                                            let _span = worker_perf.span("tabulate");
-                                            for (slot, table) in
-                                                indices.iter().zip(shard.iter_mut())
-                                            {
-                                                table.absorb_indices(slot, lane_groups);
-                                            }
-                                            local.cycles += stats.cycles;
-                                            local.cell_evals += stats.cell_evals;
-                                        }
-                                        Err(error) => {
-                                            fatal
-                                                .lock()
-                                                .unwrap_or_else(|poison| poison.into_inner())
-                                                .get_or_insert(error);
-                                            stop.store(true, Ordering::Release);
-                                            break 'claim;
-                                        }
-                                    }
-                                }
-                                if interrupt
-                                    .as_ref()
-                                    .is_some_and(|flag| flag.load(Ordering::Relaxed))
-                                {
-                                    // Stop claiming; completed chunks
-                                    // stand, and the merge below folds
-                                    // the contiguous claimed range.
-                                    break;
-                                }
-                            }
-                            let _ = sender.send(local);
-                        })
-                    })
-                    .collect();
-                drop(sender);
-                let mut done = 0usize;
-                while done < threads {
-                    match receiver.recv_timeout(Duration::from_millis(WATCHDOG_TICK_MS)) {
-                        Ok(local) => {
-                            window_stats.cycles += local.cycles;
-                            window_stats.cell_evals += local.cell_evals;
-                            done += 1;
-                        }
-                        Err(mpsc::RecvTimeoutError::Timeout) => {
-                            for (worker, fault) in heartbeats.stalled(stall_timeout_ms) {
-                                if !flagged_stall[worker] {
-                                    flagged_stall[worker] = true;
-                                    mmaes_telemetry::degraded::mark(
-                                        "worker",
-                                        &format!("worker {worker}: {fault}"),
-                                    );
-                                }
-                            }
-                        }
-                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
-                    }
-                }
-                for handle in handles {
-                    if let Err(payload) = handle.join() {
-                        // Unreachable: batch attempts run inside the
-                        // supervisor's panic boundary.
-                        std::panic::resume_unwind(payload);
-                    }
-                }
-            });
-            if let Some(error) = fatal
-                .lock()
-                .unwrap_or_else(|poison| poison.into_inner())
-                .take()
-            {
-                // Discard the torn window: the shards' union is not a
-                // contiguous batch range. State stays at the last
-                // window boundary, which is.
-                result = Err(error);
-                break;
-            }
-            let reached = next_batch.load(Ordering::Relaxed).min(window_end);
-            {
-                let _span = context.perf.span("merge");
-                for shard in &mut shards {
-                    for (table, local) in state.tables.iter_mut().zip(shard.iter_mut()) {
-                        table.merge_from(local);
-                    }
-                }
-            }
-            state.folded.cycles += window_stats.cycles;
-            state.folded.cell_evals += window_stats.cell_evals;
-            state.batches_done = reached;
-            if self.after_batch(context, state) || reached < window_end {
-                break;
-            }
-        }
-        for worker_perf in &worker_perfs {
-            context.perf.absorb(worker_perf);
-        }
-        result
-    }
-}
-
-/// Packs each lane's extended observation of `set` into a key.
-///
-/// Up to 128 observed bits are packed exactly; beyond that, bits are
-/// folded with a deterministic 128-bit mix (collisions can only merge
-/// contingency columns — they can weaken detection, never fabricate it).
-fn observation_keys(sim: &Simulator, set: &ProbeSet, model: ProbeModel) -> [u128; LANES] {
-    let bits = set.observation_bits(model);
-    let mut keys = [0u128; LANES];
-    let mut position = 0usize;
-    let push_word = |keys: &mut [u128; LANES], word: u64, position: usize| {
-        if position < 128 {
-            for (lane, key) in keys.iter_mut().enumerate() {
-                *key |= (((word >> lane) & 1) as u128) << position;
-            }
-        } else {
-            const PRIME: u128 = 0x0000_0100_0000_01b3_0000_0100_0000_01b3;
-            for (lane, key) in keys.iter_mut().enumerate() {
-                *key = key.wrapping_mul(PRIME) ^ (((word >> lane) & 1) as u128 + 2);
-            }
-        }
-    };
-    for &wire in &set.observed {
-        push_word(&mut keys, sim.value(wire), position);
-        position += 1;
-        if matches!(model, ProbeModel::GlitchTransition) {
-            push_word(&mut keys, sim.prev_value(wire), position);
-            position += 1;
-        }
-    }
-    debug_assert_eq!(position, bits);
-    keys
-}
-
-/// [`observation_keys`] specialized to dense-eligible sets: packs each
-/// lane's observation into a `u32` index using the *same* bit layout
-/// (observed bit `i` at index bit `i`), so the index is bit-for-bit the
-/// zero-extended `u128` key — which is why a dense table's linear scan
-/// serializes in the exact sorted-key order the hashed store emits.
-/// Only called for sets whose [`ProbeSet::dense_index_width`] fits
-/// `u32`, so no overflow-mix arm exists here.
-fn observation_indices(
-    sim: &Simulator,
-    set: &ProbeSet,
-    model: ProbeModel,
-    indices: &mut [u32; LANES],
-) {
-    let bits = set.observation_bits(model);
-    debug_assert!(bits <= crate::tabulate::MAX_DENSE_WIDTH);
-    indices.fill(0);
-    let mut position = 0u32;
-    let mut push_word = |indices: &mut [u32; LANES], word: u64| {
-        for (lane, index) in indices.iter_mut().enumerate() {
-            *index |= (((word >> lane) & 1) as u32) << position;
-        }
-        position += 1;
-    };
-    for &wire in &set.observed {
-        push_word(indices, sim.value(wire));
-        if matches!(model, ProbeModel::GlitchTransition) {
-            push_word(indices, sim.prev_value(wire));
-        }
-    }
-    debug_assert_eq!(position as usize, bits);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::probe::ProbeModel;
     use mmaes_netlist::{NetlistBuilder, SignalRole};
 
     fn share_role(share: u8) -> SignalRole {
@@ -2047,6 +672,48 @@ mod tests {
     }
 
     #[test]
+    fn sparse_share_matrix_is_a_typed_error() {
+        // share 1 only declares bit 1 while share 0 declares bit 0: the
+        // share × bit matrix has holes at (0,1) and (1,0). This must be
+        // a typed CampaignError (exit 2 at the CLI), not a panic.
+        let mut builder = NetlistBuilder::new("sparse");
+        let s0 = builder.input(
+            "s0",
+            SignalRole::Share {
+                secret: SecretId(0),
+                share: 0,
+                bit: 0,
+            },
+        );
+        let s1 = builder.input(
+            "s1",
+            SignalRole::Share {
+                secret: SecretId(0),
+                share: 1,
+                bit: 1,
+            },
+        );
+        let q0 = builder.register(s0);
+        let q1 = builder.register(s1);
+        builder.output("q0", q0);
+        builder.output("q1", q1);
+        let Ok(netlist) = builder.build() else {
+            // The builder may reject the sparse sharing outright, which
+            // is an equally typed (non-panicking) surface.
+            return;
+        };
+        let result = FixedVsRandom::new(&netlist, config(1_000)).try_run();
+        match result {
+            Err(CampaignError::MalformedShares { secret, detail }) => {
+                assert_eq!(secret, SecretId(0));
+                assert!(detail.contains("no wire"), "{detail}");
+            }
+            Err(CampaignError::Netlist(_)) => {} // validate() caught it first
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn retained_tables_reproduce_the_reported_statistics() {
         let netlist = blatantly_leaky();
         let (report, tables) = FixedVsRandom::new(&netlist, config(20_000))
@@ -2072,37 +739,11 @@ mod tests {
             match crate::stats::g_test(&table.g_columns()) {
                 Some(test) => {
                     assert_eq!(test.statistic, result.g_statistic, "{}", table.label);
-                    assert_eq!(test.df, result.df);
+                    assert_eq!(test.df as f64, result.df);
                     assert_eq!(test.minus_log10_p, result.minus_log10_p);
                 }
                 None => assert!(!result.testable),
             }
-        }
-    }
-
-    #[test]
-    fn retained_tables_are_identical_across_thread_counts() {
-        let netlist = blatantly_leaky();
-        let run = |threads: usize| {
-            let (_, tables) = FixedVsRandom::new(
-                &netlist,
-                EvaluationConfig {
-                    threads,
-                    ..config(20_000)
-                },
-            )
-            .try_run_with_tables()
-            .expect("valid campaign");
-            tables
-        };
-        let single = run(1);
-        let sharded = run(2);
-        assert_eq!(single.len(), sharded.len());
-        for (a, b) in single.iter().zip(&sharded) {
-            assert_eq!(a.label, b.label);
-            assert_eq!(a.columns, b.columns);
-            assert_eq!(a.overflow, b.overflow);
-            assert_eq!(a.samples, b.samples);
         }
     }
 
@@ -2182,231 +823,6 @@ mod tests {
         .try_run()
         .expect("campaign");
         assert!(!report.passed());
-    }
-
-    #[test]
-    fn checkpoints_record_trajectories_and_emit_events() {
-        use mmaes_telemetry::MemorySink;
-        let netlist = blatantly_leaky();
-        let sink = MemorySink::new();
-        let collected = sink.events();
-        let report = FixedVsRandom::new(
-            &netlist,
-            EvaluationConfig {
-                traces: 20_000,
-                warmup_cycles: 3,
-                checkpoints: 4,
-                ..EvaluationConfig::default()
-            },
-        )
-        .with_observer(Observer::single(sink))
-        .try_run()
-        .expect("campaign");
-
-        let worst = report.worst().expect("results");
-        assert!(worst.trajectory.len() >= 2, "{:?}", worst.trajectory);
-        for pair in worst.trajectory.windows(2) {
-            assert!(pair[0].0 < pair[1].0, "trace counts must increase");
-        }
-        assert!(worst.trajectory.last().expect("points").0 <= report.traces);
-
-        let events = collected.lock().unwrap();
-        assert!(matches!(
-            events.first(),
-            Some(Event::CampaignStarted { .. })
-        ));
-        assert!(events
-            .iter()
-            .any(|event| matches!(event, Event::CampaignCheckpoint(_))));
-        assert!(events
-            .iter()
-            .any(|event| matches!(event, Event::ProbeFlagged { .. })));
-        assert!(events
-            .iter()
-            .any(|event| matches!(event, Event::SimProgress { .. })));
-        assert!(matches!(
-            events.last(),
-            Some(Event::CampaignFinished { passed: false, .. })
-        ));
-    }
-
-    #[test]
-    fn early_stop_cuts_the_trace_budget_on_decisive_leak() {
-        let netlist = blatantly_leaky();
-        let report = FixedVsRandom::new(
-            &netlist,
-            EvaluationConfig {
-                traces: 64_000,
-                warmup_cycles: 3,
-                checkpoints: 16,
-                early_stop: true,
-                ..EvaluationConfig::default()
-            },
-        )
-        .try_run()
-        .expect("campaign");
-        assert!(!report.passed());
-        assert!(report.early_stopped);
-        assert!(
-            report.traces < 64_000,
-            "stopped at {} traces",
-            report.traces
-        );
-    }
-
-    #[test]
-    fn default_config_keeps_the_fast_path_trajectory_free() {
-        let netlist = properly_masked();
-        let report = FixedVsRandom::new(&netlist, config(1_000))
-            .try_run()
-            .expect("campaign");
-        assert!(report
-            .results
-            .iter()
-            .all(|result| result.trajectory.is_empty()));
-        assert!(!report.early_stopped);
-    }
-
-    #[test]
-    fn trajectory_of_a_strong_leak_is_monotone_for_a_deterministic_seed() {
-        // The G statistic of a genuine leak accumulates with the sample
-        // count, so the running -log10(p) of the worst probe must grow
-        // checkpoint over checkpoint (the seed fixes the sampling, so
-        // this is exact, not probabilistic).
-        let netlist = blatantly_leaky();
-        let report = FixedVsRandom::new(
-            &netlist,
-            EvaluationConfig {
-                traces: 32_000,
-                warmup_cycles: 3,
-                checkpoints: 8,
-                ..EvaluationConfig::default()
-            },
-        )
-        .try_run()
-        .expect("campaign");
-        let worst = report.worst().expect("results");
-        assert!(worst.trajectory.len() >= 4, "{:?}", worst.trajectory);
-        for pair in worst.trajectory.windows(2) {
-            assert!(pair[0].0 < pair[1].0, "trace counts must increase");
-            assert!(
-                pair[1].1 >= pair[0].1,
-                "-log10(p) regressed: {:?}",
-                worst.trajectory
-            );
-        }
-        assert!(worst.trajectory.last().expect("points").1 <= worst.minus_log10_p);
-    }
-
-    #[test]
-    fn tiny_table_cap_pools_overflow_without_losing_the_leak() {
-        // max_table_keys bounds per-probe memory; once the cap is hit,
-        // further keys land in the overflow bucket. The bucket is one
-        // more contingency column, so a blatant leak survives even an
-        // absurdly small cap.
-        let netlist = blatantly_leaky();
-        let report = FixedVsRandom::new(
-            &netlist,
-            EvaluationConfig {
-                traces: 20_000,
-                warmup_cycles: 3,
-                max_table_keys: 1,
-                ..EvaluationConfig::default()
-            },
-        )
-        .try_run()
-        .expect("campaign");
-        assert!(!report.passed(), "{report}");
-        for result in &report.results {
-            assert!(result.distinct_keys <= 1, "cap violated: {result:?}");
-        }
-    }
-
-    #[test]
-    fn sharded_campaign_is_byte_identical_to_single_threaded() {
-        let netlist = blatantly_leaky();
-        let base = EvaluationConfig {
-            traces: 20_000,
-            warmup_cycles: 3,
-            checkpoints: 4,
-            ..EvaluationConfig::default()
-        };
-        let single = FixedVsRandom::new(&netlist, base.clone())
-            .try_run()
-            .expect("campaign");
-        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 4, ..base })
-            .try_run()
-            .expect("campaign");
-        assert_eq!(single.results, sharded.results);
-        assert_eq!(single.traces, sharded.traces);
-        assert_eq!(single.cell_evals, sharded.cell_evals);
-        assert_eq!(single.to_csv(), sharded.to_csv());
-    }
-
-    #[test]
-    fn sharded_overflow_tables_match_single_threaded() {
-        // The nastiest determinism case: with a tiny table cap, *which*
-        // keys claim the last slots depends on insertion order. The
-        // per-batch sorted-runs aggregation plus in-order folding makes
-        // that order a function of the batch sequence alone.
-        let netlist = blatantly_leaky();
-        let base = EvaluationConfig {
-            traces: 20_000,
-            warmup_cycles: 3,
-            max_table_keys: 1,
-            ..EvaluationConfig::default()
-        };
-        let single = FixedVsRandom::new(&netlist, base.clone())
-            .try_run()
-            .expect("campaign");
-        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 3, ..base })
-            .try_run()
-            .expect("campaign");
-        assert_eq!(single.results, sharded.results);
-    }
-
-    #[test]
-    fn sharded_early_stop_matches_single_threaded() {
-        // Early stop is decided at a fold-side checkpoint, so the
-        // stopping batch — and therefore the reported trace count — is
-        // identical no matter how many workers were still simulating.
-        let netlist = blatantly_leaky();
-        let base = EvaluationConfig {
-            traces: 64_000,
-            warmup_cycles: 3,
-            checkpoints: 16,
-            early_stop: true,
-            ..EvaluationConfig::default()
-        };
-        let single = FixedVsRandom::new(&netlist, base.clone())
-            .try_run()
-            .expect("campaign");
-        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 4, ..base })
-            .try_run()
-            .expect("campaign");
-        assert!(sharded.early_stopped);
-        assert_eq!(single.traces, sharded.traces);
-        assert_eq!(single.results, sharded.results);
-    }
-
-    #[test]
-    fn interpreted_evaluator_reproduces_the_compiled_report() {
-        let netlist = blatantly_leaky();
-        let base = config(10_000);
-        let compiled = FixedVsRandom::new(&netlist, base.clone())
-            .try_run()
-            .expect("campaign");
-        let interpreted = FixedVsRandom::new(
-            &netlist,
-            EvaluationConfig {
-                evaluator: EvaluatorMode::Interpreted,
-                ..base
-            },
-        )
-        .try_run()
-        .expect("campaign");
-        assert_eq!(compiled.results, interpreted.results);
-        assert_eq!(compiled.cell_evals, interpreted.cell_evals);
     }
 
     #[test]

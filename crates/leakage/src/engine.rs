@@ -1,0 +1,1610 @@
+//! The staged campaign engine: one scheduler behind every run path.
+//!
+//! A campaign is a pipeline of stages —
+//!
+//! ```text
+//! batch source → simulate → tabulate → fold → checkpoint/health/snapshot
+//! ```
+//!
+//! — and the engine runs that pipeline under one of two
+//! [`FoldProtocol`]s. **Ordered** folding moves per-batch observation
+//! runs across a channel and absorbs them in strict batch order (the
+//! hashed tabulator needs this: which keys win the last table slots
+//! under `max_table_keys` depends on insertion order). **Commutative**
+//! folding lets workers absorb into thread-local dense shards and
+//! merges them once per checkpoint window (a dense table can never
+//! overflow its cap, so its counts are plain integer sums and fold
+//! order is irrelevant). Both protocols funnel every frontier advance
+//! through [`Engine::after_batch`] — the single checkpoint / health /
+//! snapshot / early-stop / interrupt decision point — which is what
+//! makes reports, trajectories and snapshots byte-identical across
+//! protocols, thread counts, evaluators and tabulators.
+//!
+//! Supervision (panic boundaries, bounded retries, rebuilt simulators,
+//! heartbeat watchdogs, degraded-sink snapshots) is integrated here
+//! once; `campaign.rs` is left with configuration, the builder API and
+//! report assembly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+use mmaes_netlist::{Netlist, SecretId, WireId};
+use mmaes_sim::{SimStats, Simulator, LANES};
+use mmaes_telemetry::{
+    Checkpoint, Event, Observer, PerfRecorder, ProbeHealth, ProbePoint, Stopwatch,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::campaign::CampaignError;
+use crate::config::{CampaignMode, EvaluationConfig, SecretDomain, DECISIVE_MARGIN};
+use crate::health;
+use crate::probe::{ProbeModel, ProbeSet};
+use crate::snapshot::{self, CampaignSnapshot, TableSnapshot};
+use crate::stats::pooling_summary;
+use crate::supervisor::{self, RetryQueue};
+use crate::tabulate::{Table, TabulatorMode};
+
+/// Probing sets carried per checkpoint event: the top sets by running
+/// `-log10(p)` plus every set over the threshold.
+pub(crate) const CHECKPOINT_TOP_PROBES: usize = 8;
+
+/// Refill granularity of [`BufferedRng`], in `u64` words.
+const RNG_BLOCK: usize = 256;
+
+/// Watchdog granularity of the sharded coordinator: how often it wakes
+/// from `recv` to scan heartbeats and check for a fatal worker verdict.
+const WATCHDOG_TICK_MS: u64 = 100;
+
+/// Batches per claim in the dense windowed protocol: workers take
+/// multi-batch chunks from the shared counter to amortize claim
+/// contention. Chunk size cannot perturb results — absorption into
+/// thread-local dense tables is commutative — so this is purely a
+/// throughput knob.
+const DENSE_CHUNK: u64 = 4;
+
+/// How completed batches reach the campaign's tables.
+///
+/// Selected per campaign from the table stores actually in play (see
+/// [`Engine::run`]): the hashed reference store can overflow its key
+/// cap, making absorption order-sensitive, so it requires `Ordered`;
+/// an all-dense campaign (the [`TabulatorMode::Dense`] fast path when
+/// every probing set's key space fits the cap) upgrades to
+/// `Commutative`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FoldProtocol {
+    /// Batch outcomes cross a channel and fold in strict batch order
+    /// through a reorder buffer — the general protocol, correct for
+    /// every table store.
+    Ordered,
+    /// Workers absorb into thread-local dense shards; shards merge at
+    /// checkpoint-window boundaries, where the frontier state is
+    /// bit-identical to the ordered fold's at the same batch.
+    Commutative,
+}
+
+/// Derives the RNG for one batch from the campaign seed and the batch
+/// index (a splitmix64-style mix). Making every batch's randomness a
+/// pure function of `(seed, batch)` is what lets an interrupted
+/// campaign resume bit-identically: no draw-count bookkeeping can work,
+/// because secret sampling uses rejection (variable draws per batch).
+fn batch_rng(seed: u64, batch: u64) -> StdRng {
+    let mut mixed = seed ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    mixed = (mixed ^ (mixed >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    mixed = (mixed ^ (mixed >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    StdRng::seed_from_u64(mixed ^ (mixed >> 31))
+}
+
+/// A block-buffered wrapper over the per-batch [`StdRng`]: refills 256
+/// words in one tight pass and serves draws from the buffer, amortizing
+/// the per-draw generator stepping across the batch's randomness
+/// (shares, masks, controls). Emits the *identical* word stream — every
+/// `gen`/`gen_range` draw in this crate consumes exactly one `next_u64`
+/// — so the trace stream stays a pure function of `(seed, batch)`;
+/// unused buffered words at batch end are simply discarded (each batch
+/// derives a fresh RNG anyway).
+struct BufferedRng {
+    inner: StdRng,
+    buffer: [u64; RNG_BLOCK],
+    cursor: usize,
+}
+
+impl BufferedRng {
+    fn new(inner: StdRng) -> Self {
+        BufferedRng {
+            inner,
+            buffer: [0; RNG_BLOCK],
+            cursor: RNG_BLOCK,
+        }
+    }
+}
+
+impl RngCore for BufferedRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor == RNG_BLOCK {
+            for word in &mut self.buffer {
+                *word = self.inner.next_u64();
+            }
+            self.cursor = 0;
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+/// Builds the contingency table for one probing set under the
+/// configured [`TabulatorMode`]: a dense direct-indexed table when the
+/// set's full key space fits the cap (it then cannot overflow, which is
+/// what makes dense absorption commutative), the hashed reference
+/// otherwise.
+pub(crate) fn make_table(set: &ProbeSet, config: &EvaluationConfig) -> Table {
+    match config.tabulator {
+        TabulatorMode::Dense => set
+            .dense_index_width(config.model, config.max_table_keys)
+            .map_or_else(Table::hashed, Table::dense),
+        TabulatorMode::Hashed => Table::hashed(),
+    }
+}
+
+/// Assembles the serializable campaign state from the live tables.
+/// Takes the tables `&mut` so the serialized columns come from (and
+/// prime) each table's memoized sorted snapshot: a checkpoint's
+/// statistic sweep and its snapshot share one sort per table.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_snapshot(
+    fingerprint: u64,
+    statistic: crate::stats::StatisticKind,
+    batches_done: u64,
+    total_batches: u64,
+    cell_evals: u64,
+    tables: &mut [Table],
+    flagged: &[bool],
+    trajectories: &[Vec<(u64, f64)>],
+) -> CampaignSnapshot {
+    CampaignSnapshot {
+        config_fingerprint: fingerprint,
+        statistic,
+        batches_done,
+        total_batches,
+        cell_evals,
+        tables: tables
+            .iter_mut()
+            .enumerate()
+            .map(|(index, table)| {
+                TableSnapshot::from_sorted(
+                    table.sorted_columns().to_vec(),
+                    table.overflow(),
+                    table.samples(),
+                    flagged[index],
+                    &trajectories[index],
+                )
+            })
+            .collect(),
+    }
+}
+
+/// One completed batch: per-probing-set `(key, [fixed, random])` runs
+/// sorted by key, plus the simulator work the batch cost.
+pub(crate) struct BatchOutcome {
+    batch: u64,
+    counts: Vec<Vec<(u128, [u64; 2])>>,
+    stats: SimStats,
+}
+
+/// The coordinator-side campaign state. Only the fold stage mutates it,
+/// and only at batch-frontier advances — which is the whole determinism
+/// argument: any producer (the in-place loop or a worker pool) that
+/// advances the frontier through the same states yields the same bytes.
+/// A side effect worth naming: `batches_done` is always a contiguous
+/// frontier, so every snapshot records exactly the batches
+/// `0..batches_done` — resumable on any thread count.
+pub(crate) struct CampaignState {
+    pub(crate) tables: Vec<Table>,
+    pub(crate) trajectories: Vec<Vec<(u64, f64)>>,
+    pub(crate) flagged: Vec<bool>,
+    pub(crate) batches_done: u64,
+    /// Work from *folded* batches only. Batches a stopping worker pool
+    /// simulated but never folded are excluded, keeping `cell_evals`
+    /// independent of the thread count.
+    pub(crate) folded: SimStats,
+    pub(crate) early_stopped: bool,
+    pub(crate) interrupted: bool,
+    /// Checkpoint snapshot writes exhausted their retry budget: skip
+    /// further interim saves (the final save is still attempted) and
+    /// surface the outage via the degraded registry.
+    pub(crate) snapshot_degraded: bool,
+    pub(crate) last_stats: SimStats,
+    pub(crate) last_elapsed_ms: u64,
+}
+
+impl CampaignState {
+    pub(crate) fn new(probe_sets: &[ProbeSet], config: &EvaluationConfig) -> Self {
+        let probe_set_count = probe_sets.len();
+        CampaignState {
+            tables: probe_sets
+                .iter()
+                .map(|set| make_table(set, config))
+                .collect(),
+            trajectories: vec![Vec::new(); probe_set_count],
+            flagged: vec![false; probe_set_count],
+            batches_done: 0,
+            folded: SimStats::default(),
+            early_stopped: false,
+            interrupted: false,
+            snapshot_degraded: false,
+            last_stats: SimStats::default(),
+            last_elapsed_ms: 0,
+        }
+    }
+}
+
+/// Read-only context the fold stage needs besides the state.
+pub(crate) struct FoldContext<'a> {
+    pub(crate) probe_sets: &'a [ProbeSet],
+    pub(crate) watch: &'a Stopwatch,
+    pub(crate) perf: &'a PerfRecorder,
+    pub(crate) fingerprint: u64,
+    pub(crate) batches: u64,
+    pub(crate) checkpoint_every: u64,
+    pub(crate) prior_cell_evals: u64,
+    /// Fresh randomness the input driver draws per trace, in bits —
+    /// the health layer's randomness-consumption accounting.
+    pub(crate) fresh_bits_per_trace: u64,
+}
+
+/// Runs one batch under supervision, retrying in place: a faulted
+/// attempt (contained panic — injected or real) rebuilds the simulator
+/// and retries after bounded backoff, up to
+/// [`supervisor::MAX_ATTEMPTS`] total attempts. Because the outcome is
+/// a pure function of `(seed, batch)`, a successful retry is
+/// indistinguishable from a fault-free first attempt.
+fn run_batch_supervised<'a>(
+    engine: &Engine<'a>,
+    sim: &mut Simulator<'a>,
+    batch: u64,
+    perf: &PerfRecorder,
+) -> Result<BatchOutcome, CampaignError> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match supervisor::supervised(batch, || engine.run_batch(sim, batch, perf)) {
+            Ok(outcome) => return Ok(outcome),
+            Err(fault) => {
+                if attempts >= supervisor::MAX_ATTEMPTS {
+                    return Err(CampaignError::Worker {
+                        batch,
+                        attempts,
+                        message: fault.to_string(),
+                    });
+                }
+                // The panicked attempt may have torn the simulator
+                // mid-step; rebuild it rather than trust its state.
+                *sim = Simulator::with_evaluator(engine.netlist, engine.config.evaluator);
+                std::thread::sleep(Duration::from_millis(supervisor::backoff_ms(attempts)));
+            }
+        }
+    }
+}
+
+/// [`run_batch_supervised`] for the dense fast path: same retry budget,
+/// same rebuilt-simulator policy, but the outcome is the per-set index
+/// scratch (rewritten whole on every attempt) plus the batch's
+/// `(lane_groups, stats)` — nothing is committed to live tables here.
+fn run_batch_dense_supervised<'a>(
+    engine: &Engine<'a>,
+    sim: &mut Simulator<'a>,
+    batch: u64,
+    perf: &PerfRecorder,
+    indices: &mut [[u32; LANES]],
+) -> Result<(u64, SimStats), CampaignError> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match supervisor::supervised(batch, || {
+            engine.run_batch_dense(sim, batch, perf, &mut *indices)
+        }) {
+            Ok(outcome) => return Ok(outcome),
+            Err(fault) => {
+                if attempts >= supervisor::MAX_ATTEMPTS {
+                    return Err(CampaignError::Worker {
+                        batch,
+                        attempts,
+                        message: fault.to_string(),
+                    });
+                }
+                *sim = Simulator::with_evaluator(engine.netlist, engine.config.evaluator);
+                std::thread::sleep(Duration::from_millis(supervisor::backoff_ms(attempts)));
+            }
+        }
+    }
+}
+
+/// The staged scheduler: everything needed to simulate, tabulate and
+/// fold batches, shared read-only across worker threads. Splitting this
+/// out of the builder is what lets `std::thread::scope` workers borrow
+/// the input-driving tables while the coordinator keeps `&mut` access
+/// to the campaign state.
+pub(crate) struct Engine<'a> {
+    pub(crate) netlist: &'a Netlist,
+    pub(crate) config: &'a EvaluationConfig,
+    pub(crate) probe_sets: &'a [ProbeSet],
+    /// Per secret: `shares[share][bit]` wires (dense).
+    pub(crate) secrets: &'a [(SecretId, Vec<Vec<WireId>>)],
+    pub(crate) free_masks: &'a [WireId],
+    pub(crate) controls: &'a [WireId],
+    pub(crate) nonzero_byte_buses: &'a [Vec<WireId>],
+    pub(crate) control_schedules: &'a [(WireId, Vec<bool>)],
+    pub(crate) observer: &'a Observer,
+}
+
+impl Engine<'_> {
+    /// Runs the sampling pipeline from `state.batches_done` to
+    /// `context.batches` (or an early stop / interrupt / fatal fault).
+    ///
+    /// Dispatches on the execution shape: in-place (one simulator on
+    /// the calling thread) versus sharded (a supervised worker pool),
+    /// crossed with the [`FoldProtocol`] the table stores license —
+    /// `Commutative` when every table is dense, `Ordered` otherwise
+    /// (checked after resume, because restoring a foreign snapshot can
+    /// downgrade a table to the hashed store). All four paths drive the
+    /// same stages and funnel every frontier advance through
+    /// [`Engine::after_batch`], so their outputs are byte-identical.
+    pub(crate) fn run(
+        &self,
+        context: &FoldContext<'_>,
+        state: &mut CampaignState,
+    ) -> Result<(), CampaignError> {
+        if state.batches_done >= context.batches {
+            return Ok(());
+        }
+        let threads = self.config.threads.max(1);
+        let protocol = if state.tables.iter().all(Table::is_dense) {
+            FoldProtocol::Commutative
+        } else {
+            FoldProtocol::Ordered
+        };
+        match (protocol, threads) {
+            (FoldProtocol::Commutative, 1) => self.run_in_place_dense(context, state),
+            (FoldProtocol::Ordered, 1) => self.run_in_place(context, state),
+            (FoldProtocol::Commutative, threads) => self.run_sharded_dense(context, state, threads),
+            (FoldProtocol::Ordered, threads) => self.run_sharded(context, state, threads),
+        }
+    }
+
+    /// Simulates one batch on `sim` and aggregates its observations.
+    /// A pure function of `(seed, batch)` — which simulator runs it,
+    /// on which thread, in which order, cannot change the outcome.
+    fn run_batch(&self, sim: &mut Simulator, batch: u64, perf: &PerfRecorder) -> BatchOutcome {
+        let config = self.config;
+        // Each batch derives its own RNG from (seed, batch), so the
+        // trace stream is position-addressable: resume is exact and
+        // sharding across threads cannot perturb it. Block-buffering
+        // amortizes generator stepping without changing the stream.
+        let mut rng = BufferedRng::new(batch_rng(config.seed, batch));
+        // Lane → population: bit set = random population.
+        let lane_groups: u64 = rng.gen();
+        let before = sim.counters();
+        sim.reset();
+        {
+            let _span = perf.span("simulate");
+            for cycle in 0..=config.warmup_cycles {
+                self.drive_cycle(sim, cycle, lane_groups, &mut rng);
+                if cycle < config.warmup_cycles {
+                    sim.step();
+                } else {
+                    sim.eval();
+                }
+            }
+        }
+        // Observation: one sample per lane per probing set, aggregated
+        // into key-sorted runs. The sort makes the batch's contribution
+        // canonical, so table insertion order (and thus which keys win
+        // the last slots under `max_table_keys`) depends only on the
+        // batch sequence — the overflow-determinism half of the
+        // byte-identity guarantee.
+        let _span = perf.span("tabulate");
+        let counts = self
+            .probe_sets
+            .iter()
+            .map(|set| {
+                let keys = observation_keys(sim, set, config.model);
+                let mut samples = [(0u128, 0usize); LANES];
+                for (lane, slot) in samples.iter_mut().enumerate() {
+                    *slot = (keys[lane], ((lane_groups >> lane) & 1) as usize);
+                }
+                samples.sort_unstable_by_key(|&(key, _)| key);
+                let mut runs: Vec<(u128, [u64; 2])> = Vec::new();
+                for (key, group) in samples {
+                    match runs.last_mut() {
+                        Some((last, cell)) if *last == key => cell[group] += 1,
+                        _ => {
+                            let mut cell = [0u64; 2];
+                            cell[group] = 1;
+                            runs.push((key, cell));
+                        }
+                    }
+                }
+                runs
+            })
+            .collect();
+        BatchOutcome {
+            batch,
+            counts,
+            stats: sim.counters().delta_since(before),
+        }
+    }
+
+    /// Simulates one batch and extracts per-probing-set packed indices
+    /// into the caller's scratch — the dense fast path. Identical
+    /// simulation to [`Engine::run_batch`], but the tabulation side
+    /// does no sorting, no run-length encoding and no allocation: each
+    /// set's 64 lane observations become 64 `u32` indices (bit-for-bit
+    /// the zero-extended `u128` keys, see [`observation_indices`]) for
+    /// the caller to commit with [`Table::absorb_indices`]. Extraction
+    /// is the fallible phase and runs inside the supervisor's panic
+    /// boundary; the commit into live tables happens outside it, only
+    /// after the whole batch succeeded — a retried attempt rewrites the
+    /// scratch completely, so a torn attempt can never half-count a
+    /// batch.
+    fn run_batch_dense(
+        &self,
+        sim: &mut Simulator,
+        batch: u64,
+        perf: &PerfRecorder,
+        indices: &mut [[u32; LANES]],
+    ) -> (u64, SimStats) {
+        let config = self.config;
+        let mut rng = BufferedRng::new(batch_rng(config.seed, batch));
+        let lane_groups: u64 = rng.gen();
+        let before = sim.counters();
+        sim.reset();
+        {
+            let _span = perf.span("simulate");
+            for cycle in 0..=config.warmup_cycles {
+                self.drive_cycle(sim, cycle, lane_groups, &mut rng);
+                if cycle < config.warmup_cycles {
+                    sim.step();
+                } else {
+                    sim.eval();
+                }
+            }
+        }
+        let _span = perf.span("tabulate");
+        for (set, slot) in self.probe_sets.iter().zip(indices.iter_mut()) {
+            observation_indices(sim, set, config.model, slot);
+        }
+        (lane_groups, sim.counters().delta_since(before))
+    }
+
+    /// Drives every primary input for one cycle: shares re-randomized
+    /// around the per-lane (fixed or random) secret, masks uniform,
+    /// controls per their schedules.
+    fn drive_cycle(
+        &self,
+        sim: &mut Simulator,
+        cycle: usize,
+        lane_groups: u64,
+        rng: &mut BufferedRng,
+    ) {
+        let config = self.config;
+        let fixed = config.fixed_secret;
+        for (_, shares) in self.secrets {
+            let bit_count = shares[0].len();
+            let value_mask = if bit_count >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bit_count) - 1
+            };
+            let mut per_lane_value = [0u64; LANES];
+            for (lane, value) in per_lane_value.iter_mut().enumerate() {
+                *value = if (lane_groups >> lane) & 1 == 1 {
+                    match config.mode {
+                        CampaignMode::FixedVsFixed { other } => other & value_mask,
+                        CampaignMode::FixedVsRandom => match config.secret_domain {
+                            SecretDomain::Uniform => rng.gen::<u64>() & value_mask,
+                            SecretDomain::NonZero => loop {
+                                let candidate = rng.gen::<u64>() & value_mask;
+                                if candidate != 0 {
+                                    break candidate;
+                                }
+                            },
+                        },
+                    }
+                } else {
+                    fixed & value_mask
+                };
+            }
+            // Shares 1..d random; share 0 completes the XOR.
+            let mut remaining = per_lane_value;
+            for share_bus in shares.iter().skip(1) {
+                let mut random_share = [0u64; LANES];
+                for (lane, value) in random_share.iter_mut().enumerate() {
+                    *value = rng.gen::<u64>() & value_mask;
+                    remaining[lane] ^= *value;
+                }
+                sim.set_bus_per_lane(share_bus, &random_share);
+            }
+            sim.set_bus_per_lane(&shares[0], &remaining);
+        }
+        for &mask in self.free_masks {
+            sim.set_input(mask, rng.gen());
+        }
+        for bus in self.nonzero_byte_buses {
+            let mut per_lane = [0u64; LANES];
+            for value in &mut per_lane {
+                *value = rng.gen_range(1..=255u64);
+            }
+            sim.set_bus_per_lane(bus, &per_lane);
+        }
+        for &control in self.controls {
+            sim.set_input(control, 0);
+        }
+        for (wire, pattern) in self.control_schedules {
+            let value = pattern[cycle.min(pattern.len() - 1)];
+            sim.set_input(*wire, if value { u64::MAX } else { 0 });
+        }
+    }
+
+    /// Folds one completed batch into the campaign state: contingency
+    /// tables first, then (on checkpoint boundaries) the running
+    /// statistic sweep, events, snapshot and early-stop decision, then
+    /// the cooperative-interrupt check. Batches MUST be folded in
+    /// strictly increasing batch order — that invariant (not any
+    /// property of the producers) is what makes multi-threaded
+    /// campaigns byte-identical to single-threaded ones. Returns `true`
+    /// when the campaign should stop before `context.batches` (early
+    /// stop or interrupt). Infallible: a checkpoint snapshot that
+    /// exhausts its retry budget degrades (recorded in the registry,
+    /// later interim saves skipped) rather than aborting a healthy
+    /// campaign.
+    fn fold_batch(
+        &self,
+        context: &FoldContext<'_>,
+        state: &mut CampaignState,
+        outcome: BatchOutcome,
+    ) -> bool {
+        let config = self.config;
+        let perf = context.perf;
+        debug_assert_eq!(outcome.batch, state.batches_done, "fold order violated");
+        {
+            let _span = perf.span("merge");
+            for (runs, table) in outcome.counts.iter().zip(&mut state.tables) {
+                table.absorb_runs(runs, config.max_table_keys);
+            }
+        }
+        state.folded.cycles += outcome.stats.cycles;
+        state.folded.cell_evals += outcome.stats.cell_evals;
+        state.batches_done += 1;
+        self.after_batch(context, state)
+    }
+
+    /// Everything a batch-frontier advance triggers besides absorption:
+    /// the interim checkpoint (running statistic sweep, events,
+    /// snapshot, early-stop decision) and the cooperative-interrupt
+    /// check, purely as a function of `state.batches_done`. Shared
+    /// verbatim by the batch-ordered fold and the dense windowed
+    /// protocol (whose window boundaries coincide exactly with
+    /// checkpoint multiples), which is what keeps checkpoints,
+    /// trajectories, early stops and interrupt frontiers byte-identical
+    /// between them. Returns `true` when the campaign should stop
+    /// before `context.batches`.
+    fn after_batch(&self, context: &FoldContext<'_>, state: &mut CampaignState) -> bool {
+        let config = self.config;
+        let perf = context.perf;
+
+        // Interim checkpoint: running statistic per probing set,
+        // events, and the early-stop decision. Skipped on the last
+        // batch (the final statistics cover it).
+        if context.checkpoint_every > 0
+            && state.batches_done.is_multiple_of(context.checkpoint_every)
+            && state.batches_done < context.batches
+        {
+            let _span = perf.span("g_test");
+            let statistic = config.statistic.as_statistic();
+            let traces_so_far = state.batches_done * LANES as u64;
+            let health_enabled = self.observer.enabled();
+            let mut probe_healths: Vec<ProbeHealth> = Vec::with_capacity(if health_enabled {
+                state.tables.len()
+            } else {
+                0
+            });
+            let mut running: Vec<(usize, f64)> = Vec::with_capacity(context.probe_sets.len());
+            for (index, table) in state.tables.iter_mut().enumerate() {
+                let overflow = table.overflow();
+                let minus_log10_p = statistic
+                    .evaluate(table.sorted_columns(), overflow)
+                    .map(|test| test.minus_log10_p)
+                    .unwrap_or(0.0);
+                state.trajectories[index].push((traces_so_far, minus_log10_p));
+                running.push((index, minus_log10_p));
+                if health_enabled {
+                    probe_healths.push(health::probe_health(
+                        &context.probe_sets[index].label,
+                        &pooling_summary(&table.g_columns()),
+                        minus_log10_p,
+                        &state.trajectories[index],
+                        traces_so_far,
+                        config.threshold,
+                    ));
+                }
+                if minus_log10_p > config.threshold && !state.flagged[index] {
+                    state.flagged[index] = true;
+                    if self.observer.enabled() {
+                        self.observer.emit(&Event::ProbeFlagged {
+                            label: context.probe_sets[index].label.clone(),
+                            minus_log10_p,
+                            traces: traces_so_far,
+                        });
+                    }
+                }
+            }
+            running.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let (worst_index, max_minus_log10_p) = running.first().copied().unwrap_or((0, 0.0));
+            if self.observer.enabled() {
+                let probes: Vec<ProbePoint> = running
+                    .iter()
+                    .enumerate()
+                    .take_while(|&(rank, &(_, value))| {
+                        rank < CHECKPOINT_TOP_PROBES || value > config.threshold
+                    })
+                    .map(|(_, &(index, value))| ProbePoint {
+                        label: context.probe_sets[index].label.clone(),
+                        minus_log10_p: value,
+                        leaking: value > config.threshold,
+                    })
+                    .collect();
+                self.observer.emit(&Event::CampaignCheckpoint(Checkpoint {
+                    traces: traces_so_far,
+                    traces_target: context.batches * LANES as u64,
+                    elapsed_ms: context.watch.elapsed_ms(),
+                    traces_per_sec: context.watch.rate(traces_so_far),
+                    max_minus_log10_p,
+                    worst_label: context
+                        .probe_sets
+                        .get(worst_index)
+                        .map(|set| set.label.clone())
+                        .unwrap_or_default(),
+                    probes,
+                }));
+                let stats = state.folded;
+                let elapsed_ms = context.watch.elapsed_ms();
+                let interval = stats
+                    .delta_since(state.last_stats)
+                    .rates(elapsed_ms.saturating_sub(state.last_elapsed_ms) as f64 / 1000.0);
+                state.last_stats = stats;
+                state.last_elapsed_ms = elapsed_ms;
+                self.observer.emit(&Event::SimProgress {
+                    cycles: stats.cycles,
+                    cell_evals: stats.cell_evals,
+                    cycles_per_sec: interval.cycles_per_sec,
+                    cell_evals_per_sec: interval.cell_evals_per_sec,
+                    lane_utilization: config.traces.min(traces_so_far) as f64
+                        / traces_so_far as f64,
+                });
+                self.observer.emit(&Event::Health(health::assess(
+                    probe_healths,
+                    traces_so_far,
+                    context.batches * LANES as u64,
+                    config.threshold,
+                    context.fresh_bits_per_trace,
+                    config.statistic,
+                    CHECKPOINT_TOP_PROBES,
+                )));
+            }
+            if let Some(path) = &config.durability.snapshot_path {
+                if !state.snapshot_degraded {
+                    let _span = perf.span("snapshot");
+                    let saved = build_snapshot(
+                        context.fingerprint,
+                        config.statistic,
+                        state.batches_done,
+                        context.batches,
+                        context.prior_cell_evals + state.folded.cell_evals,
+                        &mut state.tables,
+                        &state.flagged,
+                        &state.trajectories,
+                    );
+                    if let Err(error) = snapshot::save_with_retry(&saved, path) {
+                        // Interim saves are an amenity; losing them must
+                        // not kill a healthy campaign. Degrade: skip
+                        // further interim saves (the final save is still
+                        // attempted) and surface the outage.
+                        state.snapshot_degraded = true;
+                        mmaes_telemetry::degraded::mark(
+                            "snapshot",
+                            &format!("checkpoint at batch {}: {error}", state.batches_done),
+                        );
+                    }
+                }
+            }
+            if config.early_stop && max_minus_log10_p >= DECISIVE_MARGIN * config.threshold {
+                state.early_stopped = true;
+                return true;
+            }
+        }
+
+        // Cooperative interruption: a signal flag (set from a
+        // SIGINT/SIGTERM handler) or a deterministic batch cap. The
+        // folded prefix is contiguous, so the state is consistent; the
+        // final snapshot persists it.
+        let signalled = config
+            .durability
+            .interrupt
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed));
+        let capped = config
+            .durability
+            .stop_after_batches
+            .is_some_and(|cap| state.batches_done >= cap);
+        if (signalled || capped) && state.batches_done < context.batches {
+            state.interrupted = true;
+            return true;
+        }
+        false
+    }
+
+    /// In-place single-threaded ordered fold: one simulator, fold as we
+    /// go. Faulted batches are retried in place on a rebuilt simulator
+    /// (same supervision budget as the pool).
+    fn run_in_place(
+        &self,
+        context: &FoldContext<'_>,
+        state: &mut CampaignState,
+    ) -> Result<(), CampaignError> {
+        let mut sim = Simulator::with_evaluator(self.netlist, self.config.evaluator);
+        for batch in state.batches_done..context.batches {
+            match run_batch_supervised(self, &mut sim, batch, context.perf) {
+                Ok(outcome) => {
+                    if self.fold_batch(context, state, outcome) {
+                        break;
+                    }
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        Ok(())
+    }
+
+    /// The single-threaded dense fast path: one simulator, per-set
+    /// `u32` index scratch reused across batches, observations absorbed
+    /// straight into the live tables — no hashing, no sorting, no
+    /// per-batch allocation. Extraction (the fallible phase) runs under
+    /// supervision; the commit happens only after the whole batch
+    /// succeeded, so retried batches count exactly once.
+    fn run_in_place_dense(
+        &self,
+        context: &FoldContext<'_>,
+        state: &mut CampaignState,
+    ) -> Result<(), CampaignError> {
+        let perf = context.perf;
+        let mut sim = Simulator::with_evaluator(self.netlist, self.config.evaluator);
+        let mut indices = vec![[0u32; LANES]; context.probe_sets.len()];
+        for batch in state.batches_done..context.batches {
+            let (lane_groups, stats) =
+                run_batch_dense_supervised(self, &mut sim, batch, perf, &mut indices)?;
+            {
+                let _span = perf.span("tabulate");
+                for (slot, table) in indices.iter().zip(&mut state.tables) {
+                    table.absorb_indices(slot, lane_groups);
+                }
+            }
+            state.folded.cycles += stats.cycles;
+            state.folded.cell_evals += stats.cell_evals;
+            state.batches_done += 1;
+            if self.after_batch(context, state) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Shards batches across a supervised worker pool under the ordered
+    /// fold protocol. Workers claim batch indices from a shared atomic
+    /// counter (quarantined retries first) and each own a private
+    /// [`Simulator`]; the coordinator (this thread) reorders completed
+    /// batches through a `BTreeMap` buffer and folds them in strict
+    /// batch order, so the result is byte-identical to the in-place
+    /// single-threaded loop.
+    ///
+    /// Fault containment (see [`crate::supervisor`]): every batch
+    /// attempt runs inside a panic boundary. A faulted batch is pushed
+    /// onto a shared retry queue — the next free (healthy) worker
+    /// rebuilds its simulator, backs off briefly and re-runs it; a
+    /// panicked attempt delivers no outcome, so the fold sees each
+    /// batch exactly once and reports stay byte-identical under
+    /// injected faults. A batch that exhausts
+    /// [`supervisor::MAX_ATTEMPTS`] is fatal: the pool stops and the
+    /// campaign returns [`CampaignError::Worker`]. The coordinator
+    /// doubles as a heartbeat watchdog, flagging shards whose in-flight
+    /// batch is overdue into the degraded registry (advisory only —
+    /// wall-clock diagnostics never reach the report).
+    ///
+    /// Each worker records perf into its own recorder, merged into the
+    /// campaign recorder at join (per-phase totals then sum CPU time
+    /// across workers, which can exceed wall time).
+    fn run_sharded(
+        &self,
+        context: &FoldContext<'_>,
+        state: &mut CampaignState,
+        threads: usize,
+    ) -> Result<(), CampaignError> {
+        let next_batch = AtomicU64::new(state.batches_done);
+        let stop = AtomicBool::new(false);
+        let retry_queue = RetryQueue::new();
+        let heartbeats = supervisor::Heartbeats::new(threads);
+        let stall_timeout_ms = supervisor::stall_timeout_ms();
+        // First fatal worker verdict wins; later ones are dropped.
+        let fatal: Mutex<Option<CampaignError>> = Mutex::new(None);
+        // Bounded channel: backpressure keeps the reorder buffer (and
+        // per-worker memory) proportional to the thread count even when
+        // one batch folds slowly (e.g. a checkpoint snapshot).
+        let (sender, receiver) = mpsc::sync_channel::<BatchOutcome>(threads * 2);
+        let perf_enabled = context.perf.is_enabled();
+        let mut result = Ok(());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let sender = sender.clone();
+                    let next_batch = &next_batch;
+                    let stop = &stop;
+                    let retry_queue = &retry_queue;
+                    let heartbeats = &heartbeats;
+                    let fatal = &fatal;
+                    scope.spawn(move || {
+                        let worker_perf = if perf_enabled {
+                            PerfRecorder::enabled()
+                        } else {
+                            PerfRecorder::disabled()
+                        };
+                        let mut sim =
+                            Simulator::with_evaluator(self.netlist, self.config.evaluator);
+                        while !stop.load(Ordering::Acquire) {
+                            // Quarantined batches first: a faulted batch
+                            // must not languish behind the claim
+                            // frontier (the fold is blocked on it).
+                            let (batch, prior_attempts) = match retry_queue.pop() {
+                                Some(claim) => (claim.batch, claim.attempts),
+                                None => {
+                                    let batch = next_batch.fetch_add(1, Ordering::Relaxed);
+                                    if batch >= context.batches {
+                                        break;
+                                    }
+                                    (batch, 0)
+                                }
+                            };
+                            if prior_attempts > 0 {
+                                std::thread::sleep(Duration::from_millis(supervisor::backoff_ms(
+                                    prior_attempts,
+                                )));
+                            }
+                            heartbeats.start(worker, batch);
+                            let attempt = supervisor::supervised(batch, || {
+                                self.run_batch(&mut sim, batch, &worker_perf)
+                            });
+                            heartbeats.idle(worker);
+                            match attempt {
+                                // A closed channel means the coordinator
+                                // stopped (early stop, interrupt or error).
+                                Ok(outcome) => {
+                                    if sender.send(outcome).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(fault) => {
+                                    // The panicked attempt may have torn
+                                    // the simulator mid-step; rebuild it
+                                    // rather than trust its state.
+                                    sim = Simulator::with_evaluator(
+                                        self.netlist,
+                                        self.config.evaluator,
+                                    );
+                                    let attempts = prior_attempts + 1;
+                                    if attempts >= supervisor::MAX_ATTEMPTS {
+                                        let mut slot = fatal
+                                            .lock()
+                                            .unwrap_or_else(|poison| poison.into_inner());
+                                        slot.get_or_insert(CampaignError::Worker {
+                                            batch,
+                                            attempts,
+                                            message: fault.to_string(),
+                                        });
+                                        stop.store(true, Ordering::Release);
+                                        break;
+                                    }
+                                    retry_queue.push(batch, attempts);
+                                }
+                            }
+                        }
+                        worker_perf
+                    })
+                })
+                .collect();
+            drop(sender);
+            // Reorder buffer: outcomes arrive in completion order and
+            // are folded in batch order. A disconnect means every
+            // worker exited — with all batches claimed and sent, that
+            // only happens once the frontier has caught up (or the
+            // pool stopped on a fatal fault, picked up below).
+            let mut pending: BTreeMap<u64, BatchOutcome> = BTreeMap::new();
+            let mut flagged_stall = vec![false; threads];
+            'fold: while state.batches_done < context.batches {
+                let outcome = match receiver.recv_timeout(Duration::from_millis(WATCHDOG_TICK_MS)) {
+                    Ok(outcome) => outcome,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Watchdog tick: advisory stall flags (once
+                        // per worker) and the fatal-verdict check.
+                        for (worker, fault) in heartbeats.stalled(stall_timeout_ms) {
+                            if !flagged_stall[worker] {
+                                flagged_stall[worker] = true;
+                                mmaes_telemetry::degraded::mark(
+                                    "worker",
+                                    &format!("worker {worker}: {fault}"),
+                                );
+                            }
+                        }
+                        let poisoned = fatal.lock().unwrap_or_else(|poison| poison.into_inner());
+                        if poisoned.is_some() {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                };
+                pending.insert(outcome.batch, outcome);
+                while let Some(outcome) = pending.remove(&state.batches_done) {
+                    if self.fold_batch(context, state, outcome) {
+                        break 'fold;
+                    }
+                }
+            }
+            // Shut down: flag first, then close the channel so workers
+            // blocked in `send` observe the disconnect and exit.
+            stop.store(true, Ordering::Release);
+            drop(receiver);
+            for handle in handles {
+                match handle.join() {
+                    Ok(worker_perf) => context.perf.absorb(&worker_perf),
+                    // Unreachable: every batch attempt runs inside the
+                    // supervisor's panic boundary.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            if let Some(error) = fatal
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .take()
+            {
+                result = Err(error);
+            }
+        });
+        result
+    }
+
+    /// Shards batches across workers with **thread-local dense tables**
+    /// and a commutative once-per-window merge — the protocol dense
+    /// absorption licenses (see [`crate::tabulate`]): a dense table can
+    /// never overflow its cap, so its counts are plain integer sums and
+    /// fold order is irrelevant. Workers claim [`DENSE_CHUNK`]-batch
+    /// chunks from an atomic counter and absorb each batch into their
+    /// own shard; nothing crosses a channel per batch, eliminating the
+    /// steady-state `merge` phase and the reorder buffer entirely.
+    ///
+    /// Byte-identity is preserved by *windowing*: the claim frontier
+    /// runs only to the next checkpoint boundary (`checkpoint_every`
+    /// multiple, `stop_after_batches` cap, or the end), the coordinator
+    /// folds every shard exactly there, and [`Engine::after_batch`]
+    /// then sees the same `batches_done` — and bit-identical tables,
+    /// since integer addition is associative — as the single-threaded
+    /// loop does at that batch. Checkpoints, trajectories, snapshots,
+    /// early stops and deterministic interrupts land on identical
+    /// bytes.
+    ///
+    /// Fault containment: each batch retries in place under the
+    /// supervisor's budget (rebuilt simulator, bounded backoff), like
+    /// the single-threaded loop. A batch that exhausts its budget is
+    /// fatal: the window's shard tables are **discarded unmerged**
+    /// (workers stop mid-window, so their union is not a contiguous
+    /// batch range) and the campaign state remains at the last window
+    /// boundary — still contiguous, so the emergency snapshot stays
+    /// valid. The coordinator doubles as the heartbeat watchdog,
+    /// flagging overdue shards into the degraded registry (advisory).
+    fn run_sharded_dense(
+        &self,
+        context: &FoldContext<'_>,
+        state: &mut CampaignState,
+        threads: usize,
+    ) -> Result<(), CampaignError> {
+        let config = self.config;
+        let perf_enabled = context.perf.is_enabled();
+        let heartbeats = supervisor::Heartbeats::new(threads);
+        let stall_timeout_ms = supervisor::stall_timeout_ms();
+        let mut flagged_stall = vec![false; threads];
+        let interrupt = &config.durability.interrupt;
+        // Hoisted across windows: simulators (lowering is one-time
+        // work), per-worker shard tables (drained by each window's
+        // merge) and per-worker perf recorders (absorbed once at exit).
+        let mut sims: Vec<Simulator> = (0..threads)
+            .map(|_| Simulator::with_evaluator(self.netlist, config.evaluator))
+            .collect();
+        let mut shards: Vec<Vec<Table>> = (0..threads)
+            .map(|_| {
+                context
+                    .probe_sets
+                    .iter()
+                    .map(|set| make_table(set, config))
+                    .collect()
+            })
+            .collect();
+        let worker_perfs: Vec<PerfRecorder> = (0..threads)
+            .map(|_| {
+                if perf_enabled {
+                    PerfRecorder::enabled()
+                } else {
+                    PerfRecorder::disabled()
+                }
+            })
+            .collect();
+        let mut result = Ok(());
+        while state.batches_done < context.batches {
+            let window_start = state.batches_done;
+            // The window runs to the next single-thread decision point:
+            // checkpoint multiple, deterministic batch cap, or the end.
+            // (`cap.max(window_start + 1)` reproduces the single-thread
+            // loop, which always folds one more batch before noticing
+            // the cap when resumed at or past it.)
+            let mut window_end = match window_start.checked_div(context.checkpoint_every) {
+                Some(windows_done) => {
+                    ((windows_done + 1) * context.checkpoint_every).min(context.batches)
+                }
+                None => context.batches,
+            };
+            if let Some(cap) = config.durability.stop_after_batches {
+                window_end = window_end.min(cap.max(window_start + 1));
+            }
+            let next_batch = AtomicU64::new(window_start);
+            let stop = AtomicBool::new(false);
+            let fatal: Mutex<Option<CampaignError>> = Mutex::new(None);
+            // Workers report their window's SimStats exactly once at
+            // exit; the channel doubles as the coordinator's completion
+            // wake-up between watchdog ticks.
+            let (sender, receiver) = mpsc::channel::<SimStats>();
+            let mut window_stats = SimStats::default();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = sims
+                    .iter_mut()
+                    .zip(shards.iter_mut())
+                    .zip(worker_perfs.iter())
+                    .enumerate()
+                    .map(|(worker, ((sim, shard), worker_perf))| {
+                        let sender = sender.clone();
+                        let next_batch = &next_batch;
+                        let stop = &stop;
+                        let fatal = &fatal;
+                        let heartbeats = &heartbeats;
+                        scope.spawn(move || {
+                            let mut indices = vec![[0u32; LANES]; shard.len()];
+                            let mut local = SimStats::default();
+                            'claim: while !stop.load(Ordering::Acquire) {
+                                let chunk = next_batch.fetch_add(DENSE_CHUNK, Ordering::Relaxed);
+                                if chunk >= window_end {
+                                    break;
+                                }
+                                // A claimed chunk always completes (or
+                                // turns fatal), so the absorbed batches
+                                // are exactly the contiguous range below
+                                // the claim frontier.
+                                for batch in chunk..(chunk + DENSE_CHUNK).min(window_end) {
+                                    heartbeats.start(worker, batch);
+                                    let attempt = run_batch_dense_supervised(
+                                        self,
+                                        sim,
+                                        batch,
+                                        worker_perf,
+                                        &mut indices,
+                                    );
+                                    heartbeats.idle(worker);
+                                    match attempt {
+                                        Ok((lane_groups, stats)) => {
+                                            let _span = worker_perf.span("tabulate");
+                                            for (slot, table) in
+                                                indices.iter().zip(shard.iter_mut())
+                                            {
+                                                table.absorb_indices(slot, lane_groups);
+                                            }
+                                            local.cycles += stats.cycles;
+                                            local.cell_evals += stats.cell_evals;
+                                        }
+                                        Err(error) => {
+                                            fatal
+                                                .lock()
+                                                .unwrap_or_else(|poison| poison.into_inner())
+                                                .get_or_insert(error);
+                                            stop.store(true, Ordering::Release);
+                                            break 'claim;
+                                        }
+                                    }
+                                }
+                                if interrupt
+                                    .as_ref()
+                                    .is_some_and(|flag| flag.load(Ordering::Relaxed))
+                                {
+                                    // Stop claiming; completed chunks
+                                    // stand, and the merge below folds
+                                    // the contiguous claimed range.
+                                    break;
+                                }
+                            }
+                            let _ = sender.send(local);
+                        })
+                    })
+                    .collect();
+                drop(sender);
+                let mut done = 0usize;
+                while done < threads {
+                    match receiver.recv_timeout(Duration::from_millis(WATCHDOG_TICK_MS)) {
+                        Ok(local) => {
+                            window_stats.cycles += local.cycles;
+                            window_stats.cell_evals += local.cell_evals;
+                            done += 1;
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            for (worker, fault) in heartbeats.stalled(stall_timeout_ms) {
+                                if !flagged_stall[worker] {
+                                    flagged_stall[worker] = true;
+                                    mmaes_telemetry::degraded::mark(
+                                        "worker",
+                                        &format!("worker {worker}: {fault}"),
+                                    );
+                                }
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                for handle in handles {
+                    if let Err(payload) = handle.join() {
+                        // Unreachable: batch attempts run inside the
+                        // supervisor's panic boundary.
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+            if let Some(error) = fatal
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .take()
+            {
+                // Discard the torn window: the shards' union is not a
+                // contiguous batch range. State stays at the last
+                // window boundary, which is.
+                result = Err(error);
+                break;
+            }
+            let reached = next_batch.load(Ordering::Relaxed).min(window_end);
+            {
+                let _span = context.perf.span("merge");
+                for shard in &mut shards {
+                    for (table, local) in state.tables.iter_mut().zip(shard.iter_mut()) {
+                        table.merge_from(local);
+                    }
+                }
+            }
+            state.folded.cycles += window_stats.cycles;
+            state.folded.cell_evals += window_stats.cell_evals;
+            state.batches_done = reached;
+            if self.after_batch(context, state) || reached < window_end {
+                break;
+            }
+        }
+        for worker_perf in &worker_perfs {
+            context.perf.absorb(worker_perf);
+        }
+        result
+    }
+}
+
+/// Packs each lane's extended observation of `set` into a key.
+///
+/// Up to 128 observed bits are packed exactly; beyond that, bits are
+/// folded with a deterministic 128-bit mix (collisions can only merge
+/// contingency columns — they can weaken detection, never fabricate it).
+fn observation_keys(sim: &Simulator, set: &ProbeSet, model: ProbeModel) -> [u128; LANES] {
+    let bits = set.observation_bits(model);
+    let mut keys = [0u128; LANES];
+    let mut position = 0usize;
+    let push_word = |keys: &mut [u128; LANES], word: u64, position: usize| {
+        if position < 128 {
+            for (lane, key) in keys.iter_mut().enumerate() {
+                *key |= (((word >> lane) & 1) as u128) << position;
+            }
+        } else {
+            const PRIME: u128 = 0x0000_0100_0000_01b3_0000_0100_0000_01b3;
+            for (lane, key) in keys.iter_mut().enumerate() {
+                *key = key.wrapping_mul(PRIME) ^ (((word >> lane) & 1) as u128 + 2);
+            }
+        }
+    };
+    for &wire in &set.observed {
+        push_word(&mut keys, sim.value(wire), position);
+        position += 1;
+        if matches!(model, ProbeModel::GlitchTransition) {
+            push_word(&mut keys, sim.prev_value(wire), position);
+            position += 1;
+        }
+    }
+    debug_assert_eq!(position, bits);
+    keys
+}
+
+/// [`observation_keys`] specialized to dense-eligible sets: packs each
+/// lane's observation into a `u32` index using the *same* bit layout
+/// (observed bit `i` at index bit `i`), so the index is bit-for-bit the
+/// zero-extended `u128` key — which is why a dense table's linear scan
+/// serializes in the exact sorted-key order the hashed store emits.
+/// Only called for sets whose [`ProbeSet::dense_index_width`] fits
+/// `u32`, so no overflow-mix arm exists here.
+fn observation_indices(
+    sim: &Simulator,
+    set: &ProbeSet,
+    model: ProbeModel,
+    indices: &mut [u32; LANES],
+) {
+    let bits = set.observation_bits(model);
+    debug_assert!(bits <= crate::tabulate::MAX_DENSE_WIDTH);
+    indices.fill(0);
+    let mut position = 0u32;
+    let mut push_word = |indices: &mut [u32; LANES], word: u64| {
+        for (lane, index) in indices.iter_mut().enumerate() {
+            *index |= (((word >> lane) & 1) as u32) << position;
+        }
+        position += 1;
+    };
+    for &wire in &set.observed {
+        push_word(indices, sim.value(wire));
+        if matches!(model, ProbeModel::GlitchTransition) {
+            push_word(indices, sim.prev_value(wire));
+        }
+    }
+    debug_assert_eq!(position as usize, bits);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::campaign::FixedVsRandom;
+    use crate::config::EvaluationConfig;
+    use mmaes_netlist::{Netlist, NetlistBuilder, SecretId, SignalRole};
+    use mmaes_sim::EvaluatorMode;
+    use mmaes_telemetry::{Event, Observer};
+
+    fn share_role(share: u8) -> SignalRole {
+        SignalRole::Share {
+            secret: SecretId(0),
+            share,
+            bit: 0,
+        }
+    }
+
+    /// An unmasked design: the secret bit goes straight to a register.
+    /// Fixed-vs-random must flag it instantly.
+    fn blatantly_leaky() -> Netlist {
+        let mut builder = NetlistBuilder::new("leaky");
+        let share0 = builder.input("s0", share_role(0));
+        let share1 = builder.input("s1", share_role(1));
+        let secret = builder.xor2(share0, share1); // recombines the secret!
+        let q = builder.register(secret);
+        let out = builder.buf(q);
+        builder.output("out", out);
+        builder.build().expect("valid")
+    }
+
+    /// A properly masked pass-through: each share is registered
+    /// independently; no wire depends on both shares.
+    fn properly_masked() -> Netlist {
+        let mut builder = NetlistBuilder::new("masked");
+        let share0 = builder.input("s0", share_role(0));
+        let share1 = builder.input("s1", share_role(1));
+        let q0 = builder.register(share0);
+        let q1 = builder.register(share1);
+        builder.output("q0", q0);
+        builder.output("q1", q1);
+        builder.build().expect("valid")
+    }
+
+    fn config(traces: u64) -> EvaluationConfig {
+        EvaluationConfig {
+            traces,
+            warmup_cycles: 3,
+            ..EvaluationConfig::default()
+        }
+    }
+
+    #[test]
+    fn retained_tables_are_identical_across_thread_counts() {
+        let netlist = blatantly_leaky();
+        let run = |threads: usize| {
+            let (_, tables) = FixedVsRandom::new(
+                &netlist,
+                EvaluationConfig {
+                    threads,
+                    ..config(20_000)
+                },
+            )
+            .try_run_with_tables()
+            .expect("valid campaign");
+            tables
+        };
+        let single = run(1);
+        let sharded = run(2);
+        assert_eq!(single.len(), sharded.len());
+        for (a, b) in single.iter().zip(&sharded) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.columns, b.columns);
+            assert_eq!(a.overflow, b.overflow);
+            assert_eq!(a.samples, b.samples);
+        }
+    }
+
+    #[test]
+    fn checkpoints_record_trajectories_and_emit_events() {
+        use mmaes_telemetry::MemorySink;
+        let netlist = blatantly_leaky();
+        let sink = MemorySink::new();
+        let collected = sink.events();
+        let report = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                traces: 20_000,
+                warmup_cycles: 3,
+                checkpoints: 4,
+                ..EvaluationConfig::default()
+            },
+        )
+        .with_observer(Observer::single(sink))
+        .try_run()
+        .expect("campaign");
+
+        let worst = report.worst().expect("results");
+        assert!(worst.trajectory.len() >= 2, "{:?}", worst.trajectory);
+        for pair in worst.trajectory.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "trace counts must increase");
+        }
+        assert!(worst.trajectory.last().expect("points").0 <= report.traces);
+
+        let events = collected.lock().unwrap();
+        assert!(matches!(
+            events.first(),
+            Some(Event::CampaignStarted { .. })
+        ));
+        assert!(events
+            .iter()
+            .any(|event| matches!(event, Event::CampaignCheckpoint(_))));
+        assert!(events
+            .iter()
+            .any(|event| matches!(event, Event::ProbeFlagged { .. })));
+        assert!(events
+            .iter()
+            .any(|event| matches!(event, Event::SimProgress { .. })));
+        assert!(matches!(
+            events.last(),
+            Some(Event::CampaignFinished { passed: false, .. })
+        ));
+    }
+
+    #[test]
+    fn early_stop_cuts_the_trace_budget_on_decisive_leak() {
+        let netlist = blatantly_leaky();
+        let report = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                traces: 64_000,
+                warmup_cycles: 3,
+                checkpoints: 16,
+                early_stop: true,
+                ..EvaluationConfig::default()
+            },
+        )
+        .try_run()
+        .expect("campaign");
+        assert!(!report.passed());
+        assert!(report.early_stopped);
+        assert!(
+            report.traces < 64_000,
+            "stopped at {} traces",
+            report.traces
+        );
+    }
+
+    #[test]
+    fn default_config_keeps_the_fast_path_trajectory_free() {
+        let netlist = properly_masked();
+        let report = FixedVsRandom::new(&netlist, config(1_000))
+            .try_run()
+            .expect("campaign");
+        assert!(report
+            .results
+            .iter()
+            .all(|result| result.trajectory.is_empty()));
+        assert!(!report.early_stopped);
+    }
+
+    #[test]
+    fn trajectory_of_a_strong_leak_is_monotone_for_a_deterministic_seed() {
+        // The G statistic of a genuine leak accumulates with the sample
+        // count, so the running -log10(p) of the worst probe must grow
+        // checkpoint over checkpoint (the seed fixes the sampling, so
+        // this is exact, not probabilistic).
+        let netlist = blatantly_leaky();
+        let report = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                traces: 32_000,
+                warmup_cycles: 3,
+                checkpoints: 8,
+                ..EvaluationConfig::default()
+            },
+        )
+        .try_run()
+        .expect("campaign");
+        let worst = report.worst().expect("results");
+        assert!(worst.trajectory.len() >= 4, "{:?}", worst.trajectory);
+        for pair in worst.trajectory.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "trace counts must increase");
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "-log10(p) regressed: {:?}",
+                worst.trajectory
+            );
+        }
+        assert!(worst.trajectory.last().expect("points").1 <= worst.minus_log10_p);
+    }
+
+    #[test]
+    fn tiny_table_cap_pools_overflow_without_losing_the_leak() {
+        // max_table_keys bounds per-probe memory; once the cap is hit,
+        // further keys land in the overflow bucket. The bucket is one
+        // more contingency column, so a blatant leak survives even an
+        // absurdly small cap.
+        let netlist = blatantly_leaky();
+        let report = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                traces: 20_000,
+                warmup_cycles: 3,
+                max_table_keys: 1,
+                ..EvaluationConfig::default()
+            },
+        )
+        .try_run()
+        .expect("campaign");
+        assert!(!report.passed(), "{report}");
+        for result in &report.results {
+            assert!(result.distinct_keys <= 1, "cap violated: {result:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_campaign_is_byte_identical_to_single_threaded() {
+        let netlist = blatantly_leaky();
+        let base = EvaluationConfig {
+            traces: 20_000,
+            warmup_cycles: 3,
+            checkpoints: 4,
+            ..EvaluationConfig::default()
+        };
+        let single = FixedVsRandom::new(&netlist, base.clone())
+            .try_run()
+            .expect("campaign");
+        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 4, ..base })
+            .try_run()
+            .expect("campaign");
+        assert_eq!(single.results, sharded.results);
+        assert_eq!(single.traces, sharded.traces);
+        assert_eq!(single.cell_evals, sharded.cell_evals);
+        assert_eq!(single.to_csv(), sharded.to_csv());
+    }
+
+    #[test]
+    fn sharded_overflow_tables_match_single_threaded() {
+        // The nastiest determinism case: with a tiny table cap, *which*
+        // keys claim the last slots depends on insertion order. The
+        // per-batch sorted-runs aggregation plus in-order folding makes
+        // that order a function of the batch sequence alone.
+        let netlist = blatantly_leaky();
+        let base = EvaluationConfig {
+            traces: 20_000,
+            warmup_cycles: 3,
+            max_table_keys: 1,
+            ..EvaluationConfig::default()
+        };
+        let single = FixedVsRandom::new(&netlist, base.clone())
+            .try_run()
+            .expect("campaign");
+        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 3, ..base })
+            .try_run()
+            .expect("campaign");
+        assert_eq!(single.results, sharded.results);
+    }
+
+    #[test]
+    fn sharded_early_stop_matches_single_threaded() {
+        // Early stop is decided at a fold-side checkpoint, so the
+        // stopping batch — and therefore the reported trace count — is
+        // identical no matter how many workers were still simulating.
+        let netlist = blatantly_leaky();
+        let base = EvaluationConfig {
+            traces: 64_000,
+            warmup_cycles: 3,
+            checkpoints: 16,
+            early_stop: true,
+            ..EvaluationConfig::default()
+        };
+        let single = FixedVsRandom::new(&netlist, base.clone())
+            .try_run()
+            .expect("campaign");
+        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 4, ..base })
+            .try_run()
+            .expect("campaign");
+        assert!(sharded.early_stopped);
+        assert_eq!(single.traces, sharded.traces);
+        assert_eq!(single.results, sharded.results);
+    }
+
+    #[test]
+    fn interpreted_evaluator_reproduces_the_compiled_report() {
+        let netlist = blatantly_leaky();
+        let base = config(10_000);
+        let compiled = FixedVsRandom::new(&netlist, base.clone())
+            .try_run()
+            .expect("campaign");
+        let interpreted = FixedVsRandom::new(
+            &netlist,
+            EvaluationConfig {
+                evaluator: EvaluatorMode::Interpreted,
+                ..base
+            },
+        )
+        .try_run()
+        .expect("campaign");
+        assert_eq!(compiled.results, interpreted.results);
+        assert_eq!(compiled.cell_evals, interpreted.cell_evals);
+    }
+
+    #[test]
+    fn ttest_statistic_produces_a_report_across_thread_counts() {
+        use crate::stats::StatisticKind;
+        let netlist = blatantly_leaky();
+        let base = EvaluationConfig {
+            statistic: StatisticKind::TTest,
+            traces: 20_000,
+            warmup_cycles: 3,
+            checkpoints: 4,
+            ..EvaluationConfig::default()
+        };
+        let single = FixedVsRandom::new(&netlist, base.clone())
+            .try_run()
+            .expect("campaign");
+        // The recombined secret shifts the mean Hamming weight of the
+        // observed cone between populations — the t-test must see it.
+        assert!(!single.passed(), "{single}");
+        let sharded = FixedVsRandom::new(&netlist, EvaluationConfig { threads: 4, ..base })
+            .try_run()
+            .expect("campaign");
+        assert_eq!(single.results, sharded.results);
+        assert_eq!(single.to_csv(), sharded.to_csv());
+        // And a sound design stays clean under the t-test.
+        let clean = FixedVsRandom::new(
+            &properly_masked(),
+            EvaluationConfig {
+                statistic: StatisticKind::TTest,
+                ..config(20_000)
+            },
+        )
+        .try_run()
+        .expect("campaign");
+        assert!(clean.passed(), "{clean}");
+    }
+}

@@ -122,8 +122,11 @@ pub struct EvidenceBundle {
     pub minus_log10_p: f64,
     /// The G statistic.
     pub g_statistic: f64,
-    /// Degrees of freedom after pooling.
-    pub df: u64,
+    /// Degrees of freedom after pooling (integral for the G-test,
+    /// fractional Welch–Satterthwaite for the t-test; the JSON number
+    /// formatter renders integral values without a decimal point, so
+    /// G-test bundles keep their historical bytes).
+    pub df: f64,
     /// Samples tabulated (both populations).
     pub samples: u64,
     /// The probed wires' names.
@@ -396,7 +399,7 @@ impl EvidenceBundle {
             .string("model", self.model.name())
             .float("minus_log10_p", self.minus_log10_p)
             .float("g_statistic", self.g_statistic)
-            .unsigned("df", self.df)
+            .float("df", self.df)
             .unsigned("samples", self.samples)
             .raw("probes", &quoted(&self.probes))
             .raw("extended", &extended)

@@ -29,7 +29,7 @@
 
 use mmaes_telemetry::{HealthCheckpoint, ProbeHealth};
 
-use crate::stats::PoolingSummary;
+use crate::stats::{PoolingSummary, StatisticKind};
 
 /// Minimum expected cell count below which the χ² approximation of
 /// the G statistic is considered unreliable (Cochran's rule).
@@ -130,6 +130,7 @@ pub fn assess(
     traces_target: u64,
     threshold: f64,
     fresh_bits_per_trace: u64,
+    statistic: StatisticKind,
     top: usize,
 ) -> HealthCheckpoint {
     let probe_sets = probes.len() as u64;
@@ -154,6 +155,9 @@ pub fn assess(
         traces,
         traces_target,
         threshold,
+        // Event schema v8: the statistic name rides along so health
+        // consumers know which test produced the -log10(p) values.
+        statistic: statistic.name().to_owned(),
         probe_sets,
         testable_sets,
         undersampled_sets,
@@ -249,7 +253,8 @@ mod tests {
             probe_health("b", &sparse, 0.0, &[], 1000, 5.0),
             probe_health("c", &dense, 9.0, &[(500, 6.0)], 1000, 5.0),
         ];
-        let health = assess(probes, 1000, 2000, 5.0, 24, 2);
+        let health = assess(probes, 1000, 2000, 5.0, 24, StatisticKind::GTest, 2);
+        assert_eq!(health.statistic, "gtest");
         assert_eq!(health.probe_sets, 3);
         assert_eq!(health.testable_sets, 2);
         assert_eq!(health.undersampled_sets, 1);

@@ -30,6 +30,9 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod config;
+pub(crate) mod engine;
+pub mod error;
 pub mod forensics;
 pub mod health;
 pub mod mutate;
@@ -40,10 +43,9 @@ pub mod stats;
 pub mod supervisor;
 pub mod tabulate;
 
-pub use campaign::{
-    CampaignError, CampaignMode, Durability, EvaluationConfig, FixedVsRandom, ProbeTable,
-    SecretDomain,
-};
+pub use campaign::{FixedVsRandom, ProbeTable};
+pub use config::{CampaignMode, Durability, EvaluationConfig, SecretDomain};
+pub use error::CampaignError;
 pub use forensics::{EvidenceBundle, ExactDependence, RandomnessReuse};
 pub use health::MIN_EXPECTED_FLOOR;
 pub use mmaes_sim::EvaluatorMode;
@@ -51,5 +53,6 @@ pub use mutate::{mutants, FaultKind, Mutant};
 pub use probe::{enumerate_probe_sets, ProbeModel, ProbeSet};
 pub use report::{LeakageReport, ProbeResult};
 pub use snapshot::{CampaignSnapshot, SnapshotError, TableSnapshot, SNAPSHOT_SCHEMA_VERSION};
+pub use stats::{Statistic, StatisticKind, TestOutcome};
 pub use supervisor::WorkerFault;
 pub use tabulate::{TabulatorMode, MAX_DENSE_WIDTH};

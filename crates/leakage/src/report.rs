@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::probe::ProbeModel;
+use crate::stats::StatisticKind;
 
 /// The evaluation outcome for one probing set.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,11 +27,16 @@ pub struct ProbeResult {
     /// Fraction of the sample mass sitting in pooled columns
     /// (0 when nothing pooled or nothing sampled).
     pub pooled_fraction: f64,
-    /// G statistic (0 when untestable).
+    /// The detection statistic's value (0 when untestable): the G
+    /// statistic under [`StatisticKind::GTest`], Welch's t under
+    /// [`StatisticKind::TTest`]. The field keeps its historical name
+    /// for CSV/schema stability.
     pub g_statistic: f64,
-    /// Degrees of freedom after pooling (0 when untestable).
-    pub df: u64,
-    /// `-log10(p)` of the G-test (0 when untestable).
+    /// Degrees of freedom (0 when untestable). Integral for the G-test
+    /// (after pooling); fractional Welch–Satterthwaite df for the
+    /// t-test.
+    pub df: f64,
+    /// `-log10(p)` of the test (0 when untestable).
     pub minus_log10_p: f64,
     /// Whether the table supported a test at all.
     pub testable: bool,
@@ -55,6 +61,8 @@ pub struct LeakageReport {
     pub traces: u64,
     /// The `-log10(p)` decision threshold (PROLEAD convention: 5.0).
     pub threshold: f64,
+    /// The detection statistic every probing set was tested with.
+    pub statistic: StatisticKind,
     /// Whether probe-set enumeration hit its cap (coverage incomplete).
     pub probe_sets_truncated: bool,
     /// Whether the campaign stopped before its trace budget because the
@@ -195,6 +203,9 @@ impl fmt::Display for LeakageReport {
         writeln!(formatter, "order:     {}", self.order)?;
         writeln!(formatter, "traces:    {}", self.traces)?;
         writeln!(formatter, "threshold: -log10(p) > {}", self.threshold)?;
+        if self.statistic != StatisticKind::GTest {
+            writeln!(formatter, "statistic: {}", self.statistic.name())?;
+        }
         if self.probe_sets_truncated {
             writeln!(
                 formatter,
@@ -266,7 +277,7 @@ mod tests {
             pooled_columns: 2,
             pooled_fraction: 0.05,
             g_statistic: 10.0,
-            df: 3,
+            df: 3.0,
             minus_log10_p: p,
             testable: true,
             leaking,
@@ -281,6 +292,7 @@ mod tests {
             order: 1,
             traces: 1000,
             threshold: 5.0,
+            statistic: StatisticKind::GTest,
             probe_sets_truncated: false,
             early_stopped: false,
             interrupted: false,

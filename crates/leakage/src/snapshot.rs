@@ -13,8 +13,9 @@
 //! sorted order, floats as IEEE-754 bit patterns):
 //!
 //! ```text
-//! mmaes-campaign-snapshot v1
+//! mmaes-campaign-snapshot v2
 //! config <fingerprint-hex>
+//! statistic <gtest|ttest>
 //! progress <batches_done> <total_batches>
 //! cell_evals <n>
 //! table <index> <samples> <overflow0> <overflow1> <flagged>
@@ -27,6 +28,15 @@
 //! a temporary file, fsyncs and renames, so a crash mid-write leaves
 //! either the previous snapshot or a `.tmp` file — never a torn one.
 //!
+//! # Versioning
+//!
+//! v2 added the `statistic` record. A G-test campaign serializes in the
+//! v1 layout (header `v1`, no `statistic` line) — **byte-identical** to
+//! snapshots written before v2 existed — and every v1 file loads as a
+//! G-test snapshot, so pre-existing snapshots remain resumable and the
+//! G-test byte-identity contract is untouched. Only a non-default
+//! statistic opts a file into the v2 layout.
+//!
 //! The snapshot schema is versioned independently of the telemetry
 //! event schema ([`mmaes_telemetry::EVENT_SCHEMA_VERSION`]); a version
 //! or config-fingerprint mismatch is a typed error, not a panic, so
@@ -38,10 +48,12 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
-/// Version of the snapshot file format. Bumped on any layout change;
-/// [`load`] rejects other versions with
-/// [`SnapshotError::VersionMismatch`].
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+use crate::stats::StatisticKind;
+
+/// Newest version of the snapshot file format. Bumped on any layout
+/// change; [`load`] accepts every version up to this one and rejects
+/// newer ones with [`SnapshotError::VersionMismatch`].
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 2;
 
 const MAGIC: &str = "mmaes-campaign-snapshot";
 
@@ -110,6 +122,9 @@ pub struct CampaignSnapshot {
     /// the probing-set list); [`load`] refuses a snapshot whose
     /// fingerprint differs from the resuming campaign's.
     pub config_fingerprint: u64,
+    /// The detection statistic the campaign runs under. v1 files carry
+    /// no statistic record and load as [`StatisticKind::GTest`].
+    pub statistic: StatisticKind,
     /// Batches folded into the tables so far.
     pub batches_done: u64,
     /// The campaign's total batch count.
@@ -158,7 +173,7 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::VersionMismatch { found } => write!(
                 formatter,
-                "snapshot schema version {found} is not supported (expected {SNAPSHOT_SCHEMA_VERSION})"
+                "snapshot schema version {found} is not supported (newest supported: {SNAPSHOT_SCHEMA_VERSION})"
             ),
             SnapshotError::ConfigMismatch { found, expected } => write!(
                 formatter,
@@ -175,11 +190,20 @@ impl fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 impl CampaignSnapshot {
-    /// Renders the snapshot in the versioned text format.
+    /// Renders the snapshot in the versioned text format. A G-test
+    /// snapshot serializes in the v1 layout (no `statistic` record), so
+    /// its bytes are identical to pre-v2 snapshots; a non-default
+    /// statistic opts into v2.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{MAGIC} v{SNAPSHOT_SCHEMA_VERSION}\n"));
-        out.push_str(&format!("config {:016x}\n", self.config_fingerprint));
+        if self.statistic == StatisticKind::GTest {
+            out.push_str(&format!("{MAGIC} v1\n"));
+            out.push_str(&format!("config {:016x}\n", self.config_fingerprint));
+        } else {
+            out.push_str(&format!("{MAGIC} v{SNAPSHOT_SCHEMA_VERSION}\n"));
+            out.push_str(&format!("config {:016x}\n", self.config_fingerprint));
+            out.push_str(&format!("statistic {}\n", self.statistic.name()));
+        }
         out.push_str(&format!(
             "progress {} {}\n",
             self.batches_done, self.total_batches
@@ -223,7 +247,7 @@ impl CampaignSnapshot {
             .ok_or_else(|| corrupt(1, "missing snapshot header"))?
             .parse::<u64>()
             .map_err(|_| corrupt(1, "unparsable version"))?;
-        if version != SNAPSHOT_SCHEMA_VERSION {
+        if version == 0 || version > SNAPSHOT_SCHEMA_VERSION {
             return Err(SnapshotError::VersionMismatch { found: version });
         }
         let mut snapshot = CampaignSnapshot::default();
@@ -237,6 +261,12 @@ impl CampaignSnapshot {
                         .next()
                         .and_then(|value| u64::from_str_radix(value, 16).ok())
                         .ok_or_else(|| corrupt(number, "bad config fingerprint"))?;
+                }
+                Some("statistic") => {
+                    snapshot.statistic = fields
+                        .next()
+                        .and_then(StatisticKind::parse)
+                        .ok_or_else(|| corrupt(number, "unknown statistic"))?;
                 }
                 Some("progress") => {
                     snapshot.batches_done = fields
@@ -413,6 +443,7 @@ mod tests {
             batches_done: 42,
             total_batches: 100,
             cell_evals: 1_234_567,
+            statistic: StatisticKind::GTest,
             tables: vec![
                 TableSnapshot {
                     samples: 2688,
@@ -448,6 +479,44 @@ mod tests {
             ..CampaignSnapshot::default()
         };
         assert_eq!(snapshot.to_text(), snapshot.clone().to_text());
+    }
+
+    #[test]
+    fn gtest_snapshots_keep_the_v1_byte_layout() {
+        // The byte-identity contract: a default-statistic snapshot must
+        // serialize exactly as it did before the v2 schema existed.
+        let snapshot = sample();
+        assert_eq!(snapshot.statistic, StatisticKind::GTest);
+        let text = snapshot.to_text();
+        assert!(text.starts_with("mmaes-campaign-snapshot v1\n"), "{text}");
+        assert!(!text.contains("statistic"), "{text}");
+        let parsed = CampaignSnapshot::from_text(&text).expect("v1 parses");
+        assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn ttest_snapshots_roundtrip_through_the_v2_layout() {
+        let snapshot = CampaignSnapshot {
+            statistic: StatisticKind::TTest,
+            ..sample()
+        };
+        let text = snapshot.to_text();
+        assert!(text.starts_with("mmaes-campaign-snapshot v2\n"), "{text}");
+        assert!(text.contains("statistic ttest\n"), "{text}");
+        let parsed = CampaignSnapshot::from_text(&text).expect("v2 parses");
+        assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn v2_rejects_an_unknown_statistic() {
+        let text = CampaignSnapshot {
+            statistic: StatisticKind::TTest,
+            ..sample()
+        }
+        .to_text()
+        .replace("statistic ttest", "statistic chi2");
+        let error = CampaignSnapshot::from_text(&text).expect_err("rejects");
+        assert!(matches!(error, SnapshotError::Corrupt { .. }), "{error}");
     }
 
     #[test]

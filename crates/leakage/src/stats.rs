@@ -1,9 +1,11 @@
-//! Statistical machinery: log-gamma, χ² survival function, G-test.
+//! Statistical machinery: log-gamma, χ²/Student-t survival functions,
+//! G-test, Welch t-test, and the pluggable [`Statistic`] abstraction the
+//! campaign engine tests every probing set with.
 //!
 //! Implemented from first principles (Lanczos approximation + incomplete
-//! gamma series/continued fraction) to keep the workspace free of heavy
-//! numeric dependencies; accuracy is validated in tests against known
-//! values.
+//! gamma/beta series and continued fractions) to keep the workspace free
+//! of heavy numeric dependencies; accuracy is validated in tests against
+//! known values.
 
 /// Natural log of the gamma function (Lanczos approximation, g = 7).
 ///
@@ -419,9 +421,454 @@ pub fn welch_t_test(sample_a: &[f64], sample_b: &[f64]) -> Option<WelchT> {
     Some(WelchT { statistic, df })
 }
 
+/// Continued-fraction kernel of the regularized incomplete beta
+/// function (modified Lentz, Numerical Recipes `betacf`). Converges for
+/// `x < (a + 1) / (a + b + 2)`; [`incomplete_beta`] handles the
+/// symmetric tail.
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..500 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let numerator = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + numerator * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + numerator / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let numerator = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + numerator * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + numerator / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// # Panics
+///
+/// Panics for non-positive `a` or `b`.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(
+        a > 0.0 && b > 0.0,
+        "incomplete_beta requires positive shape parameters"
+    );
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_continued_fraction(a, b, x) / a
+    } else {
+        1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b
+    }
+}
+
+/// Two-sided p-value of Student's t distribution with (real-valued)
+/// `df` degrees of freedom: `P[|T| ≥ |t|] = I_{df/(df+t²)}(df/2, 1/2)`.
+///
+/// Underflows to 0 for extreme statistics (callers use
+/// [`minus_log10_p`] for reporting), matching [`chi2_sf`]'s convention.
+///
+/// # Panics
+///
+/// Panics for non-positive `df`.
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "Student's t needs positive degrees of freedom");
+    let x = df / (df + t * t);
+    incomplete_beta(df / 2.0, 0.5, x)
+}
+
+/// Which detection statistic a campaign runs — the configuration-level
+/// handle for the [`Statistic`] implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatisticKind {
+    /// The PROLEAD-style G-test of independence on the full
+    /// fixed-vs-random contingency table (the paper's test).
+    #[default]
+    GTest,
+    /// A TVLA-style Welch t-test on the Hamming weight of the observed
+    /// valuation, taking the stronger of the first-order (mean) and
+    /// second-order (centered-squared) legs computed from the same
+    /// contingency table.
+    TTest,
+}
+
+impl StatisticKind {
+    /// Stable lowercase name (CLI flag values, event fields, snapshot
+    /// records).
+    pub fn name(self) -> &'static str {
+        match self {
+            StatisticKind::GTest => "gtest",
+            StatisticKind::TTest => "ttest",
+        }
+    }
+
+    /// Parses a `--statistic` flag value.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "gtest" | "g" => Some(StatisticKind::GTest),
+            "ttest" | "t" => Some(StatisticKind::TTest),
+            _ => None,
+        }
+    }
+
+    /// The statistic implementation behind this kind.
+    pub fn as_statistic(self) -> &'static dyn Statistic {
+        match self {
+            StatisticKind::GTest => &GTestStatistic,
+            StatisticKind::TTest => &WelchTStatistic,
+        }
+    }
+}
+
+/// Outcome of testing one probing set's contingency table with a
+/// [`Statistic`]: the statistic value, its (possibly fractional)
+/// degrees of freedom, and the p-value on the common `-log10` scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestOutcome {
+    /// The test statistic (G, or Welch's t).
+    pub statistic: f64,
+    /// Degrees of freedom — integer for the G-test,
+    /// Welch–Satterthwaite (real-valued) for the t-test.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// `-log10(p)`, the reporting convention shared by both tests.
+    pub minus_log10_p: f64,
+}
+
+/// A leakage-detection statistic evaluated per probing set on the keyed
+/// fixed-vs-random contingency table.
+///
+/// Implementations receive the table exactly as the tabulator stores
+/// it: `(observation key, [fixed count, random count])` columns sorted
+/// by key, plus the overflow bucket (counts absorbed after the table
+/// hit its key cap — keyless, so key-dependent statistics must decide
+/// what to do with it). Returning `None` means the table is untestable
+/// under this statistic, which callers treat as "no evidence of
+/// leakage".
+pub trait Statistic: Sync {
+    /// Stable lowercase name, matching [`StatisticKind::name`].
+    fn name(&self) -> &'static str;
+
+    /// Tests the keyed columns + overflow bucket.
+    fn evaluate(&self, columns: &[(u128, [u64; 2])], overflow: [u64; 2]) -> Option<TestOutcome>;
+}
+
+/// The fixed-vs-random G-test as a [`Statistic`]: flattens the keyed
+/// columns (and the overflow bucket, which is one more contingency
+/// column) into `(fixed, random)` pairs and delegates to [`g_test`] —
+/// bit-for-bit the statistic the campaign has always computed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GTestStatistic;
+
+impl Statistic for GTestStatistic {
+    fn name(&self) -> &'static str {
+        "gtest"
+    }
+
+    fn evaluate(&self, columns: &[(u128, [u64; 2])], overflow: [u64; 2]) -> Option<TestOutcome> {
+        let mut pairs: Vec<(u64, u64)> = columns
+            .iter()
+            .map(|&(_, cell)| (cell[0], cell[1]))
+            .collect();
+        if overflow[0] + overflow[1] > 0 {
+            pairs.push((overflow[0], overflow[1]));
+        }
+        g_test(&pairs).map(|test| TestOutcome {
+            statistic: test.statistic,
+            df: test.df as f64,
+            p_value: test.p_value,
+            minus_log10_p: test.minus_log10_p,
+        })
+    }
+}
+
+/// A TVLA-style Welch t-test as a [`Statistic`]: reduces every
+/// observation to the Hamming weight of its key (the classic
+/// power-model proxy for a glitch-extended valuation), accumulates
+/// exact integer power sums per population from the contingency
+/// counts, and runs the standard TVLA pair of tests — first order on
+/// the population means, second order on the centered-squared samples
+/// (Schneider–Moradi preprocessing: `y = (x − μ̂)²` per population,
+/// with `Var(y) = CM4 − CM2²` from the central moments). The reported
+/// outcome is whichever order separates the populations more strongly;
+/// a masked design's mean-free leakage (the usual case at first
+/// protection order) surfaces through the second-order leg.
+///
+/// The power sums are exact — `Σ hwᵏ·count` for k ≤ 4 in 128-bit
+/// integers — so the test is as deterministic as the table itself. The
+/// overflow bucket is excluded: its observations lost their key
+/// identity, so no Hamming weight exists for them (the G-test, by
+/// contrast, keeps it as an extra column). Untestable when either
+/// population has fewer than two samples or no order has positive
+/// variance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WelchTStatistic;
+
+/// One Welch leg: given per-population `(n, mean, variance-of-sample)`
+/// estimates, the t statistic, Welch–Satterthwaite df and p-value.
+fn welch_leg(count: [u64; 2], mean: [f64; 2], variance: [f64; 2]) -> Option<TestOutcome> {
+    let n0 = count[0] as f64;
+    let n1 = count[1] as f64;
+    let se2 = variance[0] / n0 + variance[1] / n1;
+    if se2 <= 0.0 || se2.is_nan() {
+        return None;
+    }
+    let statistic = (mean[0] - mean[1]) / se2.sqrt();
+    let df = se2 * se2
+        / ((variance[0] / n0).powi(2) / (n0 - 1.0) + (variance[1] / n1).powi(2) / (n1 - 1.0));
+    let p_value = student_t_sf(statistic.abs(), df);
+    Some(TestOutcome {
+        statistic,
+        df,
+        p_value,
+        minus_log10_p: minus_log10_p(p_value),
+    })
+}
+
+impl Statistic for WelchTStatistic {
+    fn name(&self) -> &'static str {
+        "ttest"
+    }
+
+    fn evaluate(&self, columns: &[(u128, [u64; 2])], _overflow: [u64; 2]) -> Option<TestOutcome> {
+        let mut count = [0u64; 2];
+        // Exact raw power sums Σ hwᵏ·count, k = 1..4. hw ≤ 128 so
+        // hw⁴ ≤ 2²⁸; with u64 counts the u128 accumulators cannot
+        // overflow at any realistic trace budget.
+        let mut power = [[0u128; 4]; 2];
+        for &(key, cell) in columns {
+            let weight = u128::from(key.count_ones());
+            for population in 0..2 {
+                let c = u128::from(cell[population]);
+                count[population] += cell[population];
+                let mut term = c;
+                for sum in &mut power[population] {
+                    term *= weight;
+                    *sum += term;
+                }
+            }
+        }
+        if count[0] < 2 || count[1] < 2 {
+            return None;
+        }
+        let mut mean = [0.0f64; 2];
+        let mut var_unbiased = [0.0f64; 2];
+        let mut cm2 = [0.0f64; 2];
+        let mut var_of_squares = [0.0f64; 2];
+        for population in 0..2 {
+            let n = count[population];
+            let nf = n as f64;
+            let [s1, s2, s3, s4] = power[population];
+            // Unbiased variance for the first-order leg:
+            // (n·Σx² − (Σx)²) / (n·(n−1)), numerator exact in u128
+            // (non-negative by Cauchy–Schwarz) — no cancellation.
+            let numerator = u128::from(n) * s2 - s1 * s1;
+            mean[population] = s1 as f64 / nf;
+            var_unbiased[population] = numerator as f64 / (nf * (n - 1) as f64);
+            // Central moments for the second-order leg (biased, as in
+            // the TVLA methodology): CM2 = m2 − μ², CM4 = m4 − 4μm3 +
+            // 6μ²m2 − 3μ⁴ with mk = Σxᵏ/n.
+            let mu = mean[population];
+            let m2 = s2 as f64 / nf;
+            let m3 = s3 as f64 / nf;
+            let m4 = s4 as f64 / nf;
+            let c2 = m2 - mu * mu;
+            let c4 = m4 - 4.0 * mu * m3 + 6.0 * mu * mu * m2 - 3.0 * mu.powi(4);
+            cm2[population] = c2;
+            var_of_squares[population] = c4 - c2 * c2;
+        }
+        let first = welch_leg(count, mean, var_unbiased);
+        let second = welch_leg(count, cm2, var_of_squares);
+        match (first, second) {
+            (Some(a), Some(b)) => Some(if b.minus_log10_p > a.minus_log10_p {
+                b
+            } else {
+                a
+            }),
+            (outcome, None) | (None, outcome) => outcome,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn incomplete_beta_matches_known_values() {
+        // I_x(1, 1) = x; I_x(2, 2) = x²(3 − 2x); symmetry.
+        for x in [0.1f64, 0.25, 0.5, 0.75, 0.9] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-12, "x = {x}");
+            let reference = x * x * (3.0 - 2.0 * x);
+            assert!(
+                (incomplete_beta(2.0, 2.0, x) - reference).abs() < 1e-12,
+                "x = {x}"
+            );
+            let symmetric = 1.0 - incomplete_beta(3.0, 5.0, 1.0 - x);
+            assert!(
+                (incomplete_beta(5.0, 3.0, x) - symmetric).abs() < 1e-12,
+                "x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn student_t_sf_matches_reference_values() {
+        // df=1 (Cauchy): P[|T| ≥ 1] = 0.5; P[|T| ≥ 12.706] ≈ 0.05.
+        assert!((student_t_sf(1.0, 1.0) - 0.5).abs() < 1e-9);
+        assert!((student_t_sf(12.706_204_736_174_694, 1.0) - 0.05).abs() < 1e-9);
+        // df=10: P[|T| ≥ 2.228] ≈ 0.05.
+        assert!((student_t_sf(2.228_138_851_986_273, 10.0) - 0.05).abs() < 1e-6);
+        // t = 0 → p = 1; huge t underflows and saturates the log scale.
+        assert!((student_t_sf(0.0, 5.0) - 1.0).abs() < 1e-12);
+        assert_eq!(minus_log10_p(student_t_sf(1e6, 1e6)), 308.0);
+    }
+
+    #[test]
+    fn student_t_sf_is_monotone_in_t() {
+        let mut last = 1.0;
+        for step in 0..100 {
+            let t = step as f64 * 0.25;
+            let p = student_t_sf(t, 7.5);
+            assert!(p <= last + 1e-15, "t = {t}");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn gtest_statistic_impl_matches_raw_g_test() {
+        let columns: Vec<(u128, [u64; 2])> =
+            vec![(0, [1000, 200]), (1, [200, 950]), (5, [400, 420])];
+        let outcome = GTestStatistic
+            .evaluate(&columns, [40, 10])
+            .expect("testable");
+        let reference = g_test(&[(1000, 200), (200, 950), (400, 420), (40, 10)]).expect("testable");
+        assert_eq!(outcome.statistic, reference.statistic);
+        assert_eq!(outcome.df, reference.df as f64);
+        assert_eq!(outcome.minus_log10_p, reference.minus_log10_p);
+        // Empty overflow adds no column.
+        let without = GTestStatistic.evaluate(&columns, [0, 0]).expect("testable");
+        let reference = g_test(&[(1000, 200), (200, 950), (400, 420)]).expect("testable");
+        assert_eq!(without.statistic, reference.statistic);
+    }
+
+    #[test]
+    fn welch_statistic_separates_shifted_weight_distributions() {
+        // Population 0 concentrated on low-weight keys, population 1 on
+        // high-weight keys: the mean Hamming weights differ decisively.
+        let columns: Vec<(u128, [u64; 2])> = vec![(0b0001, [900, 100]), (0b0111, [100, 900])];
+        let outcome = WelchTStatistic
+            .evaluate(&columns, [0, 0])
+            .expect("testable");
+        assert!(outcome.statistic.abs() > 10.0, "{outcome:?}");
+        assert!(outcome.minus_log10_p > 10.0, "{outcome:?}");
+    }
+
+    #[test]
+    fn welch_statistic_accepts_identical_distributions() {
+        let columns: Vec<(u128, [u64; 2])> = vec![
+            (0b0001, [500, 500]),
+            (0b0011, [300, 300]),
+            (0b0111, [200, 200]),
+        ];
+        let outcome = WelchTStatistic
+            .evaluate(&columns, [0, 0])
+            .expect("testable");
+        assert!(outcome.statistic.abs() < 1e-9, "{outcome:?}");
+        assert!(outcome.minus_log10_p < 1.0, "{outcome:?}");
+    }
+
+    #[test]
+    fn welch_statistic_flags_mean_free_variance_leakage() {
+        // Equal Hamming-weight means (both 2) but very different
+        // spreads: population 0 sits entirely on weight 2, population 1
+        // splits between weights 0 and 4. The first-order leg sees
+        // nothing; the second-order (centered-squared) leg must flag it
+        // — this is exactly how a masked design's mean-free leakage
+        // shows up in a TVLA evaluation.
+        let columns: Vec<(u128, [u64; 2])> = vec![
+            (0b0000, [0, 300]),
+            (0b0011, [1000, 400]),
+            (0b1111, [0, 300]),
+        ];
+        let outcome = WelchTStatistic
+            .evaluate(&columns, [0, 0])
+            .expect("testable");
+        assert!(outcome.minus_log10_p > 10.0, "{outcome:?}");
+    }
+
+    #[test]
+    fn welch_statistic_rejects_degenerate_tables() {
+        // Fewer than two samples in a population.
+        assert!(WelchTStatistic
+            .evaluate(&[(1, [1, 1000])], [0, 0])
+            .is_none());
+        // Zero variance in both populations (single key).
+        assert!(WelchTStatistic
+            .evaluate(&[(3, [1000, 1000])], [0, 0])
+            .is_none());
+        // Empty table.
+        assert!(WelchTStatistic.evaluate(&[], [0, 0]).is_none());
+    }
+
+    #[test]
+    fn welch_statistic_ignores_the_overflow_bucket() {
+        let columns: Vec<(u128, [u64; 2])> = vec![(0b0001, [500, 480]), (0b0011, [300, 320])];
+        let with = WelchTStatistic
+            .evaluate(&columns, [10_000, 0])
+            .expect("testable");
+        let without = WelchTStatistic
+            .evaluate(&columns, [0, 0])
+            .expect("testable");
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn statistic_kind_round_trips_names() {
+        for kind in [StatisticKind::GTest, StatisticKind::TTest] {
+            assert_eq!(StatisticKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.as_statistic().name(), kind.name());
+        }
+        assert_eq!(StatisticKind::parse("g"), Some(StatisticKind::GTest));
+        assert_eq!(StatisticKind::parse("t"), Some(StatisticKind::TTest));
+        assert_eq!(StatisticKind::parse("chi2"), None);
+        assert_eq!(StatisticKind::default(), StatisticKind::GTest);
+    }
 
     #[test]
     fn welch_t_separates_shifted_means() {

@@ -433,6 +433,35 @@ mod tests {
     }
 
     #[test]
+    fn cached_columns_survive_an_absorb_save_restore_round_trip() {
+        // The snapshot path reads `sorted_columns()` to serialize (which
+        // memoizes), then `restore()` repopulates the store on resume —
+        // both on a fresh table and, after a ConfigMismatch retry, on
+        // one that already served columns. A stale memo at any of these
+        // points would silently corrupt every post-resume checkpoint.
+        let mut table = Table::dense(3);
+        table.absorb_runs(&runs_of(&[(1, 0), (5, 1)]), 8);
+        let saved = table.sorted_columns().to_vec(); // memoizes
+        let overflow = table.overflow();
+        let samples = table.samples();
+
+        // Resume into a table that has already memoized different
+        // contents: restore must drop that memo.
+        let mut resumed = Table::dense(3);
+        resumed.absorb_runs(&runs_of(&[(2, 0)]), 8);
+        assert_eq!(resumed.sorted_columns().len(), 1); // memoizes
+        resumed.restore(saved.clone(), overflow, samples);
+        assert_eq!(resumed.sorted_columns(), saved.as_slice(), "stale memo");
+        assert_eq!(resumed.samples(), samples);
+
+        // And absorption after the restore must invalidate again, so
+        // the first post-resume checkpoint sees the merged counts.
+        resumed.absorb_runs(&runs_of(&[(2, 1)]), 8);
+        assert_eq!(resumed.sorted_columns().len(), saved.len() + 1);
+        assert_eq!(resumed.g_columns().len(), saved.len() + 1);
+    }
+
+    #[test]
     fn hashed_overflow_pools_past_the_cap_deterministically() {
         let mut table = Table::hashed();
         table.absorb_runs(&runs_of(&[(1, 0), (2, 0), (3, 1), (4, 1)]), 2);

@@ -21,11 +21,14 @@ use crate::perf::PerfSnapshot;
 /// the crate version and the schema versions of every artifact the run
 /// can write; v7: a `degraded` array on `health`/`health_summary`
 /// events and on `summary` — subsystems that exhausted their I/O retry
-/// budget and fell back to in-memory operation, `[]` on a clean run).
-/// The campaign *snapshot* file carries its own independent
-/// version (`mmaes_leakage::snapshot::SNAPSHOT_SCHEMA_VERSION`,
-/// currently 1).
-pub const EVENT_SCHEMA_VERSION: u64 = 7;
+/// budget and fell back to in-memory operation, `[]` on a clean run;
+/// v8: a `statistic` field on `health`/`health_summary` and on
+/// `summary` naming the leakage test that produced the `-log10(p)`
+/// values — `"gtest"` or `"ttest"`, empty on summaries of runs that
+/// never sampled). The campaign *snapshot* file carries its own
+/// independent version
+/// (`mmaes_leakage::snapshot::SNAPSHOT_SCHEMA_VERSION`, currently 2).
+pub const EVENT_SCHEMA_VERSION: u64 = 8;
 
 /// One probing set's running statistic at a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +113,9 @@ pub struct HealthCheckpoint {
     pub traces_target: u64,
     /// The `-log10(p)` decision threshold in force.
     pub threshold: f64,
+    /// Which leakage statistic produced the `-log10(p)` values —
+    /// `"gtest"` or `"ttest"` (schema v8).
+    pub statistic: String,
     /// Probing sets under test.
     pub probe_sets: u64,
     /// Sets whose table currently supports a calibrated G-test.
@@ -139,6 +145,7 @@ impl HealthCheckpoint {
             .unsigned("traces", self.traces)
             .unsigned("traces_target", self.traces_target)
             .float("threshold", self.threshold)
+            .string("statistic", &self.statistic)
             .unsigned("probe_sets", self.probe_sets)
             .unsigned("testable_sets", self.testable_sets)
             .unsigned("undersampled_sets", self.undersampled_sets)
@@ -192,6 +199,9 @@ pub struct RunSummary {
     pub schedule: String,
     /// Probing model, when applicable.
     pub model: String,
+    /// Leakage statistic the run's campaigns applied — `"gtest"` or
+    /// `"ttest"`, empty when the run never sampled (schema v8).
+    pub statistic: String,
     /// Probing order, when applicable (0 = not applicable).
     pub order: usize,
     /// Traces simulated (0 when not a sampling run).
@@ -246,6 +256,9 @@ impl RunSummary {
             .string("design", &self.design)
             .string("schedule", &self.schedule)
             .string("model", &self.model)
+            // Which leakage test produced `max_minus_log10_p`
+            // (schema v8); empty when the run never sampled.
+            .string("statistic", &self.statistic)
             .unsigned("order", self.order as u64)
             .unsigned("traces", self.traces)
             .float("max_minus_log10_p", self.max_minus_log10_p)
@@ -567,6 +580,7 @@ mod tests {
             traces: 64_000,
             traces_target: 200_000,
             threshold: 5.0,
+            statistic: "gtest".into(),
             probe_sets: 35,
             testable_sets: 30,
             undersampled_sets: 5,
@@ -671,6 +685,7 @@ mod tests {
                 design: "kronecker".into(),
                 schedule: "de-meyer-eq6".into(),
                 model: "glitch".into(),
+                statistic: "gtest".into(),
                 order: 1,
                 traces: 200_000,
                 max_minus_log10_p: 308.0,

@@ -345,6 +345,7 @@ mod tests {
             traces,
             traces_target: 1000,
             threshold: 5.0,
+            statistic: "gtest".into(),
             probe_sets: 3,
             testable_sets: 2,
             undersampled_sets: 1,
